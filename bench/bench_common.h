@@ -1,0 +1,74 @@
+#ifndef TRMMA_BENCH_BENCH_COMMON_H_
+#define TRMMA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "eval/experiment.h"
+
+namespace trmma {
+namespace bench {
+
+/// Workload sizes for the reproduction benches. The defaults ("full")
+/// regenerate every paper table/figure in tens of minutes on one CPU;
+/// setting the environment variable TRMMA_BENCH_SCALE=quick shrinks
+/// everything for a fast smoke run.
+struct BenchScale {
+  int traj_main = 2400;   ///< trajectories for PT / XA / CD
+  int traj_bj = 2000;     ///< Beijing (largest network, longest trips)
+  int eval_cap = 150;     ///< test trajectories evaluated per method
+  int mma_epochs = 8;
+  int lhmm_epochs = 3;
+  int deepmm_epochs = 20;
+  int trmma_epochs = 6;
+  int seq2seq_epochs = 12;
+};
+
+inline BenchScale GetScale() {
+  BenchScale s;
+  const char* env = std::getenv("TRMMA_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "quick") == 0) {
+    s.traj_main = 300;
+    s.traj_bj = 200;
+    s.eval_cap = 40;
+    s.mma_epochs = 2;
+    s.deepmm_epochs = 3;
+    s.trmma_epochs = 2;
+    s.seq2seq_epochs = 2;
+  }
+  return s;
+}
+
+inline int TrajCountFor(const std::string& city, const BenchScale& scale) {
+  return city == "BJ" ? scale.traj_bj : scale.traj_main;
+}
+
+/// Builds the dataset for one city at bench scale; aborts on failure.
+inline Dataset BuildBenchDataset(const std::string& city,
+                                 const BenchScale& scale) {
+  auto ds = BuildCityDatasetByName(city, TrajCountFor(city, scale));
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset %s failed: %s\n", city.c_str(),
+                 ds.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(ds).value();
+}
+
+/// Beijing's deep baselines get fewer epochs (its |E|-sized output layers
+/// dominate; the point of the paper's comparison is exactly that cost).
+inline int DeepEpochsFor(const std::string& city, int epochs) {
+  return city == "BJ" ? std::max(2, epochs / 2) : epochs;
+}
+
+inline void PrintBanner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace trmma
+
+#endif  // TRMMA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Reproduces paper Fig. 10: map-matching training time per epoch (FMM has
+// none - it only precomputes the UBODT, reported separately). Expected
+// shape: MMA and LHMM train fast; DeepMM pays for its |E|-sized softmax,
+// most visibly on BJ.
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  bench::PrintBanner("Fig. 10: map matching training time (s / epoch)");
+  PrintHeader("method", CityNames());
+
+  std::vector<double> lhmm_row;
+  std::vector<double> deepmm_row;
+  std::vector<double> mma_row;
+  std::vector<double> ubodt_row;
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    StackConfig config;
+    Stopwatch ubodt_watch;
+    ExperimentStack stack = BuildStack(ds, config);
+    // The stack build includes the UBODT precomputation; rebuild it alone
+    // for a clean figure of FMM's one-off cost.
+    ubodt_watch.Restart();
+    Ubodt ubodt(*ds.network, config.ubodt_delta_m);
+    ubodt_row.push_back(ubodt_watch.ElapsedSeconds());
+
+    lhmm_row.push_back(TrainLhmm(stack, 2).seconds_per_epoch);
+    deepmm_row.push_back(TrainDeepMm(stack, 2).seconds_per_epoch);
+    mma_row.push_back(TrainMma(stack, 2).seconds_per_epoch);
+  }
+  PrintRow("LHMM", lhmm_row, 16, 10, 3);
+  PrintRow("DeepMM", deepmm_row, 16, 10, 3);
+  PrintRow("MMA", mma_row, 16, 10, 3);
+  PrintRow("FMM(ubodt)", ubodt_row, 16, 10, 3);
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Fig. 11: map-matching F1 under varied sparsity
+// gamma in {0.1..0.5} (sparse interval = epsilon/gamma). Models are
+// trained once at gamma=0.2 and evaluated on re-sparsified data (see
+// EXPERIMENTS.md for this deviation). Expected shape: every method
+// degrades as gamma shrinks; MMA stays on top at every level.
+#include "bench/bench_common.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  const std::vector<double> gammas = {0.1, 0.2, 0.3, 0.4, 0.5};
+  bench::PrintBanner("Fig. 11: map matching F1 vs sparsity gamma");
+
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    ResparsifyDataset(ds, 0.2, 1234);
+    StackConfig config;
+    ExperimentStack stack = BuildStack(ds, config);
+    TrainLhmm(stack, scale.lhmm_epochs);
+    TrainMma(stack, scale.mma_epochs);
+
+    std::printf("\n-- %s --\n", city.c_str());
+    std::vector<std::string> cols;
+    for (double g : gammas) cols.push_back("g=" + std::to_string(g).substr(0, 3));
+    PrintHeader("method", cols);
+
+    std::vector<MapMatcher*> methods = {stack.nearest.get(), stack.fmm.get(),
+                                        stack.lhmm.get(), stack.mma.get()};
+    std::vector<std::vector<double>> rows(methods.size());
+    for (double gamma : gammas) {
+      ResparsifyDataset(ds, gamma, 1234 + static_cast<uint64_t>(gamma * 100));
+      for (size_t i = 0; i < methods.size(); ++i) {
+        auto ev = EvaluateMapMatching(stack, *methods[i],
+                                      std::min(scale.eval_cap, 120));
+        rows[i].push_back(100 * ev.metrics.f1);
+      }
+    }
+    for (size_t i = 0; i < methods.size(); ++i) {
+      PrintRow(methods[i]->name(), rows[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces paper Fig. 2: the ratio of GPS points whose ground-truth
+// segment is among their top-k_c nearest segments, for k_c = 1..10, on all
+// four datasets. The curves should start around 0.6-0.8 at k_c=1 and
+// approach 1.0 by k_c=10, motivating classification over a small candidate
+// set (paper §IV-A).
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "mm/candidates.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  bench::PrintBanner("Fig. 2: true segment within top-k_c candidates");
+  std::vector<std::string> cols;
+  for (int k = 1; k <= 10; ++k) cols.push_back("k=" + std::to_string(k));
+  PrintHeader("dataset", cols, 10, 8);
+
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    SegmentRTree index(*ds.network);
+    std::vector<int64_t> hits(11, 0);
+    int64_t total = 0;
+    for (int idx : ds.train_idx) {
+      const TrajectorySample& sample = ds.samples[idx];
+      auto cands = ComputeCandidates(*ds.network, index, sample.sparse, 10);
+      for (size_t i = 0; i < cands.size(); ++i) {
+        const SegmentId truth =
+            sample.truth[sample.sparse_indices[i]].segment;
+        int rank = 0;  // 0 = not found within top 10
+        for (size_t j = 0; j < cands[i].size(); ++j) {
+          if (cands[i][j].segment == truth) {
+            rank = static_cast<int>(j) + 1;
+            break;
+          }
+        }
+        if (rank > 0) {
+          for (int k = rank; k <= 10; ++k) ++hits[k];
+        }
+        ++total;
+      }
+    }
+    std::vector<double> row;
+    for (int k = 1; k <= 10; ++k) {
+      row.push_back(static_cast<double>(hits[k]) / total);
+    }
+    PrintRow(city, row, 10, 8, 3);
+  }
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Fig. 5: recovery inference time per 1000 trajectories
+// (seconds). Expected shape: TRMMA decodes over the route's few segments
+// while the seq2seq baselines score all |E| segments per step, so TRMMA's
+// relative cost improves as the network grows (largest on BJ). Note that
+// at this scaled-down |E| the absolute gap is smaller than the paper's
+// (their networks have up to 65k segments; see EXPERIMENTS.md).
+#include "bench/bench_common.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  bench::PrintBanner("Fig. 5: recovery inference time (s / 1000 traj)");
+  PrintHeader("method", CityNames());
+
+  std::vector<std::vector<double>> rows(5);
+  std::vector<std::string> names;
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    StackConfig config;
+    ExperimentStack stack = BuildStack(ds, config);
+    TrainMma(stack, scale.mma_epochs);
+    TrainTrmma(stack, 1);
+    TrainSeq2Seq(stack, *stack.mtrajrec, 1);
+    TrainSeq2Seq(stack, *stack.trajformer, 1);
+    std::vector<RecoveryMethod*> methods = {
+        stack.linear.get(), stack.nearest_linear.get(),
+        stack.mtrajrec.get(), stack.trajformer.get(), stack.trmma.get()};
+    names.clear();
+    for (size_t i = 0; i < methods.size(); ++i) {
+      auto ev = EvaluateRecovery(stack, *methods[i], scale.eval_cap);
+      rows[i].push_back(ev.seconds_per_1000);
+      names.push_back(methods[i]->name());
+    }
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PrintRow(names[i], rows[i], 16, 10, 3);
+  }
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces paper Fig. 6: recovery training time per epoch (seconds).
+// Expected shape: TRMMA trains faster than the full-network seq2seq
+// baselines on the larger networks because its classification layer is
+// route-sized, not |E|-sized.
+#include "bench/bench_common.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  bench::PrintBanner("Fig. 6: recovery training time (s / epoch)");
+  PrintHeader("method", CityNames());
+
+  std::vector<double> trmma_row;
+  std::vector<double> mtraj_row;
+  std::vector<double> trajcl_row;
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    StackConfig config;
+    ExperimentStack stack = BuildStack(ds, config);
+    trmma_row.push_back(TrainTrmma(stack, 2).seconds_per_epoch);
+    mtraj_row.push_back(
+        TrainSeq2Seq(stack, *stack.mtrajrec, 2).seconds_per_epoch);
+    trajcl_row.push_back(
+        TrainSeq2Seq(stack, *stack.trajformer, 2).seconds_per_epoch);
+  }
+  PrintRow("TRMMA", trmma_row, 16, 10, 3);
+  PrintRow("MTrajRec", mtraj_row, 16, 10, 3);
+  PrintRow("TrajCL+Dec", trajcl_row, 16, 10, 3);
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

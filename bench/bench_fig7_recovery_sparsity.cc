@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 7: recovery accuracy under varied sparsity gamma
+// in {0.1..0.5}. Models are trained once at gamma=0.2 and evaluated on
+// re-sparsified data (deviation documented in EXPERIMENTS.md). Expected
+// shape: accuracy improves with denser input (larger gamma) for every
+// method and TRMMA dominates at every level.
+#include "bench/bench_common.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  const std::vector<double> gammas = {0.1, 0.2, 0.3, 0.4, 0.5};
+  bench::PrintBanner("Fig. 7: recovery accuracy vs sparsity gamma");
+
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    ResparsifyDataset(ds, 0.2, 555);
+    StackConfig config;
+    ExperimentStack stack = BuildStack(ds, config);
+    TrainMma(stack, scale.mma_epochs);
+    TrainTrmma(stack, scale.trmma_epochs);
+
+    std::printf("\n-- %s --\n", city.c_str());
+    std::vector<std::string> cols;
+    for (double g : gammas) cols.push_back("g=" + std::to_string(g).substr(0, 3));
+    PrintHeader("method", cols);
+
+    std::vector<RecoveryMethod*> methods = {stack.linear.get(),
+                                            stack.nearest_linear.get(),
+                                            stack.trmma.get()};
+    std::vector<std::vector<double>> rows(methods.size());
+    for (double gamma : gammas) {
+      ResparsifyDataset(ds, gamma, 555 + static_cast<uint64_t>(gamma * 100));
+      for (size_t i = 0; i < methods.size(); ++i) {
+        auto ev = EvaluateRecovery(stack, *methods[i],
+                                   std::min(scale.eval_cap, 120));
+        rows[i].push_back(100 * ev.accuracy);
+      }
+    }
+    for (size_t i = 0; i < methods.size(); ++i) {
+      PrintRow(methods[i]->name(), rows[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 8: recovery accuracy when training on 1%..100% of
+// the training split. Linear needs no training and serves as the flat
+// benchmark line. Expected shape: learned methods improve with more data;
+// TRMMA overtakes Linear after a small fraction and keeps the lead.
+#include "bench/bench_common.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  const std::vector<double> fractions = {0.01, 0.03, 0.1, 0.3, 1.0};
+  bench::PrintBanner("Fig. 8: recovery accuracy vs training data fraction");
+
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    StackConfig config;
+
+    std::printf("\n-- %s --\n", city.c_str());
+    std::vector<std::string> cols;
+    for (double f : fractions) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%g%%", f * 100);
+      cols.push_back(buf);
+    }
+    PrintHeader("method", cols);
+
+    std::vector<double> linear_row;
+    std::vector<double> trmma_row;
+    const int cap = std::min(scale.eval_cap, 120);
+    for (double fraction : fractions) {
+      // Fresh stack per fraction so models start untrained.
+      ExperimentStack stack = BuildStack(ds, config);
+      TrainMma(stack, scale.mma_epochs, fraction);
+      TrainTrmma(stack, scale.trmma_epochs, fraction);
+      trmma_row.push_back(
+          100 * EvaluateRecovery(stack, *stack.trmma, cap).accuracy);
+      if (linear_row.empty()) {
+        const double linear_acc =
+            100 * EvaluateRecovery(stack, *stack.linear, cap).accuracy;
+        linear_row.assign(fractions.size(), linear_acc);
+      }
+    }
+    PrintRow("Linear", linear_row);
+    PrintRow("TRMMA", trmma_row);
+  }
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

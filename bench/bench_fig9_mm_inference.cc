@@ -1,0 +1,46 @@
+// Reproduces paper Fig. 9: map-matching inference time per 1000
+// trajectories (seconds). Models are lightly trained first (timing does
+// not depend on weight quality). Expected shape: FMM/LHMM much faster than
+// plain HMM (UBODT acceleration); MMA in the fast group; DeepMM's
+// full-network output layer costs more on the large BJ network.
+#include "bench/bench_common.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  bench::PrintBanner("Fig. 9: map matching inference time (s / 1000 traj)");
+  PrintHeader("method", CityNames());
+
+  std::vector<std::vector<double>> rows(6);
+  std::vector<std::string> names;
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    StackConfig config;
+    ExperimentStack stack = BuildStack(ds, config);
+    TrainLhmm(stack, 1);
+    TrainDeepMm(stack, 1);
+    TrainMma(stack, scale.mma_epochs);
+    std::vector<MapMatcher*> methods = {
+        stack.nearest.get(), stack.hmm.get(),    stack.fmm.get(),
+        stack.lhmm.get(),    stack.deepmm.get(), stack.mma.get()};
+    names.clear();
+    for (size_t i = 0; i < methods.size(); ++i) {
+      auto ev = EvaluateMapMatching(stack, *methods[i], scale.eval_cap);
+      rows[i].push_back(ev.seconds_per_1000);
+      names.push_back(methods[i]->name());
+    }
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PrintRow(names[i], rows[i], 16, 10, 3);
+  }
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

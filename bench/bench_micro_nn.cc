@@ -1,0 +1,84 @@
+// Micro-benchmarks (google-benchmark) of the neural-network substrate:
+// matmul kernel, transformer forward, GRU step, and a full forward+backward
+// pass. Not a paper figure; used to track substrate regressions.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "nn/gru.h"
+#include "nn/ops.h"
+#include "nn/transformer.h"
+
+namespace trmma {
+namespace nn {
+namespace {
+
+namespace ops = nn::ops;
+
+Matrix RandomMatrix(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform(-1, 1);
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix a = RandomMatrix(n, n, 1);
+  Matrix b = RandomMatrix(n, n, 2);
+  Matrix out;
+  for (auto _ : state) {
+    MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransformerForward(benchmark::State& state) {
+  Rng rng(3);
+  TransformerEncoder enc(32, 2, 64, 2, rng);
+  Matrix x = RandomMatrix(static_cast<int>(state.range(0)), 32, 4);
+  for (auto _ : state) {
+    Tape tape;
+    Tensor y = enc.Forward(ops::Input(tape, x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_TransformerForward)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_GruUnroll(benchmark::State& state) {
+  Rng rng(5);
+  GruCell gru(33, 32, rng);
+  Matrix x = RandomMatrix(1, 33, 6);
+  const int steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Tape tape;
+    Tensor h = ops::Input(tape, Matrix(1, 32));
+    for (int t = 0; t < steps; ++t) {
+      h = gru.Step(ops::Input(tape, x), h);
+    }
+    benchmark::DoNotOptimize(h.value().data());
+  }
+}
+BENCHMARK(BM_GruUnroll)->Arg(10)->Arg(40);
+
+void BM_ForwardBackward(benchmark::State& state) {
+  Rng rng(7);
+  TransformerEncoder enc(32, 2, 64, 2, rng);
+  Matrix x = RandomMatrix(24, 32, 8);
+  for (auto _ : state) {
+    Tape tape;
+    Tensor y = enc.Forward(ops::Input(tape, x));
+    Tensor loss = ops::SumAll(ops::Mul(y, y));
+    tape.Backward(loss);
+    enc.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().at(0, 0));
+  }
+}
+BENCHMARK(BM_ForwardBackward);
+
+}  // namespace
+}  // namespace nn
+}  // namespace trmma
+
+BENCHMARK_MAIN();

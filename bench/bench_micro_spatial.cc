@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark) of the spatial substrates: R-tree
+// k-nearest queries, Dijkstra shortest paths, UBODT lookups and the DA
+// route planner. Not a paper figure; used to track substrate regressions.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "gen/network_gen.h"
+#include "graph/shortest_path.h"
+#include "graph/spatial_index.h"
+#include "graph/transition_stats.h"
+#include "graph/ubodt.h"
+
+namespace trmma {
+namespace {
+
+const RoadNetwork& Network() {
+  static const RoadNetwork* network = [] {
+    NetworkGenConfig config;
+    config.grid_width = 24;
+    config.grid_height = 18;
+    Rng rng(42);
+    auto net = GenerateNetwork(config, rng);
+    return net.ok() ? std::move(net).value().release() : nullptr;
+  }();
+  return *network;
+}
+
+void BM_RTreeBuild(benchmark::State& state) {
+  const RoadNetwork& g = Network();
+  for (auto _ : state) {
+    SegmentRTree tree(g, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(tree.height());
+  }
+}
+BENCHMARK(BM_RTreeBuild)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  const RoadNetwork& g = Network();
+  static const SegmentRTree tree(g);
+  Rng rng(1);
+  for (auto _ : state) {
+    Vec2 q{rng.Uniform(0, 4000), rng.Uniform(0, 3000)};
+    benchmark::DoNotOptimize(tree.KNearest(q, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RTreeKnn)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const RoadNetwork& g = Network();
+  ShortestPathEngine engine(g);
+  Rng rng(2);
+  for (auto _ : state) {
+    const NodeId src = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    const NodeId dst = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(engine.NodeToNode(src, dst));
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_UbodtLookupVsDijkstra(benchmark::State& state) {
+  const RoadNetwork& g = Network();
+  static const Ubodt table(g, 2000.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    const NodeId src = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    const NodeId dst = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(table.Distance(src, dst));
+  }
+}
+BENCHMARK(BM_UbodtLookupVsDijkstra);
+
+void BM_DaRoutePlanner(benchmark::State& state) {
+  const RoadNetwork& g = Network();
+  static TransitionStats stats(g);
+  DaRoutePlanner planner(g, stats);
+  Rng rng(4);
+  for (auto _ : state) {
+    const SegmentId a = static_cast<SegmentId>(rng.UniformInt(g.num_segments()));
+    const SegmentId b = static_cast<SegmentId>(rng.UniformInt(g.num_segments()));
+    benchmark::DoNotOptimize(planner.Plan(a, b));
+  }
+}
+BENCHMARK(BM_DaRoutePlanner);
+
+}  // namespace
+}  // namespace trmma
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Reproduces paper Table IV: ablation study of TRMMA by recovery Accuracy
+// (%). Variants: full TRMMA; TRMMA-HMM (route from HMM instead of MMA);
+// TRMMA-Near (route from nearest-segment matching); MMA+linear and
+// Nearest+linear (no learned decoder); TRMMA-DF (no DualFormer cross
+// attention); TRMMA-C (MMA without candidate context); TRMMA-DI (MMA
+// without directional features). Expected shape: full TRMMA on top;
+// removing MMA (Near) or the decoder (X+linear) hurts the most.
+#include "bench/bench_common.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  bench::PrintBanner("Table IV: TRMMA ablation, recovery accuracy (%)");
+  PrintHeader("variant", CityNames());
+
+  std::vector<std::string> names = {"TRMMA",      "TRMMA-HMM",
+                                    "TRMMA-Near", "MMA+linear",
+                                    "Nearest+linear", "TRMMA-DF",
+                                    "TRMMA-C",    "TRMMA-DI"};
+  std::vector<std::vector<double>> rows(names.size());
+
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    StackConfig config;
+    ExperimentStack stack = BuildStack(ds, config);
+    TrainMma(stack, scale.mma_epochs);
+    TrainTrmma(stack, scale.trmma_epochs);
+    const int cap = std::min(scale.eval_cap, 120);
+    const RoadNetwork& g = *ds.network;
+
+    auto train_trmma_variant = [&](TrmmaRecovery& model) {
+      Rng rng(stack.config.seed + 40);
+      for (int e = 0; e < scale.trmma_epochs; ++e) {
+        model.TrainEpoch(ds, rng);
+      }
+    };
+
+    int r = 0;
+    // Full TRMMA.
+    rows[r++].push_back(
+        100 * EvaluateRecovery(stack, *stack.trmma, cap).accuracy);
+
+    // TRMMA-HMM: decoder unchanged, route from the HMM matcher.
+    TrmmaRecovery trmma_hmm(g, stack.fmm.get(), stack.planner.get(),
+                            stack.engine.get(), config.trmma, "TRMMA-HMM");
+    train_trmma_variant(trmma_hmm);
+    rows[r++].push_back(
+        100 * EvaluateRecovery(stack, trmma_hmm, cap).accuracy);
+
+    // TRMMA-Near: route from nearest-segment matching.
+    TrmmaRecovery trmma_near(g, stack.nearest.get(), stack.planner.get(),
+                             stack.engine.get(), config.trmma, "TRMMA-Near");
+    train_trmma_variant(trmma_near);
+    rows[r++].push_back(
+        100 * EvaluateRecovery(stack, trmma_near, cap).accuracy);
+
+    // MMA+linear and Nearest+linear.
+    rows[r++].push_back(
+        100 * EvaluateRecovery(stack, *stack.mma_linear, cap).accuracy);
+    rows[r++].push_back(
+        100 * EvaluateRecovery(stack, *stack.nearest_linear, cap).accuracy);
+
+    // TRMMA-DF: no DualFormer fusion.
+    TrmmaConfig df_config = config.trmma;
+    df_config.use_dualformer = false;
+    TrmmaRecovery trmma_df(g, stack.mma.get(), stack.planner.get(),
+                           stack.engine.get(), df_config, "TRMMA-DF");
+    train_trmma_variant(trmma_df);
+    rows[r++].push_back(
+        100 * EvaluateRecovery(stack, trmma_df, cap).accuracy);
+
+    // TRMMA-C: MMA without candidate context feeding TRMMA.
+    MmaConfig mma_c = config.mma;
+    mma_c.use_candidate_context = false;
+    MmaMatcher mma_no_ctx(g, *stack.index, mma_c);
+    mma_no_ctx.LoadPretrainedSegmentEmbeddings(stack.node2vec_table);
+    {
+      Rng rng(stack.config.seed + 41);
+      for (int e = 0; e < scale.mma_epochs; ++e) {
+        mma_no_ctx.TrainEpoch(ds, rng);
+      }
+    }
+    TrmmaRecovery trmma_c(g, &mma_no_ctx, stack.planner.get(),
+                          stack.engine.get(), config.trmma, "TRMMA-C");
+    train_trmma_variant(trmma_c);
+    rows[r++].push_back(
+        100 * EvaluateRecovery(stack, trmma_c, cap).accuracy);
+
+    // TRMMA-DI: MMA without directional features feeding TRMMA.
+    MmaConfig mma_di = config.mma;
+    mma_di.use_directional = false;
+    MmaMatcher mma_no_dir(g, *stack.index, mma_di);
+    mma_no_dir.LoadPretrainedSegmentEmbeddings(stack.node2vec_table);
+    {
+      Rng rng(stack.config.seed + 42);
+      for (int e = 0; e < scale.mma_epochs; ++e) {
+        mma_no_dir.TrainEpoch(ds, rng);
+      }
+    }
+    TrmmaRecovery trmma_di(g, &mma_no_dir, stack.planner.get(),
+                           stack.engine.get(), config.trmma, "TRMMA-DI");
+    train_trmma_variant(trmma_di);
+    rows[r++].push_back(
+        100 * EvaluateRecovery(stack, trmma_di, cap).accuracy);
+  }
+
+  for (size_t i = 0; i < names.size(); ++i) {
+    PrintRow(names[i], rows[i]);
+  }
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

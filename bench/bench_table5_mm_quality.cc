@@ -1,0 +1,42 @@
+// Reproduces paper Table V: map-matching quality (Precision / Recall / F1
+// / Jaccard, in percent) of Nearest, HMM, FMM, LHMM, DeepMM and MMA on the
+// four datasets. Expected shape: MMA best on every dataset, Nearest worst,
+// FMM/LHMM strong classical baselines.
+#include "bench/bench_common.h"
+
+namespace trmma {
+namespace {
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  bench::PrintBanner("Table V: map matching effectiveness (%)");
+  for (const std::string& city : CityNames()) {
+    Dataset ds = bench::BuildBenchDataset(city, scale);
+    StackConfig config;
+    ExperimentStack stack = BuildStack(ds, config);
+
+    TrainLhmm(stack, scale.lhmm_epochs);
+    TrainDeepMm(stack, bench::DeepEpochsFor(city, scale.deepmm_epochs));
+    TrainMma(stack, scale.mma_epochs);
+
+    std::printf("\n-- %s --\n", city.c_str());
+    PrintHeader("method", {"Prec", "Recall", "F1", "Jaccard"});
+    std::vector<MapMatcher*> methods = {
+        stack.nearest.get(), stack.hmm.get(),    stack.fmm.get(),
+        stack.lhmm.get(),    stack.deepmm.get(), stack.mma.get()};
+    for (MapMatcher* m : methods) {
+      auto ev = EvaluateMapMatching(stack, *m, scale.eval_cap);
+      PrintRow(m->name(),
+               {100 * ev.metrics.precision, 100 * ev.metrics.recall,
+                100 * ev.metrics.f1, 100 * ev.metrics.jaccard});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Scenario: a fleet logs GPS every 2 minutes to save bandwidth, but the
+// analytics team needs ~12-second resolution for travel-time and
+// congestion statistics. This example recovers dense trajectories for a
+// batch of sparse fleet traces with TRMMA and compares per-segment travel
+// speed estimates computed from (a) the sparse data with linear
+// interpolation and (b) the TRMMA-recovered data, against ground truth.
+//
+//   ./examples/fleet_densification
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace trmma;
+
+/// Mean absolute relative error of per-segment speed estimates derived
+/// from recovered trajectories vs the simulator's true segment speeds.
+double SpeedEstimationError(const Dataset& dataset,
+                            const std::vector<MatchedTrajectory>& recovered) {
+  const RoadNetwork& g = *dataset.network;
+  // Estimate speed on each segment from consecutive recovered points that
+  // share it: distance covered / epsilon.
+  std::map<SegmentId, std::pair<double, int>> speed_sums;
+  for (const MatchedTrajectory& traj : recovered) {
+    for (size_t i = 1; i < traj.size(); ++i) {
+      if (traj[i].segment != traj[i - 1].segment) continue;
+      const double dr = traj[i].ratio - traj[i - 1].ratio;
+      if (dr <= 0) continue;
+      const double dt = traj[i].t - traj[i - 1].t;
+      if (dt <= 0) continue;
+      const double speed = dr * g.segment(traj[i].segment).length_m / dt;
+      auto& acc = speed_sums[traj[i].segment];
+      acc.first += speed;
+      acc.second += 1;
+    }
+  }
+  double err = 0.0;
+  int count = 0;
+  for (const auto& [segment, acc] : speed_sums) {
+    if (acc.second < 3) continue;  // need a few observations
+    const double estimated = acc.first / acc.second;
+    const double truth = g.segment(segment).speed_mps;
+    err += std::abs(estimated - truth) / truth;
+    ++count;
+  }
+  return count > 0 ? err / count : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace trmma;
+  std::printf("Simulating a fleet on the PT city...\n");
+  Dataset dataset = std::move(BuildCityDatasetByName("PT", 700).value());
+  StackConfig config;
+  ExperimentStack stack = BuildStack(dataset, config);
+
+  std::printf("Training MMA + TRMMA...\n");
+  TrainMma(stack, 8);
+  TrainTrmma(stack, 5);
+
+  std::printf("Densifying %zu held-out fleet traces...\n",
+              dataset.test_idx.size());
+  std::vector<MatchedTrajectory> via_linear;
+  std::vector<MatchedTrajectory> via_trmma;
+  double acc_linear = 0.0;
+  double acc_trmma = 0.0;
+  int count = 0;
+  for (int idx : dataset.test_idx) {
+    const TrajectorySample& sample = dataset.samples[idx];
+    if (sample.sparse.size() < 2) continue;
+    via_linear.push_back(
+        stack.linear->Recover(sample.sparse, dataset.epsilon_s));
+    via_trmma.push_back(
+        stack.trmma->Recover(sample.sparse, dataset.epsilon_s));
+    acc_linear += PointwiseAccuracy(via_linear.back(), sample.truth);
+    acc_trmma += PointwiseAccuracy(via_trmma.back(), sample.truth);
+    ++count;
+  }
+
+  std::printf("\nRecovery accuracy:   linear %.1f%%   TRMMA %.1f%%\n",
+              100 * acc_linear / count, 100 * acc_trmma / count);
+  const double err_linear = SpeedEstimationError(dataset, via_linear);
+  const double err_trmma = SpeedEstimationError(dataset, via_trmma);
+  std::printf("Per-segment speed estimation error (lower is better):\n");
+  std::printf("  from linear-interpolated data: %.1f%%\n", 100 * err_linear);
+  std::printf("  from TRMMA-recovered data:     %.1f%%\n", 100 * err_trmma);
+  std::printf(
+      "\nDownstream analytics (here: segment speed maps) inherit the\n"
+      "recovery quality - the reason the paper cares about high-sampling\n"
+      "trajectories in the first place.\n");
+  return 0;
+}

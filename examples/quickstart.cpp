@@ -1,0 +1,77 @@
+// Quickstart: the full TRMMA pipeline in ~60 lines.
+//
+// 1. Generate a synthetic city and taxi trajectories (stand-in for the
+//    paper's Porto/Xi'an/Beijing/Chengdu data; see DESIGN.md).
+// 2. Build the experiment stack (R-tree, UBODT, route planner, models).
+// 3. Train MMA (map matching) and TRMMA (trajectory recovery).
+// 4. Map-match one sparse trajectory and recover its dense version.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "eval/experiment.h"
+
+int main() {
+  using namespace trmma;
+
+  // 1. A small city with 400 simulated trips, sparse inputs at gamma=0.1.
+  std::printf("Generating synthetic city + trajectories...\n");
+  Dataset dataset = std::move(BuildCityDatasetByName("XA", 400).value());
+  std::printf("  network: %d intersections, %d segments; %zu trajectories\n",
+              dataset.network->num_nodes(), dataset.network->num_segments(),
+              dataset.samples.size());
+
+  // 2. Substrates + models.
+  StackConfig config;
+  ExperimentStack stack = BuildStack(dataset, config);
+
+  // 3. Train the two models of the paper.
+  std::printf("Training MMA (map matching)...\n");
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    TrainStats s = TrainMma(stack, 1);
+    std::printf("  epoch %d: loss %.4f (%.2fs)\n", epoch, s.final_loss,
+                s.seconds_per_epoch);
+  }
+  std::printf("Training TRMMA (trajectory recovery)...\n");
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    TrainStats s = TrainTrmma(stack, 1);
+    std::printf("  epoch %d: loss %.4f (%.2fs)\n", epoch, s.final_loss,
+                s.seconds_per_epoch);
+  }
+
+  // 4. Use the public API on one held-out sparse trajectory.
+  const TrajectorySample& sample = dataset.samples[dataset.test_idx[0]];
+  std::printf("\nSparse input: %d GPS points over %.0f seconds\n",
+              sample.sparse.size(),
+              sample.sparse.points.back().t - sample.sparse.points.front().t);
+
+  const std::vector<SegmentId> segments =
+      stack.mma->MatchPoints(sample.sparse);
+  const Route route = StitchRoute(*dataset.network, *stack.planner,
+                                  *stack.engine, segments);
+  std::printf("MMA route: %zu segments (ground truth: %zu)\n", route.size(),
+              sample.route.size());
+
+  const MatchedTrajectory recovered =
+      stack.trmma->Recover(sample.sparse, dataset.epsilon_s);
+  std::printf("TRMMA recovered %zu points at eps=%.0fs (truth: %zu)\n",
+              recovered.size(), dataset.epsilon_s, sample.truth.size());
+
+  int correct = 0;
+  for (size_t i = 0; i < std::min(recovered.size(), sample.truth.size());
+       ++i) {
+    correct += recovered[i].segment == sample.truth[i].segment;
+  }
+  std::printf("Pointwise segment accuracy on this trajectory: %.1f%%\n",
+              100.0 * correct / sample.truth.size());
+
+  // Show a few recovered points as (segment, ratio, time).
+  std::printf("\nFirst recovered points:\n");
+  for (size_t i = 0; i < std::min<size_t>(recovered.size(), 6); ++i) {
+    const MatchedPoint& a = recovered[i];
+    const LatLng pos = dataset.network->LatLngOnSegment(a.segment, a.ratio);
+    std::printf("  t=%7.0f  segment %4d  ratio %.2f  (%.5f, %.5f)\n", a.t,
+                a.segment, a.ratio, pos.lat, pos.lng);
+  }
+  return 0;
+}

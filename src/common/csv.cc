@@ -1,0 +1,58 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace trmma {
+namespace csv {
+
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadFile(
+    const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(SplitLine(line, delim));
+  }
+  return rows;
+}
+
+Status WriteFile(const std::string& path,
+                 const std::vector<std::vector<std::string>>& rows,
+                 char delim) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << delim;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace csv
+}  // namespace trmma

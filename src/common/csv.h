@@ -1,0 +1,30 @@
+#ifndef TRMMA_COMMON_CSV_H_
+#define TRMMA_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trmma {
+
+/// Minimal CSV support for dataset persistence. Fields never contain commas
+/// or newlines in this project, so no quoting is implemented.
+namespace csv {
+
+/// Splits one CSV line into fields.
+std::vector<std::string> SplitLine(const std::string& line, char delim = ',');
+
+/// Reads a whole CSV file into rows of fields. Empty lines are skipped.
+StatusOr<std::vector<std::vector<std::string>>> ReadFile(
+    const std::string& path, char delim = ',');
+
+/// Writes rows of fields as a CSV file, overwriting any existing file.
+Status WriteFile(const std::string& path,
+                 const std::vector<std::vector<std::string>>& rows,
+                 char delim = ',');
+
+}  // namespace csv
+}  // namespace trmma
+
+#endif  // TRMMA_COMMON_CSV_H_

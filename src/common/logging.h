@@ -1,0 +1,77 @@
+#ifndef TRMMA_COMMON_LOGGING_H_
+#define TRMMA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace trmma {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Returns the process-wide minimum level; messages below it are dropped.
+LogLevel& MinLogLevel();
+
+/// Stream-style log message; emits on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns an ostream expression into void so CHECK can use ?: (glog trick).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+/// Sets the process-wide minimum log level.
+void SetMinLogLevel(LogLevel level);
+
+}  // namespace trmma
+
+#define TRMMA_LOG(level)                                                    \
+  ::trmma::internal_logging::LogMessage(::trmma::LogLevel::k##level,        \
+                                        __FILE__, __LINE__)                 \
+      .stream()
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// invariant violations in a data system must not silently corrupt results.
+#define TRMMA_CHECK(cond)                                              \
+  (cond) ? (void)0                                                     \
+         : ::trmma::internal_logging::Voidify() &                      \
+               ::trmma::internal_logging::LogMessage(                  \
+                   ::trmma::LogLevel::kFatal, __FILE__, __LINE__)      \
+                       .stream()                                       \
+                   << "Check failed: " #cond " "
+
+#define TRMMA_CHECK_EQ(a, b) TRMMA_CHECK((a) == (b))
+#define TRMMA_CHECK_NE(a, b) TRMMA_CHECK((a) != (b))
+#define TRMMA_CHECK_LT(a, b) TRMMA_CHECK((a) < (b))
+#define TRMMA_CHECK_LE(a, b) TRMMA_CHECK((a) <= (b))
+#define TRMMA_CHECK_GT(a, b) TRMMA_CHECK((a) > (b))
+#define TRMMA_CHECK_GE(a, b) TRMMA_CHECK((a) >= (b))
+
+#endif  // TRMMA_COMMON_LOGGING_H_

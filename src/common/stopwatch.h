@@ -1,0 +1,32 @@
+#ifndef TRMMA_COMMON_STOPWATCH_H_
+#define TRMMA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace trmma {
+
+/// Wall-clock stopwatch used by the experiment harness for the timing
+/// columns of the paper's efficiency figures.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the reference point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_COMMON_STOPWATCH_H_

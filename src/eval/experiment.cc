@@ -1,0 +1,258 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "mm/route_stitch.h"
+#include "traj/sparsify.h"
+
+namespace trmma {
+namespace {
+
+/// Dataset view containing only a fraction of the training split (used by
+/// the paper's Fig. 8 robustness experiment). Holds copies of the selected
+/// samples; the network pointer stays null because the models carry their
+/// own network references.
+Dataset SubsampleTraining(const Dataset& dataset, double fraction,
+                          uint64_t seed) {
+  Dataset sub;
+  sub.name = dataset.name;
+  sub.epsilon_s = dataset.epsilon_s;
+  sub.gamma = dataset.gamma;
+  std::vector<int> pool = dataset.train_idx;
+  Rng rng(seed);
+  rng.Shuffle(pool);
+  const int keep = std::max<int>(
+      1, static_cast<int>(pool.size() * std::clamp(fraction, 0.0, 1.0)));
+  for (int i = 0; i < keep; ++i) {
+    sub.samples.push_back(dataset.samples[pool[i]]);
+    sub.train_idx.push_back(i);
+  }
+  return sub;
+}
+
+template <typename TrainFn>
+TrainStats TimedEpochs(int epochs, TrainFn&& train_one_epoch) {
+  TrainStats out;
+  Stopwatch watch;
+  for (int e = 0; e < epochs; ++e) {
+    out.final_loss = train_one_epoch();
+  }
+  out.seconds_per_epoch = watch.ElapsedSeconds() / std::max(epochs, 1);
+  return out;
+}
+
+}  // namespace
+
+ExperimentStack BuildStack(const Dataset& dataset, const StackConfig& config) {
+  TRMMA_CHECK(dataset.network != nullptr);
+  const RoadNetwork& g = *dataset.network;
+
+  ExperimentStack stack;
+  stack.dataset = &dataset;
+  stack.config = config;
+  stack.config.node2vec.dim = config.mma.d0;  // table feeds MMA's W^C
+
+  stack.index = std::make_unique<SegmentRTree>(g);
+  stack.engine = std::make_unique<ShortestPathEngine>(g);
+  stack.ubodt = std::make_unique<Ubodt>(g, config.ubodt_delta_m);
+  stack.stats = std::make_unique<TransitionStats>(g);
+  for (int idx : dataset.train_idx) {
+    stack.stats->AddRoute(dataset.samples[idx].route);
+  }
+  stack.planner = std::make_unique<DaRoutePlanner>(g, *stack.stats);
+
+  Rng n2v_rng(config.seed);
+  stack.node2vec_table = TrainNode2Vec(g, stack.config.node2vec, n2v_rng);
+
+  stack.nearest = std::make_unique<NearestMatcher>(g, *stack.index);
+  stack.hmm = std::make_unique<HmmMatcher>(g, *stack.index, config.hmm);
+  stack.fmm =
+      std::make_unique<FmmMatcher>(g, *stack.index, *stack.ubodt, config.hmm);
+  stack.lhmm =
+      std::make_unique<LhmmMatcher>(g, *stack.index, *stack.ubodt, config.hmm);
+  stack.mma = std::make_unique<MmaMatcher>(g, *stack.index, config.mma);
+  stack.mma->LoadPretrainedSegmentEmbeddings(stack.node2vec_table);
+  stack.deepmm = std::make_unique<DeepMmLiteMatcher>(g, config.deepmm);
+
+  stack.trmma = std::make_unique<TrmmaRecovery>(
+      g, stack.mma.get(), stack.planner.get(), stack.engine.get(),
+      config.trmma, "TRMMA");
+  stack.linear = std::make_unique<LinearRecovery>(
+      g, stack.fmm.get(), stack.planner.get(), stack.engine.get(), "Linear");
+  stack.mma_linear = std::make_unique<LinearRecovery>(
+      g, stack.mma.get(), stack.planner.get(), stack.engine.get(),
+      "MMA+linear");
+  stack.nearest_linear = std::make_unique<LinearRecovery>(
+      g, stack.nearest.get(), stack.planner.get(), stack.engine.get(),
+      "Nearest+linear");
+
+  Seq2SeqConfig mtr = config.seq2seq;
+  mtr.transformer_encoder = false;
+  stack.mtrajrec = std::make_unique<Seq2SeqRecovery>(g, *stack.index, mtr,
+                                                     "MTrajRec");
+  Seq2SeqConfig trf = config.seq2seq;
+  trf.transformer_encoder = true;
+  trf.seed = config.seq2seq.seed + 1;
+  stack.trajformer = std::make_unique<Seq2SeqRecovery>(g, *stack.index, trf,
+                                                       "TrajCL+Dec");
+  return stack;
+}
+
+TrainStats TrainMma(ExperimentStack& stack, int epochs,
+                    double train_fraction) {
+  Rng rng(stack.config.seed + 1);
+  if (train_fraction >= 1.0) {
+    return TimedEpochs(epochs, [&] {
+      return stack.mma->TrainEpoch(*stack.dataset, rng);
+    });
+  }
+  Dataset sub =
+      SubsampleTraining(*stack.dataset, train_fraction, stack.config.seed);
+  return TimedEpochs(epochs, [&] { return stack.mma->TrainEpoch(sub, rng); });
+}
+
+TrainStats TrainLhmm(ExperimentStack& stack, int epochs) {
+  Rng rng(stack.config.seed + 2);
+  TrainStats out;
+  Stopwatch watch;
+  out.final_loss = stack.lhmm->Train(*stack.dataset, epochs, rng);
+  out.seconds_per_epoch = watch.ElapsedSeconds() / std::max(epochs, 1);
+  return out;
+}
+
+TrainStats TrainDeepMm(ExperimentStack& stack, int epochs) {
+  Rng rng(stack.config.seed + 3);
+  return TimedEpochs(epochs, [&] {
+    return stack.deepmm->TrainEpoch(*stack.dataset, rng);
+  });
+}
+
+TrainStats TrainTrmma(ExperimentStack& stack, int epochs,
+                      double train_fraction) {
+  Rng rng(stack.config.seed + 4);
+  if (train_fraction >= 1.0) {
+    return TimedEpochs(epochs, [&] {
+      return stack.trmma->TrainEpoch(*stack.dataset, rng);
+    });
+  }
+  Dataset sub =
+      SubsampleTraining(*stack.dataset, train_fraction, stack.config.seed);
+  return TimedEpochs(epochs,
+                     [&] { return stack.trmma->TrainEpoch(sub, rng); });
+}
+
+TrainStats TrainSeq2Seq(ExperimentStack& stack, Seq2SeqRecovery& model,
+                        int epochs, double train_fraction) {
+  Rng rng(stack.config.seed + 5);
+  if (train_fraction >= 1.0) {
+    return TimedEpochs(epochs,
+                       [&] { return model.TrainEpoch(*stack.dataset, rng); });
+  }
+  Dataset sub =
+      SubsampleTraining(*stack.dataset, train_fraction, stack.config.seed);
+  return TimedEpochs(epochs, [&] { return model.TrainEpoch(sub, rng); });
+}
+
+MapMatchEval EvaluateMapMatching(ExperimentStack& stack, MapMatcher& matcher,
+                                 int max_trajectories) {
+  const Dataset& dataset = *stack.dataset;
+  MapMatchEval out;
+  int count = 0;
+  double elapsed = 0.0;
+  for (int idx : dataset.test_idx) {
+    if (max_trajectories > 0 && count >= max_trajectories) break;
+    const TrajectorySample& sample = dataset.samples[idx];
+    if (sample.sparse.size() < 2) continue;
+
+    Stopwatch watch;
+    const std::vector<SegmentId> segs = matcher.MatchPoints(sample.sparse);
+    const Route route = StitchRoute(*dataset.network, *stack.planner,
+                                    *stack.engine, segs);
+    elapsed += watch.ElapsedSeconds();
+
+    out.metrics += SegmentSetMetrics(route, sample.route);
+    ++count;
+  }
+  if (count > 0) {
+    out.metrics = out.metrics / count;
+    out.seconds_per_1000 = elapsed / count * 1000.0;
+  }
+  return out;
+}
+
+RecoveryEval EvaluateRecovery(ExperimentStack& stack, RecoveryMethod& method,
+                              int max_trajectories) {
+  const Dataset& dataset = *stack.dataset;
+  RecoveryEval out;
+  int count = 0;
+  double elapsed = 0.0;
+  double accuracy = 0.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+  for (int idx : dataset.test_idx) {
+    if (max_trajectories > 0 && count >= max_trajectories) break;
+    const TrajectorySample& sample = dataset.samples[idx];
+    if (sample.sparse.size() < 2) continue;
+
+    Stopwatch watch;
+    const MatchedTrajectory pred =
+        method.Recover(sample.sparse, dataset.epsilon_s);
+    elapsed += watch.ElapsedSeconds();
+
+    std::vector<SegmentId> pred_segs(pred.size());
+    for (size_t i = 0; i < pred.size(); ++i) pred_segs[i] = pred[i].segment;
+    std::vector<SegmentId> truth_segs(sample.truth.size());
+    for (size_t i = 0; i < sample.truth.size(); ++i) {
+      truth_segs[i] = sample.truth[i].segment;
+    }
+    out.metrics += SegmentSetMetrics(pred_segs, truth_segs);
+    accuracy += PointwiseAccuracy(pred, sample.truth);
+    const DistanceErrors err = RecoveryDistanceErrors(
+        *dataset.network, *stack.engine, pred, sample.truth);
+    mae += err.mae;
+    rmse += err.rmse;
+    ++count;
+  }
+  if (count > 0) {
+    out.metrics = out.metrics / count;
+    out.accuracy = accuracy / count;
+    out.mae_m = mae / count;
+    out.rmse_m = rmse / count;
+    out.seconds_per_1000 = elapsed / count * 1000.0;
+  }
+  return out;
+}
+
+void ResparsifyDataset(Dataset& dataset, double gamma, uint64_t seed) {
+  Rng rng(seed);
+  dataset.gamma = gamma;
+  for (TrajectorySample& sample : dataset.samples) {
+    SparsifySample(sample, gamma, rng);
+  }
+}
+
+void PrintRow(const std::string& name, const std::vector<double>& values,
+              int name_width, int col_width, int precision) {
+  std::printf("%-*s", name_width, name.c_str());
+  for (double v : values) {
+    std::printf("%*.*f", col_width, precision, v);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void PrintHeader(const std::string& name,
+                 const std::vector<std::string>& columns, int name_width,
+                 int col_width) {
+  std::printf("%-*s", name_width, name.c_str());
+  for (const std::string& c : columns) {
+    std::printf("%*s", col_width, c.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace trmma

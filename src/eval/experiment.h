@@ -1,0 +1,126 @@
+#ifndef TRMMA_EVAL_EXPERIMENT_H_
+#define TRMMA_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "gen/presets.h"
+#include "graph/spatial_index.h"
+#include "graph/transition_stats.h"
+#include "graph/ubodt.h"
+#include "mm/deep_mm_lite.h"
+#include "mm/hmm.h"
+#include "mm/lhmm.h"
+#include "mm/mma.h"
+#include "mm/nearest.h"
+#include "node2vec/node2vec.h"
+#include "recovery/linear.h"
+#include "recovery/seq2seq.h"
+#include "recovery/trmma.h"
+#include "traj/dataset.h"
+
+namespace trmma {
+
+/// Configuration of a full experiment stack (substrates + all methods).
+struct StackConfig {
+  Node2VecConfig node2vec;
+  HmmConfig hmm;
+  MmaConfig mma;
+  TrmmaConfig trmma;
+  DeepMmConfig deepmm;
+  Seq2SeqConfig seq2seq;
+  double ubodt_delta_m = 4000.0;
+  uint64_t seed = 77;
+};
+
+/// Everything built on top of one dataset: spatial index, routing
+/// substrates, and the matchers/recovery methods under comparison. The
+/// models are constructed untrained; call the Train* helpers.
+struct ExperimentStack {
+  const Dataset* dataset = nullptr;
+  StackConfig config;
+
+  std::unique_ptr<SegmentRTree> index;
+  std::unique_ptr<ShortestPathEngine> engine;
+  std::unique_ptr<Ubodt> ubodt;
+  std::unique_ptr<TransitionStats> stats;
+  std::unique_ptr<DaRoutePlanner> planner;
+  nn::Matrix node2vec_table;
+
+  std::unique_ptr<NearestMatcher> nearest;
+  std::unique_ptr<HmmMatcher> hmm;
+  std::unique_ptr<FmmMatcher> fmm;
+  std::unique_ptr<LhmmMatcher> lhmm;
+  std::unique_ptr<MmaMatcher> mma;
+  std::unique_ptr<DeepMmLiteMatcher> deepmm;
+
+  std::unique_ptr<TrmmaRecovery> trmma;
+  std::unique_ptr<LinearRecovery> linear;           ///< FMM + linear interp
+  std::unique_ptr<LinearRecovery> mma_linear;       ///< ablation MMA+linear
+  std::unique_ptr<LinearRecovery> nearest_linear;   ///< Nearest+linear
+  std::unique_ptr<Seq2SeqRecovery> mtrajrec;        ///< GRU enc (MTrajRec-lite)
+  std::unique_ptr<Seq2SeqRecovery> trajformer;      ///< transformer enc + Dec
+};
+
+/// Builds substrates and constructs all methods for a dataset. Transition
+/// statistics are harvested from the training split's ground-truth routes
+/// (the historical data of the DA planner [2]). The Node2Vec table is
+/// trained here (it is a pre-processing step in the paper) and loaded into
+/// MMA.
+ExperimentStack BuildStack(const Dataset& dataset, const StackConfig& config);
+
+/// Result of timed training.
+struct TrainStats {
+  double seconds_per_epoch = 0.0;
+  double final_loss = 0.0;
+};
+
+/// Timed multi-epoch training of each learnable method. `train_fraction`
+/// in (0,1] subsamples the training split (paper Fig. 8).
+TrainStats TrainMma(ExperimentStack& stack, int epochs,
+                    double train_fraction = 1.0);
+TrainStats TrainLhmm(ExperimentStack& stack, int epochs);
+TrainStats TrainDeepMm(ExperimentStack& stack, int epochs);
+TrainStats TrainTrmma(ExperimentStack& stack, int epochs,
+                      double train_fraction = 1.0);
+TrainStats TrainSeq2Seq(ExperimentStack& stack, Seq2SeqRecovery& model,
+                        int epochs, double train_fraction = 1.0);
+
+/// Map-matching evaluation on the test split: per-trajectory set metrics
+/// of the stitched route vs the ground-truth route, plus inference time
+/// normalized to 1000 trajectories (paper Table V / Fig. 9).
+struct MapMatchEval {
+  SetMetrics metrics;
+  double seconds_per_1000 = 0.0;
+};
+
+MapMatchEval EvaluateMapMatching(ExperimentStack& stack, MapMatcher& matcher,
+                                 int max_trajectories = -1);
+
+/// Recovery evaluation on the test split (paper Table III / Fig. 5).
+struct RecoveryEval {
+  SetMetrics metrics;
+  double accuracy = 0.0;
+  double mae_m = 0.0;
+  double rmse_m = 0.0;
+  double seconds_per_1000 = 0.0;
+};
+
+RecoveryEval EvaluateRecovery(ExperimentStack& stack, RecoveryMethod& method,
+                              int max_trajectories = -1);
+
+/// Re-sparsifies every sample of a dataset with a new γ (paper Figs. 7/11).
+void ResparsifyDataset(Dataset& dataset, double gamma, uint64_t seed);
+
+/// Fixed-width table-row printing helpers shared by the bench binaries.
+void PrintRow(const std::string& name, const std::vector<double>& values,
+              int name_width = 16, int col_width = 10, int precision = 2);
+void PrintHeader(const std::string& name,
+                 const std::vector<std::string>& columns, int name_width = 16,
+                 int col_width = 10);
+
+}  // namespace trmma
+
+#endif  // TRMMA_EVAL_EXPERIMENT_H_

@@ -1,0 +1,168 @@
+#include "gen/network_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace {
+
+/// Kosaraju's algorithm: returns the component id of every node and the id
+/// of the largest strongly connected component.
+std::pair<std::vector<int>, int> LargestScc(
+    int n, const std::vector<std::vector<int>>& out,
+    const std::vector<std::vector<int>>& in) {
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<char> seen(n, 0);
+  // Iterative DFS for finish order.
+  for (int start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    std::vector<std::pair<int, size_t>> stack = {{start, 0}};
+    seen[start] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < out[u].size()) {
+        const int v = out[u][next++];
+        if (!seen[v]) {
+          seen[v] = 1;
+          stack.push_back({v, 0});
+        }
+      } else {
+        order.push_back(u);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<int> comp(n, -1);
+  int num_comps = 0;
+  std::vector<int> comp_size;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (comp[*it] != -1) continue;
+    const int c = num_comps++;
+    comp_size.push_back(0);
+    std::vector<int> stack = {*it};
+    comp[*it] = c;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      ++comp_size[c];
+      for (int v : in[u]) {
+        if (comp[v] == -1) {
+          comp[v] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  int best = 0;
+  for (int c = 1; c < num_comps; ++c) {
+    if (comp_size[c] > comp_size[best]) best = c;
+  }
+  return {comp, best};
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RoadNetwork>> GenerateNetwork(
+    const NetworkGenConfig& config, Rng& rng) {
+  const int w = config.grid_width;
+  const int h = config.grid_height;
+  if (w < 3 || h < 3) {
+    return Status::InvalidArgument("grid must be at least 3x3");
+  }
+
+  // 1. Place intersections with jitter; delete a fraction.
+  const LocalProjection proj(config.origin);
+  std::vector<int> grid_id(w * h, -1);
+  std::vector<Vec2> positions;
+  auto grid = [w](int gx, int gy) { return gy * w + gx; };
+  for (int gy = 0; gy < h; ++gy) {
+    for (int gx = 0; gx < w; ++gx) {
+      // Keep the border intact so the city stays one connected frame.
+      const bool border = gx == 0 || gy == 0 || gx == w - 1 || gy == h - 1;
+      if (!border && rng.Bernoulli(config.delete_node_prob)) continue;
+      const double jx = rng.Uniform(-1.0, 1.0) * config.jitter_frac;
+      const double jy = rng.Uniform(-1.0, 1.0) * config.jitter_frac;
+      grid_id[grid(gx, gy)] = static_cast<int>(positions.size());
+      positions.push_back(Vec2{(gx + jx) * config.spacing_m,
+                               (gy + jy) * config.spacing_m});
+    }
+  }
+
+  // 2. Build candidate directed adjacency over surviving intersections.
+  struct DirEdge {
+    int from;
+    int to;
+    double speed;
+  };
+  std::vector<DirEdge> edges;
+  auto is_arterial = [&](int gx0, int gy0, int gx1, int gy1) {
+    if (gy0 == gy1) return config.arterial_every > 0 &&
+                           gy0 % config.arterial_every == 0;
+    if (gx0 == gx1) return config.arterial_every > 0 &&
+                           gx0 % config.arterial_every == 0;
+    return false;
+  };
+  auto add_street = [&](int gx0, int gy0, int gx1, int gy1) {
+    const int a = grid_id[grid(gx0, gy0)];
+    const int b = grid_id[grid(gx1, gy1)];
+    if (a < 0 || b < 0) return;
+    const double base = is_arterial(gx0, gy0, gx1, gy1)
+                            ? config.arterial_speed_mps
+                            : config.street_speed_mps;
+    const double speed = base * rng.Uniform(0.50, 1.15);
+    if (rng.Bernoulli(config.oneway_prob)) {
+      if (rng.Bernoulli(0.5)) {
+        edges.push_back({a, b, speed});
+      } else {
+        edges.push_back({b, a, speed});
+      }
+    } else {
+      edges.push_back({a, b, speed});
+      edges.push_back({b, a, speed});
+    }
+  };
+  for (int gy = 0; gy < h; ++gy) {
+    for (int gx = 0; gx < w; ++gx) {
+      if (gx + 1 < w) add_street(gx, gy, gx + 1, gy);
+      if (gy + 1 < h) add_street(gx, gy, gx, gy + 1);
+      if (gx + 1 < w && gy + 1 < h && rng.Bernoulli(config.diagonal_prob)) {
+        add_street(gx, gy, gx + 1, gy + 1);
+      }
+    }
+  }
+
+  // 3. Keep the largest strongly connected component so every
+  //    origin/destination pair used by the simulator is routable.
+  const int n = static_cast<int>(positions.size());
+  std::vector<std::vector<int>> out(n);
+  std::vector<std::vector<int>> in(n);
+  for (const auto& e : edges) {
+    out[e.from].push_back(e.to);
+    in[e.to].push_back(e.from);
+  }
+  auto [comp, best] = LargestScc(n, out, in);
+
+  auto network = std::make_unique<RoadNetwork>();
+  std::vector<NodeId> remap(n, kInvalidNode);
+  for (int i = 0; i < n; ++i) {
+    if (comp[i] != best) continue;
+    remap[i] = network->AddNode(proj.ToLatLng(positions[i]));
+  }
+  int added = 0;
+  for (const auto& e : edges) {
+    if (comp[e.from] != best || comp[e.to] != best) continue;
+    auto seg = network->AddSegment(remap[e.from], remap[e.to], e.speed);
+    if (!seg.ok()) return seg.status();
+    ++added;
+  }
+  if (network->num_nodes() < 16 || added < 32) {
+    return Status::Internal("generated network is degenerate");
+  }
+  TRMMA_RETURN_IF_ERROR(network->Finalize());
+  return network;
+}
+
+}  // namespace trmma

@@ -1,0 +1,37 @@
+#ifndef TRMMA_GEN_NETWORK_GEN_H_
+#define TRMMA_GEN_NETWORK_GEN_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/road_network.h"
+
+namespace trmma {
+
+/// Parameters of the synthetic city generator: a jittered grid with
+/// arterial roads, occasional diagonals, one-way streets and random block
+/// deletions, reduced to its largest strongly connected component so route
+/// planning always succeeds.
+struct NetworkGenConfig {
+  int grid_width = 20;          ///< intersections per row
+  int grid_height = 16;         ///< intersections per column
+  double spacing_m = 220.0;     ///< nominal block size
+  double jitter_frac = 0.25;    ///< positional jitter as a fraction of spacing
+  double delete_node_prob = 0.08;  ///< fraction of intersections removed
+  double diagonal_prob = 0.05;  ///< chance of adding a diagonal shortcut
+  double oneway_prob = 0.12;    ///< chance a street is one-way
+  int arterial_every = 5;       ///< every k-th row/column is a fast arterial
+  double arterial_speed_mps = 16.7;
+  double street_speed_mps = 9.7;
+  LatLng origin{31.20, 121.45};  ///< south-west corner coordinate
+};
+
+/// Generates a synthetic road network. Deterministic given `rng`'s state.
+/// Returns an error if the configuration yields a degenerate graph.
+StatusOr<std::unique_ptr<RoadNetwork>> GenerateNetwork(
+    const NetworkGenConfig& config, Rng& rng);
+
+}  // namespace trmma
+
+#endif  // TRMMA_GEN_NETWORK_GEN_H_

@@ -1,0 +1,97 @@
+#include "gen/presets.h"
+
+#include "common/logging.h"
+#include "traj/sparsify.h"
+
+namespace trmma {
+
+const std::vector<std::string>& CityNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"PT", "XA", "BJ", "CD"};
+  return *names;
+}
+
+StatusOr<CityPreset> GetCityPreset(const std::string& name) {
+  CityPreset p;
+  p.name = name;
+  if (name == "PT") {
+    // Porto: medium network, ε=15s, coastal irregular grid.
+    p.net.grid_width = 22;
+    p.net.grid_height = 13;
+    p.net.spacing_m = 240.0;
+    p.net.jitter_frac = 0.30;
+    p.net.origin = {41.15, -8.62};
+    p.traj.epsilon_s = 15.0;
+    p.seed = 101;
+  } else if (name == "XA") {
+    // Xi'an: smallest, very regular dense grid, ε=12s.
+    p.net.grid_width = 15;
+    p.net.grid_height = 13;
+    p.net.spacing_m = 300.0;
+    p.net.jitter_frac = 0.12;
+    p.net.delete_node_prob = 0.04;
+    p.net.origin = {34.24, 108.95};
+    p.traj.epsilon_s = 12.0;
+    p.seed = 202;
+  } else if (name == "BJ") {
+    // Beijing: largest network, coarse ε=60s, longer trips.
+    p.net.grid_width = 34;
+    p.net.grid_height = 25;
+    p.net.spacing_m = 260.0;
+    p.net.jitter_frac = 0.25;
+    p.net.origin = {39.90, 116.40};
+    p.traj.epsilon_s = 60.0;
+    p.traj.min_route_length_m = 4000.0;
+    p.traj.max_route_length_m = 14000.0;
+    p.traj.min_points = 10;
+    p.seed = 303;
+  } else if (name == "CD") {
+    // Chengdu: dense mid-size grid, ε=12s.
+    p.net.grid_width = 20;
+    p.net.grid_height = 17;
+    p.net.spacing_m = 250.0;
+    p.net.jitter_frac = 0.22;
+    p.net.origin = {30.66, 104.06};
+    p.traj.epsilon_s = 12.0;
+    p.seed = 404;
+  } else {
+    return Status::InvalidArgument("unknown city preset: " + name);
+  }
+  return p;
+}
+
+StatusOr<Dataset> BuildCityDataset(const CityPreset& preset,
+                                   int num_trajectories) {
+  const int count =
+      num_trajectories > 0 ? num_trajectories : preset.num_trajectories;
+  Rng rng(preset.seed);
+
+  Dataset dataset;
+  dataset.name = preset.name;
+  dataset.epsilon_s = preset.traj.epsilon_s;
+  dataset.gamma = preset.gamma;
+
+  auto network_or = GenerateNetwork(preset.net, rng);
+  if (!network_or.ok()) return network_or.status();
+  dataset.network = std::move(network_or).value();
+
+  TrajectoryGenerator generator(*dataset.network, preset.traj);
+  dataset.samples.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    auto sample_or = generator.Generate(rng);
+    if (!sample_or.ok()) return sample_or.status();
+    dataset.samples.push_back(std::move(sample_or).value());
+    SparsifySample(dataset.samples.back(), preset.gamma, rng);
+  }
+  dataset.Split(0.4, 0.3, rng);
+  return dataset;
+}
+
+StatusOr<Dataset> BuildCityDatasetByName(const std::string& name,
+                                         int num_trajectories) {
+  auto preset_or = GetCityPreset(name);
+  if (!preset_or.ok()) return preset_or.status();
+  return BuildCityDataset(preset_or.value(), num_trajectories);
+}
+
+}  // namespace trmma

@@ -1,0 +1,45 @@
+#ifndef TRMMA_GEN_PRESETS_H_
+#define TRMMA_GEN_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gen/network_gen.h"
+#include "gen/traj_gen.h"
+#include "traj/dataset.h"
+
+namespace trmma {
+
+/// A synthetic stand-in for one of the paper's four cities. The presets
+/// keep the *relative* characteristics of Table II: BJ has by far the
+/// largest network and the coarsest ε (60s); XA the smallest network; CD
+/// dense with ε=12s; PT medium with ε=15s.
+struct CityPreset {
+  std::string name;
+  NetworkGenConfig net;
+  TrajGenConfig traj;
+  int num_trajectories = 800;
+  double gamma = 0.1;  ///< default sparsity (sparse interval = ε/γ)
+  uint64_t seed = 7;
+};
+
+/// Names of the four presets, in paper order: PT, XA, BJ, CD.
+const std::vector<std::string>& CityNames();
+
+/// Returns the preset for "PT", "XA", "BJ" or "CD" (errors otherwise).
+StatusOr<CityPreset> GetCityPreset(const std::string& name);
+
+/// Generates the network and trajectories of a preset, sparsifies with the
+/// preset γ, and splits 40/30/30. `num_trajectories` <= 0 keeps the preset
+/// default; pass a small number for quick tests.
+StatusOr<Dataset> BuildCityDataset(const CityPreset& preset,
+                                   int num_trajectories = -1);
+
+/// Convenience: GetCityPreset + BuildCityDataset.
+StatusOr<Dataset> BuildCityDatasetByName(const std::string& name,
+                                         int num_trajectories = -1);
+
+}  // namespace trmma
+
+#endif  // TRMMA_GEN_PRESETS_H_

@@ -1,0 +1,149 @@
+#include "gen/traj_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace {
+
+double Hash01(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Fixed multipath bias of a segment: deterministic direction/magnitude.
+Vec2 CanyonBias(SegmentId segment, double max_magnitude) {
+  const double angle = 2.0 * M_PI * Hash01(static_cast<uint64_t>(segment));
+  const double mag =
+      max_magnitude * (0.3 + 0.7 * Hash01(static_cast<uint64_t>(segment) + 997));
+  return Vec2{mag * std::cos(angle), mag * std::sin(angle)};
+}
+
+}  // namespace
+
+TrajectoryGenerator::TrajectoryGenerator(const RoadNetwork& network,
+                                         const TrajGenConfig& config)
+    : network_(network), config_(config), engine_(network) {
+  TRMMA_CHECK(network.finalized());
+  TRMMA_CHECK_GT(config.epsilon_s, 0.0);
+}
+
+StatusOr<TrajectorySample> TrajectoryGenerator::Generate(Rng& rng) {
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const NodeId src = static_cast<NodeId>(rng.UniformInt(network_.num_nodes()));
+    const NodeId dst = static_cast<NodeId>(rng.UniformInt(network_.num_nodes()));
+    if (src == dst) continue;
+    PathResult path =
+        engine_.NodeToNode(src, dst, config_.max_route_length_m * 1.2);
+    if (!path.found || path.distance_m < config_.min_route_length_m ||
+        path.distance_m > config_.max_route_length_m) {
+      continue;
+    }
+
+    // Possibly take a waypoint detour instead of the exact shortest path.
+    std::vector<SegmentId> driven = path.segments;
+    if (rng.Bernoulli(config_.detour_prob)) {
+      for (int tries = 0; tries < 4; ++tries) {
+        const NodeId w =
+            static_cast<NodeId>(rng.UniformInt(network_.num_nodes()));
+        if (w == src || w == dst) continue;
+        PathResult leg1 =
+            engine_.NodeToNode(src, w, config_.max_route_length_m);
+        if (!leg1.found) continue;
+        PathResult leg2 =
+            engine_.NodeToNode(w, dst, config_.max_route_length_m);
+        if (!leg2.found) continue;
+        const double total = leg1.distance_m + leg2.distance_m;
+        if (total > config_.max_route_length_m ||
+            total > path.distance_m * config_.max_detour_factor) {
+          continue;
+        }
+        driven = leg1.segments;
+        driven.insert(driven.end(), leg2.segments.begin(),
+                      leg2.segments.end());
+        break;
+      }
+    }
+
+    TrajectorySample sample;
+    sample.route = DeduplicateConsecutive(driven);
+
+    // Per-segment effective speeds: free-flow speed damped by a random
+    // traffic factor, fixed for the whole trip.
+    std::vector<double> speed(sample.route.size());
+    for (size_t i = 0; i < speed.size(); ++i) {
+      speed[i] = network_.segment(sample.route[i]).speed_mps *
+                 rng.Uniform(config_.speed_factor_lo, config_.speed_factor_hi);
+    }
+
+    // Drive the route, emitting an exact matched point every ε seconds.
+    // Points lie on a strict ε-grid (Def. 6); the trip is cut at the last
+    // grid point reached, so every inter-point interval is exactly ε.
+    double t = std::floor(rng.Uniform(0.0, 86400.0 - 7200.0));
+    size_t seg_idx = 0;
+    double seg_pos_m = 0.0;
+    while (sample.truth.size() < static_cast<size_t>(config_.max_points)) {
+      const SegmentId sid = sample.route[seg_idx];
+      const double len = network_.segment(sid).length_m;
+      sample.truth.push_back(
+          MatchedPoint{sid, std::clamp(seg_pos_m / len, 0.0, 0.999999), t});
+
+      // Advance ε seconds of driving, possibly across several segments.
+      double remaining_s = config_.epsilon_s;
+      bool trip_over = false;
+      while (remaining_s > 0.0) {
+        const double cur_len = network_.segment(sample.route[seg_idx]).length_m;
+        const double dist_left = cur_len - seg_pos_m;
+        const double time_to_end = dist_left / speed[seg_idx];
+        if (time_to_end > remaining_s) {
+          seg_pos_m += remaining_s * speed[seg_idx];
+          remaining_s = 0.0;
+        } else if (seg_idx + 1 == sample.route.size()) {
+          trip_over = true;  // destination reached mid-step: stop here
+          break;
+        } else {
+          remaining_s -= time_to_end;
+          ++seg_idx;
+          seg_pos_m = 0.0;
+        }
+      }
+      if (trip_over) break;
+      t += config_.epsilon_s;
+    }
+
+    if (sample.truth.size() < static_cast<size_t>(config_.min_points)) {
+      continue;
+    }
+    // Trim the route to the part actually driven (search from the end:
+    // detour routes may visit a segment twice).
+    const SegmentId last_seg = sample.truth.back().segment;
+    for (size_t i = sample.route.size(); i-- > 0;) {
+      if (sample.route[i] == last_seg) {
+        sample.route.resize(i + 1);
+        break;
+      }
+    }
+
+    // Observe each ground-truth point with the segment's fixed multipath
+    // bias plus isotropic Gaussian noise.
+    sample.raw.points.reserve(sample.truth.size());
+    for (const MatchedPoint& a : sample.truth) {
+      Vec2 xy = network_.PointOnSegment(a.segment, a.ratio);
+      const Vec2 bias = CanyonBias(a.segment, config_.canyon_bias_m);
+      xy.x += bias.x + rng.Gaussian(0.0, config_.gps_noise_sigma_m);
+      xy.y += bias.y + rng.Gaussian(0.0, config_.gps_noise_sigma_m);
+      sample.raw.points.push_back(
+          GpsPoint{network_.projection().ToLatLng(xy), a.t});
+    }
+    return sample;
+  }
+  return Status::Internal(
+      "could not generate a routable trajectory after retries");
+}
+
+}  // namespace trmma

@@ -1,0 +1,60 @@
+#ifndef TRMMA_GEN_TRAJ_GEN_H_
+#define TRMMA_GEN_TRAJ_GEN_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/shortest_path.h"
+#include "traj/types.h"
+
+namespace trmma {
+
+/// Parameters of the kinematic trajectory simulator.
+struct TrajGenConfig {
+  double epsilon_s = 15.0;       ///< ground-truth sampling rate ε
+  double gps_noise_sigma_m = 8.0;  ///< isotropic Gaussian GPS error
+  /// Maximum magnitude of the fixed per-segment "urban canyon" bias added
+  /// to observations: multipath reflection shifts GPS systematically on
+  /// specific streets. Deterministic per segment, so learned matchers can
+  /// exploit it from history while memoryless Gaussian-emission HMMs
+  /// cannot — the effect behind the paper's learned-vs-HMM gap.
+  double canyon_bias_m = 11.0;
+  double min_route_length_m = 1500.0;
+  double max_route_length_m = 8000.0;
+  int min_points = 12;           ///< minimum dense points per trajectory
+  int max_points = 120;          ///< trajectory is truncated beyond this
+  double speed_factor_lo = 0.90;   ///< per-trip speed noise range
+  double speed_factor_hi = 1.08;
+  /// Probability that a trip takes a waypoint detour instead of the exact
+  /// shortest path (real drivers prefer arterials, avoid turns, or simply
+  /// know better); detours are what make HMM shortest-path transition
+  /// models unreliable on sparse data, per the paper's motivation.
+  double detour_prob = 0.6;
+  double max_detour_factor = 1.5;  ///< detour length cap vs shortest path
+};
+
+/// Simulates vehicle trips on a road network: samples an
+/// origin/destination pair, routes it, drives the route with per-segment
+/// speeds and emits (a) exact ground-truth map-matched points every ε
+/// seconds and (b) Gaussian-noise GPS observations of them. The sparse
+/// input is NOT filled here; use SparsifySample.
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(const RoadNetwork& network, const TrajGenConfig& config);
+
+  TrajectoryGenerator(const TrajectoryGenerator&) = delete;
+  TrajectoryGenerator& operator=(const TrajectoryGenerator&) = delete;
+
+  /// Generates one trajectory sample (raw + truth + route). Retries
+  /// internally on unroutable O/D pairs; returns an error only after
+  /// repeated failures (degenerate network).
+  StatusOr<TrajectorySample> Generate(Rng& rng);
+
+ private:
+  const RoadNetwork& network_;
+  TrajGenConfig config_;
+  ShortestPathEngine engine_;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_GEN_TRAJ_GEN_H_

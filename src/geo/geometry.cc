@@ -1,0 +1,58 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trmma {
+
+BBox BBox::Union(const BBox& a, const BBox& b) {
+  return {std::min(a.min_x, b.min_x), std::min(a.min_y, b.min_y),
+          std::max(a.max_x, b.max_x), std::max(a.max_y, b.max_y)};
+}
+
+BBox BBox::OfSegment(const Vec2& a, const Vec2& b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+          std::max(a.y, b.y)};
+}
+
+BBox BBox::Expanded(double margin) const {
+  return {min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+}
+
+bool BBox::Contains(const Vec2& p) const {
+  return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+}
+
+double BBox::DistanceTo(const Vec2& p) const {
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+SegmentProjection ProjectOntoSegment(const Vec2& p, const Vec2& a,
+                                     const Vec2& b) {
+  SegmentProjection out;
+  const Vec2 ab = b - a;
+  const double len2 = ab.Dot(ab);
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = std::clamp((p - a).Dot(ab) / len2, 0.0, 1.0);
+  }
+  out.ratio = t;
+  out.point = a + ab * t;
+  out.distance = (p - out.point).Norm();
+  return out;
+}
+
+Vec2 InterpolateOnSegment(const Vec2& a, const Vec2& b, double r) {
+  return a + (b - a) * r;
+}
+
+double CosineSimilarity(const Vec2& u, const Vec2& v) {
+  const double nu = u.Norm();
+  const double nv = v.Norm();
+  if (nu < 1e-9 || nv < 1e-9) return 0.0;
+  return std::clamp(u.Dot(v) / (nu * nv), -1.0, 1.0);
+}
+
+}  // namespace trmma

@@ -1,0 +1,53 @@
+#ifndef TRMMA_GEO_GEOMETRY_H_
+#define TRMMA_GEO_GEOMETRY_H_
+
+#include "geo/latlng.h"
+
+namespace trmma {
+
+/// Axis-aligned bounding box in local-meter coordinates.
+struct BBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// Returns the smallest box covering both inputs.
+  static BBox Union(const BBox& a, const BBox& b);
+
+  /// Box covering a line segment.
+  static BBox OfSegment(const Vec2& a, const Vec2& b);
+
+  /// Enlarges the box by `margin` meters on every side.
+  BBox Expanded(double margin) const;
+
+  bool Contains(const Vec2& p) const;
+
+  /// Minimum distance from `p` to the box (0 when inside).
+  double DistanceTo(const Vec2& p) const;
+
+  double CenterX() const { return 0.5 * (min_x + max_x); }
+  double CenterY() const { return 0.5 * (min_y + max_y); }
+};
+
+/// Result of projecting a point onto a segment.
+struct SegmentProjection {
+  double distance = 0.0;  ///< perpendicular (clamped) distance in meters
+  double ratio = 0.0;     ///< position ratio in [0,1] along the segment
+  Vec2 point;             ///< the closest point on the segment
+};
+
+/// Projects `p` onto segment (a,b); the ratio is clamped to [0,1] so the
+/// closest point always lies on the segment (paper Def. 5).
+SegmentProjection ProjectOntoSegment(const Vec2& p, const Vec2& a,
+                                     const Vec2& b);
+
+/// Point on segment (a,b) at position ratio r in [0,1].
+Vec2 InterpolateOnSegment(const Vec2& a, const Vec2& b, double r);
+
+/// Cosine similarity between two vectors; 0 when either is ~zero length.
+double CosineSimilarity(const Vec2& u, const Vec2& v);
+
+}  // namespace trmma
+
+#endif  // TRMMA_GEO_GEOMETRY_H_

@@ -1,0 +1,42 @@
+#include "geo/latlng.h"
+
+#include <cmath>
+
+namespace trmma {
+namespace {
+
+constexpr double kEarthRadiusMeters = 6371008.8;
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+double Vec2::Norm() const { return std::sqrt(x * x + y * y); }
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2) *
+                       std::sin(dlng / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+LocalProjection::LocalProjection(const LatLng& origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lng_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(origin.lat * kDegToRad);
+}
+
+Vec2 LocalProjection::ToMeters(const LatLng& p) const {
+  return {(p.lng - origin_.lng) * meters_per_deg_lng_,
+          (p.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLng LocalProjection::ToLatLng(const Vec2& v) const {
+  return {origin_.lat + v.y / meters_per_deg_lat_,
+          origin_.lng + v.x / meters_per_deg_lng_};
+}
+
+}  // namespace trmma

@@ -1,0 +1,57 @@
+#ifndef TRMMA_GEO_LATLNG_H_
+#define TRMMA_GEO_LATLNG_H_
+
+namespace trmma {
+
+/// A WGS-84 coordinate in degrees.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  friend bool operator==(const LatLng& a, const LatLng& b) {
+    return a.lat == b.lat && a.lng == b.lng;
+  }
+};
+
+/// A point in a local planar frame, in meters (x east, y north).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double Norm() const;
+};
+
+/// Great-circle distance in meters between two coordinates.
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Equirectangular projection around a reference latitude. All geometry in
+/// this project operates on city-scale extents (<~50km) where this local
+/// planar approximation is accurate to well under GPS noise levels.
+class LocalProjection {
+ public:
+  LocalProjection() = default;
+
+  /// Creates a projection centered at `origin`.
+  explicit LocalProjection(const LatLng& origin);
+
+  /// Projects a coordinate to local meters.
+  Vec2 ToMeters(const LatLng& p) const;
+
+  /// Inverse projection from local meters to a coordinate.
+  LatLng ToLatLng(const Vec2& v) const;
+
+  const LatLng& origin() const { return origin_; }
+
+ private:
+  LatLng origin_;
+  double meters_per_deg_lat_ = 0.0;
+  double meters_per_deg_lng_ = 0.0;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_GEO_LATLNG_H_

@@ -1,0 +1,57 @@
+#include "graph/route.h"
+
+#include "common/logging.h"
+
+namespace trmma {
+
+bool IsConnectedRoute(const RoadNetwork& network, const Route& route) {
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    if (network.segment(route[i]).to != network.segment(route[i + 1]).from) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double RouteLength(const RoadNetwork& network, const Route& route) {
+  double total = 0.0;
+  for (SegmentId sid : route) total += network.segment(sid).length_m;
+  return total;
+}
+
+void AppendRoute(Route& route, const Route& suffix) {
+  size_t start = 0;
+  if (!route.empty() && !suffix.empty() && suffix.front() == route.back()) {
+    start = 1;
+  }
+  for (size_t i = start; i < suffix.size(); ++i) {
+    route.push_back(suffix[i]);
+  }
+}
+
+Route DeduplicateConsecutive(const Route& route) {
+  Route out;
+  for (SegmentId sid : route) {
+    if (out.empty() || out.back() != sid) out.push_back(sid);
+  }
+  return out;
+}
+
+double DistanceAlongRoute(const RoadNetwork& network, const Route& route,
+                          int i1, double r1, int i2, double r2) {
+  TRMMA_CHECK_GE(i1, 0);
+  TRMMA_CHECK_LT(static_cast<size_t>(i2), route.size());
+  TRMMA_CHECK_LE(i1, i2);
+  if (i1 == i2) {
+    TRMMA_CHECK_LE(r1, r2 + 1e-12);
+    return (r2 - r1) * network.segment(route[i1]).length_m;
+  }
+  double total = (1.0 - r1) * network.segment(route[i1]).length_m;
+  for (int i = i1 + 1; i < i2; ++i) {
+    total += network.segment(route[i]).length_m;
+  }
+  total += r2 * network.segment(route[i2]).length_m;
+  return total;
+}
+
+}  // namespace trmma

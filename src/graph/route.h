@@ -1,0 +1,37 @@
+#ifndef TRMMA_GRAPH_ROUTE_H_
+#define TRMMA_GRAPH_ROUTE_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace trmma {
+
+/// A route R: a sequence of road segments forming a path on G (paper
+/// Def. 3). Consecutive segments are connected (seg[i].to == seg[i+1].from)
+/// and, per the paper, consecutive segments differ.
+using Route = std::vector<SegmentId>;
+
+/// True iff every consecutive pair of segments is connected in `network`.
+bool IsConnectedRoute(const RoadNetwork& network, const Route& route);
+
+/// Total length of all segments in the route, in meters.
+double RouteLength(const RoadNetwork& network, const Route& route);
+
+/// Appends `suffix` to `route`, dropping the first segment of `suffix`
+/// when it repeats the current tail (used when stitching per-gap routes in
+/// MMA Algorithm 1 lines 10-13).
+void AppendRoute(Route& route, const Route& suffix);
+
+/// Removes immediate duplicates (e.g. <e1,e1,e2> -> <e1,e2>).
+Route DeduplicateConsecutive(const Route& route);
+
+/// Distance along `route` from position (index i1, ratio r1) to (i2, r2).
+/// Requires i1 <= i2 (and r1 <= r2 when equal); asserts on a malformed
+/// request.
+double DistanceAlongRoute(const RoadNetwork& network, const Route& route,
+                          int i1, double r1, int i2, double r2);
+
+}  // namespace trmma
+
+#endif  // TRMMA_GRAPH_ROUTE_H_

@@ -1,0 +1,134 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace trmma {
+
+ShortestPathEngine::ShortestPathEngine(const RoadNetwork& network)
+    : network_(network) {
+  TRMMA_CHECK(network.finalized());
+  dist_.assign(network.num_nodes(), kInfinity);
+  via_.assign(network.num_nodes(), kInvalidSegment);
+}
+
+void ShortestPathEngine::Reset() {
+  for (int node : touched_) {
+    dist_[node] = kInfinity;
+    via_[node] = kInvalidSegment;
+  }
+  touched_.clear();
+}
+
+PathResult ShortestPathEngine::NodeToNode(NodeId src, NodeId dst,
+                                          double max_dist_m) {
+  TRMMA_CHECK_GE(src, 0);
+  TRMMA_CHECK_LT(src, network_.num_nodes());
+  TRMMA_CHECK_GE(dst, 0);
+  TRMMA_CHECK_LT(dst, network_.num_nodes());
+  Reset();
+
+  using QueueItem = std::pair<double, NodeId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  dist_[src] = 0.0;
+  via_[src] = kInvalidSegment;
+  touched_.push_back(src);
+  queue.push({0.0, src});
+
+  PathResult result;
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist_[u]) continue;  // stale entry
+    if (u == dst) break;
+    if (d > max_dist_m) break;
+    for (SegmentId sid : network_.OutSegments(u)) {
+      const RoadSegment& seg = network_.segment(sid);
+      const double nd = d + seg.length_m;
+      if (nd < dist_[seg.to] && nd <= max_dist_m) {
+        if (dist_[seg.to] == kInfinity) touched_.push_back(seg.to);
+        dist_[seg.to] = nd;
+        via_[seg.to] = sid;
+        queue.push({nd, seg.to});
+      }
+    }
+  }
+
+  if (dist_[dst] == kInfinity) return result;
+  result.found = true;
+  result.distance_m = dist_[dst];
+  for (NodeId at = dst; via_[at] != kInvalidSegment;
+       at = network_.segment(via_[at]).from) {
+    result.segments.push_back(via_[at]);
+  }
+  std::reverse(result.segments.begin(), result.segments.end());
+  return result;
+}
+
+PathResult ShortestPathEngine::SegmentToSegment(SegmentId from, SegmentId to,
+                                                double max_dist_m) {
+  PathResult result;
+  if (from == to) {
+    result.found = true;
+    result.segments = {from};
+    return result;
+  }
+  const RoadSegment& seg_from = network_.segment(from);
+  const RoadSegment& seg_to = network_.segment(to);
+  PathResult gap = NodeToNode(seg_from.to, seg_to.from, max_dist_m);
+  if (!gap.found) return result;
+  result.found = true;
+  result.distance_m = gap.distance_m;
+  result.segments.reserve(gap.segments.size() + 2);
+  result.segments.push_back(from);
+  for (SegmentId sid : gap.segments) result.segments.push_back(sid);
+  result.segments.push_back(to);
+  return result;
+}
+
+double ShortestPathEngine::PointToPointDistance(SegmentId e1, double r1,
+                                                SegmentId e2, double r2,
+                                                double max_dist_m) {
+  const RoadSegment& s1 = network_.segment(e1);
+  const RoadSegment& s2 = network_.segment(e2);
+  if (e1 == e2 && r2 >= r1) {
+    return (r2 - r1) * s1.length_m;
+  }
+  // Travel to the exit of e1, across the gap, then into e2.
+  const double head = (1.0 - r1) * s1.length_m;
+  const double tail = r2 * s2.length_m;
+  PathResult gap = NodeToNode(s1.to, s2.from, max_dist_m);
+  if (!gap.found) return kInfinity;
+  return head + gap.distance_m + tail;
+}
+
+void ShortestPathEngine::Bounded(
+    NodeId src, double max_dist_m,
+    const std::function<void(NodeId, double, SegmentId)>& visit) {
+  Reset();
+  using QueueItem = std::pair<double, NodeId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  dist_[src] = 0.0;
+  touched_.push_back(src);
+  queue.push({0.0, src});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist_[u]) continue;
+    visit(u, d, via_[u]);
+    for (SegmentId sid : network_.OutSegments(u)) {
+      const RoadSegment& seg = network_.segment(sid);
+      const double nd = d + seg.length_m;
+      if (nd < dist_[seg.to] && nd <= max_dist_m) {
+        if (dist_[seg.to] == kInfinity) touched_.push_back(seg.to);
+        dist_[seg.to] = nd;
+        via_[seg.to] = sid;
+        queue.push({nd, seg.to});
+      }
+    }
+  }
+}
+
+}  // namespace trmma

@@ -1,0 +1,68 @@
+#ifndef TRMMA_GRAPH_SHORTEST_PATH_H_
+#define TRMMA_GRAPH_SHORTEST_PATH_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace trmma {
+
+/// Result of a shortest-path query.
+struct PathResult {
+  bool found = false;
+  double distance_m = 0.0;
+  /// Segments along the path, in travel order. For SegmentToSegment this
+  /// includes the source and destination segments themselves.
+  std::vector<SegmentId> segments;
+};
+
+/// Dijkstra-based shortest paths over a road network, weighted by segment
+/// length. A reusable engine: internal arrays are allocated once and reset
+/// lazily between queries, so repeated calls (HMM transitions, metric
+/// computation) stay cheap.
+class ShortestPathEngine {
+ public:
+  explicit ShortestPathEngine(const RoadNetwork& network);
+
+  ShortestPathEngine(const ShortestPathEngine&) = delete;
+  ShortestPathEngine& operator=(const ShortestPathEngine&) = delete;
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Shortest node-to-node path. Stops early when `dst` is settled or all
+  /// reachable nodes within `max_dist_m` are exhausted.
+  PathResult NodeToNode(NodeId src, NodeId dst,
+                        double max_dist_m = kInfinity);
+
+  /// Shortest route from segment `from` to segment `to`, both included.
+  /// distance_m is the gap length between from's exit and to's entrance
+  /// (0 when from == to or they are adjacent).
+  PathResult SegmentToSegment(SegmentId from, SegmentId to,
+                              double max_dist_m = kInfinity);
+
+  /// Network distance between position `r1` on `e1` and position `r2` on
+  /// `e2`, traveling forward. Returns infinity when unreachable within
+  /// `max_dist_m`.
+  double PointToPointDistance(SegmentId e1, double r1, SegmentId e2, double r2,
+                              double max_dist_m = kInfinity);
+
+  /// Runs bounded Dijkstra from `src`, invoking `visit(node, dist,
+  /// via_segment)` for every settled node (including src with via
+  /// kInvalidSegment).
+  void Bounded(NodeId src, double max_dist_m,
+               const std::function<void(NodeId, double, SegmentId)>& visit);
+
+ private:
+  void Reset();
+
+  const RoadNetwork& network_;
+  std::vector<double> dist_;
+  std::vector<SegmentId> via_;      ///< incoming segment on the best path
+  std::vector<int> touched_;        ///< nodes to reset lazily
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_GRAPH_SHORTEST_PATH_H_

@@ -1,0 +1,190 @@
+#include "graph/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace {
+
+/// Sort-Tile-Recursive packing order: sorts `items` in place so that
+/// consecutive runs of `capacity` items form spatially coherent tiles.
+/// `center` extracts the (x,y) center used for tiling.
+template <typename T, typename CenterFn>
+void StrSort(std::vector<T>& items, int capacity, CenterFn center) {
+  const size_t n = items.size();
+  if (n == 0) return;
+  const size_t num_pages = (n + capacity - 1) / capacity;
+  const size_t num_slabs =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_pages))));
+  const size_t slab_size = num_slabs * capacity;
+
+  std::sort(items.begin(), items.end(), [&](const T& a, const T& b) {
+    return center(a).x < center(b).x;
+  });
+  for (size_t begin = 0; begin < n; begin += slab_size) {
+    const size_t end = std::min(begin + slab_size, n);
+    std::sort(items.begin() + begin, items.begin() + end,
+              [&](const T& a, const T& b) { return center(a).y < center(b).y; });
+  }
+}
+
+}  // namespace
+
+SegmentRTree::SegmentRTree(const RoadNetwork& network, int leaf_capacity)
+    : network_(network), leaf_capacity_(leaf_capacity) {
+  TRMMA_CHECK(network.finalized());
+  TRMMA_CHECK_GT(leaf_capacity, 1);
+  const int n = network.num_segments();
+  TRMMA_CHECK_GT(n, 0);
+
+  entries_.reserve(n);
+  for (SegmentId id = 0; id < n; ++id) {
+    entries_.push_back(Entry{
+        BBox::OfSegment(network.SegmentStartXy(id), network.SegmentEndXy(id)),
+        id});
+  }
+
+  // Pack the leaf level: physically reorder entries so each leaf covers a
+  // contiguous range.
+  StrSort(entries_, leaf_capacity_, [](const Entry& e) {
+    return Vec2{e.box.CenterX(), e.box.CenterY()};
+  });
+  std::vector<int> level;
+  for (int begin = 0; begin < n; begin += leaf_capacity_) {
+    const int count = std::min(leaf_capacity_, n - begin);
+    BBox box = entries_[begin].box;
+    for (int i = 1; i < count; ++i) {
+      box = BBox::Union(box, entries_[begin + i].box);
+    }
+    nodes_.push_back(TreeNode{box, begin, count, /*is_leaf=*/true});
+    level.push_back(static_cast<int>(nodes_.size()) - 1);
+  }
+  height_ = 1;
+
+  // Pack internal levels bottom-up until a single root remains. Children of
+  // an internal node are stored contiguously in nodes_, so each level is
+  // rebuilt in STR order and appended.
+  while (level.size() > 1) {
+    StrSort(level, leaf_capacity_, [this](int idx) {
+      return Vec2{nodes_[idx].box.CenterX(), nodes_[idx].box.CenterY()};
+    });
+    // Re-append the level's nodes in sorted order so parents can reference
+    // contiguous ranges.
+    const int base = static_cast<int>(nodes_.size());
+    for (int idx : level) nodes_.push_back(nodes_[idx]);
+
+    std::vector<int> parents;
+    const int level_size = static_cast<int>(level.size());
+    for (int begin = 0; begin < level_size; begin += leaf_capacity_) {
+      const int count = std::min(leaf_capacity_, level_size - begin);
+      BBox box = nodes_[base + begin].box;
+      for (int i = 1; i < count; ++i) {
+        box = BBox::Union(box, nodes_[base + begin + i].box);
+      }
+      nodes_.push_back(
+          TreeNode{box, base + begin, count, /*is_leaf=*/false});
+      parents.push_back(static_cast<int>(nodes_.size()) - 1);
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+SegmentHit SegmentRTree::Evaluate(SegmentId id, const Vec2& query) const {
+  const SegmentProjection proj = network_.ProjectOnto(id, query);
+  return SegmentHit{id, proj.distance, proj.ratio};
+}
+
+std::vector<SegmentHit> SegmentRTree::KNearest(const Vec2& query,
+                                               int k) const {
+  if (k <= 0) return {};
+
+  // Best-first search: frontier ordered by lower-bound (bbox) distance; a
+  // node is expanded only while its bound can beat the current k-th best.
+  struct Frontier {
+    double bound;
+    int node;
+    bool operator<(const Frontier& o) const { return bound > o.bound; }
+  };
+  auto worse = [](const SegmentHit& a, const SegmentHit& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.segment < b.segment;
+  };
+
+  std::priority_queue<Frontier> frontier;
+  frontier.push({nodes_[root_].box.DistanceTo(query), root_});
+  // Max-heap of the current k best hits (worst on top).
+  std::priority_queue<SegmentHit, std::vector<SegmentHit>, decltype(worse)>
+      best(worse);
+
+  while (!frontier.empty()) {
+    const Frontier top = frontier.top();
+    frontier.pop();
+    if (static_cast<int>(best.size()) >= k &&
+        top.bound > best.top().distance) {
+      break;
+    }
+    const TreeNode& node = nodes_[top.node];
+    if (node.is_leaf) {
+      for (int i = 0; i < node.num_children; ++i) {
+        const Entry& entry = entries_[node.first_child + i];
+        SegmentHit hit = Evaluate(entry.segment, query);
+        if (static_cast<int>(best.size()) < k) {
+          best.push(hit);
+        } else if (worse(hit, best.top())) {
+          best.pop();
+          best.push(hit);
+        }
+      }
+    } else {
+      for (int i = 0; i < node.num_children; ++i) {
+        const int child = node.first_child + i;
+        const double bound = nodes_[child].box.DistanceTo(query);
+        if (static_cast<int>(best.size()) < k ||
+            bound <= best.top().distance) {
+          frontier.push({bound, child});
+        }
+      }
+    }
+  }
+
+  std::vector<SegmentHit> out(best.size());
+  for (int i = static_cast<int>(best.size()) - 1; i >= 0; --i) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<SegmentHit> SegmentRTree::WithinRadius(const Vec2& query,
+                                                   double radius) const {
+  std::vector<SegmentHit> out;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const TreeNode& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.box.DistanceTo(query) > radius) continue;
+    if (node.is_leaf) {
+      for (int i = 0; i < node.num_children; ++i) {
+        const Entry& entry = entries_[node.first_child + i];
+        SegmentHit hit = Evaluate(entry.segment, query);
+        if (hit.distance <= radius) out.push_back(hit);
+      }
+    } else {
+      for (int i = 0; i < node.num_children; ++i) {
+        stack.push_back(node.first_child + i);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SegmentHit& a, const SegmentHit& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.segment < b.segment;
+  });
+  return out;
+}
+
+}  // namespace trmma

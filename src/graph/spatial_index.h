@@ -1,0 +1,71 @@
+#ifndef TRMMA_GRAPH_SPATIAL_INDEX_H_
+#define TRMMA_GRAPH_SPATIAL_INDEX_H_
+
+#include <vector>
+
+#include "geo/geometry.h"
+#include "graph/road_network.h"
+
+namespace trmma {
+
+/// A segment returned by a spatial query, with its projection onto the
+/// query point.
+struct SegmentHit {
+  SegmentId segment = kInvalidSegment;
+  double distance = 0.0;  ///< perpendicular distance from the query point
+  double ratio = 0.0;     ///< position ratio of the projection
+};
+
+/// STR-packed R-tree over road segments (paper §IV-A cites STR packing
+/// [42]); supports the top-k_c nearest-segment query that defines the
+/// candidate set C_{p_i} (Def. 8) plus radius queries for the HMM family.
+///
+/// The index is immutable after construction: road networks do not change
+/// during an experiment, so a bulk-loaded packed tree gives near-optimal
+/// fanout utilization without any balancing logic.
+class SegmentRTree {
+ public:
+  /// Builds the index over all segments of a finalized network.
+  /// `leaf_capacity` is the R-tree node fanout B.
+  explicit SegmentRTree(const RoadNetwork& network, int leaf_capacity = 16);
+
+  SegmentRTree(const SegmentRTree&) = delete;
+  SegmentRTree& operator=(const SegmentRTree&) = delete;
+
+  /// Returns up to k nearest segments by perpendicular distance, sorted
+  /// ascending (ties broken by segment id for determinism).
+  std::vector<SegmentHit> KNearest(const Vec2& query, int k) const;
+
+  /// Returns all segments within `radius` meters, sorted by distance.
+  std::vector<SegmentHit> WithinRadius(const Vec2& query,
+                                       double radius) const;
+
+  /// Height of the packed tree (1 for a single leaf level).
+  int height() const { return height_; }
+
+ private:
+  struct TreeNode {
+    BBox box;
+    int first_child = 0;  ///< index into nodes_ (internal) or entries_ (leaf)
+    int num_children = 0;
+    bool is_leaf = false;
+  };
+
+  struct Entry {
+    BBox box;
+    SegmentId segment = kInvalidSegment;
+  };
+
+  SegmentHit Evaluate(SegmentId id, const Vec2& query) const;
+
+  const RoadNetwork& network_;
+  int leaf_capacity_;
+  std::vector<Entry> entries_;
+  std::vector<TreeNode> nodes_;
+  int root_ = -1;
+  int height_ = 0;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_GRAPH_SPATIAL_INDEX_H_

@@ -1,0 +1,58 @@
+#include "graph/ubodt.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace trmma {
+
+Ubodt::Ubodt(const RoadNetwork& network, double delta_m)
+    : network_(network), delta_m_(delta_m) {
+  TRMMA_CHECK(network.finalized());
+  ShortestPathEngine engine(network);
+  for (NodeId src = 0; src < network.num_nodes(); ++src) {
+    engine.Bounded(src, delta_m, [&](NodeId u, double d, SegmentId via) {
+      if (u == src) return;
+      // Nodes settle in distance order, so the predecessor's row exists by
+      // the time we need it to derive the first hop.
+      const RoadSegment& seg = network_.segment(via);
+      SegmentId first = via;
+      if (seg.from != src) {
+        auto it = table_.find(Key(src, seg.from));
+        TRMMA_CHECK(it != table_.end());
+        first = it->second.first_segment;
+      }
+      table_.emplace(Key(src, u), Row{static_cast<float>(d), first});
+    });
+  }
+}
+
+double Ubodt::Distance(NodeId src, NodeId dst) const {
+  if (src == dst) return 0.0;
+  auto it = table_.find(Key(src, dst));
+  if (it == table_.end()) return ShortestPathEngine::kInfinity;
+  return it->second.distance;
+}
+
+PathResult Ubodt::Path(NodeId src, NodeId dst) const {
+  PathResult result;
+  if (src == dst) {
+    result.found = true;
+    return result;
+  }
+  auto it = table_.find(Key(src, dst));
+  if (it == table_.end()) return result;
+  result.found = true;
+  result.distance_m = it->second.distance;
+  NodeId at = src;
+  while (at != dst) {
+    auto row = table_.find(Key(at, dst));
+    TRMMA_CHECK(row != table_.end());
+    const SegmentId sid = row->second.first_segment;
+    result.segments.push_back(sid);
+    at = network_.segment(sid).to;
+  }
+  return result;
+}
+
+}  // namespace trmma

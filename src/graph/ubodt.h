@@ -1,0 +1,53 @@
+#ifndef TRMMA_GRAPH_UBODT_H_
+#define TRMMA_GRAPH_UBODT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "graph/shortest_path.h"
+
+namespace trmma {
+
+/// Upper-Bounded Origin-Destination Table (the precomputation at the heart
+/// of FMM [28]): all-pairs shortest paths whose length does not exceed
+/// `delta`, stored as (origin node, destination node) -> (distance, first
+/// segment on the path). Lookups are O(1); full paths are reconstructed by
+/// chaining first segments.
+class Ubodt {
+ public:
+  /// Precomputes the table with bounded Dijkstra from every node.
+  Ubodt(const RoadNetwork& network, double delta_m);
+
+  Ubodt(const Ubodt&) = delete;
+  Ubodt& operator=(const Ubodt&) = delete;
+
+  /// Shortest distance from src to dst, or infinity if above delta.
+  double Distance(NodeId src, NodeId dst) const;
+
+  /// Reconstructs the segment path from src to dst; empty when src == dst.
+  /// Returns found=false when the pair is not in the table.
+  PathResult Path(NodeId src, NodeId dst) const;
+
+  double delta() const { return delta_m_; }
+  size_t size() const { return table_.size(); }
+
+ private:
+  struct Row {
+    float distance = 0.0f;
+    SegmentId first_segment = kInvalidSegment;
+  };
+
+  static uint64_t Key(NodeId src, NodeId dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+
+  const RoadNetwork& network_;
+  double delta_m_;
+  std::unordered_map<uint64_t, Row> table_;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_GRAPH_UBODT_H_

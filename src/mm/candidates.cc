@@ -1,0 +1,36 @@
+#include "mm/candidates.h"
+
+namespace trmma {
+
+std::vector<std::vector<Candidate>> ComputeCandidates(
+    const RoadNetwork& network, const SegmentRTree& index,
+    const Trajectory& traj, int kc) {
+  const int n = traj.size();
+  std::vector<Vec2> xy(n);
+  for (int i = 0; i < n; ++i) {
+    xy[i] = network.projection().ToMeters(traj.points[i].pos);
+  }
+
+  std::vector<std::vector<Candidate>> out(n);
+  for (int i = 0; i < n; ++i) {
+    const auto hits = index.KNearest(xy[i], kc);
+    out[i].reserve(hits.size());
+    for (const SegmentHit& hit : hits) {
+      Candidate c;
+      c.segment = hit.segment;
+      c.distance = hit.distance;
+      c.ratio = hit.ratio;
+      const Vec2 a = network.SegmentStartXy(hit.segment);
+      const Vec2 b = network.SegmentEndXy(hit.segment);
+      const Vec2 dir = b - a;
+      c.cosine[0] = CosineSimilarity(dir, xy[i] - a);
+      c.cosine[1] = CosineSimilarity(dir, b - xy[i]);
+      if (i > 0) c.cosine[2] = CosineSimilarity(dir, xy[i] - xy[i - 1]);
+      if (i + 1 < n) c.cosine[3] = CosineSimilarity(dir, xy[i + 1] - xy[i]);
+      out[i].push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace trmma

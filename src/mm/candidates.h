@@ -1,0 +1,31 @@
+#ifndef TRMMA_MM_CANDIDATES_H_
+#define TRMMA_MM_CANDIDATES_H_
+
+#include <vector>
+
+#include "graph/spatial_index.h"
+#include "traj/types.h"
+
+namespace trmma {
+
+/// One candidate segment of a GPS point (paper Def. 8) together with the
+/// four directional cosine features of §IV-B: the cosine similarity of the
+/// segment's direction with (0) entrance->p_i, (1) p_i->exit,
+/// (2) p_{i-1}->p_i and (3) p_i->p_{i+1}. Boundary points use 0 for the
+/// undefined neighbor features.
+struct Candidate {
+  SegmentId segment = kInvalidSegment;
+  double distance = 0.0;  ///< perpendicular distance to p_i
+  double ratio = 0.0;     ///< projection ratio on the segment
+  double cosine[4] = {0, 0, 0, 0};
+};
+
+/// Candidate sets for every point of a trajectory: the top-k_c nearest
+/// segments from the R-tree plus directional features.
+std::vector<std::vector<Candidate>> ComputeCandidates(
+    const RoadNetwork& network, const SegmentRTree& index,
+    const Trajectory& traj, int kc);
+
+}  // namespace trmma
+
+#endif  // TRMMA_MM_CANDIDATES_H_

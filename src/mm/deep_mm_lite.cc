@@ -1,0 +1,125 @@
+#include "mm/deep_mm_lite.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/ops.h"
+
+namespace trmma {
+
+using nn::Tensor;
+namespace ops = nn::ops;
+
+DeepMmLiteMatcher::DeepMmLiteMatcher(const RoadNetwork& network,
+                                     const DeepMmConfig& config)
+    : network_(network), config_(config), grid_(network, config.grid_cell_m),
+      init_rng_(config.seed),
+      cell_emb_(grid_.num_cells(), config.hidden_dim, init_rng_),
+      input_fc_(3, config.hidden_dim, init_rng_),
+      gru_(config.hidden_dim, config.hidden_dim, init_rng_),
+      output_fc_(config.hidden_dim, network.num_segments(), init_rng_) {
+  AddChild(&cell_emb_);
+  AddChild(&input_fc_);
+  AddChild(&gru_);
+  AddChild(&output_fc_);
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), config.lr);
+}
+
+namespace {
+
+nn::Matrix RawFeatures(const RoadNetwork& network, const Trajectory& traj) {
+  double min_lat = 1e30;
+  double max_lat = -1e30;
+  double min_lng = 1e30;
+  double max_lng = -1e30;
+  for (NodeId i = 0; i < network.num_nodes(); ++i) {
+    const LatLng& p = network.node(i).pos;
+    min_lat = std::min(min_lat, p.lat);
+    max_lat = std::max(max_lat, p.lat);
+    min_lng = std::min(min_lng, p.lng);
+    max_lng = std::max(max_lng, p.lng);
+  }
+  const double lat_span = std::max(max_lat - min_lat, 1e-9);
+  const double lng_span = std::max(max_lng - min_lng, 1e-9);
+  const double t0 = traj.points.front().t;
+  const double t_span = std::max(traj.points.back().t - t0, 1e-9);
+  nn::Matrix z(traj.size(), 3);
+  for (int i = 0; i < traj.size(); ++i) {
+    z.at(i, 0) = (traj.points[i].pos.lat - min_lat) / lat_span;
+    z.at(i, 1) = (traj.points[i].pos.lng - min_lng) / lng_span;
+    z.at(i, 2) = (traj.points[i].t - t0) / t_span;
+  }
+  return z;
+}
+
+}  // namespace
+
+Tensor DeepMmLiteMatcher::EncodeHidden(nn::Tape& tape,
+                                       const Trajectory& traj) {
+  // DeepMM embeds the grid cell of every GPS point; continuous features
+  // are added on top.
+  std::vector<int> cells(traj.size());
+  for (int i = 0; i < traj.size(); ++i) {
+    cells[i] = grid_.CellOf(traj.points[i].pos);
+  }
+  Tensor x = ops::Add(
+      cell_emb_.Forward(tape, cells),
+      input_fc_.Forward(ops::Input(tape, RawFeatures(network_, traj))));
+  Tensor h = ops::Input(tape, nn::Matrix(1, config_.hidden_dim));
+  std::vector<Tensor> hiddens;
+  hiddens.reserve(traj.size());
+  for (int i = 0; i < traj.size(); ++i) {
+    h = gru_.Step(ops::SliceRows(x, i, 1), h);
+    hiddens.push_back(h);
+  }
+  return ops::ConcatRows(hiddens);
+}
+
+double DeepMmLiteMatcher::TrainEpoch(const Dataset& dataset, Rng& rng) {
+  std::vector<int> order = dataset.train_idx;
+  rng.Shuffle(order);
+  double total_loss = 0.0;
+  int64_t total_points = 0;
+  int in_batch = 0;
+  nn::Tape tape;
+  for (int idx : order) {
+    const TrajectorySample& sample = dataset.samples[idx];
+    if (sample.sparse.size() < 2) continue;
+    Tensor hidden = EncodeHidden(tape, sample.sparse);
+    Tensor logits = output_fc_.Forward(hidden);  // len x |E|
+    std::vector<int> targets(sample.sparse.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      targets[i] = sample.truth[sample.sparse_indices[i]].segment;
+    }
+    Tensor loss = ops::Scale(ops::SoftmaxCrossEntropy(logits, targets),
+                             1.0 / targets.size());
+    total_loss += loss.value().at(0, 0) * targets.size();
+    total_points += static_cast<int64_t>(targets.size());
+    tape.Backward(loss);
+    tape.Clear();
+    if (++in_batch == config_.batch_size) {
+      optimizer_->Step();
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) optimizer_->Step();
+  return total_points > 0 ? total_loss / total_points : 0.0;
+}
+
+std::vector<SegmentId> DeepMmLiteMatcher::MatchPoints(const Trajectory& traj) {
+  std::vector<SegmentId> out(traj.size(), kInvalidSegment);
+  if (traj.empty()) return out;
+  nn::Tape tape;
+  Tensor hidden = EncodeHidden(tape, traj);
+  Tensor logits = output_fc_.Forward(hidden);
+  for (int i = 0; i < traj.size(); ++i) {
+    int best = 0;
+    for (int c = 1; c < logits.cols(); ++c) {
+      if (logits.value().at(i, c) > logits.value().at(i, best)) best = c;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace trmma

@@ -1,0 +1,56 @@
+#ifndef TRMMA_MM_DEEP_MM_LITE_H_
+#define TRMMA_MM_DEEP_MM_LITE_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "mm/grid_cells.h"
+#include "mm/map_matcher.h"
+#include "nn/adam.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "traj/dataset.h"
+
+namespace trmma {
+
+/// Hyperparameters of the DeepMM-style baseline.
+struct DeepMmConfig {
+  int hidden_dim = 32;
+  double grid_cell_m = 200.0;  ///< DeepMM discretizes space into cells
+  double lr = 1e-3;
+  int batch_size = 16;
+  uint64_t seed = 21;
+};
+
+/// Representative reimplementation of the deep seq2seq map-matching family
+/// (DeepMM [32]): a GRU encoder over raw GPS features and, per point, a
+/// multiclass prediction over ALL |E| road segments. This is exactly the
+/// design choice the paper's MMA argues against — the output layer scales
+/// with the network size, which shows up in its training/inference cost.
+class DeepMmLiteMatcher : public MapMatcher, public nn::Module {
+ public:
+  DeepMmLiteMatcher(const RoadNetwork& network, const DeepMmConfig& config);
+
+  /// One epoch of teacher-forced training; returns average per-point loss.
+  double TrainEpoch(const Dataset& dataset, Rng& rng);
+
+  std::vector<SegmentId> MatchPoints(const Trajectory& traj) override;
+  std::string name() const override { return "DeepMM"; }
+
+ private:
+  nn::Tensor EncodeHidden(nn::Tape& tape, const Trajectory& traj);
+
+  const RoadNetwork& network_;
+  DeepMmConfig config_;
+  GridIndexer grid_;
+  Rng init_rng_;
+  nn::Embedding cell_emb_;
+  nn::Linear input_fc_;
+  nn::GruCell gru_;
+  nn::Linear output_fc_;  ///< hidden -> |E| logits: the expensive part
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_MM_DEEP_MM_LITE_H_

@@ -1,0 +1,43 @@
+#include "mm/grid_cells.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace trmma {
+
+GridIndexer::GridIndexer(const RoadNetwork& network, double cell_m)
+    : network_(network), cell_m_(cell_m) {
+  TRMMA_CHECK(network.finalized());
+  TRMMA_CHECK_GT(cell_m, 0.0);
+  double max_x = -1e30;
+  double max_y = -1e30;
+  min_x_ = 1e30;
+  min_y_ = 1e30;
+  for (NodeId i = 0; i < network.num_nodes(); ++i) {
+    const Vec2& xy = network.node(i).xy;
+    min_x_ = std::min(min_x_, xy.x);
+    min_y_ = std::min(min_y_, xy.y);
+    max_x = std::max(max_x, xy.x);
+    max_y = std::max(max_y, xy.y);
+  }
+  // One cell of margin on each side absorbs GPS noise outside the extent.
+  min_x_ -= cell_m_;
+  min_y_ -= cell_m_;
+  nx_ = std::max(1, static_cast<int>(
+                        std::ceil((max_x - min_x_ + cell_m_) / cell_m_)));
+  ny_ = std::max(1, static_cast<int>(
+                        std::ceil((max_y - min_y_ + cell_m_) / cell_m_)));
+}
+
+int GridIndexer::CellOf(const LatLng& pos) const {
+  const Vec2 xy = network_.projection().ToMeters(pos);
+  int cx = static_cast<int>(std::floor((xy.x - min_x_) / cell_m_));
+  int cy = static_cast<int>(std::floor((xy.y - min_y_) / cell_m_));
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return cy * nx_ + cx;
+}
+
+}  // namespace trmma

@@ -1,0 +1,33 @@
+#ifndef TRMMA_MM_GRID_CELLS_H_
+#define TRMMA_MM_GRID_CELLS_H_
+
+#include "graph/road_network.h"
+
+namespace trmma {
+
+/// Uniform spatial grid over a road network's extent. The deep baselines
+/// (DeepMM [32], MTrajRec [14], the representation-learning + decoder
+/// family) all discretize GPS space into grid cells and embed the cell
+/// ids; this class provides that discretization.
+class GridIndexer {
+ public:
+  GridIndexer(const RoadNetwork& network, double cell_m = 200.0);
+
+  /// Cell id of a coordinate, clamped to the grid.
+  int CellOf(const LatLng& pos) const;
+
+  int num_cells() const { return nx_ * ny_; }
+  double cell_m() const { return cell_m_; }
+
+ private:
+  const RoadNetwork& network_;
+  double cell_m_;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  int nx_ = 1;
+  int ny_ = 1;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_MM_GRID_CELLS_H_

@@ -1,0 +1,126 @@
+#include "mm/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace {
+
+constexpr double kLogZero = -1e18;
+
+}  // namespace
+
+HmmMatcher::HmmMatcher(const RoadNetwork& network, const SegmentRTree& index,
+                       const HmmConfig& config)
+    : network_(network), index_(index), config_(config),
+      engine_(std::make_unique<ShortestPathEngine>(network)) {}
+
+double HmmMatcher::RouteDistance(SegmentId e1, double r1, SegmentId e2,
+                                 double r2) {
+  return engine_->PointToPointDistance(e1, r1, e2, r2,
+                                       config_.max_route_dist_m);
+}
+
+double HmmMatcher::EmissionLogProb(const Candidate& candidate) const {
+  const double z = candidate.distance / config_.sigma_m;
+  return -0.5 * z * z;
+}
+
+std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
+  const int n = traj.size();
+  std::vector<SegmentId> result(n, kInvalidSegment);
+  if (n == 0) return result;
+
+  const auto candidates = ComputeCandidates(network_, index_, traj,
+                                            config_.k_candidates);
+  std::vector<Vec2> xy(n);
+  for (int i = 0; i < n; ++i) {
+    xy[i] = network_.projection().ToMeters(traj.points[i].pos);
+  }
+
+  // Viterbi over the candidate lattice.
+  std::vector<std::vector<double>> score(n);
+  std::vector<std::vector<int>> back(n);
+  score[0].resize(candidates[0].size());
+  back[0].assign(candidates[0].size(), -1);
+  for (size_t j = 0; j < candidates[0].size(); ++j) {
+    score[0][j] = EmissionLogProb(candidates[0][j]);
+  }
+
+  for (int i = 1; i < n; ++i) {
+    const auto& prev = candidates[i - 1];
+    const auto& cur = candidates[i];
+    const double straight = (xy[i] - xy[i - 1]).Norm();
+    score[i].assign(cur.size(), kLogZero);
+    back[i].assign(cur.size(), -1);
+    for (size_t j = 0; j < cur.size(); ++j) {
+      const double emission = EmissionLogProb(cur[j]);
+      for (size_t k = 0; k < prev.size(); ++k) {
+        if (score[i - 1][k] <= kLogZero / 2) continue;
+        const double route = RouteDistance(prev[k].segment, prev[k].ratio,
+                                           cur[j].segment, cur[j].ratio);
+        double transition;
+        if (std::isinf(route)) {
+          transition = -50.0;  // unreachable within budget: strongly penalize
+        } else {
+          transition = -std::abs(route - straight) / config_.beta_m;
+        }
+        const double s = score[i - 1][k] + transition + emission;
+        if (s > score[i][j]) {
+          score[i][j] = s;
+          back[i][j] = static_cast<int>(k);
+        }
+      }
+    }
+    // Degenerate case: all transitions blocked; restart the chain here.
+    bool any = false;
+    for (double s : score[i]) any = any || s > kLogZero / 2;
+    if (!any) {
+      for (size_t j = 0; j < cur.size(); ++j) {
+        score[i][j] = EmissionLogProb(cur[j]);
+        back[i][j] = -1;
+      }
+    }
+  }
+
+  // Backtrack.
+  int best = 0;
+  for (size_t j = 1; j < score[n - 1].size(); ++j) {
+    if (score[n - 1][j] > score[n - 1][best]) best = static_cast<int>(j);
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    TRMMA_CHECK(!candidates[i].empty());
+    result[i] = candidates[i][best].segment;
+    if (i > 0) {
+      const int b = back[i][best];
+      best = b >= 0 ? b : 0;
+      if (b < 0) {
+        // Chain restarted at i: pick the best-scoring candidate at i-1.
+        for (size_t j = 1; j < score[i - 1].size(); ++j) {
+          if (score[i - 1][j] > score[i - 1][best]) {
+            best = static_cast<int>(j);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+FmmMatcher::FmmMatcher(const RoadNetwork& network, const SegmentRTree& index,
+                       const Ubodt& ubodt, const HmmConfig& config)
+    : HmmMatcher(network, index, config), ubodt_(ubodt) {}
+
+double FmmMatcher::RouteDistance(SegmentId e1, double r1, SegmentId e2,
+                                 double r2) {
+  const RoadSegment& s1 = network_.segment(e1);
+  const RoadSegment& s2 = network_.segment(e2);
+  if (e1 == e2 && r2 >= r1) return (r2 - r1) * s1.length_m;
+  const double gap = ubodt_.Distance(s1.to, s2.from);
+  if (std::isinf(gap)) return gap;
+  return (1.0 - r1) * s1.length_m + gap + r2 * s2.length_m;
+}
+
+}  // namespace trmma

@@ -1,0 +1,70 @@
+#ifndef TRMMA_MM_HMM_H_
+#define TRMMA_MM_HMM_H_
+
+#include <memory>
+
+#include "graph/shortest_path.h"
+#include "graph/spatial_index.h"
+#include "graph/ubodt.h"
+#include "mm/candidates.h"
+#include "mm/map_matcher.h"
+
+namespace trmma {
+
+/// Parameters of the Newson-Krumm HMM matcher [17].
+struct HmmConfig {
+  int k_candidates = 10;
+  double sigma_m = 12.0;          ///< GPS noise scale of the emission model
+  double beta_m = 40.0;           ///< transition tolerance scale
+  double max_route_dist_m = 8000.0;  ///< cap on candidate-pair route search
+};
+
+/// Classic HMM map matching (Newson & Krumm 2009): Gaussian emission on
+/// perpendicular distance, exponential transition on the difference
+/// between route distance and straight-line distance, decoded with
+/// Viterbi. Route distances come from on-the-fly Dijkstra, which is the
+/// method's well-known bottleneck (FMM fixes it with the UBODT).
+class HmmMatcher : public MapMatcher {
+ public:
+  HmmMatcher(const RoadNetwork& network, const SegmentRTree& index,
+             const HmmConfig& config = {});
+
+  std::vector<SegmentId> MatchPoints(const Trajectory& traj) override;
+  std::string name() const override { return "HMM"; }
+
+ protected:
+  /// Route distance between candidate positions; subclasses override to
+  /// plug in precomputation (FMM).
+  virtual double RouteDistance(SegmentId e1, double r1, SegmentId e2,
+                               double r2);
+
+  /// Emission log-probability of a candidate; LHMM overrides with a
+  /// learned model.
+  virtual double EmissionLogProb(const Candidate& candidate) const;
+
+  const RoadNetwork& network_;
+  const SegmentRTree& index_;
+  HmmConfig config_;
+  std::unique_ptr<ShortestPathEngine> engine_;
+};
+
+/// FMM [28]: the same HMM accelerated with an Upper-Bounded OD Table.
+class FmmMatcher : public HmmMatcher {
+ public:
+  /// `ubodt` must outlive the matcher (it is shared across methods).
+  FmmMatcher(const RoadNetwork& network, const SegmentRTree& index,
+             const Ubodt& ubodt, const HmmConfig& config = {});
+
+  std::string name() const override { return "FMM"; }
+
+ protected:
+  double RouteDistance(SegmentId e1, double r1, SegmentId e2,
+                       double r2) override;
+
+ private:
+  const Ubodt& ubodt_;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_MM_HMM_H_

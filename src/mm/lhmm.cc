@@ -1,0 +1,95 @@
+#include "mm/lhmm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace {
+
+double SigmoidScalar(double x) {
+  if (x >= 0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LhmmMatcher::LhmmMatcher(const RoadNetwork& network, const SegmentRTree& index,
+                         const Ubodt& ubodt, const HmmConfig& config)
+    : HmmMatcher(network, index, config), ubodt_(ubodt) {}
+
+void LhmmMatcher::Featurize(const Candidate& candidate, double sigma,
+                            double out[kNumFeatures]) {
+  out[0] = 1.0;
+  out[1] = candidate.distance / sigma;
+  for (int i = 0; i < 4; ++i) out[2 + i] = candidate.cosine[i];
+}
+
+double LhmmMatcher::Train(const Dataset& dataset, int epochs, Rng& rng) {
+  TRMMA_CHECK(dataset.network != nullptr);
+  // Collect labeled candidate feature vectors from the training split.
+  std::vector<std::array<double, kNumFeatures>> features;
+  std::vector<double> labels;
+  for (int idx : dataset.train_idx) {
+    const TrajectorySample& sample = dataset.samples[idx];
+    const auto cands = ComputeCandidates(network_, index_, sample.sparse,
+                                         config_.k_candidates);
+    for (size_t i = 0; i < cands.size(); ++i) {
+      const SegmentId truth =
+          sample.truth[sample.sparse_indices[i]].segment;
+      for (const Candidate& c : cands[i]) {
+        std::array<double, kNumFeatures> f;
+        Featurize(c, config_.sigma_m, f.data());
+        features.push_back(f);
+        labels.push_back(c.segment == truth ? 1.0 : 0.0);
+      }
+    }
+  }
+  if (features.empty()) return 0.0;
+
+  // Plain SGD logistic regression.
+  std::vector<int> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  double avg_loss = 0.0;
+  const double lr = 0.05;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(order);
+    double total = 0.0;
+    for (int i : order) {
+      const auto& f = features[i];
+      double z = 0.0;
+      for (int k = 0; k < kNumFeatures; ++k) z += weights_[k] * f[k];
+      const double p = SigmoidScalar(z);
+      const double y = labels[i];
+      total += -(y * std::log(std::max(p, 1e-12)) +
+                 (1 - y) * std::log(std::max(1 - p, 1e-12)));
+      const double err = p - y;
+      for (int k = 0; k < kNumFeatures; ++k) weights_[k] -= lr * err * f[k];
+    }
+    avg_loss = total / features.size();
+  }
+  trained_ = true;
+  return avg_loss;
+}
+
+double LhmmMatcher::RouteDistance(SegmentId e1, double r1, SegmentId e2,
+                                  double r2) {
+  const RoadSegment& s1 = network_.segment(e1);
+  const RoadSegment& s2 = network_.segment(e2);
+  if (e1 == e2 && r2 >= r1) return (r2 - r1) * s1.length_m;
+  const double gap = ubodt_.Distance(s1.to, s2.from);
+  if (std::isinf(gap)) return gap;
+  return (1.0 - r1) * s1.length_m + gap + r2 * s2.length_m;
+}
+
+double LhmmMatcher::EmissionLogProb(const Candidate& candidate) const {
+  double f[kNumFeatures];
+  Featurize(candidate, config_.sigma_m, f);
+  double z = 0.0;
+  for (int k = 0; k < kNumFeatures; ++k) z += weights_[k] * f[k];
+  // log sigmoid(z), numerically stable.
+  return z >= 0 ? -std::log1p(std::exp(-z)) : z - std::log1p(std::exp(z));
+}
+
+}  // namespace trmma

@@ -1,0 +1,46 @@
+#ifndef TRMMA_MM_LHMM_H_
+#define TRMMA_MM_LHMM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "mm/hmm.h"
+#include "traj/dataset.h"
+
+namespace trmma {
+
+/// Learning-enhanced HMM (the LHMM [11] family): keeps the HMM transition
+/// model (with UBODT acceleration) but replaces the hand-tuned Gaussian
+/// emission with a logistic model over candidate features (perpendicular
+/// distance and the four directional cosines) trained on historical
+/// trajectories. Train() must be called before matching.
+class LhmmMatcher : public HmmMatcher {
+ public:
+  LhmmMatcher(const RoadNetwork& network, const SegmentRTree& index,
+              const Ubodt& ubodt, const HmmConfig& config = {});
+
+  /// Trains the emission model on the dataset's training split with
+  /// logistic regression (SGD). Returns the final average training loss.
+  double Train(const Dataset& dataset, int epochs, Rng& rng);
+
+  std::string name() const override { return "LHMM"; }
+
+ protected:
+  double RouteDistance(SegmentId e1, double r1, SegmentId e2,
+                       double r2) override;
+  double EmissionLogProb(const Candidate& candidate) const override;
+
+ private:
+  static constexpr int kNumFeatures = 6;  // bias, distance, 4 cosines
+
+  static void Featurize(const Candidate& candidate, double sigma,
+                        double out[kNumFeatures]);
+
+  const Ubodt& ubodt_;
+  double weights_[kNumFeatures] = {0, -1, 0, 0, 0, 0};
+  bool trained_ = false;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_MM_LHMM_H_

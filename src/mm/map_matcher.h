@@ -1,0 +1,29 @@
+#ifndef TRMMA_MM_MAP_MATCHER_H_
+#define TRMMA_MM_MAP_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/route.h"
+#include "traj/types.h"
+
+namespace trmma {
+
+/// Common interface of all map matchers: map each GPS point of a (sparse)
+/// trajectory to a road segment (paper Def. 4). Full routes are produced
+/// by StitchRoute (mm/route_stitch.h) from the per-point segments, using
+/// the same DA route planner for every method, as in the paper's setup.
+class MapMatcher {
+ public:
+  virtual ~MapMatcher() = default;
+
+  /// Segment of every GPS point, in order. Always returns traj.size() ids.
+  virtual std::vector<SegmentId> MatchPoints(const Trajectory& traj) = 0;
+
+  /// Display name used in experiment tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_MM_MAP_MATCHER_H_

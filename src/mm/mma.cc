@@ -1,0 +1,204 @@
+#include "mm/mma.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+
+namespace trmma {
+
+using nn::Tensor;
+
+MmaMatcher::MmaMatcher(const RoadNetwork& network, const SegmentRTree& index,
+                       const MmaConfig& config)
+    : network_(network), index_(index), config_(config),
+      init_rng_(config.seed),
+      seg_emb_(network.num_segments(), config.d0, init_rng_),
+      cand_mlp_(config.d0 + 7, config.d1, config.d2, init_rng_),
+      point_fc_(3, config.d2, init_rng_),
+      point_trans_(config.d2, config.trans_heads, config.trans_ffn,
+                   config.trans_layers, init_rng_),
+      attn_mlp_(2 * config.d2, config.d3, 1, init_rng_) {
+  AddChild(&seg_emb_);
+  AddChild(&cand_mlp_);
+  AddChild(&point_fc_);
+  AddChild(&point_trans_);
+  AddChild(&attn_mlp_);
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), config.lr);
+}
+
+void MmaMatcher::LoadPretrainedSegmentEmbeddings(const nn::Matrix& table) {
+  seg_emb_.LoadPretrained(table);
+}
+
+namespace {
+
+/// Min-max normalized [lat, lng, t] features (paper §IV-B) for all points.
+nn::Matrix PointFeatures(const RoadNetwork& network, const Trajectory& traj) {
+  double min_lat = 1e30;
+  double max_lat = -1e30;
+  double min_lng = 1e30;
+  double max_lng = -1e30;
+  for (NodeId i = 0; i < network.num_nodes(); ++i) {
+    const LatLng& p = network.node(i).pos;
+    min_lat = std::min(min_lat, p.lat);
+    max_lat = std::max(max_lat, p.lat);
+    min_lng = std::min(min_lng, p.lng);
+    max_lng = std::max(max_lng, p.lng);
+  }
+  const double lat_span = std::max(max_lat - min_lat, 1e-9);
+  const double lng_span = std::max(max_lng - min_lng, 1e-9);
+  const double t0 = traj.points.front().t;
+  const double t_span = std::max(traj.points.back().t - t0, 1e-9);
+
+  nn::Matrix z0(traj.size(), 3);
+  for (int i = 0; i < traj.size(); ++i) {
+    const GpsPoint& p = traj.points[i];
+    z0.at(i, 0) = (p.pos.lat - min_lat) / lat_span;
+    z0.at(i, 1) = (p.pos.lng - min_lng) / lng_span;
+    z0.at(i, 2) = (p.t - t0) / t_span;
+  }
+  return z0;
+}
+
+}  // namespace
+
+std::vector<Tensor> MmaMatcher::ForwardLogits(
+    nn::Tape& tape, const Trajectory& traj,
+    const std::vector<std::vector<Candidate>>& candidates) {
+  namespace ops = nn::ops;
+  // Point sequence embeddings z^(2) via FC + transformer (Eq. 3).
+  Tensor z0 = ops::Input(tape, PointFeatures(network_, traj));
+  Tensor z2 = point_trans_.Forward(point_fc_.Forward(z0));
+
+  std::vector<Tensor> logits;
+  logits.reserve(traj.size());
+  for (int i = 0; i < traj.size(); ++i) {
+    const auto& cands = candidates[i];
+    TRMMA_CHECK(!cands.empty());
+    const int k = static_cast<int>(cands.size());
+
+    // Candidate embeddings c_j (Eq. 1-2). Besides the paper's four
+    // directional cosines, each candidate carries its perpendicular
+    // distance, projection ratio and rank — geometric signals the paper's
+    // id embeddings absorb from millions of trips (DESIGN.md §2).
+    std::vector<int> ids(k);
+    nn::Matrix feats(k, 7);
+    for (int j = 0; j < k; ++j) {
+      ids[j] = cands[j].segment;
+      if (config_.use_directional) {
+        for (int f = 0; f < 4; ++f) feats.at(j, f) = cands[j].cosine[f];
+      }
+      feats.at(j, 4) = cands[j].distance / 30.0;
+      feats.at(j, 5) = cands[j].ratio;
+      feats.at(j, 6) = static_cast<double>(j) / config_.kc;
+    }
+    Tensor emb = seg_emb_.Forward(tape, ids);
+    Tensor cmat = cand_mlp_.Forward(
+        ops::ConcatCols(emb, ops::Input(tape, std::move(feats))));
+
+    // Point embedding p_i with candidate-context attention (Eq. 7-8).
+    Tensor zi = ops::SliceRows(z2, i, 1);
+    Tensor point;
+    if (config_.use_candidate_context) {
+      Tensor scores = attn_mlp_.Forward(
+          ops::ConcatCols(ops::RepeatRows(zi, k), cmat));     // k x 1
+      Tensor alpha = ops::SoftmaxRows(ops::Transpose(scores));  // 1 x k
+      point = ops::Add(zi, ops::MatMul(alpha, cmat));
+    } else {
+      point = zi;  // TRMMA-C ablation
+    }
+
+    // P(c_j|p_i) logits = c_j . p_i (Eq. 9, pre-sigmoid).
+    logits.push_back(ops::MatMul(cmat, ops::Transpose(point)));  // k x 1
+  }
+  return logits;
+}
+
+double MmaMatcher::TrainEpoch(const Dataset& dataset, Rng& rng) {
+  namespace ops = nn::ops;
+  std::vector<int> order = dataset.train_idx;
+  rng.Shuffle(order);
+
+  double total_loss = 0.0;
+  int64_t total_points = 0;
+  int in_batch = 0;
+  nn::Tape tape;
+  for (int idx : order) {
+    const TrajectorySample& sample = dataset.samples[idx];
+    if (sample.sparse.size() < 2) continue;
+    const auto candidates =
+        ComputeCandidates(network_, index_, sample.sparse, config_.kc);
+    std::vector<Tensor> logits =
+        ForwardLogits(tape, sample.sparse, candidates);
+
+    // Per-point binary cross entropy against the ground-truth segment
+    // (Eq. 10); points whose truth is outside the candidate set
+    // contribute all-zero labels, exactly as in the paper's formulation.
+    Tensor loss;
+    for (size_t i = 0; i < logits.size(); ++i) {
+      const SegmentId truth =
+          sample.truth[sample.sparse_indices[i]].segment;
+      nn::Matrix labels(logits[i].rows(), 1);
+      for (int j = 0; j < logits[i].rows(); ++j) {
+        if (candidates[i][j].segment == truth) labels.at(j, 0) = 1.0;
+      }
+      Tensor point_loss = ops::BceWithLogits(logits[i], std::move(labels));
+      loss = i == 0 ? point_loss : ops::Add(loss, point_loss);
+    }
+    loss = ops::Scale(loss, 1.0 / static_cast<double>(logits.size()));
+    total_loss += loss.value().at(0, 0) * logits.size();
+    total_points += static_cast<int64_t>(logits.size());
+    tape.Backward(loss);
+    tape.Clear();
+
+    if (++in_batch == config_.batch_size) {
+      optimizer_->Step();
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) optimizer_->Step();
+  return total_points > 0 ? total_loss / total_points : 0.0;
+}
+
+Status MmaMatcher::Save(const std::string& path) {
+  return nn::SaveParameters(Parameters(), path);
+}
+
+Status MmaMatcher::Load(const std::string& path) {
+  return nn::LoadParameters(Parameters(), path);
+}
+
+std::vector<SegmentId> MmaMatcher::MatchPoints(const Trajectory& traj) {
+  return MatchPointsWithScores(traj, nullptr);
+}
+
+std::vector<SegmentId> MmaMatcher::MatchPointsWithScores(
+    const Trajectory& traj, std::vector<double>* scores) {
+  std::vector<SegmentId> out(traj.size(), kInvalidSegment);
+  if (scores != nullptr) scores->assign(traj.size(), 0.0);
+  if (traj.empty()) return out;
+
+  const auto candidates =
+      ComputeCandidates(network_, index_, traj, config_.kc);
+  nn::Tape tape;
+  std::vector<Tensor> logits = ForwardLogits(tape, traj, candidates);
+  for (int i = 0; i < traj.size(); ++i) {
+    int best = 0;
+    for (int j = 1; j < logits[i].rows(); ++j) {
+      if (logits[i].value().at(j, 0) > logits[i].value().at(best, 0)) {
+        best = j;
+      }
+    }
+    out[i] = candidates[i][best].segment;
+    if (scores != nullptr) {
+      const double z = logits[i].value().at(best, 0);
+      (*scores)[i] = 1.0 / (1.0 + std::exp(-z));
+    }
+  }
+  return out;
+}
+
+}  // namespace trmma

@@ -1,0 +1,23 @@
+#include "mm/nearest.h"
+
+#include "common/logging.h"
+
+namespace trmma {
+
+NearestMatcher::NearestMatcher(const RoadNetwork& network,
+                               const SegmentRTree& index)
+    : network_(network), index_(index) {}
+
+std::vector<SegmentId> NearestMatcher::MatchPoints(const Trajectory& traj) {
+  std::vector<SegmentId> out;
+  out.reserve(traj.size());
+  for (const GpsPoint& p : traj.points) {
+    const Vec2 xy = network_.projection().ToMeters(p.pos);
+    const auto hits = index_.KNearest(xy, 1);
+    TRMMA_CHECK(!hits.empty());
+    out.push_back(hits[0].segment);
+  }
+  return out;
+}
+
+}  // namespace trmma

@@ -1,0 +1,27 @@
+#ifndef TRMMA_MM_NEAREST_H_
+#define TRMMA_MM_NEAREST_H_
+
+#include "graph/spatial_index.h"
+#include "mm/map_matcher.h"
+
+namespace trmma {
+
+/// Baseline that maps every GPS point to its nearest segment (the
+/// "Nearest" competitor in paper Tables IV/V). As §IV-A shows, the nearest
+/// segment is correct only ~70% of the time, which is what this baseline
+/// demonstrates.
+class NearestMatcher : public MapMatcher {
+ public:
+  NearestMatcher(const RoadNetwork& network, const SegmentRTree& index);
+
+  std::vector<SegmentId> MatchPoints(const Trajectory& traj) override;
+  std::string name() const override { return "Nearest"; }
+
+ private:
+  const RoadNetwork& network_;
+  const SegmentRTree& index_;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_MM_NEAREST_H_

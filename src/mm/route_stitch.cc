@@ -1,0 +1,33 @@
+#include "mm/route_stitch.h"
+
+#include "graph/route.h"
+
+namespace trmma {
+
+Route StitchRoute(const RoadNetwork& network, DaRoutePlanner& planner,
+                  ShortestPathEngine& fallback,
+                  const std::vector<SegmentId>& point_segments) {
+  Route route;
+  const std::vector<SegmentId> segs =
+      DeduplicateConsecutive(point_segments);
+  for (SegmentId sid : segs) {
+    if (route.empty()) {
+      route.push_back(sid);
+      continue;
+    }
+    const SegmentId prev = route.back();
+    if (prev == sid) continue;
+    PathResult link = planner.Plan(prev, sid);
+    if (!link.found) {
+      link = fallback.SegmentToSegment(prev, sid, 2.0e4);
+    }
+    if (link.found) {
+      AppendRoute(route, link.segments);
+    } else {
+      route.push_back(sid);  // disconnected pair: keep both, no connector
+    }
+  }
+  return route;
+}
+
+}  // namespace trmma

@@ -1,0 +1,23 @@
+#ifndef TRMMA_MM_ROUTE_STITCH_H_
+#define TRMMA_MM_ROUTE_STITCH_H_
+
+#include <vector>
+
+#include "graph/shortest_path.h"
+#include "graph/transition_stats.h"
+
+namespace trmma {
+
+/// Connects per-point matched segments into a route (MMA Algorithm 1,
+/// lines 10-13): consecutive distinct segments are linked with the DA
+/// route planner; if the planner fails within its budget the shortest
+/// path is used as the paper's fallback; if the pair is genuinely
+/// disconnected the destination segment is appended as-is (the rare case
+/// discussed in §VI-A).
+Route StitchRoute(const RoadNetwork& network, DaRoutePlanner& planner,
+                  ShortestPathEngine& fallback,
+                  const std::vector<SegmentId>& point_segments);
+
+}  // namespace trmma
+
+#endif  // TRMMA_MM_ROUTE_STITCH_H_

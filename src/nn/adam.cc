@@ -1,0 +1,52 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace trmma {
+namespace nn {
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step(double max_grad_norm) {
+  ++t_;
+  double scale = 1.0;
+  if (max_grad_norm > 0.0) {
+    double norm2 = 0.0;
+    for (Param* p : params_) {
+      for (int i = 0; i < p->grad.size(); ++i) {
+        norm2 += p->grad.data()[i] * p->grad.data()[i];
+      }
+    }
+    const double norm = std::sqrt(norm2);
+    if (norm > max_grad_norm) scale = max_grad_norm / norm;
+  }
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    for (int i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad.data()[i] * scale;
+      double& m = m_[k].data()[i];
+      double& v = v_[k].data()[i];
+      m = beta1_ * m + (1.0 - beta1_) * g;
+      v = beta2_ * v + (1.0 - beta2_) * g * g;
+      const double mhat = m / bc1;
+      const double vhat = v / bc2;
+      p->value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,41 @@
+#ifndef TRMMA_NN_ADAM_H_
+#define TRMMA_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace trmma {
+namespace nn {
+
+/// Adam optimizer (Kingma & Ba). Owns first/second moment estimates per
+/// parameter; Step consumes and clears accumulated gradients.
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, double lr = 1e-3,
+                double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+  /// Applies one update using the gradients currently stored in the
+  /// parameters, then zeroes them. Optionally clips the global gradient
+  /// norm to `max_grad_norm` (<=0 disables clipping).
+  void Step(double max_grad_norm = 5.0);
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+  int64_t num_steps() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  int64_t t_ = 0;
+};
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_ADAM_H_

@@ -1,0 +1,43 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace nn {
+
+MultiHeadAttention::MultiHeadAttention(int model_dim, int num_heads, Rng& rng)
+    : model_dim_(model_dim), num_heads_(num_heads),
+      head_dim_(model_dim / num_heads) {
+  TRMMA_CHECK_EQ(model_dim % num_heads, 0);
+  wq_ = AddParam("wq", XavierUniform(model_dim, model_dim, rng));
+  wk_ = AddParam("wk", XavierUniform(model_dim, model_dim, rng));
+  wv_ = AddParam("wv", XavierUniform(model_dim, model_dim, rng));
+  wo_ = AddParam("wo", XavierUniform(model_dim, model_dim, rng));
+}
+
+Tensor MultiHeadAttention::Forward(Tensor query, Tensor keys) {
+  TRMMA_CHECK_EQ(query.cols(), model_dim_);
+  TRMMA_CHECK_EQ(keys.cols(), model_dim_);
+  Tensor q = ops::MatMulParam(query, *wq_);
+  Tensor k = ops::MatMulParam(keys, *wk_);
+  Tensor v = ops::MatMulParam(keys, *wv_);
+
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+  Tensor heads;
+  for (int h = 0; h < num_heads_; ++h) {
+    Tensor qh = ops::SliceCols(q, h * head_dim_, head_dim_);
+    Tensor kh = ops::SliceCols(k, h * head_dim_, head_dim_);
+    Tensor vh = ops::SliceCols(v, h * head_dim_, head_dim_);
+    Tensor scores =
+        ops::Scale(ops::MatMul(qh, ops::Transpose(kh)), inv_sqrt_d);
+    Tensor attn = ops::SoftmaxRows(scores);
+    Tensor out = ops::MatMul(attn, vh);
+    heads = h == 0 ? out : ops::ConcatCols(heads, out);
+  }
+  return ops::MatMulParam(heads, *wo_);
+}
+
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,58 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trmma {
+namespace nn {
+
+GradCheckResult CheckGradients(const std::function<Tensor(Tape&)>& loss_fn,
+                               std::vector<Param*> params, double step,
+                               double tolerance,
+                               int max_entries_per_param) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (Param* p : params) p->ZeroGrad();
+  {
+    Tape tape;
+    Tensor loss = loss_fn(tape);
+    tape.Backward(loss);
+  }
+
+  auto eval = [&]() {
+    Tape tape;
+    return loss_fn(tape).value().at(0, 0);
+  };
+
+  for (Param* p : params) {
+    const int total = p->value.size();
+    const int check = max_entries_per_param > 0
+                          ? std::min(max_entries_per_param, total)
+                          : total;
+    // Spread checked entries across the parameter.
+    const int stride = std::max(1, total / check);
+    for (int i = 0; i < total; i += stride) {
+      const double saved = p->value.data()[i];
+      p->value.data()[i] = saved + step;
+      const double up = eval();
+      p->value.data()[i] = saved - step;
+      const double down = eval();
+      p->value.data()[i] = saved;
+
+      const double numeric = (up - down) / (2.0 * step);
+      const double analytic = p->grad.data()[i];
+      const double abs_err = std::abs(numeric - analytic);
+      const double rel_err =
+          abs_err / std::max({std::abs(numeric), std::abs(analytic), 1.0});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tolerance) result.ok = false;
+    }
+  }
+  for (Param* p : params) p->ZeroGrad();
+  return result;
+}
+
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,31 @@
+#ifndef TRMMA_NN_GRADCHECK_H_
+#define TRMMA_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace trmma {
+namespace nn {
+
+/// Result of a numerical gradient check.
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Verifies analytic gradients of `loss_fn` w.r.t. `params` against central
+/// finite differences. `loss_fn` must build a fresh graph on the given tape
+/// and return a 1x1 loss each call. Checks at most `max_entries_per_param`
+/// entries per parameter (all when <=0).
+GradCheckResult CheckGradients(
+    const std::function<Tensor(Tape&)>& loss_fn, std::vector<Param*> params,
+    double step = 1e-5, double tolerance = 1e-4,
+    int max_entries_per_param = 16);
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_GRADCHECK_H_

@@ -1,0 +1,35 @@
+#include "nn/gru.h"
+
+namespace trmma {
+namespace nn {
+namespace {
+
+Tensor Gate(Tensor x, Tensor h, Param& w, Param& u, Param& b) {
+  return ops::Add(ops::Affine(x, w, b), ops::MatMulParam(h, u));
+}
+
+}  // namespace
+
+GruCell::GruCell(int input_dim, int hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim) {
+  wz_ = AddParam("wz", XavierUniform(input_dim, hidden_dim, rng));
+  uz_ = AddParam("uz", XavierUniform(hidden_dim, hidden_dim, rng));
+  bz_ = AddParam("bz", Matrix(1, hidden_dim));
+  wr_ = AddParam("wr", XavierUniform(input_dim, hidden_dim, rng));
+  ur_ = AddParam("ur", XavierUniform(hidden_dim, hidden_dim, rng));
+  br_ = AddParam("br", Matrix(1, hidden_dim));
+  wh_ = AddParam("wh", XavierUniform(input_dim, hidden_dim, rng));
+  uh_ = AddParam("uh", XavierUniform(hidden_dim, hidden_dim, rng));
+  bh_ = AddParam("bh", Matrix(1, hidden_dim));
+}
+
+Tensor GruCell::Step(Tensor x, Tensor h) {
+  Tensor z = ops::Sigmoid(Gate(x, h, *wz_, *uz_, *bz_));
+  Tensor r = ops::Sigmoid(Gate(x, h, *wr_, *ur_, *br_));
+  Tensor candidate = ops::Tanh(ops::Add(ops::Affine(x, *wh_, *bh_),
+                                        ops::MatMulParam(ops::Mul(r, h), *uh_)));
+  return ops::Add(ops::Mul(ops::OneMinus(z), h), ops::Mul(z, candidate));
+}
+
+}  // namespace nn
+}  // namespace trmma

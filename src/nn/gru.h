@@ -1,0 +1,41 @@
+#ifndef TRMMA_NN_GRU_H_
+#define TRMMA_NN_GRU_H_
+
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace trmma {
+namespace nn {
+
+/// Gated recurrent unit cell (Cho et al. [46]; the sequential decoder of
+/// TRMMA, paper Fig. 4):
+///   z = sigmoid(xWz + hUz + bz)       update gate
+///   r = sigmoid(xWr + hUr + br)       reset gate
+///   h~ = tanh(xWh + (r*h)Uh + bh)     candidate state
+///   h' = (1-z)*h + z*h~
+class GruCell : public Module {
+ public:
+  GruCell(int input_dim, int hidden_dim, Rng& rng);
+
+  /// One step: x (1 x input_dim), h (1 x hidden_dim) -> h' (1 x hidden_dim).
+  Tensor Step(Tensor x, Tensor h);
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int hidden_dim_;
+  Param* wz_;
+  Param* uz_;
+  Param* bz_;
+  Param* wr_;
+  Param* ur_;
+  Param* br_;
+  Param* wh_;
+  Param* uh_;
+  Param* bh_;
+};
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_GRU_H_

@@ -1,0 +1,45 @@
+#include "nn/layers.h"
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace nn {
+
+Linear::Linear(int in_dim, int out_dim, Rng& rng)
+    : w_(AddParam("w", XavierUniform(in_dim, out_dim, rng))),
+      b_(AddParam("b", Matrix(1, out_dim))) {}
+
+Tensor Linear::Forward(Tensor x) { return ops::Affine(x, *w_, *b_); }
+
+Mlp::Mlp(int in_dim, int hidden_dim, int out_dim, Rng& rng)
+    : fc1_(in_dim, hidden_dim, rng), fc2_(hidden_dim, out_dim, rng) {
+  AddChild(&fc1_);
+  AddChild(&fc2_);
+}
+
+Tensor Mlp::Forward(Tensor x) {
+  return fc2_.Forward(ops::Relu(fc1_.Forward(x)));
+}
+
+LayerNorm::LayerNorm(int dim)
+    : gamma_(AddParam("gamma", Matrix(1, dim, 1.0))),
+      beta_(AddParam("beta", Matrix(1, dim))) {}
+
+Tensor LayerNorm::Forward(Tensor x) {
+  return ops::LayerNormRows(x, *gamma_, *beta_);
+}
+
+Embedding::Embedding(int num_rows, int dim, Rng& rng)
+    : table_(AddParam("table", XavierUniform(num_rows, dim, rng))) {}
+
+void Embedding::LoadPretrained(const Matrix& table) {
+  TRMMA_CHECK(table_->value.SameShape(table));
+  table_->value = table;
+}
+
+Tensor Embedding::Forward(Tape& tape, const std::vector<int>& ids) {
+  return ops::EmbeddingLookup(tape, *table_, ids);
+}
+
+}  // namespace nn
+}  // namespace trmma

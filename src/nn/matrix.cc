@@ -1,0 +1,97 @@
+#include "nn/matrix.h"
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace nn {
+
+Matrix::Matrix(int rows, int cols) : Matrix(rows, cols, 0.0) {}
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+  TRMMA_CHECK_GE(rows, 0);
+  TRMMA_CHECK_GE(cols, 0);
+}
+
+void Matrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  TRMMA_CHECK(SameShape(other));
+  const double* src = other.data();
+  double* dst = data();
+  for (int i = 0; i < size(); ++i) dst[i] += alpha * src[i];
+}
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (double x : data_) total += x;
+  return total;
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  *out = Matrix(a.rows(), b.cols());
+  AddMatMul(a, b, out);
+}
+
+void AddMatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  TRMMA_CHECK_EQ(a.cols(), b.rows());
+  TRMMA_CHECK_EQ(out->rows(), a.rows());
+  TRMMA_CHECK_EQ(out->cols(), b.cols());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* orow = out->row(i);
+    for (int p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddMatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  TRMMA_CHECK_EQ(a.rows(), b.rows());
+  TRMMA_CHECK_EQ(out->rows(), a.cols());
+  TRMMA_CHECK_EQ(out->cols(), b.cols());
+  const int m = a.cols();
+  const int k = a.rows();
+  const int n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const double* arow = a.row(p);
+    const double* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out->row(i);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddMatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  TRMMA_CHECK_EQ(a.cols(), b.cols());
+  TRMMA_CHECK_EQ(out->rows(), a.rows());
+  TRMMA_CHECK_EQ(out->cols(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* orow = out->row(i);
+    for (int j = 0; j < n; ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,68 @@
+#ifndef TRMMA_NN_MATRIX_H_
+#define TRMMA_NN_MATRIX_H_
+
+#include <vector>
+
+namespace trmma {
+namespace nn {
+
+/// Dense row-major matrix of doubles: the storage type of the from-scratch
+/// neural-network substrate. Double precision keeps numerical gradient
+/// checks tight; model dimensions in this project are small (d <= 64) so
+/// the cost is acceptable.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialized rows x cols matrix.
+  Matrix(int rows, int cols);
+  Matrix(int rows, int cols, double fill);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(int r, int c) { return data_[r * cols_ + c]; }
+  double at(int r, int c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double* row(int r) { return data_.data() + r * cols_; }
+  const double* row(int r) const { return data_.data() + r * cols_; }
+
+  /// Sets every element to `v`.
+  void Fill(double v);
+
+  /// In-place scaled accumulate: this += alpha * other (same shape).
+  void Axpy(double alpha, const Matrix& other);
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  bool SameShape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes must agree; out is resized.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out += a * b (accumulating variant used by gradients).
+void AddMatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out += a^T * b.
+void AddMatMulTransA(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out += a * b^T.
+void AddMatMulTransB(const Matrix& a, const Matrix& b, Matrix* out);
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_MATRIX_H_

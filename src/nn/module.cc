@@ -1,0 +1,48 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace trmma {
+namespace nn {
+
+std::vector<Param*> Module::Parameters() {
+  std::vector<Param*> out;
+  for (auto& p : params_) out.push_back(p.get());
+  for (Module* child : children_) {
+    for (Param* p : child->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() {
+  int64_t total = 0;
+  for (Param* p : Parameters()) total += p->value.size();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Param* p : Parameters()) p->ZeroGrad();
+}
+
+Param* Module::AddParam(std::string name, Matrix value) {
+  params_.push_back(std::make_unique<Param>(std::move(name), std::move(value)));
+  return params_.back().get();
+}
+
+void Module::AddChild(Module* child) { children_.push_back(child); }
+
+Matrix XavierUniform(int rows, int cols, Rng& rng) {
+  const double limit = std::sqrt(6.0 / (rows + cols));
+  return UniformInit(rows, cols, limit, rng);
+}
+
+Matrix UniformInit(int rows, int cols, double scale, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Uniform(-scale, scale);
+  }
+  return m;
+}
+
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,57 @@
+#ifndef TRMMA_NN_MODULE_H_
+#define TRMMA_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/tensor.h"
+
+namespace trmma {
+namespace nn {
+
+/// Base class for trainable components. Modules own their Params (and
+/// child modules) and expose a flat parameter list for the optimizer and
+/// serialization. Registration order is deterministic, which is what the
+/// binary checkpoint format relies on.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its children, in registration order.
+  std::vector<Param*> Parameters();
+
+  /// Sum of parameter element counts.
+  int64_t NumParameters();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+ protected:
+  /// Creates and registers a parameter initialized by `init`.
+  Param* AddParam(std::string name, Matrix value);
+
+  /// Registers a child whose parameters are reported after this module's
+  /// own. The child must outlive this module (typically a member).
+  void AddChild(Module* child);
+
+ private:
+  std::vector<std::unique_ptr<Param>> params_;
+  std::vector<Module*> children_;
+};
+
+/// Xavier/Glorot uniform initialization.
+Matrix XavierUniform(int rows, int cols, Rng& rng);
+
+/// Uniform initialization in [-scale, scale].
+Matrix UniformInit(int rows, int cols, double scale, Rng& rng);
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_MODULE_H_

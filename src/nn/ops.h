@@ -1,0 +1,91 @@
+#ifndef TRMMA_NN_OPS_H_
+#define TRMMA_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace trmma {
+namespace nn {
+
+/// Differentiable operators over Tape tensors. Every function appends one
+/// node to the tape of its inputs and returns a handle to it. Parameters
+/// (Param&) must outlive the tape's Backward call; their gradients are
+/// accumulated in place.
+namespace ops {
+
+/// Constant leaf (no gradient flows into it).
+Tensor Input(Tape& tape, Matrix value);
+
+/// Leaf mirroring a parameter; backward accumulates into param.grad.
+Tensor FromParam(Tape& tape, Param& param);
+
+/// a * b (matrix product).
+Tensor MatMul(Tensor a, Tensor b);
+
+/// x * W (trainable weight on the right).
+Tensor MatMulParam(Tensor x, Param& w);
+
+/// x * W + b, b broadcast over rows (b is 1 x out).
+Tensor Affine(Tensor x, Param& w, Param& b);
+
+/// Gathers rows `ids` of an embedding table; backward scatters.
+Tensor EmbeddingLookup(Tape& tape, Param& table, const std::vector<int>& ids);
+
+Tensor Add(Tensor a, Tensor b);
+Tensor Sub(Tensor a, Tensor b);
+/// Hadamard (elementwise) product.
+Tensor Mul(Tensor a, Tensor b);
+/// alpha * a.
+Tensor Scale(Tensor a, double alpha);
+/// 1 - a (used by GRU gates).
+Tensor OneMinus(Tensor a);
+
+Tensor Relu(Tensor a);
+Tensor Sigmoid(Tensor a);
+Tensor Tanh(Tensor a);
+
+/// Row-wise softmax.
+Tensor SoftmaxRows(Tensor a);
+
+/// Row-wise layer normalization with trainable gain/bias (1 x d).
+Tensor LayerNormRows(Tensor x, Param& gamma, Param& beta, double eps = 1e-5);
+
+/// Horizontal concatenation [a | b].
+Tensor ConcatCols(Tensor a, Tensor b);
+/// Vertical concatenation of one-or-more tensors with equal column counts.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Column slice [start, start+len).
+Tensor SliceCols(Tensor a, int start, int len);
+/// Row slice [start, start+len).
+Tensor SliceRows(Tensor a, int start, int len);
+
+Tensor Transpose(Tensor a);
+
+/// Repeats a 1 x d row tensor n times -> n x d (broadcast helper).
+Tensor RepeatRows(Tensor a, int n);
+
+/// Mean over rows -> 1 x cols.
+Tensor MeanRows(Tensor a);
+
+/// Sum of all elements -> 1 x 1.
+Tensor SumAll(Tensor a);
+
+/// Numerically stable binary cross entropy with logits, summed over all
+/// elements: sum_i max(z,0) - z*y + log(1+exp(-|z|)). `targets` must have
+/// the logits' shape with values in [0,1].
+Tensor BceWithLogits(Tensor logits, Matrix targets);
+
+/// Sum of absolute errors |pred - target| (paper Eq. 20 uses MAE).
+Tensor L1Loss(Tensor pred, Matrix targets);
+
+/// Multiclass cross entropy with logits: row r is one example, targets[r]
+/// its class; returns the summed loss (used by the full-network baselines).
+Tensor SoftmaxCrossEntropy(Tensor logits, const std::vector<int>& targets);
+
+}  // namespace ops
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_OPS_H_

@@ -1,0 +1,65 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace trmma {
+namespace nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x54524d41;  // "TRMA"
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Param*>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open: " + path);
+  const uint32_t magic = kMagic;
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Param* p : params) {
+    const int32_t rows = p->value.rows();
+    const int32_t cols = p->value.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(sizeof(double)) * p->value.size());
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::vector<Param*>& params,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good() || magic != kMagic) {
+    return Status::IOError("not a TRMMA checkpoint: " + path);
+  }
+  if (count != params.size()) {
+    return Status::InvalidArgument("checkpoint parameter count mismatch");
+  }
+  for (Param* p : params) {
+    int32_t rows = 0;
+    int32_t cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in.good() || rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument("checkpoint shape mismatch for " +
+                                     p->name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(sizeof(double)) * p->value.size());
+    if (!in.good()) return Status::IOError("truncated checkpoint: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,26 @@
+#ifndef TRMMA_NN_SERIALIZE_H_
+#define TRMMA_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace trmma {
+namespace nn {
+
+/// Writes parameter values to a binary checkpoint. Parameters are stored
+/// in list order; loading requires the identical module structure.
+Status SaveParameters(const std::vector<Param*>& params,
+                      const std::string& path);
+
+/// Restores parameter values from a checkpoint written by SaveParameters.
+/// Fails on any shape or count mismatch.
+Status LoadParameters(const std::vector<Param*>& params,
+                      const std::string& path);
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_SERIALIZE_H_

@@ -1,0 +1,37 @@
+#include "nn/tensor.h"
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace nn {
+
+Tensor Tape::NewNode(Matrix value, BackwardFn backward) {
+  nodes_.push_back(NodeRecord{std::move(value), Matrix(), std::move(backward)});
+  return Tensor(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Matrix& Tape::grad(int id) {
+  NodeRecord& node = nodes_[id];
+  if (node.grad.empty()) {
+    node.grad = Matrix(node.value.rows(), node.value.cols());
+  }
+  return node.grad;
+}
+
+void Tape::Backward(const Tensor& loss) {
+  TRMMA_CHECK(loss.tape() == this);
+  TRMMA_CHECK_EQ(loss.rows(), 1);
+  TRMMA_CHECK_EQ(loss.cols(), 1);
+  grad(loss.id()).at(0, 0) = 1.0;
+  for (int id = loss.id(); id >= 0; --id) {
+    NodeRecord& node = nodes_[id];
+    if (node.backward && !node.grad.empty()) {
+      node.backward(*this, id);
+    }
+  }
+}
+
+void Tape::Clear() { nodes_.clear(); }
+
+}  // namespace nn
+}  // namespace trmma

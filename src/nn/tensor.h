@@ -1,0 +1,97 @@
+#ifndef TRMMA_NN_TENSOR_H_
+#define TRMMA_NN_TENSOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace trmma {
+namespace nn {
+
+/// A trainable parameter: value + accumulated gradient, living outside any
+/// tape so it persists across training steps. Gradients are accumulated by
+/// Tape::Backward and cleared by the optimizer.
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Param() = default;
+  Param(std::string n, Matrix v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+class Tape;
+
+/// A lightweight handle to a node on a Tape (define-by-run autograd).
+/// Valid only until the owning tape is cleared.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(Tape* tape, int id) : tape_(tape), id_(id) {}
+
+  bool defined() const { return tape_ != nullptr; }
+  int id() const { return id_; }
+  Tape* tape() const { return tape_; }
+
+  const Matrix& value() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+ private:
+  Tape* tape_ = nullptr;
+  int id_ = -1;
+};
+
+/// A dynamic computation graph. Nodes are appended in topological order by
+/// the op constructors in ops.h; Backward replays them in reverse. The
+/// tape is meant to be cleared (or destroyed) after every training step.
+class Tape {
+ public:
+  using BackwardFn = std::function<void(Tape&, int self)>;
+
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Creates a node holding `value`. `backward` may be null for leaves.
+  Tensor NewNode(Matrix value, BackwardFn backward);
+
+  /// Runs reverse-mode differentiation from `loss` (must be 1x1): seeds
+  /// d(loss)/d(loss)=1 and accumulates into node and Param gradients.
+  void Backward(const Tensor& loss);
+
+  /// Releases all nodes. Handles created before the call become invalid.
+  void Clear();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  const Matrix& value(int id) const { return nodes_[id].value; }
+  Matrix& value(int id) { return nodes_[id].value; }
+
+  /// Gradient buffer of a node, allocated (zeroed) on first access.
+  Matrix& grad(int id);
+
+  /// True if the node's gradient was ever touched during this backward.
+  bool has_grad(int id) const { return !nodes_[id].grad.empty(); }
+
+ private:
+  struct NodeRecord {
+    Matrix value;
+    Matrix grad;  ///< empty until first accessed
+    BackwardFn backward;
+  };
+  std::vector<NodeRecord> nodes_;
+};
+
+inline const Matrix& Tensor::value() const { return tape_->value(id_); }
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_TENSOR_H_

@@ -1,0 +1,50 @@
+#ifndef TRMMA_NN_TRANSFORMER_H_
+#define TRMMA_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace trmma {
+namespace nn {
+
+/// One post-norm transformer encoder layer (paper Eq. 6):
+///   X' = LayerNorm(X + MHAttn(X,X,X));  out = LayerNorm(X' + FFN(X')).
+class TransformerLayer : public Module {
+ public:
+  TransformerLayer(int model_dim, int num_heads, int ffn_dim, Rng& rng);
+
+  Tensor Forward(Tensor x);
+
+ private:
+  MultiHeadAttention attention_;
+  Mlp ffn_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+};
+
+/// A stack of transformer layers with additive sinusoidal positional
+/// encodings (Trans(.) in paper Eq. 3/11/12).
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int model_dim, int num_heads, int ffn_dim,
+                     int num_layers, Rng& rng);
+
+  /// Encodes a sequence (len x d) -> (len x d).
+  Tensor Forward(Tensor x);
+
+ private:
+  int model_dim_;
+  std::vector<std::unique_ptr<TransformerLayer>> layers_;
+};
+
+/// Sinusoidal positional encoding matrix (len x dim).
+Matrix SinusoidalPositionalEncoding(int len, int dim);
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_TRANSFORMER_H_

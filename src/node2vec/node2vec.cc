@@ -1,0 +1,134 @@
+#include "node2vec/node2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace trmma {
+namespace {
+
+double SigmoidScalar(double x) {
+  if (x >= 0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Line-graph adjacency: segments reachable one hop before or after `e`.
+std::vector<std::vector<int>> BuildLineGraph(const RoadNetwork& g) {
+  std::vector<std::vector<int>> nbrs(g.num_segments());
+  for (SegmentId e = 0; e < g.num_segments(); ++e) {
+    for (SegmentId s : g.OutSegments(g.segment(e).to)) {
+      if (s != e) nbrs[e].push_back(s);
+    }
+    for (SegmentId s : g.InSegments(g.segment(e).from)) {
+      if (s != e) nbrs[e].push_back(s);
+    }
+    std::sort(nbrs[e].begin(), nbrs[e].end());
+    nbrs[e].erase(std::unique(nbrs[e].begin(), nbrs[e].end()), nbrs[e].end());
+  }
+  return nbrs;
+}
+
+bool Contains(const std::vector<int>& sorted, int x) {
+  return std::binary_search(sorted.begin(), sorted.end(), x);
+}
+
+}  // namespace
+
+nn::Matrix TrainNode2Vec(const RoadNetwork& network,
+                         const Node2VecConfig& config, Rng& rng) {
+  const int n = network.num_segments();
+  const int d = config.dim;
+  const auto nbrs = BuildLineGraph(network);
+
+  // Two tables: center ("in") and context ("out") vectors, word2vec-style.
+  nn::Matrix center(n, d);
+  nn::Matrix context(n, d);
+  const double init = 0.5 / d;
+  for (int i = 0; i < center.size(); ++i) {
+    center.data()[i] = rng.Uniform(-init, init);
+  }
+
+  // One biased random walk starting at `start` (2nd-order p/q bias).
+  std::vector<int> walk;
+  std::vector<double> weights;
+  auto random_walk = [&](int start) {
+    walk.clear();
+    walk.push_back(start);
+    while (static_cast<int>(walk.size()) < config.walk_length) {
+      const int cur = walk.back();
+      const auto& cands = nbrs[cur];
+      if (cands.empty()) break;
+      if (walk.size() == 1) {
+        walk.push_back(cands[rng.UniformInt(cands.size())]);
+        continue;
+      }
+      const int prev = walk[walk.size() - 2];
+      weights.resize(cands.size());
+      for (size_t i = 0; i < cands.size(); ++i) {
+        const int x = cands[i];
+        if (x == prev) {
+          weights[i] = 1.0 / config.p;
+        } else if (Contains(nbrs[prev], x)) {
+          weights[i] = 1.0;
+        } else {
+          weights[i] = 1.0 / config.q;
+        }
+      }
+      walk.push_back(cands[rng.Categorical(weights)]);
+    }
+  };
+
+  // Skip-gram with negative sampling over all walks.
+  std::vector<double> grad_center(d);
+  auto train_pair = [&](int c, int o, double lr) {
+    std::fill(grad_center.begin(), grad_center.end(), 0.0);
+    double* vc = center.row(c);
+    for (int k = 0; k <= config.negatives; ++k) {
+      const int target = k == 0 ? o : static_cast<int>(rng.UniformInt(n));
+      const double label = k == 0 ? 1.0 : 0.0;
+      if (k > 0 && target == o) continue;
+      double* uo = context.row(target);
+      double dot = 0.0;
+      for (int j = 0; j < d; ++j) dot += vc[j] * uo[j];
+      const double err = SigmoidScalar(dot) - label;
+      for (int j = 0; j < d; ++j) {
+        grad_center[j] += err * uo[j];
+        uo[j] -= lr * err * vc[j];
+      }
+    }
+    for (int j = 0; j < d; ++j) vc[j] -= lr * grad_center[j];
+  };
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  const int64_t total_steps = static_cast<int64_t>(config.epochs) *
+                              config.walks_per_node * n;
+  int64_t step = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (int w = 0; w < config.walks_per_node; ++w) {
+      rng.Shuffle(order);
+      for (int start : order) {
+        const double progress = static_cast<double>(step++) / total_steps;
+        const double lr = config.lr * std::max(1.0 - progress, 0.05);
+        random_walk(start);
+        const int len = static_cast<int>(walk.size());
+        for (int i = 0; i < len; ++i) {
+          const int lo = std::max(0, i - config.window);
+          const int hi = std::min(len - 1, i + config.window);
+          for (int j = lo; j <= hi; ++j) {
+            if (j != i) train_pair(walk[i], walk[j], lr);
+          }
+        }
+        // `step` counts walks; ensure the loop above ran at least once per
+        // node even for isolated segments (walk of length 1 trains nothing,
+        // leaving the random init, which is acceptable for dead ends).
+      }
+    }
+  }
+  return center;
+}
+
+}  // namespace trmma

@@ -1,0 +1,31 @@
+#ifndef TRMMA_RECOVERY_RECOVERY_H_
+#define TRMMA_RECOVERY_RECOVERY_H_
+
+#include <string>
+
+#include "traj/types.h"
+
+namespace trmma {
+
+/// Common interface of trajectory-recovery methods (paper Def. 7): given a
+/// sparse trajectory T and a target sampling rate ε, produce the
+/// map-matched ε-sampling trajectory T_ε.
+class RecoveryMethod {
+ public:
+  virtual ~RecoveryMethod() = default;
+
+  virtual MatchedTrajectory Recover(const Trajectory& sparse,
+                                    double epsilon) = 0;
+
+  /// Display name used in experiment tables.
+  virtual std::string name() const = 0;
+};
+
+/// Number of missing points to insert between observations at t1 < t2 so
+/// the result satisfies the ε-sampling rate (Algorithm 2 line 9, made
+/// robust to floating-point timestamps on an exact ε grid).
+int NumMissingPoints(double t1, double t2, double epsilon);
+
+}  // namespace trmma
+
+#endif  // TRMMA_RECOVERY_RECOVERY_H_

@@ -1,0 +1,151 @@
+#include "traj/dataset.h"
+
+#include <numeric>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace trmma {
+
+void Dataset::Split(double train_frac, double val_frac, Rng& rng) {
+  TRMMA_CHECK_GT(train_frac, 0.0);
+  TRMMA_CHECK_GE(val_frac, 0.0);
+  TRMMA_CHECK_LE(train_frac + val_frac, 1.0);
+  std::vector<int> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const int n = static_cast<int>(order.size());
+  const int n_train = static_cast<int>(n * train_frac);
+  const int n_val = static_cast<int>(n * val_frac);
+  train_idx.assign(order.begin(), order.begin() + n_train);
+  val_idx.assign(order.begin() + n_train, order.begin() + n_train + n_val);
+  test_idx.assign(order.begin() + n_train + n_val, order.end());
+}
+
+namespace {
+
+std::string Num(double v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.13g", v);
+  return buf;
+}
+
+void AppendIndexRow(std::vector<std::vector<std::string>>& rows,
+                    const std::string& tag, const std::vector<int>& idx) {
+  std::vector<std::string> row = {tag};
+  for (int i : idx) row.push_back(std::to_string(i));
+  rows.push_back(std::move(row));
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  if (dataset.network == nullptr) {
+    return Status::FailedPrecondition("dataset has no network");
+  }
+  const RoadNetwork& g = *dataset.network;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"DATASET", dataset.name, Num(dataset.epsilon_s),
+                  Num(dataset.gamma)});
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    rows.push_back({"NODE", Num(g.node(i).pos.lat), Num(g.node(i).pos.lng)});
+  }
+  for (SegmentId i = 0; i < g.num_segments(); ++i) {
+    const auto& s = g.segment(i);
+    rows.push_back({"SEG", std::to_string(s.from), std::to_string(s.to),
+                    Num(s.speed_mps)});
+  }
+  for (const auto& sample : dataset.samples) {
+    rows.push_back({"SAMPLE"});
+    for (int i = 0; i < sample.raw.size(); ++i) {
+      const auto& p = sample.raw.points[i];
+      const auto& a = sample.truth[i];
+      rows.push_back({"PT", Num(p.pos.lat), Num(p.pos.lng), Num(p.t),
+                      std::to_string(a.segment), Num(a.ratio)});
+    }
+    AppendIndexRow(rows, "ROUTE",
+                   std::vector<int>(sample.route.begin(), sample.route.end()));
+    AppendIndexRow(rows, "SPARSE", sample.sparse_indices);
+  }
+  AppendIndexRow(rows, "TRAIN", dataset.train_idx);
+  AppendIndexRow(rows, "VAL", dataset.val_idx);
+  AppendIndexRow(rows, "TEST", dataset.test_idx);
+  return csv::WriteFile(path, rows);
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  auto rows_or = csv::ReadFile(path);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty() || rows[0][0] != "DATASET" || rows[0].size() < 4) {
+    return Status::IOError("malformed dataset file: " + path);
+  }
+
+  Dataset dataset;
+  dataset.name = rows[0][1];
+  dataset.epsilon_s = std::stod(rows[0][2]);
+  dataset.gamma = std::stod(rows[0][3]);
+  dataset.network = std::make_unique<RoadNetwork>();
+
+  auto parse_index_row =
+      [](const std::vector<std::string>& row) -> std::vector<int> {
+    std::vector<int> out;
+    for (size_t i = 1; i < row.size(); ++i) {
+      if (!row[i].empty()) out.push_back(std::stoi(row[i]));
+    }
+    return out;
+  };
+
+  bool network_done = false;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    const std::string& tag = row[0];
+    if (tag == "NODE") {
+      dataset.network->AddNode(LatLng{std::stod(row[1]), std::stod(row[2])});
+    } else if (tag == "SEG") {
+      auto seg = dataset.network->AddSegment(std::stoi(row[1]),
+                                             std::stoi(row[2]),
+                                             std::stod(row[3]));
+      if (!seg.ok()) return seg.status();
+    } else if (tag == "SAMPLE") {
+      if (!network_done) {
+        TRMMA_RETURN_IF_ERROR(dataset.network->Finalize());
+        network_done = true;
+      }
+      dataset.samples.emplace_back();
+    } else if (tag == "PT") {
+      auto& sample = dataset.samples.back();
+      GpsPoint p{LatLng{std::stod(row[1]), std::stod(row[2])},
+                 std::stod(row[3])};
+      sample.raw.points.push_back(p);
+      sample.truth.push_back(
+          MatchedPoint{std::stoi(row[4]), std::stod(row[5]), p.t});
+    } else if (tag == "ROUTE") {
+      auto ids = parse_index_row(row);
+      dataset.samples.back().route.assign(ids.begin(), ids.end());
+    } else if (tag == "SPARSE") {
+      auto& sample = dataset.samples.back();
+      sample.sparse_indices = parse_index_row(row);
+      for (int idx : sample.sparse_indices) {
+        if (idx < 0 || idx >= sample.raw.size()) {
+          return Status::IOError("sparse index out of range");
+        }
+        sample.sparse.points.push_back(sample.raw.points[idx]);
+      }
+    } else if (tag == "TRAIN") {
+      dataset.train_idx = parse_index_row(row);
+    } else if (tag == "VAL") {
+      dataset.val_idx = parse_index_row(row);
+    } else if (tag == "TEST") {
+      dataset.test_idx = parse_index_row(row);
+    } else {
+      return Status::IOError("unknown row tag: " + tag);
+    }
+  }
+  if (!network_done) {
+    TRMMA_RETURN_IF_ERROR(dataset.network->Finalize());
+  }
+  return dataset;
+}
+
+}  // namespace trmma

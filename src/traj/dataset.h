@@ -1,0 +1,38 @@
+#ifndef TRMMA_TRAJ_DATASET_H_
+#define TRMMA_TRAJ_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "traj/types.h"
+
+namespace trmma {
+
+/// A complete experimental dataset: a road network plus trajectory samples
+/// split into train/validation/test (paper §VI-A uses 40/30/30).
+struct Dataset {
+  std::string name;
+  double epsilon_s = 15.0;  ///< target high-sampling rate ε
+  double gamma = 0.1;       ///< sparsity ratio used to derive sparse inputs
+  std::unique_ptr<RoadNetwork> network;
+  std::vector<TrajectorySample> samples;
+  std::vector<int> train_idx;
+  std::vector<int> val_idx;
+  std::vector<int> test_idx;
+
+  /// Randomly splits samples into train/val/test with the given fractions.
+  void Split(double train_frac, double val_frac, Rng& rng);
+};
+
+/// Persists a dataset (network + samples + split) to a text file.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset previously written by SaveDataset.
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace trmma
+
+#endif  // TRMMA_TRAJ_DATASET_H_

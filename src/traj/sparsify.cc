@@ -1,0 +1,29 @@
+#include "traj/sparsify.h"
+
+#include "common/logging.h"
+
+namespace trmma {
+
+std::vector<int> SparseIndices(int dense_size, double gamma, Rng& rng) {
+  TRMMA_CHECK_GE(dense_size, 2);
+  TRMMA_CHECK_GT(gamma, 0.0);
+  TRMMA_CHECK_LE(gamma, 1.0);
+  std::vector<int> keep;
+  keep.push_back(0);
+  for (int i = 1; i < dense_size - 1; ++i) {
+    if (rng.Bernoulli(gamma)) keep.push_back(i);
+  }
+  keep.push_back(dense_size - 1);
+  return keep;
+}
+
+void SparsifySample(TrajectorySample& sample, double gamma, Rng& rng) {
+  sample.sparse_indices = SparseIndices(sample.raw.size(), gamma, rng);
+  sample.sparse.points.clear();
+  sample.sparse.points.reserve(sample.sparse_indices.size());
+  for (int idx : sample.sparse_indices) {
+    sample.sparse.points.push_back(sample.raw.points[idx]);
+  }
+}
+
+}  // namespace trmma

@@ -1,0 +1,24 @@
+#ifndef TRMMA_TRAJ_SPARSIFY_H_
+#define TRMMA_TRAJ_SPARSIFY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "traj/types.h"
+
+namespace trmma {
+
+/// Selects the indices of a sparse subsequence of a dense ε-sampling
+/// trajectory of length `dense_size`, following the paper's protocol
+/// (§VI-A): interior points are kept independently with probability γ so
+/// the sparse trajectory has average interval ε/γ; the first and last
+/// points are always kept.
+std::vector<int> SparseIndices(int dense_size, double gamma, Rng& rng);
+
+/// Applies SparseIndices to a sample: fills sample.sparse and
+/// sample.sparse_indices from sample.raw.
+void SparsifySample(TrajectorySample& sample, double gamma, Rng& rng);
+
+}  // namespace trmma
+
+#endif  // TRMMA_TRAJ_SPARSIFY_H_

@@ -1,0 +1,19 @@
+#include "traj/types.h"
+
+#include <algorithm>
+
+namespace trmma {
+
+GpsPoint GpsFromMatched(const RoadNetwork& network, const MatchedPoint& a) {
+  return GpsPoint{network.LatLngOnSegment(a.segment, a.ratio), a.t};
+}
+
+MatchedPoint ProjectToSegment(const RoadNetwork& network, const GpsPoint& p,
+                              SegmentId segment) {
+  const Vec2 xy = network.projection().ToMeters(p.pos);
+  const SegmentProjection proj = network.ProjectOnto(segment, xy);
+  // Def. 5 requires r in [0,1): clamp the projection's closed upper end.
+  return MatchedPoint{segment, std::min(proj.ratio, 0.999999), p.t};
+}
+
+}  // namespace trmma

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mm/candidates.h"
+#include "mm/grid_cells.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(CandidatesTest, ReturnsKcCandidatesPerPoint) {
+  Dataset ds = test::MakeTinyDataset("XA", 6);
+  SegmentRTree index(*ds.network);
+  const auto& sample = ds.samples[0];
+  auto cands = ComputeCandidates(*ds.network, index, sample.sparse, 10);
+  ASSERT_EQ(cands.size(), static_cast<size_t>(sample.sparse.size()));
+  for (const auto& point_cands : cands) {
+    EXPECT_EQ(point_cands.size(), 10u);
+  }
+}
+
+TEST(CandidatesTest, SortedByDistance) {
+  Dataset ds = test::MakeTinyDataset("XA", 4);
+  SegmentRTree index(*ds.network);
+  auto cands = ComputeCandidates(*ds.network, index, ds.samples[0].sparse, 8);
+  for (const auto& pc : cands) {
+    for (size_t j = 1; j < pc.size(); ++j) {
+      EXPECT_LE(pc[j - 1].distance, pc[j].distance + 1e-9);
+    }
+  }
+}
+
+TEST(CandidatesTest, CosineFeaturesInRange) {
+  Dataset ds = test::MakeTinyDataset("CD", 4);
+  SegmentRTree index(*ds.network);
+  auto cands = ComputeCandidates(*ds.network, index, ds.samples[0].sparse, 10);
+  for (const auto& pc : cands) {
+    for (const Candidate& c : pc) {
+      for (int f = 0; f < 4; ++f) {
+        EXPECT_GE(c.cosine[f], -1.0 - 1e-9);
+        EXPECT_LE(c.cosine[f], 1.0 + 1e-9);
+      }
+      EXPECT_GE(c.ratio, 0.0);
+      EXPECT_LE(c.ratio, 1.0);
+      EXPECT_GE(c.distance, 0.0);
+    }
+  }
+}
+
+TEST(CandidatesTest, BoundaryPointsZeroNeighborCosines) {
+  Dataset ds = test::MakeTinyDataset("XA", 4);
+  SegmentRTree index(*ds.network);
+  auto cands = ComputeCandidates(*ds.network, index, ds.samples[0].sparse, 5);
+  // First point: feature 2 (prev->cur) undefined -> 0.
+  for (const Candidate& c : cands.front()) {
+    EXPECT_DOUBLE_EQ(c.cosine[2], 0.0);
+  }
+  // Last point: feature 3 (cur->next) undefined -> 0.
+  for (const Candidate& c : cands.back()) {
+    EXPECT_DOUBLE_EQ(c.cosine[3], 0.0);
+  }
+}
+
+TEST(CandidatesTest, TrueSegmentUsuallyInTopTen) {
+  // The paper's Fig. 2 premise: with k_c = 10 the true segment is almost
+  // always among the candidates.
+  Dataset ds = test::MakeTinyDataset("XA", 40);
+  SegmentRTree index(*ds.network);
+  int64_t total = 0;
+  int64_t hit = 0;
+  for (const auto& sample : ds.samples) {
+    auto cands = ComputeCandidates(*ds.network, index, sample.sparse, 10);
+    for (size_t i = 0; i < cands.size(); ++i) {
+      const SegmentId truth = sample.truth[sample.sparse_indices[i]].segment;
+      for (const Candidate& c : cands[i]) {
+        if (c.segment == truth) {
+          ++hit;
+          break;
+        }
+      }
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hit) / total, 0.95);
+}
+
+TEST(CandidatesTest, NearestAloneIsNotEnough) {
+  // ... while the top-1 hit rate is clearly lower (the motivation for
+  // classification over a candidate set).
+  Dataset ds = test::MakeTinyDataset("XA", 40);
+  SegmentRTree index(*ds.network);
+  int64_t total = 0;
+  int64_t hit1 = 0;
+  for (const auto& sample : ds.samples) {
+    auto cands = ComputeCandidates(*ds.network, index, sample.sparse, 1);
+    for (size_t i = 0; i < cands.size(); ++i) {
+      const SegmentId truth = sample.truth[sample.sparse_indices[i]].segment;
+      hit1 += cands[i][0].segment == truth;
+      ++total;
+    }
+  }
+  EXPECT_LT(static_cast<double>(hit1) / total, 0.95);
+}
+
+TEST(GridIndexerTest, CellsCoverNetwork) {
+  Dataset ds = test::MakeTinyDataset("XA", 2);
+  GridIndexer grid(*ds.network, 200.0);
+  EXPECT_GT(grid.num_cells(), 4);
+  for (NodeId i = 0; i < ds.network->num_nodes(); ++i) {
+    const int cell = grid.CellOf(ds.network->node(i).pos);
+    EXPECT_GE(cell, 0);
+    EXPECT_LT(cell, grid.num_cells());
+  }
+}
+
+TEST(GridIndexerTest, NearbyPointsShareCell) {
+  Dataset ds = test::MakeTinyDataset("XA", 2);
+  GridIndexer grid(*ds.network, 500.0);
+  const LatLng base = ds.network->node(0).pos;
+  LatLng nudged = base;
+  nudged.lat += 1e-5;  // ~1m
+  EXPECT_EQ(grid.CellOf(base), grid.CellOf(nudged));
+}
+
+TEST(GridIndexerTest, FarPointsDifferentCells) {
+  Dataset ds = test::MakeTinyDataset("XA", 2);
+  GridIndexer grid(*ds.network, 100.0);
+  // Two opposite corners of the network.
+  int c0 = grid.CellOf(ds.network->node(0).pos);
+  int c1 = grid.CellOf(ds.network->node(ds.network->num_nodes() - 1).pos);
+  EXPECT_NE(c0, c1);
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace trmma {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "hello");
+}
+
+Status Helper(bool fail) {
+  TRMMA_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Helper(false).ok());
+  EXPECT_EQ(Helper(true).code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalIgnoresNegativeWeights) {
+  Rng rng(21);
+  std::vector<double> w = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(w), 1u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(25);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.Shuffle(v);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += v[i] != i;
+  EXPECT_GT(moved, 50);
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, SplitLineBasic) {
+  auto f = csv::SplitLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvTest, SplitLineEmptyFields) {
+  auto f = csv::SplitLine(",x,,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "x");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(CsvTest, SplitLineStripsCarriageReturn) {
+  auto f = csv::SplitLine("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::string path = testing::TempDir() + "/trmma_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {
+      {"h1", "h2"}, {"1", "2"}, {"x", ""}};
+  ASSERT_TRUE(csv::WriteFile(path, rows).ok());
+  auto read = csv::ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto read = csv::ReadFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  EXPECT_FALSE(csv::WriteFile("/nonexistent/dir/f.csv", {{"a"}}).ok());
+}
+
+// -------------------------------------------------------------- Stopwatch
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1;
+  EXPECT_GE(w.ElapsedSeconds(), 0.0);
+  EXPECT_GE(w.ElapsedMillis(), w.ElapsedSeconds());
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + 1;
+  const double before = w.ElapsedSeconds();
+  w.Restart();
+  EXPECT_LE(w.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/csv.h"
+#include "traj/dataset.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(DatasetSplitTest, PartitionsAllSamples) {
+  Dataset ds = test::MakeTinyDataset("XA", 40);
+  Rng rng(1);
+  ds.Split(0.4, 0.3, rng);
+  std::set<int> all;
+  for (int i : ds.train_idx) all.insert(i);
+  for (int i : ds.val_idx) all.insert(i);
+  for (int i : ds.test_idx) all.insert(i);
+  EXPECT_EQ(all.size(), ds.samples.size());
+  EXPECT_EQ(ds.train_idx.size() + ds.val_idx.size() + ds.test_idx.size(),
+            ds.samples.size());
+  EXPECT_EQ(ds.train_idx.size(), 16u);
+  EXPECT_EQ(ds.val_idx.size(), 12u);
+}
+
+TEST(DatasetSplitTest, DisjointSplits) {
+  Dataset ds = test::MakeTinyDataset("XA", 30);
+  Rng rng(2);
+  ds.Split(0.5, 0.25, rng);
+  std::set<int> train(ds.train_idx.begin(), ds.train_idx.end());
+  for (int i : ds.val_idx) EXPECT_EQ(train.count(i), 0u);
+  for (int i : ds.test_idx) EXPECT_EQ(train.count(i), 0u);
+}
+
+TEST(DatasetIoTest, SaveLoadRoundTrip) {
+  Dataset ds = test::MakeTinyDataset("XA", 12);
+  const std::string path = testing::TempDir() + "/trmma_dataset_test.txt";
+  ASSERT_TRUE(SaveDataset(ds, path).ok());
+  auto loaded_or = LoadDataset(path);
+  ASSERT_TRUE(loaded_or.ok());
+  const Dataset& loaded = loaded_or.value();
+
+  EXPECT_EQ(loaded.name, ds.name);
+  EXPECT_DOUBLE_EQ(loaded.epsilon_s, ds.epsilon_s);
+  EXPECT_DOUBLE_EQ(loaded.gamma, ds.gamma);
+  ASSERT_NE(loaded.network, nullptr);
+  EXPECT_EQ(loaded.network->num_nodes(), ds.network->num_nodes());
+  EXPECT_EQ(loaded.network->num_segments(), ds.network->num_segments());
+  ASSERT_EQ(loaded.samples.size(), ds.samples.size());
+  for (size_t s = 0; s < ds.samples.size(); ++s) {
+    const auto& a = ds.samples[s];
+    const auto& b = loaded.samples[s];
+    ASSERT_EQ(a.raw.size(), b.raw.size());
+    for (int i = 0; i < a.raw.size(); ++i) {
+      EXPECT_NEAR(a.raw.points[i].pos.lat, b.raw.points[i].pos.lat, 1e-8);
+      EXPECT_NEAR(a.raw.points[i].t, b.raw.points[i].t, 1e-6);
+      EXPECT_EQ(a.truth[i].segment, b.truth[i].segment);
+      EXPECT_NEAR(a.truth[i].ratio, b.truth[i].ratio, 1e-8);
+    }
+    EXPECT_EQ(a.route, b.route);
+    EXPECT_EQ(a.sparse_indices, b.sparse_indices);
+    EXPECT_EQ(a.sparse.size(), b.sparse.size());
+  }
+  EXPECT_EQ(loaded.train_idx, ds.train_idx);
+  EXPECT_EQ(loaded.test_idx, ds.test_idx);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadDataset("/nonexistent/ds.txt").ok());
+}
+
+TEST(DatasetIoTest, LoadMalformedFails) {
+  const std::string path = testing::TempDir() + "/trmma_bad_dataset.txt";
+  ASSERT_TRUE(csv::WriteFile(path, {{"NOT_A_DATASET"}}).ok());
+  EXPECT_FALSE(LoadDataset(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, SaveWithoutNetworkFails) {
+  Dataset ds;
+  EXPECT_EQ(SaveDataset(ds, testing::TempDir() + "/x.txt").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace trmma

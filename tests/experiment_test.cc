@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+class ExperimentFixture : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(test::MakeTinyDataset("XA", 90));
+    StackConfig config;
+    config.mma.d0 = 16;
+    config.mma.d1 = 32;
+    config.mma.d2 = 16;
+    config.mma.d3 = 32;
+    config.mma.trans_ffn = 32;
+    config.trmma.dh = 16;
+    config.trmma.trans_ffn = 32;
+    config.seq2seq.dh = 16;
+    config.deepmm.hidden_dim = 16;
+    config.node2vec.epochs = 1;
+    config.node2vec.walks_per_node = 2;
+    config.ubodt_delta_m = 2500.0;
+    stack_ = new ExperimentStack(BuildStack(*dataset_, config));
+  }
+  static void TearDownTestSuite() {
+    delete stack_;
+    delete dataset_;
+  }
+
+  static Dataset* dataset_;
+  static ExperimentStack* stack_;
+};
+
+Dataset* ExperimentFixture::dataset_ = nullptr;
+ExperimentStack* ExperimentFixture::stack_ = nullptr;
+
+TEST_F(ExperimentFixture, StackHasAllComponents) {
+  EXPECT_NE(stack_->index, nullptr);
+  EXPECT_NE(stack_->ubodt, nullptr);
+  EXPECT_NE(stack_->planner, nullptr);
+  EXPECT_NE(stack_->nearest, nullptr);
+  EXPECT_NE(stack_->hmm, nullptr);
+  EXPECT_NE(stack_->fmm, nullptr);
+  EXPECT_NE(stack_->lhmm, nullptr);
+  EXPECT_NE(stack_->mma, nullptr);
+  EXPECT_NE(stack_->deepmm, nullptr);
+  EXPECT_NE(stack_->trmma, nullptr);
+  EXPECT_NE(stack_->linear, nullptr);
+  EXPECT_NE(stack_->mtrajrec, nullptr);
+  EXPECT_NE(stack_->trajformer, nullptr);
+  EXPECT_EQ(stack_->node2vec_table.rows(),
+            dataset_->network->num_segments());
+}
+
+TEST_F(ExperimentFixture, MapMatchingEvalInRange) {
+  auto ev = EvaluateMapMatching(*stack_, *stack_->nearest, 15);
+  EXPECT_GT(ev.metrics.f1, 0.2);
+  EXPECT_LE(ev.metrics.f1, 1.0);
+  EXPECT_GT(ev.seconds_per_1000, 0.0);
+  EXPECT_GE(ev.metrics.jaccard, 0.0);
+  EXPECT_LE(ev.metrics.jaccard, ev.metrics.f1 + 1e-9);
+}
+
+TEST_F(ExperimentFixture, RecoveryEvalInRange) {
+  auto ev = EvaluateRecovery(*stack_, *stack_->linear, 15);
+  EXPECT_GT(ev.accuracy, 0.1);
+  EXPECT_LE(ev.accuracy, 1.0);
+  EXPECT_GT(ev.mae_m, 0.0);
+  EXPECT_GE(ev.rmse_m, ev.mae_m);
+  EXPECT_GT(ev.seconds_per_1000, 0.0);
+}
+
+TEST_F(ExperimentFixture, TrainHelpersReportTimings) {
+  auto mma_stats = TrainMma(*stack_, 1);
+  EXPECT_GT(mma_stats.seconds_per_epoch, 0.0);
+  EXPECT_GT(mma_stats.final_loss, 0.0);
+  auto lhmm_stats = TrainLhmm(*stack_, 1);
+  EXPECT_GE(lhmm_stats.seconds_per_epoch, 0.0);
+  auto trmma_stats = TrainTrmma(*stack_, 1);
+  EXPECT_GT(trmma_stats.final_loss, 0.0);
+}
+
+TEST_F(ExperimentFixture, TrainFractionSubsamples) {
+  // Training on 10% must be faster than on 100%.
+  auto frac = TrainMma(*stack_, 1, 0.1);
+  auto full = TrainMma(*stack_, 1, 1.0);
+  EXPECT_LT(frac.seconds_per_epoch, full.seconds_per_epoch);
+}
+
+TEST(ResparsifyTest, ChangesGammaAndDensity) {
+  Dataset ds = test::MakeTinyDataset("XA", 20);
+  size_t sparse_points_before = 0;
+  for (const auto& s : ds.samples) sparse_points_before += s.sparse.size();
+  ResparsifyDataset(ds, 0.5, 99);
+  EXPECT_DOUBLE_EQ(ds.gamma, 0.5);
+  size_t sparse_points_after = 0;
+  for (const auto& s : ds.samples) {
+    sparse_points_after += s.sparse.size();
+    EXPECT_EQ(s.sparse_indices.front(), 0);
+    EXPECT_EQ(s.sparse_indices.back(), s.raw.size() - 1);
+  }
+  EXPECT_GT(sparse_points_after, sparse_points_before);
+}
+
+TEST(PrintHelpersTest, DoNotCrash) {
+  PrintHeader("method", {"a", "b"});
+  PrintRow("x", {1.2345, 6.789});
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "gen/network_gen.h"
+#include "gen/presets.h"
+#include "gen/traj_gen.h"
+#include "graph/shortest_path.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(NetworkGenTest, RejectsTinyGrid) {
+  NetworkGenConfig config;
+  config.grid_width = 2;
+  config.grid_height = 2;
+  Rng rng(1);
+  EXPECT_FALSE(GenerateNetwork(config, rng).ok());
+}
+
+TEST(NetworkGenTest, DeterministicForSeed) {
+  NetworkGenConfig config;
+  config.grid_width = 8;
+  config.grid_height = 6;
+  Rng rng1(5);
+  Rng rng2(5);
+  auto a = GenerateNetwork(config, rng1);
+  auto b = GenerateNetwork(config, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value()->num_nodes(), b.value()->num_nodes());
+  EXPECT_EQ(a.value()->num_segments(), b.value()->num_segments());
+}
+
+/// Property: the generated network is strongly connected (any segment can
+/// reach any other), across seeds.
+class NetworkConnectivityTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkConnectivityTest, StronglyConnected) {
+  auto g = test::MakeCityNetwork(GetParam());
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 25; ++trial) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    NodeId dst = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    EXPECT_TRUE(engine.NodeToNode(src, dst).found);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkConnectivityTest,
+                         testing::Values(1, 2, 3, 7, 11, 13));
+
+TEST(NetworkGenTest, SpeedsWithinConfiguredRange) {
+  NetworkGenConfig config;
+  config.grid_width = 8;
+  config.grid_height = 8;
+  Rng rng(3);
+  auto g_or = GenerateNetwork(config, rng);
+  ASSERT_TRUE(g_or.ok());
+  const auto& g = *g_or.value();
+  for (SegmentId i = 0; i < g.num_segments(); ++i) {
+    EXPECT_GT(g.segment(i).speed_mps, 0.0);
+    EXPECT_LT(g.segment(i).speed_mps, config.arterial_speed_mps * 1.2);
+  }
+}
+
+// ---------------------------------------------------------------- TrajGen
+
+class TrajGenFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = test::MakeCityNetwork(21);
+    ASSERT_NE(network_, nullptr);
+    config_.epsilon_s = 15.0;
+    config_.min_route_length_m = 800.0;
+    config_.max_route_length_m = 4000.0;
+    config_.min_points = 8;
+  }
+  std::unique_ptr<RoadNetwork> network_;
+  TrajGenConfig config_;
+};
+
+TEST_F(TrajGenFixture, PointsOnExactEpsilonGrid) {
+  TrajectoryGenerator gen(*network_, config_);
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto s = gen.Generate(rng);
+    ASSERT_TRUE(s.ok());
+    const auto& truth = s.value().truth;
+    ASSERT_GE(truth.size(), static_cast<size_t>(config_.min_points));
+    for (size_t i = 1; i < truth.size(); ++i) {
+      EXPECT_NEAR(truth[i].t - truth[i - 1].t, config_.epsilon_s, 1e-6);
+    }
+  }
+}
+
+TEST_F(TrajGenFixture, RouteIsConnectedAndCoversTruth) {
+  TrajectoryGenerator gen(*network_, config_);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto s = gen.Generate(rng);
+    ASSERT_TRUE(s.ok());
+    const auto& sample = s.value();
+    EXPECT_TRUE(IsConnectedRoute(*network_, sample.route));
+    std::set<SegmentId> route_set(sample.route.begin(), sample.route.end());
+    for (const MatchedPoint& a : sample.truth) {
+      EXPECT_EQ(route_set.count(a.segment), 1u);
+    }
+    EXPECT_EQ(sample.truth.back().segment, sample.route.back());
+  }
+}
+
+TEST_F(TrajGenFixture, TruthSegmentsFollowRouteOrder) {
+  TrajectoryGenerator gen(*network_, config_);
+  Rng rng(6);
+  auto s = gen.Generate(rng);
+  ASSERT_TRUE(s.ok());
+  const auto& sample = s.value();
+  size_t cursor = 0;
+  for (const MatchedPoint& a : sample.truth) {
+    while (cursor < sample.route.size() && sample.route[cursor] != a.segment) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, sample.route.size());
+  }
+}
+
+TEST_F(TrajGenFixture, RatiosInHalfOpenUnitInterval) {
+  TrajectoryGenerator gen(*network_, config_);
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto s = gen.Generate(rng);
+    ASSERT_TRUE(s.ok());
+    for (const MatchedPoint& a : s.value().truth) {
+      EXPECT_GE(a.ratio, 0.0);
+      EXPECT_LT(a.ratio, 1.0);
+    }
+  }
+}
+
+TEST_F(TrajGenFixture, GpsNoiseIsBounded) {
+  config_.gps_noise_sigma_m = 5.0;
+  config_.canyon_bias_m = 6.0;
+  TrajectoryGenerator gen(*network_, config_);
+  Rng rng(8);
+  auto s = gen.Generate(rng);
+  ASSERT_TRUE(s.ok());
+  const auto& sample = s.value();
+  double total = 0.0;
+  for (size_t i = 0; i < sample.truth.size(); ++i) {
+    const Vec2 truth_xy = network_->PointOnSegment(sample.truth[i].segment,
+                                                   sample.truth[i].ratio);
+    const Vec2 obs_xy =
+        network_->projection().ToMeters(sample.raw.points[i].pos);
+    const double err = (obs_xy - truth_xy).Norm();
+    total += err;
+    EXPECT_LT(err, 6.0 + 6.0 * 5.0);  // bias + 6 sigma
+  }
+  EXPECT_GT(total / sample.truth.size(), 1.0);  // noise actually applied
+}
+
+TEST_F(TrajGenFixture, RouteLengthWithinConfiguredBand) {
+  TrajectoryGenerator gen(*network_, config_);
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto s = gen.Generate(rng);
+    ASSERT_TRUE(s.ok());
+    // The driven route can exceed the shortest-path band via detours, but
+    // not the absolute cap.
+    EXPECT_LE(RouteLength(*network_, s.value().route),
+              config_.max_route_length_m * 1.01);
+  }
+}
+
+// ---------------------------------------------------------------- Presets
+
+TEST(PresetTest, AllCityNamesResolve) {
+  for (const std::string& name : CityNames()) {
+    EXPECT_TRUE(GetCityPreset(name).ok()) << name;
+  }
+  EXPECT_FALSE(GetCityPreset("LA").ok());
+}
+
+TEST(PresetTest, BjIsLargestNetworkWithCoarsestRate) {
+  auto bj = GetCityPreset("BJ").value();
+  auto xa = GetCityPreset("XA").value();
+  EXPECT_GT(bj.net.grid_width * bj.net.grid_height,
+            xa.net.grid_width * xa.net.grid_height);
+  EXPECT_GT(bj.traj.epsilon_s, xa.traj.epsilon_s);
+}
+
+TEST(PresetTest, BuildsDatasetWithSplits) {
+  Dataset ds = test::MakeTinyDataset("CD", 25);
+  EXPECT_EQ(ds.name, "CD");
+  EXPECT_EQ(ds.samples.size(), 25u);
+  EXPECT_FALSE(ds.train_idx.empty());
+  EXPECT_FALSE(ds.test_idx.empty());
+  ASSERT_NE(ds.network, nullptr);
+  EXPECT_GT(ds.network->num_segments(), 100);
+  for (const auto& sample : ds.samples) {
+    EXPECT_GE(sample.sparse.size(), 2);
+    EXPECT_EQ(sample.raw.size(), static_cast<int>(sample.truth.size()));
+  }
+}
+
+TEST(PresetTest, DatasetGenerationIsDeterministic) {
+  Dataset a = test::MakeTinyDataset("XA", 8);
+  Dataset b = test::MakeTinyDataset("XA", 8);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].route, b.samples[i].route);
+    EXPECT_EQ(a.samples[i].sparse_indices, b.samples[i].sparse_indices);
+  }
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geo/geometry.h"
+#include "geo/latlng.h"
+
+namespace trmma {
+namespace {
+
+// ------------------------------------------------------------- Haversine
+
+TEST(HaversineTest, ZeroForSamePoint) {
+  LatLng p{31.2, 121.5};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  const double d = HaversineMeters({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_NEAR(d, 111195.0, 200.0);
+}
+
+TEST(HaversineTest, LongitudeShrinksWithLatitude) {
+  const double at_equator = HaversineMeters({0.0, 0.0}, {0.0, 1.0});
+  const double at_60 = HaversineMeters({60.0, 0.0}, {60.0, 1.0});
+  EXPECT_NEAR(at_60 / at_equator, 0.5, 0.01);
+}
+
+TEST(HaversineTest, Symmetric) {
+  LatLng a{30.5, 104.0};
+  LatLng b{30.7, 104.3};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+// ------------------------------------------------------------ Projection
+
+TEST(LocalProjectionTest, OriginMapsToZero) {
+  LocalProjection proj(LatLng{31.0, 121.0});
+  Vec2 v = proj.ToMeters({31.0, 121.0});
+  EXPECT_NEAR(v.x, 0.0, 1e-9);
+  EXPECT_NEAR(v.y, 0.0, 1e-9);
+}
+
+TEST(LocalProjectionTest, RoundTrip) {
+  LocalProjection proj(LatLng{31.0, 121.0});
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    LatLng p{31.0 + rng.Uniform(-0.2, 0.2), 121.0 + rng.Uniform(-0.2, 0.2)};
+    LatLng back = proj.ToLatLng(proj.ToMeters(p));
+    EXPECT_NEAR(back.lat, p.lat, 1e-9);
+    EXPECT_NEAR(back.lng, p.lng, 1e-9);
+  }
+}
+
+TEST(LocalProjectionTest, DistancesMatchHaversineLocally) {
+  LocalProjection proj(LatLng{31.0, 121.0});
+  LatLng a{31.01, 121.02};
+  LatLng b{31.03, 121.05};
+  const double planar = (proj.ToMeters(a) - proj.ToMeters(b)).Norm();
+  const double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 0.001);
+}
+
+TEST(LocalProjectionTest, NorthIsPositiveY) {
+  LocalProjection proj(LatLng{31.0, 121.0});
+  EXPECT_GT(proj.ToMeters({31.1, 121.0}).y, 0.0);
+  EXPECT_GT(proj.ToMeters({31.0, 121.1}).x, 0.0);
+}
+
+// ------------------------------------------------------------------ Vec2
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1.0, 2.0};
+  Vec2 b{3.0, -1.0};
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).x, 2.0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}.Norm()), 5.0);
+}
+
+// ------------------------------------------------------------------ BBox
+
+TEST(BBoxTest, UnionCoversBoth) {
+  BBox a{0, 0, 1, 1};
+  BBox b{2, -1, 3, 0.5};
+  BBox u = BBox::Union(a, b);
+  EXPECT_DOUBLE_EQ(u.min_x, 0);
+  EXPECT_DOUBLE_EQ(u.min_y, -1);
+  EXPECT_DOUBLE_EQ(u.max_x, 3);
+  EXPECT_DOUBLE_EQ(u.max_y, 1);
+}
+
+TEST(BBoxTest, OfSegmentOrdersCoordinates) {
+  BBox b = BBox::OfSegment({5, 1}, {2, 4});
+  EXPECT_DOUBLE_EQ(b.min_x, 2);
+  EXPECT_DOUBLE_EQ(b.max_x, 5);
+  EXPECT_DOUBLE_EQ(b.min_y, 1);
+  EXPECT_DOUBLE_EQ(b.max_y, 4);
+}
+
+TEST(BBoxTest, ContainsAndDistance) {
+  BBox b{0, 0, 10, 10};
+  EXPECT_TRUE(b.Contains({5, 5}));
+  EXPECT_TRUE(b.Contains({0, 10}));
+  EXPECT_FALSE(b.Contains({-0.1, 5}));
+  EXPECT_DOUBLE_EQ(b.DistanceTo({5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(b.DistanceTo({13, 14}), 5.0);
+  EXPECT_DOUBLE_EQ(b.DistanceTo({-3, 5}), 3.0);
+}
+
+TEST(BBoxTest, Expanded) {
+  BBox b = BBox{1, 1, 2, 2}.Expanded(0.5);
+  EXPECT_DOUBLE_EQ(b.min_x, 0.5);
+  EXPECT_DOUBLE_EQ(b.max_y, 2.5);
+}
+
+// ---------------------------------------------------- Segment projection
+
+TEST(ProjectOntoSegmentTest, PerpendicularFoot) {
+  auto p = ProjectOntoSegment({5, 3}, {0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(p.ratio, 0.5);
+  EXPECT_DOUBLE_EQ(p.distance, 3.0);
+  EXPECT_DOUBLE_EQ(p.point.x, 5.0);
+  EXPECT_DOUBLE_EQ(p.point.y, 0.0);
+}
+
+TEST(ProjectOntoSegmentTest, ClampsBeforeStart) {
+  auto p = ProjectOntoSegment({-4, 3}, {0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(p.ratio, 0.0);
+  EXPECT_DOUBLE_EQ(p.distance, 5.0);
+}
+
+TEST(ProjectOntoSegmentTest, ClampsAfterEnd) {
+  auto p = ProjectOntoSegment({13, 4}, {0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(p.ratio, 1.0);
+  EXPECT_DOUBLE_EQ(p.distance, 5.0);
+}
+
+TEST(ProjectOntoSegmentTest, DegenerateSegment) {
+  auto p = ProjectOntoSegment({3, 4}, {0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(p.ratio, 0.0);
+  EXPECT_DOUBLE_EQ(p.distance, 5.0);
+}
+
+/// Property sweep: the projection is the closest point of the segment.
+class ProjectionPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(ProjectionPropertyTest, ProjectionIsClosestPoint) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec2 a{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    Vec2 b{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    Vec2 q{rng.Uniform(-150, 150), rng.Uniform(-150, 150)};
+    auto proj = ProjectOntoSegment(q, a, b);
+    EXPECT_GE(proj.ratio, 0.0);
+    EXPECT_LE(proj.ratio, 1.0);
+    // Sample the segment densely: nothing is closer than the projection.
+    for (int s = 0; s <= 20; ++s) {
+      Vec2 cand = InterpolateOnSegment(a, b, s / 20.0);
+      EXPECT_LE(proj.distance, (q - cand).Norm() + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+TEST(InterpolateTest, Endpoints) {
+  Vec2 a{1, 1};
+  Vec2 b{5, 9};
+  EXPECT_DOUBLE_EQ(InterpolateOnSegment(a, b, 0.0).x, 1.0);
+  EXPECT_DOUBLE_EQ(InterpolateOnSegment(a, b, 1.0).y, 9.0);
+  EXPECT_DOUBLE_EQ(InterpolateOnSegment(a, b, 0.5).x, 3.0);
+}
+
+// ------------------------------------------------------ CosineSimilarity
+
+TEST(CosineTest, ParallelIsOne) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {5, 0}), 1.0, 1e-12);
+}
+
+TEST(CosineTest, AntiParallelIsMinusOne) {
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {-2, -2}), -1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalIsZero) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 3}), 0.0, 1e-12);
+}
+
+TEST(CosineTest, ZeroVectorGivesZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 2}), 0.0);
+}
+
+}  // namespace
+}  // namespace trmma

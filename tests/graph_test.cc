@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "graph/road_network.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(RoadNetworkTest, BuildsSmallNetwork) {
+  auto g = test::MakeGrid(3, 2);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->num_nodes(), 6);
+  // 3x2 grid: horizontal 2*2, vertical 3*1, both directions.
+  EXPECT_EQ(g->num_segments(), 2 * (2 * 2 + 3 * 1));
+  EXPECT_TRUE(g->finalized());
+}
+
+TEST(RoadNetworkTest, SegmentLengthMatchesSpacing) {
+  auto g = test::MakeGrid(3, 3, 150.0);
+  ASSERT_NE(g, nullptr);
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    EXPECT_NEAR(g->segment(i).length_m, 150.0, 0.5);
+  }
+}
+
+TEST(RoadNetworkTest, AdjacencyIsConsistent) {
+  auto g = test::MakeGrid(4, 4);
+  ASSERT_NE(g, nullptr);
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    const RoadSegment& seg = g->segment(i);
+    const auto& outs = g->OutSegments(seg.from);
+    EXPECT_NE(std::find(outs.begin(), outs.end(), i), outs.end());
+    const auto& ins = g->InSegments(seg.to);
+    EXPECT_NE(std::find(ins.begin(), ins.end(), i), ins.end());
+  }
+}
+
+TEST(RoadNetworkTest, NextSegmentsLeaveSegmentExit) {
+  auto g = test::MakeGrid(3, 3);
+  ASSERT_NE(g, nullptr);
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    for (SegmentId n : g->NextSegments(i)) {
+      EXPECT_EQ(g->segment(n).from, g->segment(i).to);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, InteriorNodeDegreeIsFour) {
+  auto g = test::MakeGrid(5, 5);
+  ASSERT_NE(g, nullptr);
+  // Node (2,2) is interior.
+  EXPECT_EQ(g->OutSegments(2 * 5 + 2).size(), 4u);
+  EXPECT_EQ(g->MaxOutDegree(), 4);
+}
+
+TEST(RoadNetworkTest, AddSegmentValidation) {
+  RoadNetwork g;
+  NodeId a = g.AddNode({31.0, 121.0});
+  NodeId b = g.AddNode({31.001, 121.0});
+  EXPECT_FALSE(g.AddSegment(a, a, 10.0).ok());       // self-loop
+  EXPECT_FALSE(g.AddSegment(a, 99, 10.0).ok());      // bad endpoint
+  EXPECT_FALSE(g.AddSegment(a, b, -1.0).ok());       // bad speed
+  EXPECT_TRUE(g.AddSegment(a, b, 10.0).ok());
+}
+
+TEST(RoadNetworkTest, FinalizeRejectsEmptyAndDouble) {
+  RoadNetwork empty;
+  EXPECT_FALSE(empty.Finalize().ok());
+
+  RoadNetwork g;
+  NodeId a = g.AddNode({31.0, 121.0});
+  NodeId b = g.AddNode({31.001, 121.0});
+  ASSERT_TRUE(g.AddSegment(a, b, 10.0).ok());
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(RoadNetworkTest, FinalizeRejectsZeroLengthSegment) {
+  RoadNetwork g;
+  NodeId a = g.AddNode({31.0, 121.0});
+  NodeId b = g.AddNode({31.0, 121.0});  // identical position
+  ASSERT_TRUE(g.AddSegment(a, b, 10.0).ok());
+  EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(RoadNetworkTest, PointOnSegmentInterpolates) {
+  auto g = test::MakeGrid(2, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  // Find the eastbound segment from node 0 to node 1.
+  SegmentId east = kInvalidSegment;
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    if (g->segment(i).from == 0 && g->segment(i).to == 1) east = i;
+  }
+  ASSERT_NE(east, kInvalidSegment);
+  const Vec2 start = g->SegmentStartXy(east);
+  const Vec2 mid = g->PointOnSegment(east, 0.5);
+  EXPECT_NEAR((mid - start).Norm(), 50.0, 0.5);
+}
+
+TEST(RoadNetworkTest, LatLngOnSegmentRoundTrips) {
+  auto g = test::MakeGrid(2, 2, 100.0);
+  ASSERT_NE(g, nullptr);
+  const LatLng p = g->LatLngOnSegment(0, 0.25);
+  const Vec2 xy = g->projection().ToMeters(p);
+  const SegmentProjection proj = g->ProjectOnto(0, xy);
+  EXPECT_NEAR(proj.ratio, 0.25, 1e-6);
+  EXPECT_NEAR(proj.distance, 0.0, 1e-6);
+}
+
+TEST(RoadNetworkTest, MoveConstructible) {
+  auto g = test::MakeGrid(2, 2);
+  ASSERT_NE(g, nullptr);
+  RoadNetwork moved = std::move(*g);
+  EXPECT_EQ(moved.num_nodes(), 4);
+  EXPECT_TRUE(moved.finalized());
+}
+
+}  // namespace
+}  // namespace trmma

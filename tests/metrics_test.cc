@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(SetMetricsTest, PerfectMatch) {
+  SetMetrics m = SegmentSetMetrics({1, 2, 3}, {3, 2, 1});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.jaccard, 1.0);
+}
+
+TEST(SetMetricsTest, PartialOverlap) {
+  // pred {1,2,3,4}, truth {3,4,5,6}: inter 2, union 6.
+  SetMetrics m = SegmentSetMetrics({1, 2, 3, 4}, {3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+  EXPECT_NEAR(m.jaccard, 2.0 / 6.0, 1e-12);
+}
+
+TEST(SetMetricsTest, DuplicatesCollapse) {
+  SetMetrics m = SegmentSetMetrics({1, 1, 1, 2}, {1, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(SetMetricsTest, EmptyPrediction) {
+  SetMetrics m = SegmentSetMetrics({}, {1, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(SetMetricsTest, AccumulateAndAverage) {
+  SetMetrics sum;
+  sum += SegmentSetMetrics({1}, {1});
+  sum += SegmentSetMetrics({2}, {3});
+  SetMetrics avg = sum / 2.0;
+  EXPECT_DOUBLE_EQ(avg.precision, 0.5);
+  EXPECT_DOUBLE_EQ(avg.f1, 0.5);
+}
+
+TEST(PointwiseAccuracyTest, ExactAndPartial) {
+  MatchedTrajectory truth = {{1, 0.1, 0}, {2, 0.2, 15}, {3, 0.3, 30}};
+  MatchedTrajectory same = truth;
+  EXPECT_DOUBLE_EQ(PointwiseAccuracy(same, truth), 1.0);
+  MatchedTrajectory half = truth;
+  half[1].segment = 9;
+  EXPECT_NEAR(PointwiseAccuracy(half, truth), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PointwiseAccuracyTest, ShortPredictionPenalized) {
+  MatchedTrajectory truth = {{1, 0, 0}, {2, 0, 1}, {3, 0, 2}, {4, 0, 3}};
+  MatchedTrajectory pred = {{1, 0, 0}, {2, 0, 1}};
+  EXPECT_DOUBLE_EQ(PointwiseAccuracy(pred, truth), 0.5);
+}
+
+TEST(PointwiseAccuracyTest, EmptyTruthIsZero) {
+  EXPECT_DOUBLE_EQ(PointwiseAccuracy({}, {}), 0.0);
+}
+
+TEST(DistanceErrorsTest, IdenticalTrajectoriesZero) {
+  Dataset ds = test::MakeTinyDataset("XA", 4);
+  ShortestPathEngine engine(*ds.network);
+  const auto& truth = ds.samples[0].truth;
+  auto err = RecoveryDistanceErrors(*ds.network, engine, truth, truth);
+  EXPECT_NEAR(err.mae, 0.0, 1e-6);
+  EXPECT_NEAR(err.rmse, 0.0, 1e-6);
+}
+
+TEST(DistanceErrorsTest, ShiftedPointHasItsOffset) {
+  Dataset ds = test::MakeTinyDataset("XA", 4);
+  ShortestPathEngine engine(*ds.network);
+  MatchedTrajectory truth = {ds.samples[0].truth[0]};
+  MatchedTrajectory pred = truth;
+  // Move the prediction 30% of the segment forward.
+  const double len = ds.network->segment(truth[0].segment).length_m;
+  pred[0].ratio = std::min(truth[0].ratio + 0.3, 0.99);
+  const double expect = (pred[0].ratio - truth[0].ratio) * len;
+  auto err = RecoveryDistanceErrors(*ds.network, engine, pred, truth);
+  EXPECT_NEAR(err.mae, expect, 1e-6);
+  EXPECT_NEAR(err.rmse, expect, 1e-6);
+}
+
+TEST(DistanceErrorsTest, MissingPredictionsCountAsCap) {
+  Dataset ds = test::MakeTinyDataset("XA", 4);
+  ShortestPathEngine engine(*ds.network);
+  MatchedTrajectory truth = {ds.samples[0].truth[0], ds.samples[0].truth[1]};
+  MatchedTrajectory pred = {truth[0]};
+  auto err = RecoveryDistanceErrors(*ds.network, engine, pred, truth, 500.0);
+  EXPECT_NEAR(err.mae, 250.0, 1e-6);
+}
+
+TEST(DistanceErrorsTest, SymmetricDirectionUsed) {
+  // A prediction slightly BEHIND the truth on the same segment should cost
+  // its small backward distance, not a loop around the block.
+  Dataset ds = test::MakeTinyDataset("XA", 4);
+  ShortestPathEngine engine(*ds.network);
+  MatchedPoint t = ds.samples[0].truth[3];
+  t.ratio = 0.5;
+  MatchedPoint p = t;
+  p.ratio = 0.4;
+  const double len = ds.network->segment(t.segment).length_m;
+  auto err = RecoveryDistanceErrors(*ds.network, engine, {p}, {t});
+  EXPECT_NEAR(err.mae, 0.1 * len, 1e-6);
+}
+
+TEST(RmseAtLeastMae, Property) {
+  Dataset ds = test::MakeTinyDataset("XA", 6);
+  ShortestPathEngine engine(*ds.network);
+  const auto& truth = ds.samples[1].truth;
+  MatchedTrajectory pred = truth;
+  // Perturb ratios.
+  for (size_t i = 0; i < pred.size(); i += 2) {
+    pred[i].ratio = std::min(0.99, pred[i].ratio + 0.2);
+  }
+  auto err = RecoveryDistanceErrors(*ds.network, engine, pred, truth);
+  EXPECT_GE(err.rmse, err.mae - 1e-9);
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "mm/hmm.h"
+#include "mm/lhmm.h"
+#include "mm/nearest.h"
+#include "mm/route_stitch.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+/// Fixture building a small dataset and the routing substrates once.
+class MatcherFixture : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(test::MakeTinyDataset("XA", 80));
+    index_ = new SegmentRTree(*dataset_->network);
+    ubodt_ = new Ubodt(*dataset_->network, 3000.0);
+    stats_ = new TransitionStats(*dataset_->network);
+    for (int idx : dataset_->train_idx) {
+      stats_->AddRoute(dataset_->samples[idx].route);
+    }
+    planner_ = new DaRoutePlanner(*dataset_->network, *stats_);
+    engine_ = new ShortestPathEngine(*dataset_->network);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete planner_;
+    delete stats_;
+    delete ubodt_;
+    delete index_;
+    delete dataset_;
+  }
+
+  /// Pointwise segment accuracy of a matcher on the test split.
+  static double PointAccuracy(MapMatcher& matcher, int max_samples = 25) {
+    int64_t total = 0;
+    int64_t ok = 0;
+    int count = 0;
+    for (int idx : dataset_->test_idx) {
+      if (count++ >= max_samples) break;
+      const auto& sample = dataset_->samples[idx];
+      auto segs = matcher.MatchPoints(sample.sparse);
+      for (size_t i = 0; i < segs.size(); ++i) {
+        ok += segs[i] == sample.truth[sample.sparse_indices[i]].segment;
+        ++total;
+      }
+    }
+    return static_cast<double>(ok) / total;
+  }
+
+  static Dataset* dataset_;
+  static SegmentRTree* index_;
+  static Ubodt* ubodt_;
+  static TransitionStats* stats_;
+  static DaRoutePlanner* planner_;
+  static ShortestPathEngine* engine_;
+};
+
+Dataset* MatcherFixture::dataset_ = nullptr;
+SegmentRTree* MatcherFixture::index_ = nullptr;
+Ubodt* MatcherFixture::ubodt_ = nullptr;
+TransitionStats* MatcherFixture::stats_ = nullptr;
+DaRoutePlanner* MatcherFixture::planner_ = nullptr;
+ShortestPathEngine* MatcherFixture::engine_ = nullptr;
+
+TEST_F(MatcherFixture, NearestMatchesEveryPoint) {
+  NearestMatcher nearest(*dataset_->network, *index_);
+  const auto& sample = dataset_->samples[0];
+  auto segs = nearest.MatchPoints(sample.sparse);
+  ASSERT_EQ(segs.size(), static_cast<size_t>(sample.sparse.size()));
+  for (SegmentId s : segs) EXPECT_NE(s, kInvalidSegment);
+}
+
+TEST_F(MatcherFixture, NearestIsDecentButImperfect) {
+  NearestMatcher nearest(*dataset_->network, *index_);
+  const double acc = PointAccuracy(nearest);
+  EXPECT_GT(acc, 0.4);
+  EXPECT_LT(acc, 0.98);
+}
+
+TEST_F(MatcherFixture, HmmBeatsNearest) {
+  NearestMatcher nearest(*dataset_->network, *index_);
+  HmmMatcher hmm(*dataset_->network, *index_);
+  EXPECT_GT(PointAccuracy(hmm), PointAccuracy(nearest));
+}
+
+TEST_F(MatcherFixture, FmmMatchesHmmDecisions) {
+  // FMM is HMM + precomputation: with the UBODT delta covering the HMM's
+  // search radius, the decoded segments must be (near) identical.
+  HmmMatcher hmm(*dataset_->network, *index_);
+  FmmMatcher fmm(*dataset_->network, *index_, *ubodt_);
+  int same = 0;
+  int total = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto& sample = dataset_->samples[dataset_->test_idx[t]];
+    auto a = hmm.MatchPoints(sample.sparse);
+    auto b = fmm.MatchPoints(sample.sparse);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      same += a[i] == b[i];
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(same) / total, 0.9);
+}
+
+TEST_F(MatcherFixture, LhmmTrainingImprovesOverUntrained) {
+  LhmmMatcher untrained(*dataset_->network, *index_, *ubodt_);
+  LhmmMatcher trained(*dataset_->network, *index_, *ubodt_);
+  Rng rng(5);
+  const double loss = trained.Train(*dataset_, 3, rng);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_GE(PointAccuracy(trained) + 0.02, PointAccuracy(untrained));
+}
+
+TEST_F(MatcherFixture, StitchedRoutesAreConnected) {
+  HmmMatcher hmm(*dataset_->network, *index_);
+  for (int t = 0; t < 10; ++t) {
+    const auto& sample = dataset_->samples[dataset_->test_idx[t]];
+    auto segs = hmm.MatchPoints(sample.sparse);
+    Route route = StitchRoute(*dataset_->network, *planner_, *engine_, segs);
+    EXPECT_TRUE(IsConnectedRoute(*dataset_->network, route));
+    // Every matched segment appears on the route.
+    for (SegmentId s : segs) {
+      EXPECT_NE(std::find(route.begin(), route.end(), s), route.end());
+    }
+  }
+}
+
+TEST_F(MatcherFixture, StitchSinglePoint) {
+  Route route = StitchRoute(*dataset_->network, *planner_, *engine_, {7});
+  EXPECT_EQ(route, Route{7});
+}
+
+TEST_F(MatcherFixture, StitchDeduplicatesRepeats) {
+  Route route =
+      StitchRoute(*dataset_->network, *planner_, *engine_, {7, 7, 7});
+  EXPECT_EQ(route, Route{7});
+}
+
+TEST_F(MatcherFixture, HmmRecoversCleanTrajectory) {
+  // A noise-free trajectory generated on the network must be matched with
+  // high pointwise accuracy.
+  const auto& sample = dataset_->samples[dataset_->test_idx[0]];
+  Trajectory clean;
+  std::vector<SegmentId> truth;
+  for (int idx : sample.sparse_indices) {
+    clean.points.push_back(GpsFromMatched(*dataset_->network,
+                                          sample.truth[idx]));
+    truth.push_back(sample.truth[idx].segment);
+  }
+  HmmMatcher hmm(*dataset_->network, *index_);
+  auto segs = hmm.MatchPoints(clean);
+  int ok = 0;
+  for (size_t i = 0; i < segs.size(); ++i) ok += segs[i] == truth[i];
+  EXPECT_GE(static_cast<double>(ok) / segs.size(), 0.8);
+}
+
+TEST_F(MatcherFixture, EmptyTrajectoryIsHandled) {
+  HmmMatcher hmm(*dataset_->network, *index_);
+  Trajectory empty;
+  EXPECT_TRUE(hmm.MatchPoints(empty).empty());
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/gradcheck.h"
+#include "nn/ops.h"
+
+namespace trmma {
+namespace nn {
+namespace {
+
+namespace ops = nn::ops;
+
+/// Builds a parameter with random entries.
+Param RandomParam(const std::string& name, int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform(-0.8, 0.8);
+  return Param(name, std::move(m));
+}
+
+/// Runs a gradient check for a loss builder over one parameter and asserts
+/// it passes.
+void ExpectGradOk(Param& p, const std::function<Tensor(Tape&)>& loss_fn,
+                  double tol = 2e-6) {
+  auto result = CheckGradients(loss_fn, {&p}, 1e-6, tol, 0);
+  EXPECT_TRUE(result.ok) << "max rel error " << result.max_rel_error;
+}
+
+TEST(AutogradTest, FromParamGradient) {
+  Param p = RandomParam("p", 2, 3, 1);
+  ExpectGradOk(p, [&](Tape& tape) {
+    return ops::SumAll(ops::FromParam(tape, p));
+  });
+}
+
+TEST(AutogradTest, MatMulParamGradient) {
+  Param w = RandomParam("w", 3, 2, 2);
+  ExpectGradOk(w, [&](Tape& tape) {
+    Tensor x = ops::Input(tape, RandomParam("x", 4, 3, 3).value);
+    return ops::SumAll(ops::Sigmoid(ops::MatMulParam(x, w)));
+  });
+}
+
+TEST(AutogradTest, MatMulBothSidesGradient) {
+  Param a = RandomParam("a", 2, 3, 4);
+  Param b = RandomParam("b", 3, 2, 5);
+  auto loss_fn = [&](Tape& tape) {
+    Tensor ta = ops::FromParam(tape, a);
+    Tensor tb = ops::FromParam(tape, b);
+    return ops::SumAll(ops::Tanh(ops::MatMul(ta, tb)));
+  };
+  auto result = CheckGradients(loss_fn, {&a, &b}, 1e-6, 2e-6, 0);
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(AutogradTest, AffineGradient) {
+  Param w = RandomParam("w", 3, 2, 6);
+  Param b = RandomParam("b", 1, 2, 7);
+  auto loss_fn = [&](Tape& tape) {
+    Tensor x = ops::Input(tape, RandomParam("x", 5, 3, 8).value);
+    return ops::SumAll(ops::Sigmoid(ops::Affine(x, w, b)));
+  };
+  auto result = CheckGradients(loss_fn, {&w, &b}, 1e-6, 2e-6, 0);
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(AutogradTest, EmbeddingGradientWithRepeats) {
+  Param table = RandomParam("t", 4, 3, 9);
+  ExpectGradOk(table, [&](Tape& tape) {
+    // Index 2 appears twice: its gradient must accumulate.
+    Tensor e = ops::EmbeddingLookup(tape, table, {2, 0, 2});
+    return ops::SumAll(ops::Mul(e, e));
+  });
+}
+
+TEST(AutogradTest, AddSubMulGradients) {
+  Param p = RandomParam("p", 2, 2, 10);
+  ExpectGradOk(p, [&](Tape& tape) {
+    Tensor a = ops::FromParam(tape, p);
+    Tensor b = ops::Scale(a, 0.5);
+    Tensor c = ops::Add(ops::Mul(a, b), ops::Sub(a, b));
+    return ops::SumAll(ops::Mul(c, c));
+  });
+}
+
+TEST(AutogradTest, OneMinusGradient) {
+  Param p = RandomParam("p", 1, 4, 11);
+  ExpectGradOk(p, [&](Tape& tape) {
+    Tensor a = ops::FromParam(tape, p);
+    return ops::SumAll(ops::Mul(ops::OneMinus(a), ops::OneMinus(a)));
+  });
+}
+
+TEST(AutogradTest, ReluGradient) {
+  // Entries away from the kink so the numeric derivative is clean.
+  Param p("p", Matrix(1, 4));
+  p.value.at(0, 0) = -0.7;
+  p.value.at(0, 1) = 0.9;
+  p.value.at(0, 2) = -0.2;
+  p.value.at(0, 3) = 0.4;
+  ExpectGradOk(p, [&](Tape& tape) {
+    Tensor a = ops::Relu(ops::FromParam(tape, p));
+    return ops::SumAll(ops::Mul(a, a));
+  });
+}
+
+TEST(AutogradTest, SigmoidTanhGradients) {
+  Param p = RandomParam("p", 2, 3, 12);
+  ExpectGradOk(p, [&](Tape& tape) {
+    Tensor a = ops::FromParam(tape, p);
+    return ops::SumAll(ops::Mul(ops::Sigmoid(a), ops::Tanh(a)));
+  });
+}
+
+TEST(AutogradTest, SoftmaxGradient) {
+  Param p = RandomParam("p", 3, 4, 13);
+  ExpectGradOk(p, [&](Tape& tape) {
+    Tensor y = ops::SoftmaxRows(ops::FromParam(tape, p));
+    // Weighted sum so the gradient is not identically zero.
+    Tensor w = ops::Input(tape, RandomParam("w", 3, 4, 14).value);
+    return ops::SumAll(ops::Mul(y, w));
+  });
+}
+
+TEST(AutogradTest, LayerNormGradient) {
+  Param x = RandomParam("x", 3, 5, 15);
+  Param gamma("g", Matrix(1, 5, 1.0));
+  Param beta("b", Matrix(1, 5));
+  auto loss_fn = [&](Tape& tape) {
+    Tensor y = ops::LayerNormRows(ops::FromParam(tape, x), gamma, beta);
+    Tensor w = ops::Input(tape, RandomParam("w", 3, 5, 16).value);
+    return ops::SumAll(ops::Mul(y, w));
+  };
+  auto result = CheckGradients(loss_fn, {&x, &gamma, &beta}, 1e-6, 5e-6, 0);
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(AutogradTest, ConcatSliceTransposeGradients) {
+  Param p = RandomParam("p", 3, 4, 17);
+  ExpectGradOk(p, [&](Tape& tape) {
+    Tensor a = ops::FromParam(tape, p);
+    Tensor cat = ops::ConcatCols(a, ops::Transpose(ops::SliceCols(a, 0, 3)));
+    Tensor rows = ops::ConcatRows({cat, cat});
+    Tensor sl = ops::SliceRows(rows, 1, 4);
+    return ops::SumAll(ops::Mul(sl, sl));
+  });
+}
+
+TEST(AutogradTest, RepeatMeanGradients) {
+  Param p = RandomParam("p", 1, 4, 18);
+  ExpectGradOk(p, [&](Tape& tape) {
+    Tensor a = ops::FromParam(tape, p);
+    Tensor rep = ops::RepeatRows(a, 5);
+    Tensor mean = ops::MeanRows(ops::Mul(rep, rep));
+    return ops::SumAll(mean);
+  });
+}
+
+TEST(AutogradTest, BceWithLogitsGradient) {
+  Param p = RandomParam("p", 4, 1, 19);
+  Matrix labels(4, 1);
+  labels.at(1, 0) = 1.0;
+  ExpectGradOk(p, [&](Tape& tape) {
+    Matrix y = labels;
+    return ops::BceWithLogits(ops::FromParam(tape, p), std::move(y));
+  });
+}
+
+TEST(AutogradTest, L1LossGradient) {
+  // Keep entries away from the target so the |.| kink is not crossed.
+  Param p("p", Matrix(1, 3));
+  p.value.at(0, 0) = 0.5;
+  p.value.at(0, 1) = -0.7;
+  p.value.at(0, 2) = 0.9;
+  ExpectGradOk(p, [&](Tape& tape) {
+    return ops::L1Loss(ops::Sigmoid(ops::FromParam(tape, p)),
+                       Matrix(1, 3, 0.0));
+  });
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyGradient) {
+  Param p = RandomParam("p", 3, 5, 20);
+  ExpectGradOk(p, [&](Tape& tape) {
+    return ops::SoftmaxCrossEntropy(ops::FromParam(tape, p), {1, 4, 0});
+  });
+}
+
+TEST(AutogradTest, DeepCompositeGraphGradient) {
+  Param w1 = RandomParam("w1", 4, 6, 21);
+  Param b1 = RandomParam("b1", 1, 6, 22);
+  Param w2 = RandomParam("w2", 6, 1, 23);
+  auto loss_fn = [&](Tape& tape) {
+    Tensor x = ops::Input(tape, RandomParam("x", 3, 4, 24).value);
+    Tensor h = ops::Relu(ops::Affine(x, w1, b1));
+    Tensor out = ops::Sigmoid(ops::MatMulParam(h, w2));
+    return ops::L1Loss(out, Matrix(3, 1, 1.0));
+  };
+  auto result = CheckGradients(loss_fn, {&w1, &b1, &w2}, 1e-6, 5e-6, 0);
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(AutogradTest, GradientsAccumulateAcrossBackwardCalls) {
+  Param p("p", Matrix(1, 1, 2.0));
+  for (int i = 0; i < 3; ++i) {
+    Tape tape;
+    Tensor loss = ops::SumAll(ops::Mul(ops::FromParam(tape, p),
+                                       ops::FromParam(tape, p)));
+    tape.Backward(loss);
+  }
+  // d(x^2)/dx = 2x = 4, accumulated 3 times.
+  EXPECT_NEAR(p.grad.at(0, 0), 12.0, 1e-9);
+}
+
+TEST(AutogradTest, TapeClearInvalidatesNothingForParams) {
+  Param p("p", Matrix(1, 1, 3.0));
+  Tape tape;
+  Tensor loss = ops::SumAll(ops::FromParam(tape, p));
+  tape.Backward(loss);
+  tape.Clear();
+  EXPECT_EQ(tape.num_nodes(), 0);
+  EXPECT_NEAR(p.grad.at(0, 0), 1.0, 1e-12);
+}
+
+TEST(AutogradTest, GradCheckDetectsBrokenGradient) {
+  // A deliberately wrong "loss" pairing: analytic grad of sum(x) is 1, but
+  // we perturb the evaluation to 2*sum(x) after computing gradients once.
+  Param p("p", Matrix(1, 2, 0.5));
+  bool first = true;
+  auto loss_fn = [&](Tape& tape) -> Tensor {
+    Tensor x = ops::FromParam(tape, p);
+    if (first) {
+      first = false;
+      return ops::SumAll(x);
+    }
+    return ops::SumAll(ops::Scale(x, 2.0));
+  };
+  auto result = CheckGradients(loss_fn, {&p}, 1e-6, 1e-4, 0);
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "nn/ops.h"
+
+namespace trmma {
+namespace nn {
+namespace {
+
+namespace ops = nn::ops;
+
+Matrix Make(int r, int c, std::initializer_list<double> vals) {
+  Matrix m(r, c);
+  int i = 0;
+  for (double v : vals) m.data()[i++] = v;
+  return m;
+}
+
+TEST(OpsForwardTest, InputHoldsValue) {
+  Tape tape;
+  Tensor t = ops::Input(tape, Make(1, 2, {3.0, -1.0}));
+  EXPECT_DOUBLE_EQ(t.value().at(0, 1), -1.0);
+  EXPECT_EQ(t.rows(), 1);
+  EXPECT_EQ(t.cols(), 2);
+}
+
+TEST(OpsForwardTest, AddSubMulScale) {
+  Tape tape;
+  Tensor a = ops::Input(tape, Make(1, 2, {1.0, 2.0}));
+  Tensor b = ops::Input(tape, Make(1, 2, {3.0, -4.0}));
+  EXPECT_DOUBLE_EQ(ops::Add(a, b).value().at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(ops::Sub(a, b).value().at(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(ops::Mul(a, b).value().at(0, 1), -8.0);
+  EXPECT_DOUBLE_EQ(ops::Scale(a, -2.0).value().at(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(ops::OneMinus(a).value().at(0, 1), -1.0);
+}
+
+TEST(OpsForwardTest, Activations) {
+  Tape tape;
+  Tensor x = ops::Input(tape, Make(1, 3, {-1.0, 0.0, 2.0}));
+  Tensor r = ops::Relu(x);
+  EXPECT_DOUBLE_EQ(r.value().at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().at(0, 2), 2.0);
+  Tensor s = ops::Sigmoid(x);
+  EXPECT_NEAR(s.value().at(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(s.value().at(0, 2), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  Tensor t = ops::Tanh(x);
+  EXPECT_NEAR(t.value().at(0, 0), std::tanh(-1.0), 1e-12);
+}
+
+TEST(OpsForwardTest, SoftmaxRowsNormalizes) {
+  Tape tape;
+  Tensor x = ops::Input(tape, Make(2, 3, {1, 2, 3, 100, 100, 100}));
+  Tensor y = ops::SoftmaxRows(x);
+  for (int r = 0; r < 2; ++r) {
+    double sum = 0;
+    for (int c = 0; c < 3; ++c) sum += y.value().at(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(y.value().at(1, 0), 1.0 / 3.0, 1e-12);  // stable at large logits
+  EXPECT_GT(y.value().at(0, 2), y.value().at(0, 0));
+}
+
+TEST(OpsForwardTest, ConcatAndSlice) {
+  Tape tape;
+  Tensor a = ops::Input(tape, Make(2, 2, {1, 2, 3, 4}));
+  Tensor b = ops::Input(tape, Make(2, 1, {9, 8}));
+  Tensor cc = ops::ConcatCols(a, b);
+  EXPECT_EQ(cc.cols(), 3);
+  EXPECT_DOUBLE_EQ(cc.value().at(1, 2), 8.0);
+  Tensor cr = ops::ConcatRows({a, a});
+  EXPECT_EQ(cr.rows(), 4);
+  EXPECT_DOUBLE_EQ(cr.value().at(3, 1), 4.0);
+  Tensor sc = ops::SliceCols(a, 1, 1);
+  EXPECT_DOUBLE_EQ(sc.value().at(0, 0), 2.0);
+  Tensor sr = ops::SliceRows(a, 1, 1);
+  EXPECT_DOUBLE_EQ(sr.value().at(0, 0), 3.0);
+}
+
+TEST(OpsForwardTest, TransposeRepeatMeanSum) {
+  Tape tape;
+  Tensor a = ops::Input(tape, Make(2, 3, {1, 2, 3, 4, 5, 6}));
+  Tensor t = ops::Transpose(a);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_DOUBLE_EQ(t.value().at(2, 1), 6.0);
+  Tensor m = ops::MeanRows(a);
+  EXPECT_DOUBLE_EQ(m.value().at(0, 0), 2.5);
+  Tensor s = ops::SumAll(a);
+  EXPECT_DOUBLE_EQ(s.value().at(0, 0), 21.0);
+  Tensor row = ops::Input(tape, Make(1, 2, {5, 6}));
+  Tensor rep = ops::RepeatRows(row, 3);
+  EXPECT_EQ(rep.rows(), 3);
+  EXPECT_DOUBLE_EQ(rep.value().at(2, 1), 6.0);
+}
+
+TEST(OpsForwardTest, MatMulValues) {
+  Tape tape;
+  Tensor a = ops::Input(tape, Make(2, 2, {1, 2, 3, 4}));
+  Tensor b = ops::Input(tape, Make(2, 1, {1, 1}));
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.value().at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c.value().at(1, 0), 7.0);
+}
+
+TEST(OpsForwardTest, AffineAppliesBias) {
+  Tape tape;
+  Rng rng(1);
+  Param w("w", Make(2, 2, {1, 0, 0, 1}));
+  Param b("b", Make(1, 2, {10, 20}));
+  Tensor x = ops::Input(tape, Make(1, 2, {1, 2}));
+  Tensor y = ops::Affine(x, w, b);
+  EXPECT_DOUBLE_EQ(y.value().at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(y.value().at(0, 1), 22.0);
+}
+
+TEST(OpsForwardTest, EmbeddingLookupGathers) {
+  Tape tape;
+  Param table("t", Make(3, 2, {0, 1, 10, 11, 20, 21}));
+  Tensor e = ops::EmbeddingLookup(tape, table, {2, 0, 2});
+  EXPECT_EQ(e.rows(), 3);
+  EXPECT_DOUBLE_EQ(e.value().at(0, 1), 21.0);
+  EXPECT_DOUBLE_EQ(e.value().at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(e.value().at(2, 0), 20.0);
+}
+
+TEST(OpsForwardTest, BceWithLogitsKnownValues) {
+  Tape tape;
+  Tensor z = ops::Input(tape, Make(2, 1, {0.0, 0.0}));
+  Matrix y = Make(2, 1, {1.0, 0.0});
+  Tensor loss = ops::BceWithLogits(z, std::move(y));
+  // -log(0.5) for each element.
+  EXPECT_NEAR(loss.value().at(0, 0), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(OpsForwardTest, BceStableAtExtremeLogits) {
+  Tape tape;
+  Tensor z = ops::Input(tape, Make(1, 2, {500.0, -500.0}));
+  Matrix y = Make(1, 2, {1.0, 0.0});
+  Tensor loss = ops::BceWithLogits(z, std::move(y));
+  EXPECT_NEAR(loss.value().at(0, 0), 0.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(loss.value().at(0, 0)));
+}
+
+TEST(OpsForwardTest, L1LossKnownValue) {
+  Tape tape;
+  Tensor p = ops::Input(tape, Make(1, 3, {1.0, 2.0, 3.0}));
+  Tensor loss = ops::L1Loss(p, Make(1, 3, {0.0, 2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(loss.value().at(0, 0), 3.0);
+}
+
+TEST(OpsForwardTest, SoftmaxCrossEntropyKnownValue) {
+  Tape tape;
+  Tensor z = ops::Input(tape, Make(1, 3, {0.0, 0.0, 0.0}));
+  Tensor loss = ops::SoftmaxCrossEntropy(z, {1});
+  EXPECT_NEAR(loss.value().at(0, 0), std::log(3.0), 1e-12);
+}
+
+TEST(OpsForwardTest, LayerNormZeroMeanUnitVar) {
+  Tape tape;
+  Param gamma("g", Matrix(1, 4, 1.0));
+  Param beta("b", Matrix(1, 4));
+  Tensor x = ops::Input(tape, Make(1, 4, {1, 2, 3, 4}));
+  Tensor y = ops::LayerNormRows(x, gamma, beta);
+  double mean = 0;
+  double var = 0;
+  for (int c = 0; c < 4; ++c) mean += y.value().at(0, c);
+  mean /= 4;
+  for (int c = 0; c < 4; ++c) {
+    var += (y.value().at(0, c) - mean) * (y.value().at(0, c) - mean);
+  }
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var / 4, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace trmma

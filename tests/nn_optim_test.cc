@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace trmma {
+namespace nn {
+namespace {
+
+namespace ops = nn::ops;
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize sum((x - 3)^2) over a 1x4 parameter.
+  Param p("p", Matrix(1, 4, 10.0));
+  Adam adam({&p}, /*lr=*/0.1);
+  for (int step = 0; step < 400; ++step) {
+    Tape tape;
+    Tensor x = ops::FromParam(tape, p);
+    Matrix target(1, 4, 3.0);
+    Tensor diff = ops::Sub(x, ops::Input(tape, std::move(target)));
+    Tensor loss = ops::SumAll(ops::Mul(diff, diff));
+    tape.Backward(loss);
+    adam.Step(/*max_grad_norm=*/0.0);
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(p.value.at(0, c), 3.0, 0.05);
+  }
+}
+
+TEST(AdamTest, StepClearsGradients) {
+  Param p("p", Matrix(1, 2, 1.0));
+  Adam adam({&p}, 0.01);
+  p.grad.Fill(5.0);
+  adam.Step();
+  EXPECT_DOUBLE_EQ(p.grad.Sum(), 0.0);
+}
+
+TEST(AdamTest, GradientClippingBoundsUpdate) {
+  Param p("p", Matrix(1, 1, 0.0));
+  Adam adam({&p}, 1.0);
+  p.grad.at(0, 0) = 1e9;
+  adam.Step(/*max_grad_norm=*/1.0);
+  // First Adam step size is ~lr regardless, but must be finite and sane.
+  EXPECT_TRUE(std::isfinite(p.value.at(0, 0)));
+  EXPECT_LT(std::abs(p.value.at(0, 0)), 1.5);
+}
+
+TEST(AdamTest, CountsSteps) {
+  Param p("p", Matrix(1, 1));
+  Adam adam({&p}, 0.001);
+  EXPECT_EQ(adam.num_steps(), 0);
+  adam.Step();
+  adam.Step();
+  EXPECT_EQ(adam.num_steps(), 2);
+}
+
+TEST(AdamTest, LearningRateMutable) {
+  Param p("p", Matrix(1, 1));
+  Adam adam({&p}, 0.01);
+  adam.set_lr(0.001);
+  EXPECT_DOUBLE_EQ(adam.lr(), 0.001);
+}
+
+TEST(AdamTest, TrainsLinearRegression) {
+  // y = x * W_true; recover W from noisy data.
+  Rng rng(5);
+  Matrix w_true(3, 1);
+  w_true.at(0, 0) = 1.5;
+  w_true.at(1, 0) = -2.0;
+  w_true.at(2, 0) = 0.5;
+
+  Linear model(3, 1, rng);
+  Adam adam(model.Parameters(), 0.05);
+  for (int step = 0; step < 500; ++step) {
+    Matrix x(8, 3);
+    for (int i = 0; i < x.size(); ++i) x.data()[i] = rng.Uniform(-1, 1);
+    Matrix y;
+    MatMul(x, w_true, &y);
+    Tape tape;
+    Tensor pred = model.Forward(ops::Input(tape, std::move(x)));
+    Tensor diff = ops::Sub(pred, ops::Input(tape, std::move(y)));
+    Tensor loss = ops::SumAll(ops::Mul(diff, diff));
+    tape.Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(model.weight().value.at(0, 0), 1.5, 0.05);
+  EXPECT_NEAR(model.weight().value.at(1, 0), -2.0, 0.05);
+  EXPECT_NEAR(model.bias().value.at(0, 0), 0.0, 0.05);
+}
+
+TEST(XavierInitTest, WithinLimit) {
+  Rng rng(7);
+  Matrix m = XavierUniform(10, 20, rng);
+  const double limit = std::sqrt(6.0 / 30.0);
+  double max_abs = 0.0;
+  for (int i = 0; i < m.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(m.data()[i]));
+  }
+  EXPECT_LE(max_abs, limit);
+  EXPECT_GT(max_abs, limit * 0.5);  // actually spread out
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "node2vec/node2vec.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+double Cosine(const nn::Matrix& table, int a, int b) {
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (int c = 0; c < table.cols(); ++c) {
+    dot += table.at(a, c) * table.at(b, c);
+    na += table.at(a, c) * table.at(a, c);
+    nb += table.at(b, c) * table.at(b, c);
+  }
+  if (na == 0 || nb == 0) return 0;
+  return dot / std::sqrt(na * nb);
+}
+
+TEST(Node2VecTest, OutputShape) {
+  auto g = test::MakeGrid(5, 5, 100.0);
+  ASSERT_NE(g, nullptr);
+  Node2VecConfig config;
+  config.dim = 16;
+  config.epochs = 1;
+  config.walks_per_node = 2;
+  Rng rng(1);
+  nn::Matrix table = TrainNode2Vec(*g, config, rng);
+  EXPECT_EQ(table.rows(), g->num_segments());
+  EXPECT_EQ(table.cols(), 16);
+}
+
+TEST(Node2VecTest, NeighborsMoreSimilarThanDistantSegments) {
+  auto g = test::MakeGrid(8, 8, 100.0);
+  ASSERT_NE(g, nullptr);
+  Node2VecConfig config;
+  config.dim = 24;
+  config.epochs = 3;
+  config.walks_per_node = 6;
+  Rng rng(2);
+  nn::Matrix table = TrainNode2Vec(*g, config, rng);
+
+  // Average similarity of connected pairs vs random far pairs.
+  Rng pick(3);
+  double near_sim = 0;
+  int near_count = 0;
+  for (SegmentId e = 0; e < g->num_segments() && near_count < 200; ++e) {
+    for (SegmentId n : g->NextSegments(e)) {
+      if (n == e) continue;
+      near_sim += Cosine(table, e, n);
+      ++near_count;
+      break;
+    }
+  }
+  double far_sim = 0;
+  int far_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    SegmentId a = static_cast<SegmentId>(pick.UniformInt(g->num_segments()));
+    SegmentId b = static_cast<SegmentId>(pick.UniformInt(g->num_segments()));
+    const Vec2 pa = g->PointOnSegment(a, 0.5);
+    const Vec2 pb = g->PointOnSegment(b, 0.5);
+    if ((pa - pb).Norm() < 400.0) continue;  // keep genuinely far pairs
+    far_sim += Cosine(table, a, b);
+    ++far_count;
+  }
+  ASSERT_GT(near_count, 50);
+  ASSERT_GT(far_count, 50);
+  EXPECT_GT(near_sim / near_count, far_sim / far_count + 0.1);
+}
+
+TEST(Node2VecTest, DeterministicForSeed) {
+  auto g = test::MakeGrid(4, 4, 100.0);
+  ASSERT_NE(g, nullptr);
+  Node2VecConfig config;
+  config.dim = 8;
+  config.epochs = 1;
+  Rng rng1(9);
+  Rng rng2(9);
+  nn::Matrix a = TrainNode2Vec(*g, config, rng1);
+  nn::Matrix b = TrainNode2Vec(*g, config, rng2);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mm/hmm.h"
+#include "mm/nearest.h"
+#include "recovery/linear.h"
+#include "recovery/seq2seq.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(NumMissingPointsTest, ExactMultiples) {
+  EXPECT_EQ(NumMissingPoints(0.0, 150.0, 15.0), 9);
+  EXPECT_EQ(NumMissingPoints(0.0, 15.0, 15.0), 0);
+  EXPECT_EQ(NumMissingPoints(0.0, 30.0, 15.0), 1);
+}
+
+TEST(NumMissingPointsTest, RobustToFloatNoise) {
+  EXPECT_EQ(NumMissingPoints(0.0, 45.0000001, 15.0), 2);
+  EXPECT_EQ(NumMissingPoints(0.0, 44.9999999, 15.0), 2);
+}
+
+TEST(NumMissingPointsTest, NeverNegative) {
+  EXPECT_EQ(NumMissingPoints(10.0, 10.0, 15.0), 0);
+  EXPECT_EQ(NumMissingPoints(10.0, 5.0, 15.0), 0);
+}
+
+TEST(WalkAlongRouteTest, StaysOnSegment) {
+  auto g = test::MakeGrid(4, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  std::vector<SegmentId> east;
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    if (g->segment(i).to == g->segment(i).from + 1) east.push_back(i);
+  }
+  Route route(east.begin(), east.end());
+  int idx = 0;
+  MatchedPoint a = WalkAlongRoute(*g, route, idx, 0.2, 30.0);
+  EXPECT_EQ(a.segment, route[0]);
+  EXPECT_NEAR(a.ratio, 0.5, 0.01);
+  EXPECT_EQ(idx, 0);
+}
+
+TEST(WalkAlongRouteTest, CrossesSegments) {
+  auto g = test::MakeGrid(4, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  std::vector<SegmentId> east;
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    if (g->segment(i).to == g->segment(i).from + 1) east.push_back(i);
+  }
+  Route route(east.begin(), east.end());
+  int idx = 0;
+  MatchedPoint a = WalkAlongRoute(*g, route, idx, 0.5, 120.0);
+  EXPECT_EQ(a.segment, route[1]);
+  EXPECT_NEAR(a.ratio, 0.7, 0.01);
+  EXPECT_EQ(idx, 1);
+}
+
+TEST(WalkAlongRouteTest, ClampsAtRouteEnd) {
+  auto g = test::MakeGrid(3, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  std::vector<SegmentId> east;
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    if (g->segment(i).to == g->segment(i).from + 1) east.push_back(i);
+  }
+  Route route(east.begin(), east.end());
+  int idx = 0;
+  MatchedPoint a = WalkAlongRoute(*g, route, idx, 0.0, 1e6);
+  EXPECT_EQ(a.segment, route.back());
+  EXPECT_LT(a.ratio, 1.0);
+  EXPECT_GT(a.ratio, 0.99);
+}
+
+class RecoveryFixture : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(test::MakeTinyDataset("XA", 100));
+    index_ = new SegmentRTree(*dataset_->network);
+    ubodt_ = new Ubodt(*dataset_->network, 3000.0);
+    stats_ = new TransitionStats(*dataset_->network);
+    for (int idx : dataset_->train_idx) {
+      stats_->AddRoute(dataset_->samples[idx].route);
+    }
+    planner_ = new DaRoutePlanner(*dataset_->network, *stats_);
+    engine_ = new ShortestPathEngine(*dataset_->network);
+    fmm_ = new FmmMatcher(*dataset_->network, *index_, *ubodt_);
+  }
+  static void TearDownTestSuite() {
+    delete fmm_;
+    delete engine_;
+    delete planner_;
+    delete stats_;
+    delete ubodt_;
+    delete index_;
+    delete dataset_;
+  }
+
+  static Dataset* dataset_;
+  static SegmentRTree* index_;
+  static Ubodt* ubodt_;
+  static TransitionStats* stats_;
+  static DaRoutePlanner* planner_;
+  static ShortestPathEngine* engine_;
+  static FmmMatcher* fmm_;
+};
+
+Dataset* RecoveryFixture::dataset_ = nullptr;
+SegmentRTree* RecoveryFixture::index_ = nullptr;
+Ubodt* RecoveryFixture::ubodt_ = nullptr;
+TransitionStats* RecoveryFixture::stats_ = nullptr;
+DaRoutePlanner* RecoveryFixture::planner_ = nullptr;
+ShortestPathEngine* RecoveryFixture::engine_ = nullptr;
+FmmMatcher* RecoveryFixture::fmm_ = nullptr;
+
+TEST_F(RecoveryFixture, LinearRecoveryCountMatchesTruth) {
+  LinearRecovery linear(*dataset_->network, fmm_, planner_, engine_,
+                        "Linear");
+  for (int t = 0; t < 15; ++t) {
+    const auto& sample = dataset_->samples[dataset_->test_idx[t]];
+    auto rec = linear.Recover(sample.sparse, dataset_->epsilon_s);
+    EXPECT_EQ(rec.size(), sample.truth.size());
+  }
+}
+
+TEST_F(RecoveryFixture, LinearRecoveryTimestampsOnGrid) {
+  LinearRecovery linear(*dataset_->network, fmm_, planner_, engine_,
+                        "Linear");
+  const auto& sample = dataset_->samples[dataset_->test_idx[0]];
+  auto rec = linear.Recover(sample.sparse, dataset_->epsilon_s);
+  for (size_t i = 1; i < rec.size(); ++i) {
+    EXPECT_NEAR(rec[i].t - rec[i - 1].t, dataset_->epsilon_s, 1e-6);
+  }
+}
+
+TEST_F(RecoveryFixture, LinearRecoveryReasonableAccuracy) {
+  LinearRecovery linear(*dataset_->network, fmm_, planner_, engine_,
+                        "Linear");
+  double acc = 0;
+  int count = 0;
+  for (int t = 0; t < 15; ++t) {
+    const auto& sample = dataset_->samples[dataset_->test_idx[t]];
+    auto rec = linear.Recover(sample.sparse, dataset_->epsilon_s);
+    int64_t ok = 0;
+    const size_t n = std::min(rec.size(), sample.truth.size());
+    for (size_t i = 0; i < n; ++i) {
+      ok += rec[i].segment == sample.truth[i].segment;
+    }
+    acc += static_cast<double>(ok) / sample.truth.size();
+    ++count;
+  }
+  EXPECT_GT(acc / count, 0.5);
+}
+
+TEST_F(RecoveryFixture, LinearRatiosInRange) {
+  LinearRecovery linear(*dataset_->network, fmm_, planner_, engine_,
+                        "Linear");
+  const auto& sample = dataset_->samples[dataset_->test_idx[1]];
+  auto rec = linear.Recover(sample.sparse, dataset_->epsilon_s);
+  for (const MatchedPoint& a : rec) {
+    EXPECT_GE(a.ratio, 0.0);
+    EXPECT_LT(a.ratio, 1.0);
+    EXPECT_GE(a.segment, 0);
+    EXPECT_LT(a.segment, dataset_->network->num_segments());
+  }
+}
+
+TEST_F(RecoveryFixture, EmptyInputGivesEmptyOutput) {
+  LinearRecovery linear(*dataset_->network, fmm_, planner_, engine_,
+                        "Linear");
+  Trajectory empty;
+  EXPECT_TRUE(linear.Recover(empty, 15.0).empty());
+}
+
+TEST_F(RecoveryFixture, Seq2SeqTrainsAndRecovers) {
+  Seq2SeqConfig config;
+  config.dh = 16;
+  Seq2SeqRecovery model(*dataset_->network, *index_, config, "MTrajRec");
+  Rng rng(1);
+  const double first = model.TrainEpoch(*dataset_, rng);
+  double last = first;
+  for (int e = 0; e < 3; ++e) last = model.TrainEpoch(*dataset_, rng);
+  EXPECT_LT(last, first);
+  const auto& sample = dataset_->samples[dataset_->test_idx[0]];
+  auto rec = model.Recover(sample.sparse, dataset_->epsilon_s);
+  EXPECT_EQ(rec.size(), sample.truth.size());
+  for (const MatchedPoint& a : rec) {
+    EXPECT_GE(a.segment, 0);
+    EXPECT_LT(a.segment, dataset_->network->num_segments());
+    EXPECT_GE(a.ratio, 0.0);
+    EXPECT_LT(a.ratio, 1.0);
+  }
+}
+
+TEST_F(RecoveryFixture, Seq2SeqTransformerVariantRuns) {
+  Seq2SeqConfig config;
+  config.dh = 16;
+  config.transformer_encoder = true;
+  Seq2SeqRecovery model(*dataset_->network, *index_, config, "TrajCL+Dec");
+  Rng rng(2);
+  EXPECT_GT(model.TrainEpoch(*dataset_, rng), 0.0);
+  auto rec = model.Recover(dataset_->samples[dataset_->test_idx[0]].sparse,
+                           dataset_->epsilon_s);
+  EXPECT_FALSE(rec.empty());
+}
+
+TEST_F(RecoveryFixture, Seq2SeqConstraintMaskRestrictsJumps) {
+  Seq2SeqConfig config;
+  config.dh = 16;
+  config.constraint_hops = 1;
+  Seq2SeqRecovery model(*dataset_->network, *index_, config, "MTrajRec");
+  Rng rng(3);
+  model.TrainEpoch(*dataset_, rng);
+  const auto& sample = dataset_->samples[dataset_->test_idx[0]];
+  auto rec = model.Recover(sample.sparse, dataset_->epsilon_s);
+  // Consecutive non-observation predictions must be 1-hop reachable. We
+  // only check the overall structure: each segment id is valid.
+  for (const MatchedPoint& a : rec) {
+    EXPECT_GE(a.segment, 0);
+  }
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "graph/route.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+/// Eastbound segment chain of a w x 1 grid.
+std::vector<SegmentId> EastChain(const RoadNetwork& g) {
+  std::vector<SegmentId> east;
+  for (SegmentId i = 0; i < g.num_segments(); ++i) {
+    if (g.segment(i).to == g.segment(i).from + 1) east.push_back(i);
+  }
+  return east;
+}
+
+TEST(RouteTest, IsConnectedRoute) {
+  auto g = test::MakeGrid(4, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  auto east = EastChain(*g);
+  EXPECT_TRUE(IsConnectedRoute(*g, {east[0], east[1], east[2]}));
+  EXPECT_FALSE(IsConnectedRoute(*g, {east[0], east[2]}));
+  EXPECT_TRUE(IsConnectedRoute(*g, {east[0]}));
+  EXPECT_TRUE(IsConnectedRoute(*g, {}));
+}
+
+TEST(RouteTest, RouteLengthSumsSegments) {
+  auto g = test::MakeGrid(4, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  auto east = EastChain(*g);
+  EXPECT_NEAR(RouteLength(*g, {east[0], east[1]}), 200.0, 1.0);
+  EXPECT_DOUBLE_EQ(RouteLength(*g, {}), 0.0);
+}
+
+TEST(RouteTest, AppendRouteDropsSharedBoundary) {
+  Route r = {1, 2, 3};
+  AppendRoute(r, {3, 4, 5});
+  EXPECT_EQ(r, (Route{1, 2, 3, 4, 5}));
+  AppendRoute(r, {9});
+  EXPECT_EQ(r.back(), 9);
+  Route empty;
+  AppendRoute(empty, {7, 8});
+  EXPECT_EQ(empty, (Route{7, 8}));
+}
+
+TEST(RouteTest, DeduplicateConsecutive) {
+  EXPECT_EQ(DeduplicateConsecutive({1, 1, 2, 2, 2, 3, 1}),
+            (Route{1, 2, 3, 1}));
+  EXPECT_EQ(DeduplicateConsecutive({}), Route{});
+  EXPECT_EQ(DeduplicateConsecutive({5}), Route{5});
+}
+
+TEST(RouteTest, DistanceAlongRouteSameSegment) {
+  auto g = test::MakeGrid(4, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  auto east = EastChain(*g);
+  Route r = {east[0], east[1], east[2]};
+  const double len = g->segment(east[0]).length_m;
+  EXPECT_NEAR(DistanceAlongRoute(*g, r, 0, 0.2, 0, 0.8), 0.6 * len, 1e-9);
+  EXPECT_NEAR(DistanceAlongRoute(*g, r, 1, 0.5, 1, 0.5), 0.0, 1e-12);
+}
+
+TEST(RouteTest, DistanceAlongRouteAcrossSegments) {
+  auto g = test::MakeGrid(4, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  auto east = EastChain(*g);
+  Route r = {east[0], east[1], east[2]};
+  // From 50% of segment 0 to 50% of segment 2: 0.5+1+0.5 segments.
+  const double expect = 0.5 * g->segment(east[0]).length_m +
+                        g->segment(east[1]).length_m +
+                        0.5 * g->segment(east[2]).length_m;
+  EXPECT_NEAR(DistanceAlongRoute(*g, r, 0, 0.5, 2, 0.5), expect, 1e-9);
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/route.h"
+#include "graph/shortest_path.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+/// Floyd-Warshall reference distances over nodes.
+std::vector<std::vector<double>> FloydWarshall(const RoadNetwork& g) {
+  const int n = g.num_nodes();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, inf));
+  for (int i = 0; i < n; ++i) d[i][i] = 0.0;
+  for (SegmentId s = 0; s < g.num_segments(); ++s) {
+    const RoadSegment& seg = g.segment(s);
+    d[seg.from][seg.to] = std::min(d[seg.from][seg.to], seg.length_m);
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+TEST(ShortestPathTest, TrivialSameNode) {
+  auto g = test::MakeGrid(3, 3);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  auto r = engine.NodeToNode(4, 4);
+  EXPECT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.distance_m, 0.0);
+  EXPECT_TRUE(r.segments.empty());
+}
+
+TEST(ShortestPathTest, GridManhattanDistance) {
+  auto g = test::MakeGrid(5, 5, 100.0);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  // (0,0) -> (3,2): manhattan 5 blocks.
+  auto r = engine.NodeToNode(0, 2 * 5 + 3);
+  ASSERT_TRUE(r.found);
+  EXPECT_NEAR(r.distance_m, 500.0, 2.0);
+  EXPECT_EQ(r.segments.size(), 5u);
+}
+
+TEST(ShortestPathTest, PathIsConnectedAndConsistent) {
+  auto g = test::MakeCityNetwork();
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    NodeId dst = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    auto r = engine.NodeToNode(src, dst);
+    ASSERT_TRUE(r.found);  // generator guarantees strong connectivity
+    if (!r.segments.empty()) {
+      EXPECT_EQ(g->segment(r.segments.front()).from, src);
+      EXPECT_EQ(g->segment(r.segments.back()).to, dst);
+      EXPECT_TRUE(IsConnectedRoute(*g, r.segments));
+      EXPECT_NEAR(RouteLength(*g, r.segments), r.distance_m, 1e-6);
+    }
+  }
+}
+
+TEST(ShortestPathTest, MatchesFloydWarshall) {
+  auto g = test::MakeCityNetwork(4);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  auto ref = FloydWarshall(*g);
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    NodeId dst = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    auto r = engine.NodeToNode(src, dst);
+    ASSERT_TRUE(r.found);
+    EXPECT_NEAR(r.distance_m, ref[src][dst], 1e-6);
+  }
+}
+
+TEST(ShortestPathTest, MaxDistCutsSearch) {
+  auto g = test::MakeGrid(10, 10, 100.0);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  auto r = engine.NodeToNode(0, 99, 300.0);  // target is 1800m away
+  EXPECT_FALSE(r.found);
+}
+
+TEST(ShortestPathTest, ReusableAcrossQueries) {
+  auto g = test::MakeGrid(6, 6, 100.0);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  const double d1 = engine.NodeToNode(0, 35).distance_m;
+  (void)engine.NodeToNode(10, 20, 150.0);  // bounded query in between
+  const double d2 = engine.NodeToNode(0, 35).distance_m;
+  EXPECT_DOUBLE_EQ(d1, d2);
+}
+
+TEST(ShortestPathTest, SegmentToSegmentIncludesEndpoints) {
+  auto g = test::MakeGrid(4, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  // Find eastbound chain 0->1, 1->2, 2->3.
+  std::vector<SegmentId> east;
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    if (g->segment(i).to == g->segment(i).from + 1) east.push_back(i);
+  }
+  ASSERT_EQ(east.size(), 3u);
+  auto r = engine.SegmentToSegment(east[0], east[2]);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.segments.front(), east[0]);
+  EXPECT_EQ(r.segments.back(), east[2]);
+  EXPECT_TRUE(IsConnectedRoute(*g, r.segments));
+  EXPECT_NEAR(r.distance_m, 100.0, 1.0);  // the middle gap segment
+}
+
+TEST(ShortestPathTest, SegmentToSameSegment) {
+  auto g = test::MakeGrid(3, 3);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  auto r = engine.SegmentToSegment(2, 2);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.segments, Route{2});
+  EXPECT_DOUBLE_EQ(r.distance_m, 0.0);
+}
+
+TEST(ShortestPathTest, PointToPointSameSegmentForward) {
+  auto g = test::MakeGrid(2, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  const double d = engine.PointToPointDistance(0, 0.2, 0, 0.7);
+  EXPECT_NEAR(d, 0.5 * g->segment(0).length_m, 1e-6);
+}
+
+TEST(ShortestPathTest, PointToPointBackwardWrapsAround) {
+  auto g = test::MakeGrid(3, 3, 100.0);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  // Going "backwards" on the same segment requires looping via the graph.
+  const double d = engine.PointToPointDistance(0, 0.7, 0, 0.2);
+  EXPECT_GT(d, 0.0);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(ShortestPathTest, BoundedVisitsNodesWithinBudget) {
+  auto g = test::MakeGrid(6, 6, 100.0);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  int visited = 0;
+  double max_seen = 0.0;
+  engine.Bounded(0, 250.0, [&](NodeId node, double dist, SegmentId via) {
+    ++visited;
+    max_seen = std::max(max_seen, dist);
+    if (node == 0) {
+      EXPECT_EQ(via, kInvalidSegment);
+      EXPECT_DOUBLE_EQ(dist, 0.0);
+    }
+  });
+  EXPECT_LE(max_seen, 250.0);
+  // Within 250m of a 100m grid corner: (0,0),(1,0),(0,1),(2,0),(1,1),(0,2).
+  EXPECT_EQ(visited, 6);
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,67 @@
+#ifndef TRMMA_TESTS_TEST_UTIL_H_
+#define TRMMA_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "gen/network_gen.h"
+#include "gen/presets.h"
+#include "graph/road_network.h"
+
+namespace trmma {
+namespace test {
+
+/// Builds a w x h grid network with bidirectional streets, spacing in
+/// meters, deterministic layout (no jitter/deletion), for hand-checkable
+/// graph tests. Node (gx, gy) has id gy*w+gx.
+inline std::unique_ptr<RoadNetwork> MakeGrid(int w, int h,
+                                             double spacing = 100.0,
+                                             double speed = 10.0) {
+  auto g = std::make_unique<RoadNetwork>();
+  const LocalProjection proj(LatLng{31.0, 121.0});
+  for (int gy = 0; gy < h; ++gy) {
+    for (int gx = 0; gx < w; ++gx) {
+      g->AddNode(proj.ToLatLng(Vec2{gx * spacing, gy * spacing}));
+    }
+  }
+  auto id = [w](int gx, int gy) { return gy * w + gx; };
+  for (int gy = 0; gy < h; ++gy) {
+    for (int gx = 0; gx < w; ++gx) {
+      if (gx + 1 < w) {
+        (void)g->AddSegment(id(gx, gy), id(gx + 1, gy), speed);
+        (void)g->AddSegment(id(gx + 1, gy), id(gx, gy), speed);
+      }
+      if (gy + 1 < h) {
+        (void)g->AddSegment(id(gx, gy), id(gx, gy + 1), speed);
+        (void)g->AddSegment(id(gx, gy + 1), id(gx, gy), speed);
+      }
+    }
+  }
+  auto st = g->Finalize();
+  if (!st.ok()) return nullptr;
+  return g;
+}
+
+/// A small synthetic network from the real generator.
+inline std::unique_ptr<RoadNetwork> MakeCityNetwork(uint64_t seed = 3) {
+  NetworkGenConfig config;
+  config.grid_width = 10;
+  config.grid_height = 8;
+  Rng rng(seed);
+  auto net = GenerateNetwork(config, rng);
+  if (!net.ok()) return nullptr;
+  return std::move(net).value();
+}
+
+/// A tiny end-to-end dataset (shared across model tests). Sizes kept small
+/// so the whole suite stays fast.
+inline Dataset MakeTinyDataset(const std::string& city = "XA",
+                               int num_trajectories = 60) {
+  auto ds = BuildCityDatasetByName(city, num_trajectories);
+  return std::move(ds).value();
+}
+
+}  // namespace test
+}  // namespace trmma
+
+#endif  // TRMMA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "traj/sparsify.h"
+#include "traj/types.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(TrajTypesTest, GpsFromMatchedInterpolates) {
+  auto g = test::MakeGrid(2, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  MatchedPoint a{0, 0.5, 42.0};
+  GpsPoint p = GpsFromMatched(*g, a);
+  EXPECT_DOUBLE_EQ(p.t, 42.0);
+  const Vec2 xy = g->projection().ToMeters(p.pos);
+  EXPECT_NEAR((xy - g->PointOnSegment(0, 0.5)).Norm(), 0.0, 1e-6);
+}
+
+TEST(TrajTypesTest, ProjectToSegmentRoundTrip) {
+  auto g = test::MakeGrid(3, 3, 100.0);
+  ASSERT_NE(g, nullptr);
+  MatchedPoint truth{4, 0.3, 10.0};
+  GpsPoint gps = GpsFromMatched(*g, truth);
+  MatchedPoint back = ProjectToSegment(*g, gps, 4);
+  EXPECT_EQ(back.segment, 4);
+  EXPECT_NEAR(back.ratio, 0.3, 1e-6);
+  EXPECT_DOUBLE_EQ(back.t, 10.0);
+}
+
+TEST(SparsifyTest, KeepsEndpoints) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto idx = SparseIndices(30, 0.1, rng);
+    ASSERT_GE(idx.size(), 2u);
+    EXPECT_EQ(idx.front(), 0);
+    EXPECT_EQ(idx.back(), 29);
+  }
+}
+
+TEST(SparsifyTest, IndicesStrictlyIncreasing) {
+  Rng rng(2);
+  auto idx = SparseIndices(100, 0.3, rng);
+  for (size_t i = 1; i < idx.size(); ++i) EXPECT_LT(idx[i - 1], idx[i]);
+}
+
+TEST(SparsifyTest, GammaOneKeepsEverything) {
+  Rng rng(3);
+  auto idx = SparseIndices(25, 1.0, rng);
+  EXPECT_EQ(idx.size(), 25u);
+}
+
+TEST(SparsifyTest, AverageKeepRateMatchesGamma) {
+  Rng rng(4);
+  int64_t kept = 0;
+  int64_t interior = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto idx = SparseIndices(52, 0.2, rng);
+    kept += static_cast<int64_t>(idx.size()) - 2;
+    interior += 50;
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / interior, 0.2, 0.02);
+}
+
+TEST(SparsifyTest, MinimumLengthTwo) {
+  Rng rng(5);
+  auto idx = SparseIndices(2, 0.1, rng);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(SparsifyTest, SparsifySampleAlignsPoints) {
+  Dataset ds = test::MakeTinyDataset("XA", 10);
+  Rng rng(6);
+  TrajectorySample sample = ds.samples[0];
+  SparsifySample(sample, 0.3, rng);
+  ASSERT_EQ(sample.sparse.points.size(), sample.sparse_indices.size());
+  for (size_t i = 0; i < sample.sparse_indices.size(); ++i) {
+    const int idx = sample.sparse_indices[i];
+    EXPECT_DOUBLE_EQ(sample.sparse.points[i].t, sample.raw.points[idx].t);
+    EXPECT_EQ(sample.sparse.points[i].pos, sample.raw.points[idx].pos);
+  }
+}
+
+}  // namespace
+}  // namespace trmma

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/transition_stats.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(TransitionStatsTest, CountsRoutes) {
+  auto g = test::MakeGrid(4, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  TransitionStats stats(*g);
+  // Find the eastbound chain.
+  std::vector<SegmentId> east;
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    if (g->segment(i).to == g->segment(i).from + 1) east.push_back(i);
+  }
+  ASSERT_EQ(east.size(), 3u);
+  stats.AddRoute({east[0], east[1], east[2]});
+  stats.AddRoute({east[0], east[1]});
+  EXPECT_EQ(stats.Count(east[0], east[1]), 2);
+  EXPECT_EQ(stats.Count(east[1], east[2]), 1);
+  EXPECT_EQ(stats.Count(east[2], east[0]), 0);
+  EXPECT_EQ(stats.TotalFrom(east[0]), 2);
+}
+
+TEST(TransitionStatsTest, ProbabilitySumsToOneOverSuccessors) {
+  auto g = test::MakeCityNetwork();
+  ASSERT_NE(g, nullptr);
+  TransitionStats stats(*g);
+  // Add some random routes.
+  ShortestPathEngine engine(*g);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    auto r = engine.NodeToNode(
+        static_cast<NodeId>(rng.UniformInt(g->num_nodes())),
+        static_cast<NodeId>(rng.UniformInt(g->num_nodes())));
+    if (r.found) stats.AddRoute(r.segments);
+  }
+  for (SegmentId e = 0; e < g->num_segments(); ++e) {
+    if (g->NextSegments(e).empty()) continue;
+    double total = 0.0;
+    for (SegmentId n : g->NextSegments(e)) total += stats.Probability(e, n);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TransitionStatsTest, ObservedTransitionMoreLikely) {
+  auto g = test::MakeGrid(3, 3, 100.0);
+  ASSERT_NE(g, nullptr);
+  TransitionStats stats(*g);
+  SegmentId e = 0;
+  const auto& nexts = g->NextSegments(e);
+  ASSERT_GE(nexts.size(), 2u);
+  for (int i = 0; i < 10; ++i) stats.AddRoute({e, nexts[0]});
+  EXPECT_GT(stats.Probability(e, nexts[0]), stats.Probability(e, nexts[1]));
+}
+
+TEST(DaRoutePlannerTest, PlansConnectedRoutes) {
+  auto g = test::MakeCityNetwork(5);
+  ASSERT_NE(g, nullptr);
+  TransitionStats stats(*g);
+  DaRoutePlanner planner(*g, stats);
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    SegmentId a = static_cast<SegmentId>(rng.UniformInt(g->num_segments()));
+    SegmentId b = static_cast<SegmentId>(rng.UniformInt(g->num_segments()));
+    auto r = planner.Plan(a, b);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.segments.front(), a);
+    EXPECT_EQ(r.segments.back(), b);
+    EXPECT_TRUE(IsConnectedRoute(*g, r.segments));
+  }
+}
+
+TEST(DaRoutePlannerTest, SameSegmentTrivial) {
+  auto g = test::MakeGrid(3, 3);
+  ASSERT_NE(g, nullptr);
+  TransitionStats stats(*g);
+  DaRoutePlanner planner(*g, stats);
+  auto r = planner.Plan(5, 5);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.segments, Route{5});
+}
+
+TEST(DaRoutePlannerTest, PrefersPopularDetour) {
+  // Grid with two equal-length L-shaped routes from corner to corner of a
+  // 2x2 block; history makes one of them popular.
+  auto g = test::MakeGrid(3, 3, 100.0);
+  ASSERT_NE(g, nullptr);
+  ShortestPathEngine engine(*g);
+  // From node 0 (SW) to node 8 (NE) there are several 400m paths.
+  auto base = engine.NodeToNode(0, 8);
+  ASSERT_TRUE(base.found);
+  TransitionStats stats(*g);
+  // Teach the planner an alternative: go north first (via node 3, 6, 7, 8).
+  auto north_first = engine.NodeToNode(0, 6);
+  auto then_east = engine.NodeToNode(6, 8);
+  ASSERT_TRUE(north_first.found);
+  ASSERT_TRUE(then_east.found);
+  Route taught = north_first.segments;
+  for (SegmentId s : then_east.segments) taught.push_back(s);
+  for (int i = 0; i < 50; ++i) stats.AddRoute(taught);
+
+  DaRoutePlanner planner(*g, stats);
+  auto planned = planner.Plan(taught.front(), taught.back());
+  ASSERT_TRUE(planned.found);
+  EXPECT_EQ(planned.segments, taught);
+}
+
+TEST(DaRoutePlannerTest, BudgetExhaustionReturnsNotFound) {
+  auto g = test::MakeGrid(10, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  TransitionStats stats(*g);
+  DaRoutePlanner planner(*g, stats);
+  std::vector<SegmentId> east;
+  for (SegmentId i = 0; i < g->num_segments(); ++i) {
+    if (g->segment(i).to == g->segment(i).from + 1) east.push_back(i);
+  }
+  auto r = planner.Plan(east.front(), east.back(), /*max_cost=*/50.0);
+  EXPECT_FALSE(r.found);
+}
+
+}  // namespace
+}  // namespace trmma

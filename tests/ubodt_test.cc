@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "graph/route.h"
+#include "graph/ubodt.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+TEST(UbodtTest, SameNodeIsZero) {
+  auto g = test::MakeGrid(4, 4, 100.0);
+  ASSERT_NE(g, nullptr);
+  Ubodt table(*g, 500.0);
+  EXPECT_DOUBLE_EQ(table.Distance(3, 3), 0.0);
+}
+
+TEST(UbodtTest, MatchesDijkstraWithinDelta) {
+  auto g = test::MakeCityNetwork(8);
+  ASSERT_NE(g, nullptr);
+  const double delta = 900.0;
+  Ubodt table(*g, delta);
+  ShortestPathEngine engine(*g);
+  Rng rng(4);
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    NodeId dst = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    auto ref = engine.NodeToNode(src, dst);
+    const double got = table.Distance(src, dst);
+    if (ref.found && ref.distance_m <= delta) {
+      EXPECT_NEAR(got, ref.distance_m, 1e-4);
+      ++checked;
+    } else {
+      EXPECT_TRUE(std::isinf(got));
+    }
+  }
+  EXPECT_GT(checked, 20);  // the test exercised real pairs
+}
+
+TEST(UbodtTest, BeyondDeltaIsInfinity) {
+  auto g = test::MakeGrid(10, 1, 100.0);
+  ASSERT_NE(g, nullptr);
+  Ubodt table(*g, 250.0);
+  EXPECT_TRUE(std::isinf(table.Distance(0, 9)));  // 900m away
+  EXPECT_FALSE(std::isinf(table.Distance(0, 2)));
+}
+
+TEST(UbodtTest, PathReconstructionIsValid) {
+  auto g = test::MakeCityNetwork(12);
+  ASSERT_NE(g, nullptr);
+  Ubodt table(*g, 800.0);
+  Rng rng(6);
+  int found = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    NodeId dst = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    auto path = table.Path(src, dst);
+    if (!path.found) continue;
+    ++found;
+    if (src == dst) {
+      EXPECT_TRUE(path.segments.empty());
+      continue;
+    }
+    ASSERT_FALSE(path.segments.empty());
+    EXPECT_EQ(g->segment(path.segments.front()).from, src);
+    EXPECT_EQ(g->segment(path.segments.back()).to, dst);
+    EXPECT_TRUE(IsConnectedRoute(*g, path.segments));
+    EXPECT_NEAR(RouteLength(*g, path.segments), path.distance_m, 1e-3);
+  }
+  EXPECT_GT(found, 10);
+}
+
+TEST(UbodtTest, SizeGrowsWithDelta) {
+  auto g = test::MakeGrid(8, 8, 100.0);
+  ASSERT_NE(g, nullptr);
+  Ubodt small(*g, 200.0);
+  Ubodt large(*g, 500.0);
+  EXPECT_GT(large.size(), small.size());
+  EXPECT_DOUBLE_EQ(small.delta(), 200.0);
+}
+
+}  // namespace
+}  // namespace trmma
