@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mm_sparsity.dir/bench_fig11_mm_sparsity.cc.o"
+  "CMakeFiles/bench_fig11_mm_sparsity.dir/bench_fig11_mm_sparsity.cc.o.d"
+  "bench_fig11_mm_sparsity"
+  "bench_fig11_mm_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mm_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

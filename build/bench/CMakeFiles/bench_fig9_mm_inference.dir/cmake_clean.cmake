@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mm_inference.dir/bench_fig9_mm_inference.cc.o"
+  "CMakeFiles/bench_fig9_mm_inference.dir/bench_fig9_mm_inference.cc.o.d"
+  "bench_fig9_mm_inference"
+  "bench_fig9_mm_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mm_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_tooling.dir/dataset_tooling.cpp.o"
+  "CMakeFiles/dataset_tooling.dir/dataset_tooling.cpp.o.d"
+  "dataset_tooling"
+  "dataset_tooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_tooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

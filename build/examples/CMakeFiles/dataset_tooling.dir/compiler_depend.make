@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dataset_tooling.
+# This may be replaced when dependencies are built.

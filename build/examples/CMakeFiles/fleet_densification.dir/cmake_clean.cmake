@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_densification.dir/fleet_densification.cpp.o"
+  "CMakeFiles/fleet_densification.dir/fleet_densification.cpp.o.d"
+  "fleet_densification"
+  "fleet_densification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_densification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

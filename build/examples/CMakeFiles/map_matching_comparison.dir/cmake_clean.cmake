@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_matching_comparison.dir/map_matching_comparison.cpp.o"
+  "CMakeFiles/map_matching_comparison.dir/map_matching_comparison.cpp.o.d"
+  "map_matching_comparison"
+  "map_matching_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_matching_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

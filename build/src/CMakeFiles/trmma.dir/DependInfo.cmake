@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/trmma.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/trmma.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/trmma.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/trmma.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/trmma.dir/common/random.cc.o" "gcc" "src/CMakeFiles/trmma.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/trmma.dir/common/status.cc.o" "gcc" "src/CMakeFiles/trmma.dir/common/status.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/trmma.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/trmma.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/trmma.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/trmma.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/gen/network_gen.cc" "src/CMakeFiles/trmma.dir/gen/network_gen.cc.o" "gcc" "src/CMakeFiles/trmma.dir/gen/network_gen.cc.o.d"
+  "/root/repo/src/gen/presets.cc" "src/CMakeFiles/trmma.dir/gen/presets.cc.o" "gcc" "src/CMakeFiles/trmma.dir/gen/presets.cc.o.d"
+  "/root/repo/src/gen/traj_gen.cc" "src/CMakeFiles/trmma.dir/gen/traj_gen.cc.o" "gcc" "src/CMakeFiles/trmma.dir/gen/traj_gen.cc.o.d"
+  "/root/repo/src/geo/geometry.cc" "src/CMakeFiles/trmma.dir/geo/geometry.cc.o" "gcc" "src/CMakeFiles/trmma.dir/geo/geometry.cc.o.d"
+  "/root/repo/src/geo/latlng.cc" "src/CMakeFiles/trmma.dir/geo/latlng.cc.o" "gcc" "src/CMakeFiles/trmma.dir/geo/latlng.cc.o.d"
+  "/root/repo/src/graph/road_network.cc" "src/CMakeFiles/trmma.dir/graph/road_network.cc.o" "gcc" "src/CMakeFiles/trmma.dir/graph/road_network.cc.o.d"
+  "/root/repo/src/graph/route.cc" "src/CMakeFiles/trmma.dir/graph/route.cc.o" "gcc" "src/CMakeFiles/trmma.dir/graph/route.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/CMakeFiles/trmma.dir/graph/shortest_path.cc.o" "gcc" "src/CMakeFiles/trmma.dir/graph/shortest_path.cc.o.d"
+  "/root/repo/src/graph/spatial_index.cc" "src/CMakeFiles/trmma.dir/graph/spatial_index.cc.o" "gcc" "src/CMakeFiles/trmma.dir/graph/spatial_index.cc.o.d"
+  "/root/repo/src/graph/transition_stats.cc" "src/CMakeFiles/trmma.dir/graph/transition_stats.cc.o" "gcc" "src/CMakeFiles/trmma.dir/graph/transition_stats.cc.o.d"
+  "/root/repo/src/graph/ubodt.cc" "src/CMakeFiles/trmma.dir/graph/ubodt.cc.o" "gcc" "src/CMakeFiles/trmma.dir/graph/ubodt.cc.o.d"
+  "/root/repo/src/mm/candidates.cc" "src/CMakeFiles/trmma.dir/mm/candidates.cc.o" "gcc" "src/CMakeFiles/trmma.dir/mm/candidates.cc.o.d"
+  "/root/repo/src/mm/deep_mm_lite.cc" "src/CMakeFiles/trmma.dir/mm/deep_mm_lite.cc.o" "gcc" "src/CMakeFiles/trmma.dir/mm/deep_mm_lite.cc.o.d"
+  "/root/repo/src/mm/grid_cells.cc" "src/CMakeFiles/trmma.dir/mm/grid_cells.cc.o" "gcc" "src/CMakeFiles/trmma.dir/mm/grid_cells.cc.o.d"
+  "/root/repo/src/mm/hmm.cc" "src/CMakeFiles/trmma.dir/mm/hmm.cc.o" "gcc" "src/CMakeFiles/trmma.dir/mm/hmm.cc.o.d"
+  "/root/repo/src/mm/lhmm.cc" "src/CMakeFiles/trmma.dir/mm/lhmm.cc.o" "gcc" "src/CMakeFiles/trmma.dir/mm/lhmm.cc.o.d"
+  "/root/repo/src/mm/mma.cc" "src/CMakeFiles/trmma.dir/mm/mma.cc.o" "gcc" "src/CMakeFiles/trmma.dir/mm/mma.cc.o.d"
+  "/root/repo/src/mm/nearest.cc" "src/CMakeFiles/trmma.dir/mm/nearest.cc.o" "gcc" "src/CMakeFiles/trmma.dir/mm/nearest.cc.o.d"
+  "/root/repo/src/mm/route_stitch.cc" "src/CMakeFiles/trmma.dir/mm/route_stitch.cc.o" "gcc" "src/CMakeFiles/trmma.dir/mm/route_stitch.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "src/CMakeFiles/trmma.dir/nn/adam.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/adam.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/trmma.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "src/CMakeFiles/trmma.dir/nn/gradcheck.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/gradcheck.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/CMakeFiles/trmma.dir/nn/gru.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/gru.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/trmma.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/CMakeFiles/trmma.dir/nn/matrix.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/matrix.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/trmma.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/trmma.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/trmma.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/trmma.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/CMakeFiles/trmma.dir/nn/transformer.cc.o" "gcc" "src/CMakeFiles/trmma.dir/nn/transformer.cc.o.d"
+  "/root/repo/src/node2vec/node2vec.cc" "src/CMakeFiles/trmma.dir/node2vec/node2vec.cc.o" "gcc" "src/CMakeFiles/trmma.dir/node2vec/node2vec.cc.o.d"
+  "/root/repo/src/recovery/linear.cc" "src/CMakeFiles/trmma.dir/recovery/linear.cc.o" "gcc" "src/CMakeFiles/trmma.dir/recovery/linear.cc.o.d"
+  "/root/repo/src/recovery/seq2seq.cc" "src/CMakeFiles/trmma.dir/recovery/seq2seq.cc.o" "gcc" "src/CMakeFiles/trmma.dir/recovery/seq2seq.cc.o.d"
+  "/root/repo/src/recovery/trmma.cc" "src/CMakeFiles/trmma.dir/recovery/trmma.cc.o" "gcc" "src/CMakeFiles/trmma.dir/recovery/trmma.cc.o.d"
+  "/root/repo/src/traj/dataset.cc" "src/CMakeFiles/trmma.dir/traj/dataset.cc.o" "gcc" "src/CMakeFiles/trmma.dir/traj/dataset.cc.o.d"
+  "/root/repo/src/traj/sparsify.cc" "src/CMakeFiles/trmma.dir/traj/sparsify.cc.o" "gcc" "src/CMakeFiles/trmma.dir/traj/sparsify.cc.o.d"
+  "/root/repo/src/traj/types.cc" "src/CMakeFiles/trmma.dir/traj/types.cc.o" "gcc" "src/CMakeFiles/trmma.dir/traj/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

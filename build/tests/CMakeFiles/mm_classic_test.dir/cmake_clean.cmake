@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_classic_test.dir/mm_classic_test.cc.o"
+  "CMakeFiles/mm_classic_test.dir/mm_classic_test.cc.o.d"
+  "mm_classic_test"
+  "mm_classic_test.pdb"
+  "mm_classic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

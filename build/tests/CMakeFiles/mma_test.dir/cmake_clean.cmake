@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mma_test.dir/mma_test.cc.o"
+  "CMakeFiles/mma_test.dir/mma_test.cc.o.d"
+  "mma_test"
+  "mma_test.pdb"
+  "mma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

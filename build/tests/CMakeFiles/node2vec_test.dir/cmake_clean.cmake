@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node2vec_test.dir/node2vec_test.cc.o"
+  "CMakeFiles/node2vec_test.dir/node2vec_test.cc.o.d"
+  "node2vec_test"
+  "node2vec_test.pdb"
+  "node2vec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node2vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

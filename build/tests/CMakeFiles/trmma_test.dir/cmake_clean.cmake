@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trmma_test.dir/trmma_test.cc.o"
+  "CMakeFiles/trmma_test.dir/trmma_test.cc.o.d"
+  "trmma_test"
+  "trmma_test.pdb"
+  "trmma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trmma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubodt_test.dir/ubodt_test.cc.o"
+  "CMakeFiles/ubodt_test.dir/ubodt_test.cc.o.d"
+  "ubodt_test"
+  "ubodt_test.pdb"
+  "ubodt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubodt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

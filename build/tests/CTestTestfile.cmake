@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_index_test[1]_include.cmake")
+include("/root/repo/build/tests/shortest_path_test[1]_include.cmake")
+include("/root/repo/build/tests/ubodt_test[1]_include.cmake")
+include("/root/repo/build/tests/transition_test[1]_include.cmake")
+include("/root/repo/build/tests/route_test[1]_include.cmake")
+include("/root/repo/build/tests/traj_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_autograd_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_modules_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_optim_test[1]_include.cmake")
+include("/root/repo/build/tests/node2vec_test[1]_include.cmake")
+include("/root/repo/build/tests/candidates_test[1]_include.cmake")
+include("/root/repo/build/tests/mm_classic_test[1]_include.cmake")
+include("/root/repo/build/tests/mma_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/trmma_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
