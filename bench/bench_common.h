@@ -6,7 +6,11 @@
 #include <cstring>
 #include <string>
 
+#include "common/logging.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace bench {
@@ -14,7 +18,9 @@ namespace bench {
 /// Workload sizes for the reproduction benches. The defaults ("full")
 /// regenerate every paper table/figure in tens of minutes on one CPU;
 /// setting the environment variable TRMMA_BENCH_SCALE=quick shrinks
-/// everything for a fast smoke run.
+/// everything for a fast smoke run, and TRMMA_BENCH_SCALE=smoke shrinks
+/// further still (CI-sized: seconds per bench, combined with
+/// TRMMA_BENCH_CITIES to limit the city sweep).
 struct BenchScale {
   int traj_main = 2400;   ///< trajectories for PT / XA / CD
   int traj_bj = 2000;     ///< Beijing (largest network, longest trips)
@@ -26,10 +32,17 @@ struct BenchScale {
   int seq2seq_epochs = 12;
 };
 
+inline const char* ScaleName() {
+  const char* env = std::getenv("TRMMA_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "quick") == 0) return "quick";
+  if (env != nullptr && std::strcmp(env, "smoke") == 0) return "smoke";
+  return "full";
+}
+
 inline BenchScale GetScale() {
   BenchScale s;
-  const char* env = std::getenv("TRMMA_BENCH_SCALE");
-  if (env != nullptr && std::strcmp(env, "quick") == 0) {
+  const std::string scale = ScaleName();
+  if (scale == "quick") {
     s.traj_main = 300;
     s.traj_bj = 200;
     s.eval_cap = 40;
@@ -37,6 +50,15 @@ inline BenchScale GetScale() {
     s.deepmm_epochs = 3;
     s.trmma_epochs = 2;
     s.seq2seq_epochs = 2;
+  } else if (scale == "smoke") {
+    s.traj_main = 80;
+    s.traj_bj = 50;
+    s.eval_cap = 10;
+    s.mma_epochs = 1;
+    s.lhmm_epochs = 1;
+    s.deepmm_epochs = 1;
+    s.trmma_epochs = 1;
+    s.seq2seq_epochs = 1;
   }
   return s;
 }
@@ -45,15 +67,28 @@ inline int TrajCountFor(const std::string& city, const BenchScale& scale) {
   return city == "BJ" ? scale.traj_bj : scale.traj_main;
 }
 
-/// Builds the dataset for one city at bench scale; aborts on failure.
+/// Builds the dataset for one city at bench scale; aborts on failure. The
+/// build is a report phase and the dataset shape goes into the run
+/// fingerprint, so a BENCH_*.json pins down exactly what was measured.
 inline Dataset BuildBenchDataset(const std::string& city,
                                  const BenchScale& scale) {
+  obs::ScopedPhase phase("dataset." + city);
   auto ds = BuildCityDatasetByName(city, TrajCountFor(city, scale));
   if (!ds.ok()) {
     std::fprintf(stderr, "dataset %s failed: %s\n", city.c_str(),
                  ds.status().ToString().c_str());
     std::abort();
   }
+  obs::RunReport& report = obs::RunReport::Global();
+  const std::string prefix = "dataset." + city + ".";
+  report.SetFingerprintNumber(prefix + "samples",
+                              static_cast<double>(ds->samples.size()));
+  report.SetFingerprintNumber(prefix + "nodes",
+                              static_cast<double>(ds->network->num_nodes()));
+  report.SetFingerprintNumber(
+      prefix + "segments", static_cast<double>(ds->network->num_segments()));
+  report.SetFingerprintNumber(prefix + "epsilon_s", ds->epsilon_s);
+  report.SetFingerprintNumber(prefix + "gamma", ds->gamma);
   return std::move(ds).value();
 }
 
@@ -67,6 +102,47 @@ inline void PrintBanner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
   std::fflush(stdout);
 }
+
+/// Per-bench observability bracket, constructed first thing in main():
+///  - applies TRMMA_LOG_LEVEL,
+///  - turns on metric collection (TraceMode::kMetrics) unless TRMMA_TRACE
+///    already asked for more,
+///  - names the global run report and stamps the scale fingerprint,
+///  - on destruction writes BENCH_<name>.json (to $TRMMA_OBS_DIR or the
+///    working directory) and, under TRMMA_TRACE, dumps the span ring.
+class BenchRun {
+ public:
+  explicit BenchRun(const std::string& name) {
+    SetMinLogLevelFromEnv();
+    if (obs::CurrentTraceMode() == obs::TraceMode::kOff) {
+      obs::SetTraceMode(obs::TraceMode::kMetrics);
+    }
+    obs::RunReport& report = obs::RunReport::Global();
+    report.SetName(name);
+    report.SetFingerprint("scale", ScaleName());
+    const char* cities = std::getenv("TRMMA_BENCH_CITIES");
+    if (cities != nullptr && *cities != '\0') {
+      report.SetFingerprint("cities", cities);
+    }
+  }
+
+  ~BenchRun() {
+    if (obs::CurrentTraceMode() == obs::TraceMode::kTrace) {
+      std::fprintf(stderr, "---- trace ring (most recent spans) ----\n%s",
+                   obs::TraceRing::Global().DumpString().c_str());
+    }
+    auto path = obs::RunReport::Global().WriteFile();
+    if (path.ok()) {
+      std::printf("report: %s\n", path.value().c_str());
+    } else {
+      std::fprintf(stderr, "report write failed: %s\n",
+                   path.status().ToString().c_str());
+    }
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+};
 
 }  // namespace bench
 }  // namespace trmma

@@ -42,6 +42,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("fig10_mm_training");
   trmma::Run();
   return 0;
 }

@@ -47,6 +47,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("fig11_mm_sparsity");
   trmma::Run();
   return 0;
 }

@@ -54,6 +54,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("fig2_candidate_ratio");
   trmma::Run();
   return 0;
 }

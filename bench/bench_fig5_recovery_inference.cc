@@ -43,6 +43,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("fig5_recovery_inference");
   trmma::Run();
   return 0;
 }

@@ -34,6 +34,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("fig6_recovery_training");
   trmma::Run();
   return 0;
 }

@@ -48,6 +48,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("fig7_recovery_sparsity");
   trmma::Run();
   return 0;
 }

@@ -50,6 +50,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("fig8_training_size");
   trmma::Run();
   return 0;
 }

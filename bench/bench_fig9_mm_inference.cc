@@ -41,6 +41,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("fig9_mm_inference");
   trmma::Run();
   return 0;
 }

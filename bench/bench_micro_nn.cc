@@ -3,6 +3,8 @@
 // pass. Not a paper figure; used to track substrate regressions.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "common/random.h"
 #include "nn/gru.h"
 #include "nn/ops.h"
@@ -81,4 +83,11 @@ BENCHMARK(BM_ForwardBackward);
 }  // namespace nn
 }  // namespace trmma
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  trmma::bench::BenchRun run("micro_nn");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

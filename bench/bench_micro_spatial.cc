@@ -3,6 +3,8 @@
 // route planner. Not a paper figure; used to track substrate regressions.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "common/random.h"
 #include "gen/network_gen.h"
 #include "graph/shortest_path.h"
@@ -85,4 +87,11 @@ BENCHMARK(BM_DaRoutePlanner);
 }  // namespace
 }  // namespace trmma
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  trmma::bench::BenchRun run("micro_spatial");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

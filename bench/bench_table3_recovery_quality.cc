@@ -46,6 +46,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("table3_recovery_quality");
   trmma::Run();
   return 0;
 }

@@ -115,6 +115,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("table4_ablation");
   trmma::Run();
   return 0;
 }

@@ -37,6 +37,7 @@ void Run() {
 }  // namespace trmma
 
 int main() {
+  trmma::bench::BenchRun run("table5_mm_quality");
   trmma::Run();
   return 0;
 }

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json run reports emitted by the bench binaries.
+
+Usage:
+  check_bench_json.py FILE [FILE ...]        validate existing report files
+  check_bench_json.py --run BENCH_BINARY     run a bench at smoke scale on a
+                                             single city, then validate the
+                                             report it writes
+
+The schema is intentionally small and hand-rolled (stdlib only) so it can run
+inside ctest with no extra dependencies. It checks the structural contract
+documented in DESIGN.md: top-level name/wall_seconds/fingerprint/phases/
+metrics, phase entries with name+seconds+count, metric sections with the
+right value fields, and that at least one histogram carries p50/p95/p99.
+"""
+
+import argparse
+import json
+import numbers
+import os
+import subprocess
+import sys
+import tempfile
+
+HIST_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def fail(path, msg, errors):
+    errors.append(f"{path}: {msg}")
+
+
+def check_labels(obj, where, path, errors):
+    labels = obj.get("labels")
+    if not isinstance(labels, dict):
+        fail(path, f"{where}: 'labels' must be an object", errors)
+        return
+    for k, v in labels.items():
+        if not isinstance(k, str) or not isinstance(v, str):
+            fail(path, f"{where}: labels must map strings to strings", errors)
+
+
+def check_metric_list(metrics, section, value_check, path, errors):
+    items = metrics.get(section)
+    if not isinstance(items, list):
+        fail(path, f"metrics.{section} missing or not a list", errors)
+        return []
+    for i, item in enumerate(items):
+        where = f"metrics.{section}[{i}]"
+        if not isinstance(item, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if not isinstance(item.get("name"), str) or not item.get("name"):
+            fail(path, f"{where}: missing non-empty 'name'", errors)
+        check_labels(item, where, path, errors)
+        value_check(item, where)
+    return items
+
+
+def check_report(path, errors, require_activity=True):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}", errors)
+        return
+
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object", errors)
+        return
+
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        fail(path, "missing non-empty string 'name'", errors)
+    basename = os.path.basename(path)
+    if isinstance(name, str) and basename != f"BENCH_{name}.json":
+        fail(path, f"file name does not match report name '{name}'", errors)
+
+    for key in ("created_unix", "wall_seconds"):
+        if not isinstance(doc.get(key), numbers.Real):
+            fail(path, f"missing numeric '{key}'", errors)
+
+    fingerprint = doc.get("fingerprint")
+    if not isinstance(fingerprint, dict):
+        fail(path, "missing object 'fingerprint'", errors)
+        fingerprint = {}
+    if require_activity and "scale" not in fingerprint:
+        fail(path, "fingerprint lacks 'scale'", errors)
+    for k, v in fingerprint.items():
+        if not isinstance(v, (str, numbers.Real)):
+            fail(path, f"fingerprint['{k}'] must be string or number", errors)
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list):
+        fail(path, "missing list 'phases'", errors)
+        phases = []
+    for i, ph in enumerate(phases):
+        where = f"phases[{i}]"
+        if not isinstance(ph, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if not isinstance(ph.get("name"), str) or not ph.get("name"):
+            fail(path, f"{where}: missing non-empty 'name'", errors)
+        if not isinstance(ph.get("seconds"), numbers.Real):
+            fail(path, f"{where}: missing numeric 'seconds'", errors)
+        if not isinstance(ph.get("count"), int) or ph.get("count") < 1:
+            fail(path, f"{where}: missing positive integer 'count'", errors)
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(path, "missing object 'metrics'", errors)
+        return
+
+    def int_value(item, where):
+        if not isinstance(item.get("value"), int):
+            fail(path, f"{where}: counter 'value' must be an integer", errors)
+
+    def num_value(item, where):
+        if not isinstance(item.get("value"), numbers.Real):
+            fail(path, f"{where}: gauge 'value' must be a number", errors)
+
+    def hist_value(item, where):
+        for field in HIST_FIELDS:
+            if not isinstance(item.get(field), numbers.Real):
+                fail(path, f"{where}: histogram missing numeric '{field}'",
+                     errors)
+
+    counters = check_metric_list(metrics, "counters", int_value, path, errors)
+    gauges = check_metric_list(metrics, "gauges", num_value, path, errors)
+    hists = check_metric_list(metrics, "histograms", hist_value, path, errors)
+
+    if require_activity:
+        total = len(counters) + len(gauges) + len(hists)
+        if total < 5:
+            fail(path, f"expected >= 5 named metrics, found {total}", errors)
+        live_hists = [h for h in hists
+                      if isinstance(h.get("count"), numbers.Real)
+                      and h["count"] > 0]
+        if not live_hists:
+            fail(path, "no histogram with any observations "
+                       "(need p50/p95/p99 from a live histogram)", errors)
+        if not phases:
+            fail(path, "no phases recorded", errors)
+
+
+def run_bench(binary, workdir):
+    obs_dir = tempfile.mkdtemp(prefix="bench_obs_", dir=workdir or None)
+    env = dict(os.environ)
+    env.setdefault("TRMMA_BENCH_SCALE", "smoke")
+    env.setdefault("TRMMA_BENCH_CITIES", "PT")
+    env["TRMMA_OBS_DIR"] = obs_dir
+    print(f"running {binary} (scale={env['TRMMA_BENCH_SCALE']}, "
+          f"cities={env['TRMMA_BENCH_CITIES']}, obs dir {obs_dir})",
+          flush=True)
+    proc = subprocess.run([binary], env=env, cwd=workdir or None)
+    if proc.returncode != 0:
+        print(f"FAIL: {binary} exited with {proc.returncode}")
+        return None
+    reports = [os.path.join(obs_dir, f) for f in sorted(os.listdir(obs_dir))
+               if f.startswith("BENCH_") and f.endswith(".json")]
+    if not reports:
+        print(f"FAIL: {binary} wrote no BENCH_*.json into {obs_dir}")
+        return None
+    return reports
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="BENCH_*.json files")
+    parser.add_argument("--run", metavar="BINARY",
+                        help="bench binary to execute before validating")
+    parser.add_argument("--workdir", default=None,
+                        help="working directory for --run")
+    args = parser.parse_args()
+
+    files = list(args.files)
+    if args.run:
+        produced = run_bench(args.run, args.workdir)
+        if produced is None:
+            return 1
+        files.extend(produced)
+    if not files:
+        parser.error("no report files given (pass FILEs or --run)")
+
+    errors = []
+    for path in files:
+        check_report(path, errors)
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    for path in files:
+        print(f"OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

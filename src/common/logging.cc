@@ -1,5 +1,9 @@
 #include "common/logging.h"
 
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+
 namespace trmma {
 namespace internal_logging {
 namespace {
@@ -38,6 +42,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
+    // One mutex-guarded write per message so lines from instrumented
+    // multi-threaded code never interleave.
+    static std::mutex emit_mutex;
+    std::lock_guard<std::mutex> lock(emit_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {
@@ -49,6 +57,23 @@ LogMessage::~LogMessage() {
 
 void SetMinLogLevel(LogLevel level) {
   internal_logging::MinLogLevel() = level;
+}
+
+void SetMinLogLevelFromEnv() {
+  const char* env = std::getenv("TRMMA_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  std::string value(env);
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (value == "debug") {
+    SetMinLogLevel(LogLevel::kDebug);
+  } else if (value == "info") {
+    SetMinLogLevel(LogLevel::kInfo);
+  } else if (value == "warning" || value == "warn") {
+    SetMinLogLevel(LogLevel::kWarning);
+  } else if (value == "error") {
+    SetMinLogLevel(LogLevel::kError);
+  }
 }
 
 }  // namespace trmma

@@ -50,6 +50,12 @@ struct Voidify {
 /// Sets the process-wide minimum log level.
 void SetMinLogLevel(LogLevel level);
 
+/// Sets the minimum level from the TRMMA_LOG_LEVEL environment variable
+/// ("debug", "info", "warning", "error"; case-insensitive). Unset or
+/// unrecognized values leave the current level unchanged. Bench and test
+/// mains call this so verbosity is controllable without a rebuild.
+void SetMinLogLevelFromEnv();
+
 }  // namespace trmma
 
 #define TRMMA_LOG(level)                                                    \

@@ -9,10 +9,13 @@ namespace trmma {
 /// columns of the paper's efficiency figures.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  /// Resets the reference point to now.
-  void Restart() { start_ = Clock::now(); }
+  /// Resets the reference point (and the lap marker) to now.
+  void Restart() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   /// Elapsed seconds since construction or the last Restart().
   double ElapsedSeconds() const {
@@ -22,9 +25,22 @@ class Stopwatch {
   /// Elapsed milliseconds since construction or the last Restart().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Milliseconds since the last LapMillis() call (or construction /
+  /// Restart() for the first lap), and marks a new lap. Lets loops report
+  /// per-iteration time from one stopwatch: total via ElapsedSeconds(),
+  /// laps via LapMillis().
+  double LapMillis() {
+    const Clock::time_point now = Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(now - lap_).count();
+    lap_ = now;
+    return ms;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace trmma

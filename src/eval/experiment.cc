@@ -6,6 +6,9 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "mm/route_stitch.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "traj/sparsify.h"
 
 namespace trmma {
@@ -33,12 +36,35 @@ Dataset SubsampleTraining(const Dataset& dataset, double fraction,
   return sub;
 }
 
+/// Runs `epochs` epochs of `train_one_epoch`, timing each with the
+/// stopwatch's lap counter and publishing the training telemetry every
+/// perf question starts from: per-epoch loss (gauge + debug log),
+/// throughput in examples/sec, and the epoch-time histogram. `method`
+/// labels the metrics; `examples` is the per-epoch sample count.
 template <typename TrainFn>
-TrainStats TimedEpochs(int epochs, TrainFn&& train_one_epoch) {
+TrainStats TimedEpochs(const char* method, int examples, int epochs,
+                       TrainFn&& train_one_epoch) {
+  obs::ScopedPhase phase(std::string("train.") + method);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  const obs::Labels labels = {{"method", method}};
+  obs::Histogram* epoch_ms = reg.GetHistogram(
+      "train.epoch_ms", labels, obs::Histogram::ExponentialBounds(1, 2, 24));
+
   TrainStats out;
   Stopwatch watch;
   for (int e = 0; e < epochs; ++e) {
     out.final_loss = train_one_epoch();
+    const double lap_ms = watch.LapMillis();
+    epoch_ms->Observe(lap_ms);
+    reg.GetGauge("train.loss", labels)->Set(out.final_loss);
+    if (lap_ms > 0.0) {
+      reg.GetGauge("train.examples_per_sec", labels)
+          ->Set(examples / (lap_ms / 1e3));
+    }
+    reg.GetCounter("train.epochs", labels)->Increment();
+    TRMMA_LOG(Debug) << method << " epoch " << e + 1 << "/" << epochs
+                     << " loss=" << out.final_loss << " (" << lap_ms
+                     << " ms)";
   }
   out.seconds_per_epoch = watch.ElapsedSeconds() / std::max(epochs, 1);
   return out;
@@ -49,6 +75,15 @@ TrainStats TimedEpochs(int epochs, TrainFn&& train_one_epoch) {
 ExperimentStack BuildStack(const Dataset& dataset, const StackConfig& config) {
   TRMMA_CHECK(dataset.network != nullptr);
   const RoadNetwork& g = *dataset.network;
+  obs::ScopedPhase phase("build_stack." + dataset.name);
+
+  // Config fingerprint for the run report: enough to tell two runs apart.
+  obs::RunReport& report = obs::RunReport::Global();
+  report.SetFingerprintNumber("config.seed", static_cast<double>(config.seed));
+  report.SetFingerprintNumber("config.ubodt_delta_m", config.ubodt_delta_m);
+  report.SetFingerprintNumber("config.mma.kc", config.mma.kc);
+  report.SetFingerprintNumber("config.mma.d0", config.mma.d0);
+  report.SetFingerprintNumber("config.trmma.dh", config.trmma.dh);
 
   ExperimentStack stack;
   stack.dataset = &dataset;
@@ -105,59 +140,72 @@ TrainStats TrainMma(ExperimentStack& stack, int epochs,
                     double train_fraction) {
   Rng rng(stack.config.seed + 1);
   if (train_fraction >= 1.0) {
-    return TimedEpochs(epochs, [&] {
-      return stack.mma->TrainEpoch(*stack.dataset, rng);
-    });
+    return TimedEpochs("mma", static_cast<int>(stack.dataset->train_idx.size()),
+                       epochs, [&] {
+                         return stack.mma->TrainEpoch(*stack.dataset, rng);
+                       });
   }
   Dataset sub =
       SubsampleTraining(*stack.dataset, train_fraction, stack.config.seed);
-  return TimedEpochs(epochs, [&] { return stack.mma->TrainEpoch(sub, rng); });
+  return TimedEpochs("mma", static_cast<int>(sub.train_idx.size()), epochs,
+                     [&] { return stack.mma->TrainEpoch(sub, rng); });
 }
 
 TrainStats TrainLhmm(ExperimentStack& stack, int epochs) {
+  obs::ScopedPhase phase("train.lhmm");
   Rng rng(stack.config.seed + 2);
   TrainStats out;
   Stopwatch watch;
   out.final_loss = stack.lhmm->Train(*stack.dataset, epochs, rng);
   out.seconds_per_epoch = watch.ElapsedSeconds() / std::max(epochs, 1);
+  obs::MetricRegistry::Global()
+      .GetGauge("train.loss", {{"method", "lhmm"}})
+      ->Set(out.final_loss);
   return out;
 }
 
 TrainStats TrainDeepMm(ExperimentStack& stack, int epochs) {
   Rng rng(stack.config.seed + 3);
-  return TimedEpochs(epochs, [&] {
-    return stack.deepmm->TrainEpoch(*stack.dataset, rng);
-  });
+  return TimedEpochs("deepmm",
+                     static_cast<int>(stack.dataset->train_idx.size()), epochs,
+                     [&] { return stack.deepmm->TrainEpoch(*stack.dataset, rng); });
 }
 
 TrainStats TrainTrmma(ExperimentStack& stack, int epochs,
                       double train_fraction) {
   Rng rng(stack.config.seed + 4);
   if (train_fraction >= 1.0) {
-    return TimedEpochs(epochs, [&] {
-      return stack.trmma->TrainEpoch(*stack.dataset, rng);
-    });
+    return TimedEpochs("trmma",
+                       static_cast<int>(stack.dataset->train_idx.size()),
+                       epochs, [&] {
+                         return stack.trmma->TrainEpoch(*stack.dataset, rng);
+                       });
   }
   Dataset sub =
       SubsampleTraining(*stack.dataset, train_fraction, stack.config.seed);
-  return TimedEpochs(epochs,
+  return TimedEpochs("trmma", static_cast<int>(sub.train_idx.size()), epochs,
                      [&] { return stack.trmma->TrainEpoch(sub, rng); });
 }
 
 TrainStats TrainSeq2Seq(ExperimentStack& stack, Seq2SeqRecovery& model,
                         int epochs, double train_fraction) {
   Rng rng(stack.config.seed + 5);
+  const std::string method = model.name();
   if (train_fraction >= 1.0) {
-    return TimedEpochs(epochs,
+    return TimedEpochs(method.c_str(),
+                       static_cast<int>(stack.dataset->train_idx.size()),
+                       epochs,
                        [&] { return model.TrainEpoch(*stack.dataset, rng); });
   }
   Dataset sub =
       SubsampleTraining(*stack.dataset, train_fraction, stack.config.seed);
-  return TimedEpochs(epochs, [&] { return model.TrainEpoch(sub, rng); });
+  return TimedEpochs(method.c_str(), static_cast<int>(sub.train_idx.size()),
+                     epochs, [&] { return model.TrainEpoch(sub, rng); });
 }
 
 MapMatchEval EvaluateMapMatching(ExperimentStack& stack, MapMatcher& matcher,
                                  int max_trajectories) {
+  obs::ScopedPhase phase("eval.mm." + matcher.name());
   const Dataset& dataset = *stack.dataset;
   MapMatchEval out;
   int count = 0;
@@ -179,12 +227,16 @@ MapMatchEval EvaluateMapMatching(ExperimentStack& stack, MapMatcher& matcher,
   if (count > 0) {
     out.metrics = out.metrics / count;
     out.seconds_per_1000 = elapsed / count * 1000.0;
+    obs::MetricRegistry::Global()
+        .GetGauge("eval.mm.s_per_1000", {{"method", matcher.name()}})
+        ->Set(out.seconds_per_1000);
   }
   return out;
 }
 
 RecoveryEval EvaluateRecovery(ExperimentStack& stack, RecoveryMethod& method,
                               int max_trajectories) {
+  obs::ScopedPhase phase("eval.recovery." + method.name());
   const Dataset& dataset = *stack.dataset;
   RecoveryEval out;
   int count = 0;
@@ -222,6 +274,9 @@ RecoveryEval EvaluateRecovery(ExperimentStack& stack, RecoveryMethod& method,
     out.mae_m = mae / count;
     out.rmse_m = rmse / count;
     out.seconds_per_1000 = elapsed / count * 1000.0;
+    obs::MetricRegistry::Global()
+        .GetGauge("eval.recovery.s_per_1000", {{"method", method.name()}})
+        ->Set(out.seconds_per_1000);
   }
   return out;
 }

@@ -1,13 +1,46 @@
 #include "gen/presets.h"
 
+#include <cstdlib>
+#include <sstream>
+
 #include "common/logging.h"
 #include "traj/sparsify.h"
 
 namespace trmma {
+namespace {
+
+/// All four presets, optionally filtered by the TRMMA_BENCH_CITIES
+/// environment variable (comma-separated, e.g. "PT,CD"). Unknown names are
+/// ignored; a filter that matches nothing falls back to the full list so a
+/// typo can't silently turn a bench into a no-op.
+std::vector<std::string> FilteredCityNames() {
+  const std::vector<std::string> all = {"PT", "XA", "BJ", "CD"};
+  const char* env = std::getenv("TRMMA_BENCH_CITIES");
+  if (env == nullptr || *env == '\0') return all;
+  std::vector<std::string> picked;
+  std::stringstream ss(env);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    for (const std::string& name : all) {
+      if (token == name) {
+        picked.push_back(name);
+        break;
+      }
+    }
+  }
+  if (picked.empty()) {
+    TRMMA_LOG(Warning) << "TRMMA_BENCH_CITIES='" << env
+                       << "' matches no preset; using all cities";
+    return all;
+  }
+  return picked;
+}
+
+}  // namespace
 
 const std::vector<std::string>& CityNames() {
   static const std::vector<std::string>* names =
-      new std::vector<std::string>{"PT", "XA", "BJ", "CD"};
+      new std::vector<std::string>(FilteredCityNames());
   return *names;
 }
 

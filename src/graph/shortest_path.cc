@@ -4,8 +4,26 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace trmma {
+namespace {
+
+/// Settled-node count per Dijkstra run: the natural cost measure for the
+/// routing hot path (bounded searches make wall time misleading on its own).
+void RecordSettled(size_t touched) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Histogram* const settled =
+      obs::MetricRegistry::Global().GetHistogram(
+          "sp.dijkstra.settled", {},
+          obs::Histogram::ExponentialBounds(1.0, 2.0, 22));
+  static obs::Counter* const runs =
+      obs::MetricRegistry::Global().GetCounter("sp.dijkstra.runs");
+  settled->Observe(static_cast<double>(touched));
+  runs->Increment();
+}
+
+}  // namespace
 
 ShortestPathEngine::ShortestPathEngine(const RoadNetwork& network)
     : network_(network) {
@@ -24,6 +42,7 @@ void ShortestPathEngine::Reset() {
 
 PathResult ShortestPathEngine::NodeToNode(NodeId src, NodeId dst,
                                           double max_dist_m) {
+  TRMMA_SPAN("sp.node_to_node");
   TRMMA_CHECK_GE(src, 0);
   TRMMA_CHECK_LT(src, network_.num_nodes());
   TRMMA_CHECK_GE(dst, 0);
@@ -56,6 +75,7 @@ PathResult ShortestPathEngine::NodeToNode(NodeId src, NodeId dst,
     }
   }
 
+  RecordSettled(touched_.size());
   if (dist_[dst] == kInfinity) return result;
   result.found = true;
   result.distance_m = dist_[dst];

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace {
@@ -102,6 +103,12 @@ SegmentHit SegmentRTree::Evaluate(SegmentId id, const Vec2& query) const {
 std::vector<SegmentHit> SegmentRTree::KNearest(const Vec2& query,
                                                int k) const {
   if (k <= 0) return {};
+  TRMMA_SPAN("rtree.knn");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const queries =
+        obs::MetricRegistry::Global().GetCounter("rtree.knn.queries");
+    queries->Increment();
+  }
 
   // Best-first search: frontier ordered by lower-bound (bbox) distance; a
   // node is expanded only while its bound can beat the current k-th best.
@@ -162,6 +169,7 @@ std::vector<SegmentHit> SegmentRTree::KNearest(const Vec2& query,
 
 std::vector<SegmentHit> SegmentRTree::WithinRadius(const Vec2& query,
                                                    double radius) const {
+  TRMMA_SPAN("rtree.within_radius");
   std::vector<SegmentHit> out;
   std::vector<int> stack = {root_};
   while (!stack.empty()) {

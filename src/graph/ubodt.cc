@@ -3,11 +3,28 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace trmma {
+namespace {
+
+/// Hit/miss counters for the bounded table. A miss is not an error — it
+/// means the pair is farther apart than delta and the caller falls back to
+/// Dijkstra — but the ratio tells whether delta fits the workload.
+void CountLookup(bool hit) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter* const hits =
+      obs::MetricRegistry::Global().GetCounter("ubodt.lookup.hit");
+  static obs::Counter* const misses =
+      obs::MetricRegistry::Global().GetCounter("ubodt.lookup.miss");
+  (hit ? hits : misses)->Increment();
+}
+
+}  // namespace
 
 Ubodt::Ubodt(const RoadNetwork& network, double delta_m)
     : network_(network), delta_m_(delta_m) {
+  TRMMA_SPAN("ubodt.build");
   TRMMA_CHECK(network.finalized());
   ShortestPathEngine engine(network);
   for (NodeId src = 0; src < network.num_nodes(); ++src) {
@@ -30,6 +47,7 @@ Ubodt::Ubodt(const RoadNetwork& network, double delta_m)
 double Ubodt::Distance(NodeId src, NodeId dst) const {
   if (src == dst) return 0.0;
   auto it = table_.find(Key(src, dst));
+  CountLookup(it != table_.end());
   if (it == table_.end()) return ShortestPathEngine::kInfinity;
   return it->second.distance;
 }
@@ -41,6 +59,7 @@ PathResult Ubodt::Path(NodeId src, NodeId dst) const {
     return result;
   }
   auto it = table_.find(Key(src, dst));
+  CountLookup(it != table_.end());
   if (it == table_.end()) return result;
   result.found = true;
   result.distance_m = it->second.distance;

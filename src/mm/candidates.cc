@@ -1,10 +1,13 @@
 #include "mm/candidates.h"
 
+#include "obs/trace.h"
+
 namespace trmma {
 
 std::vector<std::vector<Candidate>> ComputeCandidates(
     const RoadNetwork& network, const SegmentRTree& index,
     const Trajectory& traj, int kc) {
+  TRMMA_SPAN("mm.candidates");
   const int n = traj.size();
   std::vector<Vec2> xy(n);
   for (int i = 0; i < n; ++i) {
@@ -29,6 +32,11 @@ std::vector<std::vector<Candidate>> ComputeCandidates(
       if (i + 1 < n) c.cosine[3] = CosineSimilarity(dir, xy[i + 1] - xy[i]);
       out[i].push_back(c);
     }
+  }
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const points =
+        obs::MetricRegistry::Global().GetCounter("mm.candidates.points");
+    points->Increment(n);
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace {
@@ -29,9 +30,11 @@ double HmmMatcher::EmissionLogProb(const Candidate& candidate) const {
 }
 
 std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
+  TRMMA_SPAN("hmm.viterbi");
   const int n = traj.size();
   std::vector<SegmentId> result(n, kInvalidSegment);
   if (n == 0) return result;
+  int64_t transitions = 0;
 
   const auto candidates = ComputeCandidates(network_, index_, traj,
                                             config_.k_candidates);
@@ -59,6 +62,7 @@ std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
       const double emission = EmissionLogProb(cur[j]);
       for (size_t k = 0; k < prev.size(); ++k) {
         if (score[i - 1][k] <= kLogZero / 2) continue;
+        ++transitions;
         const double route = RouteDistance(prev[k].segment, prev[k].ratio,
                                            cur[j].segment, cur[j].ratio);
         double transition;
@@ -83,6 +87,13 @@ std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
         back[i][j] = -1;
       }
     }
+  }
+
+  if (obs::MetricsEnabled()) {
+    // One add for the whole lattice, not one per candidate pair.
+    static obs::Counter* const evaluated =
+        obs::MetricRegistry::Global().GetCounter("hmm.transitions");
+    evaluated->Increment(transitions);
   }
 
   // Backtrack.

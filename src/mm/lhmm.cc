@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace {
@@ -27,6 +28,7 @@ void LhmmMatcher::Featurize(const Candidate& candidate, double sigma,
 }
 
 double LhmmMatcher::Train(const Dataset& dataset, int epochs, Rng& rng) {
+  TRMMA_SPAN("lhmm.train");
   TRMMA_CHECK(dataset.network != nullptr);
   // Collect labeled candidate feature vectors from the training split.
   std::vector<std::array<double, kNumFeatures>> features;

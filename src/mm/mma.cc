@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 
 namespace trmma {
 
@@ -68,6 +69,7 @@ nn::Matrix PointFeatures(const RoadNetwork& network, const Trajectory& traj) {
 std::vector<Tensor> MmaMatcher::ForwardLogits(
     nn::Tape& tape, const Trajectory& traj,
     const std::vector<std::vector<Candidate>>& candidates) {
+  TRMMA_SPAN("mma.forward");
   namespace ops = nn::ops;
   // Point sequence embeddings z^(2) via FC + transformer (Eq. 3).
   Tensor z0 = ops::Input(tape, PointFeatures(network_, traj));
@@ -118,6 +120,7 @@ std::vector<Tensor> MmaMatcher::ForwardLogits(
 }
 
 double MmaMatcher::TrainEpoch(const Dataset& dataset, Rng& rng) {
+  TRMMA_SPAN("mma.train_epoch");
   namespace ops = nn::ops;
   std::vector<int> order = dataset.train_idx;
   rng.Shuffle(order);
@@ -177,6 +180,12 @@ std::vector<SegmentId> MmaMatcher::MatchPoints(const Trajectory& traj) {
 
 std::vector<SegmentId> MmaMatcher::MatchPointsWithScores(
     const Trajectory& traj, std::vector<double>* scores) {
+  TRMMA_SPAN("mma.match");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const points =
+        obs::MetricRegistry::Global().GetCounter("mma.points_matched");
+    points->Increment(traj.size());
+  }
   std::vector<SegmentId> out(traj.size(), kInvalidSegment);
   if (scores != nullptr) scores->assign(traj.size(), 0.0);
   if (traj.empty()) return out;

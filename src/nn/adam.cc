@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace trmma {
 namespace nn {
 
@@ -18,6 +20,12 @@ Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
 }
 
 void Adam::Step(double max_grad_norm) {
+  TRMMA_SPAN("nn.adam.step");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const steps =
+        obs::MetricRegistry::Global().GetCounter("nn.adam.steps");
+    steps->Increment();
+  }
   ++t_;
   double scale = 1.0;
   if (max_grad_norm > 0.0) {

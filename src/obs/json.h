@@ -1,0 +1,138 @@
+#ifndef TRMMA_OBS_JSON_H_
+#define TRMMA_OBS_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace trmma {
+namespace obs {
+
+/// Minimal append-only JSON writer: tracks nesting and inserts commas so
+/// callers just emit keys and values. Non-finite numbers are written as 0
+/// (JSON has no NaN/Inf and downstream tooling should never choke on a
+/// report). Output is deterministic — no whitespace except a newline per
+/// top-level key, so golden-file tests can compare exact strings.
+class JsonWriter {
+ public:
+  std::string TakeString() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+  JsonWriter& BeginObject() {
+    Comma();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_ += '}';
+    stack_.pop_back();
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Comma();
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_ += ']';
+    stack_.pop_back();
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& Key(const std::string& k) {
+    Comma();
+    AppendString(k);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+  JsonWriter& String(const std::string& v) {
+    Comma();
+    AppendString(v);
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& Number(double v) {
+    Comma();
+    if (!std::isfinite(v)) v = 0.0;
+    char buf[32];
+    // %.17g round-trips doubles but writes 0.1 as 0.1, not 0.1000...01.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Normalize shortest form: try %g first and keep it if it round-trips.
+    char shortbuf[32];
+    std::snprintf(shortbuf, sizeof(shortbuf), "%g", v);
+    double back = 0.0;
+    std::sscanf(shortbuf, "%lf", &back);
+    out_ += (back == v) ? shortbuf : buf;
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& Int(long long v) {
+    Comma();
+    out_ += std::to_string(v);
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+    MarkValue();
+    return *this;
+  }
+
+ private:
+  void Comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty() && stack_.back()) out_ += ',';
+  }
+  void MarkValue() {
+    if (!stack_.empty()) stack_.back() = true;
+  }
+  void AppendString(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  ///< per level: "a value was already emitted"
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_JSON_H_

@@ -1,0 +1,314 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace trmma {
+namespace obs {
+namespace internal_obs {
+namespace {
+
+int ModeFromEnv() {
+  const char* env = std::getenv("TRMMA_TRACE");
+  if (env == nullptr || *env == '\0') return static_cast<int>(TraceMode::kOff);
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
+    return static_cast<int>(TraceMode::kOff);
+  }
+  if (std::strcmp(env, "metrics") == 0) {
+    return static_cast<int>(TraceMode::kMetrics);
+  }
+  // "1", "on", "full", or anything else truthy: full tracing.
+  return static_cast<int>(TraceMode::kTrace);
+}
+
+}  // namespace
+
+std::atomic<int> g_trace_mode{ModeFromEnv()};
+
+}  // namespace internal_obs
+
+void SetTraceMode(TraceMode mode) {
+  internal_obs::g_trace_mode.store(static_cast<int>(mode),
+                                   std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Relaxed add for atomic<double> via CAS (fetch_add on double is C++20 but
+/// not guaranteed lock-free everywhere; the CAS loop is portable and the
+/// contention profile here is low).
+void AtomicAdd(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+constexpr double kEmptyMin = 1e300;
+constexpr double kEmptyMax = -1e300;
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBounds() : std::move(bounds)),
+      buckets_(bounds_.size() + 1) {
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(kEmptyMax, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+}
+
+double Histogram::Min() const {
+  const double m = min_.load(std::memory_order_relaxed);
+  return m == kEmptyMin ? 0.0 : m;
+}
+
+double Histogram::Max() const {
+  const double m = max_.load(std::memory_order_relaxed);
+  return m == kEmptyMax ? 0.0 : m;
+}
+
+double Histogram::Mean() const {
+  const int64_t n = Count();
+  return n > 0 ? Sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside bucket i. Bucket range: (lower, upper], with the
+      // observed min/max tightening the outermost buckets.
+      double lower = i == 0 ? Min() : bounds_[i - 1];
+      double upper = i < bounds_.size() ? bounds_[i] : Max();
+      lower = std::max(lower, Min());
+      upper = std::min(upper, Max());
+      if (upper < lower) upper = lower;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return Max();
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(kEmptyMax, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  std::vector<double> out;
+  out.reserve(count);
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<double> bounds = ExponentialBounds(1.0, 2.0, 27);
+  return bounds;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+std::string MetricRegistry::MakeKey(const std::string& name,
+                                    const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first + "=" + sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const Labels& labels) {
+  const std::string key = MakeKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    it = counters_
+             .emplace(key, std::make_pair(Entry{name, std::move(sorted)},
+                                          std::make_unique<Counter>()))
+             .first;
+  }
+  return it->second.second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name, const Labels& labels) {
+  const std::string key = MakeKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    it = gauges_
+             .emplace(key, std::make_pair(Entry{name, std::move(sorted)},
+                                          std::make_unique<Gauge>()))
+             .first;
+  }
+  return it->second.second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const Labels& labels,
+                                        std::vector<double> bounds) {
+  const std::string key = MakeKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    it = histograms_
+             .emplace(key,
+                      std::make_pair(
+                          Entry{name, std::move(sorted)},
+                          std::make_unique<Histogram>(std::move(bounds))))
+             .first;
+  }
+  return it->second.second.get();
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : counters_) entry.second->Reset();
+  for (auto& [key, entry] : gauges_) entry.second->Reset();
+  for (auto& [key, entry] : histograms_) entry.second->Reset();
+}
+
+std::string MetricRegistry::TextDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[160];
+  for (const auto& [key, entry] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter %s %lld\n", key.c_str(),
+                  static_cast<long long>(entry.second->Value()));
+    out += buf;
+  }
+  for (const auto& [key, entry] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge %s %g\n", key.c_str(),
+                  entry.second->Value());
+    out += buf;
+  }
+  for (const auto& [key, entry] : histograms_) {
+    const Histogram& h = *entry.second;
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %s count=%lld mean=%g p50=%g p95=%g p99=%g "
+                  "max=%g\n",
+                  key.c_str(), static_cast<long long>(h.Count()), h.Mean(),
+                  h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99),
+                  h.Max());
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+void WriteLabels(JsonWriter& w, const Labels& labels) {
+  w.Key("labels").BeginObject();
+  for (const auto& [k, v] : labels) w.Key(k).String(v);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string MetricRegistry::JsonDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginArray();
+  for (const auto& [key, entry] : counters_) {
+    w.BeginObject().Key("name").String(entry.first.name);
+    WriteLabels(w, entry.first.labels);
+    w.Key("value").Int(entry.second->Value()).EndObject();
+  }
+  w.EndArray();
+  w.Key("gauges").BeginArray();
+  for (const auto& [key, entry] : gauges_) {
+    w.BeginObject().Key("name").String(entry.first.name);
+    WriteLabels(w, entry.first.labels);
+    w.Key("value").Number(entry.second->Value()).EndObject();
+  }
+  w.EndArray();
+  w.Key("histograms").BeginArray();
+  for (const auto& [key, entry] : histograms_) {
+    const Histogram& h = *entry.second;
+    w.BeginObject().Key("name").String(entry.first.name);
+    WriteLabels(w, entry.first.labels);
+    w.Key("count").Int(h.Count());
+    w.Key("sum").Number(h.Sum());
+    w.Key("min").Number(h.Min());
+    w.Key("max").Number(h.Max());
+    w.Key("mean").Number(h.Mean());
+    w.Key("p50").Number(h.Quantile(0.5));
+    w.Key("p95").Number(h.Quantile(0.95));
+    w.Key("p99").Number(h.Quantile(0.99));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,156 @@
+#ifndef TRMMA_OBS_METRICS_H_
+#define TRMMA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trmma {
+namespace obs {
+
+/// Instrumentation levels, cheapest first. kOff makes every TRMMA_SPAN and
+/// gated counter a single relaxed load + branch; kMetrics feeds the metric
+/// registry (histogram per span site); kTrace additionally records recent
+/// spans into the ring buffer of trace.h.
+enum class TraceMode { kOff = 0, kMetrics = 1, kTrace = 2 };
+
+namespace internal_obs {
+/// Process-wide mode. Initialized from the TRMMA_TRACE environment variable
+/// ("1"/"on"/"full" -> kTrace, "metrics" -> kMetrics, otherwise kOff).
+extern std::atomic<int> g_trace_mode;
+}  // namespace internal_obs
+
+inline TraceMode CurrentTraceMode() {
+  return static_cast<TraceMode>(
+      internal_obs::g_trace_mode.load(std::memory_order_relaxed));
+}
+
+/// Fast gate for hot-path instrumentation: one relaxed load + compare.
+inline bool MetricsEnabled() { return CurrentTraceMode() != TraceMode::kOff; }
+
+/// Programmatic override (e.g. bench mains enable kMetrics so reports carry
+/// span histograms even without TRMMA_TRACE).
+void SetTraceMode(TraceMode mode);
+
+/// Metric labels as key/value pairs; canonicalized (sorted by key) when the
+/// metric is registered, so label order does not create duplicates.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter. Increment is a relaxed atomic add.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with lock-free recording: per-bucket atomic
+/// counters plus atomic count/sum/min/max. Quantiles are estimated by
+/// linear interpolation inside the bucket containing the target rank, which
+/// is exact enough for latency reporting (p50/p95/p99) with exponential
+/// bucket layouts.
+class Histogram {
+ public:
+  /// `bounds` are ascending inclusive upper bounds; an implicit overflow
+  /// bucket catches everything above the last bound. An empty vector uses
+  /// DefaultLatencyBounds().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void Observe(double v);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Min() const;  ///< 0 when empty
+  double Max() const;  ///< 0 when empty
+  double Mean() const;
+  /// Quantile estimate for q in [0,1]; 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+  void Reset();
+
+  /// `count` buckets growing geometrically from `start` by `factor`.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+  /// Span-latency default: 1us .. ~67s, factor 2.
+  static const std::vector<double>& DefaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Registry of named metrics. Get* registers on first use and is idempotent:
+/// the same name+labels always returns the same object (a histogram's bucket
+/// bounds are fixed by the first registration). Returned pointers stay valid
+/// for the registry's lifetime — Reset() zeroes values but never deallocates,
+/// so call sites may cache them.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry used by spans and library instrumentation.
+  static MetricRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          std::vector<double> bounds = {});
+
+  /// Zeroes every registered metric; registrations (and pointers) survive.
+  void Reset();
+
+  /// One line per metric: `counter name{k=v} 42`. Sorted by key.
+  std::string TextDump() const;
+  /// {"counters":[...],"gauges":[...],"histograms":[...]} — see DESIGN.md.
+  std::string JsonDump() const;
+
+ private:
+  /// Canonical map key: name{k=v,...} with labels sorted by key.
+  static std::string MakeKey(const std::string& name, const Labels& labels);
+
+  struct Entry {
+    std::string name;
+    Labels labels;  ///< sorted
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<Entry, std::unique_ptr<Counter>>> counters_;
+  std::map<std::string, std::pair<Entry, std::unique_ptr<Gauge>>> gauges_;
+  std::map<std::string, std::pair<Entry, std::unique_ptr<Histogram>>>
+      histograms_;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_METRICS_H_

@@ -1,0 +1,85 @@
+#ifndef TRMMA_OBS_REPORT_H_
+#define TRMMA_OBS_REPORT_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace trmma {
+namespace obs {
+
+/// Machine-readable record of one benchmark/experiment run: named wall-time
+/// phases (accumulated across repeats), a dataset/config fingerprint, and —
+/// at write time — a snapshot of the global metric registry. Serialized as
+/// BENCH_<name>.json so successive runs can be diffed (the repo's persisted
+/// perf trajectory; schema in DESIGN.md §Observability).
+class RunReport {
+ public:
+  RunReport() = default;
+  RunReport(const RunReport&) = delete;
+  RunReport& operator=(const RunReport&) = delete;
+
+  /// Report the bench mains and the experiment harness write into.
+  static RunReport& Global();
+
+  void SetName(const std::string& name);
+  std::string name() const;
+
+  /// Accumulates `seconds` under phase `name` (repeat calls sum and count).
+  void AddPhaseSeconds(const std::string& name, double seconds);
+
+  /// Fingerprint entries identify what ran: dataset shapes, config knobs,
+  /// seeds. Later writes to the same key overwrite.
+  void SetFingerprint(const std::string& key, const std::string& value);
+  void SetFingerprintNumber(const std::string& key, double value);
+
+  /// Full report JSON including the metrics snapshot.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into `dir` (default: $TRMMA_OBS_DIR or the
+  /// working directory). Returns the path written on success.
+  StatusOr<std::string> WriteFile(const std::string& dir = "") const;
+
+  /// Clears phases and fingerprint and restarts the wall clock (test hook).
+  void Reset();
+
+ private:
+  struct Phase {
+    double seconds = 0.0;
+    int64_t count = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::string name_ = "run";
+  Stopwatch wall_;
+  std::vector<std::string> phase_order_;
+  std::map<std::string, Phase> phases_;
+  std::vector<std::string> fingerprint_order_;
+  std::map<std::string, std::pair<bool, std::string>>
+      fingerprint_;  ///< value: (is_number, text)
+};
+
+/// RAII phase timer: adds the scope's wall time to RunReport::Global().
+/// Phases are coarse (dataset build, one training run, one eval sweep), so
+/// they are recorded regardless of TraceMode.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string name) : name_(std::move(name)) {}
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_REPORT_H_

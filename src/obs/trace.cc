@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace trmma {
+namespace obs {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::time_point ProcessStart() {
+  static const SteadyClock::time_point start = SteadyClock::now();
+  return start;
+}
+
+/// Per-thread stack of open spans (RAII guarantees strict nesting).
+struct OpenSpan {
+  const char* name;
+  int64_t seq;
+  int64_t parent_seq;
+  int depth;
+  double start_us;
+};
+
+thread_local std::vector<OpenSpan> t_open_spans;
+
+}  // namespace
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() -
+                                                   ProcessStart())
+      .count();
+}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)), ring_(capacity_) {}
+
+int64_t TraceRing::BeginSpan(const char* name, double start_us) {
+  const int64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t parent = t_open_spans.empty() ? -1 : t_open_spans.back().seq;
+  t_open_spans.push_back(OpenSpan{name, seq, parent,
+                                  static_cast<int>(t_open_spans.size()),
+                                  start_us});
+  return seq;
+}
+
+void TraceRing::EndSpan(double end_us) {
+  if (t_open_spans.empty()) return;  // mode flipped mid-span; drop
+  const OpenSpan open = t_open_spans.back();
+  t_open_spans.pop_back();
+  SpanRecord rec;
+  rec.name = open.name;
+  rec.seq = open.seq;
+  rec.parent_seq = open.parent_seq;
+  rec.depth = open.depth;
+  rec.start_us = open.start_us;
+  rec.duration_us = end_us - open.start_us;
+  Record(rec);
+}
+
+void TraceRing::Record(const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = rec;
+  next_ = (next_ + 1) % capacity_;
+  stored_ = std::min(stored_ + 1, capacity_);
+}
+
+std::vector<SpanRecord> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(stored_);
+  const size_t begin = (next_ + capacity_ - stored_) % capacity_;
+  for (size_t i = 0; i < stored_; ++i) {
+    out.push_back(ring_[(begin + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string TraceRing::DumpString() const {
+  std::vector<SpanRecord> records = Snapshot();
+  // Spans complete child-first; start order (seq) reads as a call tree.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.seq < b.seq;
+                   });
+  std::string out;
+  char buf[192];
+  for (const SpanRecord& rec : records) {
+    std::snprintf(buf, sizeof(buf), "%*s%s seq=%lld start=%.1fus dur=%.1fus\n",
+                  rec.depth * 2, "", rec.name != nullptr ? rec.name : "?",
+                  static_cast<long long>(rec.seq), rec.start_us,
+                  rec.duration_us);
+    out += buf;
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  stored_ = 0;
+}
+
+void TraceRing::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(capacity, 1);
+  ring_.assign(capacity_, SpanRecord{});
+  next_ = 0;
+  stored_ = 0;
+}
+
+Histogram* SpanSite::histogram() {
+  Histogram* h = hist_.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = MetricRegistry::Global().GetHistogram(std::string(name_) + ".us");
+    hist_.store(h, std::memory_order_release);
+  }
+  return h;
+}
+
+}  // namespace obs
+}  // namespace trmma

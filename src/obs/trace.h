@@ -1,0 +1,124 @@
+#ifndef TRMMA_OBS_TRACE_H_
+#define TRMMA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace obs {
+
+/// One completed span in the trace ring buffer. `name` must point to
+/// static-storage text (TRMMA_SPAN passes string literals). `seq` is a
+/// process-wide start order; `parent_seq` is the seq of the enclosing span
+/// on the same thread (-1 for roots), so a dump can reconstruct nesting.
+struct SpanRecord {
+  const char* name = nullptr;
+  int64_t seq = -1;
+  int64_t parent_seq = -1;
+  int depth = 0;
+  double start_us = 0.0;  ///< since process start
+  double duration_us = 0.0;
+};
+
+/// Fixed-capacity ring of recently completed spans, written only in
+/// TraceMode::kTrace. Completion order means children precede their parents;
+/// DumpString() re-sorts by start order and indents by depth.
+class TraceRing {
+ public:
+  static TraceRing& Global();
+
+  explicit TraceRing(size_t capacity = 4096);
+
+  /// Pushes a span begin onto the calling thread's stack.
+  /// Returns the assigned seq.
+  int64_t BeginSpan(const char* name, double start_us);
+  /// Pops the innermost span and appends the completed record.
+  void EndSpan(double end_us);
+
+  void Record(const SpanRecord& rec);
+
+  /// Oldest-to-newest snapshot of the retained records.
+  std::vector<SpanRecord> Snapshot() const;
+  /// Human-readable dump, one line per span, indented two spaces per depth.
+  std::string DumpString() const;
+  void Clear();
+  /// Drops retained records and re-sizes the ring (test hook).
+  void SetCapacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<SpanRecord> ring_;
+  size_t next_ = 0;      ///< ring write cursor
+  size_t stored_ = 0;    ///< min(#records, capacity)
+  std::atomic<int64_t> seq_{0};
+};
+
+/// Microseconds on the steady clock since process start.
+double NowMicros();
+
+/// Per-call-site state for TRMMA_SPAN: caches the span's histogram so the
+/// enabled path does one atomic pointer load instead of a registry lookup.
+class SpanSite {
+ public:
+  explicit constexpr SpanSite(const char* name) : name_(name) {}
+  const char* name() const { return name_; }
+  Histogram* histogram();
+
+ private:
+  const char* name_;
+  std::atomic<Histogram*> hist_{nullptr};
+};
+
+/// RAII span timer. With TraceMode::kOff the constructor and destructor are
+/// each a relaxed load + branch — no clock read, no allocation. kMetrics
+/// times the span into the histogram `<name>.us`; kTrace additionally
+/// records it (with nesting) into the global TraceRing.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite& site) : mode_(CurrentTraceMode()) {
+    if (mode_ == TraceMode::kOff) return;
+    site_ = &site;
+    start_ = NowMicros();
+    if (mode_ == TraceMode::kTrace) {
+      TraceRing::Global().BeginSpan(site.name(), start_);
+    }
+  }
+  ~ScopedSpan() {
+    if (mode_ == TraceMode::kOff) return;
+    const double end = NowMicros();
+    site_->histogram()->Observe(end - start_);
+    if (mode_ == TraceMode::kTrace) TraceRing::Global().EndSpan(end);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceMode mode_;
+  SpanSite* site_ = nullptr;
+  double start_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#define TRMMA_SPAN_CONCAT_INNER(a, b) a##b
+#define TRMMA_SPAN_CONCAT(a, b) TRMMA_SPAN_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as span `name` (a string literal). Feeds the
+/// histogram `<name>.us` under TraceMode::kMetrics and the trace ring under
+/// kTrace; a no-op branch when observability is off.
+#define TRMMA_SPAN(name)                                            \
+  static ::trmma::obs::SpanSite TRMMA_SPAN_CONCAT(trmma_span_site_, \
+                                                  __LINE__){name};  \
+  ::trmma::obs::ScopedSpan TRMMA_SPAN_CONCAT(trmma_span_, __LINE__)(\
+      TRMMA_SPAN_CONCAT(trmma_span_site_, __LINE__))
+
+#endif  // TRMMA_OBS_TRACE_H_

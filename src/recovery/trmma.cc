@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 
 namespace trmma {
 
@@ -147,6 +148,7 @@ int LocateOnRoute(const Route& route, SegmentId segment, int from) {
 Tensor TrmmaRecovery::EncodeH(nn::Tape& tape, const Trajectory& sparse,
                               const std::vector<MatchedPoint>& anchors,
                               const Route& route) {
+  TRMMA_SPAN("trmma.encode");
   // T branch (Eq. 11): [lat,lng,t,r] + segment id embedding -> FC -> Trans.
   std::vector<int> anchor_ids(anchors.size());
   for (size_t i = 0; i < anchors.size(); ++i) {
@@ -263,6 +265,7 @@ Status TrmmaRecovery::Load(const std::string& path) {
 }
 
 double TrmmaRecovery::TrainEpoch(const Dataset& dataset, Rng& rng) {
+  TRMMA_SPAN("trmma.train_epoch");
   std::vector<int> order = dataset.train_idx;
   rng.Shuffle(order);
 
@@ -612,6 +615,7 @@ void AffineRow(const std::vector<double>& x, const nn::Matrix& w,
 
 MatchedTrajectory TrmmaRecovery::Recover(const Trajectory& sparse,
                                          double epsilon) {
+  TRMMA_SPAN("trmma.recover");
   MatchedTrajectory out;
   if (sparse.empty()) return out;
 
@@ -829,6 +833,11 @@ MatchedTrajectory TrmmaRecovery::Recover(const Trajectory& sparse,
     prev = anchors[i + 1];
     prev_route_idx = LocateOnRoute(route, prev.segment, prev_route_idx);
     out.push_back(anchors[i + 1]);
+  }
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const recovered =
+        obs::MetricRegistry::Global().GetCounter("trmma.points_recovered");
+    recovered->Increment(static_cast<int64_t>(out.size()));
   }
   return out;
 }

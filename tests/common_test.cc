@@ -240,5 +240,42 @@ TEST(StopwatchTest, RestartResets) {
   EXPECT_LE(w.ElapsedSeconds(), before + 1.0);
 }
 
+TEST(StopwatchTest, LapMillisMeasuresSinceLastLap) {
+  Stopwatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 200000; ++i) x = x + 1;
+  const double lap1 = w.LapMillis();
+  EXPECT_GE(lap1, 0.0);
+  // The lap resets its own origin: an immediate second lap is (much)
+  // shorter than total elapsed time.
+  for (int i = 0; i < 200000; ++i) x = x + 1;
+  const double lap2 = w.LapMillis();
+  EXPECT_GE(lap2, 0.0);
+  EXPECT_LE(lap2, w.ElapsedMillis());
+}
+
+TEST(StopwatchTest, LapsSumToElapsed) {
+  Stopwatch w;
+  volatile double x = 0;
+  double lap_sum = 0.0;
+  for (int lap = 0; lap < 3; ++lap) {
+    for (int i = 0; i < 100000; ++i) x = x + 1;
+    lap_sum += w.LapMillis();
+  }
+  const double total = w.ElapsedMillis();
+  // Laps partition [start, last lap], so their sum can't exceed the total.
+  EXPECT_LE(lap_sum, total + 1e-6);
+  EXPECT_GE(total, lap_sum * 0.5);
+}
+
+TEST(StopwatchTest, RestartResetsLapOrigin) {
+  Stopwatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 500000; ++i) x = x + 1;
+  w.Restart();
+  const double lap = w.LapMillis();
+  EXPECT_LE(lap, w.ElapsedMillis() + 1.0);
+}
+
 }  // namespace
 }  // namespace trmma

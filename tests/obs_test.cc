@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+/// Restores the process TraceMode on scope exit so tests can flip it freely.
+class ModeGuard {
+ public:
+  explicit ModeGuard(TraceMode mode) : prev_(CurrentTraceMode()) {
+    SetTraceMode(mode);
+  }
+  ~ModeGuard() { SetTraceMode(prev_); }
+
+ private:
+  TraceMode prev_;
+};
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricRegistryTest, ReRegistrationIsIdempotent) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("requests");
+  Counter* b = reg.GetCounter("requests");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->Value(), 3);
+}
+
+TEST(MetricRegistryTest, LabelOrderDoesNotSplitMetrics) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("hits", {{"city", "PT"}, {"kind", "knn"}});
+  Counter* b = reg.GetCounter("hits", {{"kind", "knn"}, {"city", "PT"}});
+  EXPECT_EQ(a, b);
+  Counter* c = reg.GetCounter("hits", {{"city", "XA"}, {"kind", "knn"}});
+  EXPECT_NE(a, c);
+}
+
+TEST(MetricRegistryTest, HistogramBoundsFixedByFirstRegistration) {
+  MetricRegistry reg;
+  Histogram* a = reg.GetHistogram("lat", {}, {1.0, 2.0, 3.0});
+  Histogram* b = reg.GetHistogram("lat", {}, {10.0, 20.0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->bounds(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(MetricRegistryTest, ResetZeroesButKeepsPointersValid) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("n");
+  Gauge* g = reg.GetGauge("v");
+  Histogram* h = reg.GetHistogram("t", {}, {1.0});
+  c->Increment(7);
+  g->Set(2.5);
+  h->Observe(0.5);
+  reg.Reset();
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0);
+  EXPECT_EQ(h->Min(), 0.0);
+  // Same objects are still registered.
+  EXPECT_EQ(reg.GetCounter("n"), c);
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1);
+}
+
+// --------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0: (-inf, 1]
+  h.Observe(1.0);  // bucket 0 (boundary value goes to the lower bucket)
+  h.Observe(1.5);  // bucket 1: (1, 2]
+  h.Observe(4.0);  // bucket 2: (2, 4]
+  h.Observe(9.0);  // bucket 3: overflow
+  EXPECT_EQ(h.BucketCounts(), (std::vector<int64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_DOUBLE_EQ(h.Sum(), 16.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.2);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleObservationPinsAllQuantiles) {
+  Histogram h({10.0, 20.0});
+  h.Observe(7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 7.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformDistribution) {
+  // 1..100 against decade buckets: interpolation should land within one
+  // bucket width of the exact order statistic.
+  std::vector<double> bounds;
+  for (int b = 10; b <= 100; b += 10) bounds.push_back(b);
+  Histogram h(bounds);
+  for (int v = 1; v <= 100; ++v) h.Observe(v);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.95));
+  EXPECT_LE(h.Quantile(0.95), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileClampedToObservedRange) {
+  Histogram h({1000.0});
+  h.Observe(3.0);
+  h.Observe(5.0);
+  // Both fall in the first bucket; min/max tighten its range to [3, 5].
+  EXPECT_GE(h.Quantile(0.01), 3.0);
+  EXPECT_LE(h.Quantile(0.99), 5.0);
+}
+
+TEST(HistogramTest, ExponentialBoundsGrowGeometrically) {
+  const std::vector<double> b = Histogram::ExponentialBounds(1.0, 2.0, 4);
+  EXPECT_EQ(b, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(TraceTest, SpanNestingRecordedInRing) {
+  ModeGuard guard(TraceMode::kTrace);
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  {
+    TRMMA_SPAN("obs_test.outer");
+    {
+      TRMMA_SPAN("obs_test.inner");
+    }
+  }
+  const std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner finishes first.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& outer = spans[1];
+  EXPECT_STREQ(inner.name, "obs_test.inner");
+  EXPECT_STREQ(outer.name, "obs_test.outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(outer.parent_seq, -1);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.parent_seq, outer.seq);
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.duration_us, outer.duration_us);
+
+  // DumpString re-sorts by start order: outer line precedes inner line.
+  const std::string dump = ring.DumpString();
+  const size_t outer_pos = dump.find("obs_test.outer");
+  const size_t inner_pos = dump.find("obs_test.inner");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_LT(outer_pos, inner_pos);
+  ring.Clear();
+}
+
+TEST(TraceTest, RingKeepsOnlyMostRecentSpans) {
+  ModeGuard guard(TraceMode::kTrace);
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    SpanRecord rec;
+    rec.name = "r";
+    rec.seq = i;
+    ring.Record(rec);
+  }
+  const std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().seq, 6);
+  EXPECT_EQ(spans.back().seq, 9);
+}
+
+TEST(TraceTest, SpanFeedsHistogramUnderMetricsMode) {
+  ModeGuard guard(TraceMode::kMetrics);
+  Histogram* h = MetricRegistry::Global().GetHistogram("obs_test.span.us");
+  const int64_t before = h->Count();
+  {
+    TRMMA_SPAN("obs_test.span");
+  }
+  EXPECT_EQ(h->Count(), before + 1);
+}
+
+TEST(TraceTest, SpanIsInertWhenOff) {
+  ModeGuard guard(TraceMode::kOff);
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  Histogram* h = MetricRegistry::Global().GetHistogram("obs_test.off.us");
+  const int64_t before = h->Count();
+  {
+    TRMMA_SPAN("obs_test.off");
+  }
+  EXPECT_EQ(h->Count(), before);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(JsonWriterTest, EscapesAndNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("a\"b\\c\nd");
+  w.Key("arr").BeginArray().Int(1).Int(2).EndArray();
+  w.Key("nan").Number(std::nan(""));
+  w.Key("t").Bool(true);
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"arr\":[1,2],\"nan\":0,\"t\":true}");
+}
+
+TEST(JsonExporterTest, GoldenRegistryDump) {
+  MetricRegistry reg;
+  reg.GetCounter("c", {{"city", "PT"}})->Increment(3);
+  reg.GetGauge("g")->Set(2.5);
+  Histogram* h = reg.GetHistogram("h", {}, {1.0, 2.0});
+  h->Observe(1.5);
+  const std::string expected =
+      "{\"counters\":[{\"name\":\"c\",\"labels\":{\"city\":\"PT\"},"
+      "\"value\":3}],"
+      "\"gauges\":[{\"name\":\"g\",\"labels\":{},\"value\":2.5}],"
+      "\"histograms\":[{\"name\":\"h\",\"labels\":{},\"count\":1,"
+      "\"sum\":1.5,\"min\":1.5,\"max\":1.5,\"mean\":1.5,"
+      "\"p50\":1.5,\"p95\":1.5,\"p99\":1.5}]}";
+  EXPECT_EQ(reg.JsonDump(), expected);
+}
+
+TEST(JsonExporterTest, TextDumpListsEveryMetric) {
+  MetricRegistry reg;
+  reg.GetCounter("reqs", {{"m", "hmm"}})->Increment(5);
+  reg.GetGauge("loss")->Set(0.25);
+  reg.GetHistogram("lat.us", {}, {1.0})->Observe(0.5);
+  const std::string text = reg.TextDump();
+  EXPECT_NE(text.find("counter reqs{m=hmm} 5"), std::string::npos);
+  EXPECT_NE(text.find("gauge loss 0.25"), std::string::npos);
+  EXPECT_NE(text.find("histogram lat.us count=1"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(RunReportTest, WriteFileEmitsNamedJson) {
+  RunReport report;
+  report.SetName("obs_unit");
+  report.AddPhaseSeconds("train", 1.5);
+  report.AddPhaseSeconds("train", 0.5);
+  report.SetFingerprint("scale", "quick");
+  report.SetFingerprintNumber("seed", 42);
+
+  auto path_or = report.WriteFile(::testing::TempDir());
+  ASSERT_TRUE(path_or.ok()) << path_or.status().ToString();
+  const std::string path = path_or.value();
+  EXPECT_NE(path.find("BENCH_obs_unit.json"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(body.find("\"name\":\"obs_unit\""), std::string::npos);
+  EXPECT_NE(body.find("\"scale\":\"quick\""), std::string::npos);
+  EXPECT_NE(body.find("\"seed\":42"), std::string::npos);
+  // Two AddPhaseSeconds calls accumulate into one phase entry.
+  EXPECT_NE(body.find("\"name\":\"train\",\"seconds\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"metrics\":{"), std::string::npos);
+  // Structural sanity: braces and brackets balance (outside strings there
+  // are no escapes to worry about; keys/values here contain none).
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '"' && (i == 0 || body[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  std::remove(path.c_str());
+}
+
+TEST(RunReportTest, ScopedPhaseAccumulatesIntoGlobalReport) {
+  RunReport& report = RunReport::Global();
+  report.Reset();
+  {
+    ScopedPhase phase("obs_test.phase");
+    volatile double x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + 1;
+  }
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"name\":\"obs_test.phase\""), std::string::npos);
+  report.Reset();
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(LoggingTest, SetMinLogLevelFromEnvParsesLevels) {
+  const LogLevel original = internal_logging::MinLogLevel();
+  ::setenv("TRMMA_LOG_LEVEL", "error", 1);
+  SetMinLogLevelFromEnv();
+  EXPECT_EQ(internal_logging::MinLogLevel(), LogLevel::kError);
+  ::setenv("TRMMA_LOG_LEVEL", "DEBUG", 1);
+  SetMinLogLevelFromEnv();
+  EXPECT_EQ(internal_logging::MinLogLevel(), LogLevel::kDebug);
+  ::setenv("TRMMA_LOG_LEVEL", "not-a-level", 1);
+  SetMinLogLevelFromEnv();
+  EXPECT_EQ(internal_logging::MinLogLevel(), LogLevel::kDebug);
+  ::unsetenv("TRMMA_LOG_LEVEL");
+  SetMinLogLevel(original);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

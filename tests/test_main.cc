@@ -1,0 +1,11 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+/// Shared gtest main: honors TRMMA_LOG_LEVEL so test runs can be made
+/// chatty (debug) or quiet (error) without a rebuild.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  trmma::SetMinLogLevelFromEnv();
+  return RUN_ALL_TESTS();
+}
