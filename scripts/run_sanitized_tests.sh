@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DTRMMA_SANITIZE=ON) in a dedicated build directory and runs the full
+# test suite under it. Any sanitizer report fails the run
+# (-fno-sanitize-recover=all aborts on the first UB hit).
+#
+# Usage: scripts/run_sanitized_tests.sh [ctest args...]
+#   e.g. scripts/run_sanitized_tests.sh -R 'robust|chaos'
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${TRMMA_SANITIZE_BUILD_DIR:-${repo_root}/build-sanitize}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTRMMA_SANITIZE=ON
+cmake --build "${build_dir}" -j "${jobs}"
+
+# halt_on_error keeps ctest failures crisp; detect_leaks stays on by
+# default where LeakSanitizer is supported.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure "$@"

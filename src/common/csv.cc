@@ -1,7 +1,13 @@
 #include "common/csv.h"
 
+#include <cerrno>
+#include <cctype>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "common/fault_points.h"
 
 namespace trmma {
 namespace csv {
@@ -23,17 +29,69 @@ std::vector<std::string> SplitLine(const std::string& line, char delim) {
 
 StatusOr<std::vector<std::vector<std::string>>> ReadFile(
     const std::string& path, char delim) {
+  auto table_or = ReadTable(path, delim);
+  if (!table_or.ok()) return table_or.status();
+  return std::move(table_or.value().rows);
+}
+
+std::string Table::Context(size_t r) const {
+  const int line = r < lines.size() ? lines[r] : -1;
+  return path + ":" + std::to_string(line);
+}
+
+StatusOr<Table> ReadTable(const std::string& path, char delim) {
+  if (FaultPointTriggered("csv.read")) {
+    return Status::IOError("injected fault at csv.read: " + path);
+  }
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IOError("cannot open for read: " + path);
   }
-  std::vector<std::vector<std::string>> rows;
+  Table table;
+  table.path = path;
   std::string line;
+  int lineno = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    rows.push_back(SplitLine(line, delim));
+    ++lineno;
+    // A lone '\r' is what an empty CRLF line looks like after getline.
+    if (line.empty() || line == "\r") continue;
+    table.rows.push_back(SplitLine(line, delim));
+    table.lines.push_back(lineno);
   }
-  return rows;
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return table;
+}
+
+StatusOr<double> ParseDouble(const std::string& field) {
+  if (field.empty()) return Status::InvalidArgument("empty numeric field");
+  // strtod/strtol silently skip leading whitespace; the contract is a
+  // strict full-string parse, so reject it explicitly.
+  if (std::isspace(static_cast<unsigned char>(field.front()))) {
+    return Status::InvalidArgument("not a number: '" + field + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size() || errno == ERANGE) {
+    return Status::InvalidArgument("not a number: '" + field + "'");
+  }
+  return v;
+}
+
+StatusOr<int> ParseInt(const std::string& field) {
+  if (field.empty()) return Status::InvalidArgument("empty integer field");
+  if (std::isspace(static_cast<unsigned char>(field.front()))) {
+    return Status::InvalidArgument("not an integer: '" + field + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size() || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("not an integer: '" + field + "'");
+  }
+  return static_cast<int>(v);
 }
 
 Status WriteFile(const std::string& path,

@@ -9,7 +9,10 @@
 namespace trmma {
 
 /// Minimal CSV support for dataset persistence. Fields never contain commas
-/// or newlines in this project, so no quoting is implemented.
+/// or newlines in this project, so no quoting is implemented. Readers are
+/// hardened against real-world file damage: CRLF line endings, ragged rows,
+/// trailing delimiters and non-numeric numeric fields are all survivable —
+/// parsing helpers return Status instead of throwing or misparsing.
 namespace csv {
 
 /// Splits one CSV line into fields.
@@ -18,6 +21,30 @@ std::vector<std::string> SplitLine(const std::string& line, char delim = ',');
 /// Reads a whole CSV file into rows of fields. Empty lines are skipped.
 StatusOr<std::vector<std::vector<std::string>>> ReadFile(
     const std::string& path, char delim = ',');
+
+/// A parsed CSV file that remembers the 1-based source line of every row so
+/// loaders can report "file:line" context for malformed fields instead of
+/// crashing deep inside std::stod.
+struct Table {
+  std::string path;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<int> lines;  ///< 1-based source line of each row
+
+  /// "path:line" context string for error messages about row `r`.
+  std::string Context(size_t r) const;
+};
+
+/// ReadFile variant keeping per-row line numbers.
+StatusOr<Table> ReadTable(const std::string& path, char delim = ',');
+
+/// Strict full-string numeric parse: no exceptions, no partial consumption
+/// ("12abc" and "" are errors, leading/trailing whitespace is not accepted).
+/// Non-finite spellings ("nan", "inf") parse successfully; range validation
+/// is the caller's job.
+StatusOr<double> ParseDouble(const std::string& field);
+
+/// Strict full-string integer parse in int range.
+StatusOr<int> ParseInt(const std::string& field);
 
 /// Writes rows of fields as a CSV file, overwriting any existing file.
 Status WriteFile(const std::string& path,

@@ -1,0 +1,29 @@
+#include "common/fault_points.h"
+
+#include <atomic>
+
+namespace trmma {
+namespace {
+
+std::atomic<FaultHandler> g_handler{nullptr};
+std::atomic<void*> g_ctx{nullptr};
+
+}  // namespace
+
+bool FaultPointTriggered(const char* site) {
+  FaultHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler == nullptr) return false;
+  return handler(g_ctx.load(std::memory_order_acquire), site);
+}
+
+void InstallFaultHandler(FaultHandler handler, void* ctx) {
+  g_ctx.store(ctx, std::memory_order_release);
+  g_handler.store(handler, std::memory_order_release);
+}
+
+void ClearFaultHandler() {
+  g_handler.store(nullptr, std::memory_order_release);
+  g_ctx.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace trmma

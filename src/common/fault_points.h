@@ -1,0 +1,24 @@
+#ifndef TRMMA_COMMON_FAULT_POINTS_H_
+#define TRMMA_COMMON_FAULT_POINTS_H_
+
+namespace trmma {
+
+/// Named fault-injection sites. Low-level code (CSV reader, dataset loader)
+/// asks FaultPointTriggered("site") before fallible operations; the call is
+/// a single relaxed atomic load + null check unless a handler is installed,
+/// so production paths pay nothing. robust/fault_injection.h installs the
+/// handler that makes sites fire deterministically for chaos testing.
+using FaultHandler = bool (*)(void* ctx, const char* site);
+
+/// True when an installed handler decides the named site should fail this
+/// time. Always false without a handler.
+bool FaultPointTriggered(const char* site);
+
+/// Installs / clears the process-wide handler (not thread-safe against
+/// concurrent installs; tests install once up front).
+void InstallFaultHandler(FaultHandler handler, void* ctx);
+void ClearFaultHandler();
+
+}  // namespace trmma
+
+#endif  // TRMMA_COMMON_FAULT_POINTS_H_

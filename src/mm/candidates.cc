@@ -1,8 +1,25 @@
 #include "mm/candidates.h"
 
+#include <cmath>
+
 #include "obs/trace.h"
 
 namespace trmma {
+namespace {
+
+/// Staged widening radii for the degraded search path (meters).
+constexpr double kWideningRadiiM[] = {250.0, 1000.0, 4000.0};
+
+bool Finite(const Vec2& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y);
+}
+
+void Count(const char* name, int64_t delta = 1) {
+  if (!obs::MetricsEnabled() || delta == 0) return;
+  obs::MetricRegistry::Global().GetCounter(name)->Increment(delta);
+}
+
+}  // namespace
 
 std::vector<std::vector<Candidate>> ComputeCandidates(
     const RoadNetwork& network, const SegmentRTree& index,
@@ -14,9 +31,53 @@ std::vector<std::vector<Candidate>> ComputeCandidates(
     xy[i] = network.projection().ToMeters(traj.points[i].pos);
   }
 
+  // Degraded input repair: a point with a non-finite coordinate cannot be
+  // located, but its neighbors usually can. Borrow the nearest finite
+  // neighbor's position so the point still gets a plausible candidate set
+  // instead of an empty one (which would force downstream failure).
+  int64_t nonfinite = 0;
+  for (int i = 0; i < n; ++i) {
+    if (Finite(xy[i])) continue;
+    ++nonfinite;
+    for (int off = 1; off < n; ++off) {
+      if (i - off >= 0 && Finite(xy[i - off])) {
+        xy[i] = xy[i - off];
+        break;
+      }
+      if (i + off < n && Finite(xy[i + off])) {
+        xy[i] = xy[i + off];
+        break;
+      }
+    }
+    // No finite point in the whole trajectory: fall back to the network
+    // center so the query is at least well-defined.
+    if (!Finite(xy[i])) xy[i] = Vec2{0.0, 0.0};
+  }
+  Count("mm.candidates.nonfinite_repaired", nonfinite);
+
   std::vector<std::vector<Candidate>> out(n);
   for (int i = 0; i < n; ++i) {
-    const auto hits = index.KNearest(xy[i], kc);
+    auto hits = index.KNearest(xy[i], kc);
+    if (hits.empty()) {
+      // Degradation ladder: staged radius widening, then a last-resort
+      // single-nearest-segment query. Only reachable on degenerate inputs
+      // (kc <= 0 or an indexless network) — the primary k-NN over a
+      // non-empty index always returns candidates.
+      for (double radius : kWideningRadiiM) {
+        hits = index.WithinRadius(xy[i], radius);
+        if (!hits.empty()) {
+          if (static_cast<int>(hits.size()) > std::max(kc, 1)) {
+            hits.resize(std::max(kc, 1));
+          }
+          Count("mm.candidates.radius_widened");
+          break;
+        }
+      }
+      if (hits.empty()) {
+        hits = index.KNearest(xy[i], 1);
+        if (!hits.empty()) Count("mm.candidates.nearest_fallback");
+      }
+    }
     out[i].reserve(hits.size());
     for (const SegmentHit& hit : hits) {
       Candidate c;

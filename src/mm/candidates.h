@@ -21,7 +21,12 @@ struct Candidate {
 };
 
 /// Candidate sets for every point of a trajectory: the top-k_c nearest
-/// segments from the R-tree plus directional features.
+/// segments from the R-tree plus directional features. Degraded inputs are
+/// repaired instead of failing: points with non-finite coordinates borrow
+/// the nearest finite neighbor's position, and an empty primary k-NN result
+/// escalates through staged radius widening to a single-nearest-segment
+/// fallback (counted on mm.candidates.* metrics). Candidate sets are only
+/// empty when the network itself has no segments.
 std::vector<std::vector<Candidate>> ComputeCandidates(
     const RoadNetwork& network, const SegmentRTree& index,
     const Trajectory& traj, int kc);

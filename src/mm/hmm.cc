@@ -36,8 +36,29 @@ std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
   if (n == 0) return result;
   int64_t transitions = 0;
 
-  const auto candidates = ComputeCandidates(network_, index_, traj,
-                                            config_.k_candidates);
+  auto candidates = ComputeCandidates(network_, index_, traj,
+                                      config_.k_candidates);
+  // Degenerate-input guard: an empty candidate column (possible only on a
+  // segmentless network or fully corrupt coordinates) would break the
+  // lattice; borrow the nearest non-empty neighbor column, and give up on
+  // the whole trajectory only when every column is empty.
+  {
+    int first_nonempty = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!candidates[i].empty()) {
+        first_nonempty = i;
+        break;
+      }
+    }
+    if (first_nonempty < 0) return result;  // all points unmatched
+    for (int i = 0; i < n; ++i) {
+      if (candidates[i].empty()) {
+        const int src = i > 0 && !candidates[i - 1].empty() ? i - 1
+                                                            : first_nonempty;
+        candidates[i] = candidates[src];
+      }
+    }
+  }
   std::vector<Vec2> xy(n);
   for (int i = 0; i < n; ++i) {
     xy[i] = network_.projection().ToMeters(traj.points[i].pos);
@@ -102,7 +123,6 @@ std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
     if (score[n - 1][j] > score[n - 1][best]) best = static_cast<int>(j);
   }
   for (int i = n - 1; i >= 0; --i) {
-    TRMMA_CHECK(!candidates[i].empty());
     result[i] = candidates[i][best].segment;
     if (i > 0) {
       const int b = back[i][best];

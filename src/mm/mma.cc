@@ -64,6 +64,31 @@ nn::Matrix PointFeatures(const RoadNetwork& network, const Trajectory& traj) {
   return z0;
 }
 
+/// Repairs empty candidate columns (possible only on a segmentless network
+/// or fully corrupt coordinates) by borrowing the nearest non-empty
+/// neighbor column, so ForwardLogits always sees at least one candidate
+/// per point. Returns false when every column is empty — the trajectory
+/// cannot be matched at all and the caller must degrade.
+bool EnsureNonEmptyCandidates(std::vector<std::vector<Candidate>>* candidates) {
+  auto& cols = *candidates;
+  const int n = static_cast<int>(cols.size());
+  int first_nonempty = -1;
+  for (int i = 0; i < n; ++i) {
+    if (!cols[i].empty()) {
+      first_nonempty = i;
+      break;
+    }
+  }
+  if (first_nonempty < 0) return false;
+  for (int i = 0; i < n; ++i) {
+    if (cols[i].empty()) {
+      cols[i] = i > 0 && !cols[i - 1].empty() ? cols[i - 1]
+                                              : cols[first_nonempty];
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::vector<Tensor> MmaMatcher::ForwardLogits(
@@ -79,6 +104,7 @@ std::vector<Tensor> MmaMatcher::ForwardLogits(
   logits.reserve(traj.size());
   for (int i = 0; i < traj.size(); ++i) {
     const auto& cands = candidates[i];
+    // Invariant enforced by EnsureNonEmptyCandidates at every call site.
     TRMMA_CHECK(!cands.empty());
     const int k = static_cast<int>(cands.size());
 
@@ -132,8 +158,9 @@ double MmaMatcher::TrainEpoch(const Dataset& dataset, Rng& rng) {
   for (int idx : order) {
     const TrajectorySample& sample = dataset.samples[idx];
     if (sample.sparse.size() < 2) continue;
-    const auto candidates =
+    auto candidates =
         ComputeCandidates(network_, index_, sample.sparse, config_.kc);
+    if (!EnsureNonEmptyCandidates(&candidates)) continue;
     std::vector<Tensor> logits =
         ForwardLogits(tape, sample.sparse, candidates);
 
@@ -190,8 +217,8 @@ std::vector<SegmentId> MmaMatcher::MatchPointsWithScores(
   if (scores != nullptr) scores->assign(traj.size(), 0.0);
   if (traj.empty()) return out;
 
-  const auto candidates =
-      ComputeCandidates(network_, index_, traj, config_.kc);
+  auto candidates = ComputeCandidates(network_, index_, traj, config_.kc);
+  if (!EnsureNonEmptyCandidates(&candidates)) return out;  // all unmatched
   nn::Tape tape;
   std::vector<Tensor> logits = ForwardLogits(tape, traj, candidates);
   for (int i = 0; i < traj.size(); ++i) {

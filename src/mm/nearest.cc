@@ -14,8 +14,9 @@ std::vector<SegmentId> NearestMatcher::MatchPoints(const Trajectory& traj) {
   for (const GpsPoint& p : traj.points) {
     const Vec2 xy = network_.projection().ToMeters(p.pos);
     const auto hits = index_.KNearest(xy, 1);
-    TRMMA_CHECK(!hits.empty());
-    out.push_back(hits[0].segment);
+    // Empty only for a segmentless network or a non-finite coordinate;
+    // report the point as unmatched rather than aborting the process.
+    out.push_back(hits.empty() ? kInvalidSegment : hits[0].segment);
   }
   return out;
 }

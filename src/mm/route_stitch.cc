@@ -1,31 +1,72 @@
 #include "mm/route_stitch.h"
 
 #include "graph/route.h"
+#include "obs/metrics.h"
 
 namespace trmma {
 
-Route StitchRoute(const RoadNetwork& network, DaRoutePlanner& planner,
-                  ShortestPathEngine& fallback,
-                  const std::vector<SegmentId>& point_segments) {
-  Route route;
-  const std::vector<SegmentId> segs =
-      DeduplicateConsecutive(point_segments);
-  for (SegmentId sid : segs) {
-    if (route.empty()) {
-      route.push_back(sid);
+std::vector<RouteSection> StitchRouteSections(
+    const RoadNetwork& network, DaRoutePlanner& planner,
+    ShortestPathEngine& fallback,
+    const std::vector<SegmentId>& point_segments) {
+  std::vector<RouteSection> sections;
+  const int n = static_cast<int>(point_segments.size());
+  auto valid = [&](SegmentId sid) {
+    return sid >= 0 && sid < network.num_segments();
+  };
+
+  RouteSection cur;
+  bool open = false;
+  int64_t disconnected = 0;
+  for (int i = 0; i < n; ++i) {
+    const SegmentId sid = point_segments[i];
+    if (!valid(sid)) {
+      // Unmatched point: attach it to the current section (its anchor is
+      // the caller's problem); before the first section it is unusable.
+      if (open) cur.last_point = i;
       continue;
     }
-    const SegmentId prev = route.back();
-    if (prev == sid) continue;
+    if (!open) {
+      cur = RouteSection{{sid}, i, i};
+      open = true;
+      continue;
+    }
+    const SegmentId prev = cur.route.back();
+    if (prev == sid) {
+      cur.last_point = i;
+      continue;
+    }
     PathResult link = planner.Plan(prev, sid);
     if (!link.found) {
       link = fallback.SegmentToSegment(prev, sid, 2.0e4);
     }
     if (link.found) {
-      AppendRoute(route, link.segments);
+      AppendRoute(cur.route, link.segments);
+      cur.last_point = i;
     } else {
-      route.push_back(sid);  // disconnected pair: keep both, no connector
+      // Unroutable pair: close the section and restart from this point.
+      ++disconnected;
+      sections.push_back(std::move(cur));
+      cur = RouteSection{{sid}, i, i};
     }
+  }
+  if (open) sections.push_back(std::move(cur));
+
+  if (disconnected > 0 && obs::MetricsEnabled()) {
+    static obs::Counter* const counter =
+        obs::MetricRegistry::Global().GetCounter("mm.stitch.disconnected");
+    counter->Increment(disconnected);
+  }
+  return sections;
+}
+
+Route StitchRoute(const RoadNetwork& network, DaRoutePlanner& planner,
+                  ShortestPathEngine& fallback,
+                  const std::vector<SegmentId>& point_segments) {
+  Route route;
+  for (RouteSection& section :
+       StitchRouteSections(network, planner, fallback, point_segments)) {
+    route.insert(route.end(), section.route.begin(), section.route.end());
   }
   return route;
 }

@@ -3,9 +3,17 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "traj/types.h"
 
 namespace trmma {
+
+/// How much graceful degradation a TryRecover call needed. All-default
+/// values mean the input was recovered on a single connected route.
+struct RecoverStats {
+  int route_sections = 1;   ///< >1: unroutable pairs forced route splits
+  int degraded_points = 0;  ///< points filled by nearest-anchor hold
+};
 
 /// Common interface of trajectory-recovery methods (paper Def. 7): given a
 /// sparse trajectory T and a target sampling rate ε, produce the
@@ -16,6 +24,18 @@ class RecoveryMethod {
 
   virtual MatchedTrajectory Recover(const Trajectory& sparse,
                                     double epsilon) = 0;
+
+  /// Status-propagating variant for batch pipelines that must skip-and-record
+  /// rather than die: implementations return an error instead of aborting on
+  /// degenerate input (unmatchable points, empty routes) and report how much
+  /// degradation the recovery needed via `stats`. The default wraps
+  /// Recover() for methods without failure modes of their own.
+  virtual StatusOr<MatchedTrajectory> TryRecover(const Trajectory& sparse,
+                                                 double epsilon,
+                                                 RecoverStats* stats = nullptr) {
+    if (stats != nullptr) *stats = RecoverStats{};
+    return Recover(sparse, epsilon);
+  }
 
   /// Display name used in experiment tables.
   virtual std::string name() const = 0;

@@ -143,6 +143,110 @@ int LocateOnRoute(const Route& route, SegmentId segment, int from) {
   return std::min(from, static_cast<int>(route.size()) - 1);
 }
 
+/// Map-matched input of the decode: per-point anchors and the route
+/// section(s) they lie on. `repaired` counts points whose unmatched segment
+/// was borrowed from a neighbor.
+struct PreparedInput {
+  std::vector<MatchedPoint> anchors;
+  std::vector<RouteSection> sections;
+  int repaired = 0;
+};
+
+/// Map matches `sparse` and prepares the per-section decode input. Points
+/// the matcher could not place (kInvalidSegment) borrow the nearest matched
+/// neighbor's segment; an input where no point matches at all is the only
+/// unrecoverable case and returns a Status instead.
+StatusOr<PreparedInput> PrepareSections(const RoadNetwork& network,
+                                        MapMatcher& matcher,
+                                        DaRoutePlanner& planner,
+                                        ShortestPathEngine& fallback,
+                                        const Trajectory& sparse) {
+  std::vector<SegmentId> segs = matcher.MatchPoints(sparse);
+  const int n = static_cast<int>(segs.size());
+  auto valid = [&](SegmentId sid) {
+    return sid >= 0 && sid < network.num_segments();
+  };
+  PreparedInput prep;
+  for (int i = 0; i < n; ++i) {
+    if (valid(segs[i])) continue;
+    for (int off = 1; off < n; ++off) {
+      if (i - off >= 0 && valid(segs[i - off])) {
+        segs[i] = segs[i - off];
+        break;
+      }
+      if (i + off < n && valid(segs[i + off])) {
+        segs[i] = segs[i + off];
+        break;
+      }
+    }
+    if (!valid(segs[i])) {
+      return Status::FailedPrecondition(
+          "map matching produced no usable segment for any point");
+    }
+    ++prep.repaired;
+  }
+  prep.sections = StitchRouteSections(network, planner, fallback, segs);
+  if (prep.sections.empty()) {
+    return Status::Internal("route stitching produced no sections");
+  }
+  prep.anchors.resize(n);
+  for (int i = 0; i < n; ++i) {
+    prep.anchors[i] = ProjectToSegment(network, sparse.points[i], segs[i]);
+  }
+  return prep;
+}
+
+/// Decodes every section independently and fills the ε-grid points of the
+/// unroutable gaps between sections by holding the nearest anchor (first
+/// half of a gap holds the left anchor, second half the right). Adds the
+/// held points to `stats->degraded_points`.
+template <typename DecodeFn>
+MatchedTrajectory AssembleSections(const std::vector<RouteSection>& sections,
+                                   const Trajectory& sparse,
+                                   const std::vector<MatchedPoint>& anchors,
+                                   double epsilon, RecoverStats* stats,
+                                   DecodeFn&& decode) {
+  MatchedTrajectory out;
+  int held = 0;
+  for (size_t s = 0; s < sections.size(); ++s) {
+    const RouteSection& sec = sections[s];
+    Trajectory sub;
+    sub.points.assign(sparse.points.begin() + sec.first_point,
+                      sparse.points.begin() + sec.last_point + 1);
+    std::vector<MatchedPoint> sub_anchors(
+        anchors.begin() + sec.first_point,
+        anchors.begin() + sec.last_point + 1);
+    if (s > 0) {
+      const double t_l = sparse.points[sections[s - 1].last_point].t;
+      const double t_r = sparse.points[sec.first_point].t;
+      const MatchedPoint left = out.back();
+      const MatchedPoint& right = sub_anchors.front();
+      const int missing = NumMissingPoints(t_l, t_r, epsilon);
+      for (int j = 1; j <= missing; ++j) {
+        MatchedPoint p = (t_l + j * epsilon) - t_l <= t_r - (t_l + j * epsilon)
+                             ? left
+                             : right;
+        p.t = t_l + j * epsilon;
+        out.push_back(p);
+      }
+      held += missing;
+    }
+    MatchedTrajectory piece = decode(sub, sub_anchors, sec.route);
+    out.insert(out.end(), piece.begin(), piece.end());
+  }
+  if (stats != nullptr) {
+    stats->route_sections = static_cast<int>(sections.size());
+    stats->degraded_points += held;
+  }
+  return out;
+}
+
+/// Counts a degraded / failed recovery on the obs registry.
+void CountRecoverEvent(const char* name) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricRegistry::Global().GetCounter(name)->Increment();
+}
+
 }  // namespace
 
 Tensor TrmmaRecovery::EncodeH(nn::Tape& tape, const Trajectory& sparse,
@@ -488,19 +592,40 @@ TrmmaRecovery::TeacherForcedStats TrmmaRecovery::EvaluateTeacherForced(
 
 MatchedTrajectory TrmmaRecovery::RecoverReference(const Trajectory& sparse,
                                                   double epsilon) {
-  MatchedTrajectory out;
-  if (sparse.empty()) return out;
-
-  // Step 1 (Algorithm 2 line 1): map match and stitch the route.
-  const std::vector<SegmentId> segs = matcher_->MatchPoints(sparse);
-  const Route route = StitchRoute(network_, *planner_, *fallback_, segs);
-  TRMMA_CHECK(!route.empty());
-
-  // Lines 2-4: project observed points onto their matched segments.
-  std::vector<MatchedPoint> anchors(sparse.size());
-  for (int i = 0; i < sparse.size(); ++i) {
-    anchors[i] = ProjectToSegment(network_, sparse.points[i], segs[i]);
+  StatusOr<MatchedTrajectory> result = TryRecoverReference(sparse, epsilon);
+  if (!result.ok()) {
+    TRMMA_LOG(Warning) << "RecoverReference failed ("
+                       << result.status().ToString()
+                       << "); returning empty recovery";
+    CountRecoverEvent("trmma.recover.failed");
+    return {};
   }
+  return std::move(result).value();
+}
+
+StatusOr<MatchedTrajectory> TrmmaRecovery::TryRecoverReference(
+    const Trajectory& sparse, double epsilon, RecoverStats* stats) {
+  if (stats != nullptr) *stats = RecoverStats{};
+  if (sparse.empty()) return MatchedTrajectory{};
+
+  // Step 1 (Algorithm 2 line 1): map match and stitch the route section(s).
+  StatusOr<PreparedInput> prep =
+      PrepareSections(network_, *matcher_, *planner_, *fallback_, sparse);
+  if (!prep.ok()) return prep.status();
+  if (stats != nullptr) stats->degraded_points += prep->repaired;
+  if (prep->sections.size() > 1) CountRecoverEvent("trmma.recover.degraded");
+  return AssembleSections(
+      prep->sections, sparse, prep->anchors, epsilon, stats,
+      [&](const Trajectory& sub, const std::vector<MatchedPoint>& anchors,
+          const Route& route) {
+        return DecodeSectionReference(sub, anchors, route, epsilon);
+      });
+}
+
+MatchedTrajectory TrmmaRecovery::DecodeSectionReference(
+    const Trajectory& sparse, const std::vector<MatchedPoint>& anchors,
+    const Route& route, double epsilon) {
+  MatchedTrajectory out;
 
   // Lines 5-6: DualFormer encoding and initial decoder state.
   nn::Tape tape;
@@ -615,21 +740,48 @@ void AffineRow(const std::vector<double>& x, const nn::Matrix& w,
 
 MatchedTrajectory TrmmaRecovery::Recover(const Trajectory& sparse,
                                          double epsilon) {
-  TRMMA_SPAN("trmma.recover");
-  MatchedTrajectory out;
-  if (sparse.empty()) return out;
-
-  // Step 1 (Algorithm 2 line 1): map match and stitch the route.
-  const std::vector<SegmentId> segs = matcher_->MatchPoints(sparse);
-  const Route route = StitchRoute(network_, *planner_, *fallback_, segs);
-  TRMMA_CHECK(!route.empty());
-  const int route_len = static_cast<int>(route.size());
-
-  // Lines 2-4: project observed points onto their matched segments.
-  std::vector<MatchedPoint> anchors(sparse.size());
-  for (int i = 0; i < sparse.size(); ++i) {
-    anchors[i] = ProjectToSegment(network_, sparse.points[i], segs[i]);
+  StatusOr<MatchedTrajectory> result = TryRecover(sparse, epsilon);
+  if (!result.ok()) {
+    TRMMA_LOG(Warning) << "Recover failed (" << result.status().ToString()
+                       << "); returning empty recovery";
+    CountRecoverEvent("trmma.recover.failed");
+    return {};
   }
+  return std::move(result).value();
+}
+
+StatusOr<MatchedTrajectory> TrmmaRecovery::TryRecover(const Trajectory& sparse,
+                                                      double epsilon,
+                                                      RecoverStats* stats) {
+  TRMMA_SPAN("trmma.recover");
+  if (stats != nullptr) *stats = RecoverStats{};
+  if (sparse.empty()) return MatchedTrajectory{};
+
+  // Step 1 (Algorithm 2 line 1): map match and stitch the route section(s).
+  StatusOr<PreparedInput> prep =
+      PrepareSections(network_, *matcher_, *planner_, *fallback_, sparse);
+  if (!prep.ok()) return prep.status();
+  if (stats != nullptr) stats->degraded_points += prep->repaired;
+  if (prep->sections.size() > 1) CountRecoverEvent("trmma.recover.degraded");
+  MatchedTrajectory out = AssembleSections(
+      prep->sections, sparse, prep->anchors, epsilon, stats,
+      [&](const Trajectory& sub, const std::vector<MatchedPoint>& anchors,
+          const Route& route) {
+        return DecodeSectionFast(sub, anchors, route, epsilon);
+      });
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const recovered =
+        obs::MetricRegistry::Global().GetCounter("trmma.points_recovered");
+    recovered->Increment(static_cast<int64_t>(out.size()));
+  }
+  return out;
+}
+
+MatchedTrajectory TrmmaRecovery::DecodeSectionFast(
+    const Trajectory& sparse, const std::vector<MatchedPoint>& anchors,
+    const Route& route, double epsilon) {
+  MatchedTrajectory out;
+  const int route_len = static_cast<int>(route.size());
 
   // Lines 5-6: DualFormer encoding (once, on the tape) + initial state.
   nn::Tape tape;
@@ -833,11 +985,6 @@ MatchedTrajectory TrmmaRecovery::Recover(const Trajectory& sparse,
     prev = anchors[i + 1];
     prev_route_idx = LocateOnRoute(route, prev.segment, prev_route_idx);
     out.push_back(anchors[i + 1]);
-  }
-  if (obs::MetricsEnabled()) {
-    static obs::Counter* const recovered =
-        obs::MetricRegistry::Global().GetCounter("trmma.points_recovered");
-    recovered->Increment(static_cast<int64_t>(out.size()));
   }
   return out;
 }

@@ -65,10 +65,27 @@ class TrmmaRecovery : public RecoveryMethod, public nn::Module {
   MatchedTrajectory Recover(const Trajectory& sparse,
                             double epsilon) override;
 
+  /// Non-aborting recovery. Unmatched points are repaired by borrowing the
+  /// nearest matched neighbor's segment; unroutable candidate pairs split
+  /// the route into sections that are decoded independently, with the
+  /// ε-grid points between sections filled by nearest-anchor hold. Returns
+  /// an error Status (instead of aborting) only when no point of the input
+  /// can be map-matched at all. `stats` reports how much degradation was
+  /// needed. Recover() is a thin wrapper that logs-and-drops failures.
+  StatusOr<MatchedTrajectory> TryRecover(
+      const Trajectory& sparse, double epsilon,
+      RecoverStats* stats = nullptr) override;
+
   /// Reference implementation of Recover on the autograd tape. Slower;
   /// kept for differential testing against the fast path.
   MatchedTrajectory RecoverReference(const Trajectory& sparse,
                                      double epsilon);
+
+  /// Tape-based counterpart of TryRecover with identical degradation
+  /// semantics (section splitting, gap fill, Status on total failure).
+  StatusOr<MatchedTrajectory> TryRecoverReference(
+      const Trajectory& sparse, double epsilon,
+      RecoverStats* stats = nullptr);
 
   std::string name() const override { return label_; }
 
@@ -115,6 +132,18 @@ class TrmmaRecovery : public RecoveryMethod, public nn::Module {
   /// uniform-speed ratio prior of the chosen segment.
   nn::Tensor PredictRatio(nn::Tape& tape, nn::Tensor h, nn::Tensor enc_h,
                           nn::Tensor w, double expected_ratio);
+
+  /// Sequential decode (Algorithm 2 lines 2-16) of one route section: the
+  /// sparse sub-trajectory `sparse` with per-point `anchors`, all of whose
+  /// segments lie on the connected `route`. Tape-free fast path.
+  MatchedTrajectory DecodeSectionFast(const Trajectory& sparse,
+                                      const std::vector<MatchedPoint>& anchors,
+                                      const Route& route, double epsilon);
+
+  /// Tape-based reference decode of one route section.
+  MatchedTrajectory DecodeSectionReference(
+      const Trajectory& sparse, const std::vector<MatchedPoint>& anchors,
+      const Route& route, double epsilon);
 
   const RoadNetwork& network_;
   MapMatcher* matcher_;

@@ -1,0 +1,177 @@
+#include "robust/fault_injection.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "common/fault_points.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace {
+
+/// Spikes are applied in degrees; city-scale conversion from meters.
+constexpr double kMetersPerDegree = 111320.0;
+
+bool TrampolineShouldFail(void* ctx, const char* site) {
+  return static_cast<FaultInjector*>(ctx)->ShouldFail(site);
+}
+
+void CountInjected(const char* which, int64_t n = 1) {
+  if (!obs::MetricsEnabled() || n == 0) return;
+  obs::MetricRegistry::Global()
+      .GetCounter("robust.faults_injected", {{"kind", which}})
+      ->Increment(n);
+}
+
+}  // namespace
+
+FaultInjectionConfig FaultInjectionConfig::FromEnv() {
+  FaultInjectionConfig config;
+  const char* env = std::getenv("TRMMA_FAULTS");
+  if (env == nullptr || *env == '\0') return config;
+  std::stringstream ss(env);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      TRMMA_LOG(Warning) << "TRMMA_FAULTS: ignoring malformed token '"
+                         << token << "'";
+      continue;
+    }
+    const std::string key = token.substr(0, eq);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str() + eq + 1, &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      TRMMA_LOG(Warning) << "TRMMA_FAULTS: ignoring malformed value in '"
+                         << token << "'";
+      continue;
+    }
+    if (key == "coord_spike") {
+      config.coord_spike_prob = value;
+    } else if (key == "coord_nan") {
+      config.coord_nan_prob = value;
+    } else if (key == "ts_shuffle") {
+      config.ts_shuffle_prob = value;
+    } else if (key == "drop_point") {
+      config.drop_point_prob = value;
+    } else if (key == "io_fail") {
+      config.io_fail_prob = value;
+    } else if (key == "csv_truncate") {
+      config.csv_truncate_prob = value;
+    } else if (key == "spike_m") {
+      config.spike_m = value;
+    } else if (key == "seed") {
+      config.seed = static_cast<uint64_t>(value);
+    } else {
+      TRMMA_LOG(Warning) << "TRMMA_FAULTS: unknown key '" << key << "'";
+    }
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector(const FaultInjectionConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+FaultInjector::~FaultInjector() = default;
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* const injector = [] {
+    auto* inj = new FaultInjector(FaultInjectionConfig::FromEnv());
+    if (inj->enabled()) {
+      TRMMA_LOG(Warning) << "fault injection enabled via TRMMA_FAULTS";
+      inj->Install();
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Install() {
+  InstallFaultHandler(&TrampolineShouldFail, this);
+}
+
+void FaultInjector::Uninstall() { ClearFaultHandler(); }
+
+bool FaultInjector::ShouldFail(const char* site) {
+  if (config_.io_fail_prob <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool fail = rng_.Bernoulli(config_.io_fail_prob);
+  if (fail) {
+    TRMMA_LOG(Debug) << "injecting failure at site " << site;
+    CountInjected("io_fail");
+  }
+  return fail;
+}
+
+void FaultInjector::CorruptTrajectory(Trajectory* traj) {
+  if (!enabled() || traj == nullptr || traj->empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GpsPoint> out;
+  out.reserve(traj->points.size());
+  int64_t spikes = 0;
+  int64_t nans = 0;
+  int64_t drops = 0;
+  for (const GpsPoint& p : traj->points) {
+    if (rng_.Bernoulli(config_.drop_point_prob)) {
+      ++drops;
+      continue;
+    }
+    GpsPoint q = p;
+    if (rng_.Bernoulli(config_.coord_nan_prob)) {
+      q.pos.lat = std::numeric_limits<double>::quiet_NaN();
+      ++nans;
+    } else if (rng_.Bernoulli(config_.coord_spike_prob)) {
+      const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
+      const double deg = config_.spike_m / kMetersPerDegree;
+      q.pos.lat += deg * std::sin(angle);
+      q.pos.lng += deg * std::cos(angle);
+      ++spikes;
+    }
+    out.push_back(q);
+  }
+  if (out.size() >= 3 && rng_.Bernoulli(config_.ts_shuffle_prob)) {
+    // Swap two distinct interior timestamps: a classic device-buffer bug.
+    const size_t i = 1 + rng_.UniformInt(out.size() - 2);
+    size_t j = 1 + rng_.UniformInt(out.size() - 2);
+    if (i == j) j = i == out.size() - 2 ? i - 1 : i + 1;
+    std::swap(out[i].t, out[j].t);
+    CountInjected("ts_shuffle");
+  }
+  CountInjected("coord_spike", spikes);
+  CountInjected("coord_nan", nans);
+  CountInjected("drop_point", drops);
+  traj->points = std::move(out);
+}
+
+std::string FaultInjector::CorruptCsv(const std::string& text) {
+  if (config_.csv_truncate_prob <= 0.0) return text;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::stringstream in(text);
+  std::string out;
+  std::string line;
+  int64_t corrupted = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && rng_.Bernoulli(config_.csv_truncate_prob)) {
+      ++corrupted;
+      if (rng_.Bernoulli(0.5)) {
+        // Truncate the row mid-field (partial write / torn line).
+        line.resize(rng_.UniformInt(line.size()) + 1);
+      } else {
+        // Replace the last field with garbage (corrupted numeric field).
+        const size_t comma = line.find_last_of(',');
+        if (comma != std::string::npos) {
+          line = line.substr(0, comma + 1) + "##";
+        }
+      }
+    }
+    out += line;
+    out += '\n';
+  }
+  CountInjected("csv_truncate", corrupted);
+  return out;
+}
+
+}  // namespace trmma

@@ -1,0 +1,80 @@
+#ifndef TRMMA_ROBUST_FAULT_INJECTION_H_
+#define TRMMA_ROBUST_FAULT_INJECTION_H_
+
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+#include "traj/types.h"
+
+namespace trmma {
+
+/// Rates of the deterministic corruption operators. All zero (the default)
+/// means injection is fully disabled. Populated either directly by tests or
+/// from the TRMMA_FAULTS environment variable, e.g.
+///   TRMMA_FAULTS="coord_spike=0.05,coord_nan=0.02,ts_shuffle=0.05,
+///                 drop_point=0.05,io_fail=0.01,csv_truncate=0.02,seed=9"
+struct FaultInjectionConfig {
+  double coord_spike_prob = 0.0;  ///< per point: large coordinate jump
+  double coord_nan_prob = 0.0;    ///< per point: NaN latitude (dropped field)
+  double ts_shuffle_prob = 0.0;   ///< per trajectory: swap two timestamps
+  double drop_point_prob = 0.0;   ///< per point: remove the observation
+  double io_fail_prob = 0.0;      ///< per named site: simulated read failure
+  double csv_truncate_prob = 0.0; ///< per CSV row: truncate or drop fields
+  double spike_m = 5000.0;        ///< magnitude of coordinate spikes
+  uint64_t seed = 20240817;
+
+  bool AnyEnabled() const {
+    return coord_spike_prob > 0 || coord_nan_prob > 0 || ts_shuffle_prob > 0 ||
+           drop_point_prob > 0 || io_fail_prob > 0 || csv_truncate_prob > 0;
+  }
+
+  /// Parses TRMMA_FAULTS (unset/empty -> all zeros). Unknown keys and
+  /// malformed values are warned about and ignored.
+  static FaultInjectionConfig FromEnv();
+};
+
+/// Seedable source of deterministic input corruption for chaos testing.
+/// One instance owns one random stream, so a fixed (config, call sequence)
+/// reproduces the exact same faults. Sites are string names checked by
+/// production code through common/fault_points.h; Install() routes those
+/// checks here.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectionConfig& config);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Process-wide injector configured from TRMMA_FAULTS; installed as the
+  /// fault-point handler automatically when any rate is nonzero.
+  static FaultInjector& Global();
+
+  bool enabled() const { return config_.AnyEnabled(); }
+  const FaultInjectionConfig& config() const { return config_; }
+
+  /// Routes common/fault_points.h checks to this injector (and away from
+  /// any previously installed one). Uninstall restores "no handler".
+  void Install();
+  static void Uninstall();
+
+  /// True when the named site should simulate a failure (io_fail_prob).
+  bool ShouldFail(const char* site);
+
+  /// Applies coordinate spikes, NaN fields, point drops and timestamp
+  /// shuffles to `traj` in place.
+  void CorruptTrajectory(Trajectory* traj);
+
+  /// Applies row truncation / field drops to raw CSV text.
+  std::string CorruptCsv(const std::string& text);
+
+ private:
+  FaultInjectionConfig config_;
+  std::mutex mu_;
+  Rng rng_;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_ROBUST_FAULT_INJECTION_H_

@@ -1,0 +1,109 @@
+#include "robust/pipeline.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "robust/fault_injection.h"
+
+namespace trmma {
+
+const char* RecoveryOutcomeName(RecoveryOutcome outcome) {
+  switch (outcome) {
+    case RecoveryOutcome::kOk:
+      return "ok";
+    case RecoveryOutcome::kRepaired:
+      return "repaired";
+    case RecoveryOutcome::kDegraded:
+      return "degraded";
+    case RecoveryOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void CountOutcome(RecoveryOutcome outcome) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricRegistry::Global()
+      .GetCounter("robust.pipeline.outcome",
+                  {{"outcome", RecoveryOutcomeName(outcome)}})
+      ->Increment();
+}
+
+}  // namespace
+
+RobustRecoveryPipeline::RobustRecoveryPipeline(RecoveryMethod* method,
+                                               const PipelineConfig& config)
+    : method_(method), config_(config) {}
+
+PipelineResult RobustRecoveryPipeline::Run(const Trajectory& raw) {
+  PipelineResult result;
+  // Chaos hook: when TRMMA_FAULTS is set, the process-wide injector
+  // corrupts inputs at this ingestion site (and I/O fault points are
+  // armed by its installation). Disabled injection is a no-op.
+  const Trajectory* input = &raw;
+  Trajectory corrupted;
+  FaultInjector& chaos = FaultInjector::Global();
+  if (chaos.enabled()) {
+    corrupted = raw;
+    chaos.CorruptTrajectory(&corrupted);
+    input = &corrupted;
+  }
+  const std::vector<Trajectory> pieces =
+      SanitizeTrajectory(*input, config_.sanitize, &result.sanitize_report);
+
+  for (const Trajectory& piece : pieces) {
+    ++result.pieces_attempted;
+    RecoverStats stats;
+    StatusOr<MatchedTrajectory> rec =
+        method_->TryRecover(piece, config_.epsilon, &stats);
+    if (!rec.ok()) {
+      ++result.pieces_failed;
+      if (result.error.empty()) result.error = rec.status().ToString();
+      TRMMA_LOG(Warning) << "pipeline: piece of " << piece.size()
+                         << " points failed: " << rec.status().ToString();
+      continue;
+    }
+    result.route_sections += stats.route_sections;
+    result.degraded_points += stats.degraded_points;
+    result.recovered.insert(result.recovered.end(), rec->begin(), rec->end());
+  }
+
+  const bool nothing_recovered = result.recovered.empty();
+  const bool partial = result.pieces_failed > 0 ||
+                       !result.sanitize_report.contiguous() ||
+                       result.route_sections > result.pieces_attempted -
+                                                   result.pieces_failed ||
+                       result.degraded_points > 0;
+  if (nothing_recovered) {
+    result.outcome = RecoveryOutcome::kFailed;
+    if (result.error.empty()) {
+      result.error = "sanitizer discarded the entire trajectory";
+    }
+  } else if (partial) {
+    result.outcome = RecoveryOutcome::kDegraded;
+  } else if (result.sanitize_report.clean()) {
+    result.outcome = RecoveryOutcome::kOk;
+  } else {
+    result.outcome = RecoveryOutcome::kRepaired;
+  }
+
+  switch (result.outcome) {
+    case RecoveryOutcome::kOk:
+      ++counters_.ok;
+      break;
+    case RecoveryOutcome::kRepaired:
+      ++counters_.repaired;
+      break;
+    case RecoveryOutcome::kDegraded:
+      ++counters_.degraded;
+      break;
+    case RecoveryOutcome::kFailed:
+      ++counters_.failed;
+      break;
+  }
+  CountOutcome(result.outcome);
+  return result;
+}
+
+}  // namespace trmma

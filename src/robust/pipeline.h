@@ -1,0 +1,76 @@
+#ifndef TRMMA_ROBUST_PIPELINE_H_
+#define TRMMA_ROBUST_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recovery/recovery.h"
+#include "robust/sanitize.h"
+#include "traj/types.h"
+
+namespace trmma {
+
+/// How a trajectory fared in the fault-tolerant pipeline (DESIGN.md §6).
+enum class RecoveryOutcome {
+  kOk,        ///< clean input, recovered on a single connected route
+  kRepaired,  ///< sanitizer modified points but the full input was recovered
+  kDegraded,  ///< splits, gap fill or partial piece failure reduced fidelity
+  kFailed,    ///< nothing could be recovered
+};
+
+/// Stable lowercase label of an outcome ("ok", "repaired", ...).
+const char* RecoveryOutcomeName(RecoveryOutcome outcome);
+
+struct PipelineConfig {
+  SanitizeConfig sanitize;
+  double epsilon = 15.0;  ///< target ε-sampling rate passed to the method
+};
+
+/// Per-trajectory result: whatever could be recovered plus the full account
+/// of the repairs and degradation it took to get there.
+struct PipelineResult {
+  RecoveryOutcome outcome = RecoveryOutcome::kFailed;
+  MatchedTrajectory recovered;    ///< concatenated over sanitized pieces
+  SanitizeReport sanitize_report;
+  int route_sections = 0;         ///< summed over pieces
+  int degraded_points = 0;        ///< summed over pieces
+  int pieces_attempted = 0;
+  int pieces_failed = 0;
+  std::string error;              ///< first piece failure, when any
+
+  bool failed() const { return outcome == RecoveryOutcome::kFailed; }
+};
+
+/// Running outcome tally, mirrored on the robust.pipeline.outcome metric.
+struct PipelineCounters {
+  int64_t ok = 0;
+  int64_t repaired = 0;
+  int64_t degraded = 0;
+  int64_t failed = 0;
+
+  int64_t total() const { return ok + repaired + degraded + failed; }
+};
+
+/// Fault-tolerant front end of a recovery method: sanitize the raw input,
+/// recover every surviving piece through TryRecover (skip-and-record on
+/// failure, never abort), and classify the overall outcome. Every input
+/// ends up in exactly one counter of the ok/repaired/degraded/failed tally.
+class RobustRecoveryPipeline {
+ public:
+  /// `method` must outlive the pipeline.
+  RobustRecoveryPipeline(RecoveryMethod* method, const PipelineConfig& config);
+
+  PipelineResult Run(const Trajectory& raw);
+
+  const PipelineCounters& counters() const { return counters_; }
+
+ private:
+  RecoveryMethod* method_;
+  PipelineConfig config_;
+  PipelineCounters counters_;
+};
+
+}  // namespace trmma
+
+#endif  // TRMMA_ROBUST_PIPELINE_H_

@@ -1,0 +1,68 @@
+#ifndef TRMMA_ROBUST_SANITIZE_H_
+#define TRMMA_ROBUST_SANITIZE_H_
+
+#include <vector>
+
+#include "geo/geometry.h"
+#include "graph/road_network.h"
+#include "traj/types.h"
+
+namespace trmma {
+
+/// What to do with a point that violates a sanitizer rule.
+enum class RepairPolicy {
+  kDrop,   ///< remove the offending point
+  kClamp,  ///< move it to the nearest feasible position (falls back to drop
+           ///< where clamping is undefined, e.g. non-finite values)
+  kSplit,  ///< cut the trajectory at the violation and continue in a new piece
+};
+
+/// Validation rules for raw trajectories, per the paper's Def. 6
+/// assumptions (finite ε-sampled points on the mapped area with physically
+/// plausible motion). `network` supplies the local projection and the valid
+/// bounding box; without it only finiteness and monotonicity are checked.
+struct SanitizeConfig {
+  const RoadNetwork* network = nullptr;
+  double bbox_margin_m = 1000.0;  ///< tolerance around the network bbox
+  double max_speed_mps = 50.0;    ///< teleport threshold between points
+  RepairPolicy policy = RepairPolicy::kDrop;
+  int min_points = 2;  ///< pieces shorter than this are discarded
+
+  /// Config validating against a finalized network's bounding box.
+  static SanitizeConfig ForNetwork(const RoadNetwork& network);
+};
+
+/// Per-trajectory account of what the sanitizer found and did.
+struct SanitizeReport {
+  int input_points = 0;
+  int nonfinite = 0;         ///< NaN/Inf coordinate or timestamp
+  int out_of_bbox = 0;       ///< outside network bbox + margin
+  int non_monotonic = 0;     ///< timestamp not strictly increasing
+  int speed_violations = 0;  ///< implied speed above max_speed_mps
+  int dropped = 0;           ///< points removed
+  int clamped = 0;           ///< points moved to a feasible position
+  int splits = 0;            ///< cuts made by RepairPolicy::kSplit
+  int discarded_points = 0;  ///< points lost to too-short pieces
+
+  /// No rule fired: the input was already valid.
+  bool clean() const {
+    return nonfinite == 0 && out_of_bbox == 0 && non_monotonic == 0 &&
+           speed_violations == 0;
+  }
+  /// The output is contiguous: nothing was cut away wholesale.
+  bool contiguous() const { return splits == 0 && discarded_points == 0; }
+};
+
+/// Validates `traj` against `config` and applies the repair policy.
+/// Returns the surviving pieces in time order (one piece when nothing was
+/// split; empty when nothing survives). Points inside each piece are
+/// guaranteed finite, strictly increasing in time, inside the bbox (when a
+/// network is given) and speed-feasible. Counts aggregate into the
+/// robust.sanitize.* metrics when observability is enabled.
+std::vector<Trajectory> SanitizeTrajectory(const Trajectory& traj,
+                                           const SanitizeConfig& config,
+                                           SanitizeReport* report = nullptr);
+
+}  // namespace trmma
+
+#endif  // TRMMA_ROBUST_SANITIZE_H_

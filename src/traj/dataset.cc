@@ -4,6 +4,7 @@
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace trmma {
 
@@ -74,26 +75,52 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
 }
 
 StatusOr<Dataset> LoadDataset(const std::string& path) {
-  auto rows_or = csv::ReadFile(path);
-  if (!rows_or.ok()) return rows_or.status();
-  const auto& rows = rows_or.value();
+  auto table_or = csv::ReadTable(path);
+  if (!table_or.ok()) return table_or.status();
+  const csv::Table& table = table_or.value();
+  const auto& rows = table.rows;
   if (rows.empty() || rows[0][0] != "DATASET" || rows[0].size() < 4) {
     return Status::IOError("malformed dataset file: " + path);
   }
 
   Dataset dataset;
   dataset.name = rows[0][1];
-  dataset.epsilon_s = std::stod(rows[0][2]);
-  dataset.gamma = std::stod(rows[0][3]);
+  auto epsilon = csv::ParseDouble(rows[0][2]);
+  auto gamma = csv::ParseDouble(rows[0][3]);
+  if (!epsilon.ok() || !gamma.ok()) {
+    return Status::IOError("malformed DATASET header at " + table.Context(0));
+  }
+  dataset.epsilon_s = epsilon.value();
+  dataset.gamma = gamma.value();
   dataset.network = std::make_unique<RoadNetwork>();
 
-  auto parse_index_row =
-      [](const std::vector<std::string>& row) -> std::vector<int> {
-    std::vector<int> out;
+  // Damage policy: the network rows (NODE/SEG) are structural — skipping
+  // one would silently shift every id after it, so a malformed one fails
+  // the load with file:line context. Sample rows (PT/ROUTE/SPARSE) are
+  // independent records: a malformed one is logged, counted and poisons
+  // just its sample, which is dropped (with the split indices remapped)
+  // instead of aborting the whole load.
+  int64_t bad_rows = 0;
+  std::vector<char> poisoned;  // parallel to dataset.samples
+  auto skip_row = [&](size_t r, const std::string& why) {
+    ++bad_rows;
+    TRMMA_LOG(Warning) << "dataset: skipping row at " << table.Context(r)
+                       << ": " << why;
+  };
+  auto poison = [&](size_t r, const std::string& why) {
+    skip_row(r, why);
+    if (!poisoned.empty()) poisoned.back() = 1;
+  };
+  auto parse_index_row = [](const std::vector<std::string>& row,
+                            std::vector<int>* out) -> bool {
+    out->clear();
     for (size_t i = 1; i < row.size(); ++i) {
-      if (!row[i].empty()) out.push_back(std::stoi(row[i]));
+      if (row[i].empty()) continue;  // trailing delimiter
+      auto v = csv::ParseInt(row[i]);
+      if (!v.ok()) return false;
+      out->push_back(v.value());
     }
-    return out;
+    return true;
   };
 
   bool network_done = false;
@@ -101,11 +128,27 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
     const auto& row = rows[r];
     const std::string& tag = row[0];
     if (tag == "NODE") {
-      dataset.network->AddNode(LatLng{std::stod(row[1]), std::stod(row[2])});
+      if (row.size() < 3) {
+        return Status::IOError("short NODE row at " + table.Context(r));
+      }
+      auto lat = csv::ParseDouble(row[1]);
+      auto lng = csv::ParseDouble(row[2]);
+      if (!lat.ok() || !lng.ok()) {
+        return Status::IOError("malformed NODE row at " + table.Context(r));
+      }
+      dataset.network->AddNode(LatLng{lat.value(), lng.value()});
     } else if (tag == "SEG") {
-      auto seg = dataset.network->AddSegment(std::stoi(row[1]),
-                                             std::stoi(row[2]),
-                                             std::stod(row[3]));
+      if (row.size() < 4) {
+        return Status::IOError("short SEG row at " + table.Context(r));
+      }
+      auto from = csv::ParseInt(row[1]);
+      auto to = csv::ParseInt(row[2]);
+      auto speed = csv::ParseDouble(row[3]);
+      if (!from.ok() || !to.ok() || !speed.ok()) {
+        return Status::IOError("malformed SEG row at " + table.Context(r));
+      }
+      auto seg = dataset.network->AddSegment(from.value(), to.value(),
+                                             speed.value());
       if (!seg.ok()) return seg.status();
     } else if (tag == "SAMPLE") {
       if (!network_done) {
@@ -113,37 +156,140 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
         network_done = true;
       }
       dataset.samples.emplace_back();
+      poisoned.push_back(0);
     } else if (tag == "PT") {
+      if (dataset.samples.empty()) {
+        skip_row(r, "PT before any SAMPLE");
+        continue;
+      }
+      if (row.size() < 6) {
+        poison(r, "short PT row");
+        continue;
+      }
+      auto lat = csv::ParseDouble(row[1]);
+      auto lng = csv::ParseDouble(row[2]);
+      auto t = csv::ParseDouble(row[3]);
+      auto seg = csv::ParseInt(row[4]);
+      auto ratio = csv::ParseDouble(row[5]);
+      if (!lat.ok() || !lng.ok() || !t.ok() || !seg.ok() || !ratio.ok()) {
+        poison(r, "non-numeric PT field");
+        continue;
+      }
+      if (seg.value() < 0 || seg.value() >= dataset.network->num_segments()) {
+        poison(r, "PT segment id out of range");
+        continue;
+      }
       auto& sample = dataset.samples.back();
-      GpsPoint p{LatLng{std::stod(row[1]), std::stod(row[2])},
-                 std::stod(row[3])};
+      GpsPoint p{LatLng{lat.value(), lng.value()}, t.value()};
       sample.raw.points.push_back(p);
       sample.truth.push_back(
-          MatchedPoint{std::stoi(row[4]), std::stod(row[5]), p.t});
+          MatchedPoint{seg.value(), ratio.value(), p.t});
     } else if (tag == "ROUTE") {
-      auto ids = parse_index_row(row);
+      if (dataset.samples.empty()) {
+        skip_row(r, "ROUTE before any SAMPLE");
+        continue;
+      }
+      std::vector<int> ids;
+      if (!parse_index_row(row, &ids)) {
+        poison(r, "non-numeric ROUTE field");
+        continue;
+      }
+      bool in_range = true;
+      for (int id : ids) {
+        in_range = in_range && id >= 0 &&
+                   id < dataset.network->num_segments();
+      }
+      if (!in_range) {
+        poison(r, "ROUTE segment id out of range");
+        continue;
+      }
       dataset.samples.back().route.assign(ids.begin(), ids.end());
     } else if (tag == "SPARSE") {
+      if (dataset.samples.empty()) {
+        skip_row(r, "SPARSE before any SAMPLE");
+        continue;
+      }
       auto& sample = dataset.samples.back();
-      sample.sparse_indices = parse_index_row(row);
+      if (!parse_index_row(row, &sample.sparse_indices)) {
+        poison(r, "non-numeric SPARSE field");
+        sample.sparse_indices.clear();
+        continue;
+      }
+      bool in_range = true;
       for (int idx : sample.sparse_indices) {
-        if (idx < 0 || idx >= sample.raw.size()) {
-          return Status::IOError("sparse index out of range");
-        }
+        in_range = in_range && idx >= 0 && idx < sample.raw.size();
+      }
+      if (!in_range) {
+        poison(r, "SPARSE index out of range");
+        sample.sparse_indices.clear();
+        continue;
+      }
+      for (int idx : sample.sparse_indices) {
         sample.sparse.points.push_back(sample.raw.points[idx]);
       }
     } else if (tag == "TRAIN") {
-      dataset.train_idx = parse_index_row(row);
+      if (!parse_index_row(row, &dataset.train_idx)) {
+        skip_row(r, "non-numeric TRAIN field");
+      }
     } else if (tag == "VAL") {
-      dataset.val_idx = parse_index_row(row);
+      if (!parse_index_row(row, &dataset.val_idx)) {
+        skip_row(r, "non-numeric VAL field");
+      }
     } else if (tag == "TEST") {
-      dataset.test_idx = parse_index_row(row);
+      if (!parse_index_row(row, &dataset.test_idx)) {
+        skip_row(r, "non-numeric TEST field");
+      }
     } else {
-      return Status::IOError("unknown row tag: " + tag);
+      skip_row(r, "unknown row tag: " + tag);
     }
   }
   if (!network_done) {
     TRMMA_RETURN_IF_ERROR(dataset.network->Finalize());
+  }
+
+  // Drop poisoned samples and remap the split indices onto the survivors
+  // (split entries pointing at dropped or out-of-range samples vanish).
+  int64_t dropped = 0;
+  std::vector<int> remap(dataset.samples.size(), -1);
+  {
+    std::vector<TrajectorySample> kept;
+    kept.reserve(dataset.samples.size());
+    for (size_t i = 0; i < dataset.samples.size(); ++i) {
+      if (poisoned[i]) {
+        ++dropped;
+        continue;
+      }
+      remap[i] = static_cast<int>(kept.size());
+      kept.push_back(std::move(dataset.samples[i]));
+    }
+    dataset.samples = std::move(kept);
+  }
+  auto remap_split = [&](std::vector<int>* idx) {
+    std::vector<int> out;
+    out.reserve(idx->size());
+    for (int i : *idx) {
+      if (i < 0 || i >= static_cast<int>(remap.size()) || remap[i] < 0) {
+        continue;
+      }
+      out.push_back(remap[i]);
+    }
+    *idx = std::move(out);
+  };
+  remap_split(&dataset.train_idx);
+  remap_split(&dataset.val_idx);
+  remap_split(&dataset.test_idx);
+
+  if (obs::MetricsEnabled() && (bad_rows > 0 || dropped > 0)) {
+    obs::MetricRegistry::Global()
+        .GetCounter("dataset.load.bad_rows")
+        ->Increment(bad_rows);
+    obs::MetricRegistry::Global()
+        .GetCounter("dataset.load.samples_dropped")
+        ->Increment(dropped);
+  }
+  if (bad_rows > 0) {
+    TRMMA_LOG(Warning) << "dataset: " << path << ": skipped " << bad_rows
+                       << " bad rows, dropped " << dropped << " samples";
   }
   return dataset;
 }

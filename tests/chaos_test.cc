@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "eval/metrics.h"
+#include "mm/mma.h"
+#include "recovery/trmma.h"
+#include "robust/fault_injection.h"
+#include "robust/pipeline.h"
+#include "tests/test_util.h"
+#include "traj/dataset.h"
+
+namespace trmma {
+namespace {
+
+/// End-to-end chaos harness (ISSUE acceptance): corrupted trajectories and
+/// damaged dataset files flow through the full ingestion + matching +
+/// recovery stack without a single abort, every input lands in exactly one
+/// outcome counter, and the failed fraction stays small.
+class ChaosFixture : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(test::MakeTinyDataset("XA", 120));
+    index_ = new SegmentRTree(*dataset_->network);
+    stats_ = new TransitionStats(*dataset_->network);
+    for (int idx : dataset_->train_idx) {
+      stats_->AddRoute(dataset_->samples[idx].route);
+    }
+    planner_ = new DaRoutePlanner(*dataset_->network, *stats_);
+    engine_ = new ShortestPathEngine(*dataset_->network);
+
+    MmaConfig mma_config;
+    mma_config.d0 = 16;
+    mma_config.d1 = 32;
+    mma_config.d2 = 16;
+    mma_config.d3 = 32;
+    mma_config.trans_ffn = 32;
+    mma_ = new MmaMatcher(*dataset_->network, *index_, mma_config);
+    Rng mma_rng(1);
+    for (int e = 0; e < 2; ++e) mma_->TrainEpoch(*dataset_, mma_rng);
+
+    TrmmaConfig config;
+    config.dh = 16;
+    config.trans_ffn = 32;
+    trmma_ = new TrmmaRecovery(*dataset_->network, mma_, planner_, engine_,
+                               config);
+    Rng trmma_rng(2);
+    trmma_->TrainEpoch(*dataset_, trmma_rng);
+  }
+  static void TearDownTestSuite() {
+    delete trmma_;
+    delete mma_;
+    delete engine_;
+    delete planner_;
+    delete stats_;
+    delete index_;
+    delete dataset_;
+  }
+
+  static Dataset* dataset_;
+  static SegmentRTree* index_;
+  static TransitionStats* stats_;
+  static DaRoutePlanner* planner_;
+  static ShortestPathEngine* engine_;
+  static MmaMatcher* mma_;
+  static TrmmaRecovery* trmma_;
+};
+
+Dataset* ChaosFixture::dataset_ = nullptr;
+SegmentRTree* ChaosFixture::index_ = nullptr;
+TransitionStats* ChaosFixture::stats_ = nullptr;
+DaRoutePlanner* ChaosFixture::planner_ = nullptr;
+ShortestPathEngine* ChaosFixture::engine_ = nullptr;
+MmaMatcher* ChaosFixture::mma_ = nullptr;
+TrmmaRecovery* ChaosFixture::trmma_ = nullptr;
+
+TEST_F(ChaosFixture, CorruptedTrajectoriesSurviveThePipeline) {
+  FaultInjectionConfig faults;
+  faults.coord_spike_prob = 0.03;  // 5km spikes: always outside the bbox
+  faults.coord_nan_prob = 0.02;
+  faults.ts_shuffle_prob = 0.05;
+  faults.drop_point_prob = 0.02;
+  faults.seed = 9;
+  FaultInjector injector(faults);
+
+  PipelineConfig config;
+  config.sanitize = SanitizeConfig::ForNetwork(*dataset_->network);
+  // Sparse inputs can be as small as 2 points; a single surviving point is
+  // still worth a (degenerate) recovery attempt rather than a failure.
+  config.sanitize.min_points = 1;
+  config.epsilon = dataset_->epsilon_s;
+  RobustRecoveryPipeline pipeline(trmma_, config);
+
+  double clean_acc = 0.0;
+  double chaos_acc = 0.0;
+  int n = 0;
+  for (int idx : dataset_->test_idx) {
+    const TrajectorySample& sample = dataset_->samples[idx];
+    clean_acc +=
+        PointwiseAccuracy(trmma_->Recover(sample.sparse, dataset_->epsilon_s),
+                          sample.truth);
+
+    Trajectory corrupted = sample.sparse;
+    injector.CorruptTrajectory(&corrupted);
+    const PipelineResult result = pipeline.Run(corrupted);
+    // Outcome and payload must agree: failed <=> nothing recovered.
+    EXPECT_EQ(result.failed(), result.recovered.empty());
+    if (result.failed()) {
+      EXPECT_FALSE(result.error.empty());
+    }
+    chaos_acc += PointwiseAccuracy(result.recovered, sample.truth);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+
+  // Every input is in exactly one counter of the tally.
+  const PipelineCounters& counters = pipeline.counters();
+  EXPECT_EQ(counters.total(), n);
+  // Acceptance: the failed fraction stays below 5%.
+  EXPECT_LT(static_cast<double>(counters.failed), 0.05 * n);
+  // Corruption degrades accuracy gracefully, not catastrophically.
+  EXPECT_GE(chaos_acc, 0.5 * clean_acc);
+}
+
+TEST_F(ChaosFixture, DamagedDatasetFilesNeverAbortTheLoader) {
+  const std::string path = testing::TempDir() + "/trmma_chaos_dataset.txt";
+  ASSERT_TRUE(SaveDataset(*dataset_, path).ok());
+
+  FaultInjectionConfig faults;
+  faults.csv_truncate_prob = 0.02;
+  faults.seed = 13;
+  FaultInjector injector(faults);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  const std::string corrupted = injector.CorruptCsv(buffer.str());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << corrupted;
+  out.close();
+
+  // Row damage may hit structural (network) rows -> a clean Status error,
+  // or sample rows -> skip-and-log. Both are fine; aborting is not.
+  auto loaded = LoadDataset(path);
+  if (loaded.ok()) {
+    const Dataset& ds = loaded.value();
+    EXPECT_LE(ds.samples.size(), dataset_->samples.size());
+    const size_t split_total =
+        ds.train_idx.size() + ds.val_idx.size() + ds.test_idx.size();
+    EXPECT_LE(split_total, ds.samples.size());
+    for (const TrajectorySample& sample : ds.samples) {
+      EXPECT_EQ(sample.raw.size(), static_cast<int>(sample.truth.size()));
+    }
+  } else {
+    EXPECT_FALSE(loaded.status().message().empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosFixture, SimulatedIoFailuresSurfaceAsStatus) {
+  const std::string path = testing::TempDir() + "/trmma_chaos_iofail.txt";
+  ASSERT_TRUE(SaveDataset(*dataset_, path).ok());
+
+  FaultInjectionConfig faults;
+  faults.io_fail_prob = 1.0;
+  FaultInjector injector(faults);
+  injector.Install();
+  auto loaded = LoadDataset(path);
+  FaultInjector::Uninstall();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+
+  EXPECT_TRUE(LoadDataset(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trmma

@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <set>
 
 #include "common/csv.h"
+#include "common/fault_points.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -219,6 +221,70 @@ TEST(CsvTest, ReadMissingFileFails) {
 
 TEST(CsvTest, WriteToBadPathFails) {
   EXPECT_FALSE(csv::WriteFile("/nonexistent/dir/f.csv", {{"a"}}).ok());
+}
+
+TEST(CsvTest, ReadTableSurvivesDamagedFile) {
+  // Ragged rows, trailing delimiters, CRLF endings and blank lines must all
+  // come back as data, with the original line numbers preserved.
+  const std::string path = testing::TempDir() + "/trmma_csv_damaged.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b,c\r\n"
+        << "\r\n"
+        << "short\n"
+        << "x,y,\n"
+        << "\n"
+        << "p,q,r,s,extra\n";
+  }
+  auto table_or = csv::ReadTable(path);
+  ASSERT_TRUE(table_or.ok());
+  const csv::Table& table = table_or.value();
+  ASSERT_EQ(table.rows.size(), 4u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"short"}));
+  EXPECT_EQ(table.rows[2], (std::vector<std::string>{"x", "y", ""}));
+  EXPECT_EQ(table.rows[3].size(), 5u);
+  EXPECT_EQ(table.lines, (std::vector<int>{1, 3, 4, 6}));
+  EXPECT_EQ(table.Context(1), path + ":3");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(csv::ParseDouble("").ok());
+  EXPECT_FALSE(csv::ParseDouble("12abc").ok());
+  EXPECT_FALSE(csv::ParseDouble("##").ok());
+  EXPECT_FALSE(csv::ParseDouble(" 1").ok());
+  ASSERT_TRUE(csv::ParseDouble("-3.5e2").ok());
+  EXPECT_DOUBLE_EQ(csv::ParseDouble("-3.5e2").value(), -350.0);
+  ASSERT_TRUE(csv::ParseDouble("nan").ok());
+  EXPECT_TRUE(std::isnan(csv::ParseDouble("nan").value()));
+}
+
+TEST(CsvTest, ParseIntRejectsGarbageAndOverflow) {
+  EXPECT_FALSE(csv::ParseInt("").ok());
+  EXPECT_FALSE(csv::ParseInt("7.5").ok());
+  EXPECT_FALSE(csv::ParseInt("12x").ok());
+  EXPECT_FALSE(csv::ParseInt("99999999999999999999").ok());
+  ASSERT_TRUE(csv::ParseInt("-42").ok());
+  EXPECT_EQ(csv::ParseInt("-42").value(), -42);
+}
+
+TEST(CsvTest, ReadHonorsFaultPoint) {
+  const std::string path = testing::TempDir() + "/trmma_csv_fault.csv";
+  ASSERT_TRUE(csv::WriteFile(path, {{"a"}}).ok());
+  static bool armed = false;
+  armed = true;
+  InstallFaultHandler(
+      [](void*, const char* site) {
+        return armed && std::string(site) == "csv.read";
+      },
+      nullptr);
+  auto read = csv::ReadFile(path);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  ClearFaultHandler();
+  EXPECT_TRUE(csv::ReadFile(path).ok());
+  std::remove(path.c_str());
 }
 
 // -------------------------------------------------------------- Stopwatch

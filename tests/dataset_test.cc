@@ -85,5 +85,64 @@ TEST(DatasetIoTest, SaveWithoutNetworkFails) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(DatasetIoTest, MalformedNetworkRowIsStructuralError) {
+  const std::string path = testing::TempDir() + "/trmma_bad_node.txt";
+  ASSERT_TRUE(csv::WriteFile(path, {{"DATASET", "XA", "15", "0.1"},
+                                    {"NODE", "31.0", "not_a_number"}})
+                  .ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  // file:line context so the bad row can be found in a multi-MB dump.
+  EXPECT_NE(loaded.status().message().find(path + ":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BadSampleRowsAreSkippedNotFatal) {
+  // Save a valid 4-sample dataset, then vandalize one PT row of the second
+  // sample. The load must succeed, drop exactly that sample, and remap the
+  // split indices onto the survivors.
+  Dataset ds = test::MakeTinyDataset("XA", 4);
+  Rng rng(7);
+  ds.Split(0.5, 0.25, rng);
+  const std::string path = testing::TempDir() + "/trmma_vandalized.txt";
+  ASSERT_TRUE(SaveDataset(ds, path).ok());
+
+  auto table_or = csv::ReadTable(path);
+  ASSERT_TRUE(table_or.ok());
+  auto rows = table_or.value().rows;
+  int sample_no = 0;
+  bool vandalized = false;
+  for (auto& row : rows) {
+    if (row[0] == "SAMPLE") ++sample_no;
+    if (sample_no == 2 && row[0] == "PT" && !vandalized) {
+      row[1] = "##corrupt##";
+      vandalized = true;
+    }
+  }
+  ASSERT_TRUE(vandalized);
+  // Also splice in rows that belong to no sample and an unknown tag.
+  rows.push_back({"WHATEVER", "1", "2"});
+  ASSERT_TRUE(csv::WriteFile(path, rows).ok());
+
+  auto loaded_or = LoadDataset(path);
+  ASSERT_TRUE(loaded_or.ok());
+  const Dataset& loaded = loaded_or.value();
+  EXPECT_EQ(loaded.samples.size(), ds.samples.size() - 1);
+  const size_t split_total = loaded.train_idx.size() + loaded.val_idx.size() +
+                             loaded.test_idx.size();
+  EXPECT_EQ(split_total, loaded.samples.size());
+  for (int i : loaded.train_idx) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, static_cast<int>(loaded.samples.size()));
+  }
+  // Survivors are intact, fully usable samples.
+  for (const auto& sample : loaded.samples) {
+    EXPECT_EQ(sample.raw.size(), static_cast<int>(sample.truth.size()));
+    EXPECT_EQ(sample.sparse.size(),
+              static_cast<int>(sample.sparse_indices.size()));
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace trmma

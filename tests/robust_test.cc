@@ -1,0 +1,513 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/csv.h"
+#include "common/fault_points.h"
+#include "graph/transition_stats.h"
+#include "mm/candidates.h"
+#include "mm/hmm.h"
+#include "mm/nearest.h"
+#include "mm/route_stitch.h"
+#include "recovery/linear.h"
+#include "recovery/trmma.h"
+#include "robust/fault_injection.h"
+#include "robust/pipeline.h"
+#include "robust/sanitize.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Straight eastward drive near the center of a network (the projection is
+/// centroid-centered): speed-feasible, strictly increasing timestamps, well
+/// inside the bbox.
+Trajectory MakeCleanTrajectory(const RoadNetwork& network, int n = 4,
+                               double dt = 10.0) {
+  Trajectory traj;
+  for (int i = 0; i < n; ++i) {
+    GpsPoint p;
+    p.pos = network.projection().ToLatLng(Vec2{20.0 + 30.0 * i, 5.0});
+    p.t = i * dt;
+    traj.points.push_back(p);
+  }
+  return traj;
+}
+
+/// Two road clusters ~50 km apart with no connecting segment, so any route
+/// between them is unroutable within the stitcher's budget.
+std::unique_ptr<RoadNetwork> MakeDisconnectedNetwork() {
+  auto g = std::make_unique<RoadNetwork>();
+  const LocalProjection proj(LatLng{31.0, 121.0});
+  for (double x : {0.0, 100.0, 200.0}) {
+    g->AddNode(proj.ToLatLng(Vec2{x, 0.0}));
+  }
+  for (double x : {50000.0, 50100.0, 50200.0}) {
+    g->AddNode(proj.ToLatLng(Vec2{x, 0.0}));
+  }
+  (void)g->AddSegment(0, 1, 10.0);  // seg 0 (cluster A)
+  (void)g->AddSegment(1, 2, 10.0);  // seg 1 (cluster A)
+  (void)g->AddSegment(3, 4, 10.0);  // seg 2 (cluster B)
+  (void)g->AddSegment(4, 5, 10.0);  // seg 3 (cluster B)
+  EXPECT_TRUE(g->Finalize().ok());
+  return g;
+}
+
+/// Matcher that fails to place every point; drives the total-failure path.
+class HopelessMatcher : public MapMatcher {
+ public:
+  std::vector<SegmentId> MatchPoints(const Trajectory& traj) override {
+    return std::vector<SegmentId>(traj.size(), kInvalidSegment);
+  }
+  std::string name() const override { return "Hopeless"; }
+};
+
+// --------------------------------------------------------------- Sanitizer
+
+class SanitizeTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() { grid_ = test::MakeGrid(5, 5).release(); }
+  static void TearDownTestSuite() { delete grid_; }
+  static RoadNetwork* grid_;
+};
+RoadNetwork* SanitizeTest::grid_ = nullptr;
+
+TEST_F(SanitizeTest, CleanInputPassesThroughUntouched) {
+  const Trajectory traj = MakeCleanTrajectory(*grid_);
+  SanitizeReport report;
+  auto pieces = SanitizeTrajectory(traj, SanitizeConfig::ForNetwork(*grid_),
+                                   &report);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].size(), traj.size());
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.contiguous());
+  EXPECT_EQ(report.input_points, traj.size());
+}
+
+TEST_F(SanitizeTest, DropPolicyRemovesNonFinitePoints) {
+  Trajectory traj = MakeCleanTrajectory(*grid_);
+  traj.points[1].pos.lat = kNan;
+  SanitizeReport report;
+  auto pieces = SanitizeTrajectory(traj, SanitizeConfig::ForNetwork(*grid_),
+                                   &report);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].size(), traj.size() - 1);
+  EXPECT_EQ(report.nonfinite, 1);
+  EXPECT_EQ(report.dropped, 1);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST_F(SanitizeTest, OutOfBboxDropAndClamp) {
+  Trajectory traj = MakeCleanTrajectory(*grid_);
+  // 5x5 grid nodes span [-200,200]m around the centroid; margin is 1000m.
+  // 10km is far outside.
+  traj.points[2].pos = grid_->projection().ToLatLng(Vec2{10000.0, 10000.0});
+
+  SanitizeConfig drop = SanitizeConfig::ForNetwork(*grid_);
+  SanitizeReport report;
+  auto pieces = SanitizeTrajectory(traj, drop, &report);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].size(), traj.size() - 1);
+  EXPECT_EQ(report.out_of_bbox, 1);
+
+  SanitizeConfig clamp = drop;
+  clamp.policy = RepairPolicy::kClamp;
+  // Disable the speed rule so only the bbox clamp is observed.
+  clamp.max_speed_mps = 1e9;
+  pieces = SanitizeTrajectory(traj, clamp, &report);
+  ASSERT_EQ(pieces.size(), 1u);
+  ASSERT_EQ(pieces[0].size(), traj.size());
+  EXPECT_EQ(report.clamped, 1);
+  const Vec2 xy = grid_->projection().ToMeters(pieces[0].points[2].pos);
+  EXPECT_LE(xy.x, 1200.0 + 1e-6);
+  EXPECT_LE(xy.y, 1200.0 + 1e-6);
+}
+
+TEST_F(SanitizeTest, NonMonotonicTimestampDropAndSplit) {
+  Trajectory traj = MakeCleanTrajectory(*grid_);
+  traj.points[2].t = traj.points[1].t - 1.0;  // goes back in time
+
+  SanitizeReport report;
+  auto pieces = SanitizeTrajectory(traj, SanitizeConfig::ForNetwork(*grid_),
+                                   &report);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].size(), traj.size() - 1);
+  EXPECT_EQ(report.non_monotonic, 1);
+
+  SanitizeConfig split = SanitizeConfig::ForNetwork(*grid_);
+  split.policy = RepairPolicy::kSplit;
+  pieces = SanitizeTrajectory(traj, split, &report);
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(report.splits, 1);
+  EXPECT_EQ(pieces[0].size() + pieces[1].size(), traj.size());
+  for (const Trajectory& piece : pieces) {
+    for (int i = 1; i < piece.size(); ++i) {
+      EXPECT_GT(piece.points[i].t, piece.points[i - 1].t);
+    }
+  }
+}
+
+TEST_F(SanitizeTest, SpeedViolationClampLimitsDistance) {
+  Trajectory traj = MakeCleanTrajectory(*grid_);
+  // Teleport: 1130m in 10s with a 50 m/s limit (500m max). Still inside the
+  // bbox (+1000m margin), so only the speed rule fires.
+  traj.points[1].pos = grid_->projection().ToLatLng(Vec2{1150.0, 5.0});
+
+  SanitizeConfig clamp = SanitizeConfig::ForNetwork(*grid_);
+  clamp.policy = RepairPolicy::kClamp;
+  SanitizeReport report;
+  auto pieces = SanitizeTrajectory(traj, clamp, &report);
+  ASSERT_EQ(pieces.size(), 1u);
+  ASSERT_EQ(pieces[0].size(), traj.size());
+  EXPECT_EQ(report.speed_violations, 1);
+  EXPECT_GE(report.clamped, 1);
+  const Vec2 a = grid_->projection().ToMeters(pieces[0].points[0].pos);
+  const Vec2 b = grid_->projection().ToMeters(pieces[0].points[1].pos);
+  EXPECT_NEAR((b - a).Norm(), 500.0, 1e-6);
+}
+
+TEST_F(SanitizeTest, ShortPiecesAreDiscarded) {
+  Trajectory traj;
+  for (int i = 0; i < 3; ++i) {
+    GpsPoint p;
+    p.pos = grid_->projection().ToLatLng(Vec2{20.0 + 3000.0 * i, 5.0});
+    p.t = i * 10.0;
+    traj.points.push_back(p);
+  }
+  // Every hop teleports, so kSplit produces three 1-point pieces — all
+  // below min_points and discarded.
+  SanitizeConfig split = SanitizeConfig::ForNetwork(*grid_);
+  split.policy = RepairPolicy::kSplit;
+  split.bbox_margin_m = 1e7;
+  SanitizeReport report;
+  auto pieces = SanitizeTrajectory(traj, split, &report);
+  EXPECT_TRUE(pieces.empty());
+  EXPECT_EQ(report.discarded_points, 3);
+  EXPECT_FALSE(report.contiguous());
+}
+
+TEST_F(SanitizeTest, WorksWithoutNetwork) {
+  Trajectory traj;
+  for (int i = 0; i < 3; ++i) {
+    GpsPoint p;
+    p.pos = LatLng{31.0 + i * 1e-4, 121.0};
+    p.t = i * 10.0;
+    traj.points.push_back(p);
+  }
+  traj.points[1].t = kNan;
+  SanitizeReport report;
+  auto pieces = SanitizeTrajectory(traj, SanitizeConfig{}, &report);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].size(), 2);
+  EXPECT_EQ(report.nonfinite, 1);
+}
+
+// --------------------------------------------------------- Fault injection
+
+TEST(FaultInjectionTest, DisabledByDefault) {
+  FaultInjectionConfig config;
+  EXPECT_FALSE(config.AnyEnabled());
+  FaultInjector injector(config);
+  Trajectory traj = MakeCleanTrajectory(*test::MakeGrid(3, 3));
+  const Trajectory before = traj;
+  injector.CorruptTrajectory(&traj);
+  ASSERT_EQ(traj.size(), before.size());
+  for (int i = 0; i < traj.size(); ++i) {
+    EXPECT_EQ(traj.points[i].pos.lat, before.points[i].pos.lat);
+    EXPECT_EQ(traj.points[i].t, before.points[i].t);
+  }
+}
+
+TEST(FaultInjectionTest, CorruptionIsDeterministic) {
+  FaultInjectionConfig config;
+  config.coord_spike_prob = 0.3;
+  config.coord_nan_prob = 0.2;
+  config.drop_point_prob = 0.2;
+  config.ts_shuffle_prob = 0.5;
+  config.seed = 77;
+
+  auto grid = test::MakeGrid(4, 4);
+  Trajectory a = MakeCleanTrajectory(*grid, 20);
+  Trajectory b = a;
+  FaultInjector first(config);
+  FaultInjector second(config);
+  first.CorruptTrajectory(&a);
+  second.CorruptTrajectory(&b);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    // NaN != NaN, so compare bit-for-bit via ==-or-both-NaN.
+    EXPECT_TRUE(a.points[i].pos.lat == b.points[i].pos.lat ||
+                (std::isnan(a.points[i].pos.lat) &&
+                 std::isnan(b.points[i].pos.lat)));
+    EXPECT_EQ(a.points[i].pos.lng, b.points[i].pos.lng);
+    EXPECT_EQ(a.points[i].t, b.points[i].t);
+  }
+}
+
+TEST(FaultInjectionTest, CertainRatesAlwaysFire) {
+  auto grid = test::MakeGrid(3, 3);
+  Trajectory traj = MakeCleanTrajectory(*grid, 10);
+
+  FaultInjectionConfig nan_all;
+  nan_all.coord_nan_prob = 1.0;
+  FaultInjector nans(nan_all);
+  Trajectory t1 = traj;
+  nans.CorruptTrajectory(&t1);
+  for (const GpsPoint& p : t1.points) EXPECT_TRUE(std::isnan(p.pos.lat));
+
+  FaultInjectionConfig drop_all;
+  drop_all.drop_point_prob = 1.0;
+  FaultInjector drops(drop_all);
+  Trajectory t2 = traj;
+  drops.CorruptTrajectory(&t2);
+  EXPECT_TRUE(t2.empty());
+}
+
+TEST(FaultInjectionTest, FromEnvParsesKnownKeysAndIgnoresJunk) {
+  setenv("TRMMA_FAULTS",
+         "coord_spike=0.25,seed=42,spike_m=1234,not_a_key=1,garbage,ts_shuffle=oops",
+         1);
+  FaultInjectionConfig config = FaultInjectionConfig::FromEnv();
+  unsetenv("TRMMA_FAULTS");
+  EXPECT_DOUBLE_EQ(config.coord_spike_prob, 0.25);
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_DOUBLE_EQ(config.spike_m, 1234.0);
+  EXPECT_DOUBLE_EQ(config.ts_shuffle_prob, 0.0);  // malformed value ignored
+  EXPECT_TRUE(config.AnyEnabled());
+}
+
+TEST(FaultInjectionTest, InstalledInjectorFailsCsvReads) {
+  const std::string path = testing::TempDir() + "/trmma_robust_iofail.csv";
+  ASSERT_TRUE(csv::WriteFile(path, {{"a", "b"}}).ok());
+
+  FaultInjectionConfig config;
+  config.io_fail_prob = 1.0;
+  FaultInjector injector(config);
+  injector.Install();
+  auto read = csv::ReadFile(path);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  FaultInjector::Uninstall();
+  EXPECT_TRUE(csv::ReadFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, CorruptCsvDamagesRows) {
+  FaultInjectionConfig config;
+  config.csv_truncate_prob = 1.0;
+  FaultInjector injector(config);
+  const std::string text = "PT,31.00,121.00,10,3,0.5\nPT,31.01,121.01,20,4,0.6\n";
+  const std::string corrupted = injector.CorruptCsv(text);
+  EXPECT_NE(corrupted, text);
+}
+
+// ----------------------------------------------------- Graceful degradation
+
+TEST(DegradationTest, CandidatesWidenWhenPrimaryQueryIsEmpty) {
+  auto grid = test::MakeGrid(5, 5);
+  SegmentRTree index(*grid);
+  Trajectory traj = MakeCleanTrajectory(*grid, 3);
+  // kc=0 makes the primary k-NN return nothing; the widening ladder must
+  // still produce one candidate per point.
+  auto candidates = ComputeCandidates(*grid, index, traj, 0);
+  ASSERT_EQ(candidates.size(), 3u);
+  for (const auto& c : candidates) {
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_NE(c[0].segment, kInvalidSegment);
+  }
+}
+
+TEST(DegradationTest, CandidatesRepairNonFinitePoints) {
+  auto grid = test::MakeGrid(5, 5);
+  SegmentRTree index(*grid);
+  Trajectory traj = MakeCleanTrajectory(*grid, 4);
+  traj.points[2].pos.lat = kNan;
+  auto candidates = ComputeCandidates(*grid, index, traj, 3);
+  ASSERT_EQ(candidates.size(), 4u);
+  for (const auto& c : candidates) EXPECT_FALSE(c.empty());
+}
+
+TEST(DegradationTest, HmmSurvivesNonFinitePoint) {
+  auto grid = test::MakeGrid(5, 5);
+  SegmentRTree index(*grid);
+  HmmMatcher matcher(*grid, index, HmmConfig{});
+  Trajectory traj = MakeCleanTrajectory(*grid, 4);
+  traj.points[1].pos.lng = kNan;
+  const auto segs = matcher.MatchPoints(traj);
+  ASSERT_EQ(segs.size(), 4u);
+  for (SegmentId s : segs) EXPECT_NE(s, kInvalidSegment);
+}
+
+TEST(DegradationTest, StitchSplitsSectionsAtUnroutablePairs) {
+  auto net = MakeDisconnectedNetwork();
+  TransitionStats stats(*net);
+  DaRoutePlanner planner(*net, stats);
+  ShortestPathEngine engine(*net);
+
+  const std::vector<SegmentId> segs = {0, 1, 2, 3};
+  auto sections = StitchRouteSections(*net, planner, engine, segs);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].first_point, 0);
+  EXPECT_EQ(sections[0].last_point, 1);
+  EXPECT_EQ(sections[0].route, (Route{0, 1}));
+  EXPECT_EQ(sections[1].first_point, 2);
+  EXPECT_EQ(sections[1].last_point, 3);
+  EXPECT_EQ(sections[1].route, (Route{2, 3}));
+
+  // The flat StitchRoute stays the concatenation of the sections.
+  EXPECT_EQ(StitchRoute(*net, planner, engine, segs), (Route{0, 1, 2, 3}));
+}
+
+TEST(DegradationTest, StitchAttachesUnmatchedPointsToOpenSection) {
+  auto net = MakeDisconnectedNetwork();
+  TransitionStats stats(*net);
+  DaRoutePlanner planner(*net, stats);
+  ShortestPathEngine engine(*net);
+
+  const std::vector<SegmentId> segs = {kInvalidSegment, 0, kInvalidSegment, 1};
+  auto sections = StitchRouteSections(*net, planner, engine, segs);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].first_point, 1);
+  EXPECT_EQ(sections[0].last_point, 3);
+  EXPECT_EQ(sections[0].route, (Route{0, 1}));
+}
+
+TEST(DegradationTest, TryRecoverSplitsAndGapFillsDisconnectedInput) {
+  auto net = MakeDisconnectedNetwork();
+  SegmentRTree index(*net);
+  NearestMatcher matcher(*net, index);
+  TransitionStats stats(*net);
+  DaRoutePlanner planner(*net, stats);
+  ShortestPathEngine engine(*net);
+  TrmmaConfig config;
+  config.dh = 16;
+  config.trans_ffn = 32;
+  TrmmaRecovery trmma(*net, &matcher, &planner, &engine, config);
+
+  // Two observations per cluster; ε=15 ⇒ the full grid is t=0,15,...,90.
+  // Use the same projection the nodes were built with (the network's own
+  // is centroid-centered, halfway between the clusters).
+  Trajectory sparse;
+  const LocalProjection proj(LatLng{31.0, 121.0});
+  for (double x : {50.0, 150.0}) {
+    sparse.points.push_back(
+        GpsPoint{proj.ToLatLng(Vec2{x, 1.0}), x == 50.0 ? 0.0 : 30.0});
+  }
+  for (double x : {50050.0, 50150.0}) {
+    sparse.points.push_back(
+        GpsPoint{proj.ToLatLng(Vec2{x, 1.0}), x == 50050.0 ? 60.0 : 90.0});
+  }
+
+  RecoverStats rec_stats;
+  auto rec = trmma.TryRecover(sparse, 15.0, &rec_stats);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec_stats.route_sections, 2);
+  EXPECT_GE(rec_stats.degraded_points, 1);
+  ASSERT_EQ(rec->size(), 7u);
+  for (size_t i = 0; i < rec->size(); ++i) {
+    EXPECT_NEAR((*rec)[i].t, 15.0 * i, 1e-9);
+    EXPECT_GE((*rec)[i].segment, 0);
+    EXPECT_LT((*rec)[i].segment, net->num_segments());
+  }
+  // The reference path degrades identically.
+  RecoverStats ref_stats;
+  auto ref = trmma.TryRecoverReference(sparse, 15.0, &ref_stats);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->size(), rec->size());
+  EXPECT_EQ(ref_stats.route_sections, 2);
+}
+
+TEST(DegradationTest, TryRecoverReportsTotalMatchFailure) {
+  auto grid = test::MakeGrid(4, 4);
+  HopelessMatcher matcher;
+  TransitionStats stats(*grid);
+  DaRoutePlanner planner(*grid, stats);
+  ShortestPathEngine engine(*grid);
+  TrmmaConfig config;
+  config.dh = 16;
+  config.trans_ffn = 32;
+  TrmmaRecovery trmma(*grid, &matcher, &planner, &engine, config);
+
+  const Trajectory sparse = MakeCleanTrajectory(*grid, 3);
+  auto rec = trmma.TryRecover(sparse, 10.0);
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kFailedPrecondition);
+  // The legacy interface must not abort either: it logs and returns empty.
+  EXPECT_TRUE(trmma.Recover(sparse, 10.0).empty());
+}
+
+// ----------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, ClassifiesOutcomesAndCountsEveryInput) {
+  auto grid = test::MakeGrid(5, 5);
+  SegmentRTree index(*grid);
+  NearestMatcher matcher(*grid, index);
+  TransitionStats stats(*grid);
+  DaRoutePlanner planner(*grid, stats);
+  ShortestPathEngine engine(*grid);
+  LinearRecovery linear(*grid, &matcher, &planner, &engine, "Linear");
+
+  PipelineConfig config;
+  config.sanitize = SanitizeConfig::ForNetwork(*grid);
+  config.sanitize.policy = RepairPolicy::kSplit;
+  config.epsilon = 10.0;
+  RobustRecoveryPipeline pipeline(&linear, config);
+
+  // 1) Clean input.
+  PipelineResult ok = pipeline.Run(MakeCleanTrajectory(*grid));
+  EXPECT_EQ(ok.outcome, RecoveryOutcome::kOk);
+  EXPECT_FALSE(ok.recovered.empty());
+
+  // 2) One NaN point: repaired (dropped) but fully recovered.
+  Trajectory nan_traj = MakeCleanTrajectory(*grid);
+  nan_traj.points[1].pos.lat = kNan;
+  PipelineResult repaired = pipeline.Run(nan_traj);
+  EXPECT_EQ(repaired.outcome, RecoveryOutcome::kRepaired);
+  EXPECT_FALSE(repaired.recovered.empty());
+
+  // 3) Mid-trajectory teleport (900m in 10s, but still inside the bbox so
+  // only the speed rule fires): split, so degraded.
+  Trajectory split_traj;
+  for (int i = 0; i < 4; ++i) {
+    GpsPoint p;
+    const double x = 20.0 + 30.0 * i + (i >= 2 ? 900.0 : 0.0);
+    p.pos = grid->projection().ToLatLng(Vec2{x, 5.0});
+    p.t = i * 10.0;
+    split_traj.points.push_back(p);
+  }
+  PipelineResult degraded = pipeline.Run(split_traj);
+  EXPECT_EQ(degraded.outcome, RecoveryOutcome::kDegraded);
+  EXPECT_FALSE(degraded.recovered.empty());
+
+  // 4) All-garbage input: failed, with a recorded reason.
+  Trajectory garbage;
+  for (int i = 0; i < 3; ++i) {
+    garbage.points.push_back(GpsPoint{LatLng{kNan, kNan}, i * 10.0});
+  }
+  PipelineResult failed = pipeline.Run(garbage);
+  EXPECT_EQ(failed.outcome, RecoveryOutcome::kFailed);
+  EXPECT_TRUE(failed.recovered.empty());
+  EXPECT_FALSE(failed.error.empty());
+
+  const PipelineCounters& counters = pipeline.counters();
+  EXPECT_EQ(counters.ok, 1);
+  EXPECT_EQ(counters.repaired, 1);
+  EXPECT_EQ(counters.degraded, 1);
+  EXPECT_EQ(counters.failed, 1);
+  EXPECT_EQ(counters.total(), 4);
+}
+
+TEST(PipelineTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(RecoveryOutcomeName(RecoveryOutcome::kOk), "ok");
+  EXPECT_STREQ(RecoveryOutcomeName(RecoveryOutcome::kRepaired), "repaired");
+  EXPECT_STREQ(RecoveryOutcomeName(RecoveryOutcome::kDegraded), "degraded");
+  EXPECT_STREQ(RecoveryOutcomeName(RecoveryOutcome::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace trmma
