@@ -8,9 +8,11 @@
 
 #include "common/logging.h"
 #include "eval/experiment.h"
+#include "nn/profiler.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace trmma {
 namespace bench {
@@ -130,6 +132,16 @@ class BenchRun {
     if (obs::CurrentTraceMode() == obs::TraceMode::kTrace) {
       std::fprintf(stderr, "---- trace ring (most recent spans) ----\n%s",
                    obs::TraceRing::Global().DumpString().c_str());
+      const std::string trace_path = obs::ExportChromeTraceFromEnv();
+      if (!trace_path.empty()) {
+        std::printf("chrome trace: %s (load in chrome://tracing or "
+                    "ui.perfetto.dev)\n",
+                    trace_path.c_str());
+      }
+    }
+    if (nn::OpProfiler::Enabled()) {
+      std::printf("---- op profile ----\n%s",
+                  nn::OpProfiler::Global().DumpString().c_str());
     }
     auto path = obs::RunReport::Global().WriteFile();
     if (path.ok()) {

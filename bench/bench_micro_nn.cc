@@ -79,6 +79,39 @@ void BM_ForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardBackward);
 
+/// Profiler self-check, run after the google-benchmark loops so it cannot
+/// distort their timings: profiles a batch of forward+backward passes and
+/// reports which fraction of their wall time the per-op table accounts for.
+/// The gap is tape bookkeeping and timer overhead; the acceptance bar for
+/// the profiler is >= 0.9 at this workload size.
+void RunOpProfilerCoverage() {
+  const bool was_enabled = OpProfiler::Enabled();
+  OpProfiler::SetEnabled(true);
+  OpProfiler::Global().Reset();
+  Rng rng(7);
+  TransformerEncoder enc(32, 2, 64, 2, rng);
+  Matrix x = RandomMatrix(24, 32, 8);
+  const double t0 = obs::NowMicros();
+  for (int i = 0; i < 50; ++i) {
+    Tape tape;
+    Tensor y = enc.Forward(ops::Input(tape, x));
+    Tensor loss = ops::SumAll(ops::Mul(y, y));
+    tape.Backward(loss);
+    enc.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().at(0, 0));
+  }
+  const double wall_us = obs::NowMicros() - t0;
+  const double accounted_us = OpProfiler::Global().TotalAccountedMicros();
+  const double coverage = wall_us > 0.0 ? accounted_us / wall_us : 0.0;
+  std::printf("---- op profile (50x transformer fwd+bwd) ----\n%s",
+              OpProfiler::Global().DumpString().c_str());
+  std::printf("profiler coverage: %.1f%% of %.3f ms wall\n", coverage * 100.0,
+              wall_us / 1e3);
+  obs::RunReport::Global().SetFingerprintNumber("op_profile.coverage",
+                                                coverage);
+  OpProfiler::SetEnabled(was_enabled);
+}
+
 }  // namespace
 }  // namespace nn
 }  // namespace trmma
@@ -89,5 +122,6 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  trmma::nn::RunOpProfilerCoverage();
   return 0;
 }

@@ -12,6 +12,11 @@ inside ctest with no extra dependencies. It checks the structural contract
 documented in DESIGN.md: top-level name/wall_seconds/fingerprint/phases/
 metrics, phase entries with name+seconds+count, metric sections with the
 right value fields, and that at least one histogram carries p50/p95/p99.
+The optional "op_profile" and "training" sections (present when the op
+profiler / training telemetry collected data) are validated whenever they
+appear; --require-op-profile / --require-training make their absence an
+error. --trace FILE additionally validates a Chrome trace-event JSON file
+(as written under TRMMA_TRACE_FILE).
 """
 
 import argparse
@@ -56,7 +61,127 @@ def check_metric_list(metrics, section, value_check, path, errors):
     return items
 
 
-def check_report(path, errors, require_activity=True):
+OP_PROFILE_INT_FIELDS = ("calls", "bytes")
+OP_PROFILE_NUM_FIELDS = ("forward_us", "backward_us", "flops")
+TRAINING_FIELDS = ("steps", "last_loss", "mean_loss", "max_grad_norm",
+                   "anomalies")
+
+
+def check_op_profile(doc, path, errors, required=False):
+    ops = doc.get("op_profile")
+    if ops is None:
+        if required:
+            fail(path, "missing 'op_profile' section "
+                       "(was the op profiler enabled?)", errors)
+        return
+    if not isinstance(ops, list) or not ops:
+        fail(path, "'op_profile' must be a non-empty list", errors)
+        return
+    total_us = 0.0
+    for i, op in enumerate(ops):
+        where = f"op_profile[{i}]"
+        if not isinstance(op, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if not isinstance(op.get("name"), str) or not op.get("name"):
+            fail(path, f"{where}: missing non-empty 'name'", errors)
+        for field in OP_PROFILE_INT_FIELDS:
+            if not isinstance(op.get(field), int):
+                fail(path, f"{where}: missing integer '{field}'", errors)
+        for field in OP_PROFILE_NUM_FIELDS:
+            if not isinstance(op.get(field), numbers.Real):
+                fail(path, f"{where}: missing numeric '{field}'", errors)
+        if isinstance(op.get("calls"), int) and op["calls"] < 1:
+            fail(path, f"{where}: 'calls' must be >= 1", errors)
+        if isinstance(op.get("forward_us"), numbers.Real) and isinstance(
+                op.get("backward_us"), numbers.Real):
+            total_us += op["forward_us"] + op["backward_us"]
+    # Entries are sorted by total time, descending.
+    keyed = [op for op in ops if isinstance(op, dict)
+             and isinstance(op.get("forward_us"), numbers.Real)
+             and isinstance(op.get("backward_us"), numbers.Real)]
+    totals = [op["forward_us"] + op["backward_us"] for op in keyed]
+    if totals != sorted(totals, reverse=True):
+        fail(path, "op_profile entries not sorted by total time", errors)
+    if total_us <= 0.0:
+        fail(path, "op_profile accounts for zero time", errors)
+
+
+def check_training(doc, path, errors, required=False):
+    training = doc.get("training")
+    if training is None:
+        if required:
+            fail(path, "missing 'training' section "
+                       "(did any model train with telemetry on?)", errors)
+        return
+    if not isinstance(training, list) or not training:
+        fail(path, "'training' must be a non-empty list", errors)
+        return
+    for i, row in enumerate(training):
+        where = f"training[{i}]"
+        if not isinstance(row, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if not isinstance(row.get("model"), str) or not row.get("model"):
+            fail(path, f"{where}: missing non-empty 'model'", errors)
+        for field in TRAINING_FIELDS:
+            if not isinstance(row.get(field), numbers.Real):
+                fail(path, f"{where}: missing numeric '{field}'", errors)
+        if isinstance(row.get("steps"), int) and row["steps"] < 1:
+            fail(path, f"{where}: 'steps' must be >= 1", errors)
+
+
+def check_chrome_trace(path, errors):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}", errors)
+        return
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list) or not events:
+        fail(path, "'traceEvents' must be a non-empty list", errors)
+        return
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if ev.get("ph") != "X":
+            fail(path, f"{where}: expected complete event ph='X'", errors)
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            fail(path, f"{where}: missing non-empty 'name'", errors)
+        for field in ("ts", "dur"):
+            if not isinstance(ev.get(field), numbers.Real):
+                fail(path, f"{where}: missing numeric '{field}'", errors)
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                fail(path, f"{where}: missing integer '{field}'", errors)
+        args = ev.get("args")
+        if not isinstance(args, dict) or not isinstance(
+                args.get("seq"), int) or not isinstance(
+                args.get("parent_seq"), int):
+            fail(path, f"{where}: args must carry integer "
+                       "seq/parent_seq", errors)
+    # Events are emitted in seq (start) order and spans nest strictly, so a
+    # child's [ts, ts+dur] interval lies inside its parent's.
+    by_seq = {}
+    for ev in events:
+        if isinstance(ev, dict) and isinstance(ev.get("args"), dict):
+            by_seq[ev["args"].get("seq")] = ev
+    for ev in by_seq.values():
+        parent = by_seq.get(ev["args"].get("parent_seq"))
+        if parent is None:
+            continue
+        slack = 1e-3  # clock granularity
+        if ev["ts"] < parent["ts"] - slack or \
+                ev["ts"] + ev["dur"] > parent["ts"] + parent["dur"] + slack:
+            fail(path, f"span seq={ev['args']['seq']} not nested inside "
+                       f"parent seq={ev['args']['parent_seq']}", errors)
+
+
+def check_report(path, errors, require_activity=True,
+                 require_op_profile=False, require_training=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -105,6 +230,9 @@ def check_report(path, errors, require_activity=True):
         if not isinstance(ph.get("count"), int) or ph.get("count") < 1:
             fail(path, f"{where}: missing positive integer 'count'", errors)
 
+    check_op_profile(doc, path, errors, required=require_op_profile)
+    check_training(doc, path, errors, required=require_training)
+
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         fail(path, "missing object 'metrics'", errors)
@@ -142,12 +270,16 @@ def check_report(path, errors, require_activity=True):
             fail(path, "no phases recorded", errors)
 
 
-def run_bench(binary, workdir):
+def run_bench(binary, workdir, with_trace=False):
     obs_dir = tempfile.mkdtemp(prefix="bench_obs_", dir=workdir or None)
     env = dict(os.environ)
     env.setdefault("TRMMA_BENCH_SCALE", "smoke")
     env.setdefault("TRMMA_BENCH_CITIES", "PT")
     env["TRMMA_OBS_DIR"] = obs_dir
+    trace_file = None
+    if with_trace:
+        trace_file = os.path.join(obs_dir, "trace.json")
+        env["TRMMA_TRACE_FILE"] = trace_file
     print(f"running {binary} (scale={env['TRMMA_BENCH_SCALE']}, "
           f"cities={env['TRMMA_BENCH_CITIES']}, obs dir {obs_dir})",
           flush=True)
@@ -160,7 +292,10 @@ def run_bench(binary, workdir):
     if not reports:
         print(f"FAIL: {binary} wrote no BENCH_*.json into {obs_dir}")
         return None
-    return reports
+    if with_trace and not os.path.exists(trace_file):
+        print(f"FAIL: {binary} wrote no trace file at {trace_file}")
+        return None
+    return reports, trace_file
 
 
 def main():
@@ -170,25 +305,44 @@ def main():
                         help="bench binary to execute before validating")
     parser.add_argument("--workdir", default=None,
                         help="working directory for --run")
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="FILE",
+                        help="Chrome trace-event JSON file to validate")
+    parser.add_argument("--run-trace", action="store_true",
+                        help="with --run: enable TRMMA_TRACE_FILE and "
+                             "validate the resulting trace")
+    parser.add_argument("--require-op-profile", action="store_true",
+                        help="fail if reports lack an 'op_profile' section")
+    parser.add_argument("--require-training", action="store_true",
+                        help="fail if reports lack a 'training' section")
     args = parser.parse_args()
 
     files = list(args.files)
+    traces = list(args.trace)
     if args.run:
-        produced = run_bench(args.run, args.workdir)
+        produced = run_bench(args.run, args.workdir,
+                             with_trace=args.run_trace)
         if produced is None:
             return 1
-        files.extend(produced)
-    if not files:
-        parser.error("no report files given (pass FILEs or --run)")
+        reports, trace_file = produced
+        files.extend(reports)
+        if trace_file:
+            traces.append(trace_file)
+    if not files and not traces:
+        parser.error("no report files given (pass FILEs, --trace, or --run)")
 
     errors = []
     for path in files:
-        check_report(path, errors)
+        check_report(path, errors,
+                     require_op_profile=args.require_op_profile,
+                     require_training=args.require_training)
+    for path in traces:
+        check_chrome_trace(path, errors)
     if errors:
         for e in errors:
             print(f"FAIL: {e}")
         return 1
-    for path in files:
+    for path in files + traces:
         print(f"OK: {path}")
     return 0
 

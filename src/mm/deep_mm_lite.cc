@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "nn/ops.h"
+#include "nn/telemetry.h"
 
 namespace trmma {
 
@@ -81,6 +83,10 @@ double DeepMmLiteMatcher::TrainEpoch(const Dataset& dataset, Rng& rng) {
   double total_loss = 0.0;
   int64_t total_points = 0;
   int in_batch = 0;
+  double batch_loss = 0.0;
+  int64_t batch_points = 0;
+  Stopwatch step_watch;
+  const int64_t epoch = epochs_trained_++;
   nn::Tape tape;
   for (int idx : order) {
     const TrajectorySample& sample = dataset.samples[idx];
@@ -95,14 +101,26 @@ double DeepMmLiteMatcher::TrainEpoch(const Dataset& dataset, Rng& rng) {
                              1.0 / targets.size());
     total_loss += loss.value().at(0, 0) * targets.size();
     total_points += static_cast<int64_t>(targets.size());
+    batch_loss += loss.value().at(0, 0) * targets.size();
+    batch_points += static_cast<int64_t>(targets.size());
     tape.Backward(loss);
     tape.Clear();
     if (++in_batch == config_.batch_size) {
       optimizer_->Step();
+      nn::LogTrainStep("deep_mm_lite", *optimizer_,
+                       batch_points > 0 ? batch_loss / batch_points : 0.0,
+                       batch_points, step_watch.LapMillis() / 1e3, epoch);
       in_batch = 0;
+      batch_loss = 0.0;
+      batch_points = 0;
     }
   }
-  if (in_batch > 0) optimizer_->Step();
+  if (in_batch > 0) {
+    optimizer_->Step();
+    nn::LogTrainStep("deep_mm_lite", *optimizer_,
+                     batch_points > 0 ? batch_loss / batch_points : 0.0,
+                     batch_points, step_watch.LapMillis() / 1e3, epoch);
+  }
   return total_points > 0 ? total_loss / total_points : 0.0;
 }
 

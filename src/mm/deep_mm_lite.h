@@ -49,6 +49,7 @@ class DeepMmLiteMatcher : public MapMatcher, public nn::Module {
   nn::GruCell gru_;
   nn::Linear output_fc_;  ///< hidden -> |E| logits: the expensive part
   std::unique_ptr<nn::Adam> optimizer_;
+  int64_t epochs_trained_ = 0;  ///< epoch index reported in train telemetry
 };
 
 }  // namespace trmma

@@ -87,6 +87,7 @@ class MmaMatcher : public MapMatcher, public nn::Module {
   nn::TransformerEncoder point_trans_;  ///< Eq. 3
   nn::Mlp attn_mlp_;            ///< Eq. 7
   std::unique_ptr<nn::Adam> optimizer_;
+  int64_t epochs_trained_ = 0;  ///< epoch index reported in train telemetry
 };
 
 }  // namespace trmma

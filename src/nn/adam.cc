@@ -27,19 +27,20 @@ void Adam::Step(double max_grad_norm) {
     steps->Increment();
   }
   ++t_;
-  double scale = 1.0;
-  if (max_grad_norm > 0.0) {
-    double norm2 = 0.0;
-    for (Param* p : params_) {
-      for (int i = 0; i < p->grad.size(); ++i) {
-        norm2 += p->grad.data()[i] * p->grad.data()[i];
-      }
+  double norm2 = 0.0;
+  for (Param* p : params_) {
+    for (int i = 0; i < p->grad.size(); ++i) {
+      norm2 += p->grad.data()[i] * p->grad.data()[i];
     }
-    const double norm = std::sqrt(norm2);
-    if (norm > max_grad_norm) scale = max_grad_norm / norm;
+  }
+  last_grad_norm_ = std::sqrt(norm2);
+  double scale = 1.0;
+  if (max_grad_norm > 0.0 && last_grad_norm_ > max_grad_norm) {
+    scale = max_grad_norm / last_grad_norm_;
   }
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  double update_norm2 = 0.0;
   for (size_t k = 0; k < params_.size(); ++k) {
     Param* p = params_[k];
     for (int i = 0; i < p->value.size(); ++i) {
@@ -50,10 +51,13 @@ void Adam::Step(double max_grad_norm) {
       v = beta2_ * v + (1.0 - beta2_) * g * g;
       const double mhat = m / bc1;
       const double vhat = v / bc2;
-      p->value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      const double delta = lr_ * mhat / (std::sqrt(vhat) + eps_);
+      p->value.data()[i] -= delta;
+      update_norm2 += delta * delta;
     }
     p->ZeroGrad();
   }
+  last_update_norm_ = std::sqrt(update_norm2);
 }
 
 }  // namespace nn

@@ -24,6 +24,16 @@ class Adam {
   double lr() const { return lr_; }
   int64_t num_steps() const { return t_; }
 
+  /// Global L2 norm of the gradients consumed by the most recent Step(),
+  /// measured before clipping. 0 until the first step.
+  double last_grad_norm() const { return last_grad_norm_; }
+
+  /// Global L2 norm of the parameter delta applied by the most recent
+  /// Step(). 0 until the first step.
+  double last_update_norm() const { return last_update_norm_; }
+
+  const std::vector<Param*>& params() const { return params_; }
+
  private:
   std::vector<Param*> params_;
   std::vector<Matrix> m_;
@@ -33,6 +43,8 @@ class Adam {
   double beta2_;
   double eps_;
   int64_t t_ = 0;
+  double last_grad_norm_ = 0.0;
+  double last_update_norm_ = 0.0;
 };
 
 }  // namespace nn

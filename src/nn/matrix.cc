@@ -1,9 +1,56 @@
 #include "nn/matrix.h"
 
+#include <atomic>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace trmma {
 namespace nn {
+namespace {
+
+std::atomic<int64_t> g_total_bytes{0};
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+void TrackAlloc(int64_t bytes) {
+  if (bytes == 0) return;
+  g_total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const int64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void TrackFree(int64_t bytes) {
+  if (bytes != 0) g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+int64_t LogicalBytes(int rows, int cols) {
+  return static_cast<int64_t>(rows) * cols *
+         static_cast<int64_t>(sizeof(double));
+}
+
+}  // namespace
+
+MatrixAllocStats GetMatrixAllocStats() {
+  MatrixAllocStats s;
+  s.total_bytes = g_total_bytes.load(std::memory_order_relaxed);
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  s.peak_bytes = g_peak_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+int64_t MatrixBytesAllocated() {
+  return g_total_bytes.load(std::memory_order_relaxed);
+}
+
+void ResetMatrixPeakBytes() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
 
 Matrix::Matrix(int rows, int cols) : Matrix(rows, cols, 0.0) {}
 
@@ -11,7 +58,45 @@ Matrix::Matrix(int rows, int cols, double fill)
     : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
   TRMMA_CHECK_GE(rows, 0);
   TRMMA_CHECK_GE(cols, 0);
+  TrackAlloc(LogicalBytes(rows_, cols_));
 }
+
+Matrix::Matrix(const Matrix& o)
+    : rows_(o.rows_), cols_(o.cols_), data_(o.data_) {
+  TrackAlloc(LogicalBytes(rows_, cols_));
+}
+
+Matrix::Matrix(Matrix&& o) noexcept
+    : rows_(o.rows_), cols_(o.cols_), data_(std::move(o.data_)) {
+  // The moved-from matrix no longer owns storage; its bytes are ours now.
+  o.rows_ = 0;
+  o.cols_ = 0;
+  o.data_.clear();
+}
+
+Matrix& Matrix::operator=(const Matrix& o) {
+  if (this == &o) return *this;
+  TrackFree(LogicalBytes(rows_, cols_));
+  rows_ = o.rows_;
+  cols_ = o.cols_;
+  data_ = o.data_;
+  TrackAlloc(LogicalBytes(rows_, cols_));
+  return *this;
+}
+
+Matrix& Matrix::operator=(Matrix&& o) noexcept {
+  if (this == &o) return *this;
+  TrackFree(LogicalBytes(rows_, cols_));
+  rows_ = o.rows_;
+  cols_ = o.cols_;
+  data_ = std::move(o.data_);
+  o.rows_ = 0;
+  o.cols_ = 0;
+  o.data_.clear();
+  return *this;
+}
+
+Matrix::~Matrix() { TrackFree(LogicalBytes(rows_, cols_)); }
 
 void Matrix::Fill(double v) {
   for (double& x : data_) x = v;

@@ -1,21 +1,48 @@
 #ifndef TRMMA_NN_MATRIX_H_
 #define TRMMA_NN_MATRIX_H_
 
+#include <cstdint>
 #include <vector>
 
 namespace trmma {
 namespace nn {
 
+/// Process-wide matrix storage accounting, maintained by every Matrix
+/// special member. Feeds the op profiler's bytes-per-op column and the
+/// training telemetry's peak-bytes field.
+struct MatrixAllocStats {
+  int64_t total_bytes = 0;  ///< cumulative bytes ever allocated
+  int64_t live_bytes = 0;   ///< bytes currently held by live matrices
+  int64_t peak_bytes = 0;   ///< high-water mark of live_bytes
+};
+
+MatrixAllocStats GetMatrixAllocStats();
+
+/// Cumulative allocated bytes (monotonic); cheap single atomic load, used
+/// by the profiler to attribute allocation deltas to ops.
+int64_t MatrixBytesAllocated();
+
+/// Resets the peak-bytes high-water mark to the current live bytes, so a
+/// training step can report its own peak.
+void ResetMatrixPeakBytes();
+
 /// Dense row-major matrix of doubles: the storage type of the from-scratch
 /// neural-network substrate. Double precision keeps numerical gradient
 /// checks tight; model dimensions in this project are small (d <= 64) so
-/// the cost is acceptable.
+/// the cost is acceptable. All special members keep the process-wide
+/// allocation stats above in sync (one relaxed atomic op each — far below
+/// the cost of the heap allocation itself).
 class Matrix {
  public:
   Matrix() = default;
   /// Zero-initialized rows x cols matrix.
   Matrix(int rows, int cols);
   Matrix(int rows, int cols, double fill);
+  Matrix(const Matrix& o);
+  Matrix(Matrix&& o) noexcept;
+  Matrix& operator=(const Matrix& o);
+  Matrix& operator=(Matrix&& o) noexcept;
+  ~Matrix();
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "nn/profiler.h"
 
 namespace trmma {
 namespace nn {
@@ -19,10 +20,12 @@ double SigmoidScalar(double x) {
 }  // namespace
 
 Tensor Input(Tape& tape, Matrix value) {
+  OpScope prof("input");
   return tape.NewNode(std::move(value), nullptr);
 }
 
 Tensor FromParam(Tape& tape, Param& param) {
+  OpScope prof("from_param");
   Matrix copy = param.value;
   Param* p = &param;
   return tape.NewNode(std::move(copy), [p](Tape& t, int self) {
@@ -31,6 +34,8 @@ Tensor FromParam(Tape& tape, Param& param) {
 }
 
 Tensor MatMul(Tensor a, Tensor b) {
+  OpScope prof("matmul");
+  prof.AddFlops(2.0 * a.rows() * a.cols() * b.cols());
   Tape& tape = *a.tape();
   Matrix out;
   nn::MatMul(a.value(), b.value(), &out);
@@ -44,6 +49,8 @@ Tensor MatMul(Tensor a, Tensor b) {
 }
 
 Tensor MatMulParam(Tensor x, Param& w) {
+  OpScope prof("matmul_param");
+  prof.AddFlops(2.0 * x.rows() * x.cols() * w.value.cols());
   Tape& tape = *x.tape();
   Matrix out;
   nn::MatMul(x.value(), w.value, &out);
@@ -57,6 +64,9 @@ Tensor MatMulParam(Tensor x, Param& w) {
 }
 
 Tensor Affine(Tensor x, Param& w, Param& b) {
+  OpScope prof("affine");
+  prof.AddFlops(2.0 * x.rows() * x.cols() * w.value.cols() +
+                static_cast<double>(x.rows()) * w.value.cols());
   TRMMA_CHECK_EQ(b.value.rows(), 1);
   TRMMA_CHECK_EQ(b.value.cols(), w.value.cols());
   Tape& tape = *x.tape();
@@ -80,6 +90,7 @@ Tensor Affine(Tensor x, Param& w, Param& b) {
 
 Tensor EmbeddingLookup(Tape& tape, Param& table,
                        const std::vector<int>& ids) {
+  OpScope prof("embedding_lookup");
   const int d = table.value.cols();
   Matrix out(static_cast<int>(ids.size()), d);
   for (size_t r = 0; r < ids.size(); ++r) {
@@ -103,6 +114,8 @@ Tensor EmbeddingLookup(Tape& tape, Param& table,
 }
 
 Tensor Add(Tensor a, Tensor b) {
+  OpScope prof("add");
+  prof.AddFlops(a.value().size());
   TRMMA_CHECK(a.value().SameShape(b.value()));
   Tape& tape = *a.tape();
   Matrix out = a.value();
@@ -117,6 +130,8 @@ Tensor Add(Tensor a, Tensor b) {
 }
 
 Tensor Sub(Tensor a, Tensor b) {
+  OpScope prof("sub");
+  prof.AddFlops(a.value().size());
   TRMMA_CHECK(a.value().SameShape(b.value()));
   Tape& tape = *a.tape();
   Matrix out = a.value();
@@ -131,6 +146,8 @@ Tensor Sub(Tensor a, Tensor b) {
 }
 
 Tensor Mul(Tensor a, Tensor b) {
+  OpScope prof("mul");
+  prof.AddFlops(a.value().size());
   TRMMA_CHECK(a.value().SameShape(b.value()));
   Tape& tape = *a.tape();
   Matrix out = a.value();
@@ -151,6 +168,8 @@ Tensor Mul(Tensor a, Tensor b) {
 }
 
 Tensor Scale(Tensor a, double alpha) {
+  OpScope prof("scale");
+  prof.AddFlops(a.value().size());
   Tape& tape = *a.tape();
   Matrix out = a.value();
   for (int i = 0; i < out.size(); ++i) out.data()[i] *= alpha;
@@ -161,6 +180,8 @@ Tensor Scale(Tensor a, double alpha) {
 }
 
 Tensor OneMinus(Tensor a) {
+  OpScope prof("one_minus");
+  prof.AddFlops(a.value().size());
   Tape& tape = *a.tape();
   Matrix out = a.value();
   for (int i = 0; i < out.size(); ++i) out.data()[i] = 1.0 - out.data()[i];
@@ -171,6 +192,8 @@ Tensor OneMinus(Tensor a) {
 }
 
 Tensor Relu(Tensor a) {
+  OpScope prof("relu");
+  prof.AddFlops(a.value().size());
   Tape& tape = *a.tape();
   Matrix out = a.value();
   for (int i = 0; i < out.size(); ++i) {
@@ -188,6 +211,8 @@ Tensor Relu(Tensor a) {
 }
 
 Tensor Sigmoid(Tensor a) {
+  OpScope prof("sigmoid");
+  prof.AddFlops(4.0 * a.value().size());
   Tape& tape = *a.tape();
   Matrix out = a.value();
   for (int i = 0; i < out.size(); ++i) {
@@ -205,6 +230,8 @@ Tensor Sigmoid(Tensor a) {
 }
 
 Tensor Tanh(Tensor a) {
+  OpScope prof("tanh");
+  prof.AddFlops(4.0 * a.value().size());
   Tape& tape = *a.tape();
   Matrix out = a.value();
   for (int i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
@@ -220,6 +247,8 @@ Tensor Tanh(Tensor a) {
 }
 
 Tensor SoftmaxRows(Tensor a) {
+  OpScope prof("softmax_rows");
+  prof.AddFlops(5.0 * a.value().size());
   Tape& tape = *a.tape();
   Matrix out = a.value();
   for (int r = 0; r < out.rows(); ++r) {
@@ -249,6 +278,8 @@ Tensor SoftmaxRows(Tensor a) {
 }
 
 Tensor LayerNormRows(Tensor x, Param& gamma, Param& beta, double eps) {
+  OpScope prof("layer_norm_rows");
+  prof.AddFlops(8.0 * x.value().size());
   const int d = x.cols();
   TRMMA_CHECK_EQ(gamma.value.cols(), d);
   TRMMA_CHECK_EQ(beta.value.cols(), d);
@@ -306,6 +337,7 @@ Tensor LayerNormRows(Tensor x, Param& gamma, Param& beta, double eps) {
 }
 
 Tensor ConcatCols(Tensor a, Tensor b) {
+  OpScope prof("concat_cols");
   TRMMA_CHECK_EQ(a.rows(), b.rows());
   Tape& tape = *a.tape();
   const int ca = a.cols();
@@ -329,6 +361,7 @@ Tensor ConcatCols(Tensor a, Tensor b) {
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  OpScope prof("concat_rows");
   TRMMA_CHECK(!parts.empty());
   Tape& tape = *parts[0].tape();
   const int cols = parts[0].cols();
@@ -364,6 +397,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 }
 
 Tensor SliceCols(Tensor a, int start, int len) {
+  OpScope prof("slice_cols");
   TRMMA_CHECK_GE(start, 0);
   TRMMA_CHECK_LE(start + len, a.cols());
   Tape& tape = *a.tape();
@@ -382,6 +416,7 @@ Tensor SliceCols(Tensor a, int start, int len) {
 }
 
 Tensor SliceRows(Tensor a, int start, int len) {
+  OpScope prof("slice_rows");
   TRMMA_CHECK_GE(start, 0);
   TRMMA_CHECK_LE(start + len, a.rows());
   Tape& tape = *a.tape();
@@ -400,6 +435,7 @@ Tensor SliceRows(Tensor a, int start, int len) {
 }
 
 Tensor Transpose(Tensor a) {
+  OpScope prof("transpose");
   Tape& tape = *a.tape();
   Matrix out(a.cols(), a.rows());
   for (int r = 0; r < a.rows(); ++r) {
@@ -416,6 +452,7 @@ Tensor Transpose(Tensor a) {
 }
 
 Tensor RepeatRows(Tensor a, int n) {
+  OpScope prof("repeat_rows");
   TRMMA_CHECK_EQ(a.rows(), 1);
   Tape& tape = *a.tape();
   Matrix out(n, a.cols());
@@ -433,6 +470,8 @@ Tensor RepeatRows(Tensor a, int n) {
 }
 
 Tensor MeanRows(Tensor a) {
+  OpScope prof("mean_rows");
+  prof.AddFlops(a.value().size());
   Tape& tape = *a.tape();
   const int n = a.rows();
   Matrix out(1, a.cols());
@@ -451,6 +490,8 @@ Tensor MeanRows(Tensor a) {
 }
 
 Tensor SumAll(Tensor a) {
+  OpScope prof("sum_all");
+  prof.AddFlops(a.value().size());
   Tape& tape = *a.tape();
   Matrix out(1, 1);
   out.at(0, 0) = a.value().Sum();
@@ -463,6 +504,8 @@ Tensor SumAll(Tensor a) {
 }
 
 Tensor BceWithLogits(Tensor logits, Matrix targets) {
+  OpScope prof("bce_with_logits");
+  prof.AddFlops(6.0 * logits.value().size());
   TRMMA_CHECK(logits.value().SameShape(targets));
   Tape& tape = *logits.tape();
   const Matrix& z = logits.value();
@@ -487,6 +530,8 @@ Tensor BceWithLogits(Tensor logits, Matrix targets) {
 }
 
 Tensor L1Loss(Tensor pred, Matrix targets) {
+  OpScope prof("l1_loss");
+  prof.AddFlops(2.0 * pred.value().size());
   TRMMA_CHECK(pred.value().SameShape(targets));
   Tape& tape = *pred.tape();
   const Matrix& p = pred.value();
@@ -510,6 +555,8 @@ Tensor L1Loss(Tensor pred, Matrix targets) {
 }
 
 Tensor SoftmaxCrossEntropy(Tensor logits, const std::vector<int>& targets) {
+  OpScope prof("softmax_xent");
+  prof.AddFlops(5.0 * logits.value().size());
   TRMMA_CHECK_EQ(static_cast<size_t>(logits.rows()), targets.size());
   Tape& tape = *logits.tape();
   const Matrix& z = logits.value();

@@ -1,0 +1,42 @@
+#include "nn/telemetry.h"
+
+#include <cmath>
+
+#include "nn/matrix.h"
+#include "obs/train_log.h"
+
+namespace trmma {
+namespace nn {
+
+void LogTrainStep(const char* model, const Adam& opt, double mean_loss,
+                  int64_t examples, double step_seconds, int64_t epoch) {
+  obs::TrainLogger& logger = obs::TrainLogger::Global();
+  if (!logger.Enabled()) return;
+
+  double param_norm2 = 0.0;
+  for (const Param* p : opt.params()) {
+    for (int i = 0; i < p->value.size(); ++i) {
+      param_norm2 += p->value.data()[i] * p->value.data()[i];
+    }
+  }
+  const double param_norm = std::sqrt(param_norm2);
+
+  obs::TrainStepRow row;
+  row.model = model;
+  row.step = opt.num_steps();
+  row.epoch = epoch;
+  row.loss = mean_loss;
+  row.grad_norm = opt.last_grad_norm();
+  row.param_norm = param_norm;
+  row.update_ratio =
+      param_norm > 0.0 ? opt.last_update_norm() / param_norm : 0.0;
+  row.examples = examples;
+  row.examples_per_sec =
+      step_seconds > 0.0 ? static_cast<double>(examples) / step_seconds : 0.0;
+  row.peak_bytes = GetMatrixAllocStats().peak_bytes;
+  ResetMatrixPeakBytes();
+  logger.LogStep(row);
+}
+
+}  // namespace nn
+}  // namespace trmma

@@ -1,0 +1,24 @@
+#ifndef TRMMA_NN_TELEMETRY_H_
+#define TRMMA_NN_TELEMETRY_H_
+
+#include <cstdint>
+
+#include "nn/adam.h"
+
+namespace trmma {
+namespace nn {
+
+/// Publishes one training-step row to obs::TrainLogger::Global() after an
+/// optimizer step: loss, the optimizer's last grad/update norms, the
+/// current global parameter norm, update ratio, throughput, and the peak
+/// matrix bytes since the previous logged step (the peak counter is reset
+/// on each call). `model` must be static-storage (a literal tag like
+/// "mma"). A relaxed-load no-op when telemetry is disabled, so training
+/// loops can call it unconditionally.
+void LogTrainStep(const char* model, const Adam& opt, double mean_loss,
+                  int64_t examples, double step_seconds, int64_t epoch = -1);
+
+}  // namespace nn
+}  // namespace trmma
+
+#endif  // TRMMA_NN_TELEMETRY_H_

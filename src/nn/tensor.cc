@@ -1,12 +1,16 @@
 #include "nn/tensor.h"
 
 #include "common/logging.h"
+#include "nn/profiler.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace nn {
 
 Tensor Tape::NewNode(Matrix value, BackwardFn backward) {
-  nodes_.push_back(NodeRecord{std::move(value), Matrix(), std::move(backward)});
+  NodeRecord node{std::move(value), Matrix(), std::move(backward), nullptr};
+  if (OpProfiler::Enabled()) node.op_name = CurrentProfiledOp();
+  nodes_.push_back(std::move(node));
   return Tensor(this, static_cast<int>(nodes_.size()) - 1);
 }
 
@@ -23,9 +27,18 @@ void Tape::Backward(const Tensor& loss) {
   TRMMA_CHECK_EQ(loss.rows(), 1);
   TRMMA_CHECK_EQ(loss.cols(), 1);
   grad(loss.id()).at(0, 0) = 1.0;
+  const bool profiled = OpProfiler::Enabled();
   for (int id = loss.id(); id >= 0; --id) {
     NodeRecord& node = nodes_[id];
-    if (node.backward && !node.grad.empty()) {
+    if (!node.backward || node.grad.empty()) continue;
+    if (profiled && node.op_name != nullptr) {
+      const int64_t bytes0 = MatrixBytesAllocated();
+      const double t0 = obs::NowMicros();
+      node.backward(*this, id);
+      OpProfiler::Global().RecordBackward(node.op_name,
+                                          obs::NowMicros() - t0,
+                                          MatrixBytesAllocated() - bytes0);
+    } else {
       node.backward(*this, id);
     }
   }

@@ -85,6 +85,10 @@ class Tape {
     Matrix value;
     Matrix grad;  ///< empty until first accessed
     BackwardFn backward;
+    /// Static-storage op name captured from the enclosing OpScope when the
+    /// op profiler is enabled (nullptr otherwise); lets Backward attribute
+    /// each backward closure to the op that created the node.
+    const char* op_name = nullptr;
   };
   std::vector<NodeRecord> nodes_;
 };

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/train_log.h"
 
 namespace trmma {
 namespace {
@@ -81,7 +83,12 @@ nn::Matrix TrainNode2Vec(const RoadNetwork& network,
     }
   };
 
-  // Skip-gram with negative sampling over all walks.
+  // Skip-gram with negative sampling over all walks. Loss bookkeeping is
+  // gated on telemetry being on: the log() per pair is measurable at this
+  // loop's grain.
+  const bool log_training = obs::TrainLogger::Global().Enabled();
+  double epoch_loss = 0.0;
+  int64_t epoch_pairs = 0;
   std::vector<double> grad_center(d);
   auto train_pair = [&](int c, int o, double lr) {
     std::fill(grad_center.begin(), grad_center.end(), 0.0);
@@ -93,13 +100,19 @@ nn::Matrix TrainNode2Vec(const RoadNetwork& network,
       double* uo = context.row(target);
       double dot = 0.0;
       for (int j = 0; j < d; ++j) dot += vc[j] * uo[j];
-      const double err = SigmoidScalar(dot) - label;
+      const double sig = SigmoidScalar(dot);
+      const double err = sig - label;
+      if (log_training) {
+        const double p = label > 0.5 ? sig : 1.0 - sig;
+        epoch_loss += -std::log(std::max(p, 1e-12));
+      }
       for (int j = 0; j < d; ++j) {
         grad_center[j] += err * uo[j];
         uo[j] -= lr * err * vc[j];
       }
     }
     for (int j = 0; j < d; ++j) vc[j] -= lr * grad_center[j];
+    ++epoch_pairs;
   };
 
   std::vector<int> order(n);
@@ -107,7 +120,10 @@ nn::Matrix TrainNode2Vec(const RoadNetwork& network,
   const int64_t total_steps = static_cast<int64_t>(config.epochs) *
                               config.walks_per_node * n;
   int64_t step = 0;
+  Stopwatch epoch_watch;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    epoch_loss = 0.0;
+    epoch_pairs = 0;
     for (int w = 0; w < config.walks_per_node; ++w) {
       rng.Shuffle(order);
       for (int start : order) {
@@ -126,6 +142,22 @@ nn::Matrix TrainNode2Vec(const RoadNetwork& network,
         // node even for isolated segments (walk of length 1 trains nothing,
         // leaving the random init, which is acceptable for dead ends).
       }
+    }
+    if (log_training) {
+      // SGD without an optimizer object: one telemetry row per epoch, with
+      // the fields an Adam step would fill left at zero.
+      const double seconds = epoch_watch.LapMillis() / 1e3;
+      obs::TrainStepRow row;
+      row.model = "node2vec";
+      row.step = epoch + 1;
+      row.epoch = epoch;
+      row.loss = epoch_pairs > 0
+                     ? epoch_loss / static_cast<double>(epoch_pairs)
+                     : 0.0;
+      row.examples = epoch_pairs;
+      row.examples_per_sec =
+          seconds > 0.0 ? static_cast<double>(epoch_pairs) / seconds : 0.0;
+      obs::TrainLogger::Global().LogStep(row);
     }
   }
   return center;

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -13,7 +15,14 @@ namespace {
 
 int ModeFromEnv() {
   const char* env = std::getenv("TRMMA_TRACE");
-  if (env == nullptr || *env == '\0') return static_cast<int>(TraceMode::kOff);
+  if (env == nullptr || *env == '\0') {
+    // Asking for a trace file is asking for tracing.
+    const char* file = std::getenv("TRMMA_TRACE_FILE");
+    if (file != nullptr && *file != '\0') {
+      return static_cast<int>(TraceMode::kTrace);
+    }
+    return static_cast<int>(TraceMode::kOff);
+  }
   if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
     return static_cast<int>(TraceMode::kOff);
   }
@@ -74,6 +83,10 @@ Histogram::Histogram(std::vector<double> bounds)
 }
 
 void Histogram::Observe(double v) {
+  if (!std::isfinite(v)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const size_t idx = static_cast<size_t>(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
@@ -103,6 +116,12 @@ double Histogram::Quantile(double q) const {
   int64_t total = 0;
   for (int64_t c : counts) total += c;
   if (total == 0) return 0.0;
+  // Snapshot min/max once. A Reset() racing this read can leave the
+  // sentinels in place while bucket counts are nonzero; treating that as
+  // empty beats interpolating against 1e300.
+  const double min_snap = min_.load(std::memory_order_relaxed);
+  const double max_snap = max_.load(std::memory_order_relaxed);
+  if (min_snap > max_snap) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total);
   int64_t cum = 0;
@@ -112,10 +131,10 @@ double Histogram::Quantile(double q) const {
     if (static_cast<double>(next) >= target) {
       // Interpolate inside bucket i. Bucket range: (lower, upper], with the
       // observed min/max tightening the outermost buckets.
-      double lower = i == 0 ? Min() : bounds_[i - 1];
-      double upper = i < bounds_.size() ? bounds_[i] : Max();
-      lower = std::max(lower, Min());
-      upper = std::min(upper, Max());
+      double lower = i == 0 ? min_snap : bounds_[i - 1];
+      double upper = i < bounds_.size() ? bounds_[i] : max_snap;
+      lower = std::max(lower, min_snap);
+      upper = std::min(upper, max_snap);
       if (upper < lower) upper = lower;
       const double frac =
           (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
@@ -123,7 +142,7 @@ double Histogram::Quantile(double q) const {
     }
     cum = next;
   }
-  return Max();
+  return max_snap;
 }
 
 std::vector<int64_t> Histogram::BucketCounts() const {
@@ -135,11 +154,15 @@ std::vector<int64_t> Histogram::BucketCounts() const {
 }
 
 void Histogram::Reset() {
+  // Clear min/max to the empty sentinels first: Quantile treats the
+  // inverted pair as "empty" and bails, so a reader racing this reset gets
+  // 0 instead of an interpolation against stale extremes.
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(kEmptyMax, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(kEmptyMin, std::memory_order_relaxed);
-  max_.store(kEmptyMax, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<double> Histogram::ExponentialBounds(double start, double factor,
@@ -159,8 +182,29 @@ const std::vector<double>& Histogram::DefaultLatencyBounds() {
   return bounds;
 }
 
+namespace {
+
+void InstallMetricsFileAtExit() {
+  const char* path = std::getenv("TRMMA_METRICS_FILE");
+  if (path == nullptr || *path == '\0') return;
+  std::atexit([] {
+    const char* p = std::getenv("TRMMA_METRICS_FILE");
+    if (p == nullptr || *p == '\0') return;
+    const std::string text = MetricRegistry::Global().WriteText();
+    std::FILE* f = std::fopen(p, "w");
+    if (f == nullptr) return;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  });
+}
+
+}  // namespace
+
 MetricRegistry& MetricRegistry::Global() {
-  static MetricRegistry* registry = new MetricRegistry();
+  static MetricRegistry* registry = [] {
+    InstallMetricsFileAtExit();
+    return new MetricRegistry();
+  }();
   return *registry;
 }
 
@@ -258,6 +302,87 @@ std::string MetricRegistry::TextDump() const {
                   h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99),
                   h.Max());
     out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; this repo's
+/// dotted names ("mm.candidates.total") map dots and other bytes to '_'.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PromLabels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += PromName(k) + "=\"";
+    for (char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricRegistry::WriteText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[192];
+  for (const auto& [key, entry] : counters_) {
+    const std::string name = PromName(entry.first.name);
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(buf, sizeof(buf), " %lld\n",
+                  static_cast<long long>(entry.second->Value()));
+    out += name + PromLabels(entry.first.labels) + buf;
+  }
+  for (const auto& [key, entry] : gauges_) {
+    const std::string name = PromName(entry.first.name);
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(buf, sizeof(buf), " %.17g\n", entry.second->Value());
+    out += name + PromLabels(entry.first.labels) + buf;
+  }
+  for (const auto& [key, entry] : histograms_) {
+    const Histogram& h = *entry.second;
+    const std::string name = PromName(entry.first.name);
+    out += "# TYPE " + name + " summary\n";
+    static constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+    for (double q : kQuantiles) {
+      char qlabel[48];
+      std::snprintf(qlabel, sizeof(qlabel), "quantile=\"%g\"", q);
+      std::snprintf(buf, sizeof(buf), " %.17g\n", h.Quantile(q));
+      out += name + PromLabels(entry.first.labels, qlabel) + buf;
+    }
+    std::snprintf(buf, sizeof(buf), " %.17g\n", h.Sum());
+    out += name + "_sum" + PromLabels(entry.first.labels) + buf;
+    std::snprintf(buf, sizeof(buf), " %lld\n",
+                  static_cast<long long>(h.Count()));
+    out += name + "_count" + PromLabels(entry.first.labels) + buf;
   }
   return out;
 }

@@ -77,9 +77,14 @@ class Histogram {
   /// DefaultLatencyBounds().
   explicit Histogram(std::vector<double> bounds = {});
 
+  /// Non-finite values are dropped (they would poison sum/quantiles) and
+  /// tallied in DroppedCount().
   void Observe(double v);
 
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t DroppedCount() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Min() const;  ///< 0 when empty
   double Max() const;  ///< 0 when empty
@@ -102,6 +107,7 @@ class Histogram {
   std::vector<double> bounds_;
   std::vector<std::atomic<int64_t>> buckets_;
   std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> dropped_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
@@ -133,6 +139,10 @@ class MetricRegistry {
   std::string TextDump() const;
   /// {"counters":[...],"gauges":[...],"histograms":[...]} — see DESIGN.md.
   std::string JsonDump() const;
+  /// Prometheus text exposition format (version 0.0.4): `# TYPE` headers,
+  /// sanitized metric names (dots become underscores), histograms rendered
+  /// as summaries with quantile labels plus _sum/_count.
+  std::string WriteText() const;
 
  private:
   /// Canonical map key: name{k=v,...} with labels sorted by key.

@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <ctime>
 
+#include "nn/profiler.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/train_log.h"
 
 namespace trmma {
 namespace obs {
@@ -56,8 +58,12 @@ void RunReport::SetFingerprintNumber(const std::string& key, double value) {
 }
 
 std::string RunReport::ToJson() const {
-  // The metrics snapshot is taken outside our lock (separate subsystem).
+  // Subsystem snapshots are taken outside our lock (separate subsystems).
   const std::string metrics_json = MetricRegistry::Global().JsonDump();
+  const std::string op_profile_json = nn::OpProfiler::Global().ToJson();
+  const std::string training_json = TrainLogger::Global().HasRows()
+                                        ? TrainLogger::Global().SummaryJson()
+                                        : std::string();
 
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
@@ -91,10 +97,20 @@ std::string RunReport::ToJson() const {
   w.EndObject();
   std::string out = w.TakeString();
   // Splice the registry snapshot in as the "metrics" member: drop our
-  // closing '}' and append.
+  // closing '}' and append. The op-profile and training sections come from
+  // their own subsystems the same way, and only when they have data, so
+  // unprofiled runs keep the original schema.
   out.pop_back();
   out += ",\"metrics\":";
   out += metrics_json;
+  if (op_profile_json != "[]") {
+    out += ",\"op_profile\":";
+    out += op_profile_json;
+  }
+  if (!training_json.empty()) {
+    out += ",\"training\":";
+    out += training_json;
+  }
   out += '}';
   return out;
 }

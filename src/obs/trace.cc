@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/trace_export.h"
+
 namespace trmma {
 namespace obs {
 namespace {
@@ -34,8 +36,18 @@ double NowMicros() {
       .count();
 }
 
+int ThreadTraceId() {
+  static std::atomic<int> next_tid{0};
+  thread_local const int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
 TraceRing& TraceRing::Global() {
-  static TraceRing* ring = new TraceRing();
+  static TraceRing* ring = [] {
+    // Any binary that traces gets a $TRMMA_TRACE_FILE export on exit.
+    InstallChromeTraceAtExit();
+    return new TraceRing();
+  }();
   return *ring;
 }
 
@@ -60,6 +72,7 @@ void TraceRing::EndSpan(double end_us) {
   rec.seq = open.seq;
   rec.parent_seq = open.parent_seq;
   rec.depth = open.depth;
+  rec.tid = ThreadTraceId();
   rec.start_us = open.start_us;
   rec.duration_us = end_us - open.start_us;
   Record(rec);

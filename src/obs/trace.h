@@ -21,6 +21,7 @@ struct SpanRecord {
   int64_t seq = -1;
   int64_t parent_seq = -1;
   int depth = 0;
+  int tid = 0;  ///< small per-process thread id (see ThreadTraceId)
   double start_us = 0.0;  ///< since process start
   double duration_us = 0.0;
 };
@@ -62,6 +63,12 @@ class TraceRing {
 
 /// Microseconds on the steady clock since process start.
 double NowMicros();
+
+/// Small dense id for the calling thread (0 for the first thread to ask,
+/// then 1, 2, ...). Chrome trace viewers nest complete events by time
+/// containment per thread lane, so spans carry this instead of the opaque
+/// native thread id.
+int ThreadTraceId();
 
 /// Per-call-site state for TRMMA_SPAN: caches the span's histogram so the
 /// enabled path does one atomic pointer load instead of a registry lookup.

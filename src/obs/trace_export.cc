@@ -1,0 +1,88 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace trmma {
+namespace obs {
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& records) {
+  // Emit in start order so the file reads top-down like the call tree.
+  std::vector<SpanRecord> sorted = records;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.seq < b.seq;
+                   });
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const SpanRecord& rec : sorted) {
+    w.BeginObject();
+    w.Key("name").String(rec.name != nullptr ? rec.name : "?");
+    w.Key("cat").String("span");
+    w.Key("ph").String("X");
+    w.Key("ts").Number(rec.start_us);
+    w.Key("dur").Number(rec.duration_us);
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(rec.tid);
+    w.Key("args").BeginObject();
+    w.Key("seq").Int(rec.seq);
+    w.Key("parent_seq").Int(rec.parent_seq);
+    w.Key("depth").Int(rec.depth);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string ChromeTraceJson(const TraceRing& ring) {
+  return ChromeTraceJson(ring.Snapshot());
+}
+
+bool WriteChromeTrace(const TraceRing& ring, const std::string& path) {
+  const std::string json = ChromeTraceJson(ring);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    TRMMA_LOG(Error) << "cannot open trace file " << path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    TRMMA_LOG(Error) << "short write to trace file " << path;
+    return false;
+  }
+  return true;
+}
+
+std::string ExportChromeTraceFromEnv() {
+  const char* path = std::getenv("TRMMA_TRACE_FILE");
+  if (path == nullptr || *path == '\0') return "";
+  if (TraceRing::Global().Snapshot().empty()) return "";
+  if (!WriteChromeTrace(TraceRing::Global(), path)) return "";
+  return path;
+}
+
+void InstallChromeTraceAtExit() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::atexit([] {
+      const std::string path = ExportChromeTraceFromEnv();
+      if (!path.empty()) {
+        std::fprintf(stderr, "[trmma] chrome trace written to %s\n",
+                     path.c_str());
+      }
+    });
+  });
+}
+
+}  // namespace obs
+}  // namespace trmma

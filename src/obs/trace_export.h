@@ -1,0 +1,39 @@
+#ifndef TRMMA_OBS_TRACE_EXPORT_H_
+#define TRMMA_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace trmma {
+namespace obs {
+
+/// Renders span records as Chrome trace-event JSON — the format consumed by
+/// chrome://tracing and https://ui.perfetto.dev. Each span becomes one
+/// complete ("ph":"X") event; viewers reconstruct nesting from time
+/// containment within a (pid, tid) lane, which holds because spans are
+/// strictly nested per thread. The span's seq/parent_seq survive in "args"
+/// so exact parentage is recoverable even for equal timestamps.
+std::string ChromeTraceJson(const std::vector<SpanRecord>& records);
+
+/// Snapshot of `ring` rendered with ChromeTraceJson.
+std::string ChromeTraceJson(const TraceRing& ring);
+
+/// Writes the ring snapshot to `path`. Returns false (and logs) on I/O
+/// failure.
+bool WriteChromeTrace(const TraceRing& ring, const std::string& path);
+
+/// Writes the global ring to $TRMMA_TRACE_FILE if that is set and the ring
+/// holds at least one span. Returns the path written, or "" if disabled or
+/// empty. Safe to call multiple times; each call rewrites the file.
+std::string ExportChromeTraceFromEnv();
+
+/// Registers a process-exit hook (once) that calls ExportChromeTraceFromEnv,
+/// so any binary that traces gets a trace file without bench plumbing.
+void InstallChromeTraceAtExit();
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_TRACE_EXPORT_H_

@@ -1,0 +1,76 @@
+#ifndef TRMMA_OBS_TRAIN_LOG_H_
+#define TRMMA_OBS_TRAIN_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace trmma {
+namespace obs {
+
+/// One optimizer-step observation from a training loop.
+struct TrainStepRow {
+  const char* model = "";  ///< static-storage model tag ("mma", "trmma", ...)
+  int64_t step = 0;        ///< optimizer step index within this run
+  int64_t epoch = -1;      ///< -1 when the loop has no epoch notion
+  double loss = 0.0;       ///< mean loss over the examples in this step
+  double grad_norm = 0.0;  ///< global grad L2 norm before clipping
+  double param_norm = 0.0; ///< global parameter L2 norm after the update
+  double update_ratio = 0.0;  ///< |update| / |params| (0 if params empty)
+  int64_t examples = 0;    ///< examples consumed by this step
+  double examples_per_sec = 0.0;
+  int64_t peak_bytes = 0;  ///< peak matrix bytes since the previous step
+};
+
+/// Per-step training telemetry sink. When enabled it appends one JSON line
+/// per LogStep to the configured file, mirrors the latest values onto
+/// gauges in the global MetricRegistry, bumps anomaly counters for
+/// non-finite losses and exploding gradients, and keeps per-model
+/// aggregates for the run report's "training" section.
+///
+/// Enabled when a file is set (constructor reads $TRMMA_TRAIN_LOG, or call
+/// SetFile) or when MetricsEnabled() — without a file, rows still feed the
+/// registry and aggregates. Callers should gate the (mildly expensive)
+/// norm computations on Enabled().
+class TrainLogger {
+ public:
+  static TrainLogger& Global();
+
+  bool Enabled() const;
+
+  /// Redirects the JSONL stream; "" closes it. Thread-safe.
+  void SetFile(const std::string& path);
+  std::string FilePath() const;
+
+  void LogStep(const TrainStepRow& row);
+
+  /// Per-model aggregates since the last ResetSummary, as a JSON array:
+  /// [{"model","steps","last_loss","mean_loss","max_grad_norm",
+  ///   "anomalies"},...]. Empty array when nothing was logged.
+  std::string SummaryJson() const;
+  bool HasRows() const;
+  void ResetSummary();
+
+ private:
+  TrainLogger();
+
+  struct ModelAgg {
+    int64_t steps = 0;
+    double last_loss = 0.0;
+    double loss_sum = 0.0;
+    double max_grad_norm = 0.0;
+    int64_t anomalies = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::map<std::string, ModelAgg> aggregates_;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_TRAIN_LOG_H_

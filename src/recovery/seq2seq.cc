@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "nn/ops.h"
+#include "nn/telemetry.h"
 
 namespace trmma {
 
@@ -110,6 +112,10 @@ double Seq2SeqRecovery::TrainEpoch(const Dataset& dataset, Rng& rng) {
   double total_loss = 0.0;
   int64_t total_points = 0;
   int in_batch = 0;
+  double batch_loss = 0.0;
+  int64_t batch_points = 0;
+  Stopwatch step_watch;
+  const int64_t epoch = epochs_trained_++;
   nn::Tape tape;
   for (int idx : order) {
     const TrajectorySample& sample = dataset.samples[idx];
@@ -142,14 +148,26 @@ double Seq2SeqRecovery::TrainEpoch(const Dataset& dataset, Rng& rng) {
     loss = ops::Scale(loss, 1.0 / count);
     total_loss += loss.value().at(0, 0) * count;
     total_points += count;
+    batch_loss += loss.value().at(0, 0) * count;
+    batch_points += count;
     tape.Backward(loss);
     tape.Clear();
     if (++in_batch == config_.batch_size) {
       optimizer_->Step();
+      nn::LogTrainStep("seq2seq", *optimizer_,
+                       batch_points > 0 ? batch_loss / batch_points : 0.0,
+                       batch_points, step_watch.LapMillis() / 1e3, epoch);
       in_batch = 0;
+      batch_loss = 0.0;
+      batch_points = 0;
     }
   }
-  if (in_batch > 0) optimizer_->Step();
+  if (in_batch > 0) {
+    optimizer_->Step();
+    nn::LogTrainStep("seq2seq", *optimizer_,
+                     batch_points > 0 ? batch_loss / batch_points : 0.0,
+                     batch_points, step_watch.LapMillis() / 1e3, epoch);
+  }
   return total_points > 0 ? total_loss / total_points : 0.0;
 }
 

@@ -80,6 +80,7 @@ class Seq2SeqRecovery : public RecoveryMethod, public nn::Module {
   nn::Linear output_fc_;  ///< hidden -> |E| logits: the costly output layer
   nn::Mlp ratio_mlp_;
   std::unique_ptr<nn::Adam> optimizer_;
+  int64_t epochs_trained_ = 0;  ///< epoch index reported in train telemetry
 };
 
 }  // namespace trmma

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "nn/telemetry.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -376,6 +378,10 @@ double TrmmaRecovery::TrainEpoch(const Dataset& dataset, Rng& rng) {
   double total_loss = 0.0;
   int64_t total_points = 0;
   int in_batch = 0;
+  double batch_loss = 0.0;
+  int64_t batch_points = 0;
+  Stopwatch step_watch;
+  const int64_t epoch = epochs_trained_++;
   nn::Tape tape;
   for (int idx : order) {
     const TrajectorySample& sample = dataset.samples[idx];
@@ -495,14 +501,26 @@ double TrmmaRecovery::TrainEpoch(const Dataset& dataset, Rng& rng) {
     loss = ops::Scale(loss, 1.0 / num_predicted);
     total_loss += loss.value().at(0, 0) * num_predicted;
     total_points += num_predicted;
+    batch_loss += loss.value().at(0, 0) * num_predicted;
+    batch_points += num_predicted;
     tape.Backward(loss);
     tape.Clear();
     if (++in_batch == config_.batch_size) {
       optimizer_->Step();
+      nn::LogTrainStep("trmma", *optimizer_,
+                       batch_points > 0 ? batch_loss / batch_points : 0.0,
+                       batch_points, step_watch.LapMillis() / 1e3, epoch);
       in_batch = 0;
+      batch_loss = 0.0;
+      batch_points = 0;
     }
   }
-  if (in_batch > 0) optimizer_->Step();
+  if (in_batch > 0) {
+    optimizer_->Step();
+    nn::LogTrainStep("trmma", *optimizer_,
+                     batch_points > 0 ? batch_loss / batch_points : 0.0,
+                     batch_points, step_watch.LapMillis() / 1e3, epoch);
+  }
   return total_points > 0 ? total_loss / total_points : 0.0;
 }
 

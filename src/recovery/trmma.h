@@ -162,6 +162,7 @@ class TrmmaRecovery : public RecoveryMethod, public nn::Module {
   nn::Mlp cls_mlp_;           ///< Eq. 15
   nn::Mlp ratio_mlp_;         ///< Eq. 18
   std::unique_ptr<nn::Adam> optimizer_;
+  int64_t epochs_trained_ = 0;  ///< epoch index reported in train telemetry
 };
 
 }  // namespace trmma

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/matrix.h"
+#include "nn/ops.h"
+#include "nn/profiler.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+#include "obs/trace.h"
+
+namespace trmma {
+namespace nn {
+namespace {
+
+namespace ops = nn::ops;
+
+/// Enables the op profiler for one test and restores the prior state (and
+/// clears the table) on exit, so tests do not leak entries into each other.
+class ProfilerGuard {
+ public:
+  ProfilerGuard() : prev_(OpProfiler::Enabled()) {
+    OpProfiler::SetEnabled(true);
+    OpProfiler::Global().Reset();
+  }
+  ~ProfilerGuard() {
+    OpProfiler::Global().Reset();
+    OpProfiler::SetEnabled(prev_);
+  }
+
+ private:
+  bool prev_;
+};
+
+Matrix RandomMatrix(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform(-1, 1);
+  return m;
+}
+
+const OpProfileEntry* FindEntry(const std::vector<OpProfileEntry>& entries,
+                                const std::string& name) {
+  for (const OpProfileEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------- accounting
+
+TEST(OpProfilerTest, DisabledRecordsNothing) {
+  OpProfiler::SetEnabled(false);
+  OpProfiler::Global().Reset();
+  Tape tape;
+  Tensor a = ops::Input(tape, RandomMatrix(4, 4, 1));
+  Tensor b = ops::Input(tape, RandomMatrix(4, 4, 2));
+  Tensor loss = ops::SumAll(ops::MatMul(a, b));
+  tape.Backward(loss);
+  EXPECT_TRUE(OpProfiler::Global().SortedEntries().empty());
+  EXPECT_EQ(OpProfiler::Global().TotalAccountedMicros(), 0.0);
+}
+
+TEST(OpProfilerTest, RecordsForwardCallsAndFlops) {
+  ProfilerGuard guard;
+  Tape tape;
+  Tensor a = ops::Input(tape, RandomMatrix(3, 5, 1));
+  Tensor b = ops::Input(tape, RandomMatrix(5, 7, 2));
+  ops::MatMul(a, b);
+  ops::MatMul(a, b);
+
+  const auto entries = OpProfiler::Global().SortedEntries();
+  const OpProfileEntry* matmul = FindEntry(entries, "matmul");
+  ASSERT_NE(matmul, nullptr);
+  EXPECT_EQ(matmul->calls, 2);
+  // 2 * m * k * n per call.
+  EXPECT_DOUBLE_EQ(matmul->flops, 2.0 * (2.0 * 3 * 5 * 7));
+  EXPECT_GE(matmul->forward_us, 0.0);
+  const OpProfileEntry* input = FindEntry(entries, "input");
+  ASSERT_NE(input, nullptr);
+  EXPECT_EQ(input->calls, 2);
+}
+
+TEST(OpProfilerTest, BackwardTimeAttributedToCreatingOp) {
+  ProfilerGuard guard;
+  Tape tape;
+  Tensor a = ops::Input(tape, RandomMatrix(8, 8, 1));
+  Tensor b = ops::Input(tape, RandomMatrix(8, 8, 2));
+  Tensor loss = ops::SumAll(ops::Mul(ops::MatMul(a, b), ops::MatMul(a, b)));
+  tape.Backward(loss);
+
+  const auto entries = OpProfiler::Global().SortedEntries();
+  const OpProfileEntry* matmul = FindEntry(entries, "matmul");
+  ASSERT_NE(matmul, nullptr);
+  // Both matmul nodes received gradient, so backward closures ran and were
+  // timed (clock resolution may make tiny closures read as 0; >= is all we
+  // can assert portably, but calls prove attribution happened).
+  EXPECT_EQ(matmul->calls, 2);
+  EXPECT_GE(matmul->backward_us, 0.0);
+  const OpProfileEntry* sum = FindEntry(entries, "sum_all");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_EQ(sum->calls, 1);
+}
+
+TEST(OpProfilerTest, EntriesSortedByTotalTimeAndDumpIsStable) {
+  ProfilerGuard guard;
+  Tape tape;
+  Tensor a = ops::Input(tape, RandomMatrix(32, 32, 1));
+  Tensor b = ops::Input(tape, RandomMatrix(32, 32, 2));
+  for (int i = 0; i < 8; ++i) ops::MatMul(a, b);
+  ops::Relu(a);
+
+  const auto entries = OpProfiler::Global().SortedEntries();
+  ASSERT_GE(entries.size(), 3u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].total_us(), entries[i].total_us());
+  }
+  const std::string dump = OpProfiler::Global().DumpString();
+  EXPECT_NE(dump.find("matmul"), std::string::npos);
+  EXPECT_NE(dump.find("op kinds"), std::string::npos);
+  const std::string json = OpProfiler::Global().ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"matmul\""), std::string::npos);
+  EXPECT_NE(json.find("\"forward_us\":"), std::string::npos);
+}
+
+TEST(OpProfilerTest, CoversMostOfForwardBackwardWallTime) {
+  ProfilerGuard guard;
+  Rng rng(7);
+  TransformerEncoder enc(16, 2, 32, 1, rng);
+  Matrix x = RandomMatrix(12, 16, 8);
+  const double t0 = obs::NowMicros();
+  for (int i = 0; i < 10; ++i) {
+    Tape tape;
+    Tensor y = enc.Forward(ops::Input(tape, x));
+    Tensor loss = ops::SumAll(ops::Mul(y, y));
+    tape.Backward(loss);
+    enc.ZeroGrad();
+  }
+  const double wall_us = obs::NowMicros() - t0;
+  const double accounted = OpProfiler::Global().TotalAccountedMicros();
+  // The bench asserts >= 90% at its workload; the unit test uses a smaller
+  // model where fixed overheads weigh more, so the bar is looser. This
+  // still catches wholesale attribution loss (e.g. backward not timed).
+  EXPECT_GT(accounted, 0.5 * wall_us);
+  EXPECT_LE(accounted, 1.5 * wall_us);
+}
+
+// ------------------------------------------------------- alloc accounting
+
+TEST(MatrixAllocStatsTest, TracksLiveAndPeakBytes) {
+  ResetMatrixPeakBytes();
+  const MatrixAllocStats before = GetMatrixAllocStats();
+  {
+    Matrix m(10, 10);
+    const MatrixAllocStats during = GetMatrixAllocStats();
+    EXPECT_EQ(during.live_bytes - before.live_bytes, 800);
+    EXPECT_GE(during.peak_bytes, during.live_bytes);
+    EXPECT_EQ(during.total_bytes - before.total_bytes, 800);
+  }
+  const MatrixAllocStats after = GetMatrixAllocStats();
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(after.total_bytes - before.total_bytes, 800);
+}
+
+TEST(MatrixAllocStatsTest, MoveTransfersOwnershipWithoutDoubleCount) {
+  const MatrixAllocStats before = GetMatrixAllocStats();
+  {
+    Matrix m(4, 4);
+    Matrix n = std::move(m);
+    const MatrixAllocStats during = GetMatrixAllocStats();
+    EXPECT_EQ(during.live_bytes - before.live_bytes, 128);
+  }
+  EXPECT_EQ(GetMatrixAllocStats().live_bytes, before.live_bytes);
+}
+
+TEST(MatrixAllocStatsTest, CopyAssignSwapsAccounting) {
+  const MatrixAllocStats before = GetMatrixAllocStats();
+  {
+    Matrix a(2, 2);
+    Matrix b(8, 8);
+    a = b;  // a grows from 32 to 512 bytes
+    const MatrixAllocStats during = GetMatrixAllocStats();
+    EXPECT_EQ(during.live_bytes - before.live_bytes, 1024);
+  }
+  EXPECT_EQ(GetMatrixAllocStats().live_bytes, before.live_bytes);
+}
+
+TEST(MatrixAllocStatsTest, OpScopeAttributesBytesToOp) {
+  ProfilerGuard guard;
+  Tape tape;
+  Tensor a = ops::Input(tape, Matrix(16, 16));
+  Tensor b = ops::Input(tape, Matrix(16, 16));
+  ops::MatMul(a, b);
+  const auto entries = OpProfiler::Global().SortedEntries();
+  const OpProfileEntry* matmul = FindEntry(entries, "matmul");
+  ASSERT_NE(matmul, nullptr);
+  // The result matrix (16x16 doubles) was allocated inside the scope.
+  EXPECT_GE(matmul->bytes, 16 * 16 * 8);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace trmma

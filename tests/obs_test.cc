@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,54 @@ TEST(HistogramTest, ExponentialBoundsGrowGeometrically) {
   EXPECT_EQ(b, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
 }
 
+TEST(HistogramTest, NonFiniteObservationsAreDroppedAndCounted) {
+  Histogram h({1.0, 2.0});
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(std::numeric_limits<double>::infinity());
+  h.Observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.DroppedCount(), 3);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  // A finite observation after the garbage still lands normally, and
+  // min/max are untouched by the dropped values.
+  h.Observe(1.5);
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 1.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 1.5);
+}
+
+TEST(HistogramTest, ResetClearsEverythingIncludingDropped) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_EQ(h.DroppedCount(), 1);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.DroppedCount(), 0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  // The histogram is fully reusable after Reset.
+  h.Observe(1.5);
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.5);
+}
+
+TEST(HistogramTest, QuantileSeesConsistentMinMaxSnapshot) {
+  // Quantile snapshots min/max once; if a concurrent Reset leaves the
+  // sentinels (min=+inf > max=-inf), it must return 0 rather than a
+  // half-reset garbage interpolation. Exercised here single-threaded by
+  // interleaving Observe/Reset around Quantile.
+  Histogram h({10.0, 20.0});
+  h.Observe(5.0);
+  h.Reset();
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  h.Observe(7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 7.0);
+}
+
 // ------------------------------------------------------------------ spans
 
 TEST(TraceTest, SpanNestingRecordedInRing) {
@@ -253,6 +302,40 @@ TEST(JsonExporterTest, TextDumpListsEveryMetric) {
   EXPECT_NE(text.find("counter reqs{m=hmm} 5"), std::string::npos);
   EXPECT_NE(text.find("gauge loss 0.25"), std::string::npos);
   EXPECT_NE(text.find("histogram lat.us count=1"), std::string::npos);
+}
+
+TEST(JsonExporterTest, WriteTextEmitsPrometheusExposition) {
+  MetricRegistry reg;
+  reg.GetCounter("mm.candidates", {{"city", "PT"}})->Increment(7);
+  reg.GetGauge("train.loss")->Set(0.5);
+  Histogram* h = reg.GetHistogram("span.us", {}, {1.0, 10.0});
+  h->Observe(2.0);
+  h->Observe(4.0);
+  const std::string text = reg.WriteText();
+  // Dots are sanitized to underscores; every family gets a TYPE header.
+  EXPECT_NE(text.find("# TYPE mm_candidates counter"), std::string::npos);
+  EXPECT_NE(text.find("mm_candidates{city=\"PT\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE train_loss gauge"), std::string::npos);
+  EXPECT_NE(text.find("train_loss 0.5"), std::string::npos);
+  // Histograms export as summaries: quantile series plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE span_us summary"), std::string::npos);
+  EXPECT_NE(text.find("span_us{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("span_us{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(text.find("span_us{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("span_us_sum 6"), std::string::npos);
+  EXPECT_NE(text.find("span_us_count 2"), std::string::npos);
+  // Exposition format requires a trailing newline.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(JsonExporterTest, WriteTextMergesQuantileLabelsWithExisting) {
+  MetricRegistry reg;
+  reg.GetHistogram("lat.us", {{"city", "XA"}}, {1.0})->Observe(0.5);
+  const std::string text = reg.WriteText();
+  EXPECT_NE(text.find("lat_us{city=\"XA\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_us_count{city=\"XA\"} 1"), std::string::npos);
 }
 
 // ----------------------------------------------------------------- report

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+/// Restores the process TraceMode on scope exit so tests can flip it freely.
+class ModeGuard {
+ public:
+  explicit ModeGuard(TraceMode mode) : prev_(CurrentTraceMode()) {
+    SetTraceMode(mode);
+  }
+  ~ModeGuard() { SetTraceMode(prev_); }
+
+ private:
+  TraceMode prev_;
+};
+
+SpanRecord MakeSpan(const char* name, int64_t seq, int64_t parent, int depth,
+                    double start_us, double dur_us) {
+  SpanRecord rec;
+  rec.name = name;
+  rec.seq = seq;
+  rec.parent_seq = parent;
+  rec.depth = depth;
+  rec.start_us = start_us;
+  rec.duration_us = dur_us;
+  return rec;
+}
+
+// Tiny scanning helpers: the exporter's output is deterministic, so tests
+// can assert on substrings without a JSON parser.
+int CountOccurrences(const std::string& s, const std::string& needle) {
+  int n = 0;
+  for (size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------- formatting
+
+TEST(ChromeTraceJsonTest, EmitsCompleteEventsWithArgs) {
+  std::vector<SpanRecord> records;
+  records.push_back(MakeSpan("outer", 0, -1, 0, 10.0, 100.0));
+  records.push_back(MakeSpan("inner", 1, 0, 1, 20.0, 30.0));
+  const std::string json = ChromeTraceJson(records);
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_seq\":-1"), std::string::npos);
+  // ts/dur are microseconds, unscaled.
+  EXPECT_NE(json.find("\"ts\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":30"), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, SortsBySeqAndHandlesNullName) {
+  std::vector<SpanRecord> records;
+  records.push_back(MakeSpan("late", 5, -1, 0, 50.0, 1.0));
+  records.push_back(MakeSpan(nullptr, 2, -1, 0, 20.0, 1.0));
+  const std::string json = ChromeTraceJson(records);
+  // seq 2 must precede seq 5 regardless of input order.
+  EXPECT_LT(json.find("\"seq\":2"), json.find("\"seq\":5"));
+  EXPECT_NE(json.find("\"name\":\"?\""), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmptyRingYieldsValidEmptyDocument) {
+  const std::string json = ChromeTraceJson(std::vector<SpanRecord>{});
+  EXPECT_EQ(json,
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+// ------------------------------------------------------------ ring export
+
+TEST(TraceRingExportTest, NestedSpansSurviveRoundTrip) {
+  ModeGuard guard(TraceMode::kTrace);
+  TraceRing ring(16);
+  const int64_t outer = ring.BeginSpan("outer", 0.0);
+  const int64_t inner = ring.BeginSpan("inner", 5.0);
+  ring.EndSpan(9.0);
+  ring.EndSpan(20.0);
+
+  const std::vector<SpanRecord> records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  // Completion order: inner first.
+  EXPECT_EQ(records[0].seq, inner);
+  EXPECT_EQ(records[0].parent_seq, outer);
+  EXPECT_EQ(records[0].depth, 1);
+  EXPECT_EQ(records[1].seq, outer);
+  EXPECT_EQ(records[1].parent_seq, -1);
+
+  const std::string json = ChromeTraceJson(records);
+  // Start order in the export: outer precedes inner.
+  EXPECT_LT(json.find("\"name\":\"outer\""), json.find("\"name\":\"inner\""));
+}
+
+TEST(TraceRingExportTest, WraparoundEvictsOldestAndExportStaysValid) {
+  ModeGuard guard(TraceMode::kTrace);
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.BeginSpan("span", i * 10.0);
+    ring.EndSpan(i * 10.0 + 5.0);
+  }
+  const std::vector<SpanRecord> records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-to-newest: the six oldest spans (seq 0..5) were evicted.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, static_cast<int64_t>(6 + i));
+  }
+  const std::string json = ChromeTraceJson(ring);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 4);
+  EXPECT_NE(json.find("\"seq\":9"), std::string::npos);
+  EXPECT_EQ(json.find("\"seq\":5,"), std::string::npos);
+}
+
+TEST(TraceRingExportTest, WrappedRingMayOrphanParentsButStillExports) {
+  ModeGuard guard(TraceMode::kTrace);
+  TraceRing ring(2);
+  const int64_t outer = ring.BeginSpan("outer", 0.0);
+  ring.BeginSpan("a", 1.0);
+  ring.EndSpan(2.0);
+  ring.BeginSpan("b", 3.0);
+  ring.EndSpan(4.0);
+  ring.EndSpan(10.0);  // outer completes last; evicts "a"
+
+  const std::vector<SpanRecord> records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, std::string("b"));
+  EXPECT_EQ(records[0].parent_seq, outer);
+  EXPECT_EQ(records[1].name, std::string("outer"));
+  // The export keeps the dangling parent_seq in args; viewers nest by time
+  // containment so the file stays loadable.
+  const std::string json = ChromeTraceJson(ring);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2);
+}
+
+TEST(TraceRingExportTest, WriteChromeTraceWritesFile) {
+  ModeGuard guard(TraceMode::kTrace);
+  TraceRing ring(8);
+  ring.BeginSpan("one", 0.0);
+  ring.EndSpan(1.0);
+
+  std::string path = ::testing::TempDir() + "trmma_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(ring, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), ChromeTraceJson(ring));
+  std::remove(path.c_str());
+}
+
+TEST(TraceRingExportTest, ThreadTraceIdIsStablePerThread) {
+  const int a = ThreadTraceId();
+  const int b = ThreadTraceId();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/telemetry.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "obs/train_log.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+/// Points the global TrainLogger at a fresh temp file for one test and
+/// detaches + clears aggregates on exit.
+class LoggerGuard {
+ public:
+  explicit LoggerGuard(const std::string& tag) {
+    path_ = ::testing::TempDir() + "trmma_train_log_" + tag + ".jsonl";
+    TrainLogger::Global().ResetSummary();
+    TrainLogger::Global().SetFile(path_);
+  }
+  ~LoggerGuard() {
+    TrainLogger::Global().SetFile("");
+    TrainLogger::Global().ResetSummary();
+    std::remove(path_.c_str());
+  }
+
+  const std::string& path() const { return path_; }
+
+  std::vector<std::string> Lines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  }
+
+ private:
+  std::string path_;
+};
+
+TrainStepRow MakeRow(const char* model, int64_t step, double loss,
+                     double grad_norm) {
+  TrainStepRow row;
+  row.model = model;
+  row.step = step;
+  row.loss = loss;
+  row.grad_norm = grad_norm;
+  row.param_norm = 10.0;
+  row.update_ratio = 0.001;
+  row.examples = 16;
+  row.examples_per_sec = 800.0;
+  row.peak_bytes = 1 << 20;
+  return row;
+}
+
+// ------------------------------------------------------------------ JSONL
+
+TEST(TrainLoggerTest, WritesOneJsonLinePerStep) {
+  LoggerGuard guard("basic");
+  EXPECT_TRUE(TrainLogger::Global().Enabled());
+  TrainLogger::Global().LogStep(MakeRow("mma", 1, 0.7, 2.0));
+  TrainLogger::Global().LogStep(MakeRow("mma", 2, 0.6, 1.5));
+
+  const std::vector<std::string> lines = guard.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"model\":\"mma\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"step\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"loss\":0.7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"grad_norm\":2"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"param_norm\":10"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"update_ratio\":0.001"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"examples\":16"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"peak_bytes\":1048576"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"step\":2"), std::string::npos);
+}
+
+TEST(TrainLoggerTest, SummaryAggregatesPerModel) {
+  LoggerGuard guard("summary");
+  TrainLogger::Global().LogStep(MakeRow("mma", 1, 0.8, 2.0));
+  TrainLogger::Global().LogStep(MakeRow("mma", 2, 0.4, 4.0));
+  TrainLogger::Global().LogStep(MakeRow("trmma", 1, 1.5, 0.5));
+
+  EXPECT_TRUE(TrainLogger::Global().HasRows());
+  const std::string summary = TrainLogger::Global().SummaryJson();
+  EXPECT_NE(summary.find("\"model\":\"mma\""), std::string::npos);
+  EXPECT_NE(summary.find("\"model\":\"trmma\""), std::string::npos);
+  EXPECT_NE(summary.find("\"steps\":2"), std::string::npos);
+  EXPECT_NE(summary.find("\"last_loss\":0.4"), std::string::npos);
+  // mean of 0.8 and 0.4
+  EXPECT_NE(summary.find("\"mean_loss\":0.6"), std::string::npos);
+  EXPECT_NE(summary.find("\"max_grad_norm\":4"), std::string::npos);
+
+  TrainLogger::Global().ResetSummary();
+  EXPECT_FALSE(TrainLogger::Global().HasRows());
+  EXPECT_EQ(TrainLogger::Global().SummaryJson(), "[]");
+}
+
+// -------------------------------------------------------------- anomalies
+
+TEST(TrainLoggerTest, CountsNonFiniteLossAnomalies) {
+  LoggerGuard guard("nan");
+  Counter* bad =
+      MetricRegistry::Global().GetCounter("train.anomaly.nonfinite_loss");
+  const int64_t before = bad->Value();
+  TrainLogger::Global().LogStep(
+      MakeRow("mma", 1, std::numeric_limits<double>::quiet_NaN(), 1.0));
+  TrainLogger::Global().LogStep(
+      MakeRow("mma", 2, std::numeric_limits<double>::infinity(), 1.0));
+  TrainLogger::Global().LogStep(MakeRow("mma", 3, 0.5, 1.0));
+  EXPECT_EQ(bad->Value() - before, 2);
+
+  const std::string summary = TrainLogger::Global().SummaryJson();
+  EXPECT_NE(summary.find("\"anomalies\":2"), std::string::npos);
+  // The JSONL line still appears (JsonWriter maps non-finite to 0), so the
+  // log keeps one row per step even through a blow-up.
+  EXPECT_EQ(guard.Lines().size(), 3u);
+}
+
+TEST(TrainLoggerTest, CountsExplodingGradientAnomalies) {
+  LoggerGuard guard("explode");
+  Counter* bad =
+      MetricRegistry::Global().GetCounter("train.anomaly.exploding_grad");
+  const int64_t before = bad->Value();
+  TrainLogger::Global().LogStep(MakeRow("trmma", 1, 0.5, 5e3));
+  TrainLogger::Global().LogStep(MakeRow("trmma", 2, 0.5, 2.0));
+  EXPECT_EQ(bad->Value() - before, 1);
+}
+
+// ----------------------------------------------------- telemetry bridge
+
+TEST(LogTrainStepTest, PublishesOptimizerStateAsRow) {
+  LoggerGuard guard("adam");
+  nn::Param w("w", nn::Matrix(2, 2, 1.0));
+  w.grad.Fill(0.5);
+  nn::Adam opt({&w}, 1e-2);
+  opt.Step();
+  EXPECT_GT(opt.last_grad_norm(), 0.0);
+  EXPECT_GT(opt.last_update_norm(), 0.0);
+
+  nn::LogTrainStep("unit", opt, 0.25, 32, 0.5, 3);
+  const std::vector<std::string> lines = guard.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"model\":\"unit\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"step\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"loss\":0.25"), std::string::npos);
+  // grad norm = sqrt(4 * 0.5^2) = 1
+  EXPECT_NE(lines[0].find("\"grad_norm\":1"), std::string::npos);
+  // 32 examples / 0.5 s
+  EXPECT_NE(lines[0].find("\"examples_per_sec\":64"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"param_norm\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"update_ratio\":"), std::string::npos);
+}
+
+TEST(LogTrainStepTest, NoOpWhenDisabled) {
+  // No file, and force metrics off so Enabled() is false.
+  TrainLogger::Global().SetFile("");
+  TrainLogger::Global().ResetSummary();
+  const TraceMode prev = CurrentTraceMode();
+  SetTraceMode(TraceMode::kOff);
+  nn::Param w("w", nn::Matrix(2, 2, 1.0));
+  w.grad.Fill(0.5);
+  nn::Adam opt({&w}, 1e-2);
+  opt.Step();
+  nn::LogTrainStep("unit", opt, 0.25, 32, 0.5);
+  EXPECT_FALSE(TrainLogger::Global().HasRows());
+  SetTraceMode(prev);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma
