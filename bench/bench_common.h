@@ -8,7 +8,9 @@
 
 #include "common/logging.h"
 #include "eval/experiment.h"
+#include "eval/inspect.h"
 #include "nn/profiler.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -105,8 +107,38 @@ inline void PrintBanner(const std::string& title) {
   std::fflush(stdout);
 }
 
+/// Turns on the flight recorder at 1-in-`sample_every` sampling for the
+/// record/replay benches (fig5 / fig9). TRMMA_FLIGHT_RECORDER in the
+/// environment wins: when the user already configured the recorder this is
+/// a no-op, so an operator can force sample_every=1 or a custom path. The
+/// JSONL sink goes next to the BENCH json when TRMMA_OBS_DIR is set.
+inline void EnableFlightRecorder(int sample_every) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (recorder.enabled()) return;
+  obs::FlightRecorderConfig config = obs::FlightRecorderConfigFromEnv();
+  config.enabled = true;
+  config.sample_every = sample_every;
+  const char* dir = std::getenv("TRMMA_OBS_DIR");
+  if (dir != nullptr && *dir != '\0' &&
+      config.path == "flight_records.jsonl") {
+    config.path = std::string(dir) + "/flight_records.jsonl";
+  }
+  recorder.Configure(config);
+}
+
+/// Replays every exemplar retained for `stack`'s city against the live
+/// (still-trained) stack and aborts on any segment/offset divergence — the
+/// bench-level record/replay determinism contract. Mismatches also land in
+/// the report's flight_recorder section via AddReplayMismatches.
+inline void CheckFlightReplay(ExperimentStack& stack) {
+  if (!obs::FlightRecorder::Global().enabled()) return;
+  const std::int64_t mismatches = ReplayRetainedRecords(stack);
+  TRMMA_CHECK_EQ(mismatches, 0)
+      << "flight-recorder replay diverged for city " << stack.dataset->name;
+}
+
 /// Per-bench observability bracket, constructed first thing in main():
-///  - applies TRMMA_LOG_LEVEL,
+///  - applies TRMMA_LOG_LEVEL and TRMMA_LOG_FILE,
 ///  - turns on metric collection (TraceMode::kMetrics) unless TRMMA_TRACE
 ///    already asked for more,
 ///  - names the global run report and stamps the scale fingerprint,
@@ -116,6 +148,7 @@ class BenchRun {
  public:
   explicit BenchRun(const std::string& name) {
     SetMinLogLevelFromEnv();
+    SetLogFileFromEnv();
     if (obs::CurrentTraceMode() == obs::TraceMode::kOff) {
       obs::SetTraceMode(obs::TraceMode::kMetrics);
     }

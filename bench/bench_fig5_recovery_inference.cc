@@ -14,6 +14,10 @@ void Run() {
   bench::PrintBanner("Fig. 5: recovery inference time (s / 1000 traj)");
   PrintHeader("method", CityNames());
 
+  // Record/replay smoke (see bench_fig9): sampled capture during the timed
+  // evals, exact-route replay of the exemplars afterwards.
+  bench::EnableFlightRecorder(scale.eval_cap >= 100 ? 25 : 5);
+
   std::vector<std::vector<double>> rows(5);
   std::vector<std::string> names;
   for (const std::string& city : CityNames()) {
@@ -33,6 +37,7 @@ void Run() {
       rows[i].push_back(ev.seconds_per_1000);
       names.push_back(methods[i]->name());
     }
+    bench::CheckFlightReplay(stack);
   }
   for (size_t i = 0; i < rows.size(); ++i) {
     PrintRow(names[i], rows[i], 16, 10, 3);

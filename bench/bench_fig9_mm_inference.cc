@@ -13,6 +13,12 @@ void Run() {
   bench::PrintBanner("Fig. 9: map matching inference time (s / 1000 traj)");
   PrintHeader("method", CityNames());
 
+  // Record/replay smoke rides along with the timing run: 1-in-N request
+  // sampling, then every retained exemplar is replayed against the live
+  // stack and must reproduce its route exactly (CheckFlightReplay aborts
+  // otherwise). Sampling is sparse enough to stay off the timing's back.
+  bench::EnableFlightRecorder(scale.eval_cap >= 100 ? 25 : 5);
+
   std::vector<std::vector<double>> rows(6);
   std::vector<std::string> names;
   for (const std::string& city : CityNames()) {
@@ -31,6 +37,7 @@ void Run() {
       rows[i].push_back(ev.seconds_per_1000);
       names.push_back(methods[i]->name());
     }
+    bench::CheckFlightReplay(stack);
   }
   for (size_t i = 0; i < rows.size(); ++i) {
     PrintRow(names[i], rows[i], 16, 10, 3);

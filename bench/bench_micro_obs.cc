@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -76,6 +77,53 @@ void BM_HistogramObserve(benchmark::State& state) {
   benchmark::DoNotOptimize(hist->Count());
 }
 BENCHMARK(BM_HistogramObserve);
+
+// Restores the recorder to a known state around the flight-hook benches.
+class FlightGuard {
+ public:
+  explicit FlightGuard(bool enabled) {
+    FlightRecorderConfig config;
+    config.enabled = enabled;
+    config.path = "";  // retention only, no file
+    FlightRecorder::Global().Configure(config);
+  }
+  ~FlightGuard() {
+    FlightRecorder::Global().Configure(FlightRecorderConfig());
+    FlightRecorder::Global().ResetForTest();
+  }
+};
+
+// The acceptance contract for leaving capture hooks in mm/recovery hot
+// paths: with the recorder off, ActiveRecord() is one relaxed atomic load
+// plus a predicted branch — on the order of a nanosecond or two.
+void BM_FlightHookDisabled(benchmark::State& state) {
+  FlightGuard guard(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ActiveRecord());
+  }
+}
+BENCHMARK(BM_FlightHookDisabled);
+
+// Recorder enabled but no request active on this thread (the common state
+// for non-request threads): still just the load plus a TLS read.
+void BM_FlightHookEnabledIdle(benchmark::State& state) {
+  FlightGuard guard(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ActiveRecord());
+  }
+}
+BENCHMARK(BM_FlightHookEnabledIdle);
+
+// Whole-scope cost when disabled: RequestScope must degrade to a couple of
+// branches, since every evaluated trajectory constructs one.
+void BM_FlightScopeDisabled(benchmark::State& state) {
+  FlightGuard guard(false);
+  for (auto _ : state) {
+    RequestScope scope("bench");
+    benchmark::DoNotOptimize(scope.record());
+  }
+}
+BENCHMARK(BM_FlightScopeDisabled);
 
 void BM_RegistryLookup(benchmark::State& state) {
   ModeGuard guard(TraceMode::kMetrics);

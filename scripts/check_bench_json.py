@@ -12,10 +12,11 @@ inside ctest with no extra dependencies. It checks the structural contract
 documented in DESIGN.md: top-level name/wall_seconds/fingerprint/phases/
 metrics, phase entries with name+seconds+count, metric sections with the
 right value fields, and that at least one histogram carries p50/p95/p99.
-The optional "op_profile" and "training" sections (present when the op
-profiler / training telemetry collected data) are validated whenever they
-appear; --require-op-profile / --require-training make their absence an
-error. --trace FILE additionally validates a Chrome trace-event JSON file
+The optional "op_profile", "training" and "flight_recorder" sections
+(present when the op profiler / training telemetry / flight recorder
+collected data) are validated whenever they appear; --require-op-profile /
+--require-training / --require-flight-recorder make their absence an
+error (the flight_recorder check also demands replay_mismatches == 0). --trace FILE additionally validates a Chrome trace-event JSON file
 (as written under TRMMA_TRACE_FILE).
 """
 
@@ -59,6 +60,38 @@ def check_metric_list(metrics, section, value_check, path, errors):
         check_labels(item, where, path, errors)
         value_check(item, where)
     return items
+
+
+FLIGHT_INT_FIELDS = ("requests", "retained", "written", "bytes",
+                     "replay_mismatches", "sample_every")
+
+
+def check_flight_recorder(doc, path, errors, required=False):
+    fr = doc.get("flight_recorder")
+    if fr is None:
+        if required:
+            fail(path, "missing 'flight_recorder' section "
+                       "(was the flight recorder enabled?)", errors)
+        return
+    if not isinstance(fr, dict):
+        fail(path, "'flight_recorder' must be an object", errors)
+        return
+    for field in FLIGHT_INT_FIELDS:
+        value = fr.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"flight_recorder: missing integer '{field}'", errors)
+        elif value < 0:
+            fail(path, f"flight_recorder: '{field}' must be >= 0", errors)
+    if isinstance(fr.get("requests"), int) and fr["requests"] > 0:
+        if isinstance(fr.get("written"), int) and fr["written"] < 1:
+            fail(path, "flight_recorder: captured requests but wrote "
+                       "no records", errors)
+    # The record/replay determinism contract: any divergence between a
+    # captured exemplar and its replay fails the bench.
+    if isinstance(fr.get("replay_mismatches"), int) and \
+            fr["replay_mismatches"] != 0:
+        fail(path, f"flight_recorder: replay_mismatches = "
+                   f"{fr['replay_mismatches']}, expected 0", errors)
 
 
 OP_PROFILE_INT_FIELDS = ("calls", "bytes")
@@ -181,7 +214,8 @@ def check_chrome_trace(path, errors):
 
 
 def check_report(path, errors, require_activity=True,
-                 require_op_profile=False, require_training=False):
+                 require_op_profile=False, require_training=False,
+                 require_flight_recorder=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -232,6 +266,8 @@ def check_report(path, errors, require_activity=True,
 
     check_op_profile(doc, path, errors, required=require_op_profile)
     check_training(doc, path, errors, required=require_training)
+    check_flight_recorder(doc, path, errors,
+                          required=require_flight_recorder)
 
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -315,6 +351,9 @@ def main():
                         help="fail if reports lack an 'op_profile' section")
     parser.add_argument("--require-training", action="store_true",
                         help="fail if reports lack a 'training' section")
+    parser.add_argument("--require-flight-recorder", action="store_true",
+                        help="fail if reports lack a 'flight_recorder' "
+                             "section or show replay mismatches")
     args = parser.parse_args()
 
     files = list(args.files)
@@ -335,7 +374,8 @@ def main():
     for path in files:
         check_report(path, errors,
                      require_op_profile=args.require_op_profile,
-                     require_training=args.require_training)
+                     require_training=args.require_training,
+                     require_flight_recorder=args.require_flight_recorder)
     for path in traces:
         check_chrome_trace(path, errors)
     if errors:

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""End-to-end exercise of the trmma_inspect CLI (run from ctest).
+
+Drives the full loop on a generated city:
+  demo     -> writes a JSONL records file with sample_every=1
+  summary  -> aggregate view parses and mentions every captured kind
+  show     -> per-request decision trace includes the request id
+  geojson  -> output is a valid FeatureCollection in (lng, lat) order
+  replay   -> exits 0 and reports an exact route reproduction
+
+plus two negative checks: a corrupted records file must be rejected, and a
+tampered record must make `replay` exit nonzero with a mismatch report.
+Stdlib only, so it runs inside ctest with no extra dependencies.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd, **kwargs):
+    print("+ " + " ".join(cmd), flush=True)
+    return subprocess.run(cmd, capture_output=True, text=True, **kwargs)
+
+
+def check(cond, what):
+    if not cond:
+        print(f"FAIL: {what}")
+        sys.exit(1)
+    print(f"OK: {what}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the trmma_inspect executable")
+    parser.add_argument("--workdir", default=None)
+    parser.add_argument("--city", default="XA")
+    parser.add_argument("--trajectories", default="60")
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="trmma_inspect_", dir=args.workdir or None)
+    records = os.path.join(tmp, "records.jsonl")
+
+    # demo: produce a records file.
+    demo = run([args.binary, "demo", records, args.city, args.trajectories])
+    check(demo.returncode == 0, f"demo exits 0 (stderr: {demo.stderr[:200]})")
+    check("requests captured" in demo.stdout, "demo reports capture counts")
+    check(os.path.getsize(records) > 0, "demo wrote a non-empty JSONL file")
+
+    lines = [json.loads(l) for l in open(records) if l.strip()]
+    check(len(lines) > 0, "records parse as JSON lines")
+    kinds = {r["kind"] for r in lines}
+    check("mm" in kinds and "recovery" in kinds,
+          f"both request kinds captured (got {sorted(kinds)})")
+    mm = next(r for r in lines if r["kind"] == "mm" and r.get("route"))
+    rec = next(r for r in lines if r["kind"] == "recovery"
+               and r.get("recovered"))
+
+    # summary: aggregates over the whole file.
+    summary = run([args.binary, "summary", records])
+    check(summary.returncode == 0, "summary exits 0")
+    check(f"records: {len(lines)}" in summary.stdout,
+          "summary counts every record")
+    check("latency" in summary.stdout, "summary reports latency percentiles")
+
+    # show: the full decision trace of one request.
+    show = run([args.binary, "show", records, mm["id"]])
+    check(show.returncode == 0, "show exits 0")
+    check(mm["id"] in show.stdout, "show prints the request id")
+    check("route" in show.stdout, "show prints the matched route")
+
+    # geojson: a valid FeatureCollection with (lng, lat) coordinates.
+    geo = run([args.binary, "geojson", records, mm["id"]])
+    check(geo.returncode == 0, "geojson exits 0")
+    doc = json.loads(geo.stdout)
+    check(doc.get("type") == "FeatureCollection", "geojson FeatureCollection")
+    features = doc.get("features", [])
+    check(len(features) > 0, "geojson has features")
+    layers = {f["properties"]["layer"] for f in features}
+    check("gps" in layers, f"geojson carries a gps layer (got {layers})")
+    point = next(f for f in features
+                 if f["geometry"]["type"] == "Point")
+    lng, lat = point["geometry"]["coordinates"]
+    check(abs(lng) > abs(lat), "coordinates are (lng, lat) ordered")
+
+    # replay: both a map-matching and a recovery exemplar reproduce.
+    for record in (mm, rec):
+        replay = run([args.binary, "replay", records, record["id"]])
+        check(replay.returncode == 0,
+              f"replay {record['id']} exits 0 "
+              f"(stdout: {replay.stdout[:300]})")
+        check("replay OK" in replay.stdout,
+              f"replay {record['id']} reports exact reproduction")
+
+    # Negative: corrupted file is rejected loudly.
+    corrupted = os.path.join(tmp, "corrupted.jsonl")
+    with open(records) as src, open(corrupted, "w") as dst:
+        dst.write(src.read())
+        dst.write('{"id": "req-999999", "route": [1, 2\n')
+    bad = run([args.binary, "summary", corrupted])
+    check(bad.returncode != 0, "summary rejects a corrupted records file")
+
+    # Negative: a tampered route must be flagged as a replay mismatch.
+    tampered = os.path.join(tmp, "tampered.jsonl")
+    twisted = dict(mm)
+    twisted["route"] = [s + 1 for s in mm["route"]]
+    with open(tampered, "w") as out:
+        out.write(json.dumps(twisted) + "\n")
+    mismatch = run([args.binary, "replay", tampered, twisted["id"]])
+    check(mismatch.returncode != 0, "replay flags a tampered route")
+    check("REPLAY MISMATCH" in mismatch.stdout,
+          "replay prints the mismatch banner")
+
+    print("all trmma_inspect checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

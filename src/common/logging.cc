@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <mutex>
 
 namespace trmma {
 namespace internal_logging {
 namespace {
+
+// One mutex guards both the sink pointer and each message emission, so
+// lines from instrumented multi-threaded code never interleave and a
+// SetLogFile can't race a write.
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::ofstream& FileSink() {
+  static std::ofstream f;
+  return f;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -42,11 +56,17 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
-    // One mutex-guarded write per message so lines from instrumented
-    // multi-threaded code never interleave.
-    static std::mutex emit_mutex;
-    std::lock_guard<std::mutex> lock(emit_mutex);
-    std::cerr << stream_.str() << std::endl;
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::ofstream& file = FileSink();
+    if (file.is_open()) {
+      file << stream_.str() << std::endl;
+      // A fatal abort must never disappear into a log file.
+      if (level_ == LogLevel::kFatal) {
+        std::cerr << stream_.str() << std::endl;
+      }
+    } else {
+      std::cerr << stream_.str() << std::endl;
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();
@@ -57,6 +77,26 @@ LogMessage::~LogMessage() {
 
 void SetMinLogLevel(LogLevel level) {
   internal_logging::MinLogLevel() = level;
+}
+
+bool SetLogFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(internal_logging::EmitMutex());
+  std::ofstream& file = internal_logging::FileSink();
+  if (file.is_open()) file.close();
+  if (path.empty()) return true;
+  file.open(path, std::ios::app);
+  if (!file.is_open()) {
+    std::cerr << "[W logging] cannot open log file '" << path
+              << "', logging to stderr" << std::endl;
+    return false;
+  }
+  return true;
+}
+
+void SetLogFileFromEnv() {
+  const char* env = std::getenv("TRMMA_LOG_FILE");
+  if (env == nullptr || *env == '\0') return;
+  SetLogFile(env);
 }
 
 void SetMinLogLevelFromEnv() {

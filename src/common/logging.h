@@ -56,6 +56,16 @@ void SetMinLogLevel(LogLevel level);
 /// mains call this so verbosity is controllable without a rebuild.
 void SetMinLogLevelFromEnv();
 
+/// Redirects log output to `path`, opened in append mode. An empty path
+/// restores stderr. Fatal messages are always mirrored to stderr so an
+/// abort is never silent. Returns false (and keeps logging to stderr) when
+/// the file cannot be opened.
+bool SetLogFile(const std::string& path);
+
+/// Applies TRMMA_LOG_FILE — the logger's counterpart of TRMMA_METRICS_FILE
+/// and TRMMA_TRACE_FILE. Unset or empty leaves the current sink unchanged.
+void SetLogFileFromEnv();
+
 }  // namespace trmma
 
 #define TRMMA_LOG(level)                                                    \

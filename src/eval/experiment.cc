@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "mm/route_stitch.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -138,6 +140,7 @@ ExperimentStack BuildStack(const Dataset& dataset, const StackConfig& config) {
 
 TrainStats TrainMma(ExperimentStack& stack, int epochs,
                     double train_fraction) {
+  stack.training_log.push_back({"mma", epochs, train_fraction});
   Rng rng(stack.config.seed + 1);
   if (train_fraction >= 1.0) {
     return TimedEpochs("mma", static_cast<int>(stack.dataset->train_idx.size()),
@@ -153,6 +156,7 @@ TrainStats TrainMma(ExperimentStack& stack, int epochs,
 
 TrainStats TrainLhmm(ExperimentStack& stack, int epochs) {
   obs::ScopedPhase phase("train.lhmm");
+  stack.training_log.push_back({"lhmm", epochs, 1.0});
   Rng rng(stack.config.seed + 2);
   TrainStats out;
   Stopwatch watch;
@@ -165,6 +169,7 @@ TrainStats TrainLhmm(ExperimentStack& stack, int epochs) {
 }
 
 TrainStats TrainDeepMm(ExperimentStack& stack, int epochs) {
+  stack.training_log.push_back({"deepmm", epochs, 1.0});
   Rng rng(stack.config.seed + 3);
   return TimedEpochs("deepmm",
                      static_cast<int>(stack.dataset->train_idx.size()), epochs,
@@ -173,6 +178,7 @@ TrainStats TrainDeepMm(ExperimentStack& stack, int epochs) {
 
 TrainStats TrainTrmma(ExperimentStack& stack, int epochs,
                       double train_fraction) {
+  stack.training_log.push_back({"trmma", epochs, train_fraction});
   Rng rng(stack.config.seed + 4);
   if (train_fraction >= 1.0) {
     return TimedEpochs("trmma",
@@ -189,8 +195,9 @@ TrainStats TrainTrmma(ExperimentStack& stack, int epochs,
 
 TrainStats TrainSeq2Seq(ExperimentStack& stack, Seq2SeqRecovery& model,
                         int epochs, double train_fraction) {
-  Rng rng(stack.config.seed + 5);
   const std::string method = model.name();
+  stack.training_log.push_back({method, epochs, train_fraction});
+  Rng rng(stack.config.seed + 5);
   if (train_fraction >= 1.0) {
     return TimedEpochs(method.c_str(),
                        static_cast<int>(stack.dataset->train_idx.size()),
@@ -202,6 +209,71 @@ TrainStats TrainSeq2Seq(ExperimentStack& stack, Seq2SeqRecovery& model,
   return TimedEpochs(method.c_str(), static_cast<int>(sub.train_idx.size()),
                      epochs, [&] { return model.TrainEpoch(sub, rng); });
 }
+
+std::vector<std::string> FormatTrainingLog(const ExperimentStack& stack) {
+  std::vector<std::string> out;
+  out.reserve(stack.training_log.size());
+  char buf[96];
+  for (const TrainLogEntry& e : stack.training_log) {
+    std::snprintf(buf, sizeof(buf), "%s:%d:%g", e.key.c_str(), e.epochs,
+                  e.fraction);
+    out.push_back(buf);
+  }
+  return out;
+}
+
+Status ApplyTrainingLog(ExperimentStack& stack,
+                        const std::vector<std::string>& log) {
+  for (const std::string& entry : log) {
+    const size_t c1 = entry.rfind(':');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : entry.rfind(':', c1 - 1);
+    if (c2 == std::string::npos || c2 == 0) {
+      return Status::InvalidArgument("malformed train-state entry: " + entry);
+    }
+    const std::string key = entry.substr(0, c2);
+    const int epochs = std::atoi(entry.substr(c2 + 1, c1 - c2 - 1).c_str());
+    const double fraction = std::atof(entry.substr(c1 + 1).c_str());
+    if (key == "mma") {
+      TrainMma(stack, epochs, fraction);
+    } else if (key == "lhmm") {
+      TrainLhmm(stack, epochs);
+    } else if (key == "deepmm") {
+      TrainDeepMm(stack, epochs);
+    } else if (key == "trmma") {
+      TrainTrmma(stack, epochs, fraction);
+    } else if (stack.mtrajrec != nullptr && key == stack.mtrajrec->name()) {
+      TrainSeq2Seq(stack, *stack.mtrajrec, epochs, fraction);
+    } else if (stack.trajformer != nullptr &&
+               key == stack.trajformer->name()) {
+      TrainSeq2Seq(stack, *stack.trajformer, epochs, fraction);
+    } else {
+      return Status::InvalidArgument("unknown train-state key: " + key);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Fills the reproduction-context fields shared by every eval request.
+void FillRequestContext(obs::RequestRecord* rec, const ExperimentStack& stack,
+                        const std::string& method, const Trajectory& input) {
+  const Dataset& dataset = *stack.dataset;
+  rec->method = method;
+  rec->city = dataset.name;
+  rec->seed = static_cast<std::int64_t>(stack.config.seed);
+  rec->epsilon = static_cast<std::int64_t>(dataset.epsilon_s);
+  rec->dataset_trajectories =
+      static_cast<std::int64_t>(dataset.samples.size());
+  rec->train_state = FormatTrainingLog(stack);
+  rec->input.reserve(input.size());
+  for (const GpsPoint& p : input.points) {
+    rec->input.push_back({p.pos.lat, p.pos.lng, p.t});
+  }
+}
+
+}  // namespace
 
 MapMatchEval EvaluateMapMatching(ExperimentStack& stack, MapMatcher& matcher,
                                  int max_trajectories) {
@@ -215,13 +287,27 @@ MapMatchEval EvaluateMapMatching(ExperimentStack& stack, MapMatcher& matcher,
     const TrajectorySample& sample = dataset.samples[idx];
     if (sample.sparse.size() < 2) continue;
 
+    obs::RequestScope request("mm");
+    if (obs::RequestRecord* rec = request.record()) {
+      FillRequestContext(rec, stack, matcher.name(), sample.sparse);
+    }
     Stopwatch watch;
     const std::vector<SegmentId> segs = matcher.MatchPoints(sample.sparse);
     const Route route = StitchRoute(*dataset.network, *stack.planner,
                                     *stack.engine, segs);
     elapsed += watch.ElapsedSeconds();
 
-    out.metrics += SegmentSetMetrics(route, sample.route);
+    const SetMetrics metrics = SegmentSetMetrics(route, sample.route);
+    out.metrics += metrics;
+    if (obs::RequestRecord* rec = request.record()) {
+      rec->matched.reserve(segs.size());
+      for (size_t i = 0; i < segs.size(); ++i) {
+        rec->matched.push_back(
+            {segs[i], 0.0, sample.sparse.points[i].t});
+      }
+      rec->route.assign(route.begin(), route.end());
+      rec->quality = metrics.f1;
+    }
     ++count;
   }
   if (count > 0) {
@@ -249,6 +335,10 @@ RecoveryEval EvaluateRecovery(ExperimentStack& stack, RecoveryMethod& method,
     const TrajectorySample& sample = dataset.samples[idx];
     if (sample.sparse.size() < 2) continue;
 
+    obs::RequestScope request("recovery");
+    if (obs::RequestRecord* rec = request.record()) {
+      FillRequestContext(rec, stack, method.name(), sample.sparse);
+    }
     Stopwatch watch;
     const MatchedTrajectory pred =
         method.Recover(sample.sparse, dataset.epsilon_s);
@@ -261,7 +351,15 @@ RecoveryEval EvaluateRecovery(ExperimentStack& stack, RecoveryMethod& method,
       truth_segs[i] = sample.truth[i].segment;
     }
     out.metrics += SegmentSetMetrics(pred_segs, truth_segs);
-    accuracy += PointwiseAccuracy(pred, sample.truth);
+    const double point_acc = PointwiseAccuracy(pred, sample.truth);
+    accuracy += point_acc;
+    if (obs::RequestRecord* rec = request.record()) {
+      rec->recovered.reserve(pred.size());
+      for (const MatchedPoint& p : pred) {
+        rec->recovered.push_back({p.segment, p.ratio, p.t});
+      }
+      rec->quality = point_acc;
+    }
     const DistanceErrors err = RecoveryDistanceErrors(
         *dataset.network, *stack.engine, pred, sample.truth);
     mae += err.mae;

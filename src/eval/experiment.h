@@ -35,12 +35,23 @@ struct StackConfig {
   uint64_t seed = 77;
 };
 
+/// One training call applied to a stack, in order. The log is the replay
+/// contract of the flight recorder: every Train* helper draws from a fresh
+/// Rng seeded off the stack seed, so re-applying the same entries to a
+/// freshly built stack reproduces the weights bit-exactly.
+struct TrainLogEntry {
+  std::string key;  ///< "mma", "lhmm", "deepmm", "trmma", or a seq2seq name
+  int epochs = 0;
+  double fraction = 1.0;
+};
+
 /// Everything built on top of one dataset: spatial index, routing
 /// substrates, and the matchers/recovery methods under comparison. The
 /// models are constructed untrained; call the Train* helpers.
 struct ExperimentStack {
   const Dataset* dataset = nullptr;
   StackConfig config;
+  std::vector<TrainLogEntry> training_log;  ///< appended by the Train* helpers
 
   std::unique_ptr<SegmentRTree> index;
   std::unique_ptr<ShortestPathEngine> engine;
@@ -87,6 +98,16 @@ TrainStats TrainTrmma(ExperimentStack& stack, int epochs,
                       double train_fraction = 1.0);
 TrainStats TrainSeq2Seq(ExperimentStack& stack, Seq2SeqRecovery& model,
                         int epochs, double train_fraction = 1.0);
+
+/// The stack's training log as "key:epochs:fraction" strings (the form the
+/// flight recorder stores in RequestRecord::train_state).
+std::vector<std::string> FormatTrainingLog(const ExperimentStack& stack);
+
+/// Re-applies a formatted training log to a freshly built stack, calling
+/// the Train* helpers in the recorded order. Errors on an unknown key or a
+/// malformed entry.
+Status ApplyTrainingLog(ExperimentStack& stack,
+                        const std::vector<std::string>& log);
 
 /// Map-matching evaluation on the test split: per-trajectory set metrics
 /// of the stitched route vs the ground-truth route, plus inference time

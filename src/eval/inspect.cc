@@ -1,0 +1,472 @@
+#include "eval/inspect.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "mm/route_stitch.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "robust/pipeline.h"
+
+namespace trmma {
+
+namespace {
+
+constexpr size_t kMaxDiffDetails = 8;
+
+MapMatcher* FindMatcher(ExperimentStack& stack, const std::string& name) {
+  MapMatcher* all[] = {stack.nearest.get(), stack.hmm.get(),
+                       stack.fmm.get(),     stack.lhmm.get(),
+                       stack.mma.get(),     stack.deepmm.get()};
+  for (MapMatcher* m : all) {
+    if (m != nullptr && m->name() == name) return m;
+  }
+  return nullptr;
+}
+
+RecoveryMethod* FindRecovery(ExperimentStack& stack, const std::string& name) {
+  RecoveryMethod* all[] = {stack.trmma.get(),          stack.linear.get(),
+                           stack.mma_linear.get(),     stack.nearest_linear.get(),
+                           stack.mtrajrec.get(),       stack.trajformer.get()};
+  for (RecoveryMethod* m : all) {
+    if (m != nullptr && m->name() == name) return m;
+  }
+  return nullptr;
+}
+
+Trajectory TrajectoryFromRecord(const obs::RequestRecord& record) {
+  Trajectory traj;
+  traj.points.reserve(record.input.size());
+  for (const obs::RecordGpsPoint& p : record.input) {
+    traj.points.push_back({LatLng{p.lat, p.lng}, p.t});
+  }
+  return traj;
+}
+
+void AddDetail(ReplayDiff* diff, const std::string& text) {
+  if (diff->details.size() < kMaxDiffDetails) diff->details.push_back(text);
+}
+
+/// Position-by-position comparison of two segment sequences. A length
+/// difference counts as one mismatch plus whatever differs in the overlap.
+void DiffSegments(const std::vector<std::int64_t>& want,
+                  const std::vector<SegmentId>& got, const char* what,
+                  ReplayDiff* diff) {
+  if (want.size() != got.size()) {
+    ++diff->mismatches;
+    AddDetail(diff, std::string(what) + ": length " +
+                        std::to_string(want.size()) + " recorded vs " +
+                        std::to_string(got.size()) + " replayed");
+  }
+  const size_t n = std::min(want.size(), got.size());
+  for (size_t i = 0; i < n; ++i) {
+    ++diff->compared;
+    if (want[i] != static_cast<std::int64_t>(got[i])) {
+      ++diff->mismatches;
+      AddDetail(diff, std::string(what) + "[" + std::to_string(i) +
+                          "]: segment " + std::to_string(want[i]) +
+                          " recorded vs " + std::to_string(got[i]) +
+                          " replayed");
+    }
+  }
+}
+
+/// Matched/recovered points must reproduce segment AND offset exactly —
+/// the decode is deterministic arithmetic, so bit-equality is the contract.
+void DiffMatched(const std::vector<obs::RecordMatchedPoint>& want,
+                 const MatchedTrajectory& got, const char* what,
+                 ReplayDiff* diff) {
+  if (want.size() != got.size()) {
+    ++diff->mismatches;
+    AddDetail(diff, std::string(what) + ": length " +
+                        std::to_string(want.size()) + " recorded vs " +
+                        std::to_string(got.size()) + " replayed");
+  }
+  const size_t n = std::min(want.size(), got.size());
+  for (size_t i = 0; i < n; ++i) {
+    ++diff->compared;
+    if (want[i].segment != static_cast<std::int64_t>(got[i].segment) ||
+        want[i].ratio != got[i].ratio) {
+      ++diff->mismatches;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s[%zu]: (%lld, %.17g) recorded vs (%d, %.17g) replayed",
+                    what, i, static_cast<long long>(want[i].segment),
+                    want[i].ratio, got[i].segment, got[i].ratio);
+      AddDetail(diff, buf);
+    }
+  }
+}
+
+double Percentile(std::vector<std::int64_t> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
+}
+
+bool ValidSegment(const RoadNetwork& network, std::int64_t sid) {
+  return sid >= 0 && sid < network.num_segments();
+}
+
+void GeoJsonCoord(obs::JsonWriter& w, const LatLng& p) {
+  w.BeginArray().Number(p.lng).Number(p.lat).EndArray();
+}
+
+void GeoJsonSegmentLine(obs::JsonWriter& w, const RoadNetwork& network,
+                        SegmentId sid) {
+  const RoadSegment& seg = network.segment(sid);
+  w.Key("geometry").BeginObject();
+  w.Key("type").String("LineString");
+  w.Key("coordinates").BeginArray();
+  GeoJsonCoord(w, network.node(seg.from).pos);
+  GeoJsonCoord(w, network.node(seg.to).pos);
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+StatusOr<std::vector<obs::RequestRecord>> LoadRecords(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<obs::RequestRecord> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    StatusOr<obs::RequestRecord> record =
+        obs::RequestRecordFromJsonLine(line);
+    if (!record.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + record.status().ToString());
+    }
+    out.push_back(std::move(record).value());
+  }
+  return out;
+}
+
+StatusOr<obs::RequestRecord> FindRecord(const std::string& path,
+                                        const std::string& id) {
+  StatusOr<std::vector<obs::RequestRecord>> records = LoadRecords(path);
+  if (!records.ok()) return records.status();
+  for (obs::RequestRecord& r : *records) {
+    if (r.id == id) return std::move(r);
+  }
+  return Status::NotFound("no record with id " + id + " in " + path);
+}
+
+StatusOr<ReplayDiff> ReplayRecord(ExperimentStack& stack,
+                                  const obs::RequestRecord& record) {
+  const Trajectory input = TrajectoryFromRecord(record);
+  ReplayDiff diff;
+  if (record.kind == "mm") {
+    MapMatcher* matcher = FindMatcher(stack, record.method);
+    if (matcher == nullptr) {
+      return Status::NotFound("no matcher named " + record.method);
+    }
+    const std::vector<SegmentId> segs = matcher->MatchPoints(input);
+    const Route route = StitchRoute(*stack.dataset->network, *stack.planner,
+                                    *stack.engine, segs);
+    std::vector<std::int64_t> want_segs(record.matched.size());
+    for (size_t i = 0; i < record.matched.size(); ++i) {
+      want_segs[i] = record.matched[i].segment;
+    }
+    DiffSegments(want_segs, segs, "matched", &diff);
+    DiffSegments(record.route, route, "route", &diff);
+    return diff;
+  }
+  if (record.kind == "recovery" || record.kind == "pipeline") {
+    RecoveryMethod* method = FindRecovery(stack, record.method);
+    if (method == nullptr) {
+      return Status::NotFound("no recovery method named " + record.method);
+    }
+    if (record.kind == "pipeline") {
+      // Replays the captured (post-fault-injection) input through the
+      // pipeline body; the chaos stage is deliberately skipped.
+      PipelineConfig config;
+      config.epsilon = static_cast<double>(record.epsilon);
+      RobustRecoveryPipeline pipeline(method, config);
+      const PipelineResult result = pipeline.RunSanitized(input);
+      DiffMatched(record.recovered, result.recovered, "recovered", &diff);
+      if (!record.outcome.empty() &&
+          record.outcome != RecoveryOutcomeName(result.outcome)) {
+        ++diff.mismatches;
+        AddDetail(&diff, "outcome: " + record.outcome + " recorded vs " +
+                             RecoveryOutcomeName(result.outcome) +
+                             " replayed");
+      }
+      return diff;
+    }
+    const MatchedTrajectory recovered =
+        method->Recover(input, static_cast<double>(record.epsilon));
+    DiffMatched(record.recovered, recovered, "recovered", &diff);
+    return diff;
+  }
+  return Status::InvalidArgument("unknown record kind: " + record.kind);
+}
+
+std::int64_t ReplayRetainedRecords(ExperimentStack& stack) {
+  std::int64_t mismatches = 0;
+  for (const obs::RequestRecord& record :
+       obs::FlightRecorder::Global().Snapshot()) {
+    if (record.city != stack.dataset->name) continue;
+    StatusOr<ReplayDiff> diff = ReplayRecord(stack, record);
+    if (!diff.ok()) {
+      ++mismatches;
+      continue;
+    }
+    mismatches += diff->mismatches;
+  }
+  obs::FlightRecorder::Global().AddReplayMismatches(mismatches);
+  return mismatches;
+}
+
+StatusOr<ReplayDiff> ReplayRecordRebuilt(const obs::RequestRecord& record) {
+  StatusOr<Dataset> dataset = BuildCityDatasetByName(
+      record.city, static_cast<int>(record.dataset_trajectories));
+  if (!dataset.ok()) return dataset.status();
+  StackConfig config;
+  config.seed = static_cast<uint64_t>(record.seed);
+  ExperimentStack stack = BuildStack(*dataset, config);
+  const Status trained = ApplyTrainingLog(stack, record.train_state);
+  if (!trained.ok()) return trained;
+  return ReplayRecord(stack, record);
+}
+
+std::string RecordToGeoJson(const RoadNetwork& network,
+                            const obs::RequestRecord& record) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("FeatureCollection");
+  w.Key("features").BeginArray();
+
+  for (size_t i = 0; i < record.input.size(); ++i) {
+    const obs::RecordGpsPoint& p = record.input[i];
+    w.BeginObject();
+    w.Key("type").String("Feature");
+    w.Key("geometry").BeginObject();
+    w.Key("type").String("Point");
+    w.Key("coordinates");
+    GeoJsonCoord(w, LatLng{p.lat, p.lng});
+    w.EndObject();
+    w.Key("properties").BeginObject();
+    w.Key("layer").String("gps");
+    w.Key("index").Int(static_cast<long long>(i));
+    w.Key("t").Number(p.t);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  for (size_t i = 0; i < record.candidates.size(); ++i) {
+    for (const obs::RecordCandidate& c : record.candidates[i]) {
+      if (!ValidSegment(network, c.segment)) continue;
+      w.BeginObject();
+      w.Key("type").String("Feature");
+      GeoJsonSegmentLine(w, network, static_cast<SegmentId>(c.segment));
+      w.Key("properties").BeginObject();
+      w.Key("layer").String("candidate");
+      w.Key("point_index").Int(static_cast<long long>(i));
+      w.Key("segment").Int(c.segment);
+      w.Key("distance").Number(c.distance);
+      w.Key("ratio").Number(c.ratio);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+
+  if (!record.route.empty()) {
+    w.BeginObject();
+    w.Key("type").String("Feature");
+    w.Key("geometry").BeginObject();
+    w.Key("type").String("LineString");
+    w.Key("coordinates").BeginArray();
+    std::int64_t drawn = 0;
+    for (size_t k = 0; k < record.route.size(); ++k) {
+      const std::int64_t sid = record.route[k];
+      if (!ValidSegment(network, sid)) continue;
+      const RoadSegment& seg = network.segment(static_cast<SegmentId>(sid));
+      GeoJsonCoord(w, network.node(seg.from).pos);
+      if (k + 1 == record.route.size()) {
+        GeoJsonCoord(w, network.node(seg.to).pos);
+      }
+      ++drawn;
+    }
+    w.EndArray();
+    w.EndObject();
+    w.Key("properties").BeginObject();
+    w.Key("layer").String("route");
+    w.Key("segments").Int(drawn);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  for (size_t i = 0; i < record.recovered.size(); ++i) {
+    const obs::RecordMatchedPoint& p = record.recovered[i];
+    if (!ValidSegment(network, p.segment)) continue;
+    w.BeginObject();
+    w.Key("type").String("Feature");
+    w.Key("geometry").BeginObject();
+    w.Key("type").String("Point");
+    w.Key("coordinates");
+    GeoJsonCoord(w, network.LatLngOnSegment(static_cast<SegmentId>(p.segment),
+                                            p.ratio));
+    w.EndObject();
+    w.Key("properties").BeginObject();
+    w.Key("layer").String("recovered");
+    w.Key("index").Int(static_cast<long long>(i));
+    w.Key("segment").Int(p.segment);
+    w.Key("ratio").Number(p.ratio);
+    w.Key("t").Number(p.t);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string SummarizeRecords(
+    const std::vector<obs::RequestRecord>& records) {
+  std::ostringstream out;
+  out << "records: " << records.size() << "\n";
+  if (records.empty()) return out.str();
+
+  std::map<std::string, int> by_kind;
+  std::map<std::string, int> by_method;
+  std::map<std::string, int> by_outcome;
+  std::map<std::string, int> by_reason;
+  std::vector<std::int64_t> wall;
+  // Per city: (points with candidates, total candidates, max set size).
+  std::map<std::string, std::array<std::int64_t, 3>> cand;
+  for (const obs::RequestRecord& r : records) {
+    ++by_kind[r.kind];
+    ++by_method[r.method.empty() ? "(none)" : r.method];
+    ++by_outcome[r.outcome.empty() ? "(n/a)" : r.outcome];
+    ++by_reason[r.reason.empty() ? "(n/a)" : r.reason];
+    wall.push_back(r.wall_us);
+    auto& c = cand[r.city.empty() ? "(none)" : r.city];
+    for (const auto& per_point : r.candidates) {
+      ++c[0];
+      c[1] += static_cast<std::int64_t>(per_point.size());
+      c[2] = std::max(c[2], static_cast<std::int64_t>(per_point.size()));
+    }
+  }
+
+  auto print_map = [&out](const char* title,
+                          const std::map<std::string, int>& m) {
+    out << title << ":";
+    for (const auto& [key, count] : m) out << " " << key << "=" << count;
+    out << "\n";
+  };
+  print_map("kinds", by_kind);
+  print_map("methods", by_method);
+  print_map("outcomes", by_outcome);
+  print_map("retained_for", by_reason);
+
+  std::sort(wall.begin(), wall.end());
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "latency_us: p50=%.0f p90=%.0f p99=%.0f max=%lld\n",
+                Percentile(wall, 0.5), Percentile(wall, 0.9),
+                Percentile(wall, 0.99),
+                static_cast<long long>(wall.back()));
+  out << buf;
+
+  for (const auto& [city, c] : cand) {
+    if (c[0] == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "candidates[%s]: points=%lld mean=%.2f max=%lld\n",
+                  city.c_str(), static_cast<long long>(c[0]),
+                  static_cast<double>(c[1]) / static_cast<double>(c[0]),
+                  static_cast<long long>(c[2]));
+    out << buf;
+  }
+  return out.str();
+}
+
+std::string DescribeRecord(const obs::RequestRecord& record) {
+  std::ostringstream out;
+  out << "id: " << record.id << "\n";
+  out << "kind: " << record.kind << "  method: " << record.method
+      << "  city: " << record.city << "\n";
+  out << "seed: " << record.seed << "  epsilon: " << record.epsilon
+      << "  dataset_trajectories: " << record.dataset_trajectories << "\n";
+  out << "wall_us: " << record.wall_us;
+  if (record.quality >= 0.0) out << "  quality: " << record.quality;
+  if (!record.outcome.empty()) out << "  outcome: " << record.outcome;
+  if (!record.reason.empty()) out << "  retained_for: " << record.reason;
+  out << "\n";
+  if (!record.train_state.empty()) {
+    out << "train_state:";
+    for (const std::string& s : record.train_state) out << " " << s;
+    out << "\n";
+  }
+  if (!record.stages.empty()) {
+    out << "stages:";
+    for (const obs::RecordStage& s : record.stages) {
+      out << " " << s.name << "=" << s.us << "us";
+    }
+    out << "\n";
+  }
+  if (!record.error.empty()) out << "error: " << record.error << "\n";
+
+  out << "points: " << record.input.size() << "\n";
+  constexpr size_t kMaxPoints = 200;
+  for (size_t i = 0; i < record.input.size() && i < kMaxPoints; ++i) {
+    const obs::RecordGpsPoint& p = record.input[i];
+    char buf[200];
+    std::snprintf(buf, sizeof(buf), "  [%3zu] (%.6f, %.6f) t=%.1f", i, p.lat,
+                  p.lng, p.t);
+    out << buf;
+    if (i < record.candidates.size()) {
+      out << "  candidates=" << record.candidates[i].size();
+      if (!record.candidates[i].empty()) {
+        const obs::RecordCandidate& c = record.candidates[i][0];
+        std::snprintf(buf, sizeof(buf), " nearest=(%lld, %.1fm)",
+                      static_cast<long long>(c.segment), c.distance);
+        out << buf;
+      }
+    }
+    if (i < record.matched.size()) {
+      out << "  -> seg " << record.matched[i].segment;
+    }
+    if (i < record.scores.size()) {
+      std::snprintf(buf, sizeof(buf), " score=%.4f", record.scores[i]);
+      out << buf;
+    }
+    out << "\n";
+  }
+  if (record.input.size() > kMaxPoints) {
+    out << "  ... (" << record.input.size() - kMaxPoints << " more)\n";
+  }
+
+  if (!record.route.empty()) {
+    out << "route: " << record.route.size() << " segments";
+    if (record.route_sections > 0) {
+      out << " in " << record.route_sections << " section(s)";
+    }
+    out << "\n";
+  }
+  if (!record.recovered.empty()) {
+    out << "recovered: " << record.recovered.size() << " points";
+    if (record.degraded_points > 0) {
+      out << " (" << record.degraded_points << " degraded)";
+    }
+    out << "\n";
+  }
+  if (!record.events.empty()) {
+    out << "events:\n";
+    for (const std::string& e : record.events) out << "  " << e << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace trmma

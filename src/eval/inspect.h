@@ -1,0 +1,72 @@
+#ifndef TRMMA_EVAL_INSPECT_H_
+#define TRMMA_EVAL_INSPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/experiment.h"
+#include "graph/road_network.h"
+#include "obs/request_record.h"
+
+namespace trmma {
+
+/// Offline side of the flight recorder: loading persisted records,
+/// rendering them (text / GeoJSON), and replaying them against live
+/// methods. Shared by the trmma_inspect CLI and the bench replay smoke.
+
+/// Loads every record of a JSONL file written by FlightRecorder::Flush.
+/// A malformed line is an error (records are a contract, not best-effort).
+StatusOr<std::vector<obs::RequestRecord>> LoadRecords(const std::string& path);
+
+/// Loads one record by id from a JSONL file.
+StatusOr<obs::RequestRecord> FindRecord(const std::string& path,
+                                        const std::string& id);
+
+/// Outcome of replaying one record: per-position comparison of the replayed
+/// matched route / recovered trajectory against the recorded one.
+struct ReplayDiff {
+  int compared = 0;    ///< positions compared
+  int mismatches = 0;  ///< positions that differ (plus any length delta)
+  std::vector<std::string> details;  ///< human-readable, capped
+
+  bool clean() const { return mismatches == 0; }
+};
+
+/// Re-runs `record` through the matching method instance of `stack` (found
+/// by RequestRecord::method) from the captured input, and diffs routes
+/// segment-by-segment and recovered points segment+offset-wise. The stack
+/// must already be in the recorded training state — this is the in-process
+/// primitive used right after a bench run, and by ReplayRecordRebuilt after
+/// it reconstructs that state.
+StatusOr<ReplayDiff> ReplayRecord(ExperimentStack& stack,
+                                  const obs::RequestRecord& record);
+
+/// Bench helper: replays every record currently retained by the global
+/// recorder whose city matches `stack`, reports mismatches to the recorder
+/// (so they land in the BENCH json), and returns the mismatch total.
+std::int64_t ReplayRetainedRecords(ExperimentStack& stack);
+
+/// Full cross-process replay: rebuilds the dataset and stack named by the
+/// record (city, dataset size, seed), re-applies the recorded training log,
+/// then replays. Deterministic generation + seeded training makes this
+/// bit-exact with the original run.
+StatusOr<ReplayDiff> ReplayRecordRebuilt(const obs::RequestRecord& record);
+
+/// GeoJSON FeatureCollection of a record: GPS points, candidate segments,
+/// the matched route, and recovered points, each layer tagged via a
+/// "layer" property. Coordinates are [lng, lat] per RFC 7946.
+std::string RecordToGeoJson(const RoadNetwork& network,
+                            const obs::RequestRecord& record);
+
+/// Aggregate text summary of a record set: outcome/kind/method tallies,
+/// latency percentiles, and the candidate-set-size distribution per city.
+std::string SummarizeRecords(const std::vector<obs::RequestRecord>& records);
+
+/// Human-readable decision trace of one record (`trmma_inspect show`).
+std::string DescribeRecord(const obs::RequestRecord& record);
+
+}  // namespace trmma
+
+#endif  // TRMMA_EVAL_INSPECT_H_

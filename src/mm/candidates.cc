@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -54,6 +55,10 @@ std::vector<std::vector<Candidate>> ComputeCandidates(
     if (!Finite(xy[i])) xy[i] = Vec2{0.0, 0.0};
   }
   Count("mm.candidates.nonfinite_repaired", nonfinite);
+  if (nonfinite > 0) {
+    obs::RecordEvent("candidates:nonfinite_repaired=" +
+                     std::to_string(nonfinite));
+  }
 
   std::vector<std::vector<Candidate>> out(n);
   for (int i = 0; i < n; ++i) {
@@ -70,12 +75,16 @@ std::vector<std::vector<Candidate>> ComputeCandidates(
             hits.resize(std::max(kc, 1));
           }
           Count("mm.candidates.radius_widened");
+          obs::RecordEvent("candidates:radius_widened@" + std::to_string(i));
           break;
         }
       }
       if (hits.empty()) {
         hits = index.KNearest(xy[i], 1);
-        if (!hits.empty()) Count("mm.candidates.nearest_fallback");
+        if (!hits.empty()) {
+          Count("mm.candidates.nearest_fallback");
+          obs::RecordEvent("candidates:nearest_fallback@" + std::to_string(i));
+        }
       }
     }
     out[i].reserve(hits.size());
@@ -98,6 +107,18 @@ std::vector<std::vector<Candidate>> ComputeCandidates(
     static obs::Counter* const points =
         obs::MetricRegistry::Global().GetCounter("mm.candidates.points");
     points->Increment(n);
+  }
+  // Flight recorder: the first candidate computation of a request defines
+  // its candidate trace (nested matcher calls don't overwrite it).
+  if (obs::RequestRecord* rec = obs::ActiveRecord();
+      rec != nullptr && rec->candidates.empty()) {
+    rec->candidates.resize(n);
+    for (int i = 0; i < n; ++i) {
+      rec->candidates[i].reserve(out[i].size());
+      for (const Candidate& c : out[i]) {
+        rec->candidates[i].push_back({c.segment, c.distance, c.ratio});
+      }
+    }
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -103,6 +104,7 @@ std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
     bool any = false;
     for (double s : score[i]) any = any || s > kLogZero / 2;
     if (!any) {
+      obs::RecordEvent("hmm:chain_restart@" + std::to_string(i));
       for (size_t j = 0; j < cur.size(); ++j) {
         score[i][j] = EmissionLogProb(cur[j]);
         back[i][j] = -1;
@@ -118,12 +120,17 @@ std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
   }
 
   // Backtrack.
+  obs::RequestRecord* rec = obs::ActiveRecord();
+  const bool capture_scores = rec != nullptr && rec->scores.empty();
+  if (capture_scores) rec->scores.assign(n, 0.0);
   int best = 0;
   for (size_t j = 1; j < score[n - 1].size(); ++j) {
     if (score[n - 1][j] > score[n - 1][best]) best = static_cast<int>(j);
   }
   for (int i = n - 1; i >= 0; --i) {
     result[i] = candidates[i][best].segment;
+    // Per-point confidence: the emission log-prob of the chosen candidate.
+    if (capture_scores) rec->scores[i] = EmissionLogProb(candidates[i][best]);
     if (i > 0) {
       const int b = back[i][best];
       best = b >= 0 ? b : 0;

@@ -8,6 +8,7 @@
 #include "nn/ops.h"
 #include "nn/serialize.h"
 #include "nn/telemetry.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -237,6 +238,9 @@ std::vector<SegmentId> MmaMatcher::MatchPointsWithScores(
 
   auto candidates = ComputeCandidates(network_, index_, traj, config_.kc);
   if (!EnsureNonEmptyCandidates(&candidates)) return out;  // all unmatched
+  obs::RequestRecord* rec = obs::ActiveRecord();
+  const bool capture_scores = rec != nullptr && rec->scores.empty();
+  if (capture_scores) rec->scores.assign(traj.size(), 0.0);
   nn::Tape tape;
   std::vector<Tensor> logits = ForwardLogits(tape, traj, candidates);
   for (int i = 0; i < traj.size(); ++i) {
@@ -247,10 +251,12 @@ std::vector<SegmentId> MmaMatcher::MatchPointsWithScores(
       }
     }
     out[i] = candidates[i][best].segment;
-    if (scores != nullptr) {
-      const double z = logits[i].value().at(best, 0);
-      (*scores)[i] = 1.0 / (1.0 + std::exp(-z));
-    }
+    const double z = logits[i].value().at(best, 0);
+    const double prob = 1.0 / (1.0 + std::exp(-z));
+    if (scores != nullptr) (*scores)[i] = prob;
+    // Flight recorder: capture the classifier's confidence even when the
+    // caller doesn't ask for scores (the common MatchPoints path).
+    if (capture_scores) rec->scores[i] = prob;
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #include "mm/nearest.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 
 namespace trmma {
 
@@ -9,6 +10,9 @@ NearestMatcher::NearestMatcher(const RoadNetwork& network,
     : network_(network), index_(index) {}
 
 std::vector<SegmentId> NearestMatcher::MatchPoints(const Trajectory& traj) {
+  obs::RequestRecord* rec = obs::ActiveRecord();
+  const bool capture = rec != nullptr && rec->scores.empty();
+  const bool capture_cands = capture && rec->candidates.empty();
   std::vector<SegmentId> out;
   out.reserve(traj.size());
   for (const GpsPoint& p : traj.points) {
@@ -17,6 +21,19 @@ std::vector<SegmentId> NearestMatcher::MatchPoints(const Trajectory& traj) {
     // Empty only for a segmentless network or a non-finite coordinate;
     // report the point as unmatched rather than aborting the process.
     out.push_back(hits.empty() ? kInvalidSegment : hits[0].segment);
+    // Score for the flight recorder: negated point-to-segment distance,
+    // so "higher is more confident" holds across matchers.
+    if (capture) {
+      rec->scores.push_back(hits.empty() ? 0.0 : -hits[0].distance);
+      if (hits.empty()) obs::RecordEvent("nearest:unmatched_point");
+    }
+    if (capture_cands) {
+      rec->candidates.push_back(
+          hits.empty() ? std::vector<obs::RecordCandidate>{}
+                       : std::vector<obs::RecordCandidate>{
+                             {hits[0].segment, hits[0].distance,
+                              hits[0].ratio}});
+    }
   }
   return out;
 }

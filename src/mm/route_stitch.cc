@@ -1,6 +1,7 @@
 #include "mm/route_stitch.h"
 
 #include "graph/route.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace trmma {
@@ -46,6 +47,8 @@ std::vector<RouteSection> StitchRouteSections(
     } else {
       // Unroutable pair: close the section and restart from this point.
       ++disconnected;
+      obs::RecordEvent("stitch:unroutable " + std::to_string(prev) + "->" +
+                       std::to_string(sid) + "@" + std::to_string(i));
       sections.push_back(std::move(cur));
       cur = RouteSection{{sid}, i, i};
     }
@@ -56,6 +59,10 @@ std::vector<RouteSection> StitchRouteSections(
     static obs::Counter* const counter =
         obs::MetricRegistry::Global().GetCounter("mm.stitch.disconnected");
     counter->Increment(disconnected);
+  }
+  if (obs::RequestRecord* rec = obs::ActiveRecord();
+      rec != nullptr && rec->route_sections == 0) {
+    rec->route_sections = static_cast<std::int64_t>(sections.size());
   }
   return sections;
 }

@@ -1,0 +1,219 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace trmma {
+namespace obs {
+
+namespace internal_obs {
+std::atomic<bool> g_flight_enabled{false};
+thread_local RequestRecord* t_flight_current = nullptr;
+}  // namespace internal_obs
+
+FlightRecorderConfig FlightRecorderConfigFromEnv() {
+  FlightRecorderConfig config;
+  const char* sample = std::getenv("TRMMA_FLIGHT_RECORDER");
+  if (sample != nullptr && sample[0] != '\0') {
+    const long n = std::strtol(sample, nullptr, 10);
+    if (n >= 1) {
+      config.enabled = true;
+      config.sample_every = static_cast<int>(n);
+    }
+  }
+  const char* path = std::getenv("TRMMA_FLIGHT_RECORDER_FILE");
+  if (path != nullptr) config.path = path;
+  return config;
+}
+
+void RecordEvent(const std::string& event) {
+  RequestRecord* r = ActiveRecord();
+  if (r == nullptr) return;
+  const std::size_t cap = static_cast<std::size_t>(
+      FlightRecorder::Global().config().max_events);
+  if (r->events.size() < cap) {
+    r->events.push_back(event);
+  } else if (r->events.size() == cap) {
+    r->events.push_back("events_truncated");
+  }
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Configure(const FlightRecorderConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  if (config_.sample_every < 1) config_.sample_every = 1;
+  internal_obs::g_flight_enabled.store(config_.enabled,
+                                       std::memory_order_relaxed);
+}
+
+FlightRecorderConfig FlightRecorder::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+std::string FlightRecorder::NextRequestId(std::int64_t* index) {
+  const std::int64_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+  if (index != nullptr) *index = i;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "req-%06lld", static_cast<long long>(i));
+  return buf;
+}
+
+void FlightRecorder::DropReasonLocked(const std::string& id,
+                                      const std::string& reason) {
+  const auto it = retained_.find(id);
+  if (it == retained_.end()) return;
+  it->second.reasons.erase(reason);
+  if (it->second.reasons.empty()) retained_.erase(it);
+}
+
+void FlightRecorder::End(RequestRecord&& record, std::int64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  std::set<std::string> reasons;
+
+  if ((record.outcome == "failed" || record.outcome == "degraded") &&
+      outcome_retained_ < config_.max_outcome_records) {
+    reasons.insert("outcome");
+    ++outcome_retained_;
+  }
+  if (index % config_.sample_every == 0) reasons.insert("sampled");
+  if (config_.top_slow > 0) {
+    if (static_cast<int>(slow_.size()) < config_.top_slow) {
+      slow_.emplace_back(record.wall_us, record.id);
+      reasons.insert("slow");
+    } else {
+      auto min_it = std::min_element(slow_.begin(), slow_.end());
+      if (record.wall_us > min_it->first) {
+        DropReasonLocked(min_it->second, "slow");
+        *min_it = {record.wall_us, record.id};
+        reasons.insert("slow");
+      }
+    }
+  }
+  if (config_.top_worst > 0 && record.quality >= 0.0) {
+    if (static_cast<int>(worst_.size()) < config_.top_worst) {
+      worst_.emplace_back(record.quality, record.id);
+      reasons.insert("worst");
+    } else {
+      auto max_it = std::max_element(worst_.begin(), worst_.end());
+      if (record.quality < max_it->first) {
+        DropReasonLocked(max_it->second, "worst");
+        *max_it = {record.quality, record.id};
+        reasons.insert("worst");
+      }
+    }
+  }
+
+  if (reasons.empty()) return;
+  // Primary reason, by diagnostic value: a failed/degraded outcome beats
+  // being slow, which beats poor quality, which beats the uniform sample.
+  for (const char* primary : {"outcome", "slow", "worst", "sampled"}) {
+    if (reasons.count(primary) != 0) {
+      record.reason = primary;
+      break;
+    }
+  }
+  const std::string id = record.id;
+  retained_[id] = Retained{std::move(record), std::move(reasons)};
+}
+
+std::int64_t FlightRecorder::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.path.empty()) return 0;
+  std::ofstream out(config_.path, std::ios::trunc);
+  if (!out) return 0;
+  std::int64_t bytes = 0;
+  for (const auto& [id, retained] : retained_) {
+    const std::string line = retained.record.ToJsonLine();
+    out << line << '\n';
+    bytes += static_cast<std::int64_t>(line.size()) + 1;
+  }
+  written_ = static_cast<std::int64_t>(retained_.size());
+  bytes_ = bytes;
+  return written_;
+}
+
+std::vector<RequestRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestRecord> out;
+  out.reserve(retained_.size());
+  for (const auto& [id, retained] : retained_) out.push_back(retained.record);
+  return out;
+}
+
+void FlightRecorder::AddReplayMismatches(std::int64_t n) {
+  replay_mismatches_.fetch_add(n, std::memory_order_relaxed);
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.requests = requests_;
+  s.retained = static_cast<std::int64_t>(retained_.size());
+  s.written = written_;
+  s.bytes = bytes_;
+  s.replay_mismatches = replay_mismatches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string FlightRecorder::StatsJson() const {
+  const Stats s = stats();
+  const FlightRecorderConfig c = config();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("requests").Int(s.requests);
+  w.Key("retained").Int(s.retained);
+  w.Key("written").Int(s.written);
+  w.Key("bytes").Int(s.bytes);
+  w.Key("replay_mismatches").Int(s.replay_mismatches);
+  w.Key("sample_every").Int(c.sample_every);
+  w.EndObject();
+  return w.TakeString();
+}
+
+void FlightRecorder::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_index_.store(0, std::memory_order_relaxed);
+  requests_ = 0;
+  outcome_retained_ = 0;
+  written_ = 0;
+  bytes_ = 0;
+  replay_mismatches_.store(0, std::memory_order_relaxed);
+  retained_.clear();
+  slow_.clear();
+  worst_.clear();
+}
+
+RequestScope::RequestScope(const char* kind) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  if (!recorder.enabled() || internal_obs::t_flight_current != nullptr) {
+    return;
+  }
+  active_ = true;
+  record_.kind = kind;
+  record_.id = recorder.NextRequestId(&index_);
+  internal_obs::t_flight_current = &record_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+RequestScope::~RequestScope() {
+  if (!active_) return;
+  internal_obs::t_flight_current = nullptr;
+  record_.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  FlightRecorder::Global().End(std::move(record_), index_);
+}
+
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,155 @@
+#ifndef TRMMA_OBS_FLIGHT_RECORDER_H_
+#define TRMMA_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/request_record.h"
+
+namespace trmma {
+namespace obs {
+
+/// Retention policy and output location for the per-request flight recorder.
+/// Disabled by default; enabling it captures a full decision trace per
+/// request and keeps a bounded set of exemplars (see FlightRecorder).
+struct FlightRecorderConfig {
+  bool enabled = false;
+  /// Uniform sampling: every `sample_every`-th request is retained
+  /// unconditionally (1 = all).
+  int sample_every = 100;
+  int top_slow = 8;       ///< K slowest requests by wall time
+  int top_worst = 8;      ///< K worst-quality requests (when quality is known)
+  int max_outcome_records = 64;  ///< cap on retained failed/degraded requests
+  int max_events = 64;    ///< per-record event-list cap
+  std::string path = "flight_records.jsonl";  ///< JSONL sink; "" = no file
+};
+
+/// Reads TRMMA_FLIGHT_RECORDER (an integer N enables 1-in-N sampling) and
+/// TRMMA_FLIGHT_RECORDER_FILE (output path) into a config.
+FlightRecorderConfig FlightRecorderConfigFromEnv();
+
+namespace internal_obs {
+extern std::atomic<bool> g_flight_enabled;
+extern thread_local RequestRecord* t_flight_current;
+}  // namespace internal_obs
+
+/// The per-hook fast gate. When the recorder is disabled this is one relaxed
+/// atomic load and a branch (the ≤2 ns contract measured by bench_micro_obs);
+/// hooks do all capture work behind a non-null return.
+inline RequestRecord* ActiveRecord() {
+  if (!internal_obs::g_flight_enabled.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  return internal_obs::t_flight_current;
+}
+
+/// Appends a diagnostic event to the active record, if any. Event lists are
+/// capped (FlightRecorderConfig::max_events) with an explicit truncation
+/// marker so a pathological request can't balloon a record.
+void RecordEvent(const std::string& event);
+
+/// Process-wide recorder: assigns request IDs, applies retention at request
+/// end, and persists retained exemplars as JSONL.
+class FlightRecorder {
+ public:
+  struct Stats {
+    std::int64_t requests = 0;   ///< requests begun while enabled
+    std::int64_t retained = 0;   ///< exemplars currently held
+    std::int64_t written = 0;    ///< records persisted by the last Flush
+    std::int64_t bytes = 0;      ///< bytes written by the last Flush
+    std::int64_t replay_mismatches = 0;
+  };
+
+  static FlightRecorder& Global();
+
+  void Configure(const FlightRecorderConfig& config);
+  FlightRecorderConfig config() const;
+  bool enabled() const {
+    return internal_obs::g_flight_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Retention decision for a finished request. `index` is the zero-based
+  /// request index from NextRequestId (drives uniform sampling). Takes
+  /// ownership of the record; called by RequestScope, not directly.
+  void End(RequestRecord&& record, std::int64_t index);
+
+  /// Next request id ("req-%06d") and the zero-based request index used for
+  /// uniform sampling.
+  std::string NextRequestId(std::int64_t* index);
+
+  /// Rewrites the configured JSONL file with all currently retained records
+  /// (sorted by id, so output is deterministic). Idempotent; returns the
+  /// number of records written.
+  std::int64_t Flush();
+
+  /// Copies of the retained exemplars, sorted by id.
+  std::vector<RequestRecord> Snapshot() const;
+
+  /// Replay harnesses report divergences here so they surface in StatsJson.
+  void AddReplayMismatches(std::int64_t n);
+
+  Stats stats() const;
+  /// One-line JSON object for splicing into BENCH_*.json reports.
+  std::string StatsJson() const;
+
+  /// Drops retained records and resets counters/stats; keeps the config.
+  void ResetForTest();
+
+ private:
+  FlightRecorder() = default;
+
+  struct Retained {
+    RequestRecord record;
+    std::set<std::string> reasons;
+  };
+
+  // Drops `reason` from `id`, erasing the exemplar once no reason holds it.
+  void DropReasonLocked(const std::string& id, const std::string& reason);
+
+  mutable std::mutex mu_;
+  FlightRecorderConfig config_;
+  std::atomic<std::int64_t> next_index_{0};
+  std::int64_t requests_ = 0;
+  std::int64_t outcome_retained_ = 0;
+  std::int64_t written_ = 0;
+  std::int64_t bytes_ = 0;
+  std::atomic<std::int64_t> replay_mismatches_{0};
+  std::map<std::string, Retained> retained_;
+  /// Top-K rankings: (wall_us, id) for slow, (quality, id) for worst.
+  std::vector<std::pair<std::int64_t, std::string>> slow_;
+  std::vector<std::pair<double, std::string>> worst_;
+};
+
+/// RAII capture scope for one request. Activates capture on the current
+/// thread when the recorder is enabled and no request is already active
+/// (nested scopes are no-ops, so a pipeline request wrapping a matcher call
+/// produces one record). Fills wall time and hands the record to retention
+/// on destruction.
+class RequestScope {
+ public:
+  explicit RequestScope(const char* kind);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  /// The record being captured, or nullptr when this scope is inactive.
+  RequestRecord* record() { return active_ ? &record_ : nullptr; }
+
+ private:
+  RequestRecord record_;
+  bool active_ = false;
+  std::int64_t index_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_FLIGHT_RECORDER_H_

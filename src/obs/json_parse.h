@@ -1,0 +1,70 @@
+#ifndef TRMMA_OBS_JSON_PARSE_H_
+#define TRMMA_OBS_JSON_PARSE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trmma {
+namespace obs {
+
+/// Minimal immutable JSON document, the reading counterpart of JsonWriter.
+/// Only what the flight-recorder record format and the inspect tooling
+/// need: objects, arrays, strings, numbers, booleans and null. Numbers are
+/// held as double (the writer emits round-trippable %.17g, so every double
+/// the recorder writes survives a parse bit-exactly).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+
+  /// Object member by key, or null-typed sentinel when absent (so chained
+  /// lookups on partial documents never dereference missing members).
+  const JsonValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const {
+    return object_.find(key) != object_.end();
+  }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document from `text` (trailing whitespace
+/// allowed, trailing garbage is an error). Depth-limited recursive descent;
+/// intended for trusted repo-generated files (records, reports, traces),
+/// not adversarial input.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_JSON_PARSE_H_

@@ -122,6 +122,9 @@ double Histogram::Quantile(double q) const {
   const double min_snap = min_.load(std::memory_order_relaxed);
   const double max_snap = max_.load(std::memory_order_relaxed);
   if (min_snap > max_snap) return 0.0;
+  // NaN slips through std::clamp (both comparisons are false) and would
+  // make every `next >= target` test fail, silently returning max.
+  if (std::isnan(q)) return Min();
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total);
   int64_t cum = 0;

@@ -5,6 +5,7 @@
 #include <ctime>
 
 #include "nn/profiler.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/train_log.h"
@@ -64,6 +65,13 @@ std::string RunReport::ToJson() const {
   const std::string training_json = TrainLogger::Global().HasRows()
                                         ? TrainLogger::Global().SummaryJson()
                                         : std::string();
+  // Flight-recorder stats appear only when the recorder was on, and a final
+  // Flush first makes sure the stats describe what is actually on disk.
+  std::string flight_json;
+  if (FlightRecorder::Global().enabled()) {
+    FlightRecorder::Global().Flush();
+    flight_json = FlightRecorder::Global().StatsJson();
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
@@ -110,6 +118,10 @@ std::string RunReport::ToJson() const {
   if (!training_json.empty()) {
     out += ",\"training\":";
     out += training_json;
+  }
+  if (!flight_json.empty()) {
+    out += ",\"flight_recorder\":";
+    out += flight_json;
   }
   out += '}';
   return out;

@@ -1,0 +1,164 @@
+#include "obs/request_record.h"
+
+#include "obs/json.h"
+#include "obs/json_parse.h"
+
+namespace trmma {
+namespace obs {
+
+namespace {
+
+void WriteMatchedArray(JsonWriter& w, const std::string& key,
+                       const std::vector<RecordMatchedPoint>& points) {
+  w.Key(key).BeginArray();
+  for (const auto& p : points) {
+    w.BeginArray().Int(p.segment).Number(p.ratio).Number(p.t).EndArray();
+  }
+  w.EndArray();
+}
+
+std::vector<RecordMatchedPoint> ReadMatchedArray(const JsonValue& v) {
+  std::vector<RecordMatchedPoint> out;
+  if (!v.is_array()) return out;
+  for (const auto& item : v.AsArray()) {
+    const auto& a = item.AsArray();
+    RecordMatchedPoint p;
+    if (a.size() >= 1) p.segment = static_cast<std::int64_t>(a[0].AsNumber());
+    if (a.size() >= 2) p.ratio = a[1].AsNumber();
+    if (a.size() >= 3) p.t = a[2].AsNumber();
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RequestRecord::ToJsonLine() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").String(id);
+  w.Key("kind").String(kind);
+  w.Key("method").String(method);
+  w.Key("city").String(city);
+  w.Key("seed").Int(seed);
+  w.Key("epsilon").Int(epsilon);
+  w.Key("dataset_trajectories").Int(dataset_trajectories);
+  w.Key("train_state").BeginArray();
+  for (const auto& s : train_state) w.String(s);
+  w.EndArray();
+  w.Key("input").BeginArray();
+  for (const auto& p : input) {
+    w.BeginArray().Number(p.lat).Number(p.lng).Number(p.t).EndArray();
+  }
+  w.EndArray();
+  w.Key("candidates").BeginArray();
+  for (const auto& per_point : candidates) {
+    w.BeginArray();
+    for (const auto& c : per_point) {
+      w.BeginArray().Int(c.segment).Number(c.distance).Number(c.ratio)
+          .EndArray();
+    }
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Key("scores").BeginArray();
+  for (double s : scores) w.Number(s);
+  w.EndArray();
+  WriteMatchedArray(w, "matched", matched);
+  w.Key("route").BeginArray();
+  for (std::int64_t s : route) w.Int(s);
+  w.EndArray();
+  WriteMatchedArray(w, "recovered", recovered);
+  w.Key("outcome").String(outcome);
+  w.Key("route_sections").Int(route_sections);
+  w.Key("degraded_points").Int(degraded_points);
+  w.Key("events").BeginArray();
+  for (const auto& e : events) w.String(e);
+  w.EndArray();
+  w.Key("error").String(error);
+  w.Key("wall_us").Int(wall_us);
+  w.Key("stages").BeginArray();
+  for (const auto& st : stages) {
+    w.BeginObject().Key("name").String(st.name).Key("us").Int(st.us)
+        .EndObject();
+  }
+  w.EndArray();
+  w.Key("quality").Number(quality);
+  w.Key("reason").String(reason);
+  w.EndObject();
+  return w.TakeString();
+}
+
+StatusOr<RequestRecord> RequestRecordFromJsonLine(const std::string& line) {
+  StatusOr<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& v = *parsed;
+  if (!v.is_object()) {
+    return Status::InvalidArgument("record line is not a JSON object");
+  }
+  if (!v.Get("id").is_string() || v.Get("id").AsString().empty()) {
+    return Status::InvalidArgument("record has no id");
+  }
+  RequestRecord r;
+  r.id = v.Get("id").AsString();
+  r.kind = v.Get("kind").AsString();
+  r.method = v.Get("method").AsString();
+  r.city = v.Get("city").AsString();
+  r.seed = static_cast<std::int64_t>(v.Get("seed").AsNumber());
+  r.epsilon = static_cast<std::int64_t>(v.Get("epsilon").AsNumber());
+  r.dataset_trajectories =
+      static_cast<std::int64_t>(v.Get("dataset_trajectories").AsNumber());
+  for (const auto& s : v.Get("train_state").AsArray()) {
+    r.train_state.push_back(s.AsString());
+  }
+  for (const auto& item : v.Get("input").AsArray()) {
+    const auto& a = item.AsArray();
+    RecordGpsPoint p;
+    if (a.size() >= 1) p.lat = a[0].AsNumber();
+    if (a.size() >= 2) p.lng = a[1].AsNumber();
+    if (a.size() >= 3) p.t = a[2].AsNumber();
+    r.input.push_back(p);
+  }
+  for (const auto& per_point : v.Get("candidates").AsArray()) {
+    std::vector<RecordCandidate> cs;
+    for (const auto& item : per_point.AsArray()) {
+      const auto& a = item.AsArray();
+      RecordCandidate c;
+      if (a.size() >= 1) c.segment = static_cast<std::int64_t>(a[0].AsNumber());
+      if (a.size() >= 2) c.distance = a[1].AsNumber();
+      if (a.size() >= 3) c.ratio = a[2].AsNumber();
+      cs.push_back(c);
+    }
+    r.candidates.push_back(std::move(cs));
+  }
+  for (const auto& s : v.Get("scores").AsArray()) {
+    r.scores.push_back(s.AsNumber());
+  }
+  r.matched = ReadMatchedArray(v.Get("matched"));
+  for (const auto& s : v.Get("route").AsArray()) {
+    r.route.push_back(static_cast<std::int64_t>(s.AsNumber()));
+  }
+  r.recovered = ReadMatchedArray(v.Get("recovered"));
+  r.outcome = v.Get("outcome").AsString();
+  r.route_sections =
+      static_cast<std::int64_t>(v.Get("route_sections").AsNumber());
+  r.degraded_points =
+      static_cast<std::int64_t>(v.Get("degraded_points").AsNumber());
+  for (const auto& e : v.Get("events").AsArray()) {
+    r.events.push_back(e.AsString());
+  }
+  r.error = v.Get("error").AsString();
+  r.wall_us = static_cast<std::int64_t>(v.Get("wall_us").AsNumber());
+  for (const auto& st : v.Get("stages").AsArray()) {
+    RecordStage stage;
+    stage.name = st.Get("name").AsString();
+    stage.us = static_cast<std::int64_t>(st.Get("us").AsNumber());
+    r.stages.push_back(std::move(stage));
+  }
+  r.quality = v.Get("quality").AsNumber(-1.0);
+  r.reason = v.Get("reason").AsString();
+  return r;
+}
+
+}  // namespace obs
+}  // namespace trmma

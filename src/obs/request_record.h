@@ -1,0 +1,98 @@
+#ifndef TRMMA_OBS_REQUEST_RECORD_H_
+#define TRMMA_OBS_REQUEST_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trmma {
+namespace obs {
+
+/// The flight-recorder schema is intentionally self-contained: plain structs
+/// mirroring the traj/graph types rather than including them, so obs/ stays a
+/// leaf layer and the record format is the single source of truth for what
+/// leaves the process. Anything not representable here is redacted by
+/// construction — serialization walks these fields and nothing else.
+
+struct RecordGpsPoint {
+  double lat = 0.0;
+  double lng = 0.0;
+  double t = 0.0;  ///< seconds since trajectory start
+};
+
+struct RecordCandidate {
+  std::int64_t segment = -1;
+  double distance = 0.0;  ///< meters from the GPS point to the segment
+  double ratio = 0.0;     ///< projected offset along the segment in [0,1]
+};
+
+struct RecordMatchedPoint {
+  std::int64_t segment = -1;
+  double ratio = 0.0;
+  double t = 0.0;
+};
+
+struct RecordStage {
+  std::string name;
+  std::int64_t us = 0;
+};
+
+/// One captured request: the full decision trace of a single trajectory
+/// through a matcher, a recovery method, or the robust pipeline.
+struct RequestRecord {
+  // --- identity & reproduction context -------------------------------------
+  std::string id;              ///< "req-000042", unique within a run
+  std::string kind;            ///< "mm" | "recovery" | "pipeline"
+  std::string method;          ///< e.g. "MMA", "TRMMA", "FMM"
+  std::string city;            ///< generator preset name ("XA", ...)
+  std::int64_t seed = 0;       ///< stack RNG seed the run was built with
+  std::int64_t epsilon = 0;    ///< sparsity interval (recovery requests)
+  std::int64_t dataset_trajectories = 0;  ///< dataset size used to build stack
+  /// Ordered training calls applied to the stack, "key:epochs:fraction" each;
+  /// replaying them against a freshly built stack reproduces the weights.
+  std::vector<std::string> train_state;
+
+  // --- inputs --------------------------------------------------------------
+  std::vector<RecordGpsPoint> input;
+
+  // --- decision trace ------------------------------------------------------
+  /// Per input point: the candidate set considered (first matcher invocation
+  /// of the request wins, so nested calls don't overwrite it).
+  std::vector<std::vector<RecordCandidate>> candidates;
+  /// Per input point: the matcher's confidence in the chosen candidate
+  /// (HMM emission log-prob, MMA sigmoid probability, -distance for nearest).
+  std::vector<double> scores;
+  std::vector<RecordMatchedPoint> matched;  ///< chosen segment/offset per point
+  std::vector<std::int64_t> route;          ///< stitched route segment IDs
+  std::vector<RecordMatchedPoint> recovered;  ///< recovered ε-trajectory
+
+  // --- outcome -------------------------------------------------------------
+  std::string outcome;  ///< "" (n/a) or ok|repaired|degraded|failed
+  std::int64_t route_sections = 0;
+  std::int64_t degraded_points = 0;
+  /// Degradation-ladder / diagnostic events in occurrence order, capped.
+  std::vector<std::string> events;
+  std::string error;  ///< failure detail when outcome == "failed"
+
+  // --- timing & quality ----------------------------------------------------
+  std::int64_t wall_us = 0;
+  std::vector<RecordStage> stages;
+  double quality = -1.0;  ///< f1 (mm) / accuracy (recovery) vs truth; -1 = n/a
+  std::string reason;     ///< why retention kept it: sampled|slow|worst|outcome
+
+  /// Serializes as a single JSONL line (no interior newlines, deterministic
+  /// field order). The inverse of FromJsonLine.
+  std::string ToJsonLine() const;
+};
+
+/// Parses a record previously written by ToJsonLine. Unknown keys are
+/// ignored; missing keys keep their defaults, but a record without an "id"
+/// or with malformed JSON is an error.
+StatusOr<RequestRecord> RequestRecordFromJsonLine(const std::string& line);
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_REQUEST_RECORD_H_

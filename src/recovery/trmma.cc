@@ -8,6 +8,7 @@
 #include "nn/ops.h"
 #include "nn/serialize.h"
 #include "nn/telemetry.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -187,9 +188,17 @@ StatusOr<PreparedInput> PrepareSections(const RoadNetwork& network,
     }
     ++prep.repaired;
   }
+  if (prep.repaired > 0) {
+    obs::RecordEvent("recover:anchor_repaired=" +
+                     std::to_string(prep.repaired));
+  }
   prep.sections = StitchRouteSections(network, planner, fallback, segs);
   if (prep.sections.empty()) {
     return Status::Internal("route stitching produced no sections");
+  }
+  if (prep.sections.size() > 1) {
+    obs::RecordEvent("recover:multi_section=" +
+                     std::to_string(prep.sections.size()));
   }
   prep.anchors.resize(n);
   for (int i = 0; i < n; ++i) {
@@ -235,6 +244,9 @@ MatchedTrajectory AssembleSections(const std::vector<RouteSection>& sections,
     }
     MatchedTrajectory piece = decode(sub, sub_anchors, sec.route);
     out.insert(out.end(), piece.begin(), piece.end());
+  }
+  if (held > 0) {
+    obs::RecordEvent("recover:gap_fill_held=" + std::to_string(held));
   }
   if (stats != nullptr) {
     stats->route_sections = static_cast<int>(sections.size());

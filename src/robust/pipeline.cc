@@ -1,6 +1,7 @@
 #include "robust/pipeline.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "robust/fault_injection.h"
 
@@ -37,10 +38,12 @@ RobustRecoveryPipeline::RobustRecoveryPipeline(RecoveryMethod* method,
     : method_(method), config_(config) {}
 
 PipelineResult RobustRecoveryPipeline::Run(const Trajectory& raw) {
-  PipelineResult result;
   // Chaos hook: when TRMMA_FAULTS is set, the process-wide injector
   // corrupts inputs at this ingestion site (and I/O fault points are
-  // armed by its installation). Disabled injection is a no-op.
+  // armed by its installation). Disabled injection is a no-op. Everything
+  // downstream of the corruption lives in RunSanitized, so a flight-recorder
+  // replay (which starts from the captured, already-corrupted input) takes
+  // exactly the path the original request took.
   const Trajectory* input = &raw;
   Trajectory corrupted;
   FaultInjector& chaos = FaultInjector::Global();
@@ -49,8 +52,22 @@ PipelineResult RobustRecoveryPipeline::Run(const Trajectory& raw) {
     chaos.CorruptTrajectory(&corrupted);
     input = &corrupted;
   }
+  return RunSanitized(*input);
+}
+
+PipelineResult RobustRecoveryPipeline::RunSanitized(const Trajectory& input) {
+  obs::RequestScope request("pipeline");
+  if (obs::RequestRecord* rec = request.record()) {
+    rec->method = method_->name();
+    rec->epsilon = static_cast<std::int64_t>(config_.epsilon);
+    rec->input.reserve(input.size());
+    for (const GpsPoint& p : input.points) {
+      rec->input.push_back({p.pos.lat, p.pos.lng, p.t});
+    }
+  }
+  PipelineResult result;
   const std::vector<Trajectory> pieces =
-      SanitizeTrajectory(*input, config_.sanitize, &result.sanitize_report);
+      SanitizeTrajectory(input, config_.sanitize, &result.sanitize_report);
 
   for (const Trajectory& piece : pieces) {
     ++result.pieces_attempted;
@@ -103,6 +120,44 @@ PipelineResult RobustRecoveryPipeline::Run(const Trajectory& raw) {
       break;
   }
   CountOutcome(result.outcome);
+
+  if (obs::RequestRecord* rec = request.record()) {
+    rec->outcome = RecoveryOutcomeName(result.outcome);
+    if (rec->route_sections == 0) rec->route_sections = result.route_sections;
+    rec->degraded_points = result.degraded_points;
+    rec->error = result.error;
+    rec->recovered.reserve(result.recovered.size());
+    for (const MatchedPoint& p : result.recovered) {
+      rec->recovered.push_back({p.segment, p.ratio, p.t});
+    }
+    const SanitizeReport& sr = result.sanitize_report;
+    if (sr.nonfinite > 0) {
+      obs::RecordEvent("sanitize:nonfinite=" + std::to_string(sr.nonfinite));
+    }
+    if (sr.out_of_bbox > 0) {
+      obs::RecordEvent("sanitize:out_of_bbox=" +
+                       std::to_string(sr.out_of_bbox));
+    }
+    if (sr.non_monotonic > 0) {
+      obs::RecordEvent("sanitize:non_monotonic=" +
+                       std::to_string(sr.non_monotonic));
+    }
+    if (sr.speed_violations > 0) {
+      obs::RecordEvent("sanitize:speed_violations=" +
+                       std::to_string(sr.speed_violations));
+    }
+    if (sr.splits > 0) {
+      obs::RecordEvent("sanitize:splits=" + std::to_string(sr.splits));
+    }
+    if (sr.discarded_points > 0) {
+      obs::RecordEvent("sanitize:discarded_points=" +
+                       std::to_string(sr.discarded_points));
+    }
+    if (result.pieces_failed > 0) {
+      obs::RecordEvent("pipeline:pieces_failed=" +
+                       std::to_string(result.pieces_failed));
+    }
+  }
   return result;
 }
 

@@ -63,6 +63,11 @@ class RobustRecoveryPipeline {
 
   PipelineResult Run(const Trajectory& raw);
 
+  /// The pipeline body after fault injection: sanitize, recover pieces,
+  /// classify. Public so a flight-recorder replay can re-run a captured
+  /// (already corrupted) input without re-rolling the chaos dice.
+  PipelineResult RunSanitized(const Trajectory& input);
+
   const PipelineCounters& counters() const { return counters_; }
 
  private:

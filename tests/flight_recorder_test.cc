@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/inspect.h"
+#include "obs/flight_recorder.h"
+#include "obs/json_parse.h"
+#include "obs/request_record.h"
+#include "tests/test_util.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+/// Puts the global recorder into a known state for one test and restores
+/// the disabled default afterwards (other suites rely on it being off).
+class RecorderFixture {
+ public:
+  explicit RecorderFixture(FlightRecorderConfig config) {
+    FlightRecorder::Global().ResetForTest();
+    FlightRecorder::Global().Configure(config);
+  }
+  ~RecorderFixture() {
+    FlightRecorder::Global().Configure(FlightRecorderConfig());
+    FlightRecorder::Global().ResetForTest();
+  }
+};
+
+FlightRecorderConfig RetentionOnlyConfig() {
+  FlightRecorderConfig config;
+  config.enabled = true;
+  config.path = "";  // retention only; Flush is a no-op
+  return config;
+}
+
+RequestRecord MakeRecord(const std::string& id) {
+  RequestRecord r;
+  r.id = id;
+  r.kind = "mm";
+  r.method = "FMM";
+  r.city = "XA";
+  return r;
+}
+
+// ------------------------------------------------------------- json parse
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  auto doc = ParseJson(
+      R"({"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true, "e": null}})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("a").AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc->Get("a").AsArray()[1].AsNumber(), 2.5);
+  EXPECT_EQ(doc->Get("b").Get("c").AsString(), "x\ny");
+  EXPECT_TRUE(doc->Get("b").Get("d").AsBool());
+  EXPECT_TRUE(doc->Get("b").Get("e").is_null());
+  EXPECT_TRUE(doc->Get("missing").is_null());
+}
+
+TEST(JsonParseTest, DecodesUnicodeEscapes) {
+  auto doc = ParseJson(R"({"s": "caf\u00e9"})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("s").AsString(), "caf\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+// ----------------------------------------------------------- record codec
+
+TEST(RequestRecordTest, JsonLineRoundTrip) {
+  RequestRecord r = MakeRecord("req-000042");
+  r.kind = "recovery";
+  r.method = "TRMMA";
+  r.seed = 7;
+  r.epsilon = 12;
+  r.dataset_trajectories = 60;
+  r.train_state = {"mma:2:1", "trmma:1:0.5"};
+  r.input = {{31.25, 121.5, 0.0}, {31.26, 121.51, 15.0}};
+  r.candidates = {{{3, 12.5, 0.25}, {4, 40.0, 0.75}}, {{9, 7.0, 0.5}}};
+  r.scores = {0.9, 0.8};
+  r.matched = {{3, 0.25, 0.0}};
+  r.route = {3, 4, 9};
+  r.recovered = {{3, 0.5, 5.0}, {4, 0.75, 10.0}};
+  r.outcome = "ok";
+  r.route_sections = 1;
+  r.degraded_points = 0;
+  r.events = {"candidates:radius_widened@1"};
+  r.error = "";
+  r.wall_us = 1234;
+  r.stages = {{"match", 1000}, {"stitch", 234}};
+  r.quality = 0.875;
+  r.reason = "sampled";
+
+  auto parsed = RequestRecordFromJsonLine(r.ToJsonLine());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, r.id);
+  EXPECT_EQ(parsed->kind, r.kind);
+  EXPECT_EQ(parsed->method, r.method);
+  EXPECT_EQ(parsed->city, r.city);
+  EXPECT_EQ(parsed->seed, r.seed);
+  EXPECT_EQ(parsed->epsilon, r.epsilon);
+  EXPECT_EQ(parsed->dataset_trajectories, r.dataset_trajectories);
+  EXPECT_EQ(parsed->train_state, r.train_state);
+  ASSERT_EQ(parsed->input.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->input[1].lat, 31.26);
+  EXPECT_DOUBLE_EQ(parsed->input[1].t, 15.0);
+  ASSERT_EQ(parsed->candidates.size(), 2u);
+  ASSERT_EQ(parsed->candidates[0].size(), 2u);
+  EXPECT_EQ(parsed->candidates[0][1].segment, 4);
+  EXPECT_DOUBLE_EQ(parsed->candidates[0][1].distance, 40.0);
+  EXPECT_EQ(parsed->scores, r.scores);
+  ASSERT_EQ(parsed->matched.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->matched[0].ratio, 0.25);
+  EXPECT_EQ(parsed->route, r.route);
+  ASSERT_EQ(parsed->recovered.size(), 2u);
+  EXPECT_EQ(parsed->recovered[1].segment, 4);
+  EXPECT_EQ(parsed->outcome, "ok");
+  EXPECT_EQ(parsed->route_sections, 1);
+  EXPECT_EQ(parsed->events, r.events);
+  EXPECT_EQ(parsed->wall_us, 1234);
+  ASSERT_EQ(parsed->stages.size(), 2u);
+  EXPECT_EQ(parsed->stages[0].name, "match");
+  EXPECT_EQ(parsed->stages[0].us, 1000);
+  EXPECT_DOUBLE_EQ(parsed->quality, 0.875);
+  EXPECT_EQ(parsed->reason, "sampled");
+}
+
+TEST(RequestRecordTest, RejectsMalformedOrIdLessLines) {
+  EXPECT_FALSE(RequestRecordFromJsonLine("not json").ok());
+  EXPECT_FALSE(RequestRecordFromJsonLine("{\"kind\": \"mm\"}").ok());
+  EXPECT_FALSE(RequestRecordFromJsonLine("{\"id\": \"\"}").ok());
+}
+
+// -------------------------------------------------------------- retention
+
+TEST(FlightRecorderTest, UniformSamplingRetainsEveryNth) {
+  FlightRecorderConfig config = RetentionOnlyConfig();
+  config.sample_every = 3;
+  config.top_slow = 0;
+  config.top_worst = 0;
+  config.max_outcome_records = 0;
+  RecorderFixture fixture(config);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  for (int i = 0; i < 9; ++i) {
+    recorder.End(MakeRecord("req-" + std::to_string(i)), i);
+  }
+  const std::vector<RequestRecord> kept = recorder.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  for (const RequestRecord& r : kept) EXPECT_EQ(r.reason, "sampled");
+  EXPECT_EQ(recorder.stats().requests, 9);
+}
+
+TEST(FlightRecorderTest, TopSlowEvictsTheFastest) {
+  FlightRecorderConfig config = RetentionOnlyConfig();
+  config.sample_every = 1000000;  // index 0 is still sampled; start at 1
+  config.top_slow = 2;
+  config.top_worst = 0;
+  config.max_outcome_records = 0;
+  RecorderFixture fixture(config);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const std::int64_t walls[] = {20, 10, 30};
+  for (int i = 0; i < 3; ++i) {
+    RequestRecord r = MakeRecord("req-" + std::to_string(i));
+    r.wall_us = walls[i];
+    recorder.End(std::move(r), i + 1);
+  }
+  const std::vector<RequestRecord> kept = recorder.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);  // wall 10 evicted by wall 30
+  for (const RequestRecord& r : kept) {
+    EXPECT_EQ(r.reason, "slow");
+    EXPECT_NE(r.wall_us, 10);
+  }
+}
+
+TEST(FlightRecorderTest, WorstQualityKeepsLowestAndIgnoresUnknown) {
+  FlightRecorderConfig config = RetentionOnlyConfig();
+  config.sample_every = 1000000;
+  config.top_slow = 0;
+  config.top_worst = 2;
+  config.max_outcome_records = 0;
+  RecorderFixture fixture(config);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const double qualities[] = {0.9, 0.2, -1.0, 0.5};  // -1 = not measured
+  for (int i = 0; i < 4; ++i) {
+    RequestRecord r = MakeRecord("req-" + std::to_string(i));
+    r.quality = qualities[i];
+    recorder.End(std::move(r), i + 1);
+  }
+  const std::vector<RequestRecord> kept = recorder.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);  // 0.2 and 0.5; 0.9 evicted, -1 never entered
+  for (const RequestRecord& r : kept) {
+    EXPECT_EQ(r.reason, "worst");
+    EXPECT_LE(r.quality, 0.5);
+    EXPECT_GE(r.quality, 0.0);
+  }
+}
+
+TEST(FlightRecorderTest, FailedAndDegradedRetainedUpToCap) {
+  FlightRecorderConfig config = RetentionOnlyConfig();
+  config.sample_every = 1000000;
+  config.top_slow = 0;
+  config.top_worst = 0;
+  config.max_outcome_records = 2;
+  RecorderFixture fixture(config);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const char* outcomes[] = {"failed", "ok", "degraded", "failed"};
+  for (int i = 0; i < 4; ++i) {
+    RequestRecord r = MakeRecord("req-" + std::to_string(i));
+    r.outcome = outcomes[i];
+    recorder.End(std::move(r), i + 1);
+  }
+  const std::vector<RequestRecord> kept = recorder.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);  // cap reached before the second "failed"
+  for (const RequestRecord& r : kept) EXPECT_EQ(r.reason, "outcome");
+}
+
+// ----------------------------------------------------------- scope + gate
+
+TEST(FlightRecorderTest, DisabledRecorderMakesHooksInert) {
+  RecorderFixture fixture{FlightRecorderConfig()};  // disabled default
+  EXPECT_EQ(ActiveRecord(), nullptr);
+  RequestScope scope("mm");
+  EXPECT_EQ(scope.record(), nullptr);
+  EXPECT_EQ(ActiveRecord(), nullptr);
+  RecordEvent("dropped on the floor");
+  EXPECT_EQ(FlightRecorder::Global().stats().requests, 0);
+}
+
+TEST(FlightRecorderTest, NestedScopesProduceOneRecord) {
+  FlightRecorderConfig config = RetentionOnlyConfig();
+  config.sample_every = 1;
+  RecorderFixture fixture(config);
+  {
+    RequestScope outer("pipeline");
+    ASSERT_NE(outer.record(), nullptr);
+    EXPECT_EQ(ActiveRecord(), outer.record());
+    {
+      // The matcher invoked by the pipeline opens its own scope; it must
+      // not displace the pipeline's record.
+      RequestScope inner("mm");
+      EXPECT_EQ(inner.record(), nullptr);
+      EXPECT_EQ(ActiveRecord(), outer.record());
+      RecordEvent("from-inner");
+    }
+    EXPECT_EQ(ActiveRecord(), outer.record());
+  }
+  const std::vector<RequestRecord> kept = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].kind, "pipeline");
+  ASSERT_EQ(kept[0].events.size(), 1u);
+  EXPECT_EQ(kept[0].events[0], "from-inner");
+  EXPECT_GE(kept[0].wall_us, 0);
+}
+
+TEST(FlightRecorderTest, EventListIsCappedWithMarker) {
+  FlightRecorderConfig config = RetentionOnlyConfig();
+  config.sample_every = 1;
+  config.max_events = 4;
+  RecorderFixture fixture(config);
+  {
+    RequestScope scope("mm");
+    ASSERT_NE(scope.record(), nullptr);
+    for (int i = 0; i < 10; ++i) RecordEvent("e" + std::to_string(i));
+  }
+  const std::vector<RequestRecord> kept = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  ASSERT_EQ(kept[0].events.size(), 5u);  // 4 events + truncation marker
+  EXPECT_EQ(kept[0].events.back(), "events_truncated");
+}
+
+TEST(FlightRecorderTest, ConfigFromEnvParsesSampleAndPath) {
+  ::setenv("TRMMA_FLIGHT_RECORDER", "7", 1);
+  ::setenv("TRMMA_FLIGHT_RECORDER_FILE", "/tmp/fr-env.jsonl", 1);
+  FlightRecorderConfig config = FlightRecorderConfigFromEnv();
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.sample_every, 7);
+  EXPECT_EQ(config.path, "/tmp/fr-env.jsonl");
+  ::setenv("TRMMA_FLIGHT_RECORDER", "0", 1);
+  EXPECT_FALSE(FlightRecorderConfigFromEnv().enabled);
+  ::unsetenv("TRMMA_FLIGHT_RECORDER");
+  ::unsetenv("TRMMA_FLIGHT_RECORDER_FILE");
+  EXPECT_FALSE(FlightRecorderConfigFromEnv().enabled);
+}
+
+// ------------------------------------------------------- flush + loading
+
+TEST(FlightRecorderTest, FlushIsIdempotentAndLoadable) {
+  const std::string path =
+      testing::TempDir() + "/trmma_flight_flush.jsonl";
+  std::remove(path.c_str());
+  FlightRecorderConfig config = RetentionOnlyConfig();
+  config.sample_every = 1;
+  config.path = path;
+  RecorderFixture fixture(config);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.End(MakeRecord("req-000001"), 0);
+  recorder.End(MakeRecord("req-000000"), 1);
+  EXPECT_EQ(recorder.Flush(), 2);
+  const std::int64_t bytes_first = recorder.stats().bytes;
+  EXPECT_GT(bytes_first, 0);
+  EXPECT_EQ(recorder.Flush(), 2);  // truncate-and-rewrite, not append
+  EXPECT_EQ(recorder.stats().bytes, bytes_first);
+
+  auto loaded = LoadRecords(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  // Sorted by id regardless of End order.
+  EXPECT_EQ((*loaded)[0].id, "req-000000");
+  EXPECT_EQ((*loaded)[1].id, "req-000001");
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, LoadRecordsRejectsCorruptedLines) {
+  const std::string path =
+      testing::TempDir() + "/trmma_flight_corrupt.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << MakeRecord("req-000000").ToJsonLine() << "\n";
+    out << "{\"id\": \"req-000001\", \"route\": [1, 2,\n";  // truncated JSON
+  }
+  EXPECT_FALSE(LoadRecords(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadRecords(path).ok());  // missing file is an error too
+}
+
+// ----------------------------------------------------------------- replay
+
+TEST(FlightRecorderReplayTest, ReplayReproducesAndDetectsTampering) {
+  FlightRecorderConfig config = RetentionOnlyConfig();
+  config.sample_every = 1;
+  RecorderFixture fixture(config);
+
+  Dataset dataset = test::MakeTinyDataset("XA", 60);
+  StackConfig stack_config;
+  ExperimentStack stack = BuildStack(dataset, stack_config);
+  EvaluateMapMatching(stack, *stack.fmm, 2);
+  EvaluateRecovery(stack, *stack.linear, 2);
+
+  const std::vector<RequestRecord> records =
+      FlightRecorder::Global().Snapshot();
+  RequestRecord record;       // an mm exemplar with a route
+  RequestRecord rec_record;   // a recovery exemplar with offsets
+  for (const RequestRecord& r : records) {
+    if (r.kind == "mm" && !r.route.empty() && record.id.empty()) record = r;
+    if (r.kind == "recovery" && !r.recovered.empty() &&
+        rec_record.id.empty()) {
+      rec_record = r;
+    }
+  }
+  ASSERT_FALSE(record.id.empty());
+  ASSERT_FALSE(rec_record.id.empty());
+
+  // Clean replay against the same stack: bit-exact.
+  auto diff = ReplayRecord(stack, record);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_GT(diff->compared, 0);
+  EXPECT_EQ(diff->mismatches, 0);
+  EXPECT_TRUE(diff->clean());
+
+  // Negative self-test: a tampered route segment must be flagged...
+  RequestRecord tampered_route = record;
+  tampered_route.route[0] += 1;
+  auto route_diff = ReplayRecord(stack, tampered_route);
+  ASSERT_TRUE(route_diff.ok());
+  EXPECT_GT(route_diff->mismatches, 0);
+  EXPECT_FALSE(route_diff->details.empty());
+
+  // ...as must a nudged recovered offset (offsets compare bit-exactly).
+  auto rec_clean = ReplayRecord(stack, rec_record);
+  ASSERT_TRUE(rec_clean.ok());
+  EXPECT_TRUE(rec_clean->clean());
+  RequestRecord tampered_offset = rec_record;
+  tampered_offset.recovered[0].ratio += 1e-9;
+  auto offset_diff = ReplayRecord(stack, tampered_offset);
+  ASSERT_TRUE(offset_diff.ok());
+  EXPECT_GT(offset_diff->mismatches, 0);
+
+  // An unknown method is an error, not a silent zero-mismatch pass.
+  RequestRecord bad_method = record;
+  bad_method.method = "NoSuchMatcher";
+  EXPECT_FALSE(ReplayRecord(stack, bad_method).ok());
+
+  // Mismatches reported by the bench helper land in the recorder stats.
+  FlightRecorder::Global().AddReplayMismatches(3);
+  EXPECT_EQ(FlightRecorder::Global().stats().replay_mismatches, 3);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

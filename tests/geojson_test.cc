@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "eval/inspect.h"
+#include "obs/json_parse.h"
+#include "obs/request_record.h"
+#include "tests/test_util.h"
+
+#ifndef TRMMA_GOLDEN_DIR
+#define TRMMA_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace trmma {
+namespace {
+
+/// A hand-crafted record over the deterministic 3x3 grid: every coordinate
+/// in the output is a pure function of MakeGrid's fixed projection, so the
+/// rendered GeoJSON is byte-stable and safe to pin in a golden file.
+obs::RequestRecord MakeGeoRecord(const RoadNetwork& network) {
+  obs::RequestRecord r;
+  r.id = "req-000007";
+  r.kind = "mm";
+  r.method = "FMM";
+  r.city = "grid";
+  const LatLng a = network.node(0).pos;
+  const LatLng b = network.node(3).pos;
+  r.input = {{a.lat, a.lng, 0.0}, {b.lat, b.lng, 15.0}};
+  // One out-of-range candidate and one bogus route segment exercise the
+  // renderer's skip path (records may outlive a renamed network).
+  r.candidates = {{{0, 5.0, 0.25}, {2, 12.0, 0.5}},
+                  {{4, 3.0, 0.75}, {999, 1.0, 0.5}}};
+  r.route = {0, 999, 4};
+  r.recovered = {{1, 0.5, 30.0}, {2000, 0.1, 60.0}};
+  return r;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "";
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string TrimTrailing(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+TEST(GeoJsonTest, MatchesGoldenFile) {
+  auto network = test::MakeGrid(3, 3);
+  ASSERT_NE(network, nullptr);
+  const std::string rendered =
+      RecordToGeoJson(*network, MakeGeoRecord(*network));
+  const std::string golden_path =
+      std::string(TRMMA_GOLDEN_DIR) + "/flight_record.geojson";
+  if (std::getenv("TRMMA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << rendered << "\n";
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+  const std::string golden = ReadFile(golden_path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << golden_path
+      << " (regenerate with TRMMA_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(TrimTrailing(golden), rendered)
+      << "GeoJSON output drifted from the golden file; if intentional, "
+         "regenerate with TRMMA_UPDATE_GOLDEN=1";
+}
+
+TEST(GeoJsonTest, StructureLayersAndCoordinateOrder) {
+  auto network = test::MakeGrid(3, 3);
+  ASSERT_NE(network, nullptr);
+  const obs::RequestRecord record = MakeGeoRecord(*network);
+  auto doc = obs::ParseJson(RecordToGeoJson(*network, record));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  EXPECT_EQ(doc->Get("type").AsString(), "FeatureCollection");
+  const std::vector<obs::JsonValue>& features =
+      doc->Get("features").AsArray();
+  // 2 gps + 3 valid candidates + 1 route + 1 valid recovered; the
+  // out-of-range candidate and recovered segment are skipped.
+  ASSERT_EQ(features.size(), 7u);
+
+  int gps = 0, candidate = 0, route = 0, recovered = 0;
+  for (const obs::JsonValue& f : features) {
+    EXPECT_EQ(f.Get("type").AsString(), "Feature");
+    ASSERT_TRUE(f.Get("geometry").is_object());
+    ASSERT_TRUE(f.Get("properties").is_object());
+    const std::string layer = f.Get("properties").Get("layer").AsString();
+    if (layer == "gps") ++gps;
+    if (layer == "candidate") ++candidate;
+    if (layer == "route") ++route;
+    if (layer == "recovered") ++recovered;
+  }
+  EXPECT_EQ(gps, 2);
+  EXPECT_EQ(candidate, 3);
+  EXPECT_EQ(route, 1);
+  EXPECT_EQ(recovered, 1);
+
+  // RFC 7946 coordinate order is [lng, lat]: the first gps feature must
+  // carry the recorded point with longitude first.
+  const obs::JsonValue& first = features[0];
+  EXPECT_EQ(first.Get("properties").Get("layer").AsString(), "gps");
+  const auto& coords = first.Get("geometry").Get("coordinates").AsArray();
+  ASSERT_EQ(coords.size(), 2u);
+  EXPECT_DOUBLE_EQ(coords[0].AsNumber(), record.input[0].lng);
+  EXPECT_DOUBLE_EQ(coords[1].AsNumber(), record.input[0].lat);
+  // The grid sits near (31 N, 121 E), so order confusion is detectable.
+  EXPECT_GT(coords[0].AsNumber(), 100.0);
+  EXPECT_LT(coords[1].AsNumber(), 40.0);
+
+  // Candidate features are LineStrings along the segment with per-layer
+  // properties; the route LineString spans drawn-segments + 1 coordinates.
+  for (const obs::JsonValue& f : features) {
+    const std::string layer = f.Get("properties").Get("layer").AsString();
+    if (layer == "candidate") {
+      EXPECT_EQ(f.Get("geometry").Get("type").AsString(), "LineString");
+      EXPECT_TRUE(f.Get("properties").Has("point_index"));
+      EXPECT_TRUE(f.Get("properties").Has("segment"));
+      EXPECT_TRUE(f.Get("properties").Has("distance"));
+    } else if (layer == "route") {
+      EXPECT_EQ(f.Get("geometry").Get("type").AsString(), "LineString");
+      EXPECT_DOUBLE_EQ(f.Get("properties").Get("segments").AsNumber(), 2.0);
+      EXPECT_EQ(f.Get("geometry").Get("coordinates").AsArray().size(), 3u);
+    } else if (layer == "recovered") {
+      EXPECT_EQ(f.Get("geometry").Get("type").AsString(), "Point");
+      const auto& rc = f.Get("geometry").Get("coordinates").AsArray();
+      ASSERT_EQ(rc.size(), 2u);
+      const LatLng on_seg = network->LatLngOnSegment(1, 0.5);
+      EXPECT_DOUBLE_EQ(rc[0].AsNumber(), on_seg.lng);
+      EXPECT_DOUBLE_EQ(rc[1].AsNumber(), on_seg.lat);
+    } else {
+      EXPECT_EQ(f.Get("geometry").Get("type").AsString(), "Point");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trmma

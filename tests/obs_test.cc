@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <vector>
@@ -174,6 +175,62 @@ TEST(HistogramTest, ResetClearsEverythingIncludingDropped) {
   h.Observe(1.5);
   EXPECT_EQ(h.Count(), 1);
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.5);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideBuckets) {
+  // 10 observations in one bucket whose range is tightened to [10, 20] by
+  // min/max: interior quantiles must move smoothly through the bucket
+  // rather than snapping to a boundary.
+  Histogram h({100.0});
+  for (int v = 10; v <= 20; v += 10) h.Observe(v);  // min 10, max 20
+  for (int i = 0; i < 8; ++i) h.Observe(15.0);
+  const double p25 = h.Quantile(0.25);
+  const double p75 = h.Quantile(0.75);
+  EXPECT_GT(p25, 10.0);
+  EXPECT_LT(p25, p75);
+  EXPECT_LT(p75, 20.0);
+}
+
+TEST(HistogramTest, QuantileAtExactBucketBoundary) {
+  // 50 observations below the first bound, 50 above: q = 0.5 lands exactly
+  // on the cumulative boundary and must report a value from the first
+  // bucket's range, never beyond it.
+  Histogram h({50.0, 100.0});
+  for (int v = 1; v <= 100; ++v) h.Observe(v);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 50.0);
+}
+
+TEST(HistogramTest, QuantileArgumentOutsideUnitIntervalIsClamped) {
+  Histogram h({10.0, 20.0});
+  h.Observe(4.0);
+  h.Observe(16.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), 16.0);
+}
+
+TEST(HistogramTest, NanQuantileArgumentDoesNotReturnMax) {
+  // NaN passes through std::clamp unscathed; without the explicit guard
+  // every rank comparison is false and Quantile would fall through to max.
+  Histogram h({10.0, 20.0});
+  h.Observe(4.0);
+  h.Observe(16.0);
+  const double q = h.Quantile(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(std::isnan(q));
+  EXPECT_DOUBLE_EQ(q, 4.0);
+}
+
+TEST(HistogramTest, QuantileInOverflowBucketUsesObservedMax) {
+  // All mass above the last bound: the overflow bucket has no upper bound,
+  // so interpolation must be capped by the observed max.
+  Histogram h({1.0});
+  h.Observe(100.0);
+  h.Observe(200.0);
+  EXPECT_GE(h.Quantile(0.5), 100.0);
+  EXPECT_LE(h.Quantile(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 200.0);
 }
 
 TEST(HistogramTest, QuantileSeesConsistentMinMaxSnapshot) {
@@ -409,6 +466,53 @@ TEST(LoggingTest, SetMinLogLevelFromEnvParsesLevels) {
   EXPECT_EQ(internal_logging::MinLogLevel(), LogLevel::kDebug);
   ::unsetenv("TRMMA_LOG_LEVEL");
   SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, SetLogFileDivertsAndRestores) {
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/trmma_log_file_test.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path));
+  TRMMA_LOG(Warning) << "diverted-line-marker";
+  ASSERT_TRUE(SetLogFile(""));  // back to stderr, flushes/closes the file
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("diverted-line-marker"), std::string::npos);
+  // Appends across re-opens (mirrors TRMMA_METRICS_FILE semantics).
+  ASSERT_TRUE(SetLogFile(path));
+  TRMMA_LOG(Warning) << "second-marker";
+  ASSERT_TRUE(SetLogFile(""));
+  std::ifstream in2(path);
+  std::string contents2((std::istreambuf_iterator<char>(in2)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(contents2.find("diverted-line-marker"), std::string::npos);
+  EXPECT_NE(contents2.find("second-marker"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoggingTest, SetLogFileFailureFallsBackToStderr) {
+  EXPECT_FALSE(SetLogFile("/nonexistent-dir-for-trmma/log.txt"));
+  // Logging still works (to stderr) after the failed open.
+  TRMMA_LOG(Error) << "still-alive-after-failed-open";
+  SetLogFile("");
+}
+
+TEST(LoggingTest, SetLogFileFromEnvAppliesVariable) {
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/trmma_log_env_test.log";
+  std::remove(path.c_str());
+  ::setenv("TRMMA_LOG_FILE", path.c_str(), 1);
+  SetLogFileFromEnv();
+  TRMMA_LOG(Warning) << "env-marker";
+  ::unsetenv("TRMMA_LOG_FILE");
+  SetLogFile("");
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("env-marker"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 #include "common/logging.h"
 
 /// Shared gtest main: honors TRMMA_LOG_LEVEL so test runs can be made
-/// chatty (debug) or quiet (error) without a rebuild.
+/// chatty (debug) or quiet (error) without a rebuild, and TRMMA_LOG_FILE
+/// to divert log lines away from the test output.
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   trmma::SetMinLogLevelFromEnv();
+  trmma::SetLogFileFromEnv();
   return RUN_ALL_TESTS();
 }

@@ -1,0 +1,132 @@
+// trmma_inspect: offline viewer and replay harness for flight-recorder
+// JSONL files (see DESIGN.md §8).
+//
+//   trmma_inspect summary <records.jsonl>
+//   trmma_inspect show    <records.jsonl> <id>
+//   trmma_inspect geojson <records.jsonl> <id>
+//   trmma_inspect replay  <records.jsonl> <id>
+//   trmma_inspect demo    <records.jsonl> [city] [n]
+//
+// `geojson` and `replay` rebuild the record's synthetic city (generation is
+// seed-deterministic), so they need no side files beyond the records. `demo`
+// runs a small untrained evaluation with the recorder at sample_every=1 and
+// writes the captured records to the given path — the self-contained way to
+// produce a records file for the other subcommands (and for ctest).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "eval/inspect.h"
+#include "gen/presets.h"
+#include "obs/flight_recorder.h"
+
+namespace trmma {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trmma_inspect summary <records.jsonl>\n"
+               "       trmma_inspect show    <records.jsonl> <id>\n"
+               "       trmma_inspect geojson <records.jsonl> <id>\n"
+               "       trmma_inspect replay  <records.jsonl> <id>\n"
+               "       trmma_inspect demo    <records.jsonl> [city] [n]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "trmma_inspect: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunSummary(const std::string& path) {
+  StatusOr<std::vector<obs::RequestRecord>> records = LoadRecords(path);
+  if (!records.ok()) return Fail(records.status());
+  std::fputs(SummarizeRecords(*records).c_str(), stdout);
+  return 0;
+}
+
+int RunShow(const std::string& path, const std::string& id) {
+  StatusOr<obs::RequestRecord> record = FindRecord(path, id);
+  if (!record.ok()) return Fail(record.status());
+  std::fputs(DescribeRecord(*record).c_str(), stdout);
+  return 0;
+}
+
+int RunGeoJson(const std::string& path, const std::string& id) {
+  StatusOr<obs::RequestRecord> record = FindRecord(path, id);
+  if (!record.ok()) return Fail(record.status());
+  StatusOr<Dataset> dataset = BuildCityDatasetByName(
+      record->city, static_cast<int>(record->dataset_trajectories));
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::fputs(RecordToGeoJson(*dataset->network, *record).c_str(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+int RunReplay(const std::string& path, const std::string& id) {
+  StatusOr<obs::RequestRecord> record = FindRecord(path, id);
+  if (!record.ok()) return Fail(record.status());
+  StatusOr<ReplayDiff> diff = ReplayRecordRebuilt(*record);
+  if (!diff.ok()) return Fail(diff.status());
+  std::printf("replay %s: %d positions compared, %d mismatches\n",
+              id.c_str(), diff->compared, diff->mismatches);
+  for (const std::string& detail : diff->details) {
+    std::printf("  %s\n", detail.c_str());
+  }
+  if (!diff->clean()) {
+    std::printf("REPLAY MISMATCH\n");
+    return 1;
+  }
+  std::printf("replay OK: route and offsets reproduced exactly\n");
+  return 0;
+}
+
+// Runs untrained matchers/recovery (FMM, Nearest, Linear — deterministic
+// without training) over a small city with sample_every=1 and writes every
+// request to `path`. This is what the ctest CLI exercise drives.
+int RunDemo(const std::string& path, const std::string& city, int n) {
+  obs::FlightRecorderConfig config;
+  config.enabled = true;
+  config.sample_every = 1;
+  config.path = path;
+  obs::FlightRecorder::Global().Configure(config);
+
+  StatusOr<Dataset> dataset = BuildCityDatasetByName(city, n);
+  if (!dataset.ok()) return Fail(dataset.status());
+  StackConfig stack_config;
+  ExperimentStack stack = BuildStack(*dataset, stack_config);
+
+  EvaluateMapMatching(stack, *stack.fmm, 4);
+  EvaluateMapMatching(stack, *stack.nearest, 4);
+  EvaluateRecovery(stack, *stack.linear, 4);
+
+  obs::FlightRecorder::Global().Flush();
+  const obs::FlightRecorder::Stats stats =
+      obs::FlightRecorder::Global().stats();
+  std::printf("demo: %lld requests captured, %lld written to %s\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.written), path.c_str());
+  return stats.written > 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  if (cmd == "summary") return RunSummary(path);
+  if (cmd == "show" && argc >= 4) return RunShow(path, argv[3]);
+  if (cmd == "geojson" && argc >= 4) return RunGeoJson(path, argv[3]);
+  if (cmd == "replay" && argc >= 4) return RunReplay(path, argv[3]);
+  if (cmd == "demo") {
+    const std::string city = argc >= 4 ? argv[3] : "XA";
+    const int n = argc >= 5 ? std::atoi(argv[4]) : 60;
+    return RunDemo(path, city, n);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main(int argc, char** argv) { return trmma::Main(argc, argv); }
