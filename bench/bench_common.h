@@ -12,6 +12,7 @@
 #include "nn/profiler.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -124,6 +125,16 @@ inline void EnableFlightRecorder(int sample_every) {
     config.path = std::string(dir) + "/flight_records.jsonl";
   }
   recorder.Configure(config);
+}
+
+/// Turns on quality telemetry for the accuracy benches (Tables 3/4/5,
+/// Figs. 7/11): every request's accuracy is attributed to slices and the
+/// report gains a "quality" section. TRMMA_QUALITY=0 in the environment
+/// wins, so an operator can time a run without the capture overhead.
+inline void EnableQualityTelemetry() {
+  const char* env = std::getenv("TRMMA_QUALITY");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') return;
+  obs::QualityLog::Global().Configure(true);
 }
 
 /// Replays every exemplar retained for `stack`'s city against the live

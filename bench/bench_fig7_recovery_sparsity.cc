@@ -11,6 +11,7 @@ namespace {
 void Run() {
   const bench::BenchScale scale = bench::GetScale();
   const std::vector<double> gammas = {0.1, 0.2, 0.3, 0.4, 0.5};
+  bench::EnableQualityTelemetry();
   bench::PrintBanner("Fig. 7: recovery accuracy vs sparsity gamma");
 
   for (const std::string& city : CityNames()) {

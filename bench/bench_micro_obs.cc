@@ -9,6 +9,7 @@
 #include "bench_common.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -124,6 +125,90 @@ void BM_FlightScopeDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlightScopeDisabled);
+
+// Restores the quality log around the quality-hook benches.
+class QualityGuard {
+ public:
+  explicit QualityGuard(bool enabled) {
+    QualityLog::Global().Configure(enabled);
+  }
+  ~QualityGuard() {
+    QualityLog::Global().Configure(false);
+    QualityLog::Global().ResetForTest();
+  }
+};
+
+// The acceptance contract for the drift-observation hooks in the candidate
+// search: with quality telemetry off, QualityEnabled() is one relaxed
+// atomic load plus a predicted branch — about a nanosecond, same budget as
+// the disabled flight-recorder hook.
+void BM_QualityHookDisabled(benchmark::State& state) {
+  QualityGuard guard(false);
+  for (auto _ : state) {
+    if (QualityEnabled()) {
+      QualityLog::Global().ObserveFeature(kFeatureCandidateCount, 4.0);
+    }
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_QualityHookDisabled);
+
+// Enabled-path cost: bucket arithmetic plus one relaxed fetch_add on the
+// histogram cell. This runs once per point per feature when telemetry is
+// on, so it must stay in the low tens of nanoseconds.
+void BM_QualityObserveEnabled(benchmark::State& state) {
+  QualityGuard guard(true);
+  double v = 0.0;
+  for (auto _ : state) {
+    QualityLog::Global().ObserveFeature(kFeatureNearestCandidateM, v);
+    v += 7.25;
+    if (v > 300.0) v = 0.0;
+  }
+  benchmark::DoNotOptimize(
+      QualityLog::Global().DriftCounts(kFeatureNearestCandidateM,
+                                       QualityPhase::kServe));
+}
+BENCHMARK(BM_QualityObserveEnabled);
+
+// Per-request ingestion cost with a representative record: bucketing, the
+// calibration pairing loop, and the aggregator map updates. Runs once per
+// request (not per point), so a microsecond-scale cost is acceptable.
+void BM_QualityIngest(benchmark::State& state) {
+  QualityGuard guard(true);
+  RequestRecord record;
+  record.kind = "mm";
+  record.method = "MMA";
+  record.city = "PT";
+  record.quality = 0.9;
+  record.epsilon = 60;
+  record.gamma = 0.25;
+  for (int i = 0; i < 16; ++i) {
+    RecordGpsPoint p;
+    p.lng = 0.01 * i;
+    p.lat = 0.01 * i;
+    p.t = 15.0 * i;
+    record.input.push_back(p);
+    record.truth_segments.push_back(i % 4);
+    std::vector<RecordCandidate> cands;
+    for (int c = 0; c < 4; ++c) {
+      RecordCandidate cand;
+      cand.segment = c;
+      cand.distance = 10.0 + 5.0 * c;
+      cands.push_back(cand);
+    }
+    record.candidates.push_back(cands);
+    RecordMatchedPoint match;
+    match.segment = i % 4;
+    match.t = p.t;
+    record.matched.push_back(match);
+    record.scores.push_back(0.8);
+  }
+  for (auto _ : state) {
+    QualityLog::Global().Ingest(record);
+  }
+  benchmark::DoNotOptimize(QualityLog::Global().HasData());
+}
+BENCHMARK(BM_QualityIngest);
 
 void BM_RegistryLookup(benchmark::State& state) {
   ModeGuard guard(TraceMode::kMetrics);

@@ -12,6 +12,7 @@ namespace {
 
 void Run() {
   const bench::BenchScale scale = bench::GetScale();
+  bench::EnableQualityTelemetry();
   bench::PrintBanner("Table III: trajectory recovery effectiveness");
   for (const std::string& city : CityNames()) {
     Dataset ds = bench::BuildBenchDataset(city, scale);

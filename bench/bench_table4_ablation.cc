@@ -12,6 +12,7 @@ namespace {
 
 void Run() {
   const bench::BenchScale scale = bench::GetScale();
+  bench::EnableQualityTelemetry();
   bench::PrintBanner("Table IV: TRMMA ablation, recovery accuracy (%)");
   PrintHeader("variant", CityNames());
 

@@ -9,6 +9,7 @@ namespace {
 
 void Run() {
   const bench::BenchScale scale = bench::GetScale();
+  bench::EnableQualityTelemetry();
   bench::PrintBanner("Table V: map matching effectiveness (%)");
   for (const std::string& city : CityNames()) {
     Dataset ds = bench::BuildBenchDataset(city, scale);

@@ -12,12 +12,16 @@ inside ctest with no extra dependencies. It checks the structural contract
 documented in DESIGN.md: top-level name/wall_seconds/fingerprint/phases/
 metrics, phase entries with name+seconds+count, metric sections with the
 right value fields, and that at least one histogram carries p50/p95/p99.
-The optional "op_profile", "training" and "flight_recorder" sections
-(present when the op profiler / training telemetry / flight recorder
-collected data) are validated whenever they appear; --require-op-profile /
---require-training / --require-flight-recorder make their absence an
-error (the flight_recorder check also demands replay_mismatches == 0). --trace FILE additionally validates a Chrome trace-event JSON file
-(as written under TRMMA_TRACE_FILE).
+The optional "op_profile", "training", "flight_recorder" and "quality"
+sections (present when the op profiler / training telemetry / flight
+recorder / quality telemetry collected data) are validated whenever they
+appear; --require-op-profile / --require-training /
+--require-flight-recorder / --require-quality make their absence an error
+(the flight_recorder check also demands replay_mismatches == 0; the
+quality check validates group/slice/calibration/drift structure and that
+calibration bin counts sum to the sample count). --trace FILE additionally
+validates a Chrome trace-event JSON file (as written under
+TRMMA_TRACE_FILE).
 """
 
 import argparse
@@ -164,6 +168,113 @@ def check_training(doc, path, errors, required=False):
             fail(path, f"{where}: 'steps' must be >= 1", errors)
 
 
+CALIBRATION_INT_FIELDS = ("samples", "dropped_nonfinite",
+                          "dropped_out_of_range")
+RANK_BUCKETS = 11  # kQualityRankBuckets + 1 overflow bucket
+
+
+def check_quality(doc, path, errors, required=False):
+    quality = doc.get("quality")
+    if quality is None:
+        if required:
+            fail(path, "missing 'quality' section "
+                       "(was TRMMA_QUALITY telemetry enabled?)", errors)
+        return
+    if not isinstance(quality, dict):
+        fail(path, "'quality' must be an object", errors)
+        return
+    groups = quality.get("groups")
+    if not isinstance(groups, list) or not groups:
+        fail(path, "quality: 'groups' must be a non-empty list", errors)
+        groups = []
+    for i, g in enumerate(groups):
+        where = f"quality.groups[{i}]"
+        if not isinstance(g, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        for field in ("kind", "method", "city"):
+            if not isinstance(g.get(field), str) or not g.get(field):
+                fail(path, f"{where}: missing non-empty '{field}'", errors)
+        for field in ("requests", "scored"):
+            if not isinstance(g.get(field), int) or g.get(field, -1) < 0:
+                fail(path, f"{where}: missing non-negative int '{field}'",
+                     errors)
+        if not isinstance(g.get("mean_quality"), numbers.Real):
+            fail(path, f"{where}: missing numeric 'mean_quality'", errors)
+        for j, s in enumerate(g.get("slices") or []):
+            swhere = f"{where}.slices[{j}]"
+            if not isinstance(s, dict):
+                fail(path, f"{swhere}: not an object", errors)
+                continue
+            for field in ("dimension", "bucket"):
+                if not isinstance(s.get(field), str) or not s.get(field):
+                    fail(path, f"{swhere}: missing non-empty '{field}'",
+                         errors)
+            if not isinstance(s.get("mean_quality"), numbers.Real):
+                fail(path, f"{swhere}: missing numeric 'mean_quality'", errors)
+        cal = g.get("calibration")
+        if not isinstance(cal, dict):
+            fail(path, f"{where}: missing object 'calibration'", errors)
+            continue
+        for field in CALIBRATION_INT_FIELDS:
+            if not isinstance(cal.get(field), int) or cal.get(field, -1) < 0:
+                fail(path, f"{where}.calibration: missing non-negative int "
+                           f"'{field}'", errors)
+        for field in ("ece", "brier"):
+            v = cal.get(field)
+            if not isinstance(v, numbers.Real):
+                fail(path, f"{where}.calibration: missing numeric '{field}'",
+                     errors)
+            elif not 0.0 <= v <= 1.0:
+                fail(path, f"{where}.calibration: '{field}' = {v} "
+                           "outside [0, 1]", errors)
+        bins = cal.get("bins")
+        if not isinstance(bins, list):
+            fail(path, f"{where}.calibration: 'bins' must be a list", errors)
+            bins = []
+        bin_count = 0
+        for j, b in enumerate(bins):
+            bwhere = f"{where}.calibration.bins[{j}]"
+            if not isinstance(b, dict):
+                fail(path, f"{bwhere}: not an object", errors)
+                continue
+            for field in ("lo", "hi", "count", "mean_confidence", "accuracy"):
+                if not isinstance(b.get(field), numbers.Real):
+                    fail(path, f"{bwhere}: missing numeric '{field}'", errors)
+            if isinstance(b.get("count"), int):
+                bin_count += b["count"]
+        if isinstance(cal.get("samples"), int) and cal["samples"] != bin_count:
+            fail(path, f"{where}.calibration: bin counts sum to {bin_count} "
+                       f"but samples = {cal['samples']}", errors)
+        for field in ("chosen_rank", "truth_rank"):
+            ranks = cal.get(field)
+            if not isinstance(ranks, list) or len(ranks) != RANK_BUCKETS:
+                fail(path, f"{where}.calibration: '{field}' must be a list "
+                           f"of {RANK_BUCKETS} counts", errors)
+    drift = quality.get("drift")
+    if not isinstance(drift, list):
+        fail(path, "quality: 'drift' must be a list", errors)
+        drift = []
+    for i, d in enumerate(drift):
+        where = f"quality.drift[{i}]"
+        if not isinstance(d, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if not isinstance(d.get("feature"), str) or not d.get("feature"):
+            fail(path, f"{where}: missing non-empty 'feature'", errors)
+        for field in ("train", "serve"):
+            if not isinstance(d.get(field), int) or d.get(field, -1) < 0:
+                fail(path, f"{where}: missing non-negative int '{field}'",
+                     errors)
+        if not isinstance(d.get("degenerate"), bool):
+            fail(path, f"{where}: missing boolean 'degenerate'", errors)
+        psi = d.get("psi")
+        if not isinstance(psi, numbers.Real):
+            fail(path, f"{where}: missing numeric 'psi'", errors)
+        elif not d.get("degenerate") and psi < 0:
+            fail(path, f"{where}: 'psi' = {psi} must be >= 0", errors)
+
+
 def check_chrome_trace(path, errors):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -215,7 +326,7 @@ def check_chrome_trace(path, errors):
 
 def check_report(path, errors, require_activity=True,
                  require_op_profile=False, require_training=False,
-                 require_flight_recorder=False):
+                 require_flight_recorder=False, require_quality=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -268,6 +379,7 @@ def check_report(path, errors, require_activity=True,
     check_training(doc, path, errors, required=require_training)
     check_flight_recorder(doc, path, errors,
                           required=require_flight_recorder)
+    check_quality(doc, path, errors, required=require_quality)
 
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -354,6 +466,8 @@ def main():
     parser.add_argument("--require-flight-recorder", action="store_true",
                         help="fail if reports lack a 'flight_recorder' "
                              "section or show replay mismatches")
+    parser.add_argument("--require-quality", action="store_true",
+                        help="fail if reports lack a 'quality' section")
     args = parser.parse_args()
 
     files = list(args.files)
@@ -375,7 +489,8 @@ def main():
         check_report(path, errors,
                      require_op_profile=args.require_op_profile,
                      require_training=args.require_training,
-                     require_flight_recorder=args.require_flight_recorder)
+                     require_flight_recorder=args.require_flight_recorder,
+                     require_quality=args.require_quality)
     for path in traces:
         check_chrome_trace(path, errors)
     if errors:

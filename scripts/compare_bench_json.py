@@ -21,9 +21,18 @@ What is compared (stdlib only, runs inside ctest):
               by default because they vary across machines. Opt in with
               --time-tolerance to check wall_seconds and phase seconds.
 
---self-test perturbs a copy of the candidate (bumps the first counter and
-drops a phase) and verifies the comparison fails on it — proving the guard
-can actually detect regressions — then compares the unmodified candidate.
+  quality     when the baseline carries a "quality" section, the candidate
+              must too, and per (kind, method, city) group each gated metric
+              may not degrade by more than an ABSOLUTE tolerance:
+              mean_quality may not drop, ece/brier may not rise. Defaults
+              are 0.02 each; override per metric with
+              --quality-tolerance NAME=VALUE (repeatable).
+
+--self-test perturbs a copy of the candidate (bumps the first counter,
+drops a phase, and inflates baseline quality so the candidate reads as a
+degraded-accuracy report) and verifies the comparison fails on it — proving
+the guard can actually detect regressions — then compares the unmodified
+candidate.
 """
 
 import argparse
@@ -66,7 +75,74 @@ def key_str(key):
     return f"{name}{{{inner}}}"
 
 
-def compare(baseline, candidate, counter_tol, fingerprint_tol, time_tol):
+# Gated quality metrics: name -> (higher_is_better, default absolute-drop
+# tolerance). Degradation beyond the tolerance fails the comparison;
+# improvement never does.
+QUALITY_METRICS = {
+    "mean_quality": (True, 0.02),
+    "ece": (False, 0.02),
+    "brier": (False, 0.02),
+}
+
+
+def quality_group_map(doc):
+    """(kind, method, city) -> gated metric values, None when unmeasured."""
+    quality = doc.get("quality")
+    if not isinstance(quality, dict):
+        return {}
+    out = {}
+    for g in quality.get("groups", []):
+        key = (g.get("kind"), g.get("method"), g.get("city"))
+        cal = g.get("calibration", {})
+        calibrated = isinstance(cal, dict) and cal.get("samples", 0) > 0
+        mean_quality = g.get("mean_quality")
+        out[key] = {
+            "mean_quality": mean_quality if isinstance(
+                mean_quality, numbers.Real) and mean_quality >= 0 else None,
+            "ece": cal.get("ece") if calibrated else None,
+            "brier": cal.get("brier") if calibrated else None,
+        }
+    return out
+
+
+def quality_key_str(key):
+    return "/".join(str(k) for k in key)
+
+
+def compare_quality(baseline, candidate, tolerances):
+    diffs = []
+    base_groups = quality_group_map(baseline)
+    cand_groups = quality_group_map(candidate)
+    if base_groups and not cand_groups:
+        diffs.append("quality section missing from candidate")
+        return diffs
+    for key, base_metrics in base_groups.items():
+        cand_metrics = cand_groups.get(key)
+        if cand_metrics is None:
+            diffs.append(f"quality group {quality_key_str(key)} missing "
+                         "from candidate")
+            continue
+        for name, (higher_better, _) in QUALITY_METRICS.items():
+            bv = base_metrics.get(name)
+            if bv is None:
+                continue
+            cv = cand_metrics.get(name)
+            if cv is None:
+                diffs.append(f"quality {quality_key_str(key)} '{name}': "
+                             "measured in baseline but not in candidate")
+                continue
+            tol = tolerances[name]
+            degradation = (bv - cv) if higher_better else (cv - bv)
+            if degradation > tol:
+                direction = "dropped" if higher_better else "rose"
+                diffs.append(f"quality {quality_key_str(key)} '{name}' "
+                             f"{direction}: baseline {bv:.4f} vs candidate "
+                             f"{cv:.4f} (absolute tolerance {tol})")
+    return diffs
+
+
+def compare(baseline, candidate, counter_tol, fingerprint_tol, time_tol,
+            quality_tol=None):
     """Returns a list of human-readable difference strings (empty = pass)."""
     diffs = []
 
@@ -134,6 +210,11 @@ def compare(baseline, candidate, counter_tol, fingerprint_tol, time_tol):
                 diffs.append(f"{section[:-1]} {key_str(key)} missing "
                              "from candidate")
 
+    tolerances = {name: default for name, (_, default)
+                  in QUALITY_METRICS.items()}
+    tolerances.update(quality_tol or {})
+    diffs.extend(compare_quality(baseline, candidate, tolerances))
+
     return diffs
 
 
@@ -148,6 +229,18 @@ def perturb(candidate):
     if not counters and not bad.get("phases"):
         bad["fingerprint"] = dict(bad.get("fingerprint", {}),
                                   scale="perturbed")
+    # The perturbed copy is used as the BASELINE, so inflating its accuracy
+    # (and deflating its calibration error) makes the real candidate read as
+    # a degraded-accuracy report — which the quality gate must reject.
+    if isinstance(bad.get("quality"), dict):
+        for g in bad["quality"].get("groups", []):
+            if isinstance(g.get("mean_quality"), numbers.Real) and \
+                    g["mean_quality"] >= 0:
+                g["mean_quality"] = min(g["mean_quality"] + 0.5, 1.0)
+            cal = g.get("calibration")
+            if isinstance(cal, dict) and cal.get("samples", 0) > 0:
+                cal["ece"] = 0.0
+                cal["brier"] = 0.0
     return bad
 
 
@@ -191,6 +284,12 @@ def main():
     parser.add_argument("--time-tolerance", type=float, default=None,
                         help="if set, also compare wall/phase seconds "
                              "within this relative tolerance")
+    parser.add_argument("--quality-tolerance", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="absolute degradation tolerance for a gated "
+                             "quality metric (mean_quality, ece, brier); "
+                             "repeatable, e.g. --quality-tolerance "
+                             "mean_quality=0.05")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the comparison fails on a perturbed "
                              "candidate before the real comparison")
@@ -198,6 +297,18 @@ def main():
 
     if bool(args.candidate) == bool(args.run):
         parser.error("pass exactly one of --candidate or --run")
+
+    quality_tol = {}
+    for spec in args.quality_tolerance:
+        name, eq, value = spec.partition("=")
+        if not eq or name not in QUALITY_METRICS:
+            parser.error(f"bad --quality-tolerance {spec!r}: expected "
+                         f"NAME=VALUE with NAME one of "
+                         f"{sorted(QUALITY_METRICS)}")
+        try:
+            quality_tol[name] = float(value)
+        except ValueError:
+            parser.error(f"bad --quality-tolerance value in {spec!r}")
 
     candidate_path = args.candidate
     if args.run:
@@ -211,7 +322,13 @@ def main():
     if args.self_test:
         bad_diffs = compare(perturb(candidate), candidate,
                             args.counter_tolerance,
-                            args.fingerprint_tolerance, args.time_tolerance)
+                            args.fingerprint_tolerance, args.time_tolerance,
+                            quality_tol)
+        if quality_group_map(candidate) and not any(
+                d.startswith("quality ") for d in bad_diffs):
+            print("FAIL: self-test — quality gate did not flag a "
+                  "degraded-accuracy report")
+            return 1
         if not bad_diffs:
             print("FAIL: self-test — comparison did not flag a "
                   "deliberately perturbed baseline")
@@ -220,7 +337,8 @@ def main():
               f"({len(bad_diffs)} differences)")
 
     diffs = compare(baseline, candidate, args.counter_tolerance,
-                    args.fingerprint_tolerance, args.time_tolerance)
+                    args.fingerprint_tolerance, args.time_tolerance,
+                    quality_tol)
     if diffs:
         print(f"REGRESSION: {candidate_path} vs {args.baseline}")
         for d in diffs:

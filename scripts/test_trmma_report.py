@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""End-to-end exercise of the trmma_report CLI (run from ctest).
+
+Renders the HTML quality dashboard from the committed BENCH baselines
+(>= 2 reports, two of which carry a "quality" section) and checks:
+  --payload  -> valid JSON, runs sorted oldest-first, quality preserved
+  render     -> self-contained HTML embedding that exact payload, with the
+                dashboard's structural landmarks present
+plus negative checks: an empty directory and a malformed report are
+rejected. Stdlib only, so it runs inside ctest with no extra dependencies.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd, **kwargs):
+    print("+ " + " ".join(cmd), flush=True)
+    return subprocess.run(cmd, capture_output=True, text=True, **kwargs)
+
+
+def check(cond, what):
+    if not cond:
+        print(f"FAIL: {what}")
+        sys.exit(1)
+    print(f"OK: {what}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the trmma_report executable")
+    parser.add_argument("--bench-dir", required=True,
+                        help="directory of BENCH_*.json reports")
+    parser.add_argument("--workdir", default=None)
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="trmma_report_", dir=args.workdir or None)
+
+    # --payload: the embedded data model, as JSON on stdout.
+    pay = run([args.binary, "--payload", args.bench_dir])
+    check(pay.returncode == 0, f"--payload exits 0 (stderr: {pay.stderr[:200]})")
+    payload = json.loads(pay.stdout)
+    runs = payload["runs"]
+    check(len(runs) >= 2, f"payload carries >= 2 runs (got {len(runs)})")
+    stamps = [r["created_unix"] for r in runs]
+    check(stamps == sorted(stamps), "runs are sorted oldest-first")
+    with_quality = [r for r in runs if r.get("quality")]
+    check(len(with_quality) >= 2,
+          f"at least two runs carry a quality section (got {len(with_quality)})")
+    for r in with_quality:
+        q = r["quality"]
+        check(q["groups"] and isinstance(q["drift"], list),
+              f"{r['file']}: quality section has groups and drift")
+        g = q["groups"][0]
+        for key in ("kind", "method", "city", "requests", "scored",
+                    "mean_quality", "slices", "calibration"):
+            check(key in g, f"{r['file']}: group carries '{key}'")
+        cal = g["calibration"]
+        for key in ("samples", "ece", "brier", "bins",
+                    "dropped_nonfinite", "dropped_out_of_range"):
+            check(key in cal, f"{r['file']}: calibration carries '{key}'")
+
+    # render: a self-contained HTML file embedding the same payload.
+    out_html = os.path.join(tmp, "dashboard.html")
+    render = run([args.binary, args.bench_dir, out_html])
+    check(render.returncode == 0,
+          f"render exits 0 (stderr: {render.stderr[:200]})")
+    html = open(out_html, encoding="utf-8").read()
+    check(html.startswith("<!DOCTYPE html>"), "output is an HTML document")
+    check(html.rstrip().endswith("</html>"), "HTML document is complete")
+    stripped = html.replace("http://www.w3.org/2000/svg", "")  # namespace URI
+    check("http://" not in stripped and "https://" not in stripped,
+          "dashboard is self-contained (no external resources)")
+    embedded = html.split('<script type="application/json" id="payload">')[1]
+    embedded = embedded.split("</script>")[0].strip()
+    check(json.loads(embedded.replace("<\\/", "</")) == payload,
+          "embedded payload matches --payload output")
+    for landmark in ('id="benchsel"', 'id="kpis"', 'id="epscharts"',
+                     'id="relgrid"', 'id="slicetables"', 'id="drifttable"',
+                     "prefers-color-scheme"):
+        check(landmark in html, f"dashboard contains {landmark}")
+
+    # Negative: an empty directory has no reports to aggregate.
+    empty = os.path.join(tmp, "empty")
+    os.mkdir(empty)
+    miss = run([args.binary, empty, os.path.join(tmp, "none.html")])
+    check(miss.returncode != 0, "empty directory is rejected")
+
+    # Negative: a malformed report fails the whole load, loudly.
+    bad = os.path.join(tmp, "bad")
+    os.mkdir(bad)
+    with open(os.path.join(bad, "BENCH_broken.json"), "w") as f:
+        f.write("{this is not json")
+    broke = run([args.binary, bad, os.path.join(tmp, "none.html")])
+    check(broke.returncode != 0, "malformed report is rejected")
+    check("BENCH_broken.json" in broke.stderr, "error names the bad file")
+
+    print("ALL OK")
+
+
+if __name__ == "__main__":
+    main()

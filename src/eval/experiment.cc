@@ -9,6 +9,7 @@
 #include "mm/route_stitch.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "traj/sparsify.h"
@@ -47,6 +48,9 @@ template <typename TrainFn>
 TrainStats TimedEpochs(const char* method, int examples, int epochs,
                        TrainFn&& train_one_epoch) {
   obs::ScopedPhase phase(std::string("train.") + method);
+  // Feature observations made while training land on the "train" side of
+  // the drift histograms (obs/quality.h).
+  obs::QualityPhaseScope quality_phase(obs::QualityPhase::kTrain);
   obs::MetricRegistry& reg = obs::MetricRegistry::Global();
   const obs::Labels labels = {{"method", method}};
   obs::Histogram* epoch_ms = reg.GetHistogram(
@@ -156,6 +160,7 @@ TrainStats TrainMma(ExperimentStack& stack, int epochs,
 
 TrainStats TrainLhmm(ExperimentStack& stack, int epochs) {
   obs::ScopedPhase phase("train.lhmm");
+  obs::QualityPhaseScope quality_phase(obs::QualityPhase::kTrain);
   stack.training_log.push_back({"lhmm", epochs, 1.0});
   Rng rng(stack.config.seed + 2);
   TrainStats out;
@@ -256,20 +261,37 @@ Status ApplyTrainingLog(ExperimentStack& stack,
 
 namespace {
 
-/// Fills the reproduction-context fields shared by every eval request.
+/// Fills the reproduction-context fields shared by every eval request,
+/// including the per-input-point ground-truth segments (the eval harness is
+/// the one place the truth alignment is known — sparse point i is
+/// raw/truth point sparse_indices[i]).
 void FillRequestContext(obs::RequestRecord* rec, const ExperimentStack& stack,
-                        const std::string& method, const Trajectory& input) {
+                        const std::string& method,
+                        const TrajectorySample& sample) {
   const Dataset& dataset = *stack.dataset;
+  const Trajectory& input = sample.sparse;
   rec->method = method;
   rec->city = dataset.name;
   rec->seed = static_cast<std::int64_t>(stack.config.seed);
   rec->epsilon = static_cast<std::int64_t>(dataset.epsilon_s);
+  rec->gamma = dataset.gamma;
   rec->dataset_trajectories =
       static_cast<std::int64_t>(dataset.samples.size());
   rec->train_state = FormatTrainingLog(stack);
   rec->input.reserve(input.size());
   for (const GpsPoint& p : input.points) {
     rec->input.push_back({p.pos.lat, p.pos.lng, p.t});
+  }
+  rec->truth_segments.reserve(input.size());
+  for (int i = 0; i < input.size(); ++i) {
+    std::int64_t truth = -1;
+    if (i < static_cast<int>(sample.sparse_indices.size())) {
+      const int raw_idx = sample.sparse_indices[i];
+      if (raw_idx >= 0 && raw_idx < static_cast<int>(sample.truth.size())) {
+        truth = sample.truth[raw_idx].segment;
+      }
+    }
+    rec->truth_segments.push_back(truth);
   }
 }
 
@@ -289,7 +311,7 @@ MapMatchEval EvaluateMapMatching(ExperimentStack& stack, MapMatcher& matcher,
 
     obs::RequestScope request("mm");
     if (obs::RequestRecord* rec = request.record()) {
-      FillRequestContext(rec, stack, matcher.name(), sample.sparse);
+      FillRequestContext(rec, stack, matcher.name(), sample);
     }
     Stopwatch watch;
     const std::vector<SegmentId> segs = matcher.MatchPoints(sample.sparse);
@@ -300,10 +322,14 @@ MapMatchEval EvaluateMapMatching(ExperimentStack& stack, MapMatcher& matcher,
     const SetMetrics metrics = SegmentSetMetrics(route, sample.route);
     out.metrics += metrics;
     if (obs::RequestRecord* rec = request.record()) {
-      rec->matched.reserve(segs.size());
-      for (size_t i = 0; i < segs.size(); ++i) {
-        rec->matched.push_back(
-            {segs[i], 0.0, sample.sparse.points[i].t});
+      // The matcher may have captured matched points itself (MMA records
+      // chosen candidates with real offsets); only backfill when it didn't.
+      if (rec->matched.empty()) {
+        rec->matched.reserve(segs.size());
+        for (size_t i = 0; i < segs.size(); ++i) {
+          rec->matched.push_back(
+              {segs[i], 0.0, sample.sparse.points[i].t});
+        }
       }
       rec->route.assign(route.begin(), route.end());
       rec->quality = metrics.f1;
@@ -337,7 +363,7 @@ RecoveryEval EvaluateRecovery(ExperimentStack& stack, RecoveryMethod& method,
 
     obs::RequestScope request("recovery");
     if (obs::RequestRecord* rec = request.record()) {
-      FillRequestContext(rec, stack, method.name(), sample.sparse);
+      FillRequestContext(rec, stack, method.name(), sample);
     }
     Stopwatch watch;
     const MatchedTrajectory pred =

@@ -1,8 +1,10 @@
 #include "mm/candidates.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/flight_recorder.h"
+#include "obs/quality.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -107,6 +109,30 @@ std::vector<std::vector<Candidate>> ComputeCandidates(
     static obs::Counter* const points =
         obs::MetricRegistry::Global().GetCounter("mm.candidates.points");
     points->Increment(n);
+  }
+  // Quality telemetry: candidate search is the shared entry point of
+  // training and inference, so the drift histograms observe the matcher's
+  // input features here (train vs serve split by QualityPhaseScope).
+  if (obs::QualityEnabled()) {
+    obs::QualityLog& qlog = obs::QualityLog::Global();
+    qlog.ObserveFeature(obs::kFeatureTrajPoints, n);
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) {
+        qlog.ObserveFeature(obs::kFeatureGapSeconds,
+                            traj.points[i].t - traj.points[i - 1].t);
+      }
+      qlog.ObserveFeature(obs::kFeatureCandidateCount,
+                          static_cast<double>(out[i].size()));
+      if (out[i].empty()) continue;
+      double nearest = out[i].front().distance;
+      double kth = nearest;
+      for (const Candidate& c : out[i]) {
+        nearest = std::min(nearest, c.distance);
+        kth = std::max(kth, c.distance);
+      }
+      qlog.ObserveFeature(obs::kFeatureNearestCandidateM, nearest);
+      qlog.ObserveFeature(obs::kFeatureKthCandidateM, kth);
+    }
   }
   // Flight recorder: the first candidate computation of a request defines
   // its candidate trace (nested matcher calls don't overwrite it).

@@ -241,6 +241,10 @@ std::vector<SegmentId> MmaMatcher::MatchPointsWithScores(
   obs::RequestRecord* rec = obs::ActiveRecord();
   const bool capture_scores = rec != nullptr && rec->scores.empty();
   if (capture_scores) rec->scores.assign(traj.size(), 0.0);
+  // Likewise the chosen candidate per point (segment + offset), so the
+  // record pairs each confidence with the decision it scores.
+  const bool capture_matched = rec != nullptr && rec->matched.empty();
+  if (capture_matched) rec->matched.resize(traj.size());
   nn::Tape tape;
   std::vector<Tensor> logits = ForwardLogits(tape, traj, candidates);
   for (int i = 0; i < traj.size(); ++i) {
@@ -257,6 +261,10 @@ std::vector<SegmentId> MmaMatcher::MatchPointsWithScores(
     // Flight recorder: capture the classifier's confidence even when the
     // caller doesn't ask for scores (the common MatchPoints path).
     if (capture_scores) rec->scores[i] = prob;
+    if (capture_matched) {
+      rec->matched[i] = {candidates[i][best].segment,
+                         candidates[i][best].ratio, traj.points[i].t};
+    }
   }
   return out;
 }

@@ -6,13 +6,22 @@
 #include <fstream>
 
 #include "obs/json.h"
+#include "obs/quality.h"
 
 namespace trmma {
 namespace obs {
 
 namespace internal_obs {
 std::atomic<bool> g_flight_enabled{false};
+std::atomic<bool> g_flight_retention{false};
 thread_local RequestRecord* t_flight_current = nullptr;
+
+void RefreshCaptureGate() {
+  g_flight_enabled.store(
+      g_flight_retention.load(std::memory_order_relaxed) ||
+          g_quality_enabled.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
 }  // namespace internal_obs
 
 FlightRecorderConfig FlightRecorderConfigFromEnv() {
@@ -51,8 +60,9 @@ void FlightRecorder::Configure(const FlightRecorderConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
   config_ = config;
   if (config_.sample_every < 1) config_.sample_every = 1;
-  internal_obs::g_flight_enabled.store(config_.enabled,
-                                       std::memory_order_relaxed);
+  internal_obs::g_flight_retention.store(config_.enabled,
+                                         std::memory_order_relaxed);
+  internal_obs::RefreshCaptureGate();
 }
 
 FlightRecorderConfig FlightRecorder::config() const {
@@ -195,13 +205,15 @@ void FlightRecorder::ResetForTest() {
 }
 
 RequestScope::RequestScope(const char* kind) {
-  FlightRecorder& recorder = FlightRecorder::Global();
-  if (!recorder.enabled() || internal_obs::t_flight_current != nullptr) {
+  // The combined gate: capture runs when either the recorder's retention or
+  // quality telemetry wants the record.
+  if (!internal_obs::g_flight_enabled.load(std::memory_order_relaxed) ||
+      internal_obs::t_flight_current != nullptr) {
     return;
   }
   active_ = true;
   record_.kind = kind;
-  record_.id = recorder.NextRequestId(&index_);
+  record_.id = FlightRecorder::Global().NextRequestId(&index_);
   internal_obs::t_flight_current = &record_;
   start_ = std::chrono::steady_clock::now();
 }
@@ -212,7 +224,12 @@ RequestScope::~RequestScope() {
   record_.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - start_)
                         .count();
-  FlightRecorder::Global().End(std::move(record_), index_);
+  if (QualityEnabled()) {
+    QualityLog::Global().Ingest(record_);
+  }
+  if (FlightRecorder::Global().enabled()) {
+    FlightRecorder::Global().End(std::move(record_), index_);
+  }
 }
 
 }  // namespace obs

@@ -35,8 +35,16 @@ struct FlightRecorderConfig {
 FlightRecorderConfig FlightRecorderConfigFromEnv();
 
 namespace internal_obs {
+/// Combined capture gate: true when ANY consumer of RequestRecords is on —
+/// flight-recorder retention or quality telemetry (obs/quality.h). Hooks
+/// read this one flag, so enabling either consumer activates capture.
 extern std::atomic<bool> g_flight_enabled;
+/// The recorder-proper gate: retention/flushing of exemplars.
+extern std::atomic<bool> g_flight_retention;
 extern thread_local RequestRecord* t_flight_current;
+/// Recomputes g_flight_enabled from the per-consumer gates; called by
+/// FlightRecorder::Configure and QualityLog::Configure.
+void RefreshCaptureGate();
 }  // namespace internal_obs
 
 /// The per-hook fast gate. When the recorder is disabled this is one relaxed
@@ -71,7 +79,7 @@ class FlightRecorder {
   void Configure(const FlightRecorderConfig& config);
   FlightRecorderConfig config() const;
   bool enabled() const {
-    return internal_obs::g_flight_enabled.load(std::memory_order_relaxed);
+    return internal_obs::g_flight_retention.load(std::memory_order_relaxed);
   }
 
   /// Retention decision for a finished request. `index` is the zero-based

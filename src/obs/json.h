@@ -83,6 +83,12 @@ class JsonWriter {
     MarkValue();
     return *this;
   }
+  JsonWriter& Null() {
+    Comma();
+    out_ += "null";
+    MarkValue();
+    return *this;
+  }
 
  private:
   void Comma() {

@@ -1,0 +1,494 @@
+#include "obs/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
+namespace trmma {
+namespace obs {
+
+namespace internal_obs {
+std::atomic<bool> g_quality_enabled{false};
+std::atomic<int> g_quality_phase{static_cast<int>(QualityPhase::kServe)};
+}  // namespace internal_obs
+
+// ---------------------------------------------------------------------------
+// Calibration primitives.
+// ---------------------------------------------------------------------------
+
+CalibrationSummary ComputeCalibration(
+    const std::vector<ConfidenceSample>& samples, int num_bins) {
+  CalibrationSummary out;
+  if (num_bins < 1) num_bins = 1;
+  out.bins.resize(num_bins);
+  for (int b = 0; b < num_bins; ++b) {
+    out.bins[b].lo = static_cast<double>(b) / num_bins;
+    out.bins[b].hi = static_cast<double>(b + 1) / num_bins;
+  }
+  double brier_sum = 0.0;
+  for (const ConfidenceSample& s : samples) {
+    if (!std::isfinite(s.confidence)) {
+      ++out.dropped_nonfinite;
+      continue;
+    }
+    if (s.confidence < 0.0 || s.confidence > 1.0) {
+      ++out.dropped_out_of_range;
+      continue;
+    }
+    const int b = std::min(num_bins - 1,
+                           static_cast<int>(s.confidence * num_bins));
+    CalibrationBin& bin = out.bins[b];
+    ++bin.count;
+    bin.confidence_sum += s.confidence;
+    bin.correct_sum += s.correct ? 1.0 : 0.0;
+    ++out.samples;
+    const double err = s.confidence - (s.correct ? 1.0 : 0.0);
+    brier_sum += err * err;
+  }
+  if (out.samples > 0) {
+    double ece = 0.0;
+    for (const CalibrationBin& bin : out.bins) {
+      if (bin.count == 0) continue;
+      ece += static_cast<double>(bin.count) / out.samples *
+             std::abs(bin.accuracy() - bin.mean_confidence());
+    }
+    out.ece = ece;
+    out.brier = brier_sum / out.samples;
+  }
+  return out;
+}
+
+double PopulationStabilityIndex(const std::vector<double>& expected_counts,
+                                const std::vector<double>& observed_counts,
+                                bool* degenerate) {
+  if (degenerate != nullptr) *degenerate = false;
+  const auto total = [](const std::vector<double>& v) {
+    double t = 0.0;
+    for (double x : v) {
+      if (std::isfinite(x) && x > 0.0) t += x;
+    }
+    return t;
+  };
+  const double expected_total = total(expected_counts);
+  const double observed_total = total(observed_counts);
+  if (expected_counts.empty() || observed_counts.empty() ||
+      expected_counts.size() != observed_counts.size() ||
+      expected_total <= 0.0 || observed_total <= 0.0) {
+    if (degenerate != nullptr) *degenerate = true;
+    return 0.0;
+  }
+  // Additive smoothing keeps empty bins finite; with identical shapes the
+  // smoothed terms cancel, so PSI(x, x) is exactly 0.
+  const double kSmooth = 1e-6;
+  double psi = 0.0;
+  for (std::size_t i = 0; i < expected_counts.size(); ++i) {
+    const double e = std::isfinite(expected_counts[i]) && expected_counts[i] > 0
+                         ? expected_counts[i]
+                         : 0.0;
+    const double o = std::isfinite(observed_counts[i]) && observed_counts[i] > 0
+                         ? observed_counts[i]
+                         : 0.0;
+    const double p = e / expected_total + kSmooth;
+    const double q = o / observed_total + kSmooth;
+    psi += (p - q) * std::log(p / q);
+  }
+  return psi;
+}
+
+// ---------------------------------------------------------------------------
+// Slice taxonomy.
+// ---------------------------------------------------------------------------
+
+std::string EpsilonBucket(double effective_interval_s) {
+  if (!(effective_interval_s > 0.0)) return "unknown";
+  if (effective_interval_s <= 15.0) return "<=15s";
+  if (effective_interval_s <= 30.0) return "<=30s";
+  if (effective_interval_s <= 60.0) return "<=60s";
+  if (effective_interval_s <= 120.0) return "<=120s";
+  if (effective_interval_s <= 180.0) return "<=180s";
+  return ">180s";
+}
+
+std::string GapBucket(double max_gap_s) {
+  if (!(max_gap_s > 0.0)) return "unknown";
+  if (max_gap_s <= 30.0) return "<=30s";
+  if (max_gap_s <= 60.0) return "<=60s";
+  if (max_gap_s <= 120.0) return "<=120s";
+  if (max_gap_s <= 300.0) return "<=300s";
+  return ">300s";
+}
+
+std::string CandidateCountBucket(double mean_candidates) {
+  if (!(mean_candidates > 0.0)) return "none";
+  if (mean_candidates <= 2.0) return "1-2";
+  if (mean_candidates <= 4.0) return "3-4";
+  if (mean_candidates <= 8.0) return "5-8";
+  return ">8";
+}
+
+std::string DensityBucket(double mean_kth_distance_m) {
+  if (!(mean_kth_distance_m > 0.0)) return "unknown";
+  if (mean_kth_distance_m <= 50.0) return "dense(<=50m)";
+  if (mean_kth_distance_m <= 150.0) return "mid(50-150m)";
+  if (mean_kth_distance_m <= 400.0) return "sparse(150-400m)";
+  return "isolated(>400m)";
+}
+
+std::string OutcomeBucket(const std::string& outcome) {
+  return outcome.empty() ? "none" : outcome;
+}
+
+QualitySample QualitySampleFromRecord(const RequestRecord& record) {
+  QualitySample s;
+  s.kind = record.kind;
+  s.method = record.method;
+  s.city = record.city;
+  s.quality = record.quality;
+
+  // Effective sampling interval: the dataset's dense interval ε stretched
+  // by the sparsification keep-rate γ (Figs. 7/11 sweep γ at fixed ε).
+  // Records that predate the gamma field fall back to the observed mean
+  // inter-point interval.
+  double effective = 0.0;
+  if (record.epsilon > 0) {
+    effective = record.gamma > 0.0
+                    ? static_cast<double>(record.epsilon) / record.gamma
+                    : static_cast<double>(record.epsilon);
+  }
+  double max_gap = 0.0;
+  if (record.input.size() >= 2) {
+    double span = 0.0;
+    for (std::size_t i = 1; i < record.input.size(); ++i) {
+      const double dt = record.input[i].t - record.input[i - 1].t;
+      max_gap = std::max(max_gap, dt);
+      span += dt;
+    }
+    if (effective <= 0.0 && span > 0.0) {
+      effective = span / static_cast<double>(record.input.size() - 1);
+    }
+  }
+  s.epsilon_bucket = EpsilonBucket(effective);
+  s.gap_bucket = GapBucket(max_gap);
+
+  double candidate_sum = 0.0;
+  double kth_sum = 0.0;
+  std::int64_t kth_points = 0;
+  for (const auto& per_point : record.candidates) {
+    candidate_sum += static_cast<double>(per_point.size());
+    double kth = 0.0;
+    for (const RecordCandidate& c : per_point) {
+      if (std::isfinite(c.distance)) kth = std::max(kth, c.distance);
+    }
+    if (!per_point.empty()) {
+      kth_sum += kth;
+      ++kth_points;
+    }
+  }
+  const double n_points =
+      record.candidates.empty() ? 0.0
+                                : static_cast<double>(record.candidates.size());
+  s.candidate_bucket =
+      CandidateCountBucket(n_points > 0.0 ? candidate_sum / n_points : 0.0);
+  s.density_bucket =
+      DensityBucket(kth_points > 0 ? kth_sum / kth_points : 0.0);
+  s.outcome_bucket = OutcomeBucket(record.outcome);
+
+  // Confidence/correctness pairs: score i belongs to input point i, whose
+  // true segment (when known) is truth_segments[i]. Matched points carry
+  // the chosen segment. Without truth the scores stay unpaired; non-finite
+  // ones are still surfaced through the counter.
+  const std::size_t pairable =
+      std::min({record.scores.size(), record.matched.size(),
+                record.truth_segments.size()});
+  for (std::size_t i = 0; i < pairable; ++i) {
+    if (record.truth_segments[i] < 0) continue;
+    s.confidences.push_back(
+        {record.scores[i],
+         record.matched[i].segment == record.truth_segments[i]});
+  }
+  if (record.truth_segments.empty() || record.matched.empty()) {
+    for (double score : record.scores) {
+      if (!std::isfinite(score)) ++s.confidence_nonfinite;
+    }
+  }
+
+  // Candidate-rank observations: where in the (distance-ordered) candidate
+  // list the chosen and the true segment sit.
+  const auto rank_of = [](const std::vector<RecordCandidate>& cs,
+                          std::int64_t segment) {
+    if (segment < 0) return kQualityRankBuckets;
+    for (std::size_t r = 0; r < cs.size(); ++r) {
+      if (cs[r].segment == segment) {
+        return std::min(static_cast<int>(r), kQualityRankBuckets);
+      }
+    }
+    return kQualityRankBuckets;
+  };
+  const std::size_t rankable =
+      std::min(record.candidates.size(), record.matched.size());
+  for (std::size_t i = 0; i < rankable; ++i) {
+    s.chosen_rank.push_back(
+        rank_of(record.candidates[i], record.matched[i].segment));
+  }
+  const std::size_t truth_rankable =
+      std::min(record.candidates.size(), record.truth_segments.size());
+  for (std::size_t i = 0; i < truth_rankable; ++i) {
+    if (record.truth_segments[i] < 0) continue;
+    s.truth_rank.push_back(
+        rank_of(record.candidates[i], record.truth_segments[i]));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation.
+// ---------------------------------------------------------------------------
+
+void QualityAggregator::Add(const QualitySample& sample) {
+  const std::string key = sample.kind + "|" + sample.method + "|" + sample.city;
+  GroupAgg& g = groups_[key];
+  ++g.requests;
+  if (sample.quality >= 0.0) {
+    if (g.scored == 0) {
+      g.quality_min = sample.quality;
+      g.quality_max = sample.quality;
+    } else {
+      g.quality_min = std::min(g.quality_min, sample.quality);
+      g.quality_max = std::max(g.quality_max, sample.quality);
+    }
+    ++g.scored;
+    g.quality_sum += sample.quality;
+  }
+  const std::pair<const char*, const std::string*> dims[] = {
+      {"epsilon", &sample.epsilon_bucket},
+      {"gap", &sample.gap_bucket},
+      {"candidates", &sample.candidate_bucket},
+      {"density", &sample.density_bucket},
+      {"outcome", &sample.outcome_bucket},
+  };
+  for (const auto& [dim, bucket] : dims) {
+    SliceAgg& slice = g.slices[dim][*bucket];
+    ++slice.requests;
+    if (sample.quality >= 0.0) {
+      ++slice.scored;
+      slice.quality_sum += sample.quality;
+    }
+  }
+  g.confidences.insert(g.confidences.end(), sample.confidences.begin(),
+                       sample.confidences.end());
+  g.confidence_nonfinite += sample.confidence_nonfinite;
+  for (int r : sample.chosen_rank) {
+    ++g.chosen_rank[std::clamp(r, 0, kQualityRankBuckets)];
+  }
+  for (int r : sample.truth_rank) {
+    ++g.truth_rank[std::clamp(r, 0, kQualityRankBuckets)];
+  }
+}
+
+bool QualityAggregator::HasData() const { return !groups_.empty(); }
+
+std::int64_t QualityAggregator::requests() const {
+  std::int64_t n = 0;
+  for (const auto& [key, g] : groups_) n += g.requests;
+  return n;
+}
+
+std::string QualityAggregator::GroupsJson(int reliability_bins) const {
+  JsonWriter w;
+  w.BeginArray();
+  for (const auto& [key, g] : groups_) {
+    const std::size_t p1 = key.find('|');
+    const std::size_t p2 = key.find('|', p1 + 1);
+    w.BeginObject();
+    w.Key("kind").String(key.substr(0, p1));
+    w.Key("method").String(key.substr(p1 + 1, p2 - p1 - 1));
+    w.Key("city").String(key.substr(p2 + 1));
+    w.Key("requests").Int(g.requests);
+    w.Key("scored").Int(g.scored);
+    w.Key("mean_quality")
+        .Number(g.scored > 0 ? g.quality_sum / g.scored : -1.0);
+    w.Key("min_quality").Number(g.scored > 0 ? g.quality_min : -1.0);
+    w.Key("max_quality").Number(g.scored > 0 ? g.quality_max : -1.0);
+    w.Key("slices").BeginArray();
+    for (const auto& [dim, buckets] : g.slices) {
+      for (const auto& [bucket, slice] : buckets) {
+        w.BeginObject();
+        w.Key("dimension").String(dim);
+        w.Key("bucket").String(bucket);
+        w.Key("requests").Int(slice.requests);
+        w.Key("scored").Int(slice.scored);
+        w.Key("mean_quality")
+            .Number(slice.scored > 0 ? slice.quality_sum / slice.scored
+                                     : -1.0);
+        w.EndObject();
+      }
+    }
+    w.EndArray();
+    const CalibrationSummary cal =
+        ComputeCalibration(g.confidences, reliability_bins);
+    w.Key("calibration").BeginObject();
+    w.Key("samples").Int(cal.samples);
+    w.Key("dropped_nonfinite")
+        .Int(cal.dropped_nonfinite + g.confidence_nonfinite);
+    w.Key("dropped_out_of_range").Int(cal.dropped_out_of_range);
+    w.Key("ece").Number(cal.ece);
+    w.Key("brier").Number(cal.brier);
+    w.Key("bins").BeginArray();
+    for (const CalibrationBin& bin : cal.bins) {
+      w.BeginObject();
+      w.Key("lo").Number(bin.lo);
+      w.Key("hi").Number(bin.hi);
+      w.Key("count").Int(bin.count);
+      w.Key("mean_confidence").Number(bin.mean_confidence());
+      w.Key("accuracy").Number(bin.accuracy());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("chosen_rank").BeginArray();
+    for (std::int64_t c : g.chosen_rank) w.Int(c);
+    w.EndArray();
+    w.Key("truth_rank").BeginArray();
+    for (std::int64_t c : g.truth_rank) w.Int(c);
+    w.EndArray();
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.TakeString();
+}
+
+void QualityAggregator::Reset() { groups_.clear(); }
+
+// ---------------------------------------------------------------------------
+// Feature drift.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Fixed per-feature histogram upper bounds (lower bound 0, linear bins);
+/// values at or beyond the bound land in the last bin. Fixed layouts keep
+/// train and serve histograms comparable without a negotiation step.
+constexpr double kFeatureUpperBound[kNumQualityFeatures] = {
+    160.0,  // nearest candidate distance, m
+    800.0,  // k-th candidate distance, m
+    16.0,   // candidate count
+    480.0,  // gap seconds
+    320.0,  // trajectory points
+};
+
+const char* const kFeatureNames[kNumQualityFeatures] = {
+    "nearest_candidate_m", "kth_candidate_m", "candidate_count",
+    "gap_seconds",         "traj_points",
+};
+
+}  // namespace
+
+const char* QualityFeatureName(int feature) {
+  if (feature < 0 || feature >= kNumQualityFeatures) return "unknown";
+  return kFeatureNames[feature];
+}
+
+QualityLog& QualityLog::Global() {
+  static QualityLog* log = new QualityLog();
+  return *log;
+}
+
+void QualityLog::Configure(bool enabled) {
+  internal_obs::g_quality_enabled.store(enabled, std::memory_order_relaxed);
+  internal_obs::RefreshCaptureGate();
+}
+
+void QualityLog::ConfigureFromEnv() {
+  const char* env = std::getenv("TRMMA_QUALITY");
+  Configure(env != nullptr && env[0] != '\0' &&
+            !(env[0] == '0' && env[1] == '\0'));
+}
+
+void QualityLog::Ingest(const RequestRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregator_.AddRecord(record);
+}
+
+void QualityLog::ObserveFeature(int feature, double value) {
+  if (feature < 0 || feature >= kNumQualityFeatures) return;
+  if (!std::isfinite(value)) return;
+  const double bound = kFeatureUpperBound[feature];
+  int bin = static_cast<int>(value / bound * kDriftBins);
+  bin = std::clamp(bin, 0, kDriftBins - 1);
+  const int phase =
+      internal_obs::g_quality_phase.load(std::memory_order_relaxed);
+  drift_[feature][phase & 1][bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+bool QualityLog::HasData() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregator_.HasData();
+}
+
+std::vector<double> QualityLog::DriftCounts(int feature,
+                                            QualityPhase phase) const {
+  std::vector<double> out(kDriftBins, 0.0);
+  if (feature < 0 || feature >= kNumQualityFeatures) return out;
+  const int p = static_cast<int>(phase) & 1;
+  for (int b = 0; b < kDriftBins; ++b) {
+    out[b] = static_cast<double>(
+        drift_[feature][p][b].load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::string QualityLog::SummaryJson() const {
+  std::string groups;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    groups = aggregator_.GroupsJson();
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("drift").BeginArray();
+  for (int f = 0; f < kNumQualityFeatures; ++f) {
+    const std::vector<double> train = DriftCounts(f, QualityPhase::kTrain);
+    const std::vector<double> serve = DriftCounts(f, QualityPhase::kServe);
+    double train_total = 0.0;
+    double serve_total = 0.0;
+    for (double x : train) train_total += x;
+    for (double x : serve) serve_total += x;
+    if (train_total <= 0.0 && serve_total <= 0.0) continue;
+    bool degenerate = false;
+    const double psi = PopulationStabilityIndex(train, serve, &degenerate);
+    w.BeginObject();
+    w.Key("feature").String(QualityFeatureName(f));
+    w.Key("train").Int(static_cast<std::int64_t>(train_total));
+    w.Key("serve").Int(static_cast<std::int64_t>(serve_total));
+    w.Key("psi").Number(psi);
+    w.Key("degenerate").Bool(degenerate);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  // Splice the groups array in front of "drift" (same pop-the-brace trick
+  // as RunReport::ToJson, on the opening side).
+  std::string out = w.TakeString();
+  out.erase(0, 1);
+  return "{\"groups\":" + groups + "," + out;
+}
+
+void QualityLog::ResetForTest() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aggregator_.Reset();
+  }
+  for (int f = 0; f < kNumQualityFeatures; ++f) {
+    for (int p = 0; p < 2; ++p) {
+      for (int b = 0; b < kDriftBins; ++b) {
+        drift_[f][p][b].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,264 @@
+#ifndef TRMMA_OBS_QUALITY_H_
+#define TRMMA_OBS_QUALITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/request_record.h"
+
+namespace trmma {
+namespace obs {
+
+/// Quality observability (DESIGN.md §9): the accuracy-side counterpart of
+/// the latency/FLOP telemetry. Per-request quality is attributed to slices
+/// where it varies (sampling interval, gap length, candidate-set size,
+/// degradation path, road density), the matcher's confidence scores are
+/// reduced to a calibration summary (reliability bins, ECE, Brier), and
+/// train-vs-serve input-feature drift is tracked as PSI. Everything is fed
+/// from the same RequestRecord capture path as the flight recorder, so
+/// recorded production traffic and bench runs share one code path.
+
+// ---------------------------------------------------------------------------
+// Calibration primitives (pure functions, unit-testable in isolation).
+// ---------------------------------------------------------------------------
+
+/// One (confidence, was-the-prediction-correct) observation.
+struct ConfidenceSample {
+  double confidence = 0.0;
+  bool correct = false;
+};
+
+/// One reliability bin over [lo, hi): observation count, summed confidence
+/// and summed correctness (so mean confidence / empirical accuracy are
+/// recoverable without a second pass).
+struct CalibrationBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::int64_t count = 0;
+  double confidence_sum = 0.0;
+  double correct_sum = 0.0;
+
+  double mean_confidence() const {
+    return count > 0 ? confidence_sum / count : 0.0;
+  }
+  double accuracy() const { return count > 0 ? correct_sum / count : 0.0; }
+};
+
+/// Reliability diagram + scalar calibration metrics for one score source.
+struct CalibrationSummary {
+  std::vector<CalibrationBin> bins;
+  std::int64_t samples = 0;             ///< observations that landed in a bin
+  std::int64_t dropped_nonfinite = 0;   ///< NaN/Inf confidences (counted, not binned)
+  std::int64_t dropped_out_of_range = 0;  ///< finite but outside [0,1]
+  double ece = 0.0;    ///< expected calibration error, Σ (n_b/N)·|acc_b−conf_b|
+  double brier = 0.0;  ///< mean squared error of confidence vs correctness
+};
+
+/// Bins `samples` into `num_bins` equal-width reliability bins over [0,1]
+/// and computes ECE + Brier. Non-finite confidences are dropped and
+/// counted; finite confidences outside [0,1] likewise (HMM emission
+/// log-probs are confidences but not probabilities — they must not poison a
+/// probability-calibration summary). Empty input yields zeroed bins with
+/// samples == 0.
+CalibrationSummary ComputeCalibration(
+    const std::vector<ConfidenceSample>& samples, int num_bins = 10);
+
+/// Population Stability Index between two binned distributions given as raw
+/// per-bin counts (same bin layout on both sides). Counts are normalized
+/// and smoothed, so constant (single-bin) distributions are well-defined.
+/// Degenerate inputs — either side empty, or mismatched bin counts — return
+/// 0 and set *degenerate when provided. Rule of thumb: <0.1 stable, 0.1–0.25
+/// moderate shift, >0.25 drifted.
+double PopulationStabilityIndex(const std::vector<double>& expected_counts,
+                                const std::vector<double>& observed_counts,
+                                bool* degenerate = nullptr);
+
+// ---------------------------------------------------------------------------
+// Slice taxonomy (DESIGN.md §9.1).
+// ---------------------------------------------------------------------------
+
+/// Number of candidate ranks tracked individually in the rank-confusion
+/// tallies; rank >= kQualityRankBuckets (or "not in the candidate set")
+/// lands in the final overflow bucket.
+constexpr int kQualityRankBuckets = 10;
+
+/// Bucket labels are stable strings — they are report schema, compared by
+/// the bench regression gate.
+std::string EpsilonBucket(double effective_interval_s);
+std::string GapBucket(double max_gap_s);
+std::string CandidateCountBucket(double mean_candidates);
+std::string DensityBucket(double mean_kth_distance_m);
+std::string OutcomeBucket(const std::string& outcome);
+
+/// One request reduced to its quality-attribution view: group identity,
+/// slice buckets, per-point confidence/correctness pairs and candidate-rank
+/// observations. Derived deterministically from a RequestRecord (live
+/// capture and offline JSONL take the same path).
+struct QualitySample {
+  std::string kind;
+  std::string method;
+  std::string city;
+  double quality = -1.0;  ///< f1 / accuracy; -1 = unknown
+
+  std::string epsilon_bucket;
+  std::string gap_bucket;
+  std::string candidate_bucket;
+  std::string density_bucket;
+  std::string outcome_bucket;
+
+  std::vector<ConfidenceSample> confidences;  ///< points with known truth
+  std::int64_t confidence_nonfinite = 0;      ///< NaN scores seen pre-pairing
+  std::vector<int> chosen_rank;  ///< rank of the chosen candidate per point
+  std::vector<int> truth_rank;   ///< rank of the true segment per point
+};
+
+QualitySample QualitySampleFromRecord(const RequestRecord& record);
+
+// ---------------------------------------------------------------------------
+// Aggregation.
+// ---------------------------------------------------------------------------
+
+/// Accumulates QualitySamples into per-(kind, method, city) groups with
+/// slice tables, calibration inputs and rank confusions, and renders the
+/// "quality" report section. Plain object — the QualityLog singleton owns
+/// one for live capture, and trmma_inspect builds a local one per JSONL.
+class QualityAggregator {
+ public:
+  void Add(const QualitySample& sample);
+  void AddRecord(const RequestRecord& record) {
+    Add(QualitySampleFromRecord(record));
+  }
+
+  bool HasData() const;
+  std::int64_t requests() const;
+
+  /// The "groups" JSON array (see DESIGN.md §9.3 for the schema).
+  std::string GroupsJson(int reliability_bins = 10) const;
+
+  void Reset();
+
+ private:
+  struct SliceAgg {
+    std::int64_t requests = 0;
+    std::int64_t scored = 0;     ///< requests with a known quality
+    double quality_sum = 0.0;
+  };
+
+  struct GroupAgg {
+    std::int64_t requests = 0;
+    std::int64_t scored = 0;
+    double quality_sum = 0.0;
+    double quality_min = 0.0;
+    double quality_max = 0.0;
+    /// dimension -> bucket -> aggregate (std::map: deterministic order).
+    std::map<std::string, std::map<std::string, SliceAgg>> slices;
+    std::vector<ConfidenceSample> confidences;
+    std::int64_t confidence_nonfinite = 0;
+    std::int64_t chosen_rank[kQualityRankBuckets + 1] = {};
+    std::int64_t truth_rank[kQualityRankBuckets + 1] = {};
+  };
+
+  std::map<std::string, GroupAgg> groups_;  ///< key: kind|method|city
+};
+
+// ---------------------------------------------------------------------------
+// Feature drift tracking.
+// ---------------------------------------------------------------------------
+
+/// Input features of the MMA/TRMMA matching path whose train-vs-serve
+/// distributions are tracked for drift. Observed inside ComputeCandidates,
+/// the shared entry point of training and inference.
+enum QualityFeature : int {
+  kFeatureNearestCandidateM = 0,  ///< distance to the nearest candidate
+  kFeatureKthCandidateM,          ///< distance to the k-th (density proxy)
+  kFeatureCandidateCount,         ///< candidate-set size per point
+  kFeatureGapSeconds,             ///< consecutive-point time gap
+  kFeatureTrajPoints,             ///< input trajectory length
+  kNumQualityFeatures,
+};
+
+const char* QualityFeatureName(int feature);
+
+/// Which side of the train/serve divide observations land on. Training
+/// loops run inside a QualityPhaseScope(kTrain); everything else is serve.
+enum class QualityPhase : int { kServe = 0, kTrain = 1 };
+
+namespace internal_obs {
+extern std::atomic<bool> g_quality_enabled;
+extern std::atomic<int> g_quality_phase;
+}  // namespace internal_obs
+
+/// The per-hook fast gate, mirroring ActiveRecord(): one relaxed atomic
+/// load and a branch when quality telemetry is off.
+inline bool QualityEnabled() {
+  return internal_obs::g_quality_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII train-phase marker (process-wide; the repo's training loops are
+/// single-threaded, and a mislabeled overlap only blurs the drift signal).
+class QualityPhaseScope {
+ public:
+  explicit QualityPhaseScope(QualityPhase phase)
+      : prev_(internal_obs::g_quality_phase.exchange(
+            static_cast<int>(phase), std::memory_order_relaxed)) {}
+  ~QualityPhaseScope() {
+    internal_obs::g_quality_phase.store(prev_, std::memory_order_relaxed);
+  }
+  QualityPhaseScope(const QualityPhaseScope&) = delete;
+  QualityPhaseScope& operator=(const QualityPhaseScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// Process-wide quality telemetry: a QualityAggregator fed by RequestScope
+/// teardown plus fixed-bin feature histograms (train and serve) for PSI.
+/// Disabled by default; enabled via Configure or TRMMA_QUALITY=1.
+class QualityLog {
+ public:
+  static constexpr int kDriftBins = 16;
+
+  static QualityLog& Global();
+
+  /// Enables/disables quality capture and refreshes the shared capture
+  /// gate, so RequestScope activates even when flight-recorder retention
+  /// is off.
+  void Configure(bool enabled);
+  /// Applies TRMMA_QUALITY (any value but "0"/"" enables).
+  void ConfigureFromEnv();
+
+  /// Called by RequestScope teardown for every completed request.
+  void Ingest(const RequestRecord& record);
+
+  /// Hot-path feature observation; call sites gate on QualityEnabled().
+  void ObserveFeature(int feature, double value);
+
+  bool HasData() const;
+
+  /// The full "quality" report section: {"groups":[...],"drift":[...]}.
+  std::string SummaryJson() const;
+
+  /// Copies of the raw drift histograms (test hook).
+  std::vector<double> DriftCounts(int feature, QualityPhase phase) const;
+
+  void ResetForTest();
+
+ private:
+  QualityLog() = default;
+
+  mutable std::mutex mu_;
+  QualityAggregator aggregator_;
+  /// [feature][phase][bin] relaxed counters; bounds are per-feature
+  /// compile-time constants (see quality.cc).
+  std::atomic<std::int64_t>
+      drift_[kNumQualityFeatures][2][kDriftBins] = {};
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_QUALITY_H_

@@ -8,6 +8,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/train_log.h"
 
 namespace trmma {
@@ -72,6 +73,9 @@ std::string RunReport::ToJson() const {
     FlightRecorder::Global().Flush();
     flight_json = FlightRecorder::Global().StatsJson();
   }
+  const std::string quality_json = QualityLog::Global().HasData()
+                                       ? QualityLog::Global().SummaryJson()
+                                       : std::string();
 
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
@@ -122,6 +126,10 @@ std::string RunReport::ToJson() const {
   if (!flight_json.empty()) {
     out += ",\"flight_recorder\":";
     out += flight_json;
+  }
+  if (!quality_json.empty()) {
+    out += ",\"quality\":";
+    out += quality_json;
   }
   out += '}';
   return out;

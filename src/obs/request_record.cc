@@ -42,6 +42,7 @@ std::string RequestRecord::ToJsonLine() const {
   w.Key("city").String(city);
   w.Key("seed").Int(seed);
   w.Key("epsilon").Int(epsilon);
+  w.Key("gamma").Number(gamma);
   w.Key("dataset_trajectories").Int(dataset_trajectories);
   w.Key("train_state").BeginArray();
   for (const auto& s : train_state) w.String(s);
@@ -50,6 +51,9 @@ std::string RequestRecord::ToJsonLine() const {
   for (const auto& p : input) {
     w.BeginArray().Number(p.lat).Number(p.lng).Number(p.t).EndArray();
   }
+  w.EndArray();
+  w.Key("truth_segments").BeginArray();
+  for (std::int64_t s : truth_segments) w.Int(s);
   w.EndArray();
   w.Key("candidates").BeginArray();
   for (const auto& per_point : candidates) {
@@ -106,6 +110,7 @@ StatusOr<RequestRecord> RequestRecordFromJsonLine(const std::string& line) {
   r.city = v.Get("city").AsString();
   r.seed = static_cast<std::int64_t>(v.Get("seed").AsNumber());
   r.epsilon = static_cast<std::int64_t>(v.Get("epsilon").AsNumber());
+  r.gamma = v.Get("gamma").AsNumber();
   r.dataset_trajectories =
       static_cast<std::int64_t>(v.Get("dataset_trajectories").AsNumber());
   for (const auto& s : v.Get("train_state").AsArray()) {
@@ -118,6 +123,9 @@ StatusOr<RequestRecord> RequestRecordFromJsonLine(const std::string& line) {
     if (a.size() >= 2) p.lng = a[1].AsNumber();
     if (a.size() >= 3) p.t = a[2].AsNumber();
     r.input.push_back(p);
+  }
+  for (const auto& s : v.Get("truth_segments").AsArray()) {
+    r.truth_segments.push_back(static_cast<std::int64_t>(s.AsNumber()));
   }
   for (const auto& per_point : v.Get("candidates").AsArray()) {
     std::vector<RecordCandidate> cs;

@@ -49,6 +49,7 @@ struct RequestRecord {
   std::string city;            ///< generator preset name ("XA", ...)
   std::int64_t seed = 0;       ///< stack RNG seed the run was built with
   std::int64_t epsilon = 0;    ///< sparsity interval (recovery requests)
+  double gamma = 0.0;          ///< sparsification keep-rate γ; 0 = unknown
   std::int64_t dataset_trajectories = 0;  ///< dataset size used to build stack
   /// Ordered training calls applied to the stack, "key:epochs:fraction" each;
   /// replaying them against a freshly built stack reproduces the weights.
@@ -56,6 +57,9 @@ struct RequestRecord {
 
   // --- inputs --------------------------------------------------------------
   std::vector<RecordGpsPoint> input;
+  /// Per input point: the ground-truth segment when the harness knows it
+  /// (-1 = unknown). Feeds quality attribution and confidence calibration.
+  std::vector<std::int64_t> truth_segments;
 
   // --- decision trace ------------------------------------------------------
   /// Per input point: the candidate set considered (first matcher invocation

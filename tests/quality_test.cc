@@ -1,0 +1,408 @@
+#include "obs/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/json_parse.h"
+#include "obs/request_record.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// ComputeCalibration.
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationTest, EmptyInputYieldsZeroedBins) {
+  const CalibrationSummary cal = ComputeCalibration({}, 10);
+  ASSERT_EQ(cal.bins.size(), 10u);
+  EXPECT_EQ(cal.samples, 0);
+  EXPECT_EQ(cal.dropped_nonfinite, 0);
+  EXPECT_EQ(cal.dropped_out_of_range, 0);
+  EXPECT_DOUBLE_EQ(cal.ece, 0.0);
+  EXPECT_DOUBLE_EQ(cal.brier, 0.0);
+  for (const CalibrationBin& bin : cal.bins) {
+    EXPECT_EQ(bin.count, 0);
+    EXPECT_DOUBLE_EQ(bin.mean_confidence(), 0.0);
+    EXPECT_DOUBLE_EQ(bin.accuracy(), 0.0);
+  }
+  // Bin edges tile [0, 1] without gaps.
+  EXPECT_DOUBLE_EQ(cal.bins.front().lo, 0.0);
+  EXPECT_DOUBLE_EQ(cal.bins.back().hi, 1.0);
+  for (std::size_t b = 1; b < cal.bins.size(); ++b) {
+    EXPECT_DOUBLE_EQ(cal.bins[b].lo, cal.bins[b - 1].hi);
+  }
+}
+
+TEST(CalibrationTest, SingleSampleEce) {
+  // One correct prediction at confidence 0.7: its bin holds the whole mass,
+  // so ECE = |1.0 - 0.7| and Brier = (0.7 - 1)^2.
+  const CalibrationSummary cal = ComputeCalibration({{0.7, true}}, 10);
+  EXPECT_EQ(cal.samples, 1);
+  EXPECT_NEAR(cal.ece, 0.3, 1e-12);
+  EXPECT_NEAR(cal.brier, 0.09, 1e-12);
+  EXPECT_EQ(cal.bins[7].count, 1);
+  EXPECT_DOUBLE_EQ(cal.bins[7].mean_confidence(), 0.7);
+  EXPECT_DOUBLE_EQ(cal.bins[7].accuracy(), 1.0);
+}
+
+TEST(CalibrationTest, PerfectCalibrationHasZeroEce) {
+  // Half correct at confidence 0.5: accuracy == mean confidence in the one
+  // occupied bin.
+  const CalibrationSummary cal =
+      ComputeCalibration({{0.5, true}, {0.5, false}}, 10);
+  EXPECT_EQ(cal.samples, 2);
+  EXPECT_NEAR(cal.ece, 0.0, 1e-12);
+  EXPECT_NEAR(cal.brier, 0.25, 1e-12);
+}
+
+TEST(CalibrationTest, NonFiniteConfidencesDroppedAndCounted) {
+  const CalibrationSummary cal = ComputeCalibration(
+      {{kNaN, true}, {kInf, false}, {-kInf, true}, {0.5, true}}, 10);
+  EXPECT_EQ(cal.samples, 1);
+  EXPECT_EQ(cal.dropped_nonfinite, 3);
+  EXPECT_EQ(cal.dropped_out_of_range, 0);
+  // The survivor alone defines the metrics; NaN never propagates.
+  EXPECT_TRUE(std::isfinite(cal.ece));
+  EXPECT_TRUE(std::isfinite(cal.brier));
+  EXPECT_NEAR(cal.brier, 0.25, 1e-12);
+}
+
+TEST(CalibrationTest, OutOfRangeConfidencesDroppedSeparately) {
+  // HMM-style log-prob scores are finite but not probabilities — they must
+  // be counted apart from NaNs and kept out of the bins.
+  const CalibrationSummary cal = ComputeCalibration(
+      {{-153.2, true}, {1.5, false}, {1.0, true}, {0.0, false}}, 10);
+  EXPECT_EQ(cal.samples, 2);
+  EXPECT_EQ(cal.dropped_out_of_range, 2);
+  EXPECT_EQ(cal.dropped_nonfinite, 0);
+  // Edge values land in the terminal bins (1.0 clamps into the last).
+  EXPECT_EQ(cal.bins.front().count, 1);
+  EXPECT_EQ(cal.bins.back().count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// PopulationStabilityIndex.
+// ---------------------------------------------------------------------------
+
+TEST(PsiTest, IdenticalDistributionsAreExactlyZero) {
+  const std::vector<double> x = {5, 10, 25, 10, 5};
+  bool degenerate = true;
+  EXPECT_DOUBLE_EQ(PopulationStabilityIndex(x, x, &degenerate), 0.0);
+  EXPECT_FALSE(degenerate);
+  // Scale invariance: PSI compares shapes, not totals.
+  const std::vector<double> x10 = {50, 100, 250, 100, 50};
+  EXPECT_NEAR(PopulationStabilityIndex(x, x10), 0.0, 1e-9);
+}
+
+TEST(PsiTest, ShiftedDistributionIsPositive) {
+  const std::vector<double> train = {80, 15, 5, 0};
+  const std::vector<double> serve = {5, 15, 30, 50};
+  bool degenerate = true;
+  const double psi = PopulationStabilityIndex(train, serve, &degenerate);
+  EXPECT_FALSE(degenerate);
+  EXPECT_GT(psi, 0.25);  // textbook "drifted" territory
+  // Symmetric in its arguments (the (p-q)·ln(p/q) form).
+  EXPECT_NEAR(psi, PopulationStabilityIndex(serve, train), 1e-12);
+}
+
+TEST(PsiTest, DegenerateDistributionsFlagged) {
+  bool degenerate = false;
+  EXPECT_DOUBLE_EQ(PopulationStabilityIndex({}, {1, 2}, &degenerate), 0.0);
+  EXPECT_TRUE(degenerate);
+  degenerate = false;
+  EXPECT_DOUBLE_EQ(PopulationStabilityIndex({1, 2}, {}, &degenerate), 0.0);
+  EXPECT_TRUE(degenerate);
+  degenerate = false;
+  EXPECT_DOUBLE_EQ(PopulationStabilityIndex({1, 2, 3}, {1, 2}, &degenerate),
+                   0.0);
+  EXPECT_TRUE(degenerate);
+  degenerate = false;  // all-zero side: no distribution to compare against
+  EXPECT_DOUBLE_EQ(PopulationStabilityIndex({0, 0}, {1, 2}, &degenerate),
+                   0.0);
+  EXPECT_TRUE(degenerate);
+  degenerate = false;  // negative/NaN counts are treated as empty bins
+  EXPECT_DOUBLE_EQ(
+      PopulationStabilityIndex({-5, kNaN}, {1, 2}, &degenerate), 0.0);
+  EXPECT_TRUE(degenerate);
+}
+
+TEST(PsiTest, SingleBinDistributionsWellDefined) {
+  bool degenerate = true;
+  const double psi =
+      PopulationStabilityIndex({100, 0}, {0, 100}, &degenerate);
+  EXPECT_FALSE(degenerate);
+  EXPECT_TRUE(std::isfinite(psi));
+  EXPECT_GT(psi, 1.0);  // total mass swap is maximal drift
+}
+
+// ---------------------------------------------------------------------------
+// Slice buckets (the labels are report schema — pin them).
+// ---------------------------------------------------------------------------
+
+TEST(BucketTest, EpsilonEdges) {
+  EXPECT_EQ(EpsilonBucket(0.0), "unknown");
+  EXPECT_EQ(EpsilonBucket(-3.0), "unknown");
+  EXPECT_EQ(EpsilonBucket(kNaN), "unknown");
+  EXPECT_EQ(EpsilonBucket(15.0), "<=15s");
+  EXPECT_EQ(EpsilonBucket(15.001), "<=30s");
+  EXPECT_EQ(EpsilonBucket(60.0), "<=60s");
+  EXPECT_EQ(EpsilonBucket(180.0), "<=180s");
+  EXPECT_EQ(EpsilonBucket(180.001), ">180s");
+}
+
+TEST(BucketTest, GapCandidateDensityOutcome) {
+  EXPECT_EQ(GapBucket(0.0), "unknown");
+  EXPECT_EQ(GapBucket(30.0), "<=30s");
+  EXPECT_EQ(GapBucket(301.0), ">300s");
+  EXPECT_EQ(CandidateCountBucket(0.0), "none");
+  EXPECT_EQ(CandidateCountBucket(2.0), "1-2");
+  EXPECT_EQ(CandidateCountBucket(8.5), ">8");
+  EXPECT_EQ(DensityBucket(0.0), "unknown");
+  EXPECT_EQ(DensityBucket(50.0), "dense(<=50m)");
+  EXPECT_EQ(DensityBucket(150.0), "mid(50-150m)");
+  EXPECT_EQ(DensityBucket(400.0), "sparse(150-400m)");
+  EXPECT_EQ(DensityBucket(401.0), "isolated(>400m)");
+  EXPECT_EQ(OutcomeBucket(""), "none");
+  EXPECT_EQ(OutcomeBucket("fallback_nearest"), "fallback_nearest");
+}
+
+// ---------------------------------------------------------------------------
+// QualitySampleFromRecord.
+// ---------------------------------------------------------------------------
+
+RequestRecord MakeRecord() {
+  RequestRecord r;
+  r.kind = "mm";
+  r.method = "MMA";
+  r.city = "PT";
+  r.quality = 0.75;
+  r.epsilon = 60;
+  r.gamma = 0.5;  // effective interval 120s -> "<=120s"
+  r.input = {{0.0, 0.0, 0.0}, {0.0, 0.01, 40.0}, {0.0, 0.02, 75.0}};
+  r.truth_segments = {7, -1, 9};
+  r.candidates = {{{7, 12.0, 0.5}, {8, 30.0, 0.2}},
+                  {{8, 10.0, 0.1}},
+                  {{5, 20.0, 0.3}, {9, 45.0, 0.8}}};
+  r.matched = {{7, 0.5, 0.0}, {8, 0.1, 40.0}, {5, 0.3, 75.0}};
+  r.scores = {0.9, 0.6, kNaN};
+  return r;
+}
+
+TEST(QualitySampleTest, BucketsAndPairing) {
+  const QualitySample s = QualitySampleFromRecord(MakeRecord());
+  EXPECT_EQ(s.kind, "mm");
+  EXPECT_EQ(s.epsilon_bucket, "<=120s");  // 60 / 0.5
+  EXPECT_EQ(s.gap_bucket, "<=60s");       // max dt = 40
+  // Mean candidates 5/3, mean kth distance (30+10+45)/3 = 28.3.
+  EXPECT_EQ(s.candidate_bucket, "1-2");
+  EXPECT_EQ(s.density_bucket, "dense(<=50m)");
+  EXPECT_EQ(s.outcome_bucket, "none");
+  // Point 1 has unknown truth -> skipped; points 0 and 2 pair up.
+  ASSERT_EQ(s.confidences.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.confidences[0].confidence, 0.9);
+  EXPECT_TRUE(s.confidences[0].correct);   // matched 7 == truth 7
+  EXPECT_FALSE(s.confidences[1].correct);  // matched 5 != truth 9
+  // Chosen ranks: 7 is rank 0, 8 is rank 0, 5 is rank 0.
+  EXPECT_EQ(s.chosen_rank, (std::vector<int>{0, 0, 0}));
+  // Truth ranks (points 0 and 2): 7 at rank 0, 9 at rank 1.
+  EXPECT_EQ(s.truth_rank, (std::vector<int>{0, 1}));
+}
+
+TEST(QualitySampleTest, FallbackIntervalAndMissingTruth) {
+  RequestRecord r = MakeRecord();
+  r.epsilon = 0;  // pre-gamma record: mean observed dt = 75/2 = 37.5
+  r.truth_segments.clear();
+  const QualitySample s = QualitySampleFromRecord(r);
+  EXPECT_EQ(s.epsilon_bucket, "<=60s");
+  EXPECT_TRUE(s.confidences.empty());
+  // Unpaired NaN scores still surface through the counter.
+  EXPECT_EQ(s.confidence_nonfinite, 1);
+  EXPECT_TRUE(s.truth_rank.empty());
+}
+
+TEST(QualitySampleTest, TruthOutsideCandidatesHitsOverflowBucket) {
+  RequestRecord r = MakeRecord();
+  r.truth_segments = {999, 999, 999};
+  const QualitySample s = QualitySampleFromRecord(r);
+  EXPECT_EQ(s.truth_rank,
+            (std::vector<int>{kQualityRankBuckets, kQualityRankBuckets,
+                              kQualityRankBuckets}));
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator + JSON.
+// ---------------------------------------------------------------------------
+
+TEST(QualityAggregatorTest, GroupsSlicesAndCalibrationJson) {
+  QualityAggregator agg;
+  agg.AddRecord(MakeRecord());
+  RequestRecord unscored = MakeRecord();
+  unscored.quality = -1.0;
+  agg.AddRecord(unscored);
+  EXPECT_TRUE(agg.HasData());
+  EXPECT_EQ(agg.requests(), 2);
+
+  auto doc = ParseJson(agg.GroupsJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->AsArray().size(), 1u);
+  const JsonValue& g = doc->AsArray()[0];
+  EXPECT_EQ(g.Get("kind").AsString(), "mm");
+  EXPECT_EQ(g.Get("method").AsString(), "MMA");
+  EXPECT_EQ(g.Get("city").AsString(), "PT");
+  EXPECT_EQ(g.Get("requests").AsNumber(), 2.0);
+  EXPECT_EQ(g.Get("scored").AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(g.Get("mean_quality").AsNumber(), 0.75);
+
+  // 5 dimensions, one bucket each for identical samples.
+  ASSERT_EQ(g.Get("slices").AsArray().size(), 5u);
+  bool saw_epsilon = false;
+  for (const JsonValue& s : g.Get("slices").AsArray()) {
+    EXPECT_EQ(s.Get("requests").AsNumber(), 2.0);
+    EXPECT_EQ(s.Get("scored").AsNumber(), 1.0);
+    if (s.Get("dimension").AsString() == "epsilon") {
+      saw_epsilon = true;
+      EXPECT_EQ(s.Get("bucket").AsString(), "<=120s");
+    }
+  }
+  EXPECT_TRUE(saw_epsilon);
+
+  const JsonValue& cal = g.Get("calibration");
+  // 2 pairs per record, but the second score of each is NaN and drops.
+  EXPECT_EQ(cal.Get("samples").AsNumber(), 2.0);
+  EXPECT_EQ(cal.Get("dropped_nonfinite").AsNumber(), 2.0);
+  EXPECT_EQ(cal.Get("bins").AsArray().size(), 10u);
+  ASSERT_EQ(cal.Get("chosen_rank").AsArray().size(),
+            static_cast<std::size_t>(kQualityRankBuckets + 1));
+  ASSERT_EQ(cal.Get("truth_rank").AsArray().size(),
+            static_cast<std::size_t>(kQualityRankBuckets + 1));
+  EXPECT_EQ(cal.Get("chosen_rank").AsArray()[0].AsNumber(), 6.0);
+  EXPECT_EQ(cal.Get("truth_rank").AsArray()[1].AsNumber(), 2.0);
+
+  agg.Reset();
+  EXPECT_FALSE(agg.HasData());
+  EXPECT_EQ(agg.requests(), 0);
+}
+
+TEST(QualityAggregatorTest, NanScoresFeedDroppedCounterNotMetrics) {
+  // All scores NaN with known truth: they pair up, get dropped at
+  // calibration time, and the counter reports them. This must be checked
+  // in-process — JsonWriter flattens NaN to 0 at serialization, so a JSON
+  // round-trip can't distinguish a dropped NaN from a confident zero.
+  QualityAggregator agg;
+  RequestRecord r = MakeRecord();
+  r.scores = {kNaN, kNaN, kNaN};
+  agg.AddRecord(r);
+  auto doc = ParseJson(agg.GroupsJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& cal = doc->AsArray()[0].Get("calibration");
+  EXPECT_EQ(cal.Get("samples").AsNumber(), 0.0);
+  EXPECT_EQ(cal.Get("dropped_nonfinite").AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(cal.Get("ece").AsNumber(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// QualityLog: gate split, drift histograms, summary JSON.
+// ---------------------------------------------------------------------------
+
+class QualityLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    QualityLog::Global().Configure(false);
+    QualityLog::Global().ResetForTest();
+    FlightRecorder::Global().Configure(FlightRecorderConfig());
+    FlightRecorder::Global().ResetForTest();
+  }
+  void TearDown() override {
+    QualityLog::Global().Configure(false);
+    QualityLog::Global().ResetForTest();
+    FlightRecorder::Global().Configure(FlightRecorderConfig());
+    FlightRecorder::Global().ResetForTest();
+  }
+};
+
+TEST_F(QualityLogTest, QualityCapturesWithoutFlightRetention) {
+  // The gate split: quality telemetry alone must activate RequestScope
+  // capture, while the flight recorder proper stays off.
+  QualityLog::Global().Configure(true);
+  EXPECT_TRUE(QualityEnabled());
+  EXPECT_FALSE(FlightRecorder::Global().enabled());
+  {
+    RequestScope scope("mm");
+    RequestRecord* rec = ActiveRecord();
+    ASSERT_NE(rec, nullptr);
+    rec->method = "MMA";
+    rec->city = "PT";
+    rec->quality = 0.5;
+  }
+  EXPECT_TRUE(QualityLog::Global().HasData());
+  EXPECT_EQ(FlightRecorder::Global().stats().requests, 0);
+}
+
+TEST_F(QualityLogTest, DisabledMeansNoCaptureAtAll) {
+  {
+    RequestScope scope("mm");
+    EXPECT_EQ(ActiveRecord(), nullptr);
+  }
+  EXPECT_FALSE(QualityLog::Global().HasData());
+}
+
+TEST_F(QualityLogTest, DriftHistogramsSplitByPhase) {
+  QualityLog::Global().Configure(true);
+  QualityLog::Global().ObserveFeature(kFeatureCandidateCount, 4.0);
+  {
+    QualityPhaseScope train(QualityPhase::kTrain);
+    QualityLog::Global().ObserveFeature(kFeatureCandidateCount, 4.0);
+    QualityLog::Global().ObserveFeature(kFeatureCandidateCount, 12.0);
+  }
+  // Scope restored: back to serve.
+  QualityLog::Global().ObserveFeature(kFeatureCandidateCount, 1e9);  // clamps
+  QualityLog::Global().ObserveFeature(kFeatureCandidateCount, kNaN);  // drops
+
+  const std::vector<double> serve =
+      QualityLog::Global().DriftCounts(kFeatureCandidateCount,
+                                       QualityPhase::kServe);
+  const std::vector<double> train =
+      QualityLog::Global().DriftCounts(kFeatureCandidateCount,
+                                       QualityPhase::kTrain);
+  double serve_total = 0.0;
+  double train_total = 0.0;
+  for (double x : serve) serve_total += x;
+  for (double x : train) train_total += x;
+  EXPECT_EQ(serve_total, 2.0);  // the NaN observation was dropped
+  EXPECT_EQ(train_total, 2.0);
+  EXPECT_EQ(serve.back(), 1.0);  // overflow clamped to the last bin
+}
+
+TEST_F(QualityLogTest, SummaryJsonCarriesGroupsAndDrift) {
+  QualityLog::Global().Configure(true);
+  QualityLog::Global().Ingest(MakeRecord());
+  QualityLog::Global().ObserveFeature(kFeatureGapSeconds, 40.0);
+  {
+    QualityPhaseScope train(QualityPhase::kTrain);
+    QualityLog::Global().ObserveFeature(kFeatureGapSeconds, 40.0);
+  }
+  auto doc = ParseJson(QualityLog::Global().SummaryJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->Get("groups").AsArray().size(), 1u);
+  ASSERT_EQ(doc->Get("drift").AsArray().size(), 1u);
+  const JsonValue& d = doc->Get("drift").AsArray()[0];
+  EXPECT_EQ(d.Get("feature").AsString(), "gap_seconds");
+  EXPECT_EQ(d.Get("train").AsNumber(), 1.0);
+  EXPECT_EQ(d.Get("serve").AsNumber(), 1.0);
+  EXPECT_FALSE(d.Get("degenerate").AsBool());
+  EXPECT_NEAR(d.Get("psi").AsNumber(), 0.0, 1e-9);  // identical shapes
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

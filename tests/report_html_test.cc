@@ -1,0 +1,144 @@
+#include "eval/report_html.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+
+#ifndef TRMMA_GOLDEN_DIR
+#define TRMMA_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace trmma {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "";
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string TrimTrailing(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+/// Two hand-written runs: an older one without a quality section and a
+/// newer one with groups + drift. Every field is fixed, so the payload is
+/// byte-stable and safe to pin in a golden file.
+std::vector<BenchRunSummary> MakeRuns() {
+  BenchRunSummary old_run;
+  old_run.file = "BENCH_table5_mm_quality.json";
+  old_run.name = "table5_mm_quality";
+  old_run.created_unix = 1700000000;
+  old_run.wall_seconds = 12.5;
+  // quality left null-typed: a report that predates the quality section.
+
+  BenchRunSummary new_run;
+  new_run.file = "BENCH_table5_mm_quality.2.json";
+  new_run.name = "table5_mm_quality";
+  new_run.created_unix = 1700086400;
+  new_run.wall_seconds = 11.25;
+  auto parsed = obs::ParseJson(R"({
+    "groups": [{
+      "kind": "mm", "method": "MMA", "city": "PT",
+      "requests": 4, "scored": 4,
+      "mean_quality": 0.625, "min_quality": 0.25, "max_quality": 1,
+      "slices": [
+        {"dimension": "epsilon", "bucket": "<=60s",
+         "requests": 4, "scored": 4, "mean_quality": 0.625}
+      ],
+      "calibration": {
+        "samples": 8, "dropped_nonfinite": 1, "dropped_out_of_range": 0,
+        "ece": 0.125, "brier": 0.1875,
+        "bins": [{"lo": 0.5, "hi": 0.75, "count": 8,
+                  "mean_confidence": 0.625, "accuracy": 0.75}],
+        "chosen_rank": [8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        "truth_rank": [6, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+      }
+    }],
+    "drift": [{"feature": "gap_seconds", "train": 128, "serve": 64,
+               "psi": 0.04, "degenerate": false}]
+  })");
+  EXPECT_TRUE(parsed.ok());
+  new_run.quality = *parsed;
+  return {old_run, new_run};
+}
+
+TEST(ReportHtmlTest, PayloadMatchesGoldenFile) {
+  const std::string payload = BuildDashboardPayload(MakeRuns());
+  const std::string golden_path =
+      std::string(TRMMA_GOLDEN_DIR) + "/dashboard_payload.json";
+  if (std::getenv("TRMMA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << payload << "\n";
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+  const std::string golden = ReadFile(golden_path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << golden_path
+      << " (regenerate with TRMMA_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(TrimTrailing(golden), payload)
+      << "dashboard payload drifted from the golden file; if intentional, "
+         "regenerate with TRMMA_UPDATE_GOLDEN=1";
+}
+
+TEST(ReportHtmlTest, PayloadRoundTripsAndPreservesQuality) {
+  const std::string payload = BuildDashboardPayload(MakeRuns());
+  auto doc = obs::ParseJson(payload);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const auto& runs = doc->Get("runs").AsArray();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_TRUE(runs[0].Get("quality").is_null());
+  const obs::JsonValue& quality = runs[1].Get("quality");
+  ASSERT_TRUE(quality.is_object());
+  EXPECT_EQ(quality.Get("groups").AsArray().size(), 1u);
+  EXPECT_DOUBLE_EQ(quality.Get("groups").AsArray()[0]
+                       .Get("mean_quality").AsNumber(), 0.625);
+  EXPECT_EQ(quality.Get("drift").AsArray()[0]
+                .Get("feature").AsString(), "gap_seconds");
+}
+
+TEST(ReportHtmlTest, WriteJsonValueIsDeterministic) {
+  // Keys re-serialize sorted regardless of input order, and values
+  // round-trip through the writer's canonical number formatting.
+  auto a = obs::ParseJson(R"({"b": 2, "a": [true, null, "x\n"], "c": 0.1})");
+  auto b = obs::ParseJson(R"({"c": 0.1, "a": [true, null, "x\n"], "b": 2})");
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::string out = WriteJsonValue(*a);
+  EXPECT_EQ(out, WriteJsonValue(*b));
+  EXPECT_EQ(out, R"({"a":[true,null,"x\n"],"b":2,"c":0.1})");
+}
+
+TEST(ReportHtmlTest, DashboardEmbedsEscapedPayload) {
+  const std::string html = RenderQualityDashboard(MakeRuns());
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  // The payload is embedded in a JSON script island with "</" escaped so
+  // no report string can terminate the block early.
+  const std::size_t island =
+      html.find("<script type=\"application/json\" id=\"payload\">");
+  ASSERT_NE(island, std::string::npos);
+  const std::size_t end = html.find("</script>", island);
+  ASSERT_NE(end, std::string::npos);
+  const std::string embedded = html.substr(island, end - island);
+  EXPECT_EQ(embedded.find("</", 1), std::string::npos);
+  // Structural landmarks of the dashboard itself.
+  EXPECT_NE(html.find("id=\"benchsel\""), std::string::npos);
+  EXPECT_NE(html.find("id=\"drifttable\""), std::string::npos);
+  EXPECT_NE(html.find("prefers-color-scheme"), std::string::npos);
+}
+
+TEST(ReportHtmlTest, LoadBenchReportRejectsMalformed) {
+  EXPECT_FALSE(LoadBenchReport("/nonexistent/BENCH_x.json").ok());
+  EXPECT_FALSE(LoadBenchReports("/nonexistent-dir").ok());
+}
+
+}  // namespace
+}  // namespace trmma

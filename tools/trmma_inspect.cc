@@ -5,6 +5,7 @@
 //   trmma_inspect show    <records.jsonl> <id>
 //   trmma_inspect geojson <records.jsonl> <id>
 //   trmma_inspect replay  <records.jsonl> <id>
+//   trmma_inspect quality <records.jsonl>
 //   trmma_inspect demo    <records.jsonl> [city] [n]
 //
 // `geojson` and `replay` rebuild the record's synthetic city (generation is
@@ -20,6 +21,7 @@
 #include "eval/inspect.h"
 #include "gen/presets.h"
 #include "obs/flight_recorder.h"
+#include "obs/quality.h"
 
 namespace trmma {
 namespace {
@@ -30,6 +32,7 @@ int Usage() {
                "       trmma_inspect show    <records.jsonl> <id>\n"
                "       trmma_inspect geojson <records.jsonl> <id>\n"
                "       trmma_inspect replay  <records.jsonl> <id>\n"
+               "       trmma_inspect quality <records.jsonl>\n"
                "       trmma_inspect demo    <records.jsonl> [city] [n]\n");
   return 2;
 }
@@ -82,6 +85,22 @@ int RunReplay(const std::string& path, const std::string& id) {
   return 0;
 }
 
+// Recomputes the sliced-accuracy / calibration summary offline from a
+// records file — the same aggregation the live QualityLog feeds into BENCH
+// reports, so numbers are directly comparable.
+int RunQuality(const std::string& path) {
+  StatusOr<std::vector<obs::RequestRecord>> records = LoadRecords(path);
+  if (!records.ok()) return Fail(records.status());
+  obs::QualityAggregator agg;
+  for (const obs::RequestRecord& record : *records) {
+    agg.AddRecord(record);
+  }
+  std::printf("{\"requests\":%lld,\"groups\":%s}\n",
+              static_cast<long long>(agg.requests()),
+              agg.GroupsJson().c_str());
+  return agg.HasData() ? 0 : 1;
+}
+
 // Runs untrained matchers/recovery (FMM, Nearest, Linear — deterministic
 // without training) over a small city with sample_every=1 and writes every
 // request to `path`. This is what the ctest CLI exercise drives.
@@ -118,6 +137,7 @@ int Main(int argc, char** argv) {
   if (cmd == "show" && argc >= 4) return RunShow(path, argv[3]);
   if (cmd == "geojson" && argc >= 4) return RunGeoJson(path, argv[3]);
   if (cmd == "replay" && argc >= 4) return RunReplay(path, argv[3]);
+  if (cmd == "quality") return RunQuality(path);
   if (cmd == "demo") {
     const std::string city = argc >= 4 ? argv[3] : "XA";
     const int n = argc >= 5 ? std::atoi(argv[4]) : 60;

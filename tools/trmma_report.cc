@@ -1,0 +1,61 @@
+// trmma_report: aggregates a directory of historical BENCH_*.json reports
+// into one self-contained HTML quality dashboard (see DESIGN.md §9).
+//
+//   trmma_report <bench_dir> <out.html>
+//   trmma_report --payload <bench_dir>
+//
+// The directory is scanned non-recursively for BENCH_*.json; runs are
+// ordered oldest-first by their created_unix stamp. `--payload` prints the
+// dashboard's embedded JSON payload to stdout instead of rendering HTML —
+// that exact string is what the golden-file test pins.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/report_html.h"
+
+namespace trmma {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trmma_report <bench_dir> <out.html>\n"
+               "       trmma_report --payload <bench_dir>\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "trmma_report: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--payload") {
+    StatusOr<std::vector<BenchRunSummary>> runs = LoadBenchReports(argv[2]);
+    if (!runs.ok()) return Fail(runs.status());
+    std::fputs(BuildDashboardPayload(*runs).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  if (argc != 3) return Usage();
+
+  StatusOr<std::vector<BenchRunSummary>> runs = LoadBenchReports(argv[1]);
+  if (!runs.ok()) return Fail(runs.status());
+  const std::string html = RenderQualityDashboard(*runs);
+
+  std::ofstream out(argv[2], std::ios::binary);
+  if (!out) return Fail(Status::IOError(std::string("cannot write ") + argv[2]));
+  out << html;
+  out.close();
+  if (!out) return Fail(Status::IOError(std::string("write failed: ") + argv[2]));
+  std::printf("trmma_report: %zu run(s) -> %s (%zu bytes)\n", runs->size(),
+              argv[2], html.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main(int argc, char** argv) { return trmma::Main(argc, argv); }
