@@ -11,9 +11,12 @@
 #include "eval/inspect.h"
 #include "nn/profiler.h"
 #include "obs/flight_recorder.h"
+#include "obs/mem_stats.h"
 #include "obs/metrics.h"
 #include "obs/quality.h"
 #include "obs/report.h"
+#include "obs/slo.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 
@@ -152,9 +155,13 @@ inline void CheckFlightReplay(ExperimentStack& stack) {
 ///  - applies TRMMA_LOG_LEVEL and TRMMA_LOG_FILE,
 ///  - turns on metric collection (TraceMode::kMetrics) unless TRMMA_TRACE
 ///    already asked for more,
+///  - turns on memory accounting (TRMMA_MEM_STATS=0 opts out), loads SLO
+///    objectives from TRMMA_SLO_FILE, and serves live telemetry when
+///    TRMMA_HTTP_PORT is set,
 ///  - names the global run report and stamps the scale fingerprint,
-///  - on destruction writes BENCH_<name>.json (to $TRMMA_OBS_DIR or the
-///    working directory) and, under TRMMA_TRACE, dumps the span ring.
+///  - on destruction stops the telemetry server, then writes
+///    BENCH_<name>.json (to $TRMMA_OBS_DIR or the working directory) and,
+///    under TRMMA_TRACE, dumps the span ring.
 class BenchRun {
  public:
   explicit BenchRun(const std::string& name) {
@@ -163,6 +170,9 @@ class BenchRun {
     if (obs::CurrentTraceMode() == obs::TraceMode::kOff) {
       obs::SetTraceMode(obs::TraceMode::kMetrics);
     }
+    obs::InitMemStatsFromEnv();
+    obs::SloWatchdog::Global().InstallFromEnv();
+    obs::TelemetryServer::Global().StartFromEnv();
     obs::RunReport& report = obs::RunReport::Global();
     report.SetName(name);
     report.SetFingerprint("scale", ScaleName());
@@ -173,6 +183,17 @@ class BenchRun {
   }
 
   ~BenchRun() {
+    // Stop serving before the final report snapshot: no scrape should race
+    // the registry while the report is being written, and the accept thread
+    // must be joined for a clean ASan/LSan exit. Smoke-scale runs can
+    // finish in under a scrape round-trip, so TRMMA_HTTP_LINGER_MS holds
+    // the exporter open until the scraper GETs /quitz (or the cap passes).
+    obs::TelemetryServer& server = obs::TelemetryServer::Global();
+    const char* linger = std::getenv("TRMMA_HTTP_LINGER_MS");
+    if (server.running() && linger != nullptr && *linger != '\0') {
+      server.WaitForQuit(std::atoi(linger));
+    }
+    server.Stop();
     if (obs::CurrentTraceMode() == obs::TraceMode::kTrace) {
       std::fprintf(stderr, "---- trace ring (most recent spans) ----\n%s",
                    obs::TraceRing::Global().DumpString().c_str());

@@ -6,11 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <mutex>
+
 #include "bench_common.h"
 #include "obs/flight_recorder.h"
+#include "obs/mem_stats.h"
 #include "obs/metrics.h"
 #include "obs/quality.h"
 #include "obs/trace.h"
+#include "obs/tracked_mutex.h"
 
 namespace trmma {
 namespace obs {
@@ -209,6 +213,70 @@ void BM_QualityIngest(benchmark::State& state) {
   benchmark::DoNotOptimize(QualityLog::Global().HasData());
 }
 BENCHMARK(BM_QualityIngest);
+
+// The acceptance contract for adopting TrackedMutex in the registry/logger/
+// recorder locks: with observability off it must cost one relaxed load plus
+// a predicted branch over the plain std::mutex baseline (≤ 2 ns).
+void BM_PlainMutexBaseline(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    std::lock_guard<std::mutex> lock(mu);
+    benchmark::DoNotOptimize(&mu);
+  }
+}
+BENCHMARK(BM_PlainMutexBaseline);
+
+void BM_TrackedMutexDisabled(benchmark::State& state) {
+  ModeGuard guard(TraceMode::kOff);
+  static TrackedMutex* mu = new TrackedMutex("bench.obs.mutex");
+  for (auto _ : state) {
+    std::lock_guard<TrackedMutex> lock(*mu);
+    benchmark::DoNotOptimize(mu);
+  }
+}
+BENCHMARK(BM_TrackedMutexDisabled);
+
+// Enabled, uncontended path: try_lock + two clock reads + a histogram
+// observe. This is the steady-state cost while metrics are on.
+void BM_TrackedMutexEnabled(benchmark::State& state) {
+  ModeGuard guard(TraceMode::kMetrics);
+  static TrackedMutex* mu = new TrackedMutex("bench.obs.mutex.on");
+  for (auto _ : state) {
+    std::lock_guard<TrackedMutex> lock(*mu);
+    benchmark::DoNotOptimize(mu);
+  }
+}
+BENCHMARK(BM_TrackedMutexEnabled);
+
+// The allocation-tag hook contract: disabled, MemAdd is one relaxed load
+// plus a predicted branch (≤ 2 ns), cheap enough to leave in retention and
+// build paths unconditionally.
+void BM_MemHookDisabled(benchmark::State& state) {
+  EnableMemStats(false);
+  for (auto _ : state) {
+    MemAdd(MemTag::kOther, 64);
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_MemHookDisabled);
+
+void BM_MemHookEnabled(benchmark::State& state) {
+  EnableMemStats(true);
+  for (auto _ : state) {
+    MemAdd(MemTag::kOther, 64);
+    benchmark::DoNotOptimize(&state);
+  }
+  EnableMemStats(false);
+  ResetMemStats();
+}
+BENCHMARK(BM_MemHookEnabled);
+
+void BM_RssSample(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleRss());
+  }
+}
+BENCHMARK(BM_RssSample);
 
 void BM_RegistryLookup(benchmark::State& state) {
   ModeGuard guard(TraceMode::kMetrics);

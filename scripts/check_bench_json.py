@@ -12,11 +12,11 @@ inside ctest with no extra dependencies. It checks the structural contract
 documented in DESIGN.md: top-level name/wall_seconds/fingerprint/phases/
 metrics, phase entries with name+seconds+count, metric sections with the
 right value fields, and that at least one histogram carries p50/p95/p99.
-The optional "op_profile", "training", "flight_recorder" and "quality"
-sections (present when the op profiler / training telemetry / flight
-recorder / quality telemetry collected data) are validated whenever they
-appear; --require-op-profile / --require-training /
---require-flight-recorder / --require-quality make their absence an error
+The optional "op_profile", "training", "flight_recorder", "quality",
+"memory" and "slo" sections (present when the matching telemetry was
+enabled) are validated whenever they appear; --require-op-profile /
+--require-training / --require-flight-recorder / --require-quality /
+--require-memory make their absence an error
 (the flight_recorder check also demands replay_mismatches == 0; the
 quality check validates group/slice/calibration/drift structure and that
 calibration bin counts sum to the sample count). --trace FILE additionally
@@ -275,6 +275,83 @@ def check_quality(doc, path, errors, required=False):
             fail(path, f"{where}: 'psi' = {psi} must be >= 0", errors)
 
 
+MEM_SUBSYSTEMS = ("graph", "rtree", "ubodt", "matrix", "flight_recorder",
+                  "other")
+
+
+def check_memory(doc, path, errors, required=False):
+    memory = doc.get("memory")
+    if memory is None:
+        if required:
+            fail(path, "missing 'memory' section "
+                       "(was TRMMA_MEM_STATS accounting enabled?)", errors)
+        return
+    if not isinstance(memory, dict):
+        fail(path, "'memory' must be an object", errors)
+        return
+    for field in ("rss_bytes", "rss_peak_bytes"):
+        value = memory.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"memory: missing integer '{field}'", errors)
+        elif value <= 0:
+            fail(path, f"memory: '{field}' = {value} must be > 0 "
+                       "(a live process always has RSS)", errors)
+    subsystems = memory.get("subsystems")
+    if not isinstance(subsystems, list):
+        fail(path, "memory: 'subsystems' must be a list", errors)
+        return
+    names = []
+    for i, sub in enumerate(subsystems):
+        where = f"memory.subsystems[{i}]"
+        if not isinstance(sub, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if not isinstance(sub.get("name"), str) or not sub.get("name"):
+            fail(path, f"{where}: missing non-empty 'name'", errors)
+        else:
+            names.append(sub["name"])
+        for field in ("current_bytes", "peak_bytes"):
+            value = sub.get(field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(path, f"{where}: missing integer '{field}'", errors)
+            elif value < 0:
+                fail(path, f"{where}: '{field}' must be >= 0", errors)
+        if isinstance(sub.get("current_bytes"), int) and \
+                isinstance(sub.get("peak_bytes"), int) and \
+                sub["current_bytes"] > sub["peak_bytes"]:
+            fail(path, f"{where}: current_bytes > peak_bytes", errors)
+    for name in MEM_SUBSYSTEMS:
+        if name not in names:
+            fail(path, f"memory: subsystem '{name}' missing", errors)
+
+
+def check_slo(doc, path, errors):
+    slo = doc.get("slo")
+    if slo is None:
+        return
+    if not isinstance(slo, list):
+        fail(path, "'slo' must be a list of objective results", errors)
+        return
+    for i, r in enumerate(slo):
+        where = f"slo[{i}]"
+        if not isinstance(r, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        for field in ("name", "metric"):
+            if not isinstance(r.get(field), str) or not r.get(field):
+                fail(path, f"{where}: missing non-empty '{field}'", errors)
+        for field in ("value", "max"):
+            if not isinstance(r.get(field), numbers.Real):
+                fail(path, f"{where}: missing numeric '{field}'", errors)
+        for field in ("has_data", "ok"):
+            if not isinstance(r.get(field), bool):
+                fail(path, f"{where}: missing boolean '{field}'", errors)
+        # The watchdog's own contract: a no-data objective is never a breach.
+        if r.get("has_data") is False and r.get("ok") is False:
+            fail(path, f"{where}: no-data objective reported as breach",
+                 errors)
+
+
 def check_chrome_trace(path, errors):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -326,7 +403,8 @@ def check_chrome_trace(path, errors):
 
 def check_report(path, errors, require_activity=True,
                  require_op_profile=False, require_training=False,
-                 require_flight_recorder=False, require_quality=False):
+                 require_flight_recorder=False, require_quality=False,
+                 require_memory=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -380,6 +458,8 @@ def check_report(path, errors, require_activity=True,
     check_flight_recorder(doc, path, errors,
                           required=require_flight_recorder)
     check_quality(doc, path, errors, required=require_quality)
+    check_memory(doc, path, errors, required=require_memory)
+    check_slo(doc, path, errors)
 
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -468,6 +548,8 @@ def main():
                              "section or show replay mismatches")
     parser.add_argument("--require-quality", action="store_true",
                         help="fail if reports lack a 'quality' section")
+    parser.add_argument("--require-memory", action="store_true",
+                        help="fail if reports lack a 'memory' section")
     args = parser.parse_args()
 
     files = list(args.files)
@@ -490,7 +572,8 @@ def main():
                      require_op_profile=args.require_op_profile,
                      require_training=args.require_training,
                      require_flight_recorder=args.require_flight_recorder,
-                     require_quality=args.require_quality)
+                     require_quality=args.require_quality,
+                     require_memory=args.require_memory)
     for path in traces:
         check_chrome_trace(path, errors)
     if errors:

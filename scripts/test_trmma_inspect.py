@@ -10,7 +10,12 @@ Drives the full loop on a generated city:
 
 plus two negative checks: a corrupted records file must be rejected, and a
 tampered record must make `replay` exit nonzero with a mismatch report.
-Stdlib only, so it runs inside ctest with no extra dependencies.
+
+The `slo` subcommand gets the same treatment: a satisfied objective set
+exits 0, a violated objective is printed as BREACH and exits 1, objectives
+over absent metrics report NO DATA without failing, and malformed SLO files
+are rejected. Stdlib only, so it runs inside ctest with no extra
+dependencies.
 """
 
 import argparse
@@ -40,6 +45,8 @@ def main():
     parser.add_argument("--workdir", default=None)
     parser.add_argument("--city", default="XA")
     parser.add_argument("--trajectories", default="60")
+    parser.add_argument("--slo-default", default=None,
+                        help="committed default SLO file to sanity-check")
     args = parser.parse_args()
 
     tmp = tempfile.mkdtemp(prefix="trmma_inspect_", dir=args.workdir or None)
@@ -114,6 +121,66 @@ def main():
     check(mismatch.returncode != 0, "replay flags a tampered route")
     check("REPLAY MISMATCH" in mismatch.stdout,
           "replay prints the mismatch banner")
+
+    # slo: offline objective evaluation against a BENCH-shaped report.
+    report = os.path.join(tmp, "BENCH_slo_demo.json")
+    with open(report, "w") as out:
+        json.dump({"name": "slo_demo", "metrics": {
+            "counters": [
+                {"name": "errs", "labels": {}, "value": 7}],
+            "gauges": [
+                {"name": "rss", "labels": {}, "value": 1000.0}],
+            "histograms": [
+                {"name": "lat.us", "labels": {}, "count": 10, "sum": 100,
+                 "min": 1, "max": 50, "mean": 10, "p50": 8, "p95": 40,
+                 "p99": 49}],
+        }}, out)
+
+    slo_ok = os.path.join(tmp, "slo_ok.json")
+    with open(slo_ok, "w") as out:
+        json.dump({"objectives": [
+            {"name": "lat_p95", "histogram": "lat.us", "stat": "p95",
+             "max": 100},
+            {"name": "rss_cap", "gauge": "rss", "max": 2000},
+            {"name": "absent", "counter": "not.collected", "max": 0},
+        ]}, out)
+    ok = run([args.binary, "slo", slo_ok, report])
+    check(ok.returncode == 0, "slo exits 0 when every objective holds")
+    check("3 objective(s), 0 breach(es)" in ok.stdout,
+          "slo prints the summary line")
+    check("NO DATA" in ok.stdout,
+          "slo reports an absent metric as NO DATA, not a breach")
+
+    # Negative: a violated objective must be a loud BREACH and exit 1.
+    slo_bad = os.path.join(tmp, "slo_bad.json")
+    with open(slo_bad, "w") as out:
+        json.dump({"objectives": [
+            {"name": "lat_p95_tight", "histogram": "lat.us", "stat": "p95",
+             "max": 1},
+            {"name": "no_errs", "counter": "errs", "max": 0},
+        ]}, out)
+    breach = run([args.binary, "slo", slo_bad, report])
+    check(breach.returncode == 1, "slo exits 1 on a breached objective")
+    check("BREACH" in breach.stdout, "slo prints BREACH verdicts")
+    check("2 breach(es)" in breach.stdout, "slo counts both breaches")
+
+    # Negative: malformed SLO documents are rejected.
+    slo_malformed = os.path.join(tmp, "slo_malformed.json")
+    with open(slo_malformed, "w") as out:
+        out.write('{"objectives": [{"name": "x", "max": 1}]}')
+    rejected = run([args.binary, "slo", slo_malformed, report])
+    check(rejected.returncode != 0, "slo rejects an objective with no source")
+
+    if args.slo_default:
+        # The committed default objectives must parse and never breach on a
+        # metrics-free report (everything NO DATA).
+        empty = os.path.join(tmp, "BENCH_empty.json")
+        with open(empty, "w") as out:
+            json.dump({"name": "empty", "metrics": {
+                "counters": [], "gauges": [], "histograms": []}}, out)
+        default = run([args.binary, "slo", args.slo_default, empty])
+        check(default.returncode == 0,
+              "committed default SLO file parses and evaluates")
 
     print("all trmma_inspect checks passed")
     return 0

@@ -82,7 +82,7 @@ def main():
           "embedded payload matches --payload output")
     for landmark in ('id="benchsel"', 'id="kpis"', 'id="epscharts"',
                      'id="relgrid"', 'id="slicetables"', 'id="drifttable"',
-                     "prefers-color-scheme"):
+                     'id="memtable"', "prefers-color-scheme"):
         check(landmark in html, f"dashboard contains {landmark}")
 
     # Negative: an empty directory has no reports to aggregate.

@@ -5,16 +5,20 @@
 #include <fstream>
 #include <mutex>
 
+#include "obs/tracked_mutex.h"
+
 namespace trmma {
 namespace internal_logging {
 namespace {
 
 // One mutex guards both the sink pointer and each message emission, so
 // lines from instrumented multi-threaded code never interleave and a
-// SetLogFile can't race a write.
-std::mutex& EmitMutex() {
-  static std::mutex m;
-  return m;
+// SetLogFile can't race a write. Instrumented (and leaked, never
+// destructed) so log contention shows up in lock telemetry and a fatal
+// message during process teardown still has a live mutex.
+obs::TrackedMutex& EmitMutex() {
+  static obs::TrackedMutex* m = new obs::TrackedMutex("log.emit");
+  return *m;
 }
 
 std::ofstream& FileSink() {
@@ -56,7 +60,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
-    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::lock_guard<obs::TrackedMutex> lock(EmitMutex());
     std::ofstream& file = FileSink();
     if (file.is_open()) {
       file << stream_.str() << std::endl;
@@ -80,7 +84,7 @@ void SetMinLogLevel(LogLevel level) {
 }
 
 bool SetLogFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(internal_logging::EmitMutex());
+  std::lock_guard<obs::TrackedMutex> lock(internal_logging::EmitMutex());
   std::ofstream& file = internal_logging::FileSink();
   if (file.is_open()) file.close();
   if (path.empty()) return true;

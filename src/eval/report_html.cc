@@ -70,6 +70,7 @@ StatusOr<BenchRunSummary> LoadBenchReport(const std::string& path) {
       static_cast<std::int64_t>(doc.Get("created_unix").AsNumber());
   out.wall_seconds = doc.Get("wall_seconds").AsNumber();
   out.quality = doc.Get("quality");
+  out.memory = doc.Get("memory");
   return out;
 }
 
@@ -124,6 +125,8 @@ std::string BuildDashboardPayload(const std::vector<BenchRunSummary>& runs) {
     obj.pop_back();
     obj += ",\"quality\":";
     obj += run.quality.is_null() ? "null" : WriteJsonValue(run.quality);
+    obj += ",\"memory\":";
+    obj += run.memory.is_null() ? "null" : WriteJsonValue(run.memory);
     obj += '}';
     out += obj;
   }
@@ -251,6 +254,11 @@ td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
   <h2>Train vs serve feature drift (PSI)</h2>
   <p class="hint">Population Stability Index over the matcher input-feature histograms. Rule of thumb: &lt;0.1 stable, 0.1&ndash;0.25 moderate, &gt;0.25 drifted.</p>
   <div id="drifttable"></div>
+</div>
+<div class="card" id="memcard">
+  <h2>Memory</h2>
+  <p class="hint">Process RSS and per-subsystem retained bytes (latest run in scope); deltas compare against the previous run that carries a memory section. Growth shows red because more memory is worse.</p>
+  <div id="memtable"></div>
 </div>
 <div class="card">
   <h2>Runs</h2>
@@ -637,6 +645,81 @@ function renderDrift(runs) {
   }
 }
 
+function memOf(run) {
+  return (run.memory && run.memory.subsystems) ? run.memory : null;
+}
+function fmtBytes(b) {
+  if (b == null || !isFinite(b)) return '–';
+  const units = ['B', 'KiB', 'MiB', 'GiB', 'TiB'];
+  let u = 0;
+  while (Math.abs(b) >= 1024 && u < units.length - 1) { b /= 1024; ++u; }
+  return (u ? b.toFixed(1) : String(b)) + ' ' + units[u];
+}
+
+function renderMemory(runs) {
+  const root = document.getElementById('memtable');
+  root.textContent = '';
+  const withM = runs.filter(r => memOf(r));
+  if (!withM.length) {
+    el('p', { class: 'empty', text: 'No memory section in scope (runs predate memory telemetry, or TRMMA_MEM_STATS=0).' }, root);
+    return;
+  }
+  const latest = memOf(withM[withM.length - 1]);
+  const prev = withM.length > 1 ? memOf(withM[withM.length - 2]) : null;
+  // Growth is bad: positive deltas render with the "down" (bad) color.
+  const deltaCell = (tr, now, before) => {
+    const td = el('td', { class: 'num' }, tr);
+    if (before == null || now == null) { td.textContent = '–'; return; }
+    const d = now - before;
+    td.textContent = (d >= 0 ? '+' : '−') + fmtBytes(Math.abs(d));
+    td.className = 'num delta ' +
+        (Math.abs(d) < 1 ? 'flat' : (d > 0 ? 'down' : 'up'));
+  };
+  const tbl = el('table', {}, root);
+  const head = el('tr', {}, el('thead', {}, tbl));
+  el('th', { text: 'Subsystem' }, head);
+  for (const h of ['Current', 'Peak', 'Δ current']) {
+    el('th', { class: 'num', text: h }, head);
+  }
+  const body = el('tbody', {}, tbl);
+  const prevBy = new Map((prev ? prev.subsystems : []).map(s => [s.name, s]));
+  const rows = [...latest.subsystems]
+      .sort((a, b) => b.current_bytes - a.current_bytes);
+  for (const s of rows) {
+    const tr = el('tr', {}, body);
+    el('td', { text: s.name }, tr);
+    el('td', { class: 'num', text: fmtBytes(s.current_bytes) }, tr);
+    el('td', { class: 'num', text: fmtBytes(s.peak_bytes) }, tr);
+    const p = prevBy.get(s.name);
+    deltaCell(tr, s.current_bytes, p ? p.current_bytes : null);
+  }
+  const trr = el('tr', {}, body);
+  el('td', { text: 'process RSS' }, trr);
+  el('td', { class: 'num', text: fmtBytes(latest.rss_bytes) }, trr);
+  el('td', { class: 'num', text: fmtBytes(latest.rss_peak_bytes) }, trr);
+  deltaCell(trr, latest.rss_peak_bytes, prev ? prev.rss_peak_bytes : null);
+  if (withM.length > 1) {
+    el('p', { class: 'hint', text: 'Peak RSS history (oldest to newest):' },
+       root);
+    const ht = el('table', {}, root);
+    const hh = el('tr', {}, el('thead', {}, ht));
+    for (const h of ['#', 'File']) el('th', { text: h }, hh);
+    for (const h of ['Peak RSS', 'Δ vs previous']) {
+      el('th', { class: 'num', text: h }, hh);
+    }
+    const hb = el('tbody', {}, ht);
+    withM.forEach((r, i) => {
+      const m = memOf(r);
+      const tr = el('tr', {}, hb);
+      el('td', { text: '#' + (i + 1) }, tr);
+      el('td', { text: r.file }, tr);
+      el('td', { class: 'num', text: fmtBytes(m.rss_peak_bytes) }, tr);
+      deltaCell(tr, m.rss_peak_bytes,
+                i > 0 ? memOf(withM[i - 1]).rss_peak_bytes : null);
+    });
+  }
+}
+
 function renderKpis(runs) {
   const root = document.getElementById('kpis');
   root.textContent = '';
@@ -720,6 +803,7 @@ function render() {
   renderReliability(runs);
   renderSlices(runs);
   renderDrift(runs);
+  renderMemory(runs);
   renderRuns(runs);
 }
 

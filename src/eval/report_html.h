@@ -11,14 +11,15 @@
 namespace trmma {
 
 /// One parsed BENCH_*.json run report, reduced to what the quality
-/// dashboard consumes. `quality` is a null-typed JsonValue when the run
-/// predates the quality section.
+/// dashboard consumes. `quality` and `memory` are null-typed JsonValues
+/// when the run predates those report sections.
 struct BenchRunSummary {
   std::string file;  ///< basename of the source report
   std::string name;  ///< report "name" ("table3_recovery_quality", ...)
   std::int64_t created_unix = 0;
   double wall_seconds = 0.0;
   obs::JsonValue quality;
+  obs::JsonValue memory;  ///< rss_bytes / rss_peak_bytes / subsystems[]
 };
 
 /// Re-serializes a parsed JsonValue with JsonWriter's deterministic number

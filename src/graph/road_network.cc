@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/mem_stats.h"
 
 namespace trmma {
 
@@ -58,7 +59,22 @@ Status RoadNetwork::Finalize() {
     in_segments_[seg.to].push_back(id);
   }
   finalized_ = true;
+  obs::MemSet(obs::MemTag::kGraph, ApproxBytes());
   return Status::OK();
+}
+
+int64_t RoadNetwork::ApproxBytes() const {
+  int64_t bytes = static_cast<int64_t>(nodes_.capacity() * sizeof(RoadNode) +
+                                       segments_.capacity() *
+                                           sizeof(RoadSegment));
+  for (const auto* adj : {&out_segments_, &in_segments_}) {
+    bytes += static_cast<int64_t>(adj->capacity() *
+                                  sizeof(std::vector<SegmentId>));
+    for (const auto& v : *adj) {
+      bytes += static_cast<int64_t>(v.capacity() * sizeof(SegmentId));
+    }
+  }
+  return bytes;
 }
 
 Vec2 RoadNetwork::PointOnSegment(SegmentId id, double r) const {

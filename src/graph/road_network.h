@@ -92,6 +92,10 @@ class RoadNetwork {
   /// Maximum out-degree over all nodes (the paper's deg~).
   int MaxOutDegree() const;
 
+  /// Rough heap footprint (capacity-based) of nodes, segments and adjacency
+  /// lists; feeds the `graph` subsystem memory gauge after Finalize().
+  int64_t ApproxBytes() const;
+
  private:
   bool finalized_ = false;
   std::vector<RoadNode> nodes_;

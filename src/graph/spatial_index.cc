@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "obs/mem_stats.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -93,6 +94,7 @@ SegmentRTree::SegmentRTree(const RoadNetwork& network, int leaf_capacity)
     ++height_;
   }
   root_ = level.front();
+  obs::MemSet(obs::MemTag::kRtree, ApproxBytes());
 }
 
 SegmentHit SegmentRTree::Evaluate(SegmentId id, const Vec2& query) const {

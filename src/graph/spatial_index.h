@@ -43,6 +43,13 @@ class SegmentRTree {
   /// Height of the packed tree (1 for a single leaf level).
   int height() const { return height_; }
 
+  /// Rough heap footprint (capacity-based) of entries and tree nodes; feeds
+  /// the `rtree` subsystem memory gauge after construction.
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(entries_.capacity() * sizeof(Entry) +
+                                nodes_.capacity() * sizeof(TreeNode));
+  }
+
  private:
   struct TreeNode {
     BBox box;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/mem_stats.h"
 #include "obs/trace.h"
 
 namespace trmma {
@@ -42,6 +43,7 @@ Ubodt::Ubodt(const RoadNetwork& network, double delta_m)
       table_.emplace(Key(src, u), Row{static_cast<float>(d), first});
     });
   }
+  obs::MemSet(obs::MemTag::kUbodt, ApproxBytes());
 }
 
 double Ubodt::Distance(NodeId src, NodeId dst) const {

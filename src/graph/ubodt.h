@@ -32,6 +32,16 @@ class Ubodt {
   double delta() const { return delta_m_; }
   size_t size() const { return table_.size(); }
 
+  /// Rough heap footprint of the table (buckets + one node per entry, the
+  /// libstdc++ unordered_map layout); feeds the `ubodt` subsystem memory
+  /// gauge after construction.
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(
+        table_.bucket_count() * sizeof(void*) +
+        table_.size() * (sizeof(std::pair<const uint64_t, Row>) +
+                         2 * sizeof(void*)));
+  }
+
  private:
   struct Row {
     float distance = 0.0f;

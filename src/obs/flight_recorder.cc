@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "obs/json.h"
+#include "obs/mem_stats.h"
 #include "obs/quality.h"
 
 namespace trmma {
@@ -51,13 +52,56 @@ void RecordEvent(const std::string& event) {
   }
 }
 
+namespace {
+
+/// Heap estimate for one retained record: struct plus the dynamic payloads
+/// that dominate it (points, candidate sets, strings). An estimate, not an
+/// audit — it feeds the flight_recorder MemTag so retention growth is
+/// visible next to the build-once subsystems.
+std::int64_t ApproxRecordBytes(const RequestRecord& r) {
+  std::int64_t bytes = static_cast<std::int64_t>(sizeof(RequestRecord));
+  bytes += static_cast<std::int64_t>(r.input.capacity() *
+                                     sizeof(RecordGpsPoint));
+  bytes += static_cast<std::int64_t>(r.truth_segments.capacity() *
+                                     sizeof(std::int64_t));
+  for (const auto& cands : r.candidates) {
+    bytes += static_cast<std::int64_t>(sizeof(cands) +
+                                       cands.capacity() *
+                                           sizeof(RecordCandidate));
+  }
+  bytes += static_cast<std::int64_t>(r.scores.capacity() * sizeof(double));
+  bytes += static_cast<std::int64_t>(r.matched.capacity() *
+                                     sizeof(RecordMatchedPoint));
+  bytes += static_cast<std::int64_t>(r.route.capacity() *
+                                     sizeof(std::int64_t));
+  bytes += static_cast<std::int64_t>(r.recovered.capacity() *
+                                     sizeof(RecordMatchedPoint));
+  for (const std::string& s : r.train_state) {
+    bytes += static_cast<std::int64_t>(sizeof(s) + s.capacity());
+  }
+  for (const std::string& s : r.events) {
+    bytes += static_cast<std::int64_t>(sizeof(s) + s.capacity());
+  }
+  for (const RecordStage& stage : r.stages) {
+    bytes += static_cast<std::int64_t>(sizeof(stage) + stage.name.capacity());
+  }
+  bytes += static_cast<std::int64_t>(r.id.capacity() + r.kind.capacity() +
+                                     r.method.capacity() + r.city.capacity() +
+                                     r.outcome.capacity() +
+                                     r.error.capacity() +
+                                     r.reason.capacity());
+  return bytes;
+}
+
+}  // namespace
+
 FlightRecorder& FlightRecorder::Global() {
   static FlightRecorder* recorder = new FlightRecorder();
   return *recorder;
 }
 
 void FlightRecorder::Configure(const FlightRecorderConfig& config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   config_ = config;
   if (config_.sample_every < 1) config_.sample_every = 1;
   internal_obs::g_flight_retention.store(config_.enabled,
@@ -66,7 +110,7 @@ void FlightRecorder::Configure(const FlightRecorderConfig& config) {
 }
 
 FlightRecorderConfig FlightRecorder::config() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   return config_;
 }
 
@@ -83,11 +127,15 @@ void FlightRecorder::DropReasonLocked(const std::string& id,
   const auto it = retained_.find(id);
   if (it == retained_.end()) return;
   it->second.reasons.erase(reason);
-  if (it->second.reasons.empty()) retained_.erase(it);
+  if (it->second.reasons.empty()) {
+    retained_bytes_ -= it->second.approx_bytes;
+    MemSet(MemTag::kFlightRecorder, retained_bytes_);
+    retained_.erase(it);
+  }
 }
 
 void FlightRecorder::End(RequestRecord&& record, std::int64_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   ++requests_;
   std::set<std::string> reasons;
 
@@ -134,11 +182,14 @@ void FlightRecorder::End(RequestRecord&& record, std::int64_t index) {
     }
   }
   const std::string id = record.id;
-  retained_[id] = Retained{std::move(record), std::move(reasons)};
+  const std::int64_t approx = ApproxRecordBytes(record);
+  retained_[id] = Retained{std::move(record), std::move(reasons), approx};
+  retained_bytes_ += approx;
+  MemSet(MemTag::kFlightRecorder, retained_bytes_);
 }
 
 std::int64_t FlightRecorder::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   if (config_.path.empty()) return 0;
   std::ofstream out(config_.path, std::ios::trunc);
   if (!out) return 0;
@@ -154,7 +205,7 @@ std::int64_t FlightRecorder::Flush() {
 }
 
 std::vector<RequestRecord> FlightRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   std::vector<RequestRecord> out;
   out.reserve(retained_.size());
   for (const auto& [id, retained] : retained_) out.push_back(retained.record);
@@ -166,7 +217,7 @@ void FlightRecorder::AddReplayMismatches(std::int64_t n) {
 }
 
 FlightRecorder::Stats FlightRecorder::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   Stats s;
   s.requests = requests_;
   s.retained = static_cast<std::int64_t>(retained_.size());
@@ -192,7 +243,7 @@ std::string FlightRecorder::StatsJson() const {
 }
 
 void FlightRecorder::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   next_index_.store(0, std::memory_order_relaxed);
   requests_ = 0;
   outcome_retained_ = 0;
@@ -200,6 +251,8 @@ void FlightRecorder::ResetForTest() {
   bytes_ = 0;
   replay_mismatches_.store(0, std::memory_order_relaxed);
   retained_.clear();
+  retained_bytes_ = 0;
+  MemSet(MemTag::kFlightRecorder, 0);
   slow_.clear();
   worst_.clear();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/request_record.h"
+#include "obs/tracked_mutex.h"
 
 namespace trmma {
 namespace obs {
@@ -115,12 +116,13 @@ class FlightRecorder {
   struct Retained {
     RequestRecord record;
     std::set<std::string> reasons;
+    std::int64_t approx_bytes = 0;  ///< heap estimate fed to MemTag accounting
   };
 
   // Drops `reason` from `id`, erasing the exemplar once no reason holds it.
   void DropReasonLocked(const std::string& id, const std::string& reason);
 
-  mutable std::mutex mu_;
+  mutable TrackedMutex mu_{"flight.recorder"};
   FlightRecorderConfig config_;
   std::atomic<std::int64_t> next_index_{0};
   std::int64_t requests_ = 0;
@@ -129,6 +131,7 @@ class FlightRecorder {
   std::int64_t bytes_ = 0;
   std::atomic<std::int64_t> replay_mismatches_{0};
   std::map<std::string, Retained> retained_;
+  std::int64_t retained_bytes_ = 0;  ///< sum of approx_bytes over retained_
   /// Top-K rankings: (wall_us, id) for slow, (quality, id) for worst.
   std::vector<std::pair<std::int64_t, std::string>> slow_;
   std::vector<std::pair<double, std::string>> worst_;

@@ -115,7 +115,12 @@ class JsonParser {
       JsonValue value;
       st = ParseValue(&value, depth + 1);
       if (!st.ok()) return st;
-      out->object_.emplace(std::move(key), std::move(value));
+      // The writer never emits duplicate keys, so one here means a corrupt
+      // or hand-edited document; silently keeping either value would hide
+      // the corruption.
+      if (!out->object_.emplace(std::move(key), std::move(value)).second) {
+        return Error("duplicate object key");
+      }
       SkipWs();
       if (Consume(',')) continue;
       if (Consume('}')) return Status::OK();

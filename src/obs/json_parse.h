@@ -59,9 +59,12 @@ class JsonValue {
 };
 
 /// Parses one complete JSON document from `text` (trailing whitespace
-/// allowed, trailing garbage is an error). Depth-limited recursive descent;
-/// intended for trusted repo-generated files (records, reports, traces),
-/// not adversarial input.
+/// allowed, trailing garbage is an error). Depth-limited recursive descent
+/// (64 levels), so nesting bombs fail with a loud error instead of blowing
+/// the stack; unterminated strings, malformed \u escapes and duplicate
+/// object keys are errors too. Intended for repo-generated files (records,
+/// reports, traces), but safe to point at hostile input — see
+/// tests/json_parse_test.cc.
 StatusOr<JsonValue> ParseJson(const std::string& text);
 
 }  // namespace obs

@@ -1,0 +1,161 @@
+#include "obs/mem_stats.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "nn/matrix.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace obs {
+namespace internal_obs {
+
+std::atomic<bool> g_mem_stats_enabled{false};
+MemTagCell g_mem_cells[kMemTagCount];
+
+void MemRecordSlow(MemTag tag, std::int64_t delta, bool set) {
+  MemTagCell& cell = g_mem_cells[static_cast<int>(tag)];
+  std::int64_t now;
+  if (set) {
+    cell.current.store(delta, std::memory_order_relaxed);
+    now = delta;
+  } else {
+    now = cell.current.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+  std::int64_t peak = cell.peak.load(std::memory_order_relaxed);
+  while (now > peak && !cell.peak.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  cell.events.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal_obs
+
+const char* MemTagName(MemTag tag) {
+  switch (tag) {
+    case MemTag::kGraph:
+      return "graph";
+    case MemTag::kRtree:
+      return "rtree";
+    case MemTag::kUbodt:
+      return "ubodt";
+    case MemTag::kMatrix:
+      return "matrix";
+    case MemTag::kFlightRecorder:
+      return "flight_recorder";
+    case MemTag::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+MemTagStats GetMemTagStats(MemTag tag) {
+  MemTagStats out;
+  if (tag == MemTag::kMatrix) {
+    // Matrix storage is already accounted by nn (every Matrix special
+    // member); bridging at read time keeps the nn hot path free of a second
+    // hook.
+    const nn::MatrixAllocStats stats = nn::GetMatrixAllocStats();
+    out.current_bytes = stats.live_bytes;
+    out.peak_bytes = stats.peak_bytes;
+    out.events = stats.total_bytes > 0 ? 1 : 0;
+    return out;
+  }
+  const internal_obs::MemTagCell& cell =
+      internal_obs::g_mem_cells[static_cast<int>(tag)];
+  out.current_bytes = cell.current.load(std::memory_order_relaxed);
+  out.peak_bytes = cell.peak.load(std::memory_order_relaxed);
+  out.events = cell.events.load(std::memory_order_relaxed);
+  return out;
+}
+
+RssSample SampleRss() {
+  RssSample out;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      long long kb = 0;
+      if (std::sscanf(line, "VmRSS: %lld kB", &kb) == 1) {
+        out.rss_bytes = static_cast<std::int64_t>(kb) * 1024;
+      } else if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1) {
+        out.rss_peak_bytes = static_cast<std::int64_t>(kb) * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+  if (out.rss_peak_bytes == 0) {
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      // ru_maxrss is KiB on Linux.
+      out.rss_peak_bytes = static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+    }
+  }
+  if (out.rss_bytes == 0) out.rss_bytes = out.rss_peak_bytes;
+  return out;
+}
+
+std::string MemoryJson() {
+  const RssSample rss = SampleRss();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rss_bytes").Int(rss.rss_bytes);
+  w.Key("rss_peak_bytes").Int(rss.rss_peak_bytes);
+  w.Key("subsystems").BeginArray();
+  for (int i = 0; i < kMemTagCount; ++i) {
+    const MemTag tag = static_cast<MemTag>(i);
+    const MemTagStats stats = GetMemTagStats(tag);
+    w.BeginObject();
+    w.Key("name").String(MemTagName(tag));
+    w.Key("current_bytes").Int(stats.current_bytes);
+    w.Key("peak_bytes").Int(stats.peak_bytes);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void PublishMemoryMetrics(MetricRegistry* registry) {
+  const RssSample rss = SampleRss();
+  registry->GetGauge("mem.rss.bytes")->Set(static_cast<double>(rss.rss_bytes));
+  registry->GetGauge("mem.rss_peak.bytes")
+      ->Set(static_cast<double>(rss.rss_peak_bytes));
+  for (int i = 0; i < kMemTagCount; ++i) {
+    const MemTag tag = static_cast<MemTag>(i);
+    const MemTagStats stats = GetMemTagStats(tag);
+    const Labels labels = {{"subsystem", MemTagName(tag)}};
+    registry->GetGauge("mem.subsystem.bytes", labels)
+        ->Set(static_cast<double>(stats.current_bytes));
+    registry->GetGauge("mem.subsystem.peak.bytes", labels)
+        ->Set(static_cast<double>(stats.peak_bytes));
+  }
+}
+
+void EnableMemStats(bool enabled) {
+  internal_obs::g_mem_stats_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool InitMemStatsFromEnv() {
+  const char* env = std::getenv("TRMMA_MEM_STATS");
+  const bool enabled =
+      !(env != nullptr && (std::strcmp(env, "0") == 0 ||
+                           std::strcmp(env, "off") == 0));
+  EnableMemStats(enabled);
+  return enabled;
+}
+
+void ResetMemStats() {
+  for (internal_obs::MemTagCell& cell : internal_obs::g_mem_cells) {
+    cell.current.store(0, std::memory_order_relaxed);
+    cell.peak.store(0, std::memory_order_relaxed);
+    cell.events.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,103 @@
+#ifndef TRMMA_OBS_MEM_STATS_H_
+#define TRMMA_OBS_MEM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace trmma {
+namespace obs {
+
+class MetricRegistry;
+
+/// Subsystems with tagged heap attribution. kMatrix is bridged from the
+/// nn::Matrix allocation counters at snapshot time (no extra hot-path hook);
+/// the others are fed by MemAdd/MemSub/MemSet at build or retention sites.
+enum class MemTag {
+  kGraph = 0,           ///< road network adjacency + geometry
+  kRtree,               ///< spatial index nodes and entries
+  kUbodt,               ///< upper-bounded origin-destination table
+  kMatrix,              ///< nn dense matrices (bridged, see above)
+  kFlightRecorder,      ///< retained request records
+  kOther,               ///< anything explicitly tagged but unclassified
+};
+constexpr int kMemTagCount = static_cast<int>(MemTag::kOther) + 1;
+
+/// Stable lowercase name used in labels / JSON ("graph", "rtree", ...).
+const char* MemTagName(MemTag tag);
+
+namespace internal_obs {
+extern std::atomic<bool> g_mem_stats_enabled;
+
+struct MemTagCell {
+  std::atomic<std::int64_t> current{0};
+  std::atomic<std::int64_t> peak{0};
+  std::atomic<std::int64_t> events{0};
+};
+extern MemTagCell g_mem_cells[kMemTagCount];
+
+void MemRecordSlow(MemTag tag, std::int64_t delta, bool set);
+}  // namespace internal_obs
+
+/// Fast gate, same shape as MetricsEnabled(): one relaxed load + branch when
+/// disabled (the ≤2 ns contract measured by bench_micro_obs).
+inline bool MemStatsEnabled() {
+  return internal_obs::g_mem_stats_enabled.load(std::memory_order_relaxed);
+}
+
+/// Tagged allocation hooks. Add/Sub track incremental retention (flight
+/// recorder); Set replaces the tag's current value outright — the natural
+/// call for build-once structures reporting ApproxBytes() after Finalize.
+inline void MemAdd(MemTag tag, std::int64_t bytes) {
+  if (!MemStatsEnabled()) return;
+  internal_obs::MemRecordSlow(tag, bytes, /*set=*/false);
+}
+inline void MemSub(MemTag tag, std::int64_t bytes) {
+  if (!MemStatsEnabled()) return;
+  internal_obs::MemRecordSlow(tag, -bytes, /*set=*/false);
+}
+inline void MemSet(MemTag tag, std::int64_t bytes) {
+  if (!MemStatsEnabled()) return;
+  internal_obs::MemRecordSlow(tag, bytes, /*set=*/true);
+}
+
+/// Per-tag snapshot (kMatrix already bridged).
+struct MemTagStats {
+  std::int64_t current_bytes = 0;
+  std::int64_t peak_bytes = 0;
+  std::int64_t events = 0;
+};
+MemTagStats GetMemTagStats(MemTag tag);
+
+/// Process RSS from /proc/self/status (VmRSS / VmHWM); falls back to
+/// getrusage ru_maxrss for the peak when /proc is unavailable. Fields are 0
+/// when a source is missing.
+struct RssSample {
+  std::int64_t rss_bytes = 0;
+  std::int64_t rss_peak_bytes = 0;
+};
+RssSample SampleRss();
+
+/// One-line JSON for the BENCH report's `memory` section and /statusz:
+/// {"rss_bytes":..,"rss_peak_bytes":..,"subsystems":[{"name":..,
+///  "current_bytes":..,"peak_bytes":..},..]}.
+std::string MemoryJson();
+
+/// Publishes gauges mem.rss.bytes, mem.rss_peak.bytes and per-tag
+/// mem.subsystem.bytes / mem.subsystem.peak.bytes{subsystem=..}.
+/// Set-semantics; safe to call per scrape.
+void PublishMemoryMetrics(MetricRegistry* registry);
+
+/// Programmatic switch (benches enable by default) and env hook:
+/// TRMMA_MEM_STATS=0 disables, anything else (or unset, for benches)
+/// enables.
+void EnableMemStats(bool enabled);
+bool InitMemStatsFromEnv();
+
+/// Zeroes all tag cells (tests).
+void ResetMemStats();
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_MEM_STATS_H_

@@ -168,6 +168,36 @@ void Histogram::Reset() {
   dropped_.store(0, std::memory_order_relaxed);
 }
 
+bool Histogram::Merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  // Snapshot the source buckets first and derive the merged count from that
+  // snapshot: if `other` is being observed concurrently, count_ stays
+  // consistent with what actually landed in our buckets (and self-merge
+  // doubles cleanly instead of reading its own half-updated state).
+  const std::vector<int64_t> counts = other.BucketCounts();
+  int64_t n = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 0) {
+      buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+      n += counts[i];
+    }
+  }
+  count_.fetch_add(n, std::memory_order_relaxed);
+  dropped_.fetch_add(other.dropped_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  const double sum = other.sum_.load(std::memory_order_relaxed);
+  if (std::isfinite(sum)) AtomicAdd(sum_, sum);
+  // Raw loads keep the empty sentinels visible: an empty source has
+  // min > max and must not widen our extremes.
+  const double mn = other.min_.load(std::memory_order_relaxed);
+  const double mx = other.max_.load(std::memory_order_relaxed);
+  if (mn <= mx) {
+    AtomicMin(min_, mn);
+    AtomicMax(max_, mx);
+  }
+  return true;
+}
+
 std::vector<double> Histogram::ExponentialBounds(double start, double factor,
                                                  int count) {
   std::vector<double> out;
@@ -228,7 +258,7 @@ std::string MetricRegistry::MakeKey(const std::string& name,
 Counter* MetricRegistry::GetCounter(const std::string& name,
                                     const Labels& labels) {
   const std::string key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TrackedMutex> lock(mu_);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     Labels sorted = labels;
@@ -243,7 +273,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricRegistry::GetGauge(const std::string& name, const Labels& labels) {
   const std::string key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TrackedMutex> lock(mu_);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
     Labels sorted = labels;
@@ -260,7 +290,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         const Labels& labels,
                                         std::vector<double> bounds) {
   const std::string key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TrackedMutex> lock(mu_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     Labels sorted = labels;
@@ -276,14 +306,14 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TrackedMutex> lock(mu_);
   for (auto& [key, entry] : counters_) entry.second->Reset();
   for (auto& [key, entry] : gauges_) entry.second->Reset();
   for (auto& [key, entry] : histograms_) entry.second->Reset();
 }
 
 std::string MetricRegistry::TextDump() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TrackedMutex> lock(mu_);
   std::string out;
   char buf[160];
   for (const auto& [key, entry] : counters_) {
@@ -325,6 +355,29 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
+/// Label-value escaping per the exposition format: backslash, double quote
+/// and newline must be escaped (in that order of precedence).
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string PromLabels(const Labels& labels, const std::string& extra = "") {
   if (labels.empty() && extra.empty()) return "";
   std::string out = "{";
@@ -332,16 +385,7 @@ std::string PromLabels(const Labels& labels, const std::string& extra = "") {
   for (const auto& [k, v] : labels) {
     if (!first) out += ',';
     first = false;
-    out += PromName(k) + "=\"";
-    for (char c : v) {
-      if (c == '\\' || c == '"') out += '\\';
-      if (c == '\n') {
-        out += "\\n";
-        continue;
-      }
-      out += c;
-    }
-    out += '"';
+    out += PromName(k) + "=\"" + EscapeLabelValue(v) + '"';
   }
   if (!extra.empty()) {
     if (!first) out += ',';
@@ -351,29 +395,59 @@ std::string PromLabels(const Labels& labels, const std::string& extra = "") {
   return out;
 }
 
+/// HELP text is free-form but must escape backslash and newline.
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Emits `# HELP` + `# TYPE` when `prom_name` starts a new family. The maps
+/// are keyed `name{labels...}`, so all label sets of one family are
+/// contiguous and one previous-name string suffices.
+void FamilyHeader(const std::string& prom_name, const std::string& raw_name,
+                  const char* type, std::string* prev, std::string* out) {
+  if (prom_name == *prev) return;
+  *prev = prom_name;
+  *out += "# HELP " + prom_name + " TRMMA metric " + EscapeHelp(raw_name) +
+          "\n# TYPE " + prom_name + ' ' + type + '\n';
+}
+
 }  // namespace
 
 std::string MetricRegistry::WriteText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TrackedMutex> lock(mu_);
   std::string out;
   char buf[192];
+  std::string prev;
   for (const auto& [key, entry] : counters_) {
     const std::string name = PromName(entry.first.name);
-    out += "# TYPE " + name + " counter\n";
+    FamilyHeader(name, entry.first.name, "counter", &prev, &out);
     std::snprintf(buf, sizeof(buf), " %lld\n",
                   static_cast<long long>(entry.second->Value()));
     out += name + PromLabels(entry.first.labels) + buf;
   }
+  prev.clear();
   for (const auto& [key, entry] : gauges_) {
     const std::string name = PromName(entry.first.name);
-    out += "# TYPE " + name + " gauge\n";
+    FamilyHeader(name, entry.first.name, "gauge", &prev, &out);
     std::snprintf(buf, sizeof(buf), " %.17g\n", entry.second->Value());
     out += name + PromLabels(entry.first.labels) + buf;
   }
+  prev.clear();
   for (const auto& [key, entry] : histograms_) {
     const Histogram& h = *entry.second;
     const std::string name = PromName(entry.first.name);
-    out += "# TYPE " + name + " summary\n";
+    FamilyHeader(name, entry.first.name, "summary", &prev, &out);
     static constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
     for (double q : kQuantiles) {
       char qlabel[48];
@@ -390,6 +464,59 @@ std::string MetricRegistry::WriteText() const {
   return out;
 }
 
+bool MetricRegistry::SumCountersByName(const std::string& name,
+                                       int64_t* out) const {
+  std::lock_guard<TrackedMutex> lock(mu_);
+  int64_t sum = 0;
+  bool found = false;
+  for (const auto& [key, entry] : counters_) {
+    if (entry.first.name != name) continue;
+    sum += entry.second->Value();
+    found = true;
+  }
+  if (found) *out = sum;
+  return found;
+}
+
+bool MetricRegistry::MaxGaugeByName(const std::string& name,
+                                    double* out) const {
+  std::lock_guard<TrackedMutex> lock(mu_);
+  double best = 0.0;
+  bool found = false;
+  for (const auto& [key, entry] : gauges_) {
+    if (entry.first.name != name) continue;
+    const double v = entry.second->Value();
+    if (!found || v > best) best = v;
+    found = true;
+  }
+  if (found) *out = best;
+  return found;
+}
+
+bool MetricRegistry::HistogramStatsByName(const std::string& name,
+                                          HistogramStats* out) const {
+  std::lock_guard<TrackedMutex> lock(mu_);
+  std::unique_ptr<Histogram> merged;
+  for (const auto& [key, entry] : histograms_) {
+    if (entry.first.name != name) continue;
+    if (merged == nullptr) {
+      merged = std::make_unique<Histogram>(entry.second->bounds());
+    }
+    merged->Merge(*entry.second);  // bounds mismatch -> label set skipped
+  }
+  if (merged == nullptr) return false;
+  out->count = merged->Count();
+  out->dropped = merged->DroppedCount();
+  out->sum = merged->Sum();
+  out->min = merged->Min();
+  out->max = merged->Max();
+  out->mean = merged->Mean();
+  out->p50 = merged->Quantile(0.5);
+  out->p95 = merged->Quantile(0.95);
+  out->p99 = merged->Quantile(0.99);
+  return true;
+}
+
 namespace {
 
 void WriteLabels(JsonWriter& w, const Labels& labels) {
@@ -401,7 +528,7 @@ void WriteLabels(JsonWriter& w, const Labels& labels) {
 }  // namespace
 
 std::string MetricRegistry::JsonDump() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TrackedMutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginArray();

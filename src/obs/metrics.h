@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/tracked_mutex.h"
+
 namespace trmma {
 namespace obs {
 
@@ -97,6 +99,16 @@ class Histogram {
   std::vector<int64_t> BucketCounts() const;
   void Reset();
 
+  /// Adds `other`'s observations into this histogram (cross-thread / per-
+  /// shard aggregation). Requires identical bucket bounds — returns false
+  /// and leaves this histogram untouched on a mismatch. Bucket counts are
+  /// snapshotted first, so count_ stays consistent with the buckets even if
+  /// `other` is being observed concurrently (and self-merge doubles
+  /// cleanly). Dropped counts propagate; a non-finite sum in `other` is
+  /// skipped rather than poisoning this sum; empty-histogram sentinels never
+  /// widen min/max.
+  bool Merge(const Histogram& other);
+
   /// `count` buckets growing geometrically from `start` by `factor`.
   static std::vector<double> ExponentialBounds(double start, double factor,
                                                int count);
@@ -111,6 +123,20 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
+};
+
+/// Read-only summary of one metric family (all label sets of a name merged),
+/// as returned by MetricRegistry::HistogramStatsByName.
+struct HistogramStats {
+  int64_t count = 0;
+  int64_t dropped = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Registry of named metrics. Get* registers on first use and is idempotent:
@@ -139,10 +165,21 @@ class MetricRegistry {
   std::string TextDump() const;
   /// {"counters":[...],"gauges":[...],"histograms":[...]} — see DESIGN.md.
   std::string JsonDump() const;
-  /// Prometheus text exposition format (version 0.0.4): `# TYPE` headers,
-  /// sanitized metric names (dots become underscores), histograms rendered
-  /// as summaries with quantile labels plus _sum/_count.
+  /// Prometheus text exposition format (version 0.0.4): `# HELP`/`# TYPE`
+  /// once per metric family, sanitized metric names (dots become
+  /// underscores), escaped label values, histograms rendered as summaries
+  /// with quantile labels plus _sum/_count.
   std::string WriteText() const;
+
+  /// Read-only aggregate lookups over every label set of `name` (used by the
+  /// SLO watchdog — never registers anything). Return false when no metric
+  /// with that name exists.
+  bool SumCountersByName(const std::string& name, int64_t* out) const;
+  /// Max across label sets — the conservative reading for threshold checks.
+  bool MaxGaugeByName(const std::string& name, double* out) const;
+  /// Merges every label set of `name` into a temporary histogram (label sets
+  /// whose bounds differ from the first are skipped) and summarizes it.
+  bool HistogramStatsByName(const std::string& name, HistogramStats* out) const;
 
  private:
   /// Canonical map key: name{k=v,...} with labels sorted by key.
@@ -153,7 +190,7 @@ class MetricRegistry {
     Labels labels;  ///< sorted
   };
 
-  mutable std::mutex mu_;
+  mutable TrackedMutex mu_{"metrics.registry"};
   std::map<std::string, std::pair<Entry, std::unique_ptr<Counter>>> counters_;
   std::map<std::string, std::pair<Entry, std::unique_ptr<Gauge>>> gauges_;
   std::map<std::string, std::pair<Entry, std::unique_ptr<Histogram>>>

@@ -7,8 +7,10 @@
 #include "nn/profiler.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/mem_stats.h"
 #include "obs/metrics.h"
 #include "obs/quality.h"
+#include "obs/slo.h"
 #include "obs/train_log.h"
 
 namespace trmma {
@@ -60,6 +62,18 @@ void RunReport::SetFingerprintNumber(const std::string& key, double value) {
 }
 
 std::string RunReport::ToJson() const {
+  // Refresh the derived telemetry (memory/lock gauges, SLO breach counters)
+  // before snapshotting, so the report's metrics section carries the final
+  // state of this run — the same refresh the /metrics endpoint does per
+  // scrape.
+  PublishMemoryMetrics(&MetricRegistry::Global());
+  PublishLockMetrics(&MetricRegistry::Global());
+  std::string slo_json;
+  if (SloWatchdog::Global().active()) {
+    slo_json =
+        SloResultsJson(SloWatchdog::Global().Evaluate(&MetricRegistry::Global()));
+  }
+  const std::string memory_json = MemStatsEnabled() ? MemoryJson() : "";
   // Subsystem snapshots are taken outside our lock (separate subsystems).
   const std::string metrics_json = MetricRegistry::Global().JsonDump();
   const std::string op_profile_json = nn::OpProfiler::Global().ToJson();
@@ -130,6 +144,14 @@ std::string RunReport::ToJson() const {
   if (!quality_json.empty()) {
     out += ",\"quality\":";
     out += quality_json;
+  }
+  if (!memory_json.empty()) {
+    out += ",\"memory\":";
+    out += memory_json;
+  }
+  if (!slo_json.empty()) {
+    out += ",\"slo\":";
+    out += slo_json;
   }
   out += '}';
   return out;

@@ -1,0 +1,309 @@
+#include "obs/slo.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+const char* KindField(SloObjective::Kind kind) {
+  switch (kind) {
+    case SloObjective::Kind::kHistogram:
+      return "histogram";
+    case SloObjective::Kind::kGauge:
+      return "gauge";
+    case SloObjective::Kind::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+bool ValidStat(const std::string& stat) {
+  return stat == "p50" || stat == "p95" || stat == "p99" || stat == "max" ||
+         stat == "mean" || stat == "count";
+}
+
+/// Snaps a numeric quantile to the nearest of the three the repo reports.
+std::string QuantileToStat(double q) {
+  if (q <= 0.725) return "p50";   // midpoint of 0.5 and 0.95
+  if (q <= 0.97) return "p95";    // midpoint of 0.95 and 0.99
+  return "p99";
+}
+
+double StatFromHistogramStats(const HistogramStats& stats,
+                              const std::string& stat) {
+  if (stat == "p50") return stats.p50;
+  if (stat == "p95") return stats.p95;
+  if (stat == "p99") return stats.p99;
+  if (stat == "max") return stats.max;
+  if (stat == "mean") return stats.mean;
+  if (stat == "count") return static_cast<double>(stats.count);
+  return 0.0;
+}
+
+SloResult MakeResult(const SloObjective& objective, bool has_data,
+                     double value) {
+  SloResult result;
+  result.name = objective.name;
+  result.metric = objective.metric;
+  result.stat =
+      objective.kind == SloObjective::Kind::kHistogram ? objective.stat : "";
+  result.max = objective.max;
+  result.has_data = has_data;
+  result.value = has_data ? value : 0.0;
+  result.ok = !has_data || value <= objective.max;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<std::vector<SloObjective>> ParseSloObjectives(const JsonValue& doc) {
+  if (!doc.is_object() || !doc.Get("objectives").is_array()) {
+    return Status::InvalidArgument(
+        "SLO file must be {\"objectives\": [...]}");
+  }
+  std::vector<SloObjective> out;
+  for (const JsonValue& entry : doc.Get("objectives").AsArray()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("SLO objective must be an object");
+    }
+    SloObjective objective;
+    if (!entry.Get("name").is_string() || entry.Get("name").AsString().empty()) {
+      return Status::InvalidArgument("SLO objective missing \"name\"");
+    }
+    objective.name = entry.Get("name").AsString();
+    int sources = 0;
+    if (entry.Get("histogram").is_string()) {
+      objective.kind = SloObjective::Kind::kHistogram;
+      objective.metric = entry.Get("histogram").AsString();
+      ++sources;
+    }
+    if (entry.Get("gauge").is_string()) {
+      objective.kind = SloObjective::Kind::kGauge;
+      objective.metric = entry.Get("gauge").AsString();
+      ++sources;
+    }
+    if (entry.Get("counter").is_string()) {
+      objective.kind = SloObjective::Kind::kCounter;
+      objective.metric = entry.Get("counter").AsString();
+      ++sources;
+    }
+    if (sources != 1) {
+      return Status::InvalidArgument(
+          "SLO objective \"" + objective.name +
+          "\" needs exactly one of histogram/gauge/counter");
+    }
+    if (entry.Get("stat").is_string()) {
+      objective.stat = entry.Get("stat").AsString();
+      if (!ValidStat(objective.stat)) {
+        return Status::InvalidArgument(
+            "SLO objective \"" + objective.name + "\": bad stat \"" +
+            objective.stat + "\" (want p50/p95/p99/max/mean/count)");
+      }
+    } else if (entry.Get("quantile").is_number()) {
+      const double q = entry.Get("quantile").AsNumber();
+      if (!(q >= 0.0 && q <= 1.0)) {
+        return Status::InvalidArgument("SLO objective \"" + objective.name +
+                                       "\": quantile out of [0,1]");
+      }
+      objective.stat = QuantileToStat(q);
+    }
+    if (!entry.Get("max").is_number() ||
+        !std::isfinite(entry.Get("max").AsNumber())) {
+      return Status::InvalidArgument("SLO objective \"" + objective.name +
+                                     "\" missing finite \"max\"");
+    }
+    objective.max = entry.Get("max").AsNumber();
+    out.push_back(std::move(objective));
+  }
+  return out;
+}
+
+std::vector<SloResult> EvaluateSloAgainstReport(
+    const std::vector<SloObjective>& objectives, const JsonValue& report) {
+  // The BENCH report embeds JsonDump() under "metrics"; a bare metrics
+  // document (already {"counters":...}) also works.
+  const JsonValue& metrics =
+      report.Has("metrics") ? report.Get("metrics") : report;
+  std::vector<SloResult> out;
+  out.reserve(objectives.size());
+  for (const SloObjective& objective : objectives) {
+    bool has_data = false;
+    double value = 0.0;
+    const char* section = KindField(objective.kind);
+    const JsonValue& entries = metrics.Get(std::string(section) + "s");
+    for (const JsonValue& entry : entries.AsArray()) {
+      if (entry.Get("name").AsString() != objective.metric) continue;
+      double v = 0.0;
+      if (objective.kind == SloObjective::Kind::kHistogram) {
+        v = StatFromHistogramStats(
+            HistogramStats{
+                static_cast<int64_t>(entry.Get("count").AsNumber()), 0,
+                entry.Get("sum").AsNumber(), entry.Get("min").AsNumber(),
+                entry.Get("max").AsNumber(), entry.Get("mean").AsNumber(),
+                entry.Get("p50").AsNumber(), entry.Get("p95").AsNumber(),
+                entry.Get("p99").AsNumber()},
+            objective.stat);
+      } else {
+        v = entry.Get("value").AsNumber();
+      }
+      if (!has_data) {
+        value = v;
+      } else if (objective.kind == SloObjective::Kind::kCounter ||
+                 (objective.kind == SloObjective::Kind::kHistogram &&
+                  objective.stat == "count")) {
+        value += v;  // counts sum across label sets
+      } else {
+        value = std::max(value, v);  // conservative reading otherwise
+      }
+      has_data = true;
+    }
+    out.push_back(MakeResult(objective, has_data, value));
+  }
+  return out;
+}
+
+std::string SloResultsJson(const std::vector<SloResult>& results) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const SloResult& r : results) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("metric").String(r.metric);
+    if (!r.stat.empty()) w.Key("stat").String(r.stat);
+    w.Key("value").Number(r.value);
+    w.Key("max").Number(r.max);
+    w.Key("has_data").Bool(r.has_data);
+    w.Key("ok").Bool(r.ok);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.TakeString();
+}
+
+SloWatchdog& SloWatchdog::Global() {
+  static SloWatchdog* watchdog = new SloWatchdog();
+  return *watchdog;
+}
+
+Status SloWatchdog::LoadFromJsonText(const std::string& text) {
+  StatusOr<JsonValue> doc = ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  StatusOr<std::vector<SloObjective>> objectives = ParseSloObjectives(*doc);
+  if (!objectives.ok()) return objectives.status();
+  std::lock_guard<TrackedMutex> lock(mu_);
+  objectives_ = std::move(*objectives);
+  last_results_.clear();
+  return Status::OK();
+}
+
+Status SloWatchdog::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open SLO file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  Status status = LoadFromJsonText(text.str());
+  if (!status.ok()) {
+    return Status(status.code(), path + ": " + status.message());
+  }
+  return status;
+}
+
+bool SloWatchdog::InstallFromEnv() {
+  const char* path = std::getenv("TRMMA_SLO_FILE");
+  if (path == nullptr || *path == '\0') return false;
+  const Status status = LoadFromFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trmma: TRMMA_SLO_FILE ignored: %s\n",
+                 status.ToString().c_str());
+    return false;
+  }
+  return active();
+}
+
+void SloWatchdog::Clear() {
+  std::lock_guard<TrackedMutex> lock(mu_);
+  objectives_.clear();
+  last_results_.clear();
+}
+
+bool SloWatchdog::active() const {
+  std::lock_guard<TrackedMutex> lock(mu_);
+  return !objectives_.empty();
+}
+
+std::vector<SloObjective> SloWatchdog::objectives() const {
+  std::lock_guard<TrackedMutex> lock(mu_);
+  return objectives_;
+}
+
+std::vector<SloResult> SloWatchdog::Evaluate(MetricRegistry* registry) {
+  const std::vector<SloObjective> objectives = this->objectives();
+  std::vector<SloResult> results;
+  results.reserve(objectives.size());
+  for (const SloObjective& objective : objectives) {
+    bool has_data = false;
+    double value = 0.0;
+    switch (objective.kind) {
+      case SloObjective::Kind::kHistogram: {
+        HistogramStats stats;
+        if (registry->HistogramStatsByName(objective.metric, &stats)) {
+          has_data = stats.count > 0;
+          value = StatFromHistogramStats(stats, objective.stat);
+        }
+        break;
+      }
+      case SloObjective::Kind::kGauge: {
+        double v = 0.0;
+        if (registry->MaxGaugeByName(objective.metric, &v)) {
+          has_data = true;
+          value = v;
+        }
+        break;
+      }
+      case SloObjective::Kind::kCounter: {
+        int64_t v = 0;
+        if (registry->SumCountersByName(objective.metric, &v)) {
+          has_data = true;
+          value = static_cast<double>(v);
+        }
+        break;
+      }
+    }
+    SloResult result = MakeResult(objective, has_data, value);
+    const Labels labels = {{"objective", objective.name}};
+    if (!result.ok) {
+      registry->GetCounter("slo.breach.total", labels)->Increment();
+    }
+    registry->GetGauge("slo.ok", labels)->Set(result.ok ? 1.0 : 0.0);
+    results.push_back(std::move(result));
+  }
+  std::lock_guard<TrackedMutex> lock(mu_);
+  last_results_ = results;
+  return results;
+}
+
+std::string SloWatchdog::StatusJson() const {
+  std::lock_guard<TrackedMutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("active").Bool(!objectives_.empty());
+  w.Key("objectives").Int(static_cast<int64_t>(objectives_.size()));
+  w.EndObject();
+  std::string head = w.TakeString();
+  // Splice the pre-rendered results array in before the closing brace, the
+  // same string-surgery idiom report.cc uses for optional sections.
+  head.pop_back();
+  head += ",\"results\":" + SloResultsJson(last_results_) + "}";
+  return head;
+}
+
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,104 @@
+#ifndef TRMMA_OBS_SLO_H_
+#define TRMMA_OBS_SLO_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json_parse.h"
+#include "obs/tracked_mutex.h"
+
+namespace trmma {
+namespace obs {
+
+class MetricRegistry;
+
+/// One declarative objective, parsed from an SLO JSON file:
+///
+///   {"objectives": [
+///     {"name": "match_p95", "histogram": "mm.candidates.us",
+///      "stat": "p95", "max": 200000},
+///     {"name": "peak_rss", "gauge": "mem.rss_peak.bytes", "max": 2e9},
+///     {"name": "no_faults", "counter": "robust.faults_injected", "max": 0}
+///   ]}
+///
+/// Exactly one of histogram/gauge/counter names the source metric (all label
+/// sets aggregated: histograms merged, counters summed, gauges max'd).
+/// `stat` applies to histograms only — one of p50/p95/p99/max/mean/count
+/// (default p95); `quantile: 0.95` is accepted as an alias and snaps to the
+/// nearest reported quantile. `max` is the inclusive upper bound.
+struct SloObjective {
+  enum class Kind { kHistogram, kGauge, kCounter };
+
+  std::string name;
+  std::string metric;
+  Kind kind = Kind::kHistogram;
+  std::string stat = "p95";
+  double max = 0.0;
+};
+
+/// Outcome of evaluating one objective. A missing metric is reported as
+/// no-data (ok stays true) rather than a breach: benches legitimately run
+/// subsets of the instrumented surface.
+struct SloResult {
+  std::string name;
+  std::string metric;
+  std::string stat;
+  double value = 0.0;
+  double max = 0.0;
+  bool has_data = false;
+  bool ok = true;
+};
+
+/// Parses the objectives document above (already-parsed JSON).
+StatusOr<std::vector<SloObjective>> ParseSloObjectives(const JsonValue& doc);
+
+/// Offline evaluation against a BENCH_*.json report's `metrics` section
+/// (the JsonDump shape) — what `trmma_inspect slo` runs.
+std::vector<SloResult> EvaluateSloAgainstReport(
+    const std::vector<SloObjective>& objectives, const JsonValue& report);
+
+/// Renders results as a one-line JSON array (for /slo and the BENCH report).
+std::string SloResultsJson(const std::vector<SloResult>& results);
+
+/// Live watchdog: holds loaded objectives, evaluates them against a registry
+/// on demand (report write, /metrics scrape) and maintains breach telemetry:
+/// counter slo.breach.total{objective=name} increments per breached
+/// evaluation, gauge slo.ok{objective=name} holds 1/0.
+class SloWatchdog {
+ public:
+  static SloWatchdog& Global();
+
+  SloWatchdog() = default;
+  SloWatchdog(const SloWatchdog&) = delete;
+  SloWatchdog& operator=(const SloWatchdog&) = delete;
+
+  Status LoadFromJsonText(const std::string& text);
+  Status LoadFromFile(const std::string& path);
+  /// Loads TRMMA_SLO_FILE if set; returns true when objectives are active.
+  /// A load failure is loud (stderr) but non-fatal.
+  bool InstallFromEnv();
+  void Clear();
+
+  bool active() const;
+  std::vector<SloObjective> objectives() const;
+
+  /// Evaluates every objective against `registry`, updates breach counters /
+  /// ok gauges in the same registry, and retains the results for
+  /// StatusJson().
+  std::vector<SloResult> Evaluate(MetricRegistry* registry);
+
+  /// {"active":bool,"objectives":N,"results":[...]} from the last Evaluate.
+  std::string StatusJson() const;
+
+ private:
+  mutable TrackedMutex mu_{"slo.watchdog"};
+  std::vector<SloObjective> objectives_;
+  std::vector<SloResult> last_results_;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_SLO_H_

@@ -1,0 +1,294 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/mem_stats.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    default:
+      return "Error";
+  }
+}
+
+std::string StatuszJson(double uptime_us, std::int64_t requests) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("build_compiler").String(__VERSION__);
+#ifdef NDEBUG
+  w.Key("build_type").String("release");
+#else
+  w.Key("build_type").String("debug");
+#endif
+  w.Key("pid").Int(static_cast<long long>(::getpid()));
+  w.Key("uptime_us").Number(uptime_us);
+  w.Key("trace_mode").Int(static_cast<int>(CurrentTraceMode()));
+  w.Key("requests_served").Int(requests);
+  w.Key("active_spans")
+      .Int(static_cast<long long>(TraceRing::Global().Snapshot().size()));
+  w.EndObject();
+  std::string out = w.TakeString();
+  // Splice the pre-rendered sub-documents (same idiom as report.cc).
+  out.pop_back();
+  out += ",\"locks\":" + LockStatsJson();
+  out += ",\"memory\":" + MemoryJson();
+  out += ",\"slo\":" + SloWatchdog::Global().StatusJson() + "}";
+  return out;
+}
+
+std::string TracezJson() {
+  const std::vector<SpanRecord> spans = TraceRing::Global().Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("count").Int(static_cast<long long>(spans.size()));
+  w.Key("spans").BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("name").String(span.name != nullptr ? span.name : "?");
+    w.Key("seq").Int(span.seq);
+    w.Key("parent_seq").Int(span.parent_seq);
+    w.Key("depth").Int(span.depth);
+    w.Key("tid").Int(span.tid);
+    w.Key("start_us").Number(span.start_us);
+    w.Key("duration_us").Number(span.duration_us);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+HttpResponse Dispatch(const std::string& path, double uptime_us,
+                      std::int64_t requests) {
+  HttpResponse resp;
+  if (path == "/metrics") {
+    // Refresh the derived telemetry before the scrape so gauges and SLO
+    // breach counters reflect this instant, not the last report write.
+    MetricRegistry& registry = MetricRegistry::Global();
+    PublishMemoryMetrics(&registry);
+    PublishLockMetrics(&registry);
+    if (SloWatchdog::Global().active()) {
+      SloWatchdog::Global().Evaluate(&registry);
+    }
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = registry.WriteText();
+    return resp;
+  }
+  if (path == "/healthz") {
+    resp.body = "ok\n";
+    return resp;
+  }
+  if (path == "/statusz") {
+    resp.content_type = "application/json";
+    resp.body = StatuszJson(uptime_us, requests) + "\n";
+    return resp;
+  }
+  if (path == "/tracez") {
+    resp.content_type = "application/json";
+    resp.body = TracezJson() + "\n";
+    return resp;
+  }
+  if (path == "/slo") {
+    resp.content_type = "application/json";
+    resp.body = SloWatchdog::Global().StatusJson() + "\n";
+    return resp;
+  }
+  resp.code = 404;
+  resp.body = "not found\n";
+  return resp;
+}
+
+}  // namespace
+
+TelemetryServer& TelemetryServer::Global() {
+  static TelemetryServer* server = new TelemetryServer();
+  return *server;
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start(int port) {
+  if (running()) return Status::FailedPrecondition("telemetry already running");
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad telemetry port");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("telemetry: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("telemetry: bind 127.0.0.1:" +
+                           std::to_string(port) + " failed");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::IOError("telemetry: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::IOError("telemetry: getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  start_us_ = NowMicros();
+  stop_.store(false, std::memory_order_release);
+  quit_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(0, std::memory_order_release);
+}
+
+void TelemetryServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    // Short timeout so Stop() is observed within ~200 ms.
+    const int n = ::poll(&pfd, 1, 200);
+    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    QueueDepth::Scope scope(inflight_);
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void TelemetryServer::HandleConnection(int fd) {
+  // Bound both the request size and the wait for it.
+  timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  char buf[4096];
+  size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    const ssize_t n = ::recv(fd, buf + got, sizeof(buf) - 1 - got, 0);
+    if (n <= 0) break;
+    got += static_cast<size_t>(n);
+    buf[got] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  buf[got] = '\0';
+  std::string path = "/";
+  if (std::strncmp(buf, "GET ", 4) == 0) {
+    const char* start = buf + 4;
+    const char* end = start;
+    while (*end != '\0' && *end != ' ' && *end != '\r' && *end != '\n') ++end;
+    path.assign(start, end);
+    // Queries are ignored: every endpoint is parameterless.
+    const size_t q = path.find('?');
+    if (q != std::string::npos) path.resize(q);
+  }
+  const std::int64_t requests =
+      requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+  HttpResponse resp;
+  if (path == "/quitz") {
+    // Handled here, not in Dispatch: the handshake flips server state.
+    quit_.store(true, std::memory_order_release);
+    resp.body = "bye\n";
+  } else {
+    resp = Dispatch(path, NowMicros() - start_us_, requests);
+  }
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                resp.code, ReasonPhrase(resp.code), resp.content_type.c_str(),
+                resp.body.size());
+  std::string out = header;
+  out += resp.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+bool TelemetryServer::WaitForQuit(int timeout_ms) {
+  if (!running()) return true;
+  const double deadline_us = NowMicros() + 1000.0 * timeout_ms;
+  while (!quit_.load(std::memory_order_acquire) &&
+         NowMicros() < deadline_us) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return quit_.load(std::memory_order_acquire);
+}
+
+bool TelemetryServer::StartFromEnv() {
+  const char* env = std::getenv("TRMMA_HTTP_PORT");
+  if (env == nullptr || *env == '\0') return false;
+  const int port = std::atoi(env);
+  const Status status = Start(port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trmma: TRMMA_HTTP_PORT ignored: %s\n",
+                 status.ToString().c_str());
+    return false;
+  }
+  // Printed (and flushed) so harnesses can discover an ephemeral port.
+  std::printf("telemetry: serving on 127.0.0.1:%d\n", this->port());
+  std::fflush(stdout);
+  std::atexit([] { TelemetryServer::Global().Stop(); });
+  return true;
+}
+
+}  // namespace obs
+}  // namespace trmma

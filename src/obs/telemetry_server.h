@@ -1,0 +1,84 @@
+#ifndef TRMMA_OBS_TELEMETRY_SERVER_H_
+#define TRMMA_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/tracked_mutex.h"
+
+namespace trmma {
+namespace obs {
+
+/// Dependency-free HTTP/1.0 exporter on a background thread, bound to
+/// 127.0.0.1 only (observability endpoint, not a public surface):
+///
+///   /metrics  Prometheus text exposition (refreshes memory/lock/SLO gauges
+///             on every scrape, then MetricRegistry::WriteText)
+///   /healthz  "ok" liveness probe
+///   /statusz  build info, uptime, trace mode, lock stats, memory, SLO state
+///   /tracez   recent span ring as JSON (requires TRMMA_TRACE=1)
+///   /slo      last SLO evaluation
+///   /quitz    scrape-complete handshake: marks quit_requested() so a
+///             short-lived process lingering via WaitForQuit can exit
+///
+/// The accept loop polls with a short timeout and re-checks a stop flag, so
+/// Stop() (idempotent, also installed via atexit by StartFromEnv) joins the
+/// thread and closes every fd — clean under ASan/LSan. One request per
+/// connection, Connection: close; enough for curl and Prometheus scrapes.
+class TelemetryServer {
+ public:
+  static TelemetryServer& Global();
+
+  TelemetryServer() = default;
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` and starts serving. Port 0 picks an ephemeral
+  /// port (see port()). Fails if already running or the bind fails.
+  Status Start(int port);
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (resolves port 0), 0 when not running.
+  int port() const { return port_.load(std::memory_order_acquire); }
+  std::int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  /// True once a client has hit /quitz since the last Start().
+  bool quit_requested() const {
+    return quit_.load(std::memory_order_acquire);
+  }
+  /// Blocks until /quitz is hit or `timeout_ms` elapses; returns
+  /// quit_requested(). Short-lived processes (benches at smoke scale) call
+  /// this before Stop() when TRMMA_HTTP_LINGER_MS is set, so a scraper
+  /// racing process exit can finish its reads and then release the server.
+  bool WaitForQuit(int timeout_ms);
+
+  /// Starts from TRMMA_HTTP_PORT when set; prints the bound address to
+  /// stdout ("telemetry: serving on 127.0.0.1:<port>") so harnesses can
+  /// discover an ephemeral port, and installs an atexit Stop. Returns true
+  /// when the server is running.
+  bool StartFromEnv();
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> quit_{false};
+  std::atomic<int> port_{0};
+  std::atomic<std::int64_t> requests_{0};
+  int listen_fd_ = -1;
+  double start_us_ = 0.0;
+  QueueDepth inflight_{"telemetry.inflight"};
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_TELEMETRY_SERVER_H_

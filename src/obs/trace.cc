@@ -79,14 +79,14 @@ void TraceRing::EndSpan(double end_us) {
 }
 
 void TraceRing::Record(const SpanRecord& rec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   ring_[next_] = rec;
   next_ = (next_ + 1) % capacity_;
   stored_ = std::min(stored_ + 1, capacity_);
 }
 
 std::vector<SpanRecord> TraceRing::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(stored_);
   const size_t begin = (next_ + capacity_ - stored_) % capacity_;
@@ -116,13 +116,13 @@ std::string TraceRing::DumpString() const {
 }
 
 void TraceRing::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   next_ = 0;
   stored_ = 0;
 }
 
 void TraceRing::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
   capacity_ = std::max<size_t>(capacity, 1);
   ring_.assign(capacity_, SpanRecord{});
   next_ = 0;

@@ -53,7 +53,7 @@ class TraceRing {
   size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
+  mutable TrackedMutex mu_{"trace.ring"};
   size_t capacity_;
   std::vector<SpanRecord> ring_;
   size_t next_ = 0;      ///< ring write cursor

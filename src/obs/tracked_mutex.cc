@@ -1,0 +1,218 @@
+#include "obs/tracked_mutex.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+double SteadyMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Enumerates every live TrackedMutex / QueueDepth so PublishLockMetrics can
+/// snapshot them. Leaked singleton with a plain std::mutex: instrumented
+/// mutexes only touch it at construction/destruction, never on lock/unlock,
+/// and the plain lock keeps registration itself un-instrumented (no
+/// recursion when a TrackedMutex is created while publishing).
+class LockRegistry {
+ public:
+  static LockRegistry& Global() {
+    static LockRegistry* registry = new LockRegistry();
+    return *registry;
+  }
+
+  void Register(TrackedMutex* m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    mutexes_.push_back(m);
+  }
+  void Unregister(TrackedMutex* m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    mutexes_.erase(std::remove(mutexes_.begin(), mutexes_.end(), m),
+                   mutexes_.end());
+  }
+  void Register(QueueDepth* q) {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_.push_back(q);
+  }
+  void Unregister(QueueDepth* q) {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_.erase(std::remove(queues_.begin(), queues_.end(), q),
+                  queues_.end());
+  }
+
+  /// Same-named instances merged into one family, sorted by name.
+  struct LockAgg {
+    std::int64_t acquisitions = 0;
+    std::int64_t contended = 0;
+    std::unique_ptr<Histogram> wait_us;
+    std::unique_ptr<Histogram> hold_us;
+  };
+  std::map<std::string, LockAgg> SnapshotLocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, LockAgg> out;
+    for (const TrackedMutex* m : mutexes_) {
+      LockAgg& agg = out[m->name()];
+      const TrackedMutex::Stats stats = m->stats();
+      agg.acquisitions += stats.acquisitions;
+      agg.contended += stats.contended;
+      if (agg.wait_us == nullptr) {
+        agg.wait_us = std::make_unique<Histogram>(m->wait_histogram().bounds());
+        agg.hold_us = std::make_unique<Histogram>(m->hold_histogram().bounds());
+      }
+      agg.wait_us->Merge(m->wait_histogram());
+      agg.hold_us->Merge(m->hold_histogram());
+    }
+    return out;
+  }
+
+  struct QueueAgg {
+    std::int64_t current = 0;
+    std::int64_t peak = 0;
+  };
+  std::map<std::string, QueueAgg> SnapshotQueues() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, QueueAgg> out;
+    for (const QueueDepth* q : queues_) {
+      QueueAgg& agg = out[q->name()];
+      agg.current += q->current();
+      agg.peak = std::max(agg.peak, q->peak());
+    }
+    return out;
+  }
+
+ private:
+  LockRegistry() = default;
+  mutable std::mutex mu_;
+  std::vector<TrackedMutex*> mutexes_;
+  std::vector<QueueDepth*> queues_;
+};
+
+}  // namespace
+
+TrackedMutex::TrackedMutex(const char* name)
+    : name_(name),
+      wait_us_(std::make_unique<Histogram>()),
+      hold_us_(std::make_unique<Histogram>()) {
+  LockRegistry::Global().Register(this);
+}
+
+TrackedMutex::~TrackedMutex() { LockRegistry::Global().Unregister(this); }
+
+void TrackedMutex::LockSlow() {
+  if (mu_.try_lock()) {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    const double start = SteadyMicros();
+    mu_.lock();
+    wait_us_->Observe(SteadyMicros() - start);
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  hold_timed_ = true;
+  hold_start_us_ = SteadyMicros();
+}
+
+bool TrackedMutex::TryLockSlow() {
+  if (!mu_.try_lock()) return false;
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  hold_timed_ = true;
+  hold_start_us_ = SteadyMicros();
+  return true;
+}
+
+void TrackedMutex::UnlockSlow() {
+  const double held = SteadyMicros() - hold_start_us_;
+  hold_timed_ = false;
+  mu_.unlock();
+  // Observe after release: the histogram update (atomic CAS on sum_) should
+  // not extend the critical section it measures.
+  hold_us_->Observe(held);
+}
+
+TrackedMutex::Stats TrackedMutex::stats() const {
+  Stats s;
+  s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+  s.contended = contended_.load(std::memory_order_relaxed);
+  return s;
+}
+
+QueueDepth::QueueDepth(const char* name) : name_(name) {
+  LockRegistry::Global().Register(this);
+}
+
+QueueDepth::~QueueDepth() { LockRegistry::Global().Unregister(this); }
+
+void PublishLockMetrics(MetricRegistry* registry) {
+  // Snapshot first, publish after: GetGauge takes the registry's own
+  // TrackedMutex, which must not happen while holding the LockRegistry lock
+  // (a racing TrackedMutex constructor would deadlock against it).
+  const auto locks = LockRegistry::Global().SnapshotLocks();
+  const auto queues = LockRegistry::Global().SnapshotQueues();
+  for (const auto& [name, agg] : locks) {
+    const Labels labels = {{"lock", name}};
+    registry->GetGauge("lock.acquisitions", labels)
+        ->Set(static_cast<double>(agg.acquisitions));
+    registry->GetGauge("lock.contended", labels)
+        ->Set(static_cast<double>(agg.contended));
+    registry->GetGauge("lock.wait_us.p50", labels)
+        ->Set(agg.wait_us->Quantile(0.5));
+    registry->GetGauge("lock.wait_us.p95", labels)
+        ->Set(agg.wait_us->Quantile(0.95));
+    registry->GetGauge("lock.wait_us.max", labels)->Set(agg.wait_us->Max());
+    registry->GetGauge("lock.hold_us.p50", labels)
+        ->Set(agg.hold_us->Quantile(0.5));
+    registry->GetGauge("lock.hold_us.p95", labels)
+        ->Set(agg.hold_us->Quantile(0.95));
+    registry->GetGauge("lock.hold_us.max", labels)->Set(agg.hold_us->Max());
+  }
+  for (const auto& [name, agg] : queues) {
+    const Labels labels = {{"queue", name}};
+    registry->GetGauge("queue.depth", labels)
+        ->Set(static_cast<double>(agg.current));
+    registry->GetGauge("queue.depth.peak", labels)
+        ->Set(static_cast<double>(agg.peak));
+  }
+}
+
+std::string LockStatsJson() {
+  const auto locks = LockRegistry::Global().SnapshotLocks();
+  const auto queues = LockRegistry::Global().SnapshotQueues();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("locks").BeginArray();
+  for (const auto& [name, agg] : locks) {
+    w.BeginObject();
+    w.Key("name").String(name);
+    w.Key("acquisitions").Int(agg.acquisitions);
+    w.Key("contended").Int(agg.contended);
+    w.Key("wait_p95_us").Number(agg.wait_us->Quantile(0.95));
+    w.Key("wait_max_us").Number(agg.wait_us->Max());
+    w.Key("hold_p95_us").Number(agg.hold_us->Quantile(0.95));
+    w.Key("hold_max_us").Number(agg.hold_us->Max());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("queues").BeginArray();
+  for (const auto& [name, agg] : queues) {
+    w.BeginObject();
+    w.Key("name").String(name);
+    w.Key("depth").Int(agg.current);
+    w.Key("peak").Int(agg.peak);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace obs
+}  // namespace trmma

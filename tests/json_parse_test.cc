@@ -1,0 +1,146 @@
+// Hostile-input tests for the minimal JSON parser: everything here must
+// fail with a loud Status (never UB, never unbounded recursion) so that a
+// corrupt or malicious records/report/SLO file cannot take the process
+// down. Run under ASan/UBSan by scripts/run_sanitized_tests.sh.
+
+#include "obs/json_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace trmma {
+namespace obs {
+namespace {
+
+Status ParseStatus(const std::string& text) {
+  StatusOr<JsonValue> doc = ParseJson(text);
+  return doc.ok() ? Status::OK() : doc.status();
+}
+
+// ------------------------------------------------------------ happy paths
+
+TEST(JsonParseTest, RoundTripsTheBasicShapes) {
+  StatusOr<JsonValue> doc = ParseJson(
+      R"({"s": "hi", "n": -2.5e3, "b": true, "z": null,
+          "arr": [1, 2, 3], "obj": {"k": "v"}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Get("s").AsString(), "hi");
+  EXPECT_DOUBLE_EQ(doc->Get("n").AsNumber(), -2500.0);
+  EXPECT_TRUE(doc->Get("b").AsBool());
+  EXPECT_TRUE(doc->Get("z").is_null());
+  EXPECT_EQ(doc->Get("arr").AsArray().size(), 3u);
+  EXPECT_EQ(doc->Get("obj").Get("k").AsString(), "v");
+  // Missing members chain to the null sentinel instead of crashing.
+  EXPECT_TRUE(doc->Get("nope").Get("deeper").is_null());
+}
+
+TEST(JsonParseTest, DecodesEscapesIncludingUnicode) {
+  // A is ASCII, é a 2-byte code point, 中 a 3-byte one —
+  // all three UTF-8 encoder branches.
+  StatusOr<JsonValue> doc =
+      ParseJson(R"({"s": "a\"b\\c\/d\n\t\r\b\f\u0041\u00e9\u4e2d"})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Get("s").AsString(),
+            "a\"b\\c/d\n\t\r\b\f"
+            "A\xC3\xA9\xE4\xB8\xAD");
+}
+
+// --------------------------------------------------------- nesting bombs
+
+TEST(JsonParseTest, DeepArrayNestingBombFailsLoudly) {
+  // 100k opening brackets: without the depth limit this is a stack
+  // overflow; with it the parse must error out quickly at depth 64.
+  std::string bomb(100000, '[');
+  const Status status = ParseStatus(bomb);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("nesting too deep"), std::string::npos);
+}
+
+TEST(JsonParseTest, DeepObjectNestingBombFailsLoudly) {
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "{\"k\":";
+  const Status status = ParseStatus(bomb);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("nesting too deep"), std::string::npos);
+}
+
+TEST(JsonParseTest, NestingJustUnderTheLimitStillParses)  {
+  std::string doc;
+  for (int i = 0; i < 60; ++i) doc += '[';
+  doc += '1';
+  for (int i = 0; i < 60; ++i) doc += ']';
+  EXPECT_TRUE(ParseStatus(doc).ok());
+}
+
+// ------------------------------------------------------- malformed input
+
+TEST(JsonParseTest, UnterminatedStringsAreErrors) {
+  EXPECT_FALSE(ParseStatus(R"("never ends)").ok());
+  EXPECT_FALSE(ParseStatus(R"({"key)").ok());
+  EXPECT_FALSE(ParseStatus(R"({"k": "v)").ok());
+  // Backslash as the very last byte must not read past the buffer.
+  EXPECT_FALSE(ParseStatus("\"trailing\\").ok());
+}
+
+TEST(JsonParseTest, BadUnicodeEscapesAreErrors) {
+  EXPECT_FALSE(ParseStatus(R"("\u12")").ok());      // truncated
+  EXPECT_FALSE(ParseStatus(R"("\u12g4")").ok());    // non-hex digit
+  EXPECT_FALSE(ParseStatus("\"\\u123").ok());       // cut mid-escape at EOF
+  EXPECT_FALSE(ParseStatus(R"("\x41")").ok());      // unknown escape
+}
+
+TEST(JsonParseTest, DuplicateObjectKeysAreErrors) {
+  const Status status = ParseStatus(R"({"k": 1, "k": 2})");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("duplicate object key"),
+            std::string::npos);
+  // Same key at different depths is fine.
+  EXPECT_TRUE(ParseStatus(R"({"k": {"k": 1}})").ok());
+}
+
+TEST(JsonParseTest, TrailingGarbageIsAnError) {
+  EXPECT_FALSE(ParseStatus("{} {}").ok());
+  EXPECT_FALSE(ParseStatus("1 2").ok());
+  EXPECT_FALSE(ParseStatus("null x").ok());
+  // Trailing whitespace is allowed.
+  EXPECT_TRUE(ParseStatus("{}  \n\t ").ok());
+}
+
+TEST(JsonParseTest, StructuralGarbageIsAnError) {
+  EXPECT_FALSE(ParseStatus("").ok());
+  EXPECT_FALSE(ParseStatus("   ").ok());
+  EXPECT_FALSE(ParseStatus("{").ok());
+  EXPECT_FALSE(ParseStatus("[1, 2").ok());
+  EXPECT_FALSE(ParseStatus("[1 2]").ok());
+  EXPECT_FALSE(ParseStatus("{\"k\" 1}").ok());
+  EXPECT_FALSE(ParseStatus("{1: 2}").ok());
+  EXPECT_FALSE(ParseStatus("{\"k\":}").ok());
+  EXPECT_FALSE(ParseStatus("[,]").ok());
+  EXPECT_FALSE(ParseStatus("tru").ok());
+  EXPECT_FALSE(ParseStatus("nul").ok());
+  EXPECT_FALSE(ParseStatus("falsy").ok());
+}
+
+TEST(JsonParseTest, MalformedNumbersAreErrors) {
+  EXPECT_FALSE(ParseStatus("-").ok());
+  EXPECT_FALSE(ParseStatus("1.2.3").ok());
+  EXPECT_FALSE(ParseStatus("1e").ok());
+  EXPECT_FALSE(ParseStatus("+-1").ok());
+  // Huge exponents parse to inf rather than erroring — the writer never
+  // emits them, and the double carries the overflow visibly.
+  StatusOr<JsonValue> doc = ParseJson("1e999");
+  if (doc.ok()) {
+    EXPECT_TRUE(doc->is_number());
+  }
+}
+
+TEST(JsonParseTest, ErrorsCarryTheBytePosition) {
+  const Status status = ParseStatus("[1, 2, oops]");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("at byte"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

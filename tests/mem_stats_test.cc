@@ -1,0 +1,116 @@
+#include "obs/mem_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+/// Leaves mem-stats disabled and zeroed no matter how the test exits.
+class MemGuard {
+ public:
+  explicit MemGuard(bool enabled) {
+    ResetMemStats();
+    EnableMemStats(enabled);
+  }
+  ~MemGuard() {
+    EnableMemStats(false);
+    ResetMemStats();
+  }
+};
+
+TEST(MemStatsTest, AddSubTracksCurrentAndPeak) {
+  MemGuard guard(true);
+  MemAdd(MemTag::kFlightRecorder, 1000);
+  MemAdd(MemTag::kFlightRecorder, 500);
+  MemSub(MemTag::kFlightRecorder, 300);
+  const MemTagStats stats = GetMemTagStats(MemTag::kFlightRecorder);
+  EXPECT_EQ(stats.current_bytes, 1200);
+  EXPECT_EQ(stats.peak_bytes, 1500);
+  EXPECT_EQ(stats.events, 3);
+}
+
+TEST(MemStatsTest, SetReplacesCurrentOutright) {
+  MemGuard guard(true);
+  MemSet(MemTag::kGraph, 4096);
+  MemSet(MemTag::kGraph, 2048);
+  const MemTagStats stats = GetMemTagStats(MemTag::kGraph);
+  EXPECT_EQ(stats.current_bytes, 2048);
+  EXPECT_EQ(stats.peak_bytes, 4096);
+}
+
+TEST(MemStatsTest, DisabledHooksRecordNothing) {
+  MemGuard guard(false);
+  MemAdd(MemTag::kUbodt, 1 << 20);
+  MemSet(MemTag::kRtree, 1 << 20);
+  EXPECT_EQ(GetMemTagStats(MemTag::kUbodt).current_bytes, 0);
+  EXPECT_EQ(GetMemTagStats(MemTag::kRtree).current_bytes, 0);
+}
+
+TEST(MemStatsTest, TagNamesAreStable) {
+  EXPECT_STREQ(MemTagName(MemTag::kGraph), "graph");
+  EXPECT_STREQ(MemTagName(MemTag::kRtree), "rtree");
+  EXPECT_STREQ(MemTagName(MemTag::kUbodt), "ubodt");
+  EXPECT_STREQ(MemTagName(MemTag::kMatrix), "matrix");
+  EXPECT_STREQ(MemTagName(MemTag::kFlightRecorder), "flight_recorder");
+  EXPECT_STREQ(MemTagName(MemTag::kOther), "other");
+}
+
+TEST(MemStatsTest, SampleRssReportsLiveProcessNumbers) {
+  const RssSample sample = SampleRss();
+  // The test binary definitely occupies memory; both fields come from
+  // /proc/self/status on Linux (getrusage fallback still fills the peak).
+  EXPECT_GT(sample.rss_peak_bytes, 0);
+  EXPECT_GT(sample.rss_bytes, 0);
+  EXPECT_LE(sample.rss_bytes, sample.rss_peak_bytes * 2);
+}
+
+TEST(MemStatsTest, MemoryJsonHasRssAndEverySubsystem) {
+  MemGuard guard(true);
+  MemSet(MemTag::kGraph, 1234);
+  const std::string json = MemoryJson();
+  EXPECT_NE(json.find("\"rss_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rss_peak_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"subsystems\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"graph\",\"current_bytes\":1234"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"flight_recorder\""), std::string::npos);
+}
+
+TEST(MemStatsTest, PublishMemoryMetricsExportsGauges) {
+  MemGuard guard(true);
+  MemSet(MemTag::kUbodt, 9000);
+  MetricRegistry reg;
+  PublishMemoryMetrics(&reg);
+  EXPECT_GT(reg.GetGauge("mem.rss.bytes")->Value(), 0.0);
+  EXPECT_GT(reg.GetGauge("mem.rss_peak.bytes")->Value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      reg.GetGauge("mem.subsystem.bytes", {{"subsystem", "ubodt"}})->Value(),
+      9000.0);
+  EXPECT_DOUBLE_EQ(
+      reg.GetGauge("mem.subsystem.peak.bytes", {{"subsystem", "ubodt"}})
+          ->Value(),
+      9000.0);
+}
+
+TEST(MemStatsTest, InitFromEnvHonorsOptOut) {
+  MemGuard guard(false);
+  ::setenv("TRMMA_MEM_STATS", "0", 1);
+  EXPECT_FALSE(InitMemStatsFromEnv());
+  EXPECT_FALSE(MemStatsEnabled());
+  ::setenv("TRMMA_MEM_STATS", "1", 1);
+  EXPECT_TRUE(InitMemStatsFromEnv());
+  EXPECT_TRUE(MemStatsEnabled());
+  ::unsetenv("TRMMA_MEM_STATS");
+  EXPECT_TRUE(InitMemStatsFromEnv());
+  EXPECT_TRUE(MemStatsEnabled());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

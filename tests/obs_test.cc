@@ -246,6 +246,140 @@ TEST(HistogramTest, QuantileSeesConsistentMinMaxSnapshot) {
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 7.0);
 }
 
+// ------------------------------------------------------------------ merge
+
+TEST(HistogramMergeTest, CombinesCountsSumsAndExtremes) {
+  Histogram a({1.0, 2.0, 4.0});
+  Histogram b({1.0, 2.0, 4.0});
+  a.Observe(0.5);
+  a.Observe(3.0);
+  b.Observe(1.5);
+  b.Observe(9.0);
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.Count(), 4);
+  EXPECT_DOUBLE_EQ(a.Sum(), 14.0);
+  EXPECT_DOUBLE_EQ(a.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.Max(), 9.0);
+  EXPECT_EQ(a.BucketCounts(), (std::vector<int64_t>{1, 1, 1, 1}));
+  // `b` is untouched by the merge.
+  EXPECT_EQ(b.Count(), 2);
+}
+
+TEST(HistogramMergeTest, MismatchedBoundsRejectedAndTargetUntouched) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  a.Observe(0.5);
+  b.Observe(0.5);
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_EQ(a.Count(), 1);
+  EXPECT_DOUBLE_EQ(a.Sum(), 0.5);
+}
+
+TEST(HistogramMergeTest, EmptySourceIsANoOp) {
+  Histogram a({1.0, 2.0});
+  Histogram empty({1.0, 2.0});
+  a.Observe(1.5);
+  ASSERT_TRUE(a.Merge(empty));
+  EXPECT_EQ(a.Count(), 1);
+  // The empty histogram's min/max sentinels must not widen a's range.
+  EXPECT_DOUBLE_EQ(a.Min(), 1.5);
+  EXPECT_DOUBLE_EQ(a.Max(), 1.5);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 1.5);
+}
+
+TEST(HistogramMergeTest, MergeIntoEmptyAdoptsSourceState) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  b.Observe(0.5);
+  b.Observe(1.5);
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.Count(), 2);
+  EXPECT_DOUBLE_EQ(a.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.Max(), 1.5);
+}
+
+TEST(HistogramMergeTest, DroppedCountPropagates) {
+  Histogram a({1.0});
+  Histogram b({1.0});
+  b.Observe(std::numeric_limits<double>::quiet_NaN());
+  b.Observe(std::numeric_limits<double>::infinity());
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.Count(), 0);
+  EXPECT_EQ(a.DroppedCount(), 2);
+}
+
+TEST(HistogramMergeTest, NonFiniteSourceSumDoesNotPoisonTarget) {
+  // Two finite observations can still overflow the running sum to +inf;
+  // merging such a histogram must keep the counts but skip the sum.
+  Histogram a({1.0});
+  Histogram b({1.0});
+  a.Observe(1.0);
+  b.Observe(1.7e308);
+  b.Observe(1.7e308);
+  ASSERT_FALSE(std::isfinite(b.Sum()));
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.Count(), 3);
+  EXPECT_TRUE(std::isfinite(a.Sum()));
+  EXPECT_DOUBLE_EQ(a.Sum(), 1.0);
+}
+
+TEST(HistogramMergeTest, SelfMergeDoublesCleanly) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  ASSERT_TRUE(h.Merge(h));
+  EXPECT_EQ(h.Count(), 4);
+  EXPECT_EQ(h.BucketCounts(), (std::vector<int64_t>{2, 2, 0}));
+  EXPECT_DOUBLE_EQ(h.Sum(), 4.0);
+}
+
+// ----------------------------------------------------- exposition hygiene
+
+TEST(JsonExporterTest, WriteTextEscapesLabelValues) {
+  MetricRegistry reg;
+  reg.GetCounter("esc", {{"path", "a\\b\"c\nd"}})->Increment(1);
+  const std::string text = reg.WriteText();
+  // Exposition 0.0.4: backslash, double quote and newline must be escaped
+  // inside label values — a raw newline would split the sample line.
+  EXPECT_NE(text.find("esc{path=\"a\\\\b\\\"c\\nd\"} 1"), std::string::npos);
+  // The raw newline must never reach the output.
+  EXPECT_EQ(text.find("c\nd"), std::string::npos);
+}
+
+TEST(JsonExporterTest, WriteTextEmitsFamilyHeadersOncePerFamily) {
+  MetricRegistry reg;
+  reg.GetCounter("hits", {{"city", "PT"}})->Increment(1);
+  reg.GetCounter("hits", {{"city", "XA"}})->Increment(2);
+  reg.GetHistogram("lat.us", {{"city", "PT"}}, {1.0})->Observe(0.5);
+  reg.GetHistogram("lat.us", {{"city", "XA"}}, {1.0})->Observe(0.5);
+  const std::string text = reg.WriteText();
+  auto count_of = [&text](const std::string& needle) {
+    int n = 0;
+    for (size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  // One HELP + one TYPE per family even with several label sets.
+  EXPECT_EQ(count_of("# TYPE hits counter"), 1);
+  EXPECT_EQ(count_of("# HELP hits "), 1);
+  EXPECT_EQ(count_of("# TYPE lat_us summary"), 1);
+  EXPECT_EQ(count_of("# HELP lat_us "), 1);
+  // Both label sets still export their samples.
+  EXPECT_EQ(count_of("hits{city=\"PT\"} 1"), 1);
+  EXPECT_EQ(count_of("hits{city=\"XA\"} 2"), 1);
+  EXPECT_EQ(count_of("lat_us_count{city=\"PT\"} 1"), 1);
+  EXPECT_EQ(count_of("lat_us_count{city=\"XA\"} 1"), 1);
+  // No header is ever emitted mid-family: every TYPE line directly follows
+  // its HELP line.
+  size_t type_pos = text.find("# TYPE hits counter");
+  size_t help_pos = text.find("# HELP hits ");
+  ASSERT_NE(type_pos, std::string::npos);
+  ASSERT_NE(help_pos, std::string::npos);
+  EXPECT_LT(help_pos, type_pos);
+}
+
 // ------------------------------------------------------------------ spans
 
 TEST(TraceTest, SpanNestingRecordedInRing) {

@@ -29,9 +29,9 @@ std::string TrimTrailing(std::string s) {
   return s;
 }
 
-/// Two hand-written runs: an older one without a quality section and a
-/// newer one with groups + drift. Every field is fixed, so the payload is
-/// byte-stable and safe to pin in a golden file.
+/// Two hand-written runs: an older one without quality/memory sections and
+/// a newer one with groups + drift + memory. Every field is fixed, so the
+/// payload is byte-stable and safe to pin in a golden file.
 std::vector<BenchRunSummary> MakeRuns() {
   BenchRunSummary old_run;
   old_run.file = "BENCH_table5_mm_quality.json";
@@ -68,6 +68,17 @@ std::vector<BenchRunSummary> MakeRuns() {
   })");
   EXPECT_TRUE(parsed.ok());
   new_run.quality = *parsed;
+  auto memory = obs::ParseJson(R"({
+    "rss_bytes": 104857600, "rss_peak_bytes": 134217728,
+    "subsystems": [
+      {"name": "graph", "current_bytes": 4096, "peak_bytes": 4096,
+       "events": 1},
+      {"name": "ubodt", "current_bytes": 65536, "peak_bytes": 98304,
+       "events": 3}
+    ]
+  })");
+  EXPECT_TRUE(memory.ok());
+  new_run.memory = *memory;
   return {old_run, new_run};
 }
 
@@ -104,6 +115,13 @@ TEST(ReportHtmlTest, PayloadRoundTripsAndPreservesQuality) {
                        .Get("mean_quality").AsNumber(), 0.625);
   EXPECT_EQ(quality.Get("drift").AsArray()[0]
                 .Get("feature").AsString(), "gap_seconds");
+  EXPECT_TRUE(runs[0].Get("memory").is_null());
+  const obs::JsonValue& memory = runs[1].Get("memory");
+  ASSERT_TRUE(memory.is_object());
+  EXPECT_DOUBLE_EQ(memory.Get("rss_peak_bytes").AsNumber(), 134217728.0);
+  ASSERT_EQ(memory.Get("subsystems").AsArray().size(), 2u);
+  EXPECT_EQ(memory.Get("subsystems").AsArray()[1]
+                .Get("name").AsString(), "ubodt");
 }
 
 TEST(ReportHtmlTest, WriteJsonValueIsDeterministic) {
@@ -132,6 +150,7 @@ TEST(ReportHtmlTest, DashboardEmbedsEscapedPayload) {
   // Structural landmarks of the dashboard itself.
   EXPECT_NE(html.find("id=\"benchsel\""), std::string::npos);
   EXPECT_NE(html.find("id=\"drifttable\""), std::string::npos);
+  EXPECT_NE(html.find("id=\"memtable\""), std::string::npos);
   EXPECT_NE(html.find("prefers-color-scheme"), std::string::npos);
 }
 

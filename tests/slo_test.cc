@@ -1,0 +1,237 @@
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  StatusOr<JsonValue> doc = ParseJson(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc.ok() ? *doc : JsonValue();
+}
+
+// ------------------------------------------------------------------ parse
+
+TEST(SloParseTest, ParsesEveryObjectiveKind) {
+  const JsonValue doc = MustParse(R"({"objectives": [
+    {"name": "lat", "histogram": "mm.candidates.us", "stat": "p99",
+     "max": 100},
+    {"name": "rss", "gauge": "mem.rss_peak.bytes", "max": 2e9},
+    {"name": "errs", "counter": "dataset.load.bad_rows", "max": 0}
+  ]})");
+  StatusOr<std::vector<SloObjective>> objectives = ParseSloObjectives(doc);
+  ASSERT_TRUE(objectives.ok()) << objectives.status().ToString();
+  ASSERT_EQ(objectives->size(), 3u);
+  EXPECT_EQ((*objectives)[0].kind, SloObjective::Kind::kHistogram);
+  EXPECT_EQ((*objectives)[0].stat, "p99");
+  EXPECT_EQ((*objectives)[1].kind, SloObjective::Kind::kGauge);
+  EXPECT_DOUBLE_EQ((*objectives)[1].max, 2e9);
+  EXPECT_EQ((*objectives)[2].kind, SloObjective::Kind::kCounter);
+  EXPECT_EQ((*objectives)[2].metric, "dataset.load.bad_rows");
+}
+
+TEST(SloParseTest, StatDefaultsToP95AndQuantileSnaps) {
+  const JsonValue doc = MustParse(R"({"objectives": [
+    {"name": "a", "histogram": "h", "max": 1},
+    {"name": "b", "histogram": "h", "quantile": 0.99, "max": 1},
+    {"name": "c", "histogram": "h", "quantile": 0.5, "max": 1}
+  ]})");
+  StatusOr<std::vector<SloObjective>> objectives = ParseSloObjectives(doc);
+  ASSERT_TRUE(objectives.ok());
+  EXPECT_EQ((*objectives)[0].stat, "p95");
+  EXPECT_EQ((*objectives)[1].stat, "p99");
+  EXPECT_EQ((*objectives)[2].stat, "p50");
+}
+
+TEST(SloParseTest, RejectsMalformedObjectives) {
+  // Zero sources.
+  EXPECT_FALSE(ParseSloObjectives(MustParse(
+                                      R"({"objectives": [{"name": "x",
+                                          "max": 1}]})"))
+                   .ok());
+  // Two sources.
+  EXPECT_FALSE(
+      ParseSloObjectives(
+          MustParse(R"({"objectives": [{"name": "x", "histogram": "h",
+                        "gauge": "g", "max": 1}]})"))
+          .ok());
+  // Missing name / max, bad stat, bad quantile.
+  EXPECT_FALSE(ParseSloObjectives(MustParse(
+                                      R"({"objectives": [{"histogram": "h",
+                                          "max": 1}]})"))
+                   .ok());
+  EXPECT_FALSE(ParseSloObjectives(MustParse(
+                                      R"({"objectives": [{"name": "x",
+                                          "histogram": "h"}]})"))
+                   .ok());
+  EXPECT_FALSE(
+      ParseSloObjectives(
+          MustParse(R"({"objectives": [{"name": "x", "histogram": "h",
+                        "stat": "p42", "max": 1}]})"))
+          .ok());
+  EXPECT_FALSE(
+      ParseSloObjectives(
+          MustParse(R"({"objectives": [{"name": "x", "histogram": "h",
+                        "quantile": 1.5, "max": 1}]})"))
+          .ok());
+  // Not even the right top-level shape.
+  EXPECT_FALSE(ParseSloObjectives(MustParse("[1,2,3]")).ok());
+}
+
+// ----------------------------------------------------------- offline eval
+
+TEST(SloOfflineTest, EvaluatesReportMetricsAndFlagsBreaches) {
+  // The negative case the acceptance criteria call for: a violated
+  // objective must be reported as a breach, not silently pass.
+  const JsonValue doc = MustParse(R"({"objectives": [
+    {"name": "lat_ok", "histogram": "lat.us", "stat": "p95", "max": 100},
+    {"name": "lat_bad", "histogram": "lat.us", "stat": "p95", "max": 1},
+    {"name": "errs_bad", "counter": "errs", "max": 0},
+    {"name": "missing", "gauge": "not.there", "max": 5}
+  ]})");
+  StatusOr<std::vector<SloObjective>> objectives = ParseSloObjectives(doc);
+  ASSERT_TRUE(objectives.ok());
+  // A BENCH-shaped report: metrics nested under "metrics".
+  const JsonValue report = MustParse(R"({"name": "t", "metrics": {
+    "counters": [
+      {"name": "errs", "labels": {"city": "PT"}, "value": 2},
+      {"name": "errs", "labels": {"city": "XA"}, "value": 3}
+    ],
+    "gauges": [],
+    "histograms": [
+      {"name": "lat.us", "labels": {}, "count": 10, "sum": 100, "min": 1,
+       "max": 50, "mean": 10, "p50": 8, "p95": 40, "p99": 49}
+    ]
+  }})");
+  const std::vector<SloResult> results =
+      EvaluateSloAgainstReport(*objectives, report);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].has_data);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_DOUBLE_EQ(results[0].value, 40.0);
+  EXPECT_TRUE(results[1].has_data);
+  EXPECT_FALSE(results[1].ok);
+  // Counters sum across label sets: 2 + 3 = 5 > 0 breaches.
+  EXPECT_TRUE(results[2].has_data);
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_DOUBLE_EQ(results[2].value, 5.0);
+  // A metric the run never touched is no-data, not a breach.
+  EXPECT_FALSE(results[3].has_data);
+  EXPECT_TRUE(results[3].ok);
+}
+
+TEST(SloOfflineTest, BareMetricsDocumentAlsoWorks) {
+  const JsonValue doc = MustParse(R"({"objectives": [
+    {"name": "g", "gauge": "v", "max": 1}
+  ]})");
+  StatusOr<std::vector<SloObjective>> objectives = ParseSloObjectives(doc);
+  ASSERT_TRUE(objectives.ok());
+  const JsonValue metrics = MustParse(
+      R"({"counters": [], "gauges": [{"name": "v", "labels": {},
+          "value": 0.5}], "histograms": []})");
+  const std::vector<SloResult> results =
+      EvaluateSloAgainstReport(*objectives, metrics);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].has_data);
+  EXPECT_TRUE(results[0].ok);
+}
+
+TEST(SloOfflineTest, ResultsJsonRoundTrips) {
+  SloResult r;
+  r.name = "lat";
+  r.metric = "lat.us";
+  r.stat = "p95";
+  r.value = 40.0;
+  r.max = 100.0;
+  r.has_data = true;
+  r.ok = true;
+  const std::string json = SloResultsJson({r});
+  const JsonValue parsed = MustParse(json);
+  ASSERT_TRUE(parsed.is_array());
+  ASSERT_EQ(parsed.AsArray().size(), 1u);
+  EXPECT_EQ(parsed.AsArray()[0].Get("name").AsString(), "lat");
+  EXPECT_TRUE(parsed.AsArray()[0].Get("ok").AsBool(false));
+}
+
+// -------------------------------------------------------------- watchdog
+
+TEST(SloWatchdogTest, LiveEvaluationMaintainsBreachTelemetry) {
+  SloWatchdog watchdog;
+  ASSERT_TRUE(watchdog
+                  .LoadFromJsonText(R"({"objectives": [
+                    {"name": "too_many", "counter": "slo.test.hits",
+                     "max": 1},
+                    {"name": "fine", "gauge": "slo.test.level", "max": 10}
+                  ]})")
+                  .ok());
+  EXPECT_TRUE(watchdog.active());
+
+  MetricRegistry reg;
+  reg.GetCounter("slo.test.hits")->Increment(5);
+  reg.GetGauge("slo.test.level")->Set(3.0);
+
+  std::vector<SloResult> results = watchdog.Evaluate(&reg);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_TRUE(results[1].ok);
+  EXPECT_EQ(
+      reg.GetCounter("slo.breach.total", {{"objective", "too_many"}})->Value(),
+      1);
+  EXPECT_DOUBLE_EQ(
+      reg.GetGauge("slo.ok", {{"objective", "too_many"}})->Value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("slo.ok", {{"objective", "fine"}})->Value(),
+                   1.0);
+  // Each breached evaluation increments the counter again.
+  watchdog.Evaluate(&reg);
+  EXPECT_EQ(
+      reg.GetCounter("slo.breach.total", {{"objective", "too_many"}})->Value(),
+      2);
+
+  const std::string status = watchdog.StatusJson();
+  EXPECT_NE(status.find("\"active\":true"), std::string::npos);
+  EXPECT_NE(status.find("\"too_many\""), std::string::npos);
+
+  watchdog.Clear();
+  EXPECT_FALSE(watchdog.active());
+}
+
+TEST(SloWatchdogTest, HistogramObjectiveAggregatesLabelSets) {
+  SloWatchdog watchdog;
+  ASSERT_TRUE(watchdog
+                  .LoadFromJsonText(R"({"objectives": [
+                    {"name": "lat", "histogram": "slo.test.us",
+                     "stat": "max", "max": 100}
+                  ]})")
+                  .ok());
+  MetricRegistry reg;
+  reg.GetHistogram("slo.test.us", {{"city", "PT"}}, {10.0, 1000.0})
+      ->Observe(5.0);
+  reg.GetHistogram("slo.test.us", {{"city", "XA"}}, {10.0, 1000.0})
+      ->Observe(500.0);
+  std::vector<SloResult> results = watchdog.Evaluate(&reg);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].has_data);
+  // The merged max spans both label sets, so the XA outlier breaches.
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_DOUBLE_EQ(results[0].value, 500.0);
+}
+
+TEST(SloWatchdogTest, BadJsonIsRejectedLoudly) {
+  SloWatchdog watchdog;
+  EXPECT_FALSE(watchdog.LoadFromJsonText("{not json").ok());
+  EXPECT_FALSE(watchdog.LoadFromJsonText(R"({"objectives": "nope"})").ok());
+  EXPECT_FALSE(watchdog.active());
+  EXPECT_FALSE(watchdog.LoadFromFile("/nonexistent/slo.json").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,193 @@
+#include "obs/tracked_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+class ModeGuard {
+ public:
+  explicit ModeGuard(TraceMode mode) : prev_(CurrentTraceMode()) {
+    SetTraceMode(mode);
+  }
+  ~ModeGuard() { SetTraceMode(prev_); }
+
+ private:
+  TraceMode prev_;
+};
+
+TEST(TrackedMutexTest, CountsTrackedAcquisitions) {
+  ModeGuard guard(TraceMode::kMetrics);
+  TrackedMutex mu("test.counts");
+  for (int i = 0; i < 5; ++i) {
+    std::lock_guard<TrackedMutex> lock(mu);
+  }
+  const TrackedMutex::Stats stats = mu.stats();
+  EXPECT_EQ(stats.acquisitions, 5);
+  EXPECT_EQ(stats.contended, 0);
+  // Uncontended acquisitions still record hold times.
+  EXPECT_EQ(mu.hold_histogram().Count(), 5);
+  EXPECT_EQ(mu.wait_histogram().Count(), 0);
+}
+
+TEST(TrackedMutexTest, DisabledModeRecordsNothing) {
+  ModeGuard guard(TraceMode::kOff);
+  TrackedMutex mu("test.off");
+  {
+    std::lock_guard<TrackedMutex> lock(mu);
+  }
+  EXPECT_EQ(mu.stats().acquisitions, 0);
+  EXPECT_EQ(mu.hold_histogram().Count(), 0);
+}
+
+TEST(TrackedMutexTest, TryLockTrackedAndHonorsExclusion) {
+  ModeGuard guard(TraceMode::kMetrics);
+  TrackedMutex mu("test.trylock");
+  ASSERT_TRUE(mu.try_lock());
+  // A second thread must fail while we hold it (try_lock on the same thread
+  // would be UB on std::mutex).
+  bool second = true;
+  std::thread other([&] { second = mu.try_lock(); });
+  other.join();
+  EXPECT_FALSE(second);
+  mu.unlock();
+  EXPECT_EQ(mu.stats().acquisitions, 1);
+}
+
+TEST(TrackedMutexTest, GateFlipMidHoldStillUnlocksSafely) {
+  // lock() with tracking off, unlock() after flipping tracking on: the
+  // unlock must take the untimed path (hold_timed_ records the lock-time
+  // decision) instead of observing a garbage hold start.
+  ModeGuard guard(TraceMode::kOff);
+  TrackedMutex mu("test.flip");
+  mu.lock();
+  SetTraceMode(TraceMode::kMetrics);
+  mu.unlock();
+  EXPECT_EQ(mu.hold_histogram().Count(), 0);
+  // And the reverse: tracked lock, untracked unlock window never happens
+  // because unlock consults hold_timed_, not the live gate.
+  mu.lock();
+  SetTraceMode(TraceMode::kOff);
+  mu.unlock();
+  EXPECT_EQ(mu.hold_histogram().Count(), 1);
+}
+
+TEST(TrackedMutexTest, ContentionObservedAcrossThreads) {
+  ModeGuard guard(TraceMode::kMetrics);
+  TrackedMutex mu("test.contended");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  std::int64_t shared = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<TrackedMutex> lock(mu);
+        ++shared;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(shared, kThreads * kIters);
+  const TrackedMutex::Stats stats = mu.stats();
+  EXPECT_EQ(stats.acquisitions, kThreads * kIters);
+  EXPECT_GE(stats.contended, 0);
+  EXPECT_LE(stats.contended, stats.acquisitions);
+  EXPECT_EQ(mu.hold_histogram().Count(), stats.acquisitions);
+  // Wait times are recorded exactly for the contended acquisitions.
+  EXPECT_EQ(mu.wait_histogram().Count(), stats.contended);
+}
+
+TEST(TrackedMutexTest, PublishLockMetricsExportsGauges) {
+  ModeGuard guard(TraceMode::kMetrics);
+  TrackedMutex mu("test.publish");
+  {
+    std::lock_guard<TrackedMutex> lock(mu);
+  }
+  MetricRegistry reg;
+  PublishLockMetrics(&reg);
+  Gauge* acq = reg.GetGauge("lock.acquisitions", {{"lock", "test.publish"}});
+  EXPECT_GE(acq->Value(), 1.0);
+  // The global registry's own lock is itself tracked and shows up.
+  Gauge* self =
+      reg.GetGauge("lock.acquisitions", {{"lock", "metrics.registry"}});
+  EXPECT_GE(self->Value(), 0.0);
+  const std::string text = reg.WriteText();
+  EXPECT_NE(text.find("lock_acquisitions{lock=\"test.publish\"}"),
+            std::string::npos);
+}
+
+TEST(TrackedMutexTest, SameNameInstancesMergeWhenPublished) {
+  ModeGuard guard(TraceMode::kMetrics);
+  TrackedMutex a("test.shard");
+  TrackedMutex b("test.shard");
+  {
+    std::lock_guard<TrackedMutex> lock(a);
+  }
+  {
+    std::lock_guard<TrackedMutex> lock(b);
+  }
+  MetricRegistry reg;
+  PublishLockMetrics(&reg);
+  Gauge* acq = reg.GetGauge("lock.acquisitions", {{"lock", "test.shard"}});
+  EXPECT_DOUBLE_EQ(acq->Value(), 2.0);
+}
+
+TEST(TrackedMutexTest, LockStatsJsonListsLiveLocks) {
+  ModeGuard guard(TraceMode::kMetrics);
+  TrackedMutex mu("test.jsonlock");
+  {
+    std::lock_guard<TrackedMutex> lock(mu);
+  }
+  const std::string json = LockStatsJson();
+  EXPECT_NE(json.find("\"locks\":["), std::string::npos);
+  EXPECT_NE(json.find("\"test.jsonlock\""), std::string::npos);
+  EXPECT_NE(json.find("\"queues\":["), std::string::npos);
+}
+
+TEST(QueueDepthTest, TracksCurrentAndPeak) {
+  ModeGuard guard(TraceMode::kMetrics);
+  QueueDepth depth("test.queue");
+  EXPECT_EQ(depth.current(), 0);
+  {
+    QueueDepth::Scope a(depth);
+    {
+      QueueDepth::Scope b(depth);
+      EXPECT_EQ(depth.current(), 2);
+    }
+    EXPECT_EQ(depth.current(), 1);
+  }
+  EXPECT_EQ(depth.current(), 0);
+  EXPECT_EQ(depth.peak(), 2);
+}
+
+TEST(QueueDepthTest, DisabledGateIsInert) {
+  ModeGuard guard(TraceMode::kOff);
+  QueueDepth depth("test.queue.off");
+  {
+    QueueDepth::Scope a(depth);
+  }
+  EXPECT_EQ(depth.current(), 0);
+  EXPECT_EQ(depth.peak(), 0);
+}
+
+TEST(QueueDepthTest, GateFlipNeverReportsNegativeDepth) {
+  ModeGuard guard(TraceMode::kOff);
+  QueueDepth depth("test.queue.flip");
+  depth.Enter();  // not counted
+  SetTraceMode(TraceMode::kMetrics);
+  depth.Exit();  // counted: raw counter dips to -1
+  EXPECT_EQ(depth.current(), 0);  // clamped on read
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

@@ -7,21 +7,28 @@
 //   trmma_inspect replay  <records.jsonl> <id>
 //   trmma_inspect quality <records.jsonl>
 //   trmma_inspect demo    <records.jsonl> [city] [n]
+//   trmma_inspect slo     <slo.json> <BENCH.json>
 //
 // `geojson` and `replay` rebuild the record's synthetic city (generation is
 // seed-deterministic), so they need no side files beyond the records. `demo`
 // runs a small untrained evaluation with the recorder at sample_every=1 and
 // writes the captured records to the given path — the self-contained way to
-// produce a records file for the other subcommands (and for ctest).
+// produce a records file for the other subcommands (and for ctest). `slo`
+// evaluates declarative objectives (see obs/slo.h) against a bench report's
+// metrics section offline and exits 1 on any breach.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "eval/inspect.h"
 #include "gen/presets.h"
 #include "obs/flight_recorder.h"
+#include "obs/json_parse.h"
 #include "obs/quality.h"
+#include "obs/slo.h"
 
 namespace trmma {
 namespace {
@@ -33,7 +40,8 @@ int Usage() {
                "       trmma_inspect geojson <records.jsonl> <id>\n"
                "       trmma_inspect replay  <records.jsonl> <id>\n"
                "       trmma_inspect quality <records.jsonl>\n"
-               "       trmma_inspect demo    <records.jsonl> [city] [n]\n");
+               "       trmma_inspect demo    <records.jsonl> [city] [n]\n"
+               "       trmma_inspect slo     <slo.json> <BENCH.json>\n");
   return 2;
 }
 
@@ -129,6 +137,45 @@ int RunDemo(const std::string& path, const std::string& city, int n) {
   return stats.written > 0 ? 0 : 1;
 }
 
+StatusOr<obs::JsonValue> LoadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  StatusOr<obs::JsonValue> doc = obs::ParseJson(text.str());
+  if (!doc.ok()) {
+    return Status(doc.status().code(), path + ": " + doc.status().message());
+  }
+  return doc;
+}
+
+// Offline SLO check: the declarative objectives from `slo_path` against the
+// metrics section of one BENCH_*.json. Prints one line per objective and
+// fails (exit 1) when any objective with data is breached.
+int RunSlo(const std::string& slo_path, const std::string& report_path) {
+  StatusOr<obs::JsonValue> slo_doc = LoadJsonFile(slo_path);
+  if (!slo_doc.ok()) return Fail(slo_doc.status());
+  StatusOr<std::vector<obs::SloObjective>> objectives =
+      obs::ParseSloObjectives(*slo_doc);
+  if (!objectives.ok()) return Fail(objectives.status());
+  StatusOr<obs::JsonValue> report = LoadJsonFile(report_path);
+  if (!report.ok()) return Fail(report.status());
+
+  const std::vector<obs::SloResult> results =
+      obs::EvaluateSloAgainstReport(*objectives, *report);
+  int breaches = 0;
+  for (const obs::SloResult& r : results) {
+    const char* verdict = !r.has_data ? "NO DATA" : (r.ok ? "ok" : "BREACH");
+    if (r.has_data && !r.ok) ++breaches;
+    std::printf("%-28s %-28s %-6s value=%-14g max=%-14g %s\n", r.name.c_str(),
+                r.metric.c_str(), r.stat.empty() ? "-" : r.stat.c_str(),
+                r.value, r.max, verdict);
+  }
+  std::printf("slo: %zu objective(s), %d breach(es)\n", results.size(),
+              breaches);
+  return breaches > 0 ? 1 : 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
@@ -143,6 +190,7 @@ int Main(int argc, char** argv) {
     const int n = argc >= 5 ? std::atoi(argv[4]) : 60;
     return RunDemo(path, city, n);
   }
+  if (cmd == "slo" && argc >= 4) return RunSlo(path, argv[3]);
   return Usage();
 }
 
