@@ -1,0 +1,286 @@
+// Serving-engine load benchmark (DESIGN.md §11): trains a small stack on
+// one city, stands up a ServingSession, probes its closed-loop capacity,
+// then drives open-loop Poisson arrivals at 0.5×/1×/2× that capacity and
+// reports the latency quantiles and the success/degraded/shed/timeout mix
+// per offered load. At 2× capacity the engine must shed rather than queue
+// without bound — the bench asserts the no-silent-drops accounting and the
+// queue-cap ceiling, and writes a "serving" section into BENCH_serve.json.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/json.h"
+#include "serve/session.h"
+
+namespace trmma {
+namespace {
+
+struct SweepRow {
+  std::string mode;  ///< "closed" or "open"
+  double load_factor = 0.0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  serve::ServeStats counts;
+  double shed_rate = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+serve::ServeStats Delta(const serve::ServeStats& before,
+                        const serve::ServeStats& after) {
+  serve::ServeStats d;
+  d.submitted = after.submitted - before.submitted;
+  d.success = after.success - before.success;
+  d.degraded = after.degraded - before.degraded;
+  d.shed = after.shed - before.shed;
+  d.timeout = after.timeout - before.timeout;
+  d.retries = after.retries - before.retries;
+  d.hedges_launched = after.hedges_launched - before.hedges_launched;
+  d.hedge_wins = after.hedge_wins - before.hedge_wins;
+  d.deadline_expired = after.deadline_expired - before.deadline_expired;
+  d.peak_queue_depth = after.peak_queue_depth;
+  return d;
+}
+
+double Quantile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(q * (values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+void FillQuantiles(std::vector<double>& latencies, SweepRow* row) {
+  row->p50_us = Quantile(latencies, 0.50);
+  row->p95_us = Quantile(latencies, 0.95);
+  row->p99_us = Quantile(latencies, 0.99);
+}
+
+/// The request mix: alternate map matching on the dense trace and recovery
+/// on the sparse one, cycling over the test split.
+serve::ServeRequest MakeRequest(const Dataset& ds, int i) {
+  const TrajectorySample& sample =
+      ds.samples[ds.test_idx[i % ds.test_idx.size()]];
+  serve::ServeRequest req;
+  if (i % 2 == 0) {
+    req.kind = serve::RequestKind::kMatch;
+    req.traj = sample.raw;
+  } else {
+    req.kind = serve::RequestKind::kRecover;
+    req.traj = sample.sparse;
+    req.epsilon = ds.epsilon_s;
+  }
+  return req;
+}
+
+/// Closed loop: `clients` threads each issue back-to-back requests; the
+/// sustained completion rate is the engine's capacity.
+SweepRow RunClosedLoop(serve::ServingSession& session, const Dataset& ds,
+                       int clients, int per_client) {
+  const serve::ServeStats before = session.stats();
+  std::vector<std::vector<double>> latencies(clients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int k = 0; k < per_client; ++k) {
+        serve::ServeResponse resp =
+            session.SubmitAndWait(MakeRequest(ds, c * per_client + k));
+        if (resp.outcome == serve::Outcome::kSuccess ||
+            resp.outcome == serve::Outcome::kDegraded) {
+          latencies[c].push_back(resp.latency_us);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  SweepRow row;
+  row.mode = "closed";
+  row.load_factor = 1.0;
+  row.counts = Delta(before, session.stats());
+  const int64_t done = row.counts.success + row.counts.degraded;
+  row.achieved_qps = seconds > 0 ? done / seconds : 0.0;
+  row.offered_qps = row.achieved_qps;
+  row.shed_rate = row.counts.submitted > 0
+                      ? static_cast<double>(row.counts.shed) /
+                            row.counts.submitted
+                      : 0.0;
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  FillQuantiles(all, &row);
+  return row;
+}
+
+/// Open loop: Poisson arrivals at `offered_qps` from a deterministic
+/// stream; submissions never wait for completions, so overload shows up as
+/// shed/timeout mix instead of coordinated-omission-masked latencies.
+SweepRow RunOpenLoop(serve::ServingSession& session, const Dataset& ds,
+                     double load_factor, double offered_qps, int requests,
+                     Rng& rng) {
+  const serve::ServeStats before = session.stats();
+  std::vector<std::future<serve::ServeResponse>> futures;
+  futures.reserve(requests);
+  const auto start = std::chrono::steady_clock::now();
+  auto next_arrival = start;
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    futures.push_back(session.Submit(MakeRequest(ds, i)));
+    const double gap_s =
+        -std::log(1.0 - rng.Uniform()) / std::max(offered_qps, 1e-9);
+    next_arrival += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap_s));
+  }
+  std::vector<double> latencies;
+  for (auto& f : futures) {
+    serve::ServeResponse resp = f.get();
+    if (resp.outcome == serve::Outcome::kSuccess ||
+        resp.outcome == serve::Outcome::kDegraded) {
+      latencies.push_back(resp.latency_us);
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  SweepRow row;
+  row.mode = "open";
+  row.load_factor = load_factor;
+  row.offered_qps = offered_qps;
+  row.counts = Delta(before, session.stats());
+  const int64_t done = row.counts.success + row.counts.degraded;
+  row.achieved_qps = seconds > 0 ? done / seconds : 0.0;
+  row.shed_rate = row.counts.submitted > 0
+                      ? static_cast<double>(row.counts.shed) /
+                            row.counts.submitted
+                      : 0.0;
+  FillQuantiles(latencies, &row);
+  return row;
+}
+
+std::string ServingSectionJson(const serve::ServeConfig& config,
+                               double capacity_qps,
+                               const std::vector<SweepRow>& rows) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("threads").Int(config.threads);
+  w.Key("queue_cap").Int(config.queue_cap);
+  w.Key("deadline_ms").Number(config.deadline_ms);
+  w.Key("capacity_qps").Number(capacity_qps);
+  w.Key("rows").BeginArray();
+  for (const SweepRow& row : rows) {
+    w.BeginObject();
+    w.Key("mode").String(row.mode);
+    w.Key("load_factor").Number(row.load_factor);
+    w.Key("offered_qps").Number(row.offered_qps);
+    w.Key("achieved_qps").Number(row.achieved_qps);
+    w.Key("submitted").Int(row.counts.submitted);
+    w.Key("success").Int(row.counts.success);
+    w.Key("degraded").Int(row.counts.degraded);
+    w.Key("shed").Int(row.counts.shed);
+    w.Key("timeout").Int(row.counts.timeout);
+    w.Key("retries").Int(row.counts.retries);
+    w.Key("shed_rate").Number(row.shed_rate);
+    w.Key("p50_us").Number(row.p50_us);
+    w.Key("p95_us").Number(row.p95_us);
+    w.Key("p99_us").Number(row.p99_us);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void PrintSweepRow(const SweepRow& row) {
+  std::printf(
+      "%-6s x%.1f  offered %8.1f  achieved %8.1f  ok %5lld deg %4lld "
+      "shed %4lld to %4lld  p50 %8.0fus p99 %8.0fus\n",
+      row.mode.c_str(), row.load_factor, row.offered_qps, row.achieved_qps,
+      static_cast<long long>(row.counts.success),
+      static_cast<long long>(row.counts.degraded),
+      static_cast<long long>(row.counts.shed),
+      static_cast<long long>(row.counts.timeout), row.p50_us, row.p99_us);
+  std::fflush(stdout);
+}
+
+void Run() {
+  const bench::BenchScale scale = bench::GetScale();
+  bench::PrintBanner("Serving: latency/outcome mix vs offered load");
+
+  Dataset ds = bench::BuildBenchDataset("PT", scale);
+  StackConfig config;
+  ExperimentStack stack = BuildStack(ds, config);
+  {
+    // Serving latency does not depend on weight quality (same argument as
+    // the fig9 timing bench), so training stays light at every scale.
+    obs::ScopedPhase phase("serve.train");
+    TrainMma(stack, std::min(scale.mma_epochs, 2));
+    TrainTrmma(stack, std::min(scale.trmma_epochs, 2));
+  }
+
+  serve::SessionConfig session_config;
+  session_config.serve = serve::ServeConfig::FromEnv();
+  session_config.epsilon = ds.epsilon_s;
+  auto session = serve::ServingSession::Create(stack, session_config);
+  TRMMA_CHECK(session.ok()) << session.status().ToString();
+  const serve::ServeConfig& serve_config = (*session)->config().serve;
+
+  obs::RunReport& report = obs::RunReport::Global();
+  report.SetFingerprintNumber("serve.threads", serve_config.threads);
+  report.SetFingerprintNumber("serve.queue_cap", serve_config.queue_cap);
+  report.SetFingerprintNumber("serve.deadline_ms", serve_config.deadline_ms);
+
+  std::vector<SweepRow> rows;
+  double capacity_qps = 0.0;
+  {
+    obs::ScopedPhase phase("serve.closed_loop");
+    const int per_client = std::max(8, scale.eval_cap / 2);
+    rows.push_back(RunClosedLoop(**session, ds, serve_config.threads,
+                                 per_client));
+    capacity_qps = std::max(rows.back().achieved_qps, 1.0);
+    PrintSweepRow(rows.back());
+  }
+  {
+    obs::ScopedPhase phase("serve.open_loop");
+    Rng arrivals(20250808);
+    for (double factor : {0.5, 1.0, 2.0}) {
+      const double offered = factor * capacity_qps;
+      // Sized to the queue: the 2× leg must offer clearly more work than
+      // the queue can absorb, so overload shows up as sheds, not backlog.
+      const int requests = std::max(
+          40, static_cast<int>(factor * 2 * serve_config.queue_cap));
+      rows.push_back(
+          RunOpenLoop(**session, ds, factor, offered, requests, arrivals));
+      PrintSweepRow(rows.back());
+    }
+  }
+
+  (*session)->Stop();
+  const serve::ServeStats total = (*session)->stats();
+  TRMMA_CHECK(total.Consistent())
+      << "accounting broke: " << total.success << "+" << total.degraded << "+"
+      << total.shed << "+" << total.timeout << " != " << total.submitted;
+  TRMMA_CHECK_LE(total.peak_queue_depth, serve_config.queue_cap)
+      << "queue grew past its cap";
+
+  report.SetSectionJson(
+      "serving", ServingSectionJson(serve_config, capacity_qps, rows));
+}
+
+}  // namespace
+}  // namespace trmma
+
+int main() {
+  trmma::bench::BenchRun run("serve");
+  trmma::Run();
+  return 0;
+}

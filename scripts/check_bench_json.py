@@ -325,6 +325,76 @@ def check_memory(doc, path, errors, required=False):
             fail(path, f"memory: subsystem '{name}' missing", errors)
 
 
+SERVING_ROW_INT_FIELDS = ("submitted", "success", "degraded", "shed",
+                          "timeout", "retries")
+SERVING_ROW_NUM_FIELDS = ("load_factor", "offered_qps", "achieved_qps",
+                          "shed_rate", "p50_us", "p95_us", "p99_us")
+
+
+def check_serving(doc, path, errors, required=False):
+    serving = doc.get("serving")
+    if serving is None:
+        if required:
+            fail(path, "missing 'serving' section "
+                       "(did the bench drive the serving engine?)", errors)
+        return
+    if not isinstance(serving, dict):
+        fail(path, "'serving' must be an object", errors)
+        return
+    for field in ("threads", "queue_cap"):
+        value = serving.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"serving: missing integer '{field}'", errors)
+        elif value < 1:
+            fail(path, f"serving: '{field}' must be >= 1", errors)
+    if not isinstance(serving.get("deadline_ms"), numbers.Real):
+        fail(path, "serving: missing numeric 'deadline_ms'", errors)
+    capacity = serving.get("capacity_qps")
+    if not isinstance(capacity, numbers.Real):
+        fail(path, "serving: missing numeric 'capacity_qps'", errors)
+    elif capacity <= 0:
+        fail(path, f"serving: 'capacity_qps' = {capacity} must be > 0",
+             errors)
+    rows = serving.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(path, "serving: 'rows' must be a non-empty list", errors)
+        return
+    for i, row in enumerate(rows):
+        where = f"serving.rows[{i}]"
+        if not isinstance(row, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if row.get("mode") not in ("closed", "open"):
+            fail(path, f"{where}: 'mode' must be 'closed' or 'open'", errors)
+        for field in SERVING_ROW_INT_FIELDS:
+            value = row.get(field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(path, f"{where}: missing integer '{field}'", errors)
+            elif value < 0:
+                fail(path, f"{where}: '{field}' must be >= 0", errors)
+        for field in SERVING_ROW_NUM_FIELDS:
+            if not isinstance(row.get(field), numbers.Real):
+                fail(path, f"{where}: missing numeric '{field}'", errors)
+        # The engine's no-silent-drops invariant, re-checked on the wire
+        # format: every submitted request has exactly one outcome.
+        if all(isinstance(row.get(f), int) for f in SERVING_ROW_INT_FIELDS):
+            accounted = (row["success"] + row["degraded"] + row["shed"]
+                         + row["timeout"])
+            if accounted != row["submitted"]:
+                fail(path, f"{where}: outcomes sum to {accounted} but "
+                           f"submitted = {row['submitted']}", errors)
+        shed_rate = row.get("shed_rate")
+        if isinstance(shed_rate, numbers.Real) and \
+                not 0.0 <= shed_rate <= 1.0:
+            fail(path, f"{where}: 'shed_rate' = {shed_rate} outside [0, 1]",
+                 errors)
+        quantiles = [row.get(f) for f in ("p50_us", "p95_us", "p99_us")]
+        if all(isinstance(q, numbers.Real) for q in quantiles) and \
+                not quantiles[0] <= quantiles[1] <= quantiles[2]:
+            fail(path, f"{where}: latency quantiles not ordered "
+                       f"(p50 <= p95 <= p99)", errors)
+
+
 def check_slo(doc, path, errors):
     slo = doc.get("slo")
     if slo is None:
@@ -404,7 +474,7 @@ def check_chrome_trace(path, errors):
 def check_report(path, errors, require_activity=True,
                  require_op_profile=False, require_training=False,
                  require_flight_recorder=False, require_quality=False,
-                 require_memory=False):
+                 require_memory=False, require_serving=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -459,6 +529,7 @@ def check_report(path, errors, require_activity=True,
                           required=require_flight_recorder)
     check_quality(doc, path, errors, required=require_quality)
     check_memory(doc, path, errors, required=require_memory)
+    check_serving(doc, path, errors, required=require_serving)
     check_slo(doc, path, errors)
 
     metrics = doc.get("metrics")
@@ -550,6 +621,8 @@ def main():
                         help="fail if reports lack a 'quality' section")
     parser.add_argument("--require-memory", action="store_true",
                         help="fail if reports lack a 'memory' section")
+    parser.add_argument("--require-serving", action="store_true",
+                        help="fail if reports lack a 'serving' section")
     args = parser.parse_args()
 
     files = list(args.files)
@@ -573,7 +646,8 @@ def main():
                      require_training=args.require_training,
                      require_flight_recorder=args.require_flight_recorder,
                      require_quality=args.require_quality,
-                     require_memory=args.require_memory)
+                     require_memory=args.require_memory,
+                     require_serving=args.require_serving)
     for path in traces:
         check_chrome_trace(path, errors)
     if errors:

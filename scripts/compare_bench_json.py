@@ -141,8 +141,53 @@ def compare_quality(baseline, candidate, tolerances):
     return diffs
 
 
+def serving_row_map(doc):
+    """(mode, load_factor) -> row, for the "serving" section."""
+    serving = doc.get("serving")
+    if not isinstance(serving, dict):
+        return {}
+    out = {}
+    for row in serving.get("rows", []):
+        if isinstance(row, dict):
+            out[(row.get("mode"), row.get("load_factor"))] = row
+    return out
+
+
+def compare_serving(baseline, candidate, p99_tol, shed_tol):
+    """Serving gates: per matched (mode, load_factor) row, the candidate's
+    p99 latency may not blow past baseline * (1 + p99_tol) — a RATIO, not a
+    rel_diff, because rel_diff saturates at 1.0 and cannot express "4x
+    slower" — and its shed rate may not exceed baseline + shed_tol
+    (absolute: sheds are load-dependent, structurally bounded)."""
+    diffs = []
+    base_rows = serving_row_map(baseline)
+    cand_rows = serving_row_map(candidate)
+    if base_rows and not cand_rows:
+        diffs.append("serving section missing from candidate")
+        return diffs
+    for key, base_row in base_rows.items():
+        cand_row = cand_rows.get(key)
+        mode, factor = key
+        where = f"serving {mode}@x{factor}"
+        if cand_row is None:
+            diffs.append(f"{where}: row missing from candidate")
+            continue
+        bp, cp = base_row.get("p99_us"), cand_row.get("p99_us")
+        if isinstance(bp, numbers.Real) and isinstance(cp, numbers.Real) \
+                and bp > 0 and cp > bp * (1.0 + p99_tol):
+            diffs.append(f"{where} p99_us regressed: baseline {bp:.0f} vs "
+                         f"candidate {cp:.0f} (ratio tolerance {p99_tol})")
+        bs, cs = base_row.get("shed_rate"), cand_row.get("shed_rate")
+        if isinstance(bs, numbers.Real) and isinstance(cs, numbers.Real) \
+                and cs > bs + shed_tol:
+            diffs.append(f"{where} shed_rate rose: baseline {bs:.3f} vs "
+                         f"candidate {cs:.3f} (absolute tolerance "
+                         f"{shed_tol})")
+    return diffs
+
+
 def compare(baseline, candidate, counter_tol, fingerprint_tol, time_tol,
-            quality_tol=None):
+            quality_tol=None, serving_p99_tol=3.0, serving_shed_tol=0.25):
     """Returns a list of human-readable difference strings (empty = pass)."""
     diffs = []
 
@@ -214,6 +259,8 @@ def compare(baseline, candidate, counter_tol, fingerprint_tol, time_tol,
                   in QUALITY_METRICS.items()}
     tolerances.update(quality_tol or {})
     diffs.extend(compare_quality(baseline, candidate, tolerances))
+    diffs.extend(compare_serving(baseline, candidate, serving_p99_tol,
+                                 serving_shed_tol))
 
     return diffs
 
@@ -241,6 +288,14 @@ def perturb(candidate):
             if isinstance(cal, dict) and cal.get("samples", 0) > 0:
                 cal["ece"] = 0.0
                 cal["brier"] = 0.0
+    # Same trick for serving: a near-zero baseline p99 and an impossible
+    # shed rate make any real candidate read as a regression, proving the
+    # serving gates can fire.
+    if isinstance(bad.get("serving"), dict):
+        for row in bad["serving"].get("rows", []):
+            if isinstance(row, dict):
+                row["p99_us"] = 1e-9
+                row["shed_rate"] = -1.0
     return bad
 
 
@@ -290,6 +345,13 @@ def main():
                              "quality metric (mean_quality, ece, brier); "
                              "repeatable, e.g. --quality-tolerance "
                              "mean_quality=0.05")
+    parser.add_argument("--serving-p99-tolerance", type=float, default=3.0,
+                        help="serving p99 ratio tolerance: flag when "
+                             "candidate p99 > baseline * (1 + tol) at a "
+                             "matched load point (default 3.0)")
+    parser.add_argument("--serving-shed-tolerance", type=float, default=0.25,
+                        help="serving shed-rate absolute tolerance at a "
+                             "matched load point (default 0.25)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the comparison fails on a perturbed "
                              "candidate before the real comparison")
@@ -323,11 +385,17 @@ def main():
         bad_diffs = compare(perturb(candidate), candidate,
                             args.counter_tolerance,
                             args.fingerprint_tolerance, args.time_tolerance,
-                            quality_tol)
+                            quality_tol, args.serving_p99_tolerance,
+                            args.serving_shed_tolerance)
         if quality_group_map(candidate) and not any(
                 d.startswith("quality ") for d in bad_diffs):
             print("FAIL: self-test — quality gate did not flag a "
                   "degraded-accuracy report")
+            return 1
+        if serving_row_map(candidate) and not any(
+                d.startswith("serving ") for d in bad_diffs):
+            print("FAIL: self-test — serving gate did not flag a "
+                  "degraded-latency report")
             return 1
         if not bad_diffs:
             print("FAIL: self-test — comparison did not flag a "
@@ -338,7 +406,8 @@ def main():
 
     diffs = compare(baseline, candidate, args.counter_tolerance,
                     args.fingerprint_tolerance, args.time_tolerance,
-                    quality_tol)
+                    quality_tol, args.serving_p99_tolerance,
+                    args.serving_shed_tolerance)
     if diffs:
         print(f"REGRESSION: {candidate_path} vs {args.baseline}")
         for d in diffs:

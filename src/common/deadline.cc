@@ -1,0 +1,57 @@
+#include "common/deadline.h"
+
+namespace trmma {
+namespace internal {
+
+thread_local DeadlineState t_deadline;
+
+}  // namespace internal
+
+DeadlineScope::DeadlineScope(const Deadline& deadline,
+                             const std::atomic<bool>* cancel)
+    : saved_(internal::t_deadline) {
+  internal::DeadlineState s;
+  s.active = true;
+  s.bounded = deadline.bounded();
+  if (s.bounded) {
+    // Re-derive the absolute time point: Deadline keeps it private, so go
+    // through the public remaining-time accessor.
+    s.at = Deadline::Clock::now() +
+           std::chrono::duration_cast<Deadline::Clock::duration>(
+               std::chrono::duration<double, std::milli>(
+                   deadline.RemainingMillis()));
+  }
+  s.cancel = cancel;
+  s.degraded = false;
+  internal::t_deadline = s;
+}
+
+DeadlineScope::~DeadlineScope() {
+  const bool degraded = internal::t_deadline.degraded;
+  internal::t_deadline = saved_;
+  // An inner scope cutting work short degrades the outer request too.
+  if (degraded && internal::t_deadline.active) {
+    internal::t_deadline.degraded = true;
+  }
+}
+
+double DeadlineRemainingMillis() {
+  const internal::DeadlineState& s = internal::t_deadline;
+  if (!s.active || !s.bounded) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        s.at - Deadline::Clock::now())
+                        .count();
+  return ms > 0.0 ? ms : 0.0;
+}
+
+void NoteDeadlineDegradation() {
+  if (internal::t_deadline.active) internal::t_deadline.degraded = true;
+}
+
+bool DeadlineDegradationNoted() {
+  return internal::t_deadline.active && internal::t_deadline.degraded;
+}
+
+}  // namespace trmma

@@ -1,0 +1,114 @@
+#ifndef TRMMA_COMMON_DEADLINE_H_
+#define TRMMA_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace trmma {
+
+/// Absolute time budget of one request. Value type: cheap to copy, computed
+/// once at admission (so queue wait counts against the budget) and threaded
+/// through the pipeline via a thread-local scope rather than parameters —
+/// candidate search, Viterbi/MMA decode, route stitching and the TRMMA
+/// sequential decode poll DeadlineExpired() at their loop heads and switch
+/// to their degraded fallbacks when the budget is gone (DESIGN.md §11).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default: unbounded (never expires).
+  Deadline() = default;
+
+  /// Expires `ms` from now; ms <= 0 yields an already-expired deadline.
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.bounded_ = true;
+    d.at_ = Clock::now() +
+            std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0));
+    return d;
+  }
+
+  static Deadline Unbounded() { return Deadline(); }
+
+  bool bounded() const { return bounded_; }
+
+  bool Expired() const { return bounded_ && Clock::now() >= at_; }
+
+  /// Milliseconds left; +inf when unbounded, clamped at 0 when expired.
+  double RemainingMillis() const {
+    if (!bounded_) return std::numeric_limits<double>::infinity();
+    const auto left = at_ - Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(left).count();
+    return ms > 0.0 ? ms : 0.0;
+  }
+
+ private:
+  bool bounded_ = false;
+  Clock::time_point at_{};
+};
+
+namespace internal {
+
+/// Thread-local deadline state installed by DeadlineScope. Exposed in the
+/// header only so DeadlineExpired() inlines to a thread-local load plus a
+/// branch when no scope is active (the whole-library fast path).
+struct DeadlineState {
+  bool active = false;
+  bool bounded = false;
+  Deadline::Clock::time_point at{};
+  /// Optional external cancellation (e.g. "a hedged twin already won").
+  const std::atomic<bool>* cancel = nullptr;
+  /// Set by NoteDeadlineDegradation when a checkpoint took a degraded path.
+  bool degraded = false;
+};
+
+extern thread_local DeadlineState t_deadline;
+
+}  // namespace internal
+
+/// RAII installer of the calling thread's deadline (plus an optional cancel
+/// flag). Scopes nest by save/restore; an inner scope's degradation note is
+/// propagated to the outer scope on exit so a wrapping request still sees
+/// that its work was cut short.
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(const Deadline& deadline,
+                         const std::atomic<bool>* cancel = nullptr);
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  internal::DeadlineState saved_;
+};
+
+/// Cancellation checkpoint: true when the current scope's deadline has
+/// passed or its cancel flag is set. Without an active scope this is a
+/// thread-local load and a branch — cheap enough for per-point loops.
+inline bool DeadlineExpired() {
+  const internal::DeadlineState& s = internal::t_deadline;
+  if (!s.active) return false;
+  if (s.cancel != nullptr && s.cancel->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  if (!s.bounded) return false;
+  return Deadline::Clock::now() >= s.at;
+}
+
+/// Milliseconds left in the current scope; +inf when none is active.
+double DeadlineRemainingMillis();
+
+/// Called by a checkpoint that switched to a degraded fallback, so the
+/// serving layer can classify the response (full result vs degraded). The
+/// caller is responsible for its own metrics/events — common/ stays a leaf.
+void NoteDeadlineDegradation();
+
+/// True when any checkpoint under the current scope degraded its output.
+bool DeadlineDegradationNoted();
+
+}  // namespace trmma
+
+#endif  // TRMMA_COMMON_DEADLINE_H_

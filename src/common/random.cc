@@ -75,6 +75,14 @@ double Rng::Gaussian(double mean, double stddev) {
 
 bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t x = a;
+  uint64_t mixed = SplitMix64(x);
+  x = mixed ^ b;
+  mixed = SplitMix64(x);
+  return SplitMix64(x) ^ mixed;
+}
+
 size_t Rng::Categorical(const std::vector<double>& weights) {
   TRMMA_CHECK(!weights.empty());
   double total = 0.0;

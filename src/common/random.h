@@ -10,6 +10,13 @@ namespace trmma {
 /// Deterministic pseudo-random generator (splitmix64-seeded xoshiro256**).
 /// All stochastic components of the library take an explicit Rng so every
 /// experiment is reproducible from a single seed.
+///
+/// NOT thread-safe: Next() mutates state_ and Gaussian() caches its second
+/// Box-Muller sample without synchronization. Concurrent code must use one
+/// Rng per thread or per request — derive independent streams from a shared
+/// base seed with MixSeed (e.g. MixSeed(config_seed, request_id)), which is
+/// what the serving engine and the fault injector's per-request corruption
+/// path do.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 42);
@@ -53,6 +60,12 @@ class Rng {
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
 };
+
+/// Mixes two seeds into one well-distributed stream id (splitmix64 over the
+/// concatenation). Use to derive a per-request/per-thread Rng from a base
+/// seed plus an index: nearby indices yield statistically independent
+/// streams, and the result depends only on (a, b) — never on interleaving.
+uint64_t MixSeed(uint64_t a, uint64_t b);
 
 }  // namespace trmma
 

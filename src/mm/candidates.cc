@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/deadline.h"
 #include "obs/flight_recorder.h"
 #include "obs/quality.h"
 #include "obs/trace.h"
@@ -63,8 +64,19 @@ std::vector<std::vector<Candidate>> ComputeCandidates(
   }
 
   std::vector<std::vector<Candidate>> out(n);
+  bool expired = false;
   for (int i = 0; i < n; ++i) {
-    auto hits = index.KNearest(xy[i], kc);
+    // Deadline checkpoint: once the request budget is gone, shrink the
+    // remaining columns to the single nearest segment. The lattice stays
+    // well-formed (no empty columns) but transition fan-out collapses, so
+    // the decode finishes fast with a degraded answer.
+    if (!expired && DeadlineExpired()) {
+      expired = true;
+      NoteDeadlineDegradation();
+      Count("mm.candidates.deadline_degraded");
+      obs::RecordEvent("candidates:deadline_degraded@" + std::to_string(i));
+    }
+    auto hits = index.KNearest(xy[i], expired ? 1 : kc);
     if (hits.empty()) {
       // Degradation ladder: staged radius widening, then a last-resort
       // single-nearest-segment query. Only reachable on degenerate inputs

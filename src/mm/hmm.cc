@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
@@ -74,12 +75,34 @@ std::vector<SegmentId> HmmMatcher::MatchPoints(const Trajectory& traj) {
     score[0][j] = EmissionLogProb(candidates[0][j]);
   }
 
+  bool expired = false;
   for (int i = 1; i < n; ++i) {
     const auto& prev = candidates[i - 1];
     const auto& cur = candidates[i];
     const double straight = (xy[i] - xy[i - 1]).Norm();
     score[i].assign(cur.size(), kLogZero);
     back[i].assign(cur.size(), -1);
+    // Deadline checkpoint: transitions dominate Viterbi cost (each one may
+    // run a shortest-path query). Once expired, score the remaining points
+    // by emission alone with back=-1 — exactly the chain-restart shape the
+    // backtrack already handles — so the decode degrades to nearest-segment
+    // snapping instead of burning the worker.
+    if (!expired && DeadlineExpired()) {
+      expired = true;
+      NoteDeadlineDegradation();
+      if (obs::MetricsEnabled()) {
+        obs::MetricRegistry::Global()
+            .GetCounter("hmm.deadline_degraded")
+            ->Increment();
+      }
+      obs::RecordEvent("hmm:deadline_degraded@" + std::to_string(i));
+    }
+    if (expired) {
+      for (size_t j = 0; j < cur.size(); ++j) {
+        score[i][j] = EmissionLogProb(cur[j]);
+      }
+      continue;
+    }
     for (size_t j = 0; j < cur.size(); ++j) {
       const double emission = EmissionLogProb(cur[j]);
       for (size_t k = 0; k < prev.size(); ++k) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "nn/ops.h"
@@ -245,6 +246,35 @@ std::vector<SegmentId> MmaMatcher::MatchPointsWithScores(
   // record pairs each confidence with the decision it scores.
   const bool capture_matched = rec != nullptr && rec->matched.empty();
   if (capture_matched) rec->matched.resize(traj.size());
+  // Deadline checkpoint: the transformer forward pass is the expensive
+  // block here. Once the budget is gone, snap each point to its closest
+  // candidate by projection distance (the classifier's strongest single
+  // feature) with a neutral confidence instead of running the network.
+  if (DeadlineExpired()) {
+    NoteDeadlineDegradation();
+    if (obs::MetricsEnabled()) {
+      obs::MetricRegistry::Global()
+          .GetCounter("mma.deadline_degraded")
+          ->Increment();
+    }
+    obs::RecordEvent("mma:deadline_degraded");
+    for (int i = 0; i < traj.size(); ++i) {
+      int best = 0;
+      for (size_t j = 1; j < candidates[i].size(); ++j) {
+        if (candidates[i][j].distance < candidates[i][best].distance) {
+          best = static_cast<int>(j);
+        }
+      }
+      out[i] = candidates[i][best].segment;
+      if (scores != nullptr) (*scores)[i] = 0.5;
+      if (capture_scores) rec->scores[i] = 0.5;
+      if (capture_matched) {
+        rec->matched[i] = {candidates[i][best].segment,
+                           candidates[i][best].ratio, traj.points[i].t};
+      }
+    }
+    return out;
+  }
   nn::Tape tape;
   std::vector<Tensor> logits = ForwardLogits(tape, traj, candidates);
   for (int i = 0; i < traj.size(); ++i) {

@@ -1,5 +1,6 @@
 #include "mm/route_stitch.h"
 
+#include "common/deadline.h"
 #include "graph/route.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -18,6 +19,7 @@ std::vector<RouteSection> StitchRouteSections(
 
   RouteSection cur;
   bool open = false;
+  bool expired = false;
   int64_t disconnected = 0;
   for (int i = 0; i < n; ++i) {
     const SegmentId sid = point_segments[i];
@@ -35,6 +37,26 @@ std::vector<RouteSection> StitchRouteSections(
     const SegmentId prev = cur.route.back();
     if (prev == sid) {
       cur.last_point = i;
+      continue;
+    }
+    // Deadline checkpoint: each unequal pair costs up to two path searches.
+    // Once expired, split instead of planning — later sections hold the
+    // matched segments without connecting routes. Counted separately from
+    // mm.stitch.disconnected (a deliberate split is not a graph defect and
+    // must not trip the no_disconnected_stitches SLO).
+    if (!expired && DeadlineExpired()) {
+      expired = true;
+      NoteDeadlineDegradation();
+      if (obs::MetricsEnabled()) {
+        obs::MetricRegistry::Global()
+            .GetCounter("mm.stitch.deadline_degraded")
+            ->Increment();
+      }
+      obs::RecordEvent("stitch:deadline_degraded@" + std::to_string(i));
+    }
+    if (expired) {
+      sections.push_back(std::move(cur));
+      cur = RouteSection{{sid}, i, i};
       continue;
     }
     PathResult link = planner.Plan(prev, sid);

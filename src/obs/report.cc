@@ -61,6 +61,15 @@ void RunReport::SetFingerprintNumber(const std::string& key, double value) {
   fingerprint_[key] = {true, buf};
 }
 
+void RunReport::SetSectionJson(const std::string& name,
+                               const std::string& json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sections_.find(name) == sections_.end()) {
+    section_order_.push_back(name);
+  }
+  sections_[name] = json;
+}
+
 std::string RunReport::ToJson() const {
   // Refresh the derived telemetry (memory/lock gauges, SLO breach counters)
   // before snapshotting, so the report's metrics section carries the final
@@ -153,6 +162,10 @@ std::string RunReport::ToJson() const {
     out += ",\"slo\":";
     out += slo_json;
   }
+  for (const std::string& section : section_order_) {
+    out += ",\"" + section + "\":";
+    out += sections_.at(section);
+  }
   out += '}';
   return out;
 }
@@ -183,6 +196,8 @@ void RunReport::Reset() {
   phases_.clear();
   fingerprint_order_.clear();
   fingerprint_.clear();
+  section_order_.clear();
+  sections_.clear();
   wall_.Restart();
 }
 

@@ -37,6 +37,12 @@ class RunReport {
   void SetFingerprint(const std::string& key, const std::string& value);
   void SetFingerprintNumber(const std::string& key, double value);
 
+  /// Attaches a bench-authored top-level section (e.g. "serving") whose
+  /// value is pre-serialized JSON; spliced into ToJson() after the standard
+  /// sections. Later writes to the same name overwrite. The caller is
+  /// responsible for `json` being valid JSON.
+  void SetSectionJson(const std::string& name, const std::string& json);
+
   /// Full report JSON including the metrics snapshot.
   std::string ToJson() const;
 
@@ -61,6 +67,8 @@ class RunReport {
   std::vector<std::string> fingerprint_order_;
   std::map<std::string, std::pair<bool, std::string>>
       fingerprint_;  ///< value: (is_number, text)
+  std::vector<std::string> section_order_;
+  std::map<std::string, std::string> sections_;  ///< pre-serialized JSON
 };
 
 /// RAII phase timer: adds the scope's wall time to RunReport::Global().

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "nn/ops.h"
@@ -971,9 +972,32 @@ MatchedTrajectory TrmmaRecovery::DecodeSectionFast(
   int prev_route_idx = LocateOnRoute(route, anchors[0].segment, 0);
   MatchedPoint prev = anchors[0];
   out.push_back(anchors[0]);
+  bool expired = false;
   for (int i = 0; i + 1 < sparse.size(); ++i) {
     const int missing = NumMissingPoints(sparse.points[i].t,
                                          sparse.points[i + 1].t, epsilon);
+    // Deadline checkpoint: every recovered point costs a GRU step plus an
+    // attention pass over the route window. Once expired, fill the
+    // remaining gaps by holding the nearest anchor (the AssembleSections
+    // gap-fill shape) so the output keeps its epsilon-grid timestamps.
+    if (!expired && DeadlineExpired()) {
+      expired = true;
+      NoteDeadlineDegradation();
+      CountRecoverEvent("trmma.decode.deadline_degraded");
+      obs::RecordEvent("trmma:decode_deadline_degraded@" + std::to_string(i));
+    }
+    if (expired) {
+      const double t_l = sparse.points[i].t;
+      const double t_r = sparse.points[i + 1].t;
+      for (int j = 1; j <= missing; ++j) {
+        const double t_j = t_l + j * epsilon;
+        MatchedPoint p = t_j - t_l <= t_r - t_j ? anchors[i] : anchors[i + 1];
+        p.t = t_j;
+        out.push_back(p);
+      }
+      out.push_back(anchors[i + 1]);
+      continue;
+    }
     const int next_anchor_idx =
         LocateOnRoute(route, anchors[i + 1].segment, prev_route_idx);
     const int window_end = std::max(next_anchor_idx, prev_route_idx);

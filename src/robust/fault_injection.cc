@@ -26,6 +26,47 @@ void CountInjected(const char* which, int64_t n = 1) {
       ->Increment(n);
 }
 
+/// Corruption body shared by the shared-stream and per-request entry
+/// points; the caller owns locking (or stream isolation) around `rng`.
+void CorruptTrajectoryWith(const FaultInjectionConfig& config, Rng& rng,
+                           Trajectory* traj) {
+  std::vector<GpsPoint> out;
+  out.reserve(traj->points.size());
+  int64_t spikes = 0;
+  int64_t nans = 0;
+  int64_t drops = 0;
+  for (const GpsPoint& p : traj->points) {
+    if (rng.Bernoulli(config.drop_point_prob)) {
+      ++drops;
+      continue;
+    }
+    GpsPoint q = p;
+    if (rng.Bernoulli(config.coord_nan_prob)) {
+      q.pos.lat = std::numeric_limits<double>::quiet_NaN();
+      ++nans;
+    } else if (rng.Bernoulli(config.coord_spike_prob)) {
+      const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+      const double deg = config.spike_m / kMetersPerDegree;
+      q.pos.lat += deg * std::sin(angle);
+      q.pos.lng += deg * std::cos(angle);
+      ++spikes;
+    }
+    out.push_back(q);
+  }
+  if (out.size() >= 3 && rng.Bernoulli(config.ts_shuffle_prob)) {
+    // Swap two distinct interior timestamps: a classic device-buffer bug.
+    const size_t i = 1 + rng.UniformInt(out.size() - 2);
+    size_t j = 1 + rng.UniformInt(out.size() - 2);
+    if (i == j) j = i == out.size() - 2 ? i - 1 : i + 1;
+    std::swap(out[i].t, out[j].t);
+    CountInjected("ts_shuffle");
+  }
+  CountInjected("coord_spike", spikes);
+  CountInjected("coord_nan", nans);
+  CountInjected("drop_point", drops);
+  traj->points = std::move(out);
+}
+
 }  // namespace
 
 FaultInjectionConfig FaultInjectionConfig::FromEnv() {
@@ -109,41 +150,14 @@ bool FaultInjector::ShouldFail(const char* site) {
 void FaultInjector::CorruptTrajectory(Trajectory* traj) {
   if (!enabled() || traj == nullptr || traj->empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<GpsPoint> out;
-  out.reserve(traj->points.size());
-  int64_t spikes = 0;
-  int64_t nans = 0;
-  int64_t drops = 0;
-  for (const GpsPoint& p : traj->points) {
-    if (rng_.Bernoulli(config_.drop_point_prob)) {
-      ++drops;
-      continue;
-    }
-    GpsPoint q = p;
-    if (rng_.Bernoulli(config_.coord_nan_prob)) {
-      q.pos.lat = std::numeric_limits<double>::quiet_NaN();
-      ++nans;
-    } else if (rng_.Bernoulli(config_.coord_spike_prob)) {
-      const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
-      const double deg = config_.spike_m / kMetersPerDegree;
-      q.pos.lat += deg * std::sin(angle);
-      q.pos.lng += deg * std::cos(angle);
-      ++spikes;
-    }
-    out.push_back(q);
-  }
-  if (out.size() >= 3 && rng_.Bernoulli(config_.ts_shuffle_prob)) {
-    // Swap two distinct interior timestamps: a classic device-buffer bug.
-    const size_t i = 1 + rng_.UniformInt(out.size() - 2);
-    size_t j = 1 + rng_.UniformInt(out.size() - 2);
-    if (i == j) j = i == out.size() - 2 ? i - 1 : i + 1;
-    std::swap(out[i].t, out[j].t);
-    CountInjected("ts_shuffle");
-  }
-  CountInjected("coord_spike", spikes);
-  CountInjected("coord_nan", nans);
-  CountInjected("drop_point", drops);
-  traj->points = std::move(out);
+  CorruptTrajectoryWith(config_, rng_, traj);
+}
+
+void FaultInjector::CorruptTrajectorySeeded(Trajectory* traj,
+                                            uint64_t stream) const {
+  if (!enabled() || traj == nullptr || traj->empty()) return;
+  Rng rng(MixSeed(config_.seed, stream));
+  CorruptTrajectoryWith(config_, rng, traj);
 }
 
 std::string FaultInjector::CorruptCsv(const std::string& text) {

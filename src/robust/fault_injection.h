@@ -63,8 +63,17 @@ class FaultInjector {
   bool ShouldFail(const char* site);
 
   /// Applies coordinate spikes, NaN fields, point drops and timestamp
-  /// shuffles to `traj` in place.
+  /// shuffles to `traj` in place, drawing from the injector's shared
+  /// stream (mutex-guarded; the fault sequence depends on call order).
   void CorruptTrajectory(Trajectory* traj);
+
+  /// Same corruption operators, but drawn from a private stream seeded by
+  /// MixSeed(config.seed, stream). Lock-free and interleaving-independent:
+  /// under the concurrent serving engine each request passes its request id
+  /// as `stream`, so the faults a request sees are a pure function of
+  /// (config, request id) — retries and hedges of the same request re-read
+  /// the identical corrupted input.
+  void CorruptTrajectorySeeded(Trajectory* traj, uint64_t stream) const;
 
   /// Applies row truncation / field drops to raw CSV text.
   std::string CorruptCsv(const std::string& text);

@@ -1,0 +1,118 @@
+#include "serve/breaker.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace trmma {
+namespace serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half_open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string request_class,
+                               const BreakerConfig& config)
+    : class_(std::move(request_class)), config_(config),
+      window_(static_cast<size_t>(std::max(config.window, 1)), false) {}
+
+void CircuitBreaker::TransitionLocked(BreakerState next) {
+  if (state_ == next) return;
+  state_ = next;
+  if (obs::MetricsEnabled()) {
+    obs::MetricRegistry::Global()
+        .GetGauge("serve.breaker.state", {{"class", class_}})
+        ->Set(static_cast<double>(next));
+    obs::MetricRegistry::Global()
+        .GetCounter("serve.breaker.transitions",
+                    {{"class", class_}, {"to", BreakerStateName(next)}})
+        ->Increment();
+  }
+}
+
+double CircuitBreaker::FailureRatioLocked() const {
+  if (window_count_ == 0) return 0.0;
+  int failures = 0;
+  for (int i = 0; i < window_count_; ++i) {
+    if (window_[static_cast<size_t>(i)]) ++failures;
+  }
+  return static_cast<double>(failures) / window_count_;
+}
+
+bool CircuitBreaker::Admit(Clock::time_point now, double* retry_after_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kClosed) return true;
+  if (state_ == BreakerState::kOpen) {
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(now - opened_at_).count();
+    if (waited_ms < config_.cooldown_ms) {
+      if (retry_after_ms != nullptr) {
+        *retry_after_ms = config_.cooldown_ms - waited_ms;
+      }
+      return false;
+    }
+    TransitionLocked(BreakerState::kHalfOpen);
+    probes_admitted_ = 0;
+    probe_successes_ = 0;
+  }
+  // Half-open: admit a bounded number of probes to test the downstream.
+  if (probes_admitted_ < config_.half_open_probes) {
+    ++probes_admitted_;
+    return true;
+  }
+  if (retry_after_ms != nullptr) *retry_after_ms = config_.cooldown_ms;
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(Clock::time_point now) {
+  (void)now;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++probe_successes_ >= config_.half_open_probes) {
+      // Downstream recovered: close with a clean window so the old failure
+      // burst can't immediately re-trip the breaker.
+      std::fill(window_.begin(), window_.end(), false);
+      window_pos_ = 0;
+      window_count_ = 0;
+      TransitionLocked(BreakerState::kClosed);
+    }
+    return;
+  }
+  window_[static_cast<size_t>(window_pos_)] = false;
+  window_pos_ = (window_pos_ + 1) % static_cast<int>(window_.size());
+  window_count_ = std::min(window_count_ + 1,
+                           static_cast<int>(window_.size()));
+}
+
+void CircuitBreaker::RecordFailure(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately: the downstream is still sick.
+    opened_at_ = now;
+    TransitionLocked(BreakerState::kOpen);
+    return;
+  }
+  window_[static_cast<size_t>(window_pos_)] = true;
+  window_pos_ = (window_pos_ + 1) % static_cast<int>(window_.size());
+  window_count_ = std::min(window_count_ + 1,
+                           static_cast<int>(window_.size()));
+  if (state_ == BreakerState::kClosed &&
+      window_count_ >= config_.min_samples &&
+      FailureRatioLocked() >= config_.trip_ratio) {
+    opened_at_ = now;
+    TransitionLocked(BreakerState::kOpen);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+}  // namespace serve
+}  // namespace trmma

@@ -1,0 +1,82 @@
+#ifndef TRMMA_SERVE_BREAKER_H_
+#define TRMMA_SERVE_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trmma {
+namespace serve {
+
+/// Trip/recovery policy of one per-request-class circuit breaker.
+struct BreakerConfig {
+  int window = 32;            ///< recent results considered (ring)
+  int min_samples = 10;       ///< no trip decision before this many results
+  double trip_ratio = 0.5;    ///< failure fraction that opens the breaker
+  double cooldown_ms = 250.0; ///< open -> half-open delay
+  int half_open_probes = 2;   ///< consecutive probe successes to close
+};
+
+enum class BreakerState { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+/// Stable lowercase label ("closed", "half_open", "open").
+const char* BreakerStateName(BreakerState state);
+
+/// Circuit breaker over a sliding window of request results. Sustained
+/// failure/timeout rates open the circuit: requests are rejected with a
+/// retry-after hint until the cooldown passes, then a limited number of
+/// half-open probes test the downstream; probe successes close the circuit,
+/// any probe failure re-opens it (DESIGN.md §11).
+///
+/// Time is an explicit parameter of every transition-relevant call so tests
+/// drive the cooldown deterministically without sleeping. Thread-safe; the
+/// state gauge serve.breaker.state{class} mirrors transitions when metrics
+/// are enabled.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CircuitBreaker(std::string request_class, const BreakerConfig& config);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Admission check. Closed: always true. Open: false until the cooldown
+  /// elapses (remaining wait in *retry_after_ms when non-null), then the
+  /// breaker moves to half-open. Half-open: true for up to
+  /// `half_open_probes` outstanding probes, false (with a cooldown-sized
+  /// retry-after) beyond that.
+  bool Admit(Clock::time_point now, double* retry_after_ms = nullptr);
+
+  /// Result feedback for an admitted request. A failure is a non-OK
+  /// terminal status or a deadline timeout; sheds are not recorded (they
+  /// never reached the downstream).
+  void RecordSuccess(Clock::time_point now);
+  void RecordFailure(Clock::time_point now);
+
+  BreakerState state() const;
+  const std::string& request_class() const { return class_; }
+
+ private:
+  void TransitionLocked(BreakerState next);
+  double FailureRatioLocked() const;
+
+  const std::string class_;
+  const BreakerConfig config_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::vector<bool> window_;  ///< ring of results, true = failure
+  int window_pos_ = 0;
+  int window_count_ = 0;
+  Clock::time_point opened_at_{};
+  int probes_admitted_ = 0;
+  int probe_successes_ = 0;
+};
+
+}  // namespace serve
+}  // namespace trmma
+
+#endif  // TRMMA_SERVE_BREAKER_H_
