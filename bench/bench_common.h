@@ -10,6 +10,7 @@
 #include "eval/experiment.h"
 #include "eval/inspect.h"
 #include "nn/profiler.h"
+#include "obs/cpu_profiler.h"
 #include "obs/flight_recorder.h"
 #include "obs/mem_stats.h"
 #include "obs/metrics.h"
@@ -156,8 +157,9 @@ inline void CheckFlightReplay(ExperimentStack& stack) {
 ///  - turns on metric collection (TraceMode::kMetrics) unless TRMMA_TRACE
 ///    already asked for more,
 ///  - turns on memory accounting (TRMMA_MEM_STATS=0 opts out), loads SLO
-///    objectives from TRMMA_SLO_FILE, and serves live telemetry when
-///    TRMMA_HTTP_PORT is set,
+///    objectives from TRMMA_SLO_FILE, serves live telemetry when
+///    TRMMA_HTTP_PORT is set, and starts the sampling CPU profiler when
+///    TRMMA_CPU_PROFILE is set (see obs/cpu_profiler.h),
 ///  - names the global run report and stamps the scale fingerprint,
 ///  - on destruction stops the telemetry server, then writes
 ///    BENCH_<name>.json (to $TRMMA_OBS_DIR or the working directory) and,
@@ -173,6 +175,7 @@ class BenchRun {
     obs::InitMemStatsFromEnv();
     obs::SloWatchdog::Global().InstallFromEnv();
     obs::TelemetryServer::Global().StartFromEnv();
+    obs::CpuProfiler::Global().StartFromEnv();
     obs::RunReport& report = obs::RunReport::Global();
     report.SetName(name);
     report.SetFingerprint("scale", ScaleName());

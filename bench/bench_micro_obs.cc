@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "bench_common.h"
+#include "obs/cpu_profiler.h"
 #include "obs/flight_recorder.h"
 #include "obs/mem_stats.h"
 #include "obs/metrics.h"
@@ -277,6 +278,88 @@ void BM_RssSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RssSample);
+
+// Restores the exemplar switch around the exemplar benches.
+class ExemplarSwitchGuard {
+ public:
+  explicit ExemplarSwitchGuard(bool enabled) : prev_(ExemplarsEnabled()) {
+    SetExemplarsEnabled(enabled);
+  }
+  ~ExemplarSwitchGuard() { SetExemplarsEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// The acceptance contract for threading trace ids through Observe on the
+// serving hot path: the exemplar capture (cursor fetch_add + slot CAS +
+// three relaxed stores, never a spin) must add ≤ 5 ns over the plain
+// Observe baseline above.
+void BM_HistogramObserveExemplar(benchmark::State& state) {
+  ModeGuard guard(TraceMode::kMetrics);
+  ExemplarSwitchGuard exemplars(true);
+  Histogram* hist =
+      MetricRegistry::Global().GetHistogram("bench.obs.hist.exemplar.us");
+  double v = 0.5;
+  uint64_t trace_id = 1;
+  for (auto _ : state) {
+    hist->Observe(v, trace_id++);
+    v += 1.375;
+    if (v > 1e6) v = 0.5;
+  }
+  benchmark::DoNotOptimize(hist->Count());
+}
+BENCHMARK(BM_HistogramObserveExemplar);
+
+// With exemplars switched off (TRMMA_EXEMPLARS=0) the trace-id overload
+// must collapse to Observe plus one predicted branch and a relaxed load.
+void BM_HistogramObserveExemplarDisabled(benchmark::State& state) {
+  ModeGuard guard(TraceMode::kMetrics);
+  ExemplarSwitchGuard exemplars(false);
+  Histogram* hist =
+      MetricRegistry::Global().GetHistogram("bench.obs.hist.exemplar.off.us");
+  double v = 0.5;
+  uint64_t trace_id = 1;
+  for (auto _ : state) {
+    hist->Observe(v, trace_id++);
+    v += 1.375;
+    if (v > 1e6) v = 0.5;
+  }
+  benchmark::DoNotOptimize(hist->Count());
+}
+BENCHMARK(BM_HistogramObserveExemplarDisabled);
+
+// The acceptance contract for leaving the profiler linked into every
+// binary: while not running, the hot-path check callers are expected to
+// make (running()) is one relaxed load — ≤ 1 ns. The sampling cost itself
+// is bounded by design, not benchmarked here: the SIGPROF handler does a
+// bounded frame walk (≤ 48 guarded reads) into a pre-allocated ring, no
+// allocation, locking or symbolization — see DESIGN.md §12 for the
+// per-sample budget.
+void BM_ProfilerDisabledCheck(benchmark::State& state) {
+  CpuProfiler& profiler = CpuProfiler::Global();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.running());
+  }
+}
+BENCHMARK(BM_ProfilerDisabledCheck);
+
+// Synchronous capture through the signal handler's ring path: frame walk +
+// slot claim + publish. This is the same work a SIGPROF costs the
+// interrupted thread, so it doubles as a measured per-sample budget
+// (expected: a few hundred ns, dominated by the guarded frame reads).
+void BM_ProfilerSampleNow(benchmark::State& state) {
+  CpuProfiler& profiler = CpuProfiler::Global();
+  if (profiler.SampleNowForTest() == 0) {
+    state.SkipWithError("frame walk unavailable (sanitizer build)");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.SampleNowForTest());
+  }
+  profiler.Reset();
+}
+BENCHMARK(BM_ProfilerSampleNow);
 
 void BM_RegistryLookup(benchmark::State& state) {
   ModeGuard guard(TraceMode::kMetrics);

@@ -216,6 +216,26 @@ void Run() {
   const bench::BenchScale scale = bench::GetScale();
   bench::PrintBanner("Serving: latency/outcome mix vs offered load");
 
+  // The serving bench always publishes a "profile" section, so it
+  // self-starts the sampler when TRMMA_CPU_PROFILE didn't already (the env
+  // path, handled by BenchRun, wins; "0"/"off" opts out entirely). Builds
+  // where the profiler can't run (sanitizers) still get the section, with
+  // zero samples — the CI gate that demands samples runs on plain builds.
+  obs::CpuProfiler& profiler = obs::CpuProfiler::Global();
+  {
+    const char* prof_env = std::getenv("TRMMA_CPU_PROFILE");
+    const bool opted_out =
+        prof_env != nullptr && (std::strcmp(prof_env, "0") == 0 ||
+                                std::strcmp(prof_env, "off") == 0);
+    if (!profiler.running() && !opted_out) {
+      const Status started = profiler.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "cpu profiler unavailable: %s\n",
+                     started.ToString().c_str());
+      }
+    }
+  }
+
   Dataset ds = bench::BuildBenchDataset("PT", scale);
   StackConfig config;
   ExperimentStack stack = BuildStack(ds, config);
@@ -274,6 +294,10 @@ void Run() {
 
   report.SetSectionJson(
       "serving", ServingSectionJson(serve_config, capacity_qps, rows));
+  // Fold pending samples before snapshotting the profile. Stop() disarms
+  // the timer only; an env-requested exit dump still sees the aggregate.
+  profiler.Stop();
+  report.SetSectionJson("profile", profiler.ProfileSectionJson(20));
 }
 
 }  // namespace

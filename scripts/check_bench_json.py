@@ -13,15 +13,20 @@ documented in DESIGN.md: top-level name/wall_seconds/fingerprint/phases/
 metrics, phase entries with name+seconds+count, metric sections with the
 right value fields, and that at least one histogram carries p50/p95/p99.
 The optional "op_profile", "training", "flight_recorder", "quality",
-"memory" and "slo" sections (present when the matching telemetry was
-enabled) are validated whenever they appear; --require-op-profile /
---require-training / --require-flight-recorder / --require-quality /
---require-memory make their absence an error
+"memory", "profile" and "slo" sections (present when the matching
+telemetry was enabled) are validated whenever they appear;
+--require-op-profile / --require-training / --require-flight-recorder /
+--require-quality / --require-memory / --require-profile make their
+absence an error
 (the flight_recorder check also demands replay_mismatches == 0; the
 quality check validates group/slice/calibration/drift structure and that
-calibration bin counts sum to the sample count). --trace FILE additionally
+calibration bin counts sum to the sample count; --require-profile
+additionally demands that the CPU profiler actually sampled — samples > 0
+with a non-empty frame table). --trace FILE additionally
 validates a Chrome trace-event JSON file (as written under
-TRMMA_TRACE_FILE).
+TRMMA_TRACE_FILE); complete spans ("X"), flow arrows ("s"/"f") and
+metadata events ("M") are all accepted, with span nesting checked over
+the complete spans only.
 """
 
 import argparse
@@ -395,6 +400,65 @@ def check_serving(doc, path, errors, required=False):
                        f"(p50 <= p95 <= p99)", errors)
 
 
+PROFILE_INT_FIELDS = ("hz", "samples", "dropped", "truncated")
+
+
+def check_profile(doc, path, errors, required=False):
+    profile = doc.get("profile")
+    if profile is None:
+        if required:
+            fail(path, "missing 'profile' section "
+                       "(was the CPU profiler able to start?)", errors)
+        return
+    if not isinstance(profile, dict):
+        fail(path, "'profile' must be an object", errors)
+        return
+    for field in PROFILE_INT_FIELDS:
+        value = profile.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"profile: missing integer '{field}'", errors)
+        elif value < 0:
+            fail(path, f"profile: '{field}' must be >= 0", errors)
+    frames = profile.get("frames")
+    if not isinstance(frames, list):
+        fail(path, "profile: 'frames' must be a list", errors)
+        frames = []
+    selfs = []
+    for i, frame in enumerate(frames):
+        where = f"profile.frames[{i}]"
+        if not isinstance(frame, dict):
+            fail(path, f"{where}: not an object", errors)
+            continue
+        if not isinstance(frame.get("symbol"), str) or not frame.get("symbol"):
+            fail(path, f"{where}: missing non-empty 'symbol'", errors)
+        for field in ("self", "total"):
+            value = frame.get(field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(path, f"{where}: missing integer '{field}'", errors)
+            elif value < 0:
+                fail(path, f"{where}: '{field}' must be >= 0", errors)
+        if isinstance(frame.get("self"), int) and \
+                isinstance(frame.get("total"), int) and \
+                frame["self"] > frame["total"]:
+            fail(path, f"{where}: self > total", errors)
+        if isinstance(frame.get("self"), int):
+            selfs.append(frame["self"])
+    if selfs != sorted(selfs, reverse=True):
+        fail(path, "profile: frames not sorted by self time", errors)
+    samples = profile.get("samples")
+    if isinstance(samples, int) and samples > 0:
+        if isinstance(profile.get("hz"), int) and profile["hz"] < 1:
+            fail(path, "profile: sampled but 'hz' < 1", errors)
+        if not frames:
+            fail(path, "profile: sampled but frame table is empty", errors)
+    if required:
+        # The CI gate: the profiler must have run for real, not merely have
+        # emitted an empty section (e.g. a sanitizer build refusing to start).
+        if not isinstance(samples, int) or samples < 1:
+            fail(path, "profile: --require-profile demands samples >= 1",
+                 errors)
+
+
 def check_slo(doc, path, errors):
     slo = doc.get("slo")
     if slo is None:
@@ -433,33 +497,56 @@ def check_chrome_trace(path, errors):
     if not isinstance(events, list) or not events:
         fail(path, "'traceEvents' must be a non-empty list", errors)
         return
+    spans = []
+    flows = {}  # flow id -> set of phases seen ("s"/"f")
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
             fail(path, f"{where}: not an object", errors)
             continue
-        if ev.get("ph") != "X":
-            fail(path, f"{where}: expected complete event ph='X'", errors)
+        ph = ev.get("ph")
+        if ph not in ("X", "s", "f", "M"):
+            fail(path, f"{where}: unexpected event ph={ph!r} "
+                       "(want X, s, f, or M)", errors)
+            continue
         if not isinstance(ev.get("name"), str) or not ev.get("name"):
             fail(path, f"{where}: missing non-empty 'name'", errors)
-        for field in ("ts", "dur"):
-            if not isinstance(ev.get(field), numbers.Real):
-                fail(path, f"{where}: missing numeric '{field}'", errors)
+        if ph == "M":
+            if not isinstance(ev.get("pid"), int):
+                fail(path, f"{where}: metadata missing integer 'pid'", errors)
+            continue
         for field in ("pid", "tid"):
             if not isinstance(ev.get(field), int):
                 fail(path, f"{where}: missing integer '{field}'", errors)
+        if not isinstance(ev.get("ts"), numbers.Real):
+            fail(path, f"{where}: missing numeric 'ts'", errors)
+        if ph in ("s", "f"):
+            if not isinstance(ev.get("id"), int):
+                fail(path, f"{where}: flow event missing integer 'id'",
+                     errors)
+            else:
+                flows.setdefault(ev["id"], set()).add(ph)
+            continue
+        if not isinstance(ev.get("dur"), numbers.Real):
+            fail(path, f"{where}: missing numeric 'dur'", errors)
         args = ev.get("args")
         if not isinstance(args, dict) or not isinstance(
                 args.get("seq"), int) or not isinstance(
                 args.get("parent_seq"), int):
             fail(path, f"{where}: args must carry integer "
                        "seq/parent_seq", errors)
-    # Events are emitted in seq (start) order and spans nest strictly, so a
-    # child's [ts, ts+dur] interval lies inside its parent's.
+            continue
+        spans.append(ev)
+    # Every flow arrow needs both ends, or the viewer draws nothing.
+    for flow_id, phases in sorted(flows.items()):
+        if phases != {"s", "f"}:
+            fail(path, f"flow id={flow_id} has phases {sorted(phases)}, "
+                       "want both 's' and 'f'", errors)
+    # Complete spans are emitted in seq (start) order and nest strictly, so
+    # a child's [ts, ts+dur] interval lies inside its parent's.
     by_seq = {}
-    for ev in events:
-        if isinstance(ev, dict) and isinstance(ev.get("args"), dict):
-            by_seq[ev["args"].get("seq")] = ev
+    for ev in spans:
+        by_seq[ev["args"]["seq"]] = ev
     for ev in by_seq.values():
         parent = by_seq.get(ev["args"].get("parent_seq"))
         if parent is None:
@@ -474,7 +561,8 @@ def check_chrome_trace(path, errors):
 def check_report(path, errors, require_activity=True,
                  require_op_profile=False, require_training=False,
                  require_flight_recorder=False, require_quality=False,
-                 require_memory=False, require_serving=False):
+                 require_memory=False, require_serving=False,
+                 require_profile=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -530,6 +618,7 @@ def check_report(path, errors, require_activity=True,
     check_quality(doc, path, errors, required=require_quality)
     check_memory(doc, path, errors, required=require_memory)
     check_serving(doc, path, errors, required=require_serving)
+    check_profile(doc, path, errors, required=require_profile)
     check_slo(doc, path, errors)
 
     metrics = doc.get("metrics")
@@ -623,6 +712,9 @@ def main():
                         help="fail if reports lack a 'memory' section")
     parser.add_argument("--require-serving", action="store_true",
                         help="fail if reports lack a 'serving' section")
+    parser.add_argument("--require-profile", action="store_true",
+                        help="fail if reports lack a 'profile' section with "
+                             "at least one CPU sample")
     args = parser.parse_args()
 
     files = list(args.files)
@@ -647,7 +739,8 @@ def main():
                      require_flight_recorder=args.require_flight_recorder,
                      require_quality=args.require_quality,
                      require_memory=args.require_memory,
-                     require_serving=args.require_serving)
+                     require_serving=args.require_serving,
+                     require_profile=args.require_profile)
     for path in traces:
         check_chrome_trace(path, errors)
     if errors:

@@ -34,6 +34,8 @@ import urllib.request
 PORT_RE = re.compile(r"telemetry: serving on 127\.0\.0\.1:(\d+)")
 SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [^ ]+$")
+# OpenMetrics exemplar suffix on a sample line:  ... value # {labels} value
+EXEMPLAR_RE = re.compile(r" # \{[^}]*\} [^ ]+$")
 HEADER_RE = re.compile(
     r"^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+"
     r"|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram))$")
@@ -68,6 +70,20 @@ def validate_exposition(body, errors, expect_slo=False):
                               f"for family '{name}'")
             seen.add(name)
             continue
+        # p99 lines may carry an OpenMetrics exemplar (trace id of the worst
+        # recent observation); validate then strip it before the sample check.
+        exemplar = EXEMPLAR_RE.search(line)
+        if exemplar:
+            exemplar_value = exemplar.group(0).rsplit(" ", 1)[1]
+            try:
+                float(exemplar_value)
+            except ValueError:
+                errors.append(f"/metrics line {lineno}: non-numeric exemplar "
+                              f"value {exemplar_value!r}")
+            if 'trace_id="' not in exemplar.group(0):
+                errors.append(f"/metrics line {lineno}: exemplar lacks a "
+                              f"trace_id label: {line!r}")
+            line = line[:exemplar.start()]
         if not SAMPLE_RE.match(line):
             errors.append(f"/metrics line {lineno}: bad sample: {line!r}")
             continue

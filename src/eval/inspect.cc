@@ -156,10 +156,16 @@ StatusOr<obs::RequestRecord> FindRecord(const std::string& path,
                                         const std::string& id) {
   StatusOr<std::vector<obs::RequestRecord>> records = LoadRecords(path);
   if (!records.ok()) return records.status();
+  // Match by record id, or by the hex trace id attached when the request ran
+  // under a serving TraceContext — lets operators paste an exemplar trace id
+  // straight from /metrics or an SLO breach.
   for (obs::RequestRecord& r : *records) {
-    if (r.id == id) return std::move(r);
+    if (r.id == id || (!r.trace_id.empty() && r.trace_id == id)) {
+      return std::move(r);
+    }
   }
-  return Status::NotFound("no record with id " + id + " in " + path);
+  return Status::NotFound("no record with id or trace_id " + id + " in " +
+                          path);
 }
 
 StatusOr<ReplayDiff> ReplayRecord(ExperimentStack& stack,
@@ -395,6 +401,7 @@ std::string SummarizeRecords(
 std::string DescribeRecord(const obs::RequestRecord& record) {
   std::ostringstream out;
   out << "id: " << record.id << "\n";
+  if (!record.trace_id.empty()) out << "trace_id: " << record.trace_id << "\n";
   out << "kind: " << record.kind << "  method: " << record.method
       << "  city: " << record.city << "\n";
   out << "seed: " << record.seed << "  epsilon: " << record.epsilon

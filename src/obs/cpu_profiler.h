@@ -1,0 +1,101 @@
+#ifndef TRMMA_OBS_CPU_PROFILER_H_
+#define TRMMA_OBS_CPU_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/tracked_mutex.h"
+
+namespace trmma {
+namespace obs {
+
+struct CpuProfilerConfig {
+  /// Sampling frequency in CPU-time Hz (ITIMER_PROF fires per CPU-second
+  /// consumed across all threads). Prime by default so the sampler never
+  /// locks step with 10 ms-periodic work. Clamped to [1, 1000].
+  int hz = 97;
+  /// Frames kept per sample; deeper stacks are truncated (counted in
+  /// stats().truncated). Clamped to the compiled-in frame cap (48).
+  int max_depth = 48;
+};
+
+struct CpuProfilerStats {
+  int64_t samples = 0;    ///< folded into the aggregate profile
+  int64_t dropped = 0;    ///< signal fired while the epoch buffer was full
+  int64_t truncated = 0;  ///< stacks cut at max_depth
+};
+
+/// Continuous sampling CPU profiler: a SIGPROF handler captures the
+/// interrupted thread's stack by frame-pointer walk into a lock-free epoch
+/// buffer; readers flip the epoch and fold the drained samples into an
+/// aggregate, symbolized (dladdr + demangle) only at output time. The
+/// signal handler performs no allocation, locking, or symbolization — see
+/// DESIGN.md §12 for the signal-safety rules and the per-sample budget.
+///
+/// Output formats: folded stacks ("frame;frame;frame count" lines, leaf
+/// last), a self-contained flamegraph HTML, and a JSON "profile" section
+/// (top-N frames by self time) for bench reports. Served live at /pprof on
+/// the telemetry server; dumped at exit when TRMMA_CPU_PROFILE names a path.
+///
+/// The profiler is process-wide (one ITIMER_PROF per process); use
+/// Global(). Disabled under ASan/TSan builds, whose shadow-memory stack
+/// instrumentation does not tolerate raw frame walks — Start then returns
+/// FailedPrecondition and callers fall back to no profile.
+class CpuProfiler {
+ public:
+  static CpuProfiler& Global();
+
+  CpuProfiler() = default;
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+  /// Installs the SIGPROF handler and arms the interval timer. Fails if
+  /// already running, under sanitizers, or on an unsupported architecture.
+  Status Start(const CpuProfilerConfig& config = {});
+  /// Disarms the timer (the handler stays installed — a straggling signal
+  /// is then a cheap no-op) and folds any pending samples. Idempotent.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  int hz() const { return hz_; }
+
+  /// Starts when TRMMA_CPU_PROFILE is set (and not "0"/"off"). Any other
+  /// value is an output path prefix: at exit `<path>` receives the folded
+  /// stacks and `<path>.html` the flamegraph ("1"/"on" sample without a
+  /// dump — live /pprof only). TRMMA_CPU_PROFILE_HZ overrides the rate.
+  bool StartFromEnv();
+
+  /// Drains pending samples, then reports totals since the last Reset.
+  CpuProfilerStats stats();
+
+  /// Aggregated folded stacks, one "a;b;c N" line per distinct stack,
+  /// root-first. Empty string when nothing was sampled.
+  std::string FoldedStacks();
+  /// Dependency-free flamegraph over FoldedStacks(), self-contained HTML.
+  std::string FlamegraphHtml();
+  /// Bench-report "profile" section: {"hz","samples","dropped","truncated",
+  /// "frames":[{"symbol","self","total"}...]} with the top `top_n` frames
+  /// by self count.
+  std::string ProfileSectionJson(int top_n);
+
+  /// Synchronously captures the calling thread's stack through the same
+  /// ring path the signal handler uses (deterministic test hook — no timer
+  /// required). Returns the captured depth, 0 when unsupported.
+  int SampleNowForTest();
+  /// Stops if running and discards every sample, symbol and counter.
+  void Reset();
+
+ private:
+  /// Flips the active epoch buffer and folds the drained samples into the
+  /// aggregate. Caller holds mu_.
+  void DrainLocked();
+
+  mutable TrackedMutex mu_{"cpu.profiler"};
+  std::atomic<bool> running_{false};
+  int hz_ = 0;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_CPU_PROFILER_H_

@@ -8,6 +8,7 @@
 #include "obs/json.h"
 #include "obs/mem_stats.h"
 #include "obs/quality.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace obs {
@@ -267,6 +268,10 @@ RequestScope::RequestScope(const char* kind) {
   active_ = true;
   record_.kind = kind;
   record_.id = FlightRecorder::Global().NextRequestId(&index_);
+  // Join key to /tracez and metric exemplars: the serving engine installs a
+  // TraceContext on the worker thread before invoking us.
+  const TraceContext ctx = CurrentTraceContext();
+  if (ctx.trace_id != 0) record_.trace_id = TraceIdHex(ctx.trace_id);
   internal_obs::t_flight_current = &record_;
   start_ = std::chrono::steady_clock::now();
 }

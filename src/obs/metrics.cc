@@ -46,6 +46,29 @@ void SetTraceMode(TraceMode mode) {
 
 namespace {
 
+int ExemplarsFromEnv() {
+  const char* env = std::getenv("TRMMA_EXEMPLARS");
+  if (env != nullptr &&
+      (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+    return 0;
+  }
+  return 1;  // default on: capture is wait-free and a few ns
+}
+
+std::atomic<int> g_exemplars_enabled{ExemplarsFromEnv()};
+
+}  // namespace
+
+bool ExemplarsEnabled() {
+  return g_exemplars_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+void SetExemplarsEnabled(bool enabled) {
+  g_exemplars_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace {
+
 /// Relaxed add for atomic<double> via CAS (fetch_add on double is C++20 but
 /// not guaranteed lock-free everywhere; the CAS loop is portable and the
 /// contention profile here is low).
@@ -94,6 +117,47 @@ void Histogram::Observe(double v) {
   AtomicAdd(sum_, v);
   AtomicMin(min_, v);
   AtomicMax(max_, v);
+}
+
+void Histogram::CaptureExemplar(double v, uint64_t trace_id) {
+  if (!std::isfinite(v) || !ExemplarsEnabled()) return;
+  // Rotate through the slots so the ring always holds the most *recent*
+  // exemplar-carrying observations; the worst of them is picked at read
+  // time. On writer/writer contention for one slot the loser drops its
+  // exemplar — never spins — because this runs inside Observe on hot paths.
+  const uint64_t idx =
+      exemplar_cursor_.fetch_add(1, std::memory_order_relaxed) %
+      kExemplarSlots;
+  ExemplarSlot& slot = exemplars_[idx];
+  uint64_t ver = slot.ver.load(std::memory_order_relaxed);
+  if (ver & 1) return;  // another writer owns the slot
+  if (!slot.ver.compare_exchange_strong(ver, ver + 1,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
+  slot.value.store(v, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.ver.store(ver + 2, std::memory_order_release);
+}
+
+bool Histogram::WorstExemplar(HistogramExemplar* out) const {
+  HistogramExemplar best;
+  bool found = false;
+  for (const ExemplarSlot& slot : exemplars_) {
+    const uint64_t v1 = slot.ver.load(std::memory_order_acquire);
+    if (v1 == 0 || (v1 & 1)) continue;  // never written / mid-write
+    const double value = slot.value.load(std::memory_order_relaxed);
+    const uint64_t trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    if (slot.ver.load(std::memory_order_acquire) != v1) continue;  // torn
+    if (trace_id == 0) continue;
+    if (!found || value > best.value) {
+      best.value = value;
+      best.trace_id = trace_id;
+      found = true;
+    }
+  }
+  if (found && out != nullptr) *out = best;
+  return found;
 }
 
 double Histogram::Min() const {
@@ -166,6 +230,14 @@ void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  // Drop retained exemplars: ver back to "never written" keeps readers from
+  // resurrecting pre-reset trace ids. A capture racing this reset may land
+  // after the clear, which is indistinguishable from landing after Reset.
+  for (ExemplarSlot& slot : exemplars_) {
+    slot.trace_id.store(0, std::memory_order_relaxed);
+    slot.value.store(0.0, std::memory_order_relaxed);
+    slot.ver.store(0, std::memory_order_release);
+  }
 }
 
 bool Histogram::Merge(const Histogram& other) {
@@ -449,11 +521,24 @@ std::string MetricRegistry::WriteText() const {
     const std::string name = PromName(entry.first.name);
     FamilyHeader(name, entry.first.name, "summary", &prev, &out);
     static constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+    // OpenMetrics exemplar on the p99 line: ` # {trace_id="..."} value`
+    // links the tail quantile to the worst recent request's trace.
+    HistogramExemplar exemplar;
+    const bool has_exemplar =
+        ExemplarsEnabled() && h.WorstExemplar(&exemplar);
     for (double q : kQuantiles) {
       char qlabel[48];
       std::snprintf(qlabel, sizeof(qlabel), "quantile=\"%g\"", q);
-      std::snprintf(buf, sizeof(buf), " %.17g\n", h.Quantile(q));
+      std::snprintf(buf, sizeof(buf), " %.17g", h.Quantile(q));
       out += name + PromLabels(entry.first.labels, qlabel) + buf;
+      if (has_exemplar && q == 0.99) {
+        char ex[96];
+        std::snprintf(ex, sizeof(ex), " # {trace_id=\"%016llx\"} %.17g",
+                      static_cast<unsigned long long>(exemplar.trace_id),
+                      exemplar.value);
+        out += ex;
+      }
+      out += '\n';
     }
     std::snprintf(buf, sizeof(buf), " %.17g\n", h.Sum());
     out += name + "_sum" + PromLabels(entry.first.labels) + buf;
@@ -490,6 +575,24 @@ bool MetricRegistry::MaxGaugeByName(const std::string& name,
     found = true;
   }
   if (found) *out = best;
+  return found;
+}
+
+bool MetricRegistry::WorstExemplarByName(const std::string& name,
+                                         HistogramExemplar* out) const {
+  std::lock_guard<TrackedMutex> lock(mu_);
+  HistogramExemplar best;
+  bool found = false;
+  for (const auto& [key, entry] : histograms_) {
+    if (entry.first.name != name) continue;
+    HistogramExemplar e;
+    if (!entry.second->WorstExemplar(&e)) continue;
+    if (!found || e.value > best.value) {
+      best = e;
+      found = true;
+    }
+  }
+  if (found && out != nullptr) *out = best;
   return found;
 }
 

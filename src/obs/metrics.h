@@ -43,6 +43,19 @@ void SetTraceMode(TraceMode mode);
 /// metric is registered, so label order does not create duplicates.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// Whether histograms capture exemplars (trace ids attached to recent
+/// observations). Defaults on; TRMMA_EXEMPLARS=0/off disables the capture
+/// and the OpenMetrics emission in WriteText.
+bool ExemplarsEnabled();
+/// Programmatic override (tests, benches). Wins over the environment.
+void SetExemplarsEnabled(bool enabled);
+
+/// One exemplar: an observed value and the trace that produced it.
+struct HistogramExemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;
+};
+
 /// Monotonically increasing counter. Increment is a relaxed atomic add.
 class Counter {
  public:
@@ -83,6 +96,19 @@ class Histogram {
   /// tallied in DroppedCount().
   void Observe(double v);
 
+  /// Observe plus exemplar capture: when `exemplar_trace_id` is nonzero and
+  /// exemplars are enabled, stamps {v, trace_id} into a small wait-free ring
+  /// of recent exemplars so WriteText can link the metric to an offending
+  /// trace. With trace_id == 0 this is exactly Observe(v) plus one branch.
+  void Observe(double v, uint64_t exemplar_trace_id) {
+    Observe(v);
+    if (exemplar_trace_id != 0) CaptureExemplar(v, exemplar_trace_id);
+  }
+
+  /// Largest-valued of the recent captured exemplars ("recent worst");
+  /// false when none were captured since the last Reset.
+  bool WorstExemplar(HistogramExemplar* out) const;
+
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   int64_t DroppedCount() const {
     return dropped_.load(std::memory_order_relaxed);
@@ -116,6 +142,19 @@ class Histogram {
   static const std::vector<double>& DefaultLatencyBounds();
 
  private:
+  /// Per-slot seqlock: `ver` is even when the slot is stable, odd while a
+  /// writer owns it. Writers claim a slot by CAS and *drop* the exemplar on
+  /// contention instead of spinning — the capture path must stay wait-free
+  /// because it runs inside Observe on serving hot paths.
+  struct ExemplarSlot {
+    std::atomic<uint64_t> ver{0};
+    std::atomic<double> value{0.0};
+    std::atomic<uint64_t> trace_id{0};
+  };
+  static constexpr int kExemplarSlots = 4;
+
+  void CaptureExemplar(double v, uint64_t trace_id);
+
   std::vector<double> bounds_;
   std::vector<std::atomic<int64_t>> buckets_;
   std::atomic<int64_t> count_{0};
@@ -123,6 +162,8 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> exemplar_cursor_{0};
+  ExemplarSlot exemplars_[kExemplarSlots];
 };
 
 /// Read-only summary of one metric family (all label sets of a name merged),
@@ -180,6 +221,10 @@ class MetricRegistry {
   /// Merges every label set of `name` into a temporary histogram (label sets
   /// whose bounds differ from the first are skipped) and summarizes it.
   bool HistogramStatsByName(const std::string& name, HistogramStats* out) const;
+  /// Worst recent exemplar across every label set of `name`; false when the
+  /// metric does not exist or no exemplar was captured.
+  bool WorstExemplarByName(const std::string& name,
+                           HistogramExemplar* out) const;
 
  private:
   /// Canonical map key: name{k=v,...} with labels sorted by key.

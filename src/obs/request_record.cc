@@ -37,6 +37,7 @@ std::string RequestRecord::ToJsonLine() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("id").String(id);
+  if (!trace_id.empty()) w.Key("trace_id").String(trace_id);
   w.Key("kind").String(kind);
   w.Key("method").String(method);
   w.Key("city").String(city);
@@ -105,6 +106,7 @@ StatusOr<RequestRecord> RequestRecordFromJsonLine(const std::string& line) {
   }
   RequestRecord r;
   r.id = v.Get("id").AsString();
+  r.trace_id = v.Get("trace_id").AsString();
   r.kind = v.Get("kind").AsString();
   r.method = v.Get("method").AsString();
   r.city = v.Get("city").AsString();

@@ -44,6 +44,10 @@ struct RecordStage {
 struct RequestRecord {
   // --- identity & reproduction context -------------------------------------
   std::string id;              ///< "req-000042", unique within a run
+  /// Hex trace id of the serving request this record was captured under
+  /// (see obs/trace.h TraceContext); "" when captured outside a traced
+  /// request. Joins flight records to /tracez groups and metric exemplars.
+  std::string trace_id;
   std::string kind;            ///< "mm" | "recovery" | "pipeline"
   std::string method;          ///< e.g. "MMA", "TRMMA", "FMM"
   std::string city;            ///< generator preset name ("XA", ...)

@@ -8,6 +8,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace obs {
@@ -182,6 +183,9 @@ std::string SloResultsJson(const std::vector<SloResult>& results) {
     w.Key("max").Number(r.max);
     w.Key("has_data").Bool(r.has_data);
     w.Key("ok").Bool(r.ok);
+    if (!r.exemplar_trace_id.empty()) {
+      w.Key("exemplar_trace_id").String(r.exemplar_trace_id);
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -251,12 +255,17 @@ std::vector<SloResult> SloWatchdog::Evaluate(MetricRegistry* registry) {
   for (const SloObjective& objective : objectives) {
     bool has_data = false;
     double value = 0.0;
+    std::string exemplar_trace_id;
     switch (objective.kind) {
       case SloObjective::Kind::kHistogram: {
         HistogramStats stats;
         if (registry->HistogramStatsByName(objective.metric, &stats)) {
           has_data = stats.count > 0;
           value = StatFromHistogramStats(stats, objective.stat);
+        }
+        HistogramExemplar exemplar;
+        if (registry->WorstExemplarByName(objective.metric, &exemplar)) {
+          exemplar_trace_id = TraceIdHex(exemplar.trace_id);
         }
         break;
       }
@@ -278,6 +287,7 @@ std::vector<SloResult> SloWatchdog::Evaluate(MetricRegistry* registry) {
       }
     }
     SloResult result = MakeResult(objective, has_data, value);
+    result.exemplar_trace_id = std::move(exemplar_trace_id);
     const Labels labels = {{"objective", objective.name}};
     if (!result.ok) {
       registry->GetCounter("slo.breach.total", labels)->Increment();

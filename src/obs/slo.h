@@ -49,6 +49,11 @@ struct SloResult {
   double max = 0.0;
   bool has_data = false;
   bool ok = true;
+  /// Worst recent exemplar of the source histogram (hex trace id), attached
+  /// on live evaluation so a breach names a request to chase — resolve with
+  /// `trmma_inspect show <flight.jsonl> <trace_id>`. Empty when the metric
+  /// is not a histogram or no exemplar was captured.
+  std::string exemplar_trace_id;
 };
 
 /// Parses the objectives document above (already-parsed JSON).

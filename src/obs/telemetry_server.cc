@@ -12,6 +12,10 @@
 #include <cstring>
 #include <thread>
 
+#include <algorithm>
+#include <map>
+
+#include "obs/cpu_profiler.h"
 #include "obs/json.h"
 #include "obs/mem_stats.h"
 #include "obs/metrics.h"
@@ -64,21 +68,82 @@ std::string StatuszJson(double uptime_us, std::int64_t requests) {
   return out;
 }
 
+/// /tracez: the span ring grouped by trace id — one entry per request with
+/// its end-to-end duration and a per-span-name time breakdown — instead of
+/// the raw ring dump (which interleaved every thread's spans and grew
+/// unbounded with the ring). Newest traces first; the response is capped at
+/// kTracezMaxTraces entries and untraced spans are summarized as a count.
 std::string TracezJson() {
+  constexpr size_t kTracezMaxTraces = 50;
   const std::vector<SpanRecord> spans = TraceRing::Global().Snapshot();
+
+  struct TraceGroup {
+    double start_us = 0.0;
+    double end_us = 0.0;
+    double root_duration_us = -1.0;  ///< serve.request span when present
+    int span_count = 0;
+    std::map<std::string, std::pair<int, double>> breakdown;  // count, us
+  };
+  std::map<uint64_t, TraceGroup> traces;
+  int64_t untraced = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.trace_id == 0) {
+      ++untraced;
+      continue;
+    }
+    TraceGroup& group = traces[span.trace_id];
+    const double end = span.start_us + span.duration_us;
+    if (group.span_count == 0 || span.start_us < group.start_us) {
+      group.start_us = span.start_us;
+    }
+    group.end_us = std::max(group.end_us, end);
+    ++group.span_count;
+    const std::string name = span.name != nullptr ? span.name : "?";
+    if (span.parent_seq < 0 && span.lane > 0) {
+      group.root_duration_us =
+          std::max(group.root_duration_us, span.duration_us);
+    }
+    auto& slot = group.breakdown[name];
+    ++slot.first;
+    slot.second += span.duration_us;
+  }
+
+  // Newest first: order by trace start descending.
+  std::vector<std::pair<uint64_t, const TraceGroup*>> ordered;
+  ordered.reserve(traces.size());
+  for (const auto& [id, group] : traces) ordered.emplace_back(id, &group);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->start_us > b.second->start_us;
+                   });
+  const bool truncated = ordered.size() > kTracezMaxTraces;
+  if (truncated) ordered.resize(kTracezMaxTraces);
+
   JsonWriter w;
   w.BeginObject();
-  w.Key("count").Int(static_cast<long long>(spans.size()));
-  w.Key("spans").BeginArray();
-  for (const SpanRecord& span : spans) {
+  w.Key("span_count").Int(static_cast<long long>(spans.size()));
+  w.Key("trace_count").Int(static_cast<long long>(traces.size()));
+  w.Key("untraced_spans").Int(untraced);
+  w.Key("truncated").Bool(truncated);
+  w.Key("traces").BeginArray();
+  for (const auto& [id, group] : ordered) {
     w.BeginObject();
-    w.Key("name").String(span.name != nullptr ? span.name : "?");
-    w.Key("seq").Int(span.seq);
-    w.Key("parent_seq").Int(span.parent_seq);
-    w.Key("depth").Int(span.depth);
-    w.Key("tid").Int(span.tid);
-    w.Key("start_us").Number(span.start_us);
-    w.Key("duration_us").Number(span.duration_us);
+    w.Key("trace_id").String(TraceIdHex(id));
+    w.Key("spans").Int(group->span_count);
+    w.Key("start_us").Number(group->start_us);
+    w.Key("duration_us")
+        .Number(group->root_duration_us >= 0.0
+                    ? group->root_duration_us
+                    : group->end_us - group->start_us);
+    w.Key("breakdown").BeginArray();
+    for (const auto& [name, slot] : group->breakdown) {
+      w.BeginObject();
+      w.Key("name").String(name);
+      w.Key("count").Int(slot.first);
+      w.Key("total_us").Number(slot.second);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
   }
   w.EndArray();
@@ -119,6 +184,29 @@ HttpResponse Dispatch(const std::string& path, double uptime_us,
   if (path == "/slo") {
     resp.content_type = "application/json";
     resp.body = SloWatchdog::Global().StatusJson() + "\n";
+    return resp;
+  }
+  if (path == "/pprof") {
+    // Live folded-stack profile (drains the sampler's pending epoch).
+    CpuProfiler& profiler = CpuProfiler::Global();
+    if (!profiler.running() && profiler.stats().samples == 0) {
+      resp.code = 404;
+      resp.body =
+          "cpu profiler not running (set TRMMA_CPU_PROFILE=1 or call "
+          "CpuProfiler::Start)\n";
+      return resp;
+    }
+    resp.body = profiler.FoldedStacks();
+    return resp;
+  }
+  if (path == "/pprof/flame") {
+    resp.content_type = "text/html; charset=utf-8";
+    resp.body = CpuProfiler::Global().FlamegraphHtml();
+    return resp;
+  }
+  if (path == "/pprof/json") {
+    resp.content_type = "application/json";
+    resp.body = CpuProfiler::Global().ProfileSectionJson(20) + "\n";
     return resp;
   }
   resp.code = 404;

@@ -19,8 +19,13 @@ namespace obs {
 ///             on every scrape, then MetricRegistry::WriteText)
 ///   /healthz  "ok" liveness probe
 ///   /statusz  build info, uptime, trace mode, lock stats, memory, SLO state
-///   /tracez   recent span ring as JSON (requires TRMMA_TRACE=1)
+///   /tracez   recent spans grouped by trace id, newest first, with a
+///             per-request duration breakdown (requires TRMMA_TRACE=1);
+///             capped at 50 traces per response
 ///   /slo      last SLO evaluation
+///   /pprof    live folded-stack CPU profile (404 until the profiler has
+///             run); /pprof/flame renders it as a self-contained flamegraph
+///             HTML and /pprof/json as the bench "profile" section
 ///   /quitz    scrape-complete handshake: marks quit_requested() so a
 ///             short-lived process lingering via WaitForQuit can exit
 ///

@@ -24,11 +24,37 @@ struct OpenSpan {
   int64_t parent_seq;
   int depth;
   double start_us;
+  uint64_t trace_id;
+  int64_t link_seq;
 };
 
 thread_local std::vector<OpenSpan> t_open_spans;
 
+thread_local TraceContext t_trace_ctx;
+
 }  // namespace
+
+TraceContext CurrentTraceContext() { return t_trace_ctx; }
+
+uint64_t NewTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+ScopedTraceContext::ScopedTraceContext(uint64_t trace_id, int64_t link_seq)
+    : saved_(t_trace_ctx) {
+  t_trace_ctx.trace_id = trace_id;
+  t_trace_ctx.link_seq = link_seq;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace_ctx = saved_; }
 
 double NowMicros() {
   return std::chrono::duration<double, std::micro>(SteadyClock::now() -
@@ -56,10 +82,22 @@ TraceRing::TraceRing(size_t capacity)
 
 int64_t TraceRing::BeginSpan(const char* name, double start_us) {
   const int64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
-  const int64_t parent = t_open_spans.empty() ? -1 : t_open_spans.back().seq;
+  // A nested span stays inside its parent's trace; a thread-root span joins
+  // the installed request context (if any) and carries the cross-lane link
+  // so the exporter can draw the flow arrow from the request root.
+  uint64_t trace_id = 0;
+  int64_t link_seq = -1;
+  int64_t parent = -1;
+  if (!t_open_spans.empty()) {
+    parent = t_open_spans.back().seq;
+    trace_id = t_open_spans.back().trace_id;
+  } else {
+    trace_id = t_trace_ctx.trace_id;
+    link_seq = t_trace_ctx.link_seq;
+  }
   t_open_spans.push_back(OpenSpan{name, seq, parent,
                                   static_cast<int>(t_open_spans.size()),
-                                  start_us});
+                                  start_us, trace_id, link_seq});
   return seq;
 }
 
@@ -75,6 +113,8 @@ void TraceRing::EndSpan(double end_us) {
   rec.tid = ThreadTraceId();
   rec.start_us = open.start_us;
   rec.duration_us = end_us - open.start_us;
+  rec.trace_id = open.trace_id;
+  rec.link_seq = open.link_seq;
   Record(rec);
 }
 

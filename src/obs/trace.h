@@ -15,7 +15,10 @@ namespace obs {
 /// One completed span in the trace ring buffer. `name` must point to
 /// static-storage text (TRMMA_SPAN passes string literals). `seq` is a
 /// process-wide start order; `parent_seq` is the seq of the enclosing span
-/// on the same thread (-1 for roots), so a dump can reconstruct nesting.
+/// on the same lane (-1 for roots), so a dump can reconstruct nesting.
+/// `trace_id` groups every span belonging to one request across threads;
+/// `link_seq` is the seq of a causal parent on a *different* lane (the
+/// request root span), exported as a Chrome flow arrow rather than nesting.
 struct SpanRecord {
   const char* name = nullptr;
   int64_t seq = -1;
@@ -24,6 +27,44 @@ struct SpanRecord {
   int tid = 0;  ///< small per-process thread id (see ThreadTraceId)
   double start_us = 0.0;  ///< since process start
   double duration_us = 0.0;
+  uint64_t trace_id = 0;  ///< request trace this span belongs to (0 = none)
+  int64_t link_seq = -1;  ///< causal parent span on another lane (-1 = none)
+  int lane = 0;  ///< 0 = worker-thread lane; >0 = synthetic request lane
+};
+
+/// Thread-local request identity: which trace the calling thread is
+/// currently working for, and which span on the request lane caused that
+/// work. Captured at admission in the serving engine and re-installed on
+/// whichever worker/timer thread picks the request up, so spans opened
+/// there join the request's trace instead of floating free.
+struct TraceContext {
+  uint64_t trace_id = 0;  ///< 0 = no request context installed
+  int64_t link_seq = -1;  ///< request root span to draw the flow arrow from
+};
+
+/// The calling thread's installed context ({0, -1} when none).
+TraceContext CurrentTraceContext();
+
+/// Process-unique nonzero trace id (cheap atomic counter; allocated per
+/// request even in kMetrics mode so exemplars work without full tracing).
+uint64_t NewTraceId();
+
+/// Canonical 16-hex-digit rendering used everywhere a trace id becomes
+/// text (exemplars, flight records, /tracez, trace export args).
+std::string TraceIdHex(uint64_t trace_id);
+
+/// RAII install/restore of the thread's TraceContext. Nestable: the
+/// destructor restores whatever was installed before.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(uint64_t trace_id, int64_t link_seq);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 /// Fixed-capacity ring of recently completed spans, written only in
@@ -35,11 +76,18 @@ class TraceRing {
 
   explicit TraceRing(size_t capacity = 4096);
 
-  /// Pushes a span begin onto the calling thread's stack.
-  /// Returns the assigned seq.
+  /// Pushes a span begin onto the calling thread's stack. The span inherits
+  /// `trace_id` from the enclosing open span, or — when the stack is empty —
+  /// from the thread's installed TraceContext (which also supplies
+  /// `link_seq`, the cross-lane causal parent). Returns the assigned seq.
   int64_t BeginSpan(const char* name, double start_us);
   /// Pops the innermost span and appends the completed record.
   void EndSpan(double end_us);
+
+  /// Reserves a seq without opening a span, for records assembled by hand
+  /// (the serving engine's request-lane root spans claim their seq at
+  /// admission so attempt spans can link to it before the root completes).
+  int64_t AllocSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
 
   void Record(const SpanRecord& rec);
 
@@ -100,7 +148,9 @@ class ScopedSpan {
   ~ScopedSpan() {
     if (mode_ == TraceMode::kOff) return;
     const double end = NowMicros();
-    site_->histogram()->Observe(end - start_);
+    // Inside a request context the observation carries the trace id, so the
+    // span histogram's exemplar can name an offending request.
+    site_->histogram()->Observe(end - start_, CurrentTraceContext().trace_id);
     if (mode_ == TraceMode::kTrace) TraceRing::Global().EndSpan(end);
   }
 

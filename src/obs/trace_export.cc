@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace obs {
@@ -18,23 +20,79 @@ std::string ChromeTraceJson(const std::vector<SpanRecord>& records) {
                    [](const SpanRecord& a, const SpanRecord& b) {
                      return a.seq < b.seq;
                    });
+  // Ring wraparound can evict a parent while its children survive; map the
+  // retained seqs so dangling parent/link references are dropped instead of
+  // exported as broken nesting (viewers mis-stack X events whose claimed
+  // parent interval is gone).
+  std::unordered_map<int64_t, size_t> by_seq;
+  by_seq.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) by_seq.emplace(sorted[i].seq, i);
+
+  const auto pid_of = [](const SpanRecord& rec) { return rec.lane > 0 ? 2 : 1; };
+  const auto tid_of = [](const SpanRecord& rec) {
+    return rec.lane > 0 ? rec.lane : rec.tid;
+  };
+
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents").BeginArray();
+  bool request_lane_seen = false;
   for (const SpanRecord& rec : sorted) {
+    request_lane_seen = request_lane_seen || rec.lane > 0;
+    const auto parent_it = by_seq.find(rec.parent_seq);
+    const int64_t parent_seq =
+        rec.parent_seq >= 0 && parent_it != by_seq.end() ? rec.parent_seq : -1;
     w.BeginObject();
     w.Key("name").String(rec.name != nullptr ? rec.name : "?");
     w.Key("cat").String("span");
     w.Key("ph").String("X");
     w.Key("ts").Number(rec.start_us);
     w.Key("dur").Number(rec.duration_us);
-    w.Key("pid").Int(1);
-    w.Key("tid").Int(rec.tid);
+    w.Key("pid").Int(pid_of(rec));
+    w.Key("tid").Int(tid_of(rec));
     w.Key("args").BeginObject();
     w.Key("seq").Int(rec.seq);
-    w.Key("parent_seq").Int(rec.parent_seq);
+    w.Key("parent_seq").Int(parent_seq);
     w.Key("depth").Int(rec.depth);
+    if (rec.trace_id != 0) w.Key("trace_id").String(TraceIdHex(rec.trace_id));
     w.EndObject();
+    w.EndObject();
+
+    // Cross-lane causality as a Chrome flow arrow: start ("s") inside the
+    // link source span (the request root), finish ("f") at this span's
+    // start. A link whose source was evicted is dropped like a dangling
+    // parent. The flow id is the destination seq — unique per edge.
+    const auto link_it = by_seq.find(rec.link_seq);
+    if (rec.link_seq >= 0 && link_it != by_seq.end()) {
+      const SpanRecord& src = sorted[link_it->second];
+      w.BeginObject();
+      w.Key("name").String("request");
+      w.Key("cat").String("flow");
+      w.Key("ph").String("s");
+      w.Key("id").Int(rec.seq);
+      w.Key("ts").Number(src.start_us);
+      w.Key("pid").Int(pid_of(src));
+      w.Key("tid").Int(tid_of(src));
+      w.EndObject();
+      w.BeginObject();
+      w.Key("name").String("request");
+      w.Key("cat").String("flow");
+      w.Key("ph").String("f");
+      w.Key("bp").String("e");
+      w.Key("id").Int(rec.seq);
+      w.Key("ts").Number(rec.start_us);
+      w.Key("pid").Int(pid_of(rec));
+      w.Key("tid").Int(tid_of(rec));
+      w.EndObject();
+    }
+  }
+  // Name the synthetic request-lane process so viewers label the lanes.
+  if (request_lane_seen) {
+    w.BeginObject();
+    w.Key("name").String("process_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(2);
+    w.Key("args").BeginObject().Key("name").String("requests").EndObject();
     w.EndObject();
   }
   w.EndArray();

@@ -11,6 +11,7 @@
 #include "obs/json_parse.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 
 namespace trmma {
@@ -73,6 +74,15 @@ void SetGauge(const std::string& name, double value,
               const obs::Labels& labels = {}) {
   if (!obs::MetricsEnabled()) return;
   obs::MetricRegistry::Global().GetGauge(name, labels)->Set(value);
+}
+
+/// Synthetic request lane for a request's root + queue_wait spans: a small
+/// fixed set of lanes (exported as pid 2 in the Chrome trace) keeps
+/// concurrent requests readable without one lane per request.
+int RequestLane(uint64_t id) { return 1 + static_cast<int>(id % 8); }
+
+bool TracingEnabled() {
+  return obs::CurrentTraceMode() == obs::TraceMode::kTrace;
 }
 
 }  // namespace
@@ -223,6 +233,15 @@ std::future<ServeResponse> ServeEngine::Submit(ServeRequest request) {
     req->id = next_id_++;
     ++stats_.submitted;
   }
+  // Trace identity is captured here, at admission: the trace id always (it
+  // is the exemplar key even in kMetrics mode), the request-lane root span
+  // seq only under full tracing, reserved up front so attempt spans on
+  // worker threads can link to the root before it completes.
+  req->trace_id = obs::NewTraceId();
+  req->submit_us = obs::NowMicros();
+  if (TracingEnabled()) {
+    req->root_seq = obs::TraceRing::Global().AllocSeq();
+  }
   Count("serve.requests.total", {{"class", RequestKindName(kind)}});
 
   // Admission, cheapest check first. The breaker goes last so a half-open
@@ -331,18 +350,42 @@ void ServeEngine::Execute(const Task& task, Worker* worker) {
   if (req->done.load(std::memory_order_acquire)) return;  // twin finished
   const RequestKind kind = req->request.kind;
   const Clock::time_point start = Clock::now();
+  // Re-install the request's trace identity on this worker thread: every
+  // span opened below (attempt, execute, stitch/decode) joins the request
+  // trace and links causally back to the request-lane root span, and every
+  // RequestScope flight record picks up the trace id.
+  obs::ScopedTraceContext trace_ctx(req->trace_id, req->root_seq);
   if (obs::MetricsEnabled()) {
     obs::MetricRegistry::Global()
         .GetHistogram("serve.queue.wait.us")
         ->Observe(std::chrono::duration<double, std::micro>(
                       start - req->submitted_at)
-                      .count());
+                      .count(),
+                  req->trace_id);
+  }
+  if (req->root_seq >= 0 && !task.hedge && TracingEnabled()) {
+    // The queue-wait child lives on the request lane (admission to first
+    // pickup), nested inside the root by start order and time containment.
+    // Hedge pickups skip it: their wait started at hedge launch, which the
+    // attempt span on the worker lane already shows.
+    obs::SpanRecord qw;
+    qw.name = "serve.queue_wait";
+    qw.seq = obs::TraceRing::Global().AllocSeq();
+    qw.parent_seq = req->root_seq;
+    qw.depth = 1;
+    qw.tid = obs::ThreadTraceId();
+    qw.lane = RequestLane(req->id);
+    qw.trace_id = req->trace_id;
+    qw.start_us = req->submit_us;
+    qw.duration_us = obs::NowMicros() - req->submit_us;
+    obs::TraceRing::Global().Record(qw);
   }
 
   // Expired while queued: return a timeout instead of burning the worker,
   // and capture the request in the flight recorder for postmortem replay.
   if (req->deadline.bounded() && req->deadline.Expired()) {
     {
+      TRMMA_SPAN("serve.deadline_expired");
       obs::RequestScope scope("serve.timeout");
       if (obs::RequestRecord* rec = scope.record()) {
         rec->method = RequestKindName(kind);
@@ -369,6 +412,12 @@ void ServeEngine::Execute(const Task& task, Worker* worker) {
 
   const int attempt = req->attempts.fetch_add(1, std::memory_order_relaxed) + 1;
 
+  // Attempt span on the worker lane: a thread-root span, so it picks up the
+  // installed context — same trace id as the request, its own span id (seq),
+  // and a flow link back to the request-lane root. Retries and hedges each
+  // open their own attempt span under the same trace.
+  TRMMA_SPAN("serve.attempt");
+
   // Chaos input corruption is a pure function of (config, request id):
   // retries and hedges of one request re-read the identical corrupted
   // input, never an interleaving-dependent stream.
@@ -381,6 +430,7 @@ void ServeEngine::Execute(const Task& task, Worker* worker) {
   Status status;
   bool pipeline_degraded = false;
   {
+    TRMMA_SPAN("serve.execute");
     obs::RequestScope scope(kind == RequestKind::kMatch ? "serve.match"
                                                         : "serve.recover");
     DeadlineScope deadline_scope(req->deadline, &req->done);
@@ -455,6 +505,7 @@ void ServeEngine::Finalize(const std::shared_ptr<RequestState>& req,
   const Clock::time_point now = Clock::now();
   const RequestKind kind = req->request.kind;
   response.id = req->id;
+  response.trace_id = req->trace_id;
   response.attempts = req->attempts.load(std::memory_order_relaxed);
   response.hedge_won = from_hedge;
   response.latency_us =
@@ -470,10 +521,12 @@ void ServeEngine::Finalize(const std::shared_ptr<RequestState>& req,
       latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
     }
     if (obs::MetricsEnabled()) {
+      // The exemplar ties the latency histogram's tail quantile back to
+      // this request's trace (/metrics ` # {trace_id=...}` annotation).
       obs::MetricRegistry::Global()
           .GetHistogram("serve.latency.us",
                         {{"class", RequestKindName(kind)}})
-          ->Observe(response.latency_us);
+          ->Observe(response.latency_us, req->trace_id);
     }
     // Breaker feedback: a timeout or terminal error is a failure; a
     // degraded-but-delivered answer is a success (the class is healthy,
@@ -497,6 +550,23 @@ void ServeEngine::Finalize(const std::shared_ptr<RequestState>& req,
   }
   CountOutcome(kind, response.outcome);
   if (from_hedge) Count("serve.hedge.won");
+
+  // Close the request-lane root span (admission to finalize). Its seq was
+  // reserved at admission, so the attempt spans' flow links resolve even
+  // though the root is recorded last.
+  if (req->root_seq >= 0 && TracingEnabled()) {
+    obs::SpanRecord root;
+    root.name = "serve.request";
+    root.seq = req->root_seq;
+    root.parent_seq = -1;
+    root.depth = 0;
+    root.tid = obs::ThreadTraceId();
+    root.lane = RequestLane(req->id);
+    root.trace_id = req->trace_id;
+    root.start_us = req->submit_us;
+    root.duration_us = obs::NowMicros() - req->submit_us;
+    obs::TraceRing::Global().Record(root);
+  }
   req->promise.set_value(std::move(response));
 }
 

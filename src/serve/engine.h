@@ -74,6 +74,9 @@ struct ServeResponse {
   bool hedge_won = false;  ///< the hedged attempt produced this response
   double latency_us = 0.0; ///< submit-to-finalize wall time
   uint64_t id = 0;
+  /// Request trace id (obs/trace.h), allocated at admission. Every span and
+  /// exemplar produced for this request carries it; render with TraceIdHex.
+  uint64_t trace_id = 0;
 };
 
 /// Per-worker execution context over shared immutable substrates. One
@@ -183,6 +186,11 @@ class ServeEngine {
     std::atomic<int> attempts{0};
     Clock::time_point submitted_at{};
     Deadline deadline;
+    /// Trace identity captured at admission and re-installed on whichever
+    /// worker/timer thread touches the request (ScopedTraceContext).
+    uint64_t trace_id = 0;
+    int64_t root_seq = -1;   ///< request-lane root span seq (kTrace only)
+    double submit_us = 0.0;  ///< NowMicros() at admission (root span start)
   };
 
   struct Task {

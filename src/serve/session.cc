@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "robust/pipeline.h"
 
 namespace trmma {
@@ -45,6 +46,9 @@ class StackWorker : public Worker {
       return Status::FailedPrecondition(
           "map matching produced no usable segment for any point");
     }
+    // Route stitching is the post-matching half of a match request; its own
+    // span splits serve.execute into match vs stitch time in the trace.
+    TRMMA_SPAN("serve.stitch");
     out->sections =
         StitchRouteSections(network_, *planner_, *engine_, out->segments);
     return Status::OK();
@@ -60,6 +64,9 @@ class StackWorker : public Worker {
     // already applied per-request fault corruption, so take the
     // post-corruption entry point.
     RobustRecoveryPipeline pipeline(trmma_.get(), pipeline_config);
+    // The decode span covers the model-driven recovery (sanitize + encode +
+    // decode + fallbacks) — the execute-time remainder is dispatch overhead.
+    TRMMA_SPAN("serve.decode");
     PipelineResult result = pipeline.RunSanitized(traj);
     if (result.failed()) {
       return Status::FailedPrecondition(

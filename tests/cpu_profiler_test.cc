@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "obs/cpu_profiler.h"
+#include "obs/json_parse.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The profiler is process-wide; every test drains it back to a clean state.
+class ProfilerGuard {
+ public:
+  ProfilerGuard() { CpuProfiler::Global().Reset(); }
+  ~ProfilerGuard() { CpuProfiler::Global().Reset(); }
+};
+
+// Keeps the optimizer from collapsing the busy loops the sampler profiles.
+volatile uint64_t g_sink = 0;
+
+void BurnCpu() {
+  uint64_t acc = g_sink;
+  for (int i = 0; i < 50000; ++i) acc = acc * 6364136223846793005ull + 1ull;
+  g_sink = acc;
+}
+
+TEST(CpuProfilerTest, SampleNowCapturesCallerStack) {
+  ProfilerGuard guard;
+  CpuProfiler& profiler = CpuProfiler::Global();
+
+  const int depth = profiler.SampleNowForTest();
+  if (depth == 0) {
+    GTEST_SKIP() << "frame walk unavailable (sanitizer build or unsupported "
+                    "architecture)";
+  }
+  EXPECT_GT(depth, 0);
+  profiler.SampleNowForTest();
+  const CpuProfilerStats stats = profiler.stats();
+  EXPECT_GE(stats.samples, 2);
+  EXPECT_GE(stats.dropped, 0);
+
+  const std::string folded = profiler.FoldedStacks();
+  ASSERT_FALSE(folded.empty());
+  // Folded format: "frame;frame;... count\n" — every line ends in a count.
+  EXPECT_NE(folded.find(' '), std::string::npos);
+  EXPECT_EQ(folded.back(), '\n');
+}
+
+TEST(CpuProfilerTest, OutputsRenderFromTheSameAggregate) {
+  ProfilerGuard guard;
+  CpuProfiler& profiler = CpuProfiler::Global();
+  if (profiler.SampleNowForTest() == 0) {
+    GTEST_SKIP() << "frame walk unavailable";
+  }
+
+  const std::string html = profiler.FlamegraphHtml();
+  EXPECT_NE(html.find("<html"), std::string::npos);
+  EXPECT_NE(html.find("flamegraph"), std::string::npos);
+
+  const std::string json = profiler.ProfileSectionJson(10);
+  StatusOr<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  EXPECT_GE(doc.Get("samples").AsNumber(), 1.0);
+  EXPECT_GE(doc.Get("dropped").AsNumber(), 0.0);
+  EXPECT_GE(doc.Get("truncated").AsNumber(), 0.0);
+  ASSERT_TRUE(doc.Get("frames").is_array());
+  const auto& frames = doc.Get("frames").AsArray();
+  ASSERT_FALSE(frames.empty());
+  EXPECT_LE(frames.size(), 10u);
+  double prev_self = -1.0;
+  for (const JsonValue& frame : frames) {
+    EXPECT_TRUE(frame.Get("symbol").is_string());
+    const double self = frame.Get("self").AsNumber();
+    const double total = frame.Get("total").AsNumber();
+    EXPECT_LE(self, total);
+    if (prev_self >= 0.0) {
+      EXPECT_LE(self, prev_self) << "sorted by self desc";
+    }
+    prev_self = self;
+  }
+}
+
+TEST(CpuProfilerTest, ResetDiscardsEverySample) {
+  ProfilerGuard guard;
+  CpuProfiler& profiler = CpuProfiler::Global();
+  if (profiler.SampleNowForTest() == 0) {
+    GTEST_SKIP() << "frame walk unavailable";
+  }
+  ASSERT_GE(profiler.stats().samples, 1);
+  profiler.Reset();
+  EXPECT_EQ(profiler.stats().samples, 0);
+  EXPECT_TRUE(profiler.FoldedStacks().empty());
+}
+
+TEST(CpuProfilerTest, StartStopCollectsSamplesUnderLoad) {
+  ProfilerGuard guard;
+  CpuProfiler& profiler = CpuProfiler::Global();
+  CpuProfilerConfig config;
+  config.hz = 997;  // aggressive so the test converges quickly
+  const Status started = profiler.Start(config);
+  if (started.code() == StatusCode::kFailedPrecondition) {
+    GTEST_SKIP() << started.ToString();
+  }
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  EXPECT_TRUE(profiler.running());
+  EXPECT_EQ(profiler.hz(), 997);
+
+  // A second Start while armed must refuse rather than re-arm the timer.
+  EXPECT_FALSE(profiler.Start().ok());
+
+  // ITIMER_PROF fires per CPU-second consumed, so burn cycles until the
+  // sampler has seen at least one stack (bounded by wall clock).
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (profiler.stats().samples == 0 && Clock::now() < deadline) BurnCpu();
+
+  profiler.Stop();
+  profiler.Stop();  // idempotent
+  EXPECT_FALSE(profiler.running());
+  EXPECT_GT(profiler.stats().samples, 0);
+  EXPECT_FALSE(profiler.FoldedStacks().empty());
+}
+
+TEST(CpuProfilerTest, StartFromEnvHonorsOptOut) {
+  ProfilerGuard guard;
+  CpuProfiler& profiler = CpuProfiler::Global();
+
+  ::unsetenv("TRMMA_CPU_PROFILE");
+  EXPECT_FALSE(profiler.StartFromEnv());
+  EXPECT_FALSE(profiler.running());
+
+  ::setenv("TRMMA_CPU_PROFILE", "0", 1);
+  EXPECT_FALSE(profiler.StartFromEnv());
+  ::setenv("TRMMA_CPU_PROFILE", "off", 1);
+  EXPECT_FALSE(profiler.StartFromEnv());
+  EXPECT_FALSE(profiler.running());
+  ::unsetenv("TRMMA_CPU_PROFILE");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

@@ -333,6 +333,114 @@ TEST(HistogramMergeTest, SelfMergeDoublesCleanly) {
   EXPECT_DOUBLE_EQ(h.Sum(), 4.0);
 }
 
+// ------------------------------------------------------------- exemplars
+
+/// Forces exemplar capture on for the test body, restoring the previous
+/// switch (which may have come from TRMMA_EXEMPLARS) on scope exit.
+class ExemplarGuard {
+ public:
+  ExemplarGuard() : prev_(ExemplarsEnabled()) { SetExemplarsEnabled(true); }
+  ~ExemplarGuard() { SetExemplarsEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(HistogramExemplarTest, ObserveWithTraceIdCapturesExemplar) {
+  ExemplarGuard guard;
+  Histogram h;
+  HistogramExemplar ex;
+  EXPECT_FALSE(h.WorstExemplar(&ex)) << "no capture before any observation";
+  h.Observe(5.0, 0xabcu);
+  ASSERT_TRUE(h.WorstExemplar(&ex));
+  EXPECT_DOUBLE_EQ(ex.value, 5.0);
+  EXPECT_EQ(ex.trace_id, 0xabcu);
+}
+
+TEST(HistogramExemplarTest, WorstExemplarPicksLargestRecentValue) {
+  ExemplarGuard guard;
+  Histogram h;
+  h.Observe(1.0, 1);
+  h.Observe(9.0, 2);
+  h.Observe(3.0, 3);
+  HistogramExemplar ex;
+  ASSERT_TRUE(h.WorstExemplar(&ex));
+  EXPECT_DOUBLE_EQ(ex.value, 9.0);
+  EXPECT_EQ(ex.trace_id, 2u);
+  // The ring holds the 4 most recent exemplars: once the 9.0 capture
+  // rotates out, "worst" tracks the new window, not the all-time max.
+  for (uint64_t i = 0; i < 4; ++i) h.Observe(2.0, 100 + i);
+  ASSERT_TRUE(h.WorstExemplar(&ex));
+  EXPECT_DOUBLE_EQ(ex.value, 2.0);
+}
+
+TEST(HistogramExemplarTest, ZeroTraceIdLeavesNoExemplar) {
+  ExemplarGuard guard;
+  Histogram h;
+  h.Observe(7.0, /*exemplar_trace_id=*/0);
+  h.Observe(8.0);
+  HistogramExemplar ex;
+  EXPECT_FALSE(h.WorstExemplar(&ex));
+  EXPECT_EQ(h.Count(), 2) << "observations still land without a trace";
+}
+
+TEST(HistogramExemplarTest, ResetDropsRetainedExemplars) {
+  ExemplarGuard guard;
+  Histogram h;
+  h.Observe(5.0, 7);
+  h.Reset();
+  HistogramExemplar ex;
+  EXPECT_FALSE(h.WorstExemplar(&ex)) << "pre-reset trace ids must not leak";
+  h.Observe(6.0, 8);
+  ASSERT_TRUE(h.WorstExemplar(&ex));
+  EXPECT_EQ(ex.trace_id, 8u);
+}
+
+TEST(HistogramExemplarTest, DisabledSwitchSkipsCaptureNotObservation) {
+  ExemplarGuard guard;
+  SetExemplarsEnabled(false);
+  Histogram h;
+  h.Observe(5.0, 42);
+  HistogramExemplar ex;
+  EXPECT_FALSE(h.WorstExemplar(&ex));
+  EXPECT_EQ(h.Count(), 1);
+}
+
+TEST(MetricRegistryTest, WorstExemplarByNameSpansLabelSets) {
+  ExemplarGuard guard;
+  MetricRegistry reg;
+  reg.GetHistogram("lat.us", {{"city", "PT"}})->Observe(5.0, 1);
+  reg.GetHistogram("lat.us", {{"city", "XA"}})->Observe(9.0, 2);
+  HistogramExemplar ex;
+  ASSERT_TRUE(reg.WorstExemplarByName("lat.us", &ex));
+  EXPECT_EQ(ex.trace_id, 2u);
+  EXPECT_DOUBLE_EQ(ex.value, 9.0);
+  EXPECT_FALSE(reg.WorstExemplarByName("no.such.metric", &ex));
+}
+
+TEST(JsonExporterTest, WriteTextAttachesExemplarToP99LineOnly) {
+  ExemplarGuard guard;
+  MetricRegistry reg;
+  reg.GetHistogram("lat.us", {}, {1.0})->Observe(0.5, 0x2a);
+  const std::string text = reg.WriteText();
+  // Exactly one OpenMetrics exemplar, and it rides the p99 sample.
+  const std::string suffix = " # {trace_id=\"000000000000002a\"} 0.5";
+  EXPECT_NE(text.find("lat_us{quantile=\"0.99\"} 0.5" + suffix),
+            std::string::npos);
+  EXPECT_EQ(text.find(" # {"), text.rfind(" # {"));
+  EXPECT_EQ(text.find("quantile=\"0.5\"} 0.5" + suffix), std::string::npos);
+}
+
+TEST(JsonExporterTest, WriteTextOmitsExemplarWhenDisabled) {
+  ExemplarGuard guard;
+  MetricRegistry reg;
+  reg.GetHistogram("lat.us", {}, {1.0})->Observe(0.5, 0x2a);  // captured
+  SetExemplarsEnabled(false);  // emission gated independently of capture
+  const std::string text = reg.WriteText();
+  EXPECT_EQ(text.find(" # {"), std::string::npos);
+  EXPECT_NE(text.find("lat_us{quantile=\"0.99\"} 0.5"), std::string::npos);
+}
+
 // ----------------------------------------------------- exposition hygiene
 
 TEST(JsonExporterTest, WriteTextEscapesLabelValues) {

@@ -8,8 +8,12 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "common/deadline.h"
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 #include "serve/breaker.h"
 #include "serve/engine.h"
@@ -624,6 +628,141 @@ TEST(ServeConfigTest, FromEnvAppliesOverridesAndIgnoresGarbage) {
   ::unsetenv("TRMMA_SERVE_THREADS");
   ::unsetenv("TRMMA_QUEUE_CAP");
   ::unsetenv("TRMMA_DEADLINE_MS");
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing and exemplars
+
+/// Restores the process trace mode and exemplar switch on scope exit so
+/// tests can flip them freely.
+class ServeObsGuard {
+ public:
+  ServeObsGuard()
+      : mode_(obs::CurrentTraceMode()), exemplars_(obs::ExemplarsEnabled()) {}
+  ~ServeObsGuard() {
+    obs::SetTraceMode(mode_);
+    obs::SetExemplarsEnabled(exemplars_);
+  }
+
+ private:
+  obs::TraceMode mode_;
+  bool exemplars_;
+};
+
+TEST(ServeTraceTest, ResponsesCarryDistinctNonzeroTraceIds) {
+  serve::ServeConfig config;
+  config.threads = 1;
+  serve::ServeEngine engine(config, EchoFactory());
+  ASSERT_TRUE(engine.Start().ok());
+
+  const serve::ServeResponse a = engine.SubmitAndWait(MatchRequest());
+  const serve::ServeResponse b = engine.SubmitAndWait(RecoverRequest());
+  engine.Stop();
+
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(b.trace_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(obs::TraceIdHex(a.trace_id).size(), 16u);
+}
+
+TEST(ServeTraceTest, HedgedAttemptsShareTraceIdWithDistinctSpans) {
+  ServeObsGuard guard;
+  obs::SetTraceMode(obs::TraceMode::kTrace);
+  obs::TraceRing::Global().Clear();
+
+  std::atomic<int> calls{0};
+  std::promise<void> entered;
+  std::promise<void> gate;
+  std::shared_future<void> gate_future(gate.get_future());
+
+  serve::ServeConfig config;
+  config.threads = 2;
+  config.deadline_ms = 0.0;
+  config.hedge_after_ms = 20.0;
+  serve::ServeEngine engine(config, [&](int) {
+    return std::make_unique<GatedWorker>(&calls, 0, &entered, gate_future);
+  });
+  ASSERT_TRUE(engine.Start().ok());
+
+  serve::ServeResponse resp = engine.SubmitAndWait(MatchRequest());
+  EXPECT_EQ(resp.outcome, serve::Outcome::kSuccess);
+  EXPECT_TRUE(resp.hedge_won);
+  ASSERT_NE(resp.trace_id, 0u);
+  gate.set_value();
+  engine.Stop();  // joins workers: the stuck primary's span has completed
+
+  // Both attempts (the stuck primary and the winning hedge) ran on
+  // different worker threads, yet every span they opened must carry the
+  // request's trace id, with distinct seqs and a flow link back to the
+  // request-lane root span.
+  int64_t root_seq = -1;
+  int root_lane = 0;
+  std::vector<int64_t> attempt_seqs;
+  std::vector<int64_t> attempt_links;
+  for (const obs::SpanRecord& s : obs::TraceRing::Global().Snapshot()) {
+    if (s.trace_id != resp.trace_id || s.name == nullptr) continue;
+    const std::string name = s.name;
+    if (name == "serve.request") {
+      root_seq = s.seq;
+      root_lane = s.lane;
+    } else if (name == "serve.attempt") {
+      attempt_seqs.push_back(s.seq);
+      attempt_links.push_back(s.link_seq);
+    }
+  }
+  ASSERT_GE(root_seq, 0) << "request root span missing from the ring";
+  EXPECT_GT(root_lane, 0) << "root must live on a synthetic request lane";
+  ASSERT_EQ(attempt_seqs.size(), 2u);
+  EXPECT_NE(attempt_seqs[0], attempt_seqs[1]);
+  EXPECT_EQ(attempt_links[0], root_seq);
+  EXPECT_EQ(attempt_links[1], root_seq);
+}
+
+TEST(ServeExemplarTest, EightThreadObserveAndScrapeStaysConsistent) {
+  ServeObsGuard guard;
+  obs::SetExemplarsEnabled(true);
+
+  // Every writer observes value == trace_id, so any torn exemplar slot
+  // (value paired with another write's trace id) is detectable on read.
+  obs::MetricRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("serve.exemplar.hammer.us");
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+
+  std::thread scraper([&] {
+    obs::HistogramExemplar ex;
+    int spins = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (hist->WorstExemplar(&ex) &&
+          ex.value != static_cast<double>(ex.trace_id)) {
+        torn.fetch_add(1);
+      }
+      // Exercise the full exposition path (exemplar rendering included)
+      // at a lower duty cycle than the raw slot reads.
+      if (++spins % 64 == 0) registry.WriteText();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 8; ++t) {
+    writers.emplace_back([hist, t] {
+      for (int i = 1; i <= 4000; ++i) {
+        const uint64_t id =
+            static_cast<uint64_t>(t + 1) * 1000000u + static_cast<uint64_t>(i);
+        hist->Observe(static_cast<double>(id), id);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  scraper.join();
+
+  EXPECT_EQ(torn.load(), 0) << "seqlock let a torn exemplar escape";
+  obs::HistogramExemplar ex;
+  ASSERT_TRUE(hist->WorstExemplar(&ex));
+  EXPECT_EQ(ex.value, static_cast<double>(ex.trace_id));
+  EXPECT_NE(ex.trace_id, 0u);
+  EXPECT_EQ(hist->Count(), 8 * 4000);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "obs/metrics.h"
 #include "obs/slo.h"
+#include "obs/trace.h"
 
 namespace trmma {
 namespace obs {
@@ -119,11 +120,34 @@ TEST(TelemetryServerTest, StatuszReportsBuildAndRuntimeState) {
   EXPECT_NE(response.find("\"memory\":"), std::string::npos);
 }
 
-TEST(TelemetryServerTest, TracezServesSpanRing) {
+TEST(TelemetryServerTest, TracezGroupsSpansByTraceId) {
+  const TraceMode saved = CurrentTraceMode();
+  SetTraceMode(TraceMode::kTrace);
+  TraceRing::Global().Clear();
+  {
+    // One span inside a request context, one free-floating.
+    ScopedTraceContext ctx(0x2a, -1);
+    TraceRing::Global().BeginSpan("tracez.test", 10.0);
+    TraceRing::Global().EndSpan(35.0);
+  }
+  TraceRing::Global().BeginSpan("tracez.untraced", 40.0);
+  TraceRing::Global().EndSpan(41.0);
+
   ServerGuard server;
   const std::string response = HttpGet(server->port(), "/tracez");
+  SetTraceMode(saved);
+  TraceRing::Global().Clear();
+
   EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
-  EXPECT_NE(response.find("\"spans\":"), std::string::npos);
+  // Grouped payload: the traced span lands in a per-request entry with its
+  // name breakdown; the context-free span is only summarized in the count.
+  EXPECT_NE(response.find("\"trace_count\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"untraced_spans\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"truncated\":false"), std::string::npos);
+  EXPECT_NE(response.find("\"trace_id\":\"000000000000002a\""),
+            std::string::npos);
+  EXPECT_NE(response.find("\"name\":\"tracez.test\""), std::string::npos);
+  EXPECT_EQ(response.find("\"name\":\"tracez.untraced\""), std::string::npos);
 }
 
 TEST(TelemetryServerTest, SloEndpointReflectsWatchdog) {

@@ -26,7 +26,8 @@ class ModeGuard {
 };
 
 SpanRecord MakeSpan(const char* name, int64_t seq, int64_t parent, int depth,
-                    double start_us, double dur_us) {
+                    double start_us, double dur_us, uint64_t trace_id = 0,
+                    int64_t link_seq = -1, int lane = 0) {
   SpanRecord rec;
   rec.name = name;
   rec.seq = seq;
@@ -34,6 +35,9 @@ SpanRecord MakeSpan(const char* name, int64_t seq, int64_t parent, int depth,
   rec.depth = depth;
   rec.start_us = start_us;
   rec.duration_us = dur_us;
+  rec.trace_id = trace_id;
+  rec.link_seq = link_seq;
+  rec.lane = lane;
   return rec;
 }
 
@@ -82,6 +86,52 @@ TEST(ChromeTraceJsonTest, EmptyRingYieldsValidEmptyDocument) {
   const std::string json = ChromeTraceJson(std::vector<SpanRecord>{});
   EXPECT_EQ(json,
             "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(ChromeTraceJsonTest, RequestLaneSpansMoveToSyntheticProcess) {
+  std::vector<SpanRecord> records;
+  records.push_back(MakeSpan("serve.request", 0, -1, 0, 0.0, 100.0,
+                             /*trace_id=*/0x2au, /*link_seq=*/-1, /*lane=*/3));
+  records.push_back(MakeSpan("work", 1, -1, 0, 5.0, 20.0));
+  const std::string json = ChromeTraceJson(records);
+
+  // Lane spans render under pid 2 with the lane as tid; worker spans keep
+  // pid 1. The synthetic process gets a metadata name event.
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"M\""), 1);
+  EXPECT_NE(json.find("\"name\":\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"000000000000002a\""), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, CrossLaneLinkEmitsOneFlowPair) {
+  std::vector<SpanRecord> records;
+  records.push_back(MakeSpan("serve.request", 0, -1, 0, 0.0, 100.0,
+                             /*trace_id=*/7u, /*link_seq=*/-1, /*lane=*/1));
+  records.push_back(MakeSpan("serve.attempt", 1, -1, 0, 10.0, 50.0,
+                             /*trace_id=*/7u, /*link_seq=*/0));
+  const std::string json = ChromeTraceJson(records);
+
+  // One start/finish arrow from the root's lane to the attempt's thread,
+  // keyed by the destination seq.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"s\""), 1);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"f\""), 1);
+  EXPECT_EQ(CountOccurrences(json, "\"id\":1"), 2);
+  EXPECT_EQ(CountOccurrences(json, "\"cat\":\"flow\""), 2);
+}
+
+TEST(ChromeTraceJsonTest, DanglingParentAndLinkRefsAreDropped) {
+  // Seq 99 was evicted from the ring: the child's parent_seq must be
+  // rewritten to -1 (viewers mis-stack X events whose parent interval is
+  // gone) and the flow arrow must be suppressed entirely.
+  std::vector<SpanRecord> records;
+  records.push_back(MakeSpan("orphan", 5, /*parent=*/99, 1, 10.0, 5.0,
+                             /*trace_id=*/7u, /*link_seq=*/99));
+  const std::string json = ChromeTraceJson(records);
+  EXPECT_NE(json.find("\"parent_seq\":-1"), std::string::npos);
+  EXPECT_EQ(json.find("\"parent_seq\":99"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"s\""), 0);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"f\""), 0);
 }
 
 // ------------------------------------------------------------ ring export
@@ -142,10 +192,11 @@ TEST(TraceRingExportTest, WrappedRingMayOrphanParentsButStillExports) {
   EXPECT_EQ(records[0].name, std::string("b"));
   EXPECT_EQ(records[0].parent_seq, outer);
   EXPECT_EQ(records[1].name, std::string("outer"));
-  // The export keeps the dangling parent_seq in args; viewers nest by time
-  // containment so the file stays loadable.
+  // "b"'s parent (outer) survived the wrap, so its parent_seq is kept.
   const std::string json = ChromeTraceJson(ring);
   EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2);
+  EXPECT_NE(json.find("\"parent_seq\":" + std::to_string(outer)),
+            std::string::npos);
 }
 
 TEST(TraceRingExportTest, WriteChromeTraceWritesFile) {

@@ -9,6 +9,10 @@
 //   trmma_inspect demo    <records.jsonl> [city] [n]
 //   trmma_inspect slo     <slo.json> <BENCH.json>
 //
+// <id> is a record id ("req-000042") or, for requests captured under the
+// serving engine's TraceContext, the 16-hex-digit trace id printed by
+// /metrics exemplars, /tracez, and SLO breach lines.
+//
 // `geojson` and `replay` rebuild the record's synthetic city (generation is
 // seed-deterministic), so they need no side files beyond the records. `demo`
 // runs a small untrained evaluation with the recorder at sample_every=1 and
@@ -167,9 +171,15 @@ int RunSlo(const std::string& slo_path, const std::string& report_path) {
   for (const obs::SloResult& r : results) {
     const char* verdict = !r.has_data ? "NO DATA" : (r.ok ? "ok" : "BREACH");
     if (r.has_data && !r.ok) ++breaches;
-    std::printf("%-28s %-28s %-6s value=%-14g max=%-14g %s\n", r.name.c_str(),
+    std::printf("%-28s %-28s %-6s value=%-14g max=%-14g %s", r.name.c_str(),
                 r.metric.c_str(), r.stat.empty() ? "-" : r.stat.c_str(),
                 r.value, r.max, verdict);
+    // Live evaluations attach the worst recent exemplar; naming it on a
+    // breach gives the operator a request to chase via `show <trace_id>`.
+    if (!r.exemplar_trace_id.empty() && r.has_data && !r.ok) {
+      std::printf("  exemplar=%s", r.exemplar_trace_id.c_str());
+    }
+    std::printf("\n");
   }
   std::printf("slo: %zu objective(s), %d breach(es)\n", results.size(),
               breaches);
