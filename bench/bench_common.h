@@ -14,7 +14,9 @@
 #include "obs/flight_recorder.h"
 #include "obs/mem_stats.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/quality.h"
+#include "obs/stall_watchdog.h"
 #include "obs/report.h"
 #include "obs/slo.h"
 #include "obs/telemetry_server.h"
@@ -176,6 +178,12 @@ class BenchRun {
     obs::SloWatchdog::Global().InstallFromEnv();
     obs::TelemetryServer::Global().StartFromEnv();
     obs::CpuProfiler::Global().StartFromEnv();
+    // Postmortem surface: a crash (or external kill -SEGV) during any bench
+    // leaves a schema-valid report when TRMMA_POSTMORTEM_DIR is set, and
+    // TRMMA_WATCHDOG_MS arms the stuck-request scanner. The install path
+    // registers the calling thread so the report's thread list includes main.
+    obs::InstallCrashHandlerFromEnv();
+    obs::StallWatchdog::Global().StartFromEnv();
     obs::RunReport& report = obs::RunReport::Global();
     report.SetName(name);
     report.SetFingerprint("scale", ScaleName());
@@ -197,6 +205,8 @@ class BenchRun {
       server.WaitForQuit(std::atoi(linger));
     }
     server.Stop();
+    // Join the watchdog scan thread too — same clean-exit reasoning.
+    obs::StallWatchdog::Global().Stop();
     if (obs::CurrentTraceMode() == obs::TraceMode::kTrace) {
       std::fprintf(stderr, "---- trace ring (most recent spans) ----\n%s",
                    obs::TraceRing::Global().DumpString().c_str());

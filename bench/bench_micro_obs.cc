@@ -13,6 +13,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/mem_stats.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/quality.h"
 #include "obs/trace.h"
 #include "obs/tracked_mutex.h"
@@ -271,6 +272,43 @@ void BM_MemHookEnabled(benchmark::State& state) {
   ResetMemStats();
 }
 BENCHMARK(BM_MemHookEnabled);
+
+// The acceptance contract for the serving engine's per-request in-flight
+// hooks: with neither crash handler nor watchdog installed (the default),
+// Register is one relaxed load plus a predicted branch (≤ 2 ns), and the
+// -1 "not tracked" token makes MarkExecuting/Release single-compare no-ops.
+// That is what lets the engine call all three unconditionally per request.
+void BM_InflightHookDisabled(benchmark::State& state) {
+  InflightRegistry& reg = InflightRegistry::Global();
+  reg.SetEnabled(false);
+  uint64_t trace_id = 1;
+  for (auto _ : state) {
+    const int token = reg.Register(trace_id++, "bench", 100.0);
+    reg.MarkExecuting(token);
+    reg.Release(token);
+    benchmark::DoNotOptimize(token);
+  }
+}
+BENCHMARK(BM_InflightHookDisabled);
+
+// Enabled lifecycle: slot claim (rotating-cursor CAS), tid stamp + state
+// store, release store. This is the steady-state per-request cost while a
+// crash handler or the stall watchdog is installed.
+void BM_InflightHookEnabled(benchmark::State& state) {
+  InflightRegistry& reg = InflightRegistry::Global();
+  reg.ResetForTest();
+  reg.SetEnabled(true);
+  uint64_t trace_id = 1;
+  for (auto _ : state) {
+    const int token = reg.Register(trace_id++, "bench", 100.0);
+    reg.MarkExecuting(token);
+    reg.Release(token);
+    benchmark::DoNotOptimize(token);
+  }
+  reg.SetEnabled(false);
+  reg.ResetForTest();
+}
+BENCHMARK(BM_InflightHookEnabled);
 
 void BM_RssSample(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Schema validator for trmma postmortem reports (schema trmma.postmortem.v1).
+
+Independent reimplementation of the checks in `trmma_inspect postmortem`, so
+CI validates crash reports with a second implementation: a bug in the C++
+writer and a matching bug in the C++ validator cannot cancel out. Exits 0
+when the report is well-formed, 1 with a reason otherwise. Stdlib only.
+
+Usage:
+  check_postmortem_json.py report.json [--min-threads N] [--min-frames N]
+                           [--require-inflight] [--expect-signal NAME]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+HEX16 = re.compile(r"^[0-9a-f]{16}$")
+PC = re.compile(r"^0x[0-9a-f]+$")
+STATES = {"queued", "executing", "unknown"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_thread(i, thread):
+    require(isinstance(thread, dict), f"threads[{i}] is not an object")
+    require(isinstance(thread.get("tid"), int) and thread["tid"] > 0,
+            f"threads[{i}].tid must be a positive integer")
+    require(isinstance(thread.get("name"), str),
+            f"threads[{i}].name must be a string")
+    require(isinstance(thread.get("faulting"), bool),
+            f"threads[{i}].faulting must be a bool")
+    frames = thread.get("frames")
+    require(isinstance(frames, list), f"threads[{i}].frames must be an array")
+    for f, frame in enumerate(frames):
+        require(isinstance(frame, dict), f"threads[{i}].frames[{f}] not object")
+        require(PC.match(frame.get("pc", "")),
+                f"threads[{i}].frames[{f}].pc is not a hex address: "
+                f"{frame.get('pc')!r}")
+        require(isinstance(frame.get("symbol"), str) and frame["symbol"],
+                f"threads[{i}].frames[{f}].symbol must be non-empty")
+
+
+def check_inflight(i, req):
+    require(isinstance(req, dict), f"inflight_requests[{i}] is not an object")
+    require(HEX16.match(req.get("trace_id", "")),
+            f"inflight_requests[{i}].trace_id is not 16 lowercase hex chars: "
+            f"{req.get('trace_id')!r}")
+    require(isinstance(req.get("kind"), str),
+            f"inflight_requests[{i}].kind must be a string")
+    require(req.get("state") in STATES,
+            f"inflight_requests[{i}].state {req.get('state')!r} "
+            f"not in {sorted(STATES)}")
+    require(isinstance(req.get("age_us"), (int, float)),
+            f"inflight_requests[{i}].age_us must be a number")
+    require(isinstance(req.get("deadline_ms"), (int, float)),
+            f"inflight_requests[{i}].deadline_ms must be a number")
+    require(isinstance(req.get("tid"), int),
+            f"inflight_requests[{i}].tid must be an integer")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument("--min-threads", type=int, default=1,
+                        help="minimum captured thread count")
+    parser.add_argument("--min-frames", type=int, default=0,
+                        help="minimum frames on the faulting thread")
+    parser.add_argument("--require-inflight", action="store_true",
+                        help="at least one in-flight request must be present")
+    parser.add_argument("--expect-signal", default=None,
+                        help="required signal name, e.g. SIGSEGV")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.report}: {e}")
+
+    require(isinstance(doc, dict), "top level is not an object")
+    require(doc.get("schema") == "trmma.postmortem.v1",
+            f"schema tag is {doc.get('schema')!r}, "
+            "expected 'trmma.postmortem.v1'")
+
+    signal = doc.get("signal")
+    require(isinstance(signal, dict), "signal is not an object")
+    require(isinstance(signal.get("number"), int), "signal.number not an int")
+    require(isinstance(signal.get("name"), str), "signal.name not a string")
+    addr = signal.get("fault_addr")
+    require(addr is None or (isinstance(addr, str) and PC.match(addr)),
+            f"signal.fault_addr must be null or hex: {addr!r}")
+    if args.expect_signal:
+        require(signal["name"] == args.expect_signal,
+                f"signal.name is {signal['name']}, "
+                f"expected {args.expect_signal}")
+
+    require("reason" in doc, "reason key missing")
+    require(isinstance(doc.get("pid"), int) and doc["pid"] > 0,
+            "pid must be a positive integer")
+    require(isinstance(doc.get("uptime_us"), (int, float)),
+            "uptime_us must be a number")
+    require(isinstance(doc.get("wall_unix_s"), int),
+            "wall_unix_s must be an integer")
+
+    threads = doc.get("threads")
+    require(isinstance(threads, list), "threads must be an array")
+    require(len(threads) >= args.min_threads,
+            f"{len(threads)} thread(s) captured, "
+            f"need >= {args.min_threads}")
+    for i, thread in enumerate(threads):
+        check_thread(i, thread)
+    faulting = [t for t in threads if t.get("faulting")]
+    if signal["number"] != 0:
+        require(len(faulting) == 1,
+                f"{len(faulting)} faulting thread(s) on a fatal signal, "
+                "expected exactly 1")
+        require(len(faulting[0]["frames"]) >= args.min_frames,
+                f"faulting thread has {len(faulting[0]['frames'])} frame(s), "
+                f"need >= {args.min_frames}")
+        symbolized = [f for f in faulting[0]["frames"]
+                      if not f["symbol"].startswith("0x")]
+        if args.min_frames > 0:
+            require(symbolized,
+                    "faulting thread has no symbolized frame at all")
+
+    inflight = doc.get("inflight_requests")
+    require(isinstance(inflight, list), "inflight_requests must be an array")
+    for i, req in enumerate(inflight):
+        check_inflight(i, req)
+    if args.require_inflight:
+        require(inflight, "no in-flight requests captured")
+
+    spans = doc.get("spans", "missing")
+    require(spans is None or isinstance(spans, list),
+            "spans must be an array or null")
+    require(isinstance(doc.get("memory"), dict), "memory must be an object")
+    metrics = doc.get("metrics", "missing")
+    require(metrics is None or isinstance(metrics, dict),
+            "metrics must be an object or null")
+    lock_order = doc.get("lock_order", "missing")
+    require(lock_order is None or isinstance(lock_order, dict),
+            "lock_order must be an object or null")
+
+    distinct_stacks = len({tuple(f["pc"] for f in t["frames"])
+                           for t in threads if t["frames"]})
+    print(f"OK: {args.report}: signal {signal['name']}, "
+          f"{len(threads)} thread(s) ({distinct_stacks} distinct stacks), "
+          f"{len(inflight)} in-flight request(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Crash drill for the postmortem pipeline (run from ctest and CI).
+
+Three scenarios against the crash_demo binary:
+
+  clean  -> the demo itself is healthy: starts, serves, exits 0
+  crash  -> a worker faults via the serve.worker.crash fault point; the
+            process must die of SIGSEGV AND leave a postmortem report that
+            passes check_postmortem_json.py with a symbolized faulting
+            stack, >= 2 captured threads, and in-flight requests
+  kill   -> an externally delivered `kill -SEGV` (the black-box case: no
+            cooperation from the faulting code) produces the same report
+
+Each report is validated twice — by check_postmortem_json.py (this repo's
+Python reimplementation) and by `trmma_inspect postmortem` when --inspect
+is given. Stdlib only.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def check(cond, what):
+    if not cond:
+        print(f"FAIL: {what}")
+        sys.exit(1)
+    print(f"OK: {what}")
+
+
+def wait_ready(proc, timeout_s=20):
+    """Reads the demo's 'ready pid=... postmortem=...' line."""
+    line = proc.stdout.readline()
+    check(line.startswith("ready "), f"demo printed ready line (got {line!r})")
+    fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+    return int(fields["pid"]), fields["postmortem"]
+
+
+def validate(checker, report, inspect, scenario):
+    check(os.path.isfile(report), f"{scenario}: postmortem file exists")
+    result = subprocess.run(
+        [sys.executable, checker, report, "--min-threads", "2",
+         "--min-frames", "1", "--require-inflight",
+         "--expect-signal", "SIGSEGV"],
+        capture_output=True, text=True)
+    print(result.stdout.strip())
+    check(result.returncode == 0,
+          f"{scenario}: check_postmortem_json accepts the report "
+          f"({result.stdout.strip()})")
+    if inspect:
+        cli = subprocess.run([inspect, "postmortem", report],
+                             capture_output=True, text=True)
+        check(cli.returncode == 0 and "postmortem OK" in cli.stdout,
+              f"{scenario}: trmma_inspect postmortem accepts the report")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True, help="crash_demo path")
+    parser.add_argument("--checker", required=True,
+                        help="path to check_postmortem_json.py")
+    parser.add_argument("--inspect", default=None,
+                        help="optional trmma_inspect path for CLI validation")
+    parser.add_argument("--workdir", default=None)
+    parser.add_argument("--keep-report", default=None,
+                        help="copy the crash-scenario report here (CI artifact)")
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="crash_smoke_", dir=args.workdir or None)
+
+    # Scenario 1: the demo is healthy when nothing faults.
+    clean_dir = os.path.join(tmp, "clean")
+    os.makedirs(clean_dir)
+    clean = subprocess.run([args.binary, clean_dir, "clean"],
+                           capture_output=True, text=True, timeout=120)
+    check(clean.returncode == 0,
+          f"clean: demo exits 0 (stderr: {clean.stderr[:200]})")
+    check(not os.listdir(clean_dir), "clean: no postmortem written")
+
+    # Scenario 2: a worker faults mid-request (fault-point injection).
+    crash_dir = os.path.join(tmp, "crash")
+    os.makedirs(crash_dir)
+    proc = subprocess.Popen([args.binary, crash_dir, "crash"],
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            text=True)
+    _, report = wait_ready(proc)
+    proc.wait(timeout=120)
+    check(proc.returncode == -signal.SIGSEGV,
+          f"crash: process died of SIGSEGV (returncode {proc.returncode})")
+    validate(args.checker, report, args.inspect, "crash")
+    if args.keep_report:
+        with open(report) as src, open(args.keep_report, "w") as dst:
+            dst.write(src.read())
+        print(f"OK: crash report copied to {args.keep_report}")
+
+    # Scenario 3: an external kill -SEGV, no cooperation from the code.
+    kill_dir = os.path.join(tmp, "kill")
+    os.makedirs(kill_dir)
+    proc = subprocess.Popen([args.binary, kill_dir, "wait"],
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            text=True)
+    pid, report = wait_ready(proc)
+    time.sleep(0.5)  # let the sleepy requests reach the executing state
+    os.kill(pid, signal.SIGSEGV)
+    proc.wait(timeout=120)
+    check(proc.returncode == -signal.SIGSEGV,
+          f"kill: process died of SIGSEGV (returncode {proc.returncode})")
+    validate(args.checker, report, args.inspect, "kill")
+
+    print("all crash smoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

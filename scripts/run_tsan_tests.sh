@@ -22,9 +22,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 # Anchored suite names: a bare 'serve|chaos' would substring-match
 # unrelated tests ("...Preserves...", "...Observed...") and miss the
-# capitalized Serve/Chaos suites entirely.
+# capitalized Serve/Chaos suites entirely. StackWalk/Postmortem/
+# StallWatchdog/LockOrder are the postmortem-observability surface: signal
+# rendezvous, lock-free in-flight registry, watchdog thread, and the
+# lock-order detector's hook paths all cross threads.
 if [ "$#" -eq 0 ]; then
-  set -- -R '^(Serve|Chaos|Deadline|CircuitBreaker|MixSeed|FaultInjector)'
+  set -- -R '^(Serve|Chaos|Deadline|CircuitBreaker|MixSeed|FaultInjector|StackWalk|Postmortem|InflightRegistry|StallWatchdog|LockOrder)'
 fi
 
 ctest --test-dir "${build_dir}" -j "${jobs}" --output-on-failure "$@"

@@ -11,7 +11,10 @@ still running:
     0.0.4: every line is a comment or a `name{labels} value` sample, HELP/
     TYPE headers appear exactly once per family, and the scrape carries the
     memory (mem_rss_bytes) and lock (lock_acquisitions) gauges,
-  - when an SLO file is passed (--slo), expects slo_ok gauges in the scrape.
+  - when an SLO file is passed (--slo), expects slo_ok gauges in the scrape,
+  - GETs /debug/stacks and expects a symbolized dump that includes the
+    registered telemetry thread,
+  - GETs an unknown path and expects a 404 that lists the real endpoints.
 
 Smoke-scale benches finish in milliseconds — faster than the first scrape
 round-trip — so the bench is launched with TRMMA_HTTP_LINGER_MS set: at exit
@@ -29,6 +32,7 @@ import re
 import subprocess
 import sys
 import tempfile
+import urllib.error
 import urllib.request
 
 PORT_RE = re.compile(r"telemetry: serving on 127\.0\.0\.1:(\d+)")
@@ -164,6 +168,22 @@ def main():
                 if status != 200 or '"memory":' not in body:
                     errors.append(f"/statusz: status={status} or missing "
                                   "memory section")
+                status, _, body = http_get(port, "/debug/stacks")
+                if status != 200 or "thread " not in body:
+                    errors.append(f"/debug/stacks: status={status} "
+                                  f"body={body[:120]!r}")
+                if "telemetry.http" not in body:
+                    errors.append("/debug/stacks: serving thread not in dump")
+                try:
+                    status, _, body = http_get(port, "/no/such/endpoint")
+                    errors.append(f"unknown path returned {status}, not 404")
+                except urllib.error.HTTPError as e:
+                    body = e.read().decode("utf-8", errors="replace")
+                    if e.code != 404:
+                        errors.append(f"unknown path: status={e.code}")
+                    if "/debug/stacks" not in body or "/metrics" not in body:
+                        errors.append("404 body does not list the available "
+                                      f"endpoints: {body[:200]!r}")
             except OSError as e:
                 errors.append(f"scrape failed: {e}")
             finally:

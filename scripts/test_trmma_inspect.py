@@ -14,7 +14,12 @@ tampered record must make `replay` exit nonzero with a mismatch report.
 The `slo` subcommand gets the same treatment: a satisfied objective set
 exits 0, a violated objective is printed as BREACH and exits 1, objectives
 over absent metrics report NO DATA without failing, and malformed SLO files
-are rejected. Stdlib only, so it runs inside ctest with no extra
+are rejected.
+
+The `postmortem` subcommand is exercised against the committed golden crash
+report (must validate and print the faulting stack) plus three negatives:
+a truncated file, a tampered trace id, and a report whose fatal signal has
+no faulting thread. Stdlib only, so it runs inside ctest with no extra
 dependencies.
 """
 
@@ -47,6 +52,8 @@ def main():
     parser.add_argument("--trajectories", default="60")
     parser.add_argument("--slo-default", default=None,
                         help="committed default SLO file to sanity-check")
+    parser.add_argument("--postmortem-golden", default=None,
+                        help="committed golden postmortem report")
     args = parser.parse_args()
 
     tmp = tempfile.mkdtemp(prefix="trmma_inspect_", dir=args.workdir or None)
@@ -181,6 +188,55 @@ def main():
         default = run([args.binary, "slo", args.slo_default, empty])
         check(default.returncode == 0,
               "committed default SLO file parses and evaluates")
+
+    if args.postmortem_golden:
+        # postmortem: the committed golden crash report validates and the
+        # summary names the faulting thread's top frame.
+        golden = json.load(open(args.postmortem_golden))
+        ok_pm = run([args.binary, "postmortem", args.postmortem_golden])
+        check(ok_pm.returncode == 0, "postmortem accepts the golden report")
+        check("postmortem OK" in ok_pm.stdout,
+              "postmortem prints the OK banner")
+        check(golden["signal"]["name"] in ok_pm.stdout,
+              "postmortem names the fatal signal")
+        faulting = next(t for t in golden["threads"] if t["faulting"])
+        check("(faulting)" in ok_pm.stdout,
+              "postmortem marks the faulting thread")
+        check(faulting["frames"][0]["symbol"] in ok_pm.stdout,
+              "postmortem prints the faulting thread's top frame")
+
+        # Negative: a truncated report is rejected.
+        truncated_pm = os.path.join(tmp, "postmortem_truncated.json")
+        with open(args.postmortem_golden) as src:
+            text = src.read()
+        with open(truncated_pm, "w") as out:
+            out.write(text[: len(text) // 2])
+        bad_pm = run([args.binary, "postmortem", truncated_pm])
+        check(bad_pm.returncode != 0,
+              "postmortem rejects a truncated report")
+
+        # Negative: a tampered trace id is rejected.
+        tampered_pm = os.path.join(tmp, "postmortem_tampered.json")
+        twisted_pm = json.loads(text)
+        twisted_pm["inflight_requests"][0]["trace_id"] = "not-a-trace-id"
+        with open(tampered_pm, "w") as out:
+            json.dump(twisted_pm, out)
+        bad_pm = run([args.binary, "postmortem", tampered_pm])
+        check(bad_pm.returncode != 0,
+              "postmortem rejects a tampered trace id")
+        check("trace_id" in bad_pm.stderr,
+              "postmortem names the offending field")
+
+        # Negative: a fatal signal with no faulting thread is rejected.
+        headless_pm = os.path.join(tmp, "postmortem_headless.json")
+        twisted_pm = json.loads(text)
+        for thread in twisted_pm["threads"]:
+            thread["faulting"] = False
+        with open(headless_pm, "w") as out:
+            json.dump(twisted_pm, out)
+        bad_pm = run([args.binary, "postmortem", headless_pm])
+        check(bad_pm.returncode != 0,
+              "postmortem requires a faulting thread on a fatal signal")
 
     print("all trmma_inspect checks passed")
     return 0

@@ -1,10 +1,7 @@
 #include "obs/cpu_profiler.h"
 
-#include <dlfcn.h>
 #include <signal.h>
 #include <sys/time.h>
-#include <sys/uio.h>
-#include <ucontext.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -15,30 +12,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <cxxabi.h>
 #include <map>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/stack_walk.h"
 
 namespace trmma {
 namespace obs {
 namespace {
 
-// The sampler is disabled under ASan/TSan: their shadow-memory stack
-// instrumentation (fake frames, redzones) does not tolerate raw
-// frame-pointer walks from a signal handler.
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-#define TRMMA_PROFILER_SANITIZED 1
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-#define TRMMA_PROFILER_SANITIZED 1
-#endif
-#endif
-
-constexpr int kMaxFrames = 48;
+constexpr int kMaxFrames = kStackMaxFrames;
 constexpr int kEpochCapacity = 4096;  ///< samples per epoch buffer
 
 /// One epoch of raw samples, written lock-free by the signal handler:
@@ -60,77 +46,9 @@ std::atomic<int> g_active_epoch{0};
 std::atomic<int> g_max_depth{kMaxFrames};
 std::atomic<int64_t> g_truncated{0};
 
-/// Guarded 2-word load of a stack frame ([saved fp, return address]).
-/// A signal can interrupt frameless code (leaf functions, libc built
-/// without frame pointers), leaving garbage in the frame-pointer register —
-/// dereferencing it raw would turn a profile tick into a SIGSEGV. Reading
-/// through process_vm_readv on our own pid makes the load fallible instead:
-/// the kernel returns EFAULT (or a short count at a mapping boundary) where
-/// a direct load would fault. One cheap syscall per frame, and a syscall is
-/// async-signal-safe by construction.
-bool SafeReadFrame(uintptr_t addr, uintptr_t out[2]) {
-  iovec local;
-  local.iov_base = out;
-  local.iov_len = 2 * sizeof(uintptr_t);
-  iovec remote;
-  remote.iov_base = reinterpret_cast<void*>(addr);
-  remote.iov_len = 2 * sizeof(uintptr_t);
-  return process_vm_readv(getpid(), &local, 1, &remote, 1, 0) ==
-         static_cast<ssize_t>(2 * sizeof(uintptr_t));
-}
-
-/// Captures the interrupted context's stack by frame-pointer walk. Every
-/// operation here is async-signal-safe: register reads from the ucontext,
-/// then a bounded loop of guarded loads (SafeReadFrame) with the standard
-/// validity heuristics (alignment, strictly increasing frame pointers,
-/// < 1 MB stride). Requires -fno-omit-frame-pointer (set globally in
-/// CMake).
-int CaptureStack(void* ucv, void** out, int max_depth) {
-#if (defined(__x86_64__) || defined(__aarch64__)) && defined(__linux__)
-  uintptr_t pc = 0;
-  uintptr_t fp = 0;
-  if (ucv != nullptr) {
-    const ucontext_t* uc = static_cast<const ucontext_t*>(ucv);
-#if defined(__x86_64__)
-    pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
-    fp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
-#else
-    pc = static_cast<uintptr_t>(uc->uc_mcontext.pc);
-    fp = static_cast<uintptr_t>(uc->uc_mcontext.regs[29]);
-#endif
-  } else {
-    // Synchronous capture (test hook): start from our own frame.
-    fp = reinterpret_cast<uintptr_t>(__builtin_frame_address(0));
-  }
-  int depth = 0;
-  if (pc != 0 && depth < max_depth) {
-    out[depth++] = reinterpret_cast<void*>(pc);
-  }
-  while (depth < max_depth) {
-    if (fp == 0 || (fp & (sizeof(void*) - 1)) != 0) break;
-    uintptr_t frame[2];  // [saved fp, return address]
-    if (!SafeReadFrame(fp, frame)) break;  // unmapped: garbage fp register
-    const uintptr_t next = frame[0];
-    const uintptr_t ret = frame[1];
-    if (ret < 4096) break;  // not a code address
-    out[depth++] = reinterpret_cast<void*>(ret);
-    if (next <= fp || next - fp > (1u << 20)) break;  // broken chain
-    fp = next;
-  }
-  if (depth == max_depth) {
-    g_truncated.fetch_add(1, std::memory_order_relaxed);
-  }
-  return depth;
-#else
-  (void)ucv;
-  (void)out;
-  (void)max_depth;
-  return 0;
-#endif
-}
-
 /// Claims a slot in the active epoch and publishes one sample. Shared by
-/// the signal handler and the synchronous test hook.
+/// the signal handler and the synchronous test hook. The walk itself is the
+/// shared async-signal-safe frame-pointer walker (obs/stack_walk.h).
 int RecordSample(void* ucv) {
   EpochBuffer& buf =
       g_epochs[g_active_epoch.load(std::memory_order_relaxed) & 1];
@@ -139,8 +57,11 @@ int RecordSample(void* ucv) {
     buf.dropped.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
-  const int depth = CaptureStack(
-      ucv, buf.frames[slot], g_max_depth.load(std::memory_order_relaxed));
+  const int max_depth = g_max_depth.load(std::memory_order_relaxed);
+  const int depth = CaptureStack(ucv, buf.frames[slot], max_depth);
+  if (depth == max_depth) {
+    g_truncated.fetch_add(1, std::memory_order_relaxed);
+  }
   buf.ready[slot].store(depth, std::memory_order_release);
   return depth;
 }
@@ -166,43 +87,7 @@ std::string g_dump_path;
 const std::string& SymbolFor(void* pc) {
   auto it = g_symbols.find(pc);
   if (it != g_symbols.end()) return it->second;
-  std::string name;
-  Dl_info info;
-  // dladdr leaves `info` untouched on failure (a walked "return address"
-  // can pass the frame heuristics yet point into no loaded object), so the
-  // fields are only meaningful behind a successful lookup.
-  std::memset(&info, 0, sizeof(info));
-  // Sample PCs are return addresses (except the leaf): resolve pc-1 so a
-  // call that ends a function does not symbolize as its successor.
-  if (dladdr(reinterpret_cast<void*>(
-                 reinterpret_cast<uintptr_t>(pc) - 1),
-             &info) != 0) {
-    if (info.dli_sname != nullptr) {
-      int status = 0;
-      char* demangled =
-          abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
-      if (status == 0 && demangled != nullptr) {
-        name = demangled;
-      } else {
-        name = info.dli_sname;
-      }
-      std::free(demangled);
-    } else if (info.dli_fname != nullptr) {
-      const char* base = std::strrchr(info.dli_fname, '/');
-      name = base != nullptr ? base + 1 : info.dli_fname;
-    }
-  }
-  if (name.empty()) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "0x%zx",
-                  reinterpret_cast<uintptr_t>(pc));
-    name = buf;
-  }
-  // Folded-stack separators must not appear inside a frame name.
-  for (char& c : name) {
-    if (c == ';' || c == '\n') c = '_';
-  }
-  return g_symbols.emplace(pc, std::move(name)).first->second;
+  return g_symbols.emplace(pc, SymbolizePc(pc)).first->second;
 }
 
 }  // namespace
@@ -213,15 +98,11 @@ CpuProfiler& CpuProfiler::Global() {
 }
 
 Status CpuProfiler::Start(const CpuProfilerConfig& config) {
-#if defined(TRMMA_PROFILER_SANITIZED)
-  (void)config;
-  return Status::FailedPrecondition(
-      "cpu profiler disabled under sanitizer builds");
-#else
-  void* probe[2];
-  if (CaptureStack(nullptr, probe, 2) == 0) {
+  if (!StackWalkSupported()) {
+    (void)config;
     return Status::FailedPrecondition(
-        "cpu profiler unsupported on this architecture");
+        "cpu profiler disabled: frame walk unavailable (sanitizer build or "
+        "unsupported architecture)");
   }
   std::lock_guard<TrackedMutex> lock(mu_);
   if (running_.load(std::memory_order_relaxed)) {
@@ -237,7 +118,8 @@ Status CpuProfiler::Start(const CpuProfilerConfig& config) {
   sa.sa_flags = SA_SIGINFO | SA_RESTART;
   sigemptyset(&sa.sa_mask);
   if (sigaction(SIGPROF, &sa, nullptr) != 0) {
-    return Status::Internal("sigaction(SIGPROF) failed");
+    return Status::Internal(std::string("sigaction(SIGPROF) failed: ") +
+                            std::strerror(errno));
   }
   itimerval timer;
   const long interval_us = std::max(1000000L / hz_, 1L);
@@ -245,11 +127,11 @@ Status CpuProfiler::Start(const CpuProfilerConfig& config) {
   timer.it_interval.tv_usec = interval_us % 1000000;
   timer.it_value = timer.it_interval;
   if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
-    return Status::Internal("setitimer(ITIMER_PROF) failed");
+    return Status::Internal(std::string("setitimer(ITIMER_PROF) failed: ") +
+                            std::strerror(errno));
   }
   running_.store(true, std::memory_order_relaxed);
   return Status::OK();
-#endif
 }
 
 void CpuProfiler::Stop() {
@@ -490,11 +372,8 @@ std::string CpuProfiler::FlamegraphHtml() {
 }
 
 int CpuProfiler::SampleNowForTest() {
-#if defined(TRMMA_PROFILER_SANITIZED)
-  return 0;
-#else
+  if (!StackWalkSupported()) return 0;
   return RecordSample(nullptr);
-#endif
 }
 
 void CpuProfiler::Reset() {
@@ -515,7 +394,6 @@ void CpuProfiler::Reset() {
   g_dropped = 0;
   g_truncated.store(0, std::memory_order_relaxed);
 }
-#undef TRMMA_PROFILER_SANITIZED
 
 }  // namespace obs
 }  // namespace trmma

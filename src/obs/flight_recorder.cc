@@ -191,6 +191,17 @@ void FlightRecorder::End(RequestRecord&& record, std::int64_t index) {
 
 std::int64_t FlightRecorder::Flush() {
   std::lock_guard<obs::TrackedMutex> lock(mu_);
+  return FlushLocked();
+}
+
+bool FlightRecorder::TryFlush(std::int64_t* written) {
+  std::unique_lock<obs::TrackedMutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  *written = FlushLocked();
+  return true;
+}
+
+std::int64_t FlightRecorder::FlushLocked() {
   if (config_.path.empty()) return 0;
   std::ofstream out(config_.path, std::ios::trunc);
   if (!out) return 0;

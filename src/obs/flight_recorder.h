@@ -96,6 +96,9 @@ class FlightRecorder {
   /// (sorted by id, so output is deterministic). Idempotent; returns the
   /// number of records written.
   std::int64_t Flush();
+  /// Non-blocking Flush for the crash path: false when the recorder lock is
+  /// held (a crash mid-retention skips the flush instead of deadlocking).
+  bool TryFlush(std::int64_t* written);
 
   /// Copies of the retained exemplars, sorted by id.
   std::vector<RequestRecord> Snapshot() const;
@@ -121,6 +124,8 @@ class FlightRecorder {
 
   // Drops `reason` from `id`, erasing the exemplar once no reason holds it.
   void DropReasonLocked(const std::string& id, const std::string& reason);
+
+  std::int64_t FlushLocked();
 
   mutable TrackedMutex mu_{"flight.recorder"};
   FlightRecorderConfig config_;

@@ -89,6 +89,15 @@ class JsonWriter {
     MarkValue();
     return *this;
   }
+  /// Splices a pre-rendered JSON value verbatim (the caller guarantees it is
+  /// valid JSON) — used to embed sub-documents like MemoryJson() without
+  /// re-parsing them.
+  JsonWriter& Raw(const std::string& json) {
+    Comma();
+    out_ += json;
+    MarkValue();
+    return *this;
+  }
 
  private:
   void Comma() {

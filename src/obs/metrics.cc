@@ -37,11 +37,22 @@ int ModeFromEnv() {
 
 std::atomic<int> g_trace_mode{ModeFromEnv()};
 
+namespace {
+/// The lock gate folds the trace mode together with the lock-order opt-in
+/// (tracked_mutex.cc); recompute it once this TU's env init has run. Both
+/// TUs' initializers refresh, so cross-TU init order doesn't matter.
+const bool g_lock_gate_refreshed = [] {
+  RefreshLockGate();
+  return true;
+}();
+}  // namespace
+
 }  // namespace internal_obs
 
 void SetTraceMode(TraceMode mode) {
   internal_obs::g_trace_mode.store(static_cast<int>(mode),
                                    std::memory_order_relaxed);
+  internal_obs::RefreshLockGate();
 }
 
 namespace {
@@ -632,6 +643,17 @@ void WriteLabels(JsonWriter& w, const Labels& labels) {
 
 std::string MetricRegistry::JsonDump() const {
   std::lock_guard<TrackedMutex> lock(mu_);
+  return JsonDumpLocked();
+}
+
+bool MetricRegistry::TryJsonDump(std::string* out) const {
+  std::unique_lock<TrackedMutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  *out = JsonDumpLocked();
+  return true;
+}
+
+std::string MetricRegistry::JsonDumpLocked() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginArray();

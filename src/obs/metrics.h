@@ -206,6 +206,10 @@ class MetricRegistry {
   std::string TextDump() const;
   /// {"counters":[...],"gauges":[...],"histograms":[...]} — see DESIGN.md.
   std::string JsonDump() const;
+  /// Non-blocking JsonDump for the crash path: false (out untouched) when
+  /// the registry lock is held, so the postmortem writer degrades the
+  /// metrics section to null instead of deadlocking.
+  bool TryJsonDump(std::string* out) const;
   /// Prometheus text exposition format (version 0.0.4): `# HELP`/`# TYPE`
   /// once per metric family, sanitized metric names (dots become
   /// underscores), escaped label values, histograms rendered as summaries
@@ -229,6 +233,8 @@ class MetricRegistry {
  private:
   /// Canonical map key: name{k=v,...} with labels sorted by key.
   static std::string MakeKey(const std::string& name, const Labels& labels);
+
+  std::string JsonDumpLocked() const;
 
   struct Entry {
     std::string name;

@@ -1,0 +1,447 @@
+#include "obs/postmortem.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/mem_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/tracked_mutex.h"
+
+namespace trmma {
+namespace obs {
+
+namespace {
+
+const char* SignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case 0: return "NONE";  // live dump (/debug/postmortem)
+    default: return "UNKNOWN";
+  }
+}
+
+const char* InflightStateName(int state) {
+  switch (state) {
+    case 1: return "queued";
+    case 2: return "executing";
+    default: return "unknown";
+  }
+}
+
+/// All crash-path state is static so the handler touches no heap before the
+/// (documented, best-effort) JSON assembly. SIGSTKSZ stopped being a
+/// compile-time constant in glibc 2.34, hence the fixed 64 KiB.
+char g_dir[256] = {0};
+char g_path[320] = {0};
+char g_altstack[64 * 1024];
+std::atomic<bool> g_installed{false};
+/// 0 = no crash; 1 = a handler (or AbortWithPostmortem) owns the report.
+std::atomic<int> g_crash_in_progress{0};
+/// tid of the thread writing the report. Its own second fault (or its
+/// deliberate re-raise / abort()) must fall straight through to the default
+/// disposition; every other faulting thread parks while the report lands.
+std::atomic<int> g_crash_owner_tid{0};
+ThreadStack g_crash_stacks[ThreadRegistry::kMaxThreads];
+
+void SleepMillisSignalSafe(int ms) {
+  timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  nanosleep(&ts, nullptr);
+}
+
+void WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+/// Builds the report, writes it to g_path, flushes the flight recorder, and
+/// leaves a breadcrumb on stderr. Shared by the signal handler and
+/// AbortWithPostmortem.
+void WriteReport(const PostmortemContext& ctx) {
+  const std::string json = BuildPostmortemJson(ctx);
+  const int fd = ::open(g_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd >= 0) {
+    WriteAll(fd, json.data(), json.size());
+    WriteAll(fd, "\n", 1);
+    ::fsync(fd);
+    ::close(fd);
+  }
+  std::int64_t written = 0;
+  FlightRecorder::Global().TryFlush(&written);
+  char msg[400];
+  const int n = std::snprintf(msg, sizeof(msg),
+                              "trmma: %s — postmortem written to %s\n",
+                              SignalName(ctx.signo), g_path);
+  if (n > 0) WriteAll(2, msg, static_cast<size_t>(n));
+}
+
+void CrashSignalHandler(int signo, siginfo_t* info, void* ucv) {
+  const int self = CurrentThreadId();
+  int expected = 0;
+  if (!g_crash_in_progress.compare_exchange_strong(expected, 1)) {
+    if (g_crash_owner_tid.load(std::memory_order_acquire) == self) {
+      // A fault inside our own report path (or AbortWithPostmortem's
+      // abort() after it wrote the report): nothing left to try.
+      signal(signo, SIG_DFL);
+      raise(signo);
+      return;
+    }
+    // Another thread faulted while the report is being written — several
+    // workers tripping over the same corruption at once is the common case.
+    // Park so the winner's fsync'd report survives; it terminates the
+    // process when done. The bound keeps a wedged winner from hanging us.
+    for (int i = 0; i < 10000; ++i) SleepMillisSignalSafe(1);
+    signal(signo, SIG_DFL);
+    raise(signo);
+    return;
+  }
+  g_crash_owner_tid.store(self, std::memory_order_release);
+  // All registered threads first; entry 0 is always the calling thread, so
+  // overwrite it with the ucontext walk — the report should show the
+  // faulting frame, not this handler.
+  int count = ThreadRegistry::Global().CaptureAllStacks(
+      g_crash_stacks, ThreadRegistry::kMaxThreads);
+  if (count > 0) {
+    g_crash_stacks[0].faulting = true;
+    g_crash_stacks[0].depth =
+        CaptureStack(ucv, g_crash_stacks[0].frames, kStackMaxFrames);
+  }
+  PostmortemContext ctx;
+  ctx.signo = signo;
+  // si_addr is only meaningful for memory/instruction faults; a SIGABRT's
+  // (or a kill(2)-delivered signal's) would be noise.
+  if (info != nullptr &&
+      (signo == SIGSEGV || signo == SIGBUS || signo == SIGILL ||
+       signo == SIGFPE)) {
+    ctx.has_fault_addr = true;
+    ctx.fault_addr = info->si_addr;
+  }
+  ctx.stacks = g_crash_stacks;
+  ctx.stack_count = count;
+  WriteReport(ctx);
+  // Restore the default disposition and re-raise: pending until this
+  // handler returns, then terminates with the true signal exit status.
+  signal(signo, SIG_DFL);
+  raise(signo);
+}
+
+}  // namespace
+
+InflightRegistry& InflightRegistry::Global() {
+  static InflightRegistry* registry = new InflightRegistry();
+  return *registry;
+}
+
+int InflightRegistry::Register(uint64_t trace_id, const char* kind,
+                               double deadline_ms) {
+  if (!enabled()) return -1;
+  const uint32_t start = cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (int i = 0; i < kMaxSlots; ++i) {
+    const int index = static_cast<int>((start + static_cast<uint32_t>(i)) %
+                                       kMaxSlots);
+    Slot& slot = slots_[index];
+    int expected = 0;
+    // Claim into a transient "initializing" state (3) so Snapshot never
+    // reads a half-filled slot, then publish as queued with release.
+    if (!slot.state.compare_exchange_strong(expected, 3,
+                                            std::memory_order_acq_rel)) {
+      continue;
+    }
+    slot.trace_id.store(trace_id, std::memory_order_relaxed);
+    slot.kind.store(kind, std::memory_order_relaxed);
+    slot.deadline_ms.store(deadline_ms, std::memory_order_relaxed);
+    slot.start_us.store(static_cast<int64_t>(NowMicros()),
+                        std::memory_order_relaxed);
+    slot.tid.store(0, std::memory_order_relaxed);
+    slot.state.store(1, std::memory_order_release);
+    return index;
+  }
+  return -1;  // all slots busy: the request just isn't tracked
+}
+
+void InflightRegistry::MarkExecuting(int token) {
+  if (token < 0 || token >= kMaxSlots) return;
+  Slot& slot = slots_[token];
+  slot.tid.store(CurrentThreadId(), std::memory_order_relaxed);
+  slot.state.store(2, std::memory_order_release);
+}
+
+void InflightRegistry::Release(int token) {
+  if (token < 0 || token >= kMaxSlots) return;
+  slots_[token].state.store(0, std::memory_order_release);
+}
+
+int InflightRegistry::Snapshot(InflightRequest* out, int max_out) const {
+  int n = 0;
+  for (int i = 0; i < kMaxSlots && n < max_out; ++i) {
+    const Slot& slot = slots_[i];
+    const int state = slot.state.load(std::memory_order_acquire);
+    if (state != 1 && state != 2) continue;
+    out[n].trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    out[n].kind = slot.kind.load(std::memory_order_relaxed);
+    out[n].deadline_ms = slot.deadline_ms.load(std::memory_order_relaxed);
+    out[n].start_us = slot.start_us.load(std::memory_order_relaxed);
+    out[n].tid = slot.tid.load(std::memory_order_relaxed);
+    out[n].state = state;
+    ++n;
+  }
+  return n;
+}
+
+namespace {
+
+void WriteInflightArray(JsonWriter& w, const InflightRequest* reqs, int count,
+                        double now_us) {
+  w.BeginArray();
+  for (int i = 0; i < count; ++i) {
+    const InflightRequest& req = reqs[i];
+    w.BeginObject();
+    w.Key("trace_id").String(TraceIdHex(req.trace_id));
+    w.Key("kind").String(req.kind != nullptr ? req.kind : "");
+    w.Key("state").String(InflightStateName(req.state));
+    w.Key("age_us").Number(now_us - static_cast<double>(req.start_us));
+    w.Key("deadline_ms").Number(req.deadline_ms);
+    w.Key("tid").Int(req.tid);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace
+
+std::string InflightRegistry::Json() const {
+  InflightRequest reqs[kMaxSlots];
+  const int count = Snapshot(reqs, kMaxSlots);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled").Bool(enabled());
+  w.Key("inflight");
+  WriteInflightArray(w, reqs, count, NowMicros());
+  w.EndObject();
+  return w.TakeString();
+}
+
+void InflightRegistry::ResetForTest() {
+  for (Slot& slot : slots_) {
+    slot.state.store(0, std::memory_order_relaxed);
+    slot.trace_id.store(0, std::memory_order_relaxed);
+    slot.kind.store(nullptr, std::memory_order_relaxed);
+    slot.tid.store(0, std::memory_order_relaxed);
+  }
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+std::string BuildPostmortemJson(const PostmortemContext& ctx) {
+  std::vector<ThreadStack> captured;
+  const ThreadStack* stacks = ctx.stacks;
+  int stack_count = ctx.stack_count;
+  if (stacks == nullptr) {
+    captured.resize(ThreadRegistry::kMaxThreads);
+    stack_count = ThreadRegistry::Global().CaptureAllStacks(
+        captured.data(), static_cast<int>(captured.size()));
+    stacks = captured.data();
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("trmma.postmortem.v1");
+  w.Key("signal").BeginObject();
+  w.Key("number").Int(ctx.signo);
+  w.Key("name").String(SignalName(ctx.signo));
+  if (ctx.has_fault_addr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx",
+                  reinterpret_cast<uintptr_t>(ctx.fault_addr));
+    w.Key("fault_addr").String(buf);
+  } else {
+    w.Key("fault_addr").Null();
+  }
+  w.EndObject();
+  if (ctx.reason != nullptr) {
+    w.Key("reason").String(ctx.reason);
+  } else {
+    w.Key("reason").Null();
+  }
+  w.Key("pid").Int(static_cast<long long>(::getpid()));
+  w.Key("uptime_us").Number(NowMicros());
+  w.Key("wall_unix_s").Int(static_cast<long long>(::time(nullptr)));
+
+  w.Key("threads").BeginArray();
+  for (int i = 0; i < stack_count; ++i) {
+    const ThreadStack& ts = stacks[i];
+    w.BeginObject();
+    w.Key("tid").Int(ts.tid);
+    w.Key("name").String(ts.name);
+    w.Key("faulting").Bool(ts.faulting);
+    w.Key("frames").BeginArray();
+    for (int f = 0; f < ts.depth; ++f) {
+      char pc[32];
+      std::snprintf(pc, sizeof(pc), "0x%zx",
+                    reinterpret_cast<uintptr_t>(ts.frames[f]));
+      w.BeginObject();
+      w.Key("pc").String(pc);
+      w.Key("symbol").String(SymbolizePc(ts.frames[f]));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  InflightRequest reqs[InflightRegistry::kMaxSlots];
+  const int nreq =
+      InflightRegistry::Global().Snapshot(reqs, InflightRegistry::kMaxSlots);
+  w.Key("inflight_requests");
+  WriteInflightArray(w, reqs, nreq, NowMicros());
+
+  // Tail of the span ring — the most recent work the process completed.
+  std::vector<SpanRecord> spans;
+  if (TraceRing::Global().TrySnapshot(&spans)) {
+    constexpr size_t kSpanTail = 64;
+    const size_t begin = spans.size() > kSpanTail ? spans.size() - kSpanTail : 0;
+    w.Key("spans").BeginArray();
+    for (size_t i = begin; i < spans.size(); ++i) {
+      const SpanRecord& rec = spans[i];
+      w.BeginObject();
+      w.Key("name").String(rec.name != nullptr ? rec.name : "?");
+      w.Key("trace_id").String(TraceIdHex(rec.trace_id));
+      w.Key("start_us").Number(rec.start_us);
+      w.Key("duration_us").Number(rec.duration_us);
+      w.Key("tid").Int(rec.tid);
+      w.EndObject();
+    }
+    w.EndArray();
+  } else {
+    w.Key("spans").Null();
+  }
+
+  w.Key("memory").Raw(MemoryJson());
+
+  std::string metrics;
+  if (MetricRegistry::Global().TryJsonDump(&metrics)) {
+    w.Key("metrics").Raw(metrics);
+  } else {
+    w.Key("metrics").Null();
+  }
+
+  std::string lock_order;
+  if (TryLockOrderJson(&lock_order)) {
+    w.Key("lock_order").Raw(lock_order);
+  } else {
+    w.Key("lock_order").Null();
+  }
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status InstallCrashHandler(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("postmortem dir must be non-empty");
+  }
+  if (dir.size() >= sizeof(g_dir) - 32) {
+    return Status::InvalidArgument("postmortem dir path too long: " + dir);
+  }
+  std::snprintf(g_dir, sizeof(g_dir), "%s", dir.c_str());
+  std::snprintf(g_path, sizeof(g_path), "%s/postmortem.%d.json", g_dir,
+                static_cast<int>(::getpid()));
+  if (g_installed.load(std::memory_order_acquire)) {
+    return Status::OK();  // idempotent: later calls just retarget the path
+  }
+
+  // The report should always include the installing (usually main) thread.
+  ThreadRegistry::Global().RegisterCurrentThread("main");
+
+  stack_t ss;
+  std::memset(&ss, 0, sizeof(ss));
+  ss.ss_sp = g_altstack;
+  ss.ss_size = sizeof(g_altstack);
+  if (sigaltstack(&ss, nullptr) != 0) {
+    return Status::Internal(std::string("sigaltstack failed: ") +
+                            std::strerror(errno));
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &CrashSignalHandler;
+  // No SA_RESETHAND: concurrent faults on other threads must reach the
+  // handler (to park) rather than the default disposition, or they'd kill
+  // the process mid-report. SA_ONSTACK: a stack-overflow SIGSEGV needs the
+  // altstack. The handler restores SIG_DFL itself before re-raising.
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  const int signals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+  for (const int signo : signals) {
+    if (sigaction(signo, &sa, nullptr) != 0) {
+      return Status::Internal(std::string("sigaction(") + SignalName(signo) +
+                              ") failed: " + std::strerror(errno));
+    }
+  }
+  g_installed.store(true, std::memory_order_release);
+  InflightRegistry::Global().SetEnabled(true);
+  return Status::OK();
+}
+
+bool CrashHandlerInstalled() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+void InstallCrashHandlerFromEnv() {
+  const char* dir = std::getenv("TRMMA_POSTMORTEM_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const Status status = InstallCrashHandler(dir);
+  if (!status.ok()) {
+    TRMMA_LOG(Warning) << "TRMMA_POSTMORTEM_DIR: crash handler not installed: "
+                       << status.ToString();
+  }
+}
+
+std::string PostmortemDir() { return g_dir; }
+
+std::string PostmortemPath() { return g_path; }
+
+void AbortWithPostmortem(const char* reason) {
+  int expected = 0;
+  if (g_crash_in_progress.compare_exchange_strong(expected, 1) &&
+      g_installed.load(std::memory_order_acquire)) {
+    g_crash_owner_tid.store(CurrentThreadId(), std::memory_order_release);
+    int count = ThreadRegistry::Global().CaptureAllStacks(
+        g_crash_stacks, ThreadRegistry::kMaxThreads);
+    if (count > 0) g_crash_stacks[0].faulting = true;
+    PostmortemContext ctx;
+    ctx.signo = SIGABRT;
+    ctx.reason = reason;
+    ctx.stacks = g_crash_stacks;
+    ctx.stack_count = count;
+    WriteReport(ctx);
+  }
+  TRMMA_LOG(Error) << "aborting with postmortem: "
+                   << (reason != nullptr ? reason : "(no reason)");
+  // The SIGABRT handler sees this thread already owns the crash and goes
+  // straight to the default disposition — no second report, no parking.
+  std::abort();
+}
+
+}  // namespace obs
+}  // namespace trmma

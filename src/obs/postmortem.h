@@ -1,0 +1,129 @@
+#ifndef TRMMA_OBS_POSTMORTEM_H_
+#define TRMMA_OBS_POSTMORTEM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/stack_walk.h"
+
+namespace trmma {
+namespace obs {
+
+/// Read-only view of one in-flight serve request, as captured by
+/// InflightRegistry::Snapshot for postmortems and the stall watchdog.
+struct InflightRequest {
+  uint64_t trace_id = 0;
+  const char* kind = nullptr;  ///< static-storage request-kind label
+  double deadline_ms = 0.0;    ///< <= 0 means unbounded
+  int64_t start_us = 0;        ///< NowMicros() at admission
+  int tid = 0;                 ///< executing kernel tid (0 while queued)
+  int state = 0;               ///< 1 = queued, 2 = executing
+};
+
+/// Fixed-capacity, lock-free registry of requests currently inside the
+/// serving engine. Every field is an atomic in a preallocated slot array, so
+/// Snapshot() is async-signal-safe: the crash handler can enumerate what the
+/// process was serving at the instant of the fault, and the stall watchdog
+/// can scan for requests stuck past their deadline.
+///
+/// Disabled (the default) the hooks are one relaxed load + branch — the
+/// ≤2 ns contract measured by bench_micro_obs. Enabled automatically by
+/// InstallCrashHandler and StallWatchdog::Start.
+class InflightRegistry {
+ public:
+  static constexpr int kMaxSlots = 256;
+
+  static InflightRegistry& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Claims a slot for a newly admitted request. Returns a token for
+  /// MarkExecuting/Release, or -1 when disabled or all slots are busy
+  /// (callers treat -1 as "not tracked" — never an error).
+  int Register(uint64_t trace_id, const char* kind, double deadline_ms);
+  /// Stamps the calling thread's kernel tid on the slot (worker pickup).
+  void MarkExecuting(int token);
+  void Release(int token);
+
+  /// Copies every occupied slot into `out` (up to `max_out`); returns the
+  /// count. Async-signal-safe: atomics only, no locks, no allocation.
+  int Snapshot(InflightRequest* out, int max_out) const;
+
+  /// {"inflight":[{"trace_id":"00..","kind":"match",...},...]} for
+  /// /debug/postmortem and the crash report.
+  std::string Json() const;
+
+  void ResetForTest();
+
+ private:
+  InflightRegistry() = default;
+
+  struct Slot {
+    std::atomic<int> state{0};  ///< 0 free, 1 queued, 2 executing
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<const char*> kind{nullptr};
+    std::atomic<double> deadline_ms{0.0};
+    std::atomic<int64_t> start_us{0};
+    std::atomic<int> tid{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint32_t> cursor_{0};  ///< rotating claim hint
+  Slot slots_[kMaxSlots];
+};
+
+/// Inputs for one postmortem report. `signo` 0 means "live dump" (the
+/// /debug/postmortem endpoint); `stacks` non-null supplies pre-captured
+/// thread stacks (the crash handler walks the faulting thread from its
+/// ucontext first), otherwise BuildPostmortemJson captures all registered
+/// threads itself.
+struct PostmortemContext {
+  int signo = 0;
+  /// `fault_addr` is only meaningful when `has_fault_addr` is set — a null
+  /// pointer dereference faults at address 0, which must still be reported.
+  bool has_fault_addr = false;
+  const void* fault_addr = nullptr;
+  const char* reason = nullptr;  ///< watchdog abort reason etc.
+  const ThreadStack* stacks = nullptr;
+  int stack_count = 0;
+};
+
+/// Assembles the schema "trmma.postmortem.v1" JSON document: signal info,
+/// per-thread symbolized stacks, in-flight requests, the tail of the span
+/// ring, memory and metrics snapshots, and lock-order findings. Uses
+/// try-lock accessors throughout so a crash while a lock is held degrades
+/// the matching section to null instead of deadlocking. Allocates — see
+/// DESIGN.md §13 for why that relaxation is acceptable in the crash path.
+std::string BuildPostmortemJson(const PostmortemContext& ctx);
+
+/// Installs the fatal-signal handlers (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL,
+/// on an alternate stack). On a fault the handler writes
+/// `<dir>/postmortem.<pid>.json`, flushes the flight recorder, and re-raises
+/// with default disposition so the exit status still reflects the signal.
+/// Also enables the InflightRegistry. Idempotent; `dir` must exist.
+Status InstallCrashHandler(const std::string& dir);
+bool CrashHandlerInstalled();
+
+/// Installs iff TRMMA_POSTMORTEM_DIR is set and non-empty; failures are
+/// logged, not fatal (observability must not break the host).
+void InstallCrashHandlerFromEnv();
+
+/// Directory configured at install time ("" when not installed).
+std::string PostmortemDir();
+/// Path the next/last report is written to ("" when not installed).
+std::string PostmortemPath();
+
+/// Writes a live postmortem (signo 0) plus `reason`, then aborts. The
+/// SIGABRT handler sees the in-progress marker and does not write a second
+/// report. Used by the stall watchdog's abort-after-grace escalation.
+[[noreturn]] void AbortWithPostmortem(const char* reason);
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_POSTMORTEM_H_

@@ -1,0 +1,414 @@
+#include "obs/stack_walk.h"
+
+#include <dlfcn.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cxxabi.h>
+
+namespace trmma {
+namespace obs {
+namespace {
+
+// Frame walking is disabled under ASan/TSan: their shadow-memory stack
+// instrumentation (fake frames, redzones) does not tolerate raw
+// frame-pointer walks. The ThreadRegistry rendezvous still works — captured
+// stacks just come back empty (depth 0).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TRMMA_STACK_WALK_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define TRMMA_STACK_WALK_SANITIZED 1
+#endif
+#endif
+
+int CurrentTid() { return static_cast<int>(::syscall(SYS_gettid)); }
+
+/// Guarded 2-word load of a stack frame ([saved fp, return address]).
+/// A signal can interrupt frameless code (leaf functions, libc built
+/// without frame pointers), leaving garbage in the frame-pointer register —
+/// dereferencing it raw would turn a profile tick into a SIGSEGV. Reading
+/// through process_vm_readv on our own pid makes the load fallible instead:
+/// the kernel returns EFAULT (or a short count at a mapping boundary) where
+/// a direct load would fault. One cheap syscall per frame, and a syscall is
+/// async-signal-safe by construction.
+bool SafeReadFrame(uintptr_t addr, uintptr_t out[2]) {
+  iovec local;
+  local.iov_base = out;
+  local.iov_len = 2 * sizeof(uintptr_t);
+  iovec remote;
+  remote.iov_base = reinterpret_cast<void*>(addr);
+  remote.iov_len = 2 * sizeof(uintptr_t);
+  return process_vm_readv(getpid(), &local, 1, &remote, 1, 0) ==
+         static_cast<ssize_t>(2 * sizeof(uintptr_t));
+}
+
+/// Per-thread capture slot, all BSS statics: the SIGUSR2 handler may fire
+/// on any registered thread at any time and must never allocate. A capture
+/// request stores `req_gen`, signals the thread, and waits for the handler
+/// to publish the same generation through `done_gen` (release) after
+/// filling `frames`/`depth`.
+struct ThreadSlot {
+  std::atomic<int> tid{0};
+  char name[24];
+  std::atomic<uint32_t> req_gen{0};
+  std::atomic<uint32_t> done_gen{0};
+  std::atomic<int> depth{0};
+  void* frames[kStackMaxFrames];
+};
+
+ThreadSlot g_slots[ThreadRegistry::kMaxThreads];
+std::atomic<uint32_t> g_capture_gen{0};
+std::atomic<bool> g_handler_installed{false};
+/// Serializes concurrent broadcasts (watchdog vs /debug/stacks vs crash
+/// handler) so one rendezvous's done_gen stores can't satisfy another's
+/// wait. Plain atomic flag: must stay usable from a signal handler.
+std::atomic<bool> g_capture_busy{false};
+
+thread_local int t_slot_index = -1;
+
+void StackSignalHandler(int, siginfo_t*, void* ucv) {
+  const int saved_errno = errno;
+  const int tid = CurrentTid();
+  for (ThreadSlot& slot : g_slots) {
+    if (slot.tid.load(std::memory_order_relaxed) != tid) continue;
+    const uint32_t gen = slot.req_gen.load(std::memory_order_acquire);
+    if (gen != slot.done_gen.load(std::memory_order_relaxed)) {
+      slot.depth.store(CaptureStack(ucv, slot.frames, kStackMaxFrames),
+                       std::memory_order_relaxed);
+      slot.done_gen.store(gen, std::memory_order_release);
+    }
+    break;
+  }
+  errno = saved_errno;
+}
+
+void InstallHandlerOnce() {
+  if (g_handler_installed.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &StackSignalHandler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGUSR2, &sa, nullptr);
+}
+
+void SleepMillis(int ms) {
+  timespec ts;
+  ts.tv_sec = 0;
+  ts.tv_nsec = static_cast<long>(ms) * 1000000L;
+  nanosleep(&ts, nullptr);
+}
+
+/// Copies a slot's published capture into a ThreadStack.
+void CopySlot(const ThreadSlot& slot, int depth, ThreadStack* out) {
+  out->tid = slot.tid.load(std::memory_order_relaxed);
+  std::memcpy(out->name, slot.name, sizeof(out->name));
+  out->name[sizeof(out->name) - 1] = '\0';
+  out->faulting = false;
+  out->depth = depth;
+  if (depth > 0) {
+    std::memcpy(out->frames, slot.frames,
+                static_cast<size_t>(depth) * sizeof(void*));
+  }
+}
+
+}  // namespace
+
+bool StackWalkSupported() {
+#if defined(TRMMA_STACK_WALK_SANITIZED)
+  return false;
+#elif (defined(__x86_64__) || defined(__aarch64__)) && defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+int CaptureStack(void* ucontext_or_null, void** out, int max_depth) {
+#if !defined(TRMMA_STACK_WALK_SANITIZED) && \
+    (defined(__x86_64__) || defined(__aarch64__)) && defined(__linux__)
+  uintptr_t pc = 0;
+  uintptr_t fp = 0;
+  if (ucontext_or_null != nullptr) {
+    const ucontext_t* uc = static_cast<const ucontext_t*>(ucontext_or_null);
+#if defined(__x86_64__)
+    pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+    fp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#else
+    pc = static_cast<uintptr_t>(uc->uc_mcontext.pc);
+    fp = static_cast<uintptr_t>(uc->uc_mcontext.regs[29]);
+#endif
+  } else {
+    // Synchronous capture: start from our own frame.
+    fp = reinterpret_cast<uintptr_t>(__builtin_frame_address(0));
+  }
+  int depth = 0;
+  if (pc != 0 && depth < max_depth) {
+    out[depth++] = reinterpret_cast<void*>(pc);
+  }
+  while (depth < max_depth) {
+    if (fp == 0 || (fp & (sizeof(void*) - 1)) != 0) break;
+    uintptr_t frame[2];  // [saved fp, return address]
+    if (!SafeReadFrame(fp, frame)) break;  // unmapped: garbage fp register
+    const uintptr_t next = frame[0];
+    const uintptr_t ret = frame[1];
+    if (ret < 4096) break;  // not a code address
+    out[depth++] = reinterpret_cast<void*>(ret);
+    if (next <= fp || next - fp > (1u << 20)) break;  // broken chain
+    fp = next;
+  }
+  return depth;
+#else
+  (void)ucontext_or_null;
+  (void)out;
+  (void)max_depth;
+  return 0;
+#endif
+}
+
+int CaptureCallerStack(void** out, int max_depth) {
+  return CaptureStack(nullptr, out, max_depth);
+}
+
+int CurrentThreadId() { return CurrentTid(); }
+
+std::string SymbolizePc(void* pc) {
+  std::string name;
+  Dl_info info;
+  // dladdr leaves `info` untouched on failure (a walked "return address"
+  // can pass the frame heuristics yet point into no loaded object), so the
+  // fields are only meaningful behind a successful lookup.
+  std::memset(&info, 0, sizeof(info));
+  // Sample PCs are return addresses (except the leaf): resolve pc-1 so a
+  // call that ends a function does not symbolize as its successor.
+  if (dladdr(reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(pc) - 1),
+             &info) != 0) {
+    if (info.dli_sname != nullptr) {
+      int status = 0;
+      char* demangled =
+          abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+      if (status == 0 && demangled != nullptr) {
+        name = demangled;
+      } else {
+        name = info.dli_sname;
+      }
+      std::free(demangled);
+    } else if (info.dli_fname != nullptr) {
+      const char* base = std::strrchr(info.dli_fname, '/');
+      name = base != nullptr ? base + 1 : info.dli_fname;
+    }
+  }
+  if (name.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<uintptr_t>(pc));
+    name = buf;
+  }
+  // Folded-stack separators must not appear inside a frame name.
+  for (char& c : name) {
+    if (c == ';' || c == '\n') c = '_';
+  }
+  return name;
+}
+
+ThreadRegistry& ThreadRegistry::Global() {
+  static ThreadRegistry* registry = new ThreadRegistry();
+  return *registry;
+}
+
+int ThreadRegistry::RegisterCurrentThread(const char* name) {
+  InstallHandlerOnce();
+  const int tid = CurrentTid();
+  if (t_slot_index >= 0 &&
+      g_slots[t_slot_index].tid.load(std::memory_order_relaxed) == tid) {
+    // Re-registration renames in place.
+    std::strncpy(g_slots[t_slot_index].name, name != nullptr ? name : "",
+                 sizeof(g_slots[t_slot_index].name) - 1);
+    return t_slot_index;
+  }
+  for (int i = 0; i < kMaxThreads; ++i) {
+    int expected = 0;
+    if (g_slots[i].tid.compare_exchange_strong(expected, tid,
+                                               std::memory_order_acq_rel)) {
+      std::memset(g_slots[i].name, 0, sizeof(g_slots[i].name));
+      std::strncpy(g_slots[i].name, name != nullptr ? name : "",
+                   sizeof(g_slots[i].name) - 1);
+      g_slots[i].done_gen.store(g_slots[i].req_gen.load(
+                                    std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+      t_slot_index = i;
+      return i;
+    }
+  }
+  return -1;  // registry full: this thread just won't appear in dumps
+}
+
+void ThreadRegistry::UnregisterCurrentThread() {
+  const int tid = CurrentTid();
+  if (t_slot_index >= 0 &&
+      g_slots[t_slot_index].tid.load(std::memory_order_relaxed) == tid) {
+    g_slots[t_slot_index].tid.store(0, std::memory_order_release);
+    t_slot_index = -1;
+  }
+}
+
+int ThreadRegistry::registered_count() const {
+  int n = 0;
+  for (const ThreadSlot& slot : g_slots) {
+    if (slot.tid.load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+int ThreadRegistry::CaptureAllStacks(ThreadStack* out, int max_out) {
+  if (max_out <= 0) return 0;
+  const int self = CurrentTid();
+  int count = 0;
+
+  // The caller's own stack first, walked synchronously (a thread cannot
+  // service its own rendezvous signal while spinning in the wait loop).
+  ThreadStack& mine = out[count++];
+  mine = ThreadStack{};
+  mine.tid = self;
+  std::strncpy(mine.name, "caller", sizeof(mine.name) - 1);
+  if (t_slot_index >= 0 &&
+      g_slots[t_slot_index].tid.load(std::memory_order_relaxed) == self) {
+    std::memcpy(mine.name, g_slots[t_slot_index].name, sizeof(mine.name));
+    mine.name[sizeof(mine.name) - 1] = '\0';
+  }
+  mine.depth = CaptureCallerStack(mine.frames, kStackMaxFrames);
+
+  // One broadcast at a time; a stuck peer rendezvous is abandoned after
+  // ~200 ms so a crash handler can't hang behind a wedged watchdog dump.
+  bool expected = false;
+  int spins = 0;
+  while (!g_capture_busy.compare_exchange_weak(expected, true,
+                                               std::memory_order_acq_rel)) {
+    expected = false;
+    if (++spins > 200) return count;  // self stack only
+    SleepMillis(1);
+  }
+
+  const uint32_t gen =
+      g_capture_gen.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int pid = static_cast<int>(getpid());
+  int pending[kMaxThreads];
+  int npending = 0;
+  for (int i = 0; i < kMaxThreads && count + npending < max_out; ++i) {
+    const int tid = g_slots[i].tid.load(std::memory_order_acquire);
+    if (tid == 0 || tid == self) continue;
+    g_slots[i].req_gen.store(gen, std::memory_order_release);
+    if (::syscall(SYS_tgkill, pid, tid, SIGUSR2) != 0) continue;  // gone
+    pending[npending++] = i;
+  }
+  // Rendezvous wait: poll done_gen with a bounded budget. Late responders
+  // are reported with depth 0 rather than blocking the dump.
+  for (int waited = 0; waited < 100; ++waited) {
+    bool all_done = true;
+    for (int p = 0; p < npending; ++p) {
+      if (g_slots[pending[p]].done_gen.load(std::memory_order_acquire) !=
+          gen) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    SleepMillis(1);
+  }
+  for (int p = 0; p < npending && count < max_out; ++p) {
+    ThreadSlot& slot = g_slots[pending[p]];
+    const bool done =
+        slot.done_gen.load(std::memory_order_acquire) == gen;
+    CopySlot(slot, done ? slot.depth.load(std::memory_order_relaxed) : 0,
+             &out[count]);
+    ++count;
+  }
+  g_capture_busy.store(false, std::memory_order_release);
+  return count;
+}
+
+bool ThreadRegistry::CaptureThreadStack(int tid, ThreadStack* out) {
+  if (out == nullptr || tid == 0) return false;
+  if (tid == CurrentTid()) {
+    *out = ThreadStack{};
+    out->tid = tid;
+    out->depth = CaptureCallerStack(out->frames, kStackMaxFrames);
+    return true;
+  }
+  ThreadSlot* slot = nullptr;
+  for (ThreadSlot& s : g_slots) {
+    if (s.tid.load(std::memory_order_acquire) == tid) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) return false;
+
+  bool expected = false;
+  int spins = 0;
+  while (!g_capture_busy.compare_exchange_weak(expected, true,
+                                               std::memory_order_acq_rel)) {
+    expected = false;
+    if (++spins > 200) return false;
+    SleepMillis(1);
+  }
+  const uint32_t gen =
+      g_capture_gen.fetch_add(1, std::memory_order_relaxed) + 1;
+  slot->req_gen.store(gen, std::memory_order_release);
+  bool ok = ::syscall(SYS_tgkill, getpid(), tid, SIGUSR2) == 0;
+  if (ok) {
+    ok = false;
+    for (int waited = 0; waited < 100; ++waited) {
+      if (slot->done_gen.load(std::memory_order_acquire) == gen) {
+        ok = true;
+        break;
+      }
+      SleepMillis(1);
+    }
+  }
+  if (ok) {
+    CopySlot(*slot, slot->depth.load(std::memory_order_relaxed), out);
+  }
+  g_capture_busy.store(false, std::memory_order_release);
+  return ok;
+}
+
+std::string FormatThreadStacks(const ThreadStack* stacks, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    const ThreadStack& ts = stacks[i];
+    out += "thread " + std::to_string(ts.tid);
+    if (ts.name[0] != '\0') {
+      out += " [";
+      out += ts.name;
+      out += ']';
+    }
+    if (ts.faulting) out += " (faulting)";
+    out += '\n';
+    if (ts.depth == 0) {
+      out += "  <stack unavailable>\n";
+      continue;
+    }
+    for (int f = 0; f < ts.depth; ++f) {
+      char addr[32];
+      std::snprintf(addr, sizeof(addr), "  #%-2d 0x%zx ", f,
+                    reinterpret_cast<uintptr_t>(ts.frames[f]));
+      out += addr;
+      out += SymbolizePc(ts.frames[f]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,115 @@
+#ifndef TRMMA_OBS_STACK_WALK_H_
+#define TRMMA_OBS_STACK_WALK_H_
+
+#include <string>
+
+namespace trmma {
+namespace obs {
+
+/// Frames kept per captured stack; deeper stacks are truncated. Shared by
+/// the CPU profiler's sample buffers and the postmortem thread dumps.
+constexpr int kStackMaxFrames = 48;
+
+/// True when frame-pointer walking is usable in this build: a supported
+/// architecture (x86_64 / aarch64 Linux) and no ASan/TSan instrumentation
+/// (their shadow-memory stack layouts do not tolerate raw frame walks).
+/// When false every Capture* function returns 0 frames; callers must treat
+/// an empty stack as "unavailable", not as an error.
+bool StackWalkSupported();
+
+/// Captures the interrupted context's stack by frame-pointer walk. Every
+/// operation is async-signal-safe: register reads from the ucontext
+/// (`ucontext_or_null`, a ucontext_t* as handed to an SA_SIGINFO handler),
+/// then a bounded loop of guarded loads (process_vm_readv on our own pid, so
+/// a garbage frame pointer yields EFAULT instead of a fault) with the
+/// standard validity heuristics (alignment, strictly increasing frame
+/// pointers, < 1 MB stride). Passing nullptr walks the caller's own stack
+/// starting from this frame. Returns the captured depth (0 when
+/// unsupported). Requires -fno-omit-frame-pointer (set globally in CMake).
+int CaptureStack(void* ucontext_or_null, void** out, int max_depth);
+
+/// Synchronous self-capture: CaptureStack(nullptr, ...) minus this frame.
+int CaptureCallerStack(void** out, int max_depth);
+
+/// The calling thread's kernel thread id (gettid). Async-signal-safe.
+int CurrentThreadId();
+
+/// Best-effort symbol name for a walked PC: dladdr + __cxa_demangle,
+/// resolving pc-1 (sample PCs are return addresses), falling back to the
+/// object basename and finally "0x<addr>". ';' and '\n' are sanitized (they
+/// are folded-stack separators). Not async-signal-safe (allocates); callers
+/// in crash context accept that as a documented best-effort relaxation.
+std::string SymbolizePc(void* pc);
+
+/// One captured thread stack (fixed layout so broadcast capture can fill it
+/// from a signal handler without allocation).
+struct ThreadStack {
+  int tid = 0;            ///< kernel thread id (gettid)
+  char name[24] = {0};    ///< registration name, NUL-terminated
+  bool faulting = false;  ///< set by the crash handler on the faulting thread
+  int depth = 0;          ///< 0 = capture unavailable or timed out
+  void* frames[kStackMaxFrames];
+};
+
+/// Registry of instrumented threads for on-demand all-thread stack capture.
+/// Threads register on entry (ScopedThreadRegistration); a requester then
+/// broadcasts SIGUSR2 and each registered thread's handler walks its own
+/// stack into a preallocated per-thread slot — no allocation, no locks, so
+/// the whole rendezvous is usable from a crash handler. Fixed capacity
+/// (kMaxThreads slots); registration beyond that is silently dropped.
+class ThreadRegistry {
+ public:
+  static constexpr int kMaxThreads = 64;
+
+  static ThreadRegistry& Global();
+
+  /// Registers the calling thread under `name` (truncated to 23 chars) and
+  /// installs the SIGUSR2 capture handler on first use. Idempotent per
+  /// thread (re-registering renames). Returns the slot index, or -1 when
+  /// the registry is full.
+  int RegisterCurrentThread(const char* name);
+  /// Frees the calling thread's slot (no-op when not registered).
+  void UnregisterCurrentThread();
+
+  /// Number of currently registered threads.
+  int registered_count() const;
+
+  /// Captures the stacks of every registered thread: the caller's own stack
+  /// synchronously, every other registered thread via SIGUSR2 with a
+  /// bounded rendezvous wait (~100 ms total). Threads that miss the window
+  /// appear with depth 0. Async-signal-safe (atomics, tgkill, nanosleep,
+  /// guarded reads only). Returns the number of entries written to `out`
+  /// (the caller's thread first, even when unregistered).
+  int CaptureAllStacks(ThreadStack* out, int max_out);
+
+  /// Targeted capture of one registered thread (the watchdog's stuck-worker
+  /// dump). Returns true and fills `out` when `tid` is registered and
+  /// responded within the rendezvous window.
+  bool CaptureThreadStack(int tid, ThreadStack* out);
+
+ private:
+  ThreadRegistry() = default;
+};
+
+/// RAII registration: Register on construction, Unregister on destruction.
+class ScopedThreadRegistration {
+ public:
+  explicit ScopedThreadRegistration(const char* name) {
+    ThreadRegistry::Global().RegisterCurrentThread(name);
+  }
+  ~ScopedThreadRegistration() {
+    ThreadRegistry::Global().UnregisterCurrentThread();
+  }
+  ScopedThreadRegistration(const ScopedThreadRegistration&) = delete;
+  ScopedThreadRegistration& operator=(const ScopedThreadRegistration&) =
+      delete;
+};
+
+/// Symbolized human-readable rendering of captured stacks, one block per
+/// thread ("thread 1234 [serve.worker]" then one indented frame per line).
+std::string FormatThreadStacks(const ThreadStack* stacks, int count);
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_STACK_WALK_H_

@@ -1,0 +1,171 @@
+#include "obs/stall_watchdog.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/postmortem.h"
+#include "obs/stack_walk.h"
+#include "obs/trace.h"
+
+namespace trmma {
+namespace obs {
+
+namespace {
+
+double EnvDoubleOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    TRMMA_LOG(Warning) << name << "=\"" << value
+                       << "\" is not a number; using " << fallback;
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+StallWatchdog& StallWatchdog::Global() {
+  static StallWatchdog* watchdog = new StallWatchdog();
+  return *watchdog;
+}
+
+Status StallWatchdog::Start(const Config& config) {
+  if (config.poll_ms <= 0) {
+    return Status::InvalidArgument("watchdog poll_ms must be > 0");
+  }
+  if (config.stall_factor <= 0) {
+    return Status::InvalidArgument("watchdog stall_factor must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load(std::memory_order_relaxed)) return Status::OK();
+  config_ = config;
+  stop_ = false;
+  InflightRegistry::Global().SetEnabled(true);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread(&StallWatchdog::Loop, this);
+  return Status::OK();
+}
+
+void StallWatchdog::StartFromEnv() {
+  const double poll_ms = EnvDoubleOr("TRMMA_WATCHDOG_MS", 0.0);
+  if (poll_ms <= 0) return;
+  Config config;
+  config.poll_ms = poll_ms;
+  config.stall_factor = EnvDoubleOr("TRMMA_WATCHDOG_FACTOR", 2.0);
+  config.abort_after_ms = EnvDoubleOr("TRMMA_WATCHDOG_ABORT_MS", 0.0);
+  const Status status = Start(config);
+  if (!status.ok()) {
+    TRMMA_LOG(Warning) << "TRMMA_WATCHDOG_MS: watchdog not started: "
+                       << status.ToString();
+  }
+}
+
+void StallWatchdog::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load(std::memory_order_relaxed)) return;
+    stop_ = true;
+    cv_.notify_all();
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void StallWatchdog::Loop() {
+  ScopedThreadRegistration registration("watchdog");
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                           config_.poll_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    ScanOnce();
+    lock.lock();
+  }
+}
+
+int StallWatchdog::ScanOnce() {
+  InflightRequest reqs[InflightRegistry::kMaxSlots];
+  const int count = InflightRegistry::Global().Snapshot(
+      reqs, InflightRegistry::kMaxSlots);
+  const double now_us = NowMicros();
+  int newly_stuck = 0;
+  std::set<std::uint64_t> live;
+
+  for (int i = 0; i < count; ++i) {
+    const InflightRequest& req = reqs[i];
+    live.insert(req.trace_id);
+    // Only executing requests with a bounded deadline can be "stuck":
+    // queued ones are the engine's timeout path, unbounded ones may
+    // legitimately run long (false-positive safety).
+    if (req.state != 2 || req.deadline_ms <= 0) continue;
+    const double age_us = now_us - static_cast<double>(req.start_us);
+    const double limit_us = config_.stall_factor * req.deadline_ms * 1000.0;
+    if (age_us <= limit_us) continue;
+
+    bool first_report = false;
+    double first_stuck_us = now_us;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      first_report = reported_.insert(req.trace_id).second;
+      if (first_report) first_stuck_us_[req.trace_id] = now_us;
+      const auto it = first_stuck_us_.find(req.trace_id);
+      if (it != first_stuck_us_.end()) first_stuck_us = it->second;
+    }
+
+    if (first_report) {
+      ++newly_stuck;
+      stuck_detected_.fetch_add(1, std::memory_order_relaxed);
+      MetricRegistry::Global().GetCounter("serve.stuck_requests")->Increment();
+      ThreadStack stack;
+      std::string rendered = "  <stack unavailable>\n";
+      if (ThreadRegistry::Global().CaptureThreadStack(req.tid, &stack)) {
+        rendered = FormatThreadStacks(&stack, 1);
+      }
+      TRMMA_LOG(Error) << "stall watchdog: request " << TraceIdHex(req.trace_id)
+                       << " (" << (req.kind != nullptr ? req.kind : "?")
+                       << ") executing for " << age_us / 1000.0
+                       << " ms against a " << req.deadline_ms
+                       << " ms deadline (limit " << limit_us / 1000.0
+                       << " ms) on tid " << req.tid << "\n" << rendered;
+    }
+
+    if (config_.abort_after_ms > 0 &&
+        now_us - first_stuck_us > config_.abort_after_ms * 1000.0) {
+      AbortWithPostmortem("stall watchdog: request stuck past abort grace");
+    }
+  }
+
+  // Requests that finished (or were never stuck) free their dedup entries.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = reported_.begin(); it != reported_.end();) {
+      it = live.count(*it) != 0 ? std::next(it) : reported_.erase(it);
+    }
+    for (auto it = first_stuck_us_.begin(); it != first_stuck_us_.end();) {
+      it = live.count(it->first) != 0 ? std::next(it)
+                                      : first_stuck_us_.erase(it);
+    }
+  }
+  return newly_stuck;
+}
+
+void StallWatchdog::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  reported_.clear();
+  first_stuck_us_.clear();
+  stuck_detected_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,85 @@
+#ifndef TRMMA_OBS_STALL_WATCHDOG_H_
+#define TRMMA_OBS_STALL_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/status.h"
+
+namespace trmma {
+namespace obs {
+
+/// Background thread that scans the InflightRegistry for serve requests
+/// stuck in execution past a multiple of their deadline (DESIGN.md §13).
+/// Each newly stuck request is reported once: the executing worker's stack
+/// is captured via the ThreadRegistry rendezvous and logged at Error level,
+/// and the serve.stuck_requests counter is incremented. With
+/// `abort_after_ms` set, a request that stays stuck past that additional
+/// grace escalates to AbortWithPostmortem, so a wedged worker leaves a
+/// debuggable report instead of a silent hang.
+///
+/// False-positive safety: only *executing* requests with a bounded deadline
+/// are considered — queued requests are the engine's timeout path, and
+/// unbounded-deadline requests can legitimately run for minutes.
+class StallWatchdog {
+ public:
+  struct Config {
+    double poll_ms = 100.0;       ///< registry scan interval
+    double stall_factor = 2.0;    ///< stuck when age > factor × deadline
+    double abort_after_ms = 0.0;  ///< > 0: abort-with-postmortem grace
+  };
+
+  static StallWatchdog& Global();
+
+  /// Launches the scan thread (idempotent) and enables the
+  /// InflightRegistry so there is something to scan.
+  Status Start(const Config& config);
+
+  /// Starts iff TRMMA_WATCHDOG_MS is a positive integer (the poll interval).
+  /// TRMMA_WATCHDOG_FACTOR and TRMMA_WATCHDOG_ABORT_MS tune the config.
+  void StartFromEnv();
+
+  /// Stops and joins the scan thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// Total stuck requests ever reported (mirrors serve.stuck_requests).
+  std::int64_t stuck_detected() const {
+    return stuck_detected_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs one scan on the calling thread (test hook; also used by the scan
+  /// loop). Returns the number of *newly* stuck requests this scan.
+  int ScanOnce();
+
+  /// Clears the reported/first-stuck bookkeeping (test hook).
+  void ResetForTest();
+
+ private:
+  StallWatchdog() = default;
+
+  void Loop();
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> stuck_detected_{0};
+  Config config_;
+
+  std::mutex mu_;  ///< guards stop_/thread_ handoff and the dedup maps
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+  /// Dedup + escalation state, pruned to the live in-flight set each scan.
+  std::set<std::uint64_t> reported_;
+  std::map<std::uint64_t, double> first_stuck_us_;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_STALL_WATCHDOG_H_

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,8 +20,11 @@
 #include "obs/json.h"
 #include "obs/mem_stats.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/slo.h"
+#include "obs/stack_walk.h"
 #include "obs/trace.h"
+#include "obs/tracked_mutex.h"
 
 namespace trmma {
 namespace obs {
@@ -209,8 +213,36 @@ HttpResponse Dispatch(const std::string& path, double uptime_us,
     resp.body = CpuProfiler::Global().ProfileSectionJson(20) + "\n";
     return resp;
   }
+  if (path == "/debug/stacks") {
+    // All-thread stack dump via the SIGUSR2 rendezvous (obs/stack_walk.h).
+    ThreadStack stacks[ThreadRegistry::kMaxThreads];
+    const int count = ThreadRegistry::Global().CaptureAllStacks(
+        stacks, ThreadRegistry::kMaxThreads);
+    resp.body = "registered threads: " +
+                std::to_string(ThreadRegistry::Global().registered_count()) +
+                "\n" + FormatThreadStacks(stacks, count);
+    return resp;
+  }
+  if (path == "/debug/postmortem") {
+    // A live postmortem document (signal 0): exactly what a crash report
+    // would contain if the process died right now.
+    resp.content_type = "application/json";
+    resp.body = BuildPostmortemJson(PostmortemContext{}) + "\n";
+    return resp;
+  }
   resp.code = 404;
-  resp.body = "not found\n";
+  resp.body = "not found: " + path + "\navailable endpoints:\n";
+  static const char* const kEndpoints[] = {
+      "/metrics",     "/healthz",      "/statusz",
+      "/tracez",      "/slo",          "/pprof",
+      "/pprof/flame", "/pprof/json",   "/debug/stacks",
+      "/debug/postmortem",             "/quitz",
+  };
+  for (const char* endpoint : kEndpoints) {
+    resp.body += "  ";
+    resp.body += endpoint;
+    resp.body += '\n';
+  }
   return resp;
 }
 
@@ -229,7 +261,10 @@ Status TelemetryServer::Start(int port) {
     return Status::InvalidArgument("bad telemetry port");
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IOError("telemetry: socket() failed");
+  if (fd < 0) {
+    return Status::IOError(std::string("telemetry: socket() failed: ") +
+                           std::strerror(errno));
+  }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr;
@@ -238,18 +273,24 @@ Status TelemetryServer::Start(int port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved_errno = errno;
     ::close(fd);
     return Status::IOError("telemetry: bind 127.0.0.1:" +
-                           std::to_string(port) + " failed");
+                           std::to_string(port) +
+                           " failed: " + std::strerror(saved_errno));
   }
   if (::listen(fd, 16) != 0) {
+    const int saved_errno = errno;
     ::close(fd);
-    return Status::IOError("telemetry: listen() failed");
+    return Status::IOError(std::string("telemetry: listen() failed: ") +
+                           std::strerror(saved_errno));
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int saved_errno = errno;
     ::close(fd);
-    return Status::IOError("telemetry: getsockname() failed");
+    return Status::IOError(std::string("telemetry: getsockname() failed: ") +
+                           std::strerror(saved_errno));
   }
   listen_fd_ = fd;
   port_.store(ntohs(addr.sin_port), std::memory_order_release);
@@ -273,6 +314,7 @@ void TelemetryServer::Stop() {
 }
 
 void TelemetryServer::Serve() {
+  ScopedThreadRegistration registration("telemetry.http");
   while (!stop_.load(std::memory_order_acquire)) {
     pollfd pfd;
     pfd.fd = listen_fd_;

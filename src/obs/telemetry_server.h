@@ -26,9 +26,14 @@ namespace obs {
 ///   /pprof    live folded-stack CPU profile (404 until the profiler has
 ///             run); /pprof/flame renders it as a self-contained flamegraph
 ///             HTML and /pprof/json as the bench "profile" section
+///   /debug/stacks      symbolized stack dump of every registered thread
+///                      (SIGUSR2 rendezvous, obs/stack_walk.h)
+///   /debug/postmortem  live postmortem JSON — what a crash report would
+///                      contain if the process died now (obs/postmortem.h)
 ///   /quitz    scrape-complete handshake: marks quit_requested() so a
 ///             short-lived process lingering via WaitForQuit can exit
 ///
+/// Unknown paths get a 404 listing the available endpoints.
 /// The accept loop polls with a short timeout and re-checks a stop flag, so
 /// Stop() (idempotent, also installed via atexit by StartFromEnv) joins the
 /// thread and closes every fd — clean under ASan/LSan. One request per

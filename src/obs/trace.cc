@@ -125,8 +125,7 @@ void TraceRing::Record(const SpanRecord& rec) {
   stored_ = std::min(stored_ + 1, capacity_);
 }
 
-std::vector<SpanRecord> TraceRing::Snapshot() const {
-  std::lock_guard<obs::TrackedMutex> lock(mu_);
+std::vector<SpanRecord> TraceRing::SnapshotLocked() const {
   std::vector<SpanRecord> out;
   out.reserve(stored_);
   const size_t begin = (next_ + capacity_ - stored_) % capacity_;
@@ -134,6 +133,18 @@ std::vector<SpanRecord> TraceRing::Snapshot() const {
     out.push_back(ring_[(begin + i) % capacity_]);
   }
   return out;
+}
+
+std::vector<SpanRecord> TraceRing::Snapshot() const {
+  std::lock_guard<obs::TrackedMutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+bool TraceRing::TrySnapshot(std::vector<SpanRecord>* out) const {
+  std::unique_lock<obs::TrackedMutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  *out = SnapshotLocked();
+  return true;
 }
 
 std::string TraceRing::DumpString() const {

@@ -93,6 +93,9 @@ class TraceRing {
 
   /// Oldest-to-newest snapshot of the retained records.
   std::vector<SpanRecord> Snapshot() const;
+  /// Non-blocking snapshot for the crash path: false (out untouched) when
+  /// the ring lock is held — a crash mid-Record must not deadlock.
+  bool TrySnapshot(std::vector<SpanRecord>* out) const;
   /// Human-readable dump, one line per span, indented two spaces per depth.
   std::string DumpString() const;
   void Clear();
@@ -101,6 +104,8 @@ class TraceRing {
   size_t capacity() const { return capacity_; }
 
  private:
+  std::vector<SpanRecord> SnapshotLocked() const;
+
   mutable TrackedMutex mu_{"trace.ring"};
   size_t capacity_;
   std::vector<SpanRecord> ring_;

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <set>
+#include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/stack_walk.h"
 
 namespace trmma {
 namespace obs {
@@ -96,7 +102,240 @@ class LockRegistry {
   std::vector<QueueDepth*> queues_;
 };
 
+/// Lock-order detector state. The graph is keyed by lock family name (same
+/// merge rule as metric publication: per-shard instances of one family are
+/// one node), edges carry the symbolized stack captured at their first
+/// observation, and a plain std::mutex guards everything — the detector runs
+/// inside TrackedMutex slow paths, so it must never itself take a tracked
+/// lock (and never touches the MetricRegistry while holding state: a
+/// detected inversion *on the registry lock* would recurse into it).
+struct LockOrderState {
+  std::mutex mu;
+  /// first-name -> second-name -> acquisition stack of the first sighting.
+  std::map<std::string, std::map<std::string, std::string>> edges;
+  std::set<std::pair<std::string, std::string>> reported;
+  std::vector<LockOrderInversion> inversions;
+  int64_t edge_count = 0;
+};
+
+LockOrderState& OrderState() {
+  static LockOrderState* state = new LockOrderState();
+  return *state;
+}
+
+std::atomic<bool> g_lock_order{false};
+
+/// Per-thread held-lock stack (instance + family name), maintained only
+/// while lock-order tracking is on. Plain vector: slow-path only.
+struct HeldLock {
+  const void* id;
+  const char* name;
+};
+thread_local std::vector<HeldLock>* t_held = nullptr;
+
+std::vector<HeldLock>& HeldLocks() {
+  // Leaked per-thread vector: thread_local with a dynamic destructor would
+  // run before late unlocks in other statics' teardown.
+  if (t_held == nullptr) t_held = new std::vector<HeldLock>();
+  return *t_held;
+}
+
+std::string CaptureAcquisitionStack() {
+  if (!StackWalkSupported()) return std::string();
+  void* frames[kStackMaxFrames];
+  const int depth = CaptureCallerStack(frames, kStackMaxFrames);
+  std::string out;
+  for (int i = 0; i < depth; ++i) {
+    out += "  #" + std::to_string(i) + ' ' + SymbolizePc(frames[i]) + '\n';
+  }
+  return out;
+}
+
+/// DFS over the edge map: is `to` reachable from `from`?
+bool ReachableLocked(const LockOrderState& state, const std::string& from,
+                     const std::string& to, std::set<std::string>* seen) {
+  if (from == to) return true;
+  if (!seen->insert(from).second) return false;
+  const auto it = state.edges.find(from);
+  if (it == state.edges.end()) return false;
+  for (const auto& [next, stack] : it->second) {
+    if (ReachableLocked(state, next, to, seen)) return true;
+  }
+  return false;
+}
+
+bool LockOrderEnvOptIn() {
+  const char* env = std::getenv("TRMMA_LOCK_ORDER");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "off") != 0;
+}
+
+/// Dynamic-init hook: applies TRMMA_LOCK_ORDER and (re)computes the gate.
+/// metrics.cc refreshes the gate after g_trace_mode's own env init, so
+/// whichever TU initializes last still sees both inputs (they are atomics
+/// set before each refresh).
+const bool g_lock_order_env_applied = [] {
+  if (LockOrderEnvOptIn()) g_lock_order.store(true, std::memory_order_relaxed);
+  internal_obs::RefreshLockGate();
+  return true;
+}();
+
 }  // namespace
+
+namespace internal_obs {
+
+std::atomic<int> g_lock_gate{0};
+
+void RefreshLockGate() {
+  const int gate =
+      (g_trace_mode.load(std::memory_order_relaxed) != 0 ? 1 : 0) |
+      (g_lock_order.load(std::memory_order_relaxed) ? 2 : 0);
+  g_lock_gate.store(gate, std::memory_order_relaxed);
+}
+
+void LockOrderOnAcquire(const void* id, const char* name) {
+  std::vector<HeldLock>& held = HeldLocks();
+  // Record edges (held -> new) before pushing, skipping same-family pairs
+  // (per-shard siblings of one family may legitimately nest).
+  LockOrderInversion found;
+  bool have_inversion = false;
+  if (!held.empty()) {
+    std::lock_guard<std::mutex> lock(OrderState().mu);
+    LockOrderState& state = OrderState();
+    for (const HeldLock& h : held) {
+      if (std::strcmp(h.name, name) == 0) continue;
+      // An edge's stack is set (at least to the unavailable marker) the
+      // first time it is seen, so emptiness means "freshly inserted".
+      auto& stack = state.edges[h.name][name];
+      if (stack.empty()) {
+        stack = CaptureAcquisitionStack();
+        if (stack.empty()) stack = "  <stack unavailable>\n";
+        ++state.edge_count;
+        // A new edge h.name -> name inverts iff the existing graph already
+        // orders name before h.name.
+        std::set<std::string> seen;
+        if (ReachableLocked(state, name, h.name, &seen) &&
+            state.reported
+                .insert(std::make_pair(std::string(h.name),
+                                       std::string(name)))
+                .second) {
+          LockOrderInversion inv;
+          inv.first = h.name;
+          inv.second = name;
+          inv.forward_stack = stack;
+          const auto rev_it = state.edges.find(name);
+          if (rev_it != state.edges.end()) {
+            const auto rev_edge = rev_it->second.find(h.name);
+            if (rev_edge != rev_it->second.end()) {
+              inv.reverse_stack = rev_edge->second;
+            }
+          }
+          state.inversions.push_back(inv);
+          found = inv;
+          have_inversion = true;
+        }
+      }
+    }
+  }
+  held.push_back(HeldLock{id, name});
+  if (have_inversion) {
+    // Logged outside the detector lock: the log sink may itself allocate or
+    // take (tracked) locks.
+    TRMMA_LOG(Error) << "lock-order inversion: " << found.second
+                     << " acquired while holding " << found.first
+                     << " but the reverse order exists\n"
+                     << "  " << found.first << " -> " << found.second
+                     << " acquired at:\n"
+                     << found.forward_stack << "  " << found.second << " -> "
+                     << found.first << " acquired at:\n"
+                     << found.reverse_stack;
+  }
+}
+
+void LockOrderOnRelease(const void* id) {
+  if (t_held == nullptr) return;
+  std::vector<HeldLock>& held = *t_held;
+  // Locks release mostly LIFO; scan from the back and tolerate misses
+  // (tracking toggled mid-flight).
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].id == id) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+}  // namespace internal_obs
+
+void SetLockOrderTracking(bool enabled) {
+  g_lock_order.store(enabled, std::memory_order_relaxed);
+  internal_obs::RefreshLockGate();
+}
+
+bool LockOrderTrackingEnabled() {
+  return g_lock_order.load(std::memory_order_relaxed);
+}
+
+std::vector<LockOrderInversion> LockOrderInversions() {
+  std::lock_guard<std::mutex> lock(OrderState().mu);
+  return OrderState().inversions;
+}
+
+namespace {
+
+std::string LockOrderJsonFrom(const std::vector<LockOrderInversion>& inversions,
+                              int64_t edges) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled").Bool(LockOrderTrackingEnabled());
+  w.Key("edges").Int(edges);
+  w.Key("inversions").BeginArray();
+  for (const LockOrderInversion& inv : inversions) {
+    w.BeginObject();
+    w.Key("first").String(inv.first);
+    w.Key("second").String(inv.second);
+    w.Key("forward_stack").String(inv.forward_stack);
+    w.Key("reverse_stack").String(inv.reverse_stack);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace
+
+std::string LockOrderJson() {
+  std::vector<LockOrderInversion> inversions;
+  int64_t edges = 0;
+  {
+    std::lock_guard<std::mutex> lock(OrderState().mu);
+    inversions = OrderState().inversions;
+    edges = OrderState().edge_count;
+  }
+  return LockOrderJsonFrom(inversions, edges);
+}
+
+bool TryLockOrderJson(std::string* out) {
+  std::vector<LockOrderInversion> inversions;
+  int64_t edges = 0;
+  {
+    std::unique_lock<std::mutex> lock(OrderState().mu, std::try_to_lock);
+    if (!lock.owns_lock()) return false;
+    inversions = OrderState().inversions;
+    edges = OrderState().edge_count;
+  }
+  *out = LockOrderJsonFrom(inversions, edges);
+  return true;
+}
+
+void ResetLockOrderForTest() {
+  std::lock_guard<std::mutex> lock(OrderState().mu);
+  OrderState().edges.clear();
+  OrderState().reported.clear();
+  OrderState().inversions.clear();
+  OrderState().edge_count = 0;
+}
 
 TrackedMutex::TrackedMutex(const char* name)
     : name_(name),
@@ -117,6 +356,9 @@ void TrackedMutex::LockSlow() {
     wait_us_->Observe(SteadyMicros() - start);
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (LockOrderTrackingEnabled()) {
+    internal_obs::LockOrderOnAcquire(this, name_);
+  }
   hold_timed_ = true;
   hold_start_us_ = SteadyMicros();
 }
@@ -124,6 +366,9 @@ void TrackedMutex::LockSlow() {
 bool TrackedMutex::TryLockSlow() {
   if (!mu_.try_lock()) return false;
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  if (LockOrderTrackingEnabled()) {
+    internal_obs::LockOrderOnAcquire(this, name_);
+  }
   hold_timed_ = true;
   hold_start_us_ = SteadyMicros();
   return true;
@@ -132,6 +377,9 @@ bool TrackedMutex::TryLockSlow() {
 void TrackedMutex::UnlockSlow() {
   const double held = SteadyMicros() - hold_start_us_;
   hold_timed_ = false;
+  if (LockOrderTrackingEnabled()) {
+    internal_obs::LockOrderOnRelease(this);
+  }
   mu_.unlock();
   // Observe after release: the histogram update (atomic CAS on sum_) should
   // not extend the critical section it measures.
@@ -180,6 +428,13 @@ void PublishLockMetrics(MetricRegistry* registry) {
         ->Set(static_cast<double>(agg.current));
     registry->GetGauge("queue.depth.peak", labels)
         ->Set(static_cast<double>(agg.peak));
+  }
+  if (LockOrderTrackingEnabled()) {
+    // Published here (a scrape path) rather than from the detector itself:
+    // registering a metric takes the registry's tracked lock, which must
+    // never happen inside LockOrderOnAcquire.
+    registry->GetGauge("lock.order.inversions")
+        ->Set(static_cast<double>(LockOrderInversions().size()));
   }
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace trmma {
 namespace obs {
@@ -19,12 +20,62 @@ namespace internal_obs {
 // TrackedMutex without a header cycle.
 extern std::atomic<int> g_trace_mode;
 
+/// Combined lock-instrumentation gate, defined in tracked_mutex.cc:
+/// bit 0 = trace mode is on (stats/histograms), bit 1 = lock-order cycle
+/// detection is on. Recomputed by RefreshLockGate() whenever either input
+/// changes (SetTraceMode, SetLockOrderTracking), so the hot path stays one
+/// relaxed load + branch.
+extern std::atomic<int> g_lock_gate;
+void RefreshLockGate();
+
 /// Fast gate for lock instrumentation: one relaxed load + compare, shared
-/// with TRMMA_SPAN (TraceMode::kOff disables both).
+/// with TRMMA_SPAN semantics (TraceMode::kOff disables stats) but also
+/// raised by TRMMA_LOCK_ORDER so inversion detection works with metrics off.
 inline bool LockTrackingEnabled() {
-  return g_trace_mode.load(std::memory_order_relaxed) != 0;
+  return g_lock_gate.load(std::memory_order_relaxed) != 0;
 }
+
+/// Lock-order hooks, called from the tracked slow paths with the gate up.
+/// `id` is the mutex instance, `name` its static-storage family name.
+void LockOrderOnAcquire(const void* id, const char* name);
+void LockOrderOnRelease(const void* id);
 }  // namespace internal_obs
+
+/// Opt-in lock-order cycle detection (DESIGN.md §13). When enabled — via
+/// TRMMA_LOCK_ORDER=1 in the environment or SetLockOrderTracking(true) —
+/// every tracked acquisition records "B acquired while A held" edges into a
+/// process-wide lock-order graph keyed by lock family name, with the
+/// acquisition stack captured at each edge's first observation. An edge
+/// that closes a cycle (the classic ABBA inversion) is reported once per
+/// ordered pair: logged at Error level with both acquisition stacks, kept
+/// in LockOrderInversions(), and counted in LockOrderJson(). Detection adds
+/// a held-lock-set update per tracked acquisition, so it is a debugging
+/// mode, not a production default.
+void SetLockOrderTracking(bool enabled);
+bool LockOrderTrackingEnabled();
+
+/// One detected inversion: `second` was acquired while `first` was held,
+/// yet the graph already proves an order from `second` back to `first`.
+struct LockOrderInversion {
+  std::string first;
+  std::string second;
+  /// Symbolized acquisition stack of the inverting edge (second-under-first)
+  /// and of the pre-existing reverse path's first edge. Empty when frame
+  /// walking is unavailable (sanitizer builds).
+  std::string forward_stack;
+  std::string reverse_stack;
+};
+
+/// Inversions detected since the last reset, in detection order.
+std::vector<LockOrderInversion> LockOrderInversions();
+/// {"enabled":...,"edges":N,"inversions":[{"first","second",...}]} for
+/// /debug/postmortem and the postmortem report.
+std::string LockOrderJson();
+/// Non-blocking LockOrderJson for the crash path: false (out untouched)
+/// when the detector's state lock is held.
+bool TryLockOrderJson(std::string* out);
+/// Drops the edge graph, held-lock sets stay (test hook).
+void ResetLockOrderForTest();
 
 /// Drop-in std::mutex replacement (Lockable: lock/try_lock/unlock) that
 /// records acquisition count, contended acquisitions, wait time under

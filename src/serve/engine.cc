@@ -6,11 +6,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_points.h"
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/json_parse.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/slo.h"
+#include "obs/stack_walk.h"
+#include "obs/stall_watchdog.h"
 #include "obs/trace.h"
 #include "robust/fault_injection.h"
 
@@ -185,6 +189,11 @@ Status ServeEngine::Start() {
   for (int i = 0; i < config_.threads; ++i) {
     threads_.emplace_back(&ServeEngine::WorkerLoop, this, i);
   }
+  // Environment-gated postmortem hooks (both no-ops when unset): the stall
+  // watchdog scanning this engine's in-flight requests, and the crash
+  // handler so a faulting worker leaves a report with those requests in it.
+  obs::StallWatchdog::Global().StartFromEnv();
+  obs::InstallCrashHandlerFromEnv();
   return Status::OK();
 }
 
@@ -273,6 +282,10 @@ std::future<ServeResponse> ServeEngine::Submit(ServeRequest request) {
   req->deadline = config_.deadline_ms > 0.0
                       ? Deadline::AfterMillis(config_.deadline_ms)
                       : Deadline::Unbounded();
+  // Admitted: visible to crash reports and the stall watchdog until
+  // Finalize releases the slot (-1 when the registry is off or full).
+  req->inflight_token = obs::InflightRegistry::Global().Register(
+      req->trace_id, RequestKindName(kind), config_.deadline_ms);
   if (!TryEnqueue(Task{req, false})) {
     // Lost the race with a concurrent enqueue or shutdown.
     FinalizeShed(req, "queue_full", retry_after_ms);
@@ -330,6 +343,9 @@ bool ServeEngine::TryEnqueue(Task task) {
 }
 
 void ServeEngine::WorkerLoop(int index) {
+  // Registered so all-thread stack dumps (SIGUSR2 rendezvous, crash
+  // reports, the watchdog's stuck-worker dumps) can see this thread.
+  obs::ScopedThreadRegistration registration("serve.worker");
   Worker* worker = workers_[static_cast<size_t>(index)].get();
   while (true) {
     Task task;
@@ -426,6 +442,15 @@ void ServeEngine::Execute(const Task& task, Worker* worker) {
     faults_->CorruptTrajectorySeeded(&input, req->id);
   }
 
+  obs::InflightRegistry::Global().MarkExecuting(req->inflight_token);
+  // Crash-drill hook (common/fault_points.h): lets the crash-smoke harness
+  // fault a real worker mid-request so the postmortem shows a genuine
+  // serving stack plus the in-flight requests around it.
+  if (FaultPointTriggered("serve.worker.crash")) {
+    volatile int* fault = nullptr;
+    *fault = 1;
+  }
+
   ServeResponse resp;
   Status status;
   bool pipeline_degraded = false;
@@ -502,6 +527,7 @@ void ServeEngine::Finalize(const std::shared_ptr<RequestState>& req,
   if (req->done.exchange(true, std::memory_order_acq_rel)) {
     return;  // the twin attempt already answered
   }
+  obs::InflightRegistry::Global().Release(req->inflight_token);
   const Clock::time_point now = Clock::now();
   const RequestKind kind = req->request.kind;
   response.id = req->id;
@@ -621,6 +647,7 @@ void ServeEngine::ScheduleAt(Clock::time_point at, std::function<void()> fn) {
 }
 
 void ServeEngine::TimerLoop() {
+  obs::ScopedThreadRegistration registration("serve.timer");
   std::unique_lock<std::mutex> lock(timer_mu_);
   while (!timer_stopping_) {
     if (timers_.empty()) {

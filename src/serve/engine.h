@@ -191,6 +191,10 @@ class ServeEngine {
     uint64_t trace_id = 0;
     int64_t root_seq = -1;   ///< request-lane root span seq (kTrace only)
     double submit_us = 0.0;  ///< NowMicros() at admission (root span start)
+    /// InflightRegistry slot (obs/postmortem.h); -1 when not tracked. Held
+    /// from admission to finalize so crash reports and the stall watchdog
+    /// see exactly the requests inside the engine.
+    int inflight_token = -1;
   };
 
   struct Task {

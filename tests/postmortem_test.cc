@@ -1,0 +1,180 @@
+#include "obs/postmortem.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+#include "obs/stack_walk.h"
+#include "obs/trace.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+class RegistryGuard {
+ public:
+  RegistryGuard() {
+    InflightRegistry::Global().ResetForTest();
+    InflightRegistry::Global().SetEnabled(true);
+  }
+  ~RegistryGuard() {
+    InflightRegistry::Global().ResetForTest();
+    InflightRegistry::Global().SetEnabled(false);
+  }
+};
+
+TEST(InflightRegistryTest, DisabledRegistrationIsNotTracked) {
+  InflightRegistry::Global().ResetForTest();
+  InflightRegistry::Global().SetEnabled(false);
+  EXPECT_EQ(InflightRegistry::Global().Register(1, "match", 100.0), -1);
+  // -1 tokens are inert everywhere downstream.
+  InflightRegistry::Global().MarkExecuting(-1);
+  InflightRegistry::Global().Release(-1);
+}
+
+TEST(InflightRegistryTest, LifecycleQueuedExecutingReleased) {
+  RegistryGuard guard;
+  InflightRegistry& reg = InflightRegistry::Global();
+  const int token = reg.Register(0xabcdef, "match", 250.0);
+  ASSERT_GE(token, 0);
+
+  InflightRequest reqs[InflightRegistry::kMaxSlots];
+  ASSERT_EQ(reg.Snapshot(reqs, InflightRegistry::kMaxSlots), 1);
+  EXPECT_EQ(reqs[0].trace_id, 0xabcdefu);
+  EXPECT_STREQ(reqs[0].kind, "match");
+  EXPECT_EQ(reqs[0].state, 1);  // queued
+  EXPECT_EQ(reqs[0].tid, 0);    // no worker yet
+  EXPECT_DOUBLE_EQ(reqs[0].deadline_ms, 250.0);
+
+  reg.MarkExecuting(token);
+  ASSERT_EQ(reg.Snapshot(reqs, InflightRegistry::kMaxSlots), 1);
+  EXPECT_EQ(reqs[0].state, 2);  // executing
+  EXPECT_EQ(reqs[0].tid, CurrentThreadId());
+
+  reg.Release(token);
+  EXPECT_EQ(reg.Snapshot(reqs, InflightRegistry::kMaxSlots), 0);
+}
+
+TEST(InflightRegistryTest, FullRegistryDropsGracefully) {
+  RegistryGuard guard;
+  InflightRegistry& reg = InflightRegistry::Global();
+  std::vector<int> tokens;
+  for (int i = 0; i < InflightRegistry::kMaxSlots; ++i) {
+    const int token = reg.Register(static_cast<uint64_t>(i + 1), "match", 0.0);
+    ASSERT_GE(token, 0) << "slot " << i;
+    tokens.push_back(token);
+  }
+  // 257th request: not tracked, never an error.
+  EXPECT_EQ(reg.Register(999, "recover", 0.0), -1);
+  for (const int token : tokens) reg.Release(token);
+  InflightRequest reqs[InflightRegistry::kMaxSlots];
+  EXPECT_EQ(reg.Snapshot(reqs, InflightRegistry::kMaxSlots), 0);
+}
+
+TEST(InflightRegistryTest, JsonListsInflightRequests) {
+  RegistryGuard guard;
+  InflightRegistry& reg = InflightRegistry::Global();
+  const int token = reg.Register(0x10, "recover", 50.0);
+  ASSERT_GE(token, 0);
+  const StatusOr<JsonValue> doc = ParseJson(reg.Json());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc.value().Get("enabled").AsBool());
+  const JsonValue& inflight = doc.value().Get("inflight");
+  ASSERT_TRUE(inflight.is_array());
+  ASSERT_EQ(inflight.AsArray().size(), 1u);
+  EXPECT_EQ(inflight.AsArray()[0].Get("trace_id").AsString(),
+            TraceIdHex(0x10));
+  EXPECT_EQ(inflight.AsArray()[0].Get("state").AsString(), "queued");
+  reg.Release(token);
+}
+
+TEST(PostmortemTest, LiveDumpMatchesSchema) {
+  RegistryGuard guard;
+  ScopedThreadRegistration reg("test.postmortem");
+  const int token =
+      InflightRegistry::Global().Register(0x42, "match", 125.0);
+  ASSERT_GE(token, 0);
+  InflightRegistry::Global().MarkExecuting(token);
+
+  const std::string json = BuildPostmortemJson(PostmortemContext{});
+  const StatusOr<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+
+  EXPECT_EQ(doc.Get("schema").AsString(), "trmma.postmortem.v1");
+  EXPECT_EQ(doc.Get("signal").Get("number").AsNumber(), 0.0);
+  EXPECT_EQ(doc.Get("signal").Get("name").AsString(), "NONE");
+  EXPECT_TRUE(doc.Get("signal").Get("fault_addr").is_null());
+  EXPECT_TRUE(doc.Get("reason").is_null());
+  EXPECT_GT(doc.Get("pid").AsNumber(), 0.0);
+
+  const JsonValue& threads = doc.Get("threads");
+  ASSERT_TRUE(threads.is_array());
+  ASSERT_FALSE(threads.AsArray().empty());
+  bool found_self = false;
+  for (const JsonValue& thread : threads.AsArray()) {
+    found_self =
+        found_self || thread.Get("name").AsString() == "test.postmortem";
+  }
+  EXPECT_TRUE(found_self);
+
+  const JsonValue& inflight = doc.Get("inflight_requests");
+  ASSERT_TRUE(inflight.is_array());
+  ASSERT_EQ(inflight.AsArray().size(), 1u);
+  EXPECT_EQ(inflight.AsArray()[0].Get("trace_id").AsString(),
+            TraceIdHex(0x42));
+  EXPECT_EQ(inflight.AsArray()[0].Get("state").AsString(), "executing");
+
+  EXPECT_TRUE(doc.Get("memory").is_object());
+  // Live dumps hold no locks, so the try-lock sections must be present.
+  EXPECT_TRUE(doc.Get("metrics").is_object());
+  EXPECT_TRUE(doc.Get("lock_order").is_object());
+  EXPECT_TRUE(doc.Get("spans").is_array() || doc.Get("spans").is_null());
+
+  InflightRegistry::Global().Release(token);
+}
+
+TEST(PostmortemTest, ContextReasonAndSignalAreReported) {
+  PostmortemContext ctx;
+  ctx.signo = 6;  // SIGABRT
+  ctx.reason = "watchdog: request stuck";
+  const StatusOr<JsonValue> parsed = ParseJson(BuildPostmortemJson(ctx));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Get("signal").Get("name").AsString(), "SIGABRT");
+  EXPECT_EQ(parsed.value().Get("reason").AsString(),
+            "watchdog: request stuck");
+  // No pre-captured stacks were supplied, so the builder captured live ones.
+  EXPECT_TRUE(parsed.value().Get("threads").is_array());
+}
+
+TEST(PostmortemTest, InstallValidatesAndTargetsTheDirectory) {
+  EXPECT_FALSE(InstallCrashHandler("").ok());
+
+  char dir_template[] = "/tmp/trmma_postmortem_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+  ASSERT_TRUE(InstallCrashHandler(dir).ok());
+  EXPECT_TRUE(CrashHandlerInstalled());
+  EXPECT_EQ(PostmortemDir(), dir);
+  EXPECT_EQ(PostmortemPath().find(dir + "/postmortem."), 0u);
+  // The registry is live now: crash reports need the in-flight view.
+  EXPECT_TRUE(InflightRegistry::Global().enabled());
+
+  // Re-install just retargets the path.
+  char dir2_template[] = "/tmp/trmma_postmortem_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir2_template), nullptr);
+  const std::string dir2 = dir2_template;
+  ASSERT_TRUE(InstallCrashHandler(dir2).ok());
+  EXPECT_EQ(PostmortemDir(), dir2);
+  ::rmdir(dir.c_str());
+  ::rmdir(dir2_template);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

@@ -1,0 +1,141 @@
+#include "obs/stall_watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/postmortem.h"
+
+namespace trmma {
+namespace obs {
+namespace {
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+class WatchdogGuard {
+ public:
+  WatchdogGuard() {
+    StallWatchdog::Global().ResetForTest();
+    InflightRegistry::Global().ResetForTest();
+    InflightRegistry::Global().SetEnabled(true);
+  }
+  ~WatchdogGuard() {
+    StallWatchdog::Global().Stop();
+    StallWatchdog::Global().ResetForTest();
+    InflightRegistry::Global().ResetForTest();
+    InflightRegistry::Global().SetEnabled(false);
+  }
+};
+
+TEST(StallWatchdogTest, StuckRequestReportedExactlyOnce) {
+  WatchdogGuard guard;
+  InflightRegistry& reg = InflightRegistry::Global();
+  // Deadline 5 ms, default stall factor 2.0: stuck once older than ~10 ms.
+  const int token = reg.Register(0x77, "match", 5.0);
+  ASSERT_GE(token, 0);
+  reg.MarkExecuting(token);
+
+  EXPECT_EQ(StallWatchdog::Global().ScanOnce(), 0);  // too young
+  SleepMs(25);
+  const std::int64_t before = StallWatchdog::Global().stuck_detected();
+  EXPECT_EQ(StallWatchdog::Global().ScanOnce(), 1);
+  EXPECT_EQ(StallWatchdog::Global().stuck_detected(), before + 1);
+  // Still stuck on the next scan, but already reported: no re-report.
+  EXPECT_EQ(StallWatchdog::Global().ScanOnce(), 0);
+
+  // Release, then reuse the trace id: the dedup set must have been pruned
+  // to the live in-flight set, so a *new* stall reports again.
+  reg.Release(token);
+  EXPECT_EQ(StallWatchdog::Global().ScanOnce(), 0);  // prunes bookkeeping
+  const int again = reg.Register(0x77, "match", 5.0);
+  ASSERT_GE(again, 0);
+  reg.MarkExecuting(again);
+  SleepMs(25);
+  EXPECT_EQ(StallWatchdog::Global().ScanOnce(), 1);
+  reg.Release(again);
+}
+
+TEST(StallWatchdogTest, SlowButWithinBudgetIsNotStuck) {
+  WatchdogGuard guard;
+  InflightRegistry& reg = InflightRegistry::Global();
+  // 10 s deadline: a request a few dozen milliseconds old is just slow.
+  const int token = reg.Register(0x88, "recover", 10000.0);
+  ASSERT_GE(token, 0);
+  reg.MarkExecuting(token);
+  SleepMs(30);
+  EXPECT_EQ(StallWatchdog::Global().ScanOnce(), 0);
+  reg.Release(token);
+}
+
+TEST(StallWatchdogTest, QueuedAndUnboundedRequestsAreExempt) {
+  WatchdogGuard guard;
+  InflightRegistry& reg = InflightRegistry::Global();
+  // Queued past its deadline: that is the engine's timeout path, not a
+  // wedged worker — the watchdog must not cry wolf.
+  const int queued = reg.Register(0x99, "match", 5.0);
+  ASSERT_GE(queued, 0);
+  // Executing with no deadline: legitimately allowed to run for minutes.
+  const int unbounded = reg.Register(0x9a, "recover", 0.0);
+  ASSERT_GE(unbounded, 0);
+  reg.MarkExecuting(unbounded);
+
+  SleepMs(25);
+  EXPECT_EQ(StallWatchdog::Global().ScanOnce(), 0);
+  reg.Release(queued);
+  reg.Release(unbounded);
+}
+
+TEST(StallWatchdogTest, StartValidatesConfigAndIsIdempotent) {
+  WatchdogGuard guard;
+  StallWatchdog::Config bad;
+  bad.poll_ms = 0.0;
+  EXPECT_FALSE(StallWatchdog::Global().Start(bad).ok());
+  bad.poll_ms = 10.0;
+  bad.stall_factor = -1.0;
+  EXPECT_FALSE(StallWatchdog::Global().Start(bad).ok());
+  EXPECT_FALSE(StallWatchdog::Global().running());
+
+  StallWatchdog::Config config;
+  config.poll_ms = 10.0;
+  ASSERT_TRUE(StallWatchdog::Global().Start(config).ok());
+  EXPECT_TRUE(StallWatchdog::Global().running());
+  // The watchdog enables the registry so there is something to scan.
+  EXPECT_TRUE(InflightRegistry::Global().enabled());
+  // Second start is a no-op, not an error.
+  EXPECT_TRUE(StallWatchdog::Global().Start(config).ok());
+
+  StallWatchdog::Global().Stop();
+  EXPECT_FALSE(StallWatchdog::Global().running());
+  StallWatchdog::Global().Stop();  // idempotent
+}
+
+TEST(StallWatchdogTest, BackgroundLoopDetectsAStall) {
+  WatchdogGuard guard;
+  StallWatchdog::Config config;
+  config.poll_ms = 5.0;
+  config.stall_factor = 2.0;
+  ASSERT_TRUE(StallWatchdog::Global().Start(config).ok());
+
+  InflightRegistry& reg = InflightRegistry::Global();
+  const std::int64_t before = StallWatchdog::Global().stuck_detected();
+  const int token = reg.Register(0xbb, "match", 5.0);
+  ASSERT_GE(token, 0);
+  reg.MarkExecuting(token);
+
+  // 5 ms deadline × factor 2 = stuck after ~10 ms; the 5 ms poll loop must
+  // notice well within a second.
+  bool detected = false;
+  for (int i = 0; i < 200 && !detected; ++i) {
+    detected = StallWatchdog::Global().stuck_detected() > before;
+    SleepMs(5);
+  }
+  EXPECT_TRUE(detected);
+  reg.Release(token);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trmma

@@ -8,6 +8,7 @@
 //   trmma_inspect quality <records.jsonl>
 //   trmma_inspect demo    <records.jsonl> [city] [n]
 //   trmma_inspect slo     <slo.json> <BENCH.json>
+//   trmma_inspect postmortem <postmortem.json>
 //
 // <id> is a record id ("req-000042") or, for requests captured under the
 // serving engine's TraceContext, the 16-hex-digit trace id printed by
@@ -19,7 +20,10 @@
 // writes the captured records to the given path — the self-contained way to
 // produce a records file for the other subcommands (and for ctest). `slo`
 // evaluates declarative objectives (see obs/slo.h) against a bench report's
-// metrics section offline and exits 1 on any breach.
+// metrics section offline and exits 1 on any breach. `postmortem` validates
+// a crash report (schema "trmma.postmortem.v1", obs/postmortem.h) and prints
+// a human summary — faulting thread stack, in-flight requests, span tail —
+// exiting 1 on a truncated, tampered, or off-schema document.
 
 #include <cstdio>
 #include <cstring>
@@ -45,7 +49,8 @@ int Usage() {
                "       trmma_inspect replay  <records.jsonl> <id>\n"
                "       trmma_inspect quality <records.jsonl>\n"
                "       trmma_inspect demo    <records.jsonl> [city] [n]\n"
-               "       trmma_inspect slo     <slo.json> <BENCH.json>\n");
+               "       trmma_inspect slo     <slo.json> <BENCH.json>\n"
+               "       trmma_inspect postmortem <postmortem.json>\n");
   return 2;
 }
 
@@ -186,6 +191,160 @@ int RunSlo(const std::string& slo_path, const std::string& report_path) {
   return breaches > 0 ? 1 : 0;
 }
 
+bool IsHex16(const std::string& s) {
+  if (s.size() != 16) return false;
+  for (const char c : s) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+// Structural validation of a "trmma.postmortem.v1" document. Strict on the
+// invariants downstream tooling depends on (schema tag, thread/frame shape,
+// 16-hex trace ids) and tolerant of null-degraded sections (spans/metrics/
+// lock_order go null when the crash held the matching lock).
+Status ValidatePostmortem(const obs::JsonValue& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("not a JSON object");
+  if (doc.Get("schema").AsString() != "trmma.postmortem.v1") {
+    return Status::InvalidArgument("schema is not trmma.postmortem.v1");
+  }
+  const obs::JsonValue& signal = doc.Get("signal");
+  if (!signal.is_object() || !signal.Get("number").is_number() ||
+      !signal.Get("name").is_string()) {
+    return Status::InvalidArgument("signal section malformed");
+  }
+  if (!doc.Get("pid").is_number() || doc.Get("pid").AsNumber() <= 0) {
+    return Status::InvalidArgument("pid missing or non-positive");
+  }
+  const obs::JsonValue& threads = doc.Get("threads");
+  if (!threads.is_array() || threads.AsArray().empty()) {
+    return Status::InvalidArgument("threads section missing or empty");
+  }
+  for (const obs::JsonValue& thread : threads.AsArray()) {
+    if (!thread.is_object() || !thread.Get("tid").is_number() ||
+        !thread.Get("name").is_string() ||
+        !thread.Get("faulting").is_bool() ||
+        !thread.Get("frames").is_array()) {
+      return Status::InvalidArgument("thread entry malformed");
+    }
+    for (const obs::JsonValue& frame : thread.Get("frames").AsArray()) {
+      const std::string& pc = frame.Get("pc").AsString();
+      if (!frame.is_object() || pc.rfind("0x", 0) != 0 ||
+          frame.Get("symbol").AsString().empty()) {
+        return Status::InvalidArgument("stack frame malformed");
+      }
+    }
+  }
+  if (signal.Get("number").AsNumber() != 0) {
+    bool any_faulting = false;
+    for (const obs::JsonValue& thread : threads.AsArray()) {
+      any_faulting = any_faulting || thread.Get("faulting").AsBool();
+    }
+    if (!any_faulting) {
+      return Status::InvalidArgument("crash report has no faulting thread");
+    }
+  }
+  const obs::JsonValue& inflight = doc.Get("inflight_requests");
+  if (!inflight.is_array()) {
+    return Status::InvalidArgument("inflight_requests section missing");
+  }
+  for (const obs::JsonValue& req : inflight.AsArray()) {
+    if (!req.is_object() || !req.Get("kind").is_string() ||
+        !req.Get("state").is_string() || !req.Get("age_us").is_number()) {
+      return Status::InvalidArgument("inflight request entry malformed");
+    }
+    if (!IsHex16(req.Get("trace_id").AsString())) {
+      return Status::InvalidArgument(
+          "inflight request trace_id is not 16 lowercase hex chars: " +
+          req.Get("trace_id").AsString());
+    }
+  }
+  if (!doc.Get("memory").is_object()) {
+    return Status::InvalidArgument("memory section missing");
+  }
+  for (const char* nullable : {"spans", "metrics", "lock_order"}) {
+    if (!doc.Has(nullable)) {
+      return Status::InvalidArgument(std::string(nullable) +
+                                     " section missing (null is fine)");
+    }
+  }
+  return Status::OK();
+}
+
+// Validates and summarizes a postmortem report: one block per section, the
+// faulting thread's stack in full, other threads as one-liners.
+int RunPostmortem(const std::string& path) {
+  StatusOr<obs::JsonValue> doc = LoadJsonFile(path);
+  if (!doc.ok()) return Fail(doc.status());
+  const Status valid = ValidatePostmortem(*doc);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "trmma_inspect: %s: invalid postmortem: %s\n",
+                 path.c_str(), valid.message().c_str());
+    return 1;
+  }
+
+  const obs::JsonValue& signal = doc->Get("signal");
+  std::printf("postmortem: %s (signal %d) pid %lld\n",
+              signal.Get("name").AsString().c_str(),
+              static_cast<int>(signal.Get("number").AsNumber()),
+              static_cast<long long>(doc->Get("pid").AsNumber()));
+  if (signal.Get("fault_addr").is_string()) {
+    std::printf("fault_addr: %s\n", signal.Get("fault_addr").AsString().c_str());
+  }
+  if (doc->Get("reason").is_string()) {
+    std::printf("reason: %s\n", doc->Get("reason").AsString().c_str());
+  }
+  std::printf("uptime: %.3f s\n", doc->Get("uptime_us").AsNumber() / 1e6);
+
+  const auto& threads = doc->Get("threads").AsArray();
+  std::printf("threads: %zu captured\n", threads.size());
+  for (const obs::JsonValue& thread : threads) {
+    const bool faulting = thread.Get("faulting").AsBool();
+    const auto& frames = thread.Get("frames").AsArray();
+    std::printf("  tid %lld [%s]%s — %zu frame(s)\n",
+                static_cast<long long>(thread.Get("tid").AsNumber()),
+                thread.Get("name").AsString().c_str(),
+                faulting ? " (faulting)" : "", frames.size());
+    if (!faulting) continue;
+    for (size_t f = 0; f < frames.size(); ++f) {
+      std::printf("    #%-2zu %s %s\n", f,
+                  frames[f].Get("pc").AsString().c_str(),
+                  frames[f].Get("symbol").AsString().c_str());
+    }
+  }
+
+  const auto& inflight = doc->Get("inflight_requests").AsArray();
+  std::printf("in-flight requests: %zu\n", inflight.size());
+  for (const obs::JsonValue& req : inflight) {
+    std::printf("  %s %s %s age=%.1fms deadline=%.0fms tid=%lld\n",
+                req.Get("trace_id").AsString().c_str(),
+                req.Get("kind").AsString().c_str(),
+                req.Get("state").AsString().c_str(),
+                req.Get("age_us").AsNumber() / 1000.0,
+                req.Get("deadline_ms").AsNumber(),
+                static_cast<long long>(req.Get("tid").AsNumber()));
+  }
+
+  const obs::JsonValue& spans = doc->Get("spans");
+  if (spans.is_array()) {
+    std::printf("spans: %zu in tail\n", spans.AsArray().size());
+  } else {
+    std::printf("spans: unavailable (ring lock held at capture)\n");
+  }
+  std::printf("metrics: %s\n",
+              doc->Get("metrics").is_object() ? "present" : "unavailable");
+  const obs::JsonValue& lock_order = doc->Get("lock_order");
+  if (lock_order.is_object()) {
+    std::printf("lock_order: %zu inversion(s)\n",
+                lock_order.Get("inversions").AsArray().size());
+  } else {
+    std::printf("lock_order: unavailable\n");
+  }
+  std::printf("postmortem OK\n");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
@@ -201,6 +360,7 @@ int Main(int argc, char** argv) {
     return RunDemo(path, city, n);
   }
   if (cmd == "slo" && argc >= 4) return RunSlo(path, argv[3]);
+  if (cmd == "postmortem") return RunPostmortem(path);
   return Usage();
 }
 
