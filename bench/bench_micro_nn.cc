@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "nn/gru.h"
+#include "obs/hw_counters.h"
 #include "nn/ops.h"
 #include "nn/transformer.h"
 
@@ -85,6 +86,7 @@ BENCHMARK(BM_ForwardBackward);
 /// The gap is tape bookkeeping and timer overhead; the acceptance bar for
 /// the profiler is >= 0.9 at this workload size.
 void RunOpProfilerCoverage() {
+  obs::ScopedPhase phase("op_profiler_coverage");
   const bool was_enabled = OpProfiler::Enabled();
   OpProfiler::SetEnabled(true);
   OpProfiler::Global().Reset();
@@ -93,12 +95,18 @@ void RunOpProfilerCoverage() {
   Matrix x = RandomMatrix(24, 32, 8);
   const double t0 = obs::NowMicros();
   for (int i = 0; i < 50; ++i) {
+    const double pass_t0 = obs::NowMicros();
     Tape tape;
     Tensor y = enc.Forward(ops::Input(tape, x));
     Tensor loss = ops::SumAll(ops::Mul(y, y));
     tape.Backward(loss);
     enc.ZeroGrad();
     benchmark::DoNotOptimize(loss.value().at(0, 0));
+    if (obs::MetricsEnabled()) {
+      obs::MetricRegistry::Global()
+          .GetHistogram("micro_nn.fwd_bwd_us")
+          ->Observe(obs::NowMicros() - pass_t0);
+    }
   }
   const double wall_us = obs::NowMicros() - t0;
   const double accounted_us = OpProfiler::Global().TotalAccountedMicros();
@@ -112,6 +120,46 @@ void RunOpProfilerCoverage() {
   OpProfiler::SetEnabled(was_enabled);
 }
 
+/// Hardware-annotated matmul sweep, also run after the google-benchmark
+/// loops: enables the counter subsystem (unless the host or TRMMA_HW_COUNTERS
+/// refuses), calibrates the machine roofline, then measures scaled counter
+/// deltas around MatMul at sizes 64–1024. Each point records the analytic
+/// FLOP (2n^3 per multiply) and traffic (3n^2 doubles) estimates next to
+/// measured cycles, giving the pinned scalar roofline baseline the SIMD
+/// work will be judged against. On perf-restricted hosts the report keeps a
+/// validating {"available": false, "reason": ...} section instead.
+void RunHwCounterMatmulSweep() {
+  obs::ScopedPhase phase("hw_matmul_sweep");
+  obs::HwCounters& hw = obs::HwCounters::Global();
+  if (!hw.Enable().ok()) {
+    std::printf("hw counter sweep skipped: %s\n", hw.reason().c_str());
+    return;
+  }
+  const obs::HwCalibration calib = hw.Calibrate();
+  if (calib.measured) {
+    std::printf("hw calibration: %.2f flop/cycle, %.2f bytes/cycle peak\n",
+                calib.flop_per_cycle, calib.bytes_per_cycle);
+  }
+  for (const int n : {64, 128, 256, 512, 1024}) {
+    Matrix a = RandomMatrix(n, n, 11);
+    Matrix b = RandomMatrix(n, n, 12);
+    Matrix out;
+    MatMul(a, b, &out);  // warm: page in the matrices outside the scope
+    // Iterate small sizes enough to swamp the two group reads (~1 µs).
+    const int iters = n >= 512 ? 1 : (n >= 256 ? 4 : 16);
+    obs::HwCounterScope scope(true);
+    for (int i = 0; i < iters; ++i) MatMul(a, b, &out);
+    obs::HwCounterDelta delta;
+    if (!scope.End(&delta)) continue;
+    const double flops = 2.0 * n * n * n * iters;
+    const double bytes = 3.0 * n * n * sizeof(double) * iters;
+    hw.RecordSweepPoint("matmul", n, delta, flops, bytes);
+    std::printf("matmul n=%4d: %.3g cycles, ipc %.2f, %.3f flop/cycle\n", n,
+                delta.cycles(), delta.ipc(),
+                delta.cycles() > 0.0 ? flops / delta.cycles() : 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace nn
 }  // namespace trmma
@@ -123,5 +171,6 @@ int main(int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   trmma::nn::RunOpProfilerCoverage();
+  trmma::nn::RunHwCounterMatmulSweep();
   return 0;
 }

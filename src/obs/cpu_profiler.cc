@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
+#include "obs/hw_counters.h"
 #include "obs/json.h"
 #include "obs/stack_walk.h"
 
@@ -104,6 +106,14 @@ Status CpuProfiler::Start(const CpuProfilerConfig& config) {
         "cpu profiler disabled: frame walk unavailable (sanitizer build or "
         "unsupported architecture)");
   }
+  // Other half of the hw-counter interlock (see HwCounters::Enable):
+  // SIGPROF delivery perturbs the kernel's counter-group scheduling windows
+  // mid-scope, so exactly one of the two subsystems may be armed.
+  if (HwCounters::Enabled()) {
+    return Status::FailedPrecondition(
+        "cpu profiler refused: hardware counters are armed "
+        "(TRMMA_HW_COUNTERS) — disable them before SIGPROF sampling");
+  }
   std::lock_guard<TrackedMutex> lock(mu_);
   if (running_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("cpu profiler already running");
@@ -158,7 +168,11 @@ bool CpuProfiler::StartFromEnv() {
     const int v = std::atoi(hz);
     if (v > 0) config.hz = v;
   }
-  if (!Start(config).ok()) return false;
+  const Status start = Start(config);
+  if (!start.ok()) {
+    TRMMA_LOG(Warning) << "TRMMA_CPU_PROFILE ignored: " << start.message();
+    return false;
+  }
   if (std::strcmp(env, "1") != 0 && std::strcmp(env, "on") != 0) {
     bool install = false;
     {

@@ -1,0 +1,652 @@
+#include "obs/hw_counters.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "nn/profiler.h"
+#include "obs/cpu_profiler.h"
+#include "obs/json.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+// Same sanitizer detection as obs/stack_walk.cc: under ASan/TSan the
+// subsystem refuses to arm — the sanitizer runtimes intercept syscalls and
+// wrap signal delivery, and a perf fd group adds fd-based sampling state
+// they do not model. The stub path still validates (available:false).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TRMMA_HW_COUNTERS_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define TRMMA_HW_COUNTERS_SANITIZED 1
+#endif
+#endif
+
+namespace trmma {
+namespace obs {
+
+namespace {
+
+const char* const kCounterNames[kHwCounterKinds] = {
+    "cycles",        "instructions",  "l1d_misses",
+    "llc_misses",    "branch_misses", "stalled_cycles",
+};
+
+/// Process-wide armed/disarmed epoch. Bumped by Enable/Disable; each
+/// thread's group caches the epoch it was opened under and reopens (or
+/// closes) lazily when it observes a mismatch — no cross-thread teardown.
+std::atomic<std::uint64_t> g_epoch{0};
+
+struct SweepPoint {
+  std::string label;
+  int n = 0;
+  HwCounterDelta delta;
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+struct GlobalState {
+  std::mutex mu;
+  bool available = false;
+  std::string reason = "not requested";
+  std::string counter_set = "full";
+  bool counter_open[kHwCounterKinds] = {};
+  HwCalibration calibration;
+  std::vector<SweepPoint> sweep;
+};
+
+GlobalState& State() {
+  static GlobalState* state = new GlobalState();
+  return *state;
+}
+
+/// Truthiness of TRMMA_CPU_PROFILE, mirroring CpuProfiler::StartFromEnv:
+/// the interlock must refuse even when the profiler has been requested but
+/// not yet started, or the two would race on who arms first.
+bool CpuProfileArmedInEnv() {
+  const char* env = std::getenv("TRMMA_CPU_PROFILE");
+  if (env == nullptr || *env == '\0') return false;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0);
+}
+
+#if defined(__linux__) && !defined(TRMMA_HW_COUNTERS_SANITIZED)
+#define TRMMA_HW_COUNTERS_IMPL 1
+
+struct CounterSpec {
+  int kind;
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr CounterSpec kCounterSpecs[kHwCounterKinds] = {
+    {kHwCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {kHwInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {kHwL1dMisses, PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {kHwLlcMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {kHwBranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {kHwStalledCycles, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+/// Which counter slots the active set asks for, cycles always first (it is
+/// the group leader).
+int SetKinds(const std::string& set, int* out) {
+  int n = 0;
+  out[n++] = kHwCycles;
+  out[n++] = kHwInstructions;
+  if (set == "ipc") return n;
+  out[n++] = kHwL1dMisses;
+  out[n++] = kHwLlcMisses;
+  if (set == "cache") return n;
+  out[n++] = kHwBranchMisses;
+  out[n++] = kHwStalledCycles;
+  return n;
+}
+
+int OpenCounter(const CounterSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      ::syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+/// Per-thread counter group. Counters are free-running from open; scopes
+/// measure deltas between two group reads, so no enable/disable ioctls sit
+/// on the hot path. The destructor closes the fds at thread exit.
+struct ThreadGroup {
+  int leader = -1;
+  int fds[kHwCounterKinds];
+  int nr = 0;                          ///< members in group read order
+  int slot_kind[kHwCounterKinds] = {};  ///< read position -> HwCounterKind
+  std::uint64_t epoch = 0;
+
+  ThreadGroup() {
+    for (int& fd : fds) fd = -1;
+  }
+  ~ThreadGroup() { Close(); }
+
+  void Close() {
+    for (int& fd : fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    leader = -1;
+    nr = 0;
+  }
+
+  /// Opens the active set's counters as one group (leader = cycles).
+  /// Optional members that the PMU vetoes are skipped; a leader failure
+  /// leaves the group closed. Returns errno from the leader open (0 on
+  /// success).
+  int Open(const std::string& set) {
+    Close();
+    int kinds[kHwCounterKinds];
+    const int want = SetKinds(set, kinds);
+    for (int i = 0; i < want; ++i) {
+      const CounterSpec& spec = kCounterSpecs[kinds[i]];
+      const int fd = OpenCounter(spec, leader);
+      if (fd < 0) {
+        if (spec.kind == kHwCycles) {
+          const int err = errno;
+          Close();
+          return err != 0 ? err : EINVAL;
+        }
+        continue;  // optional counter unsupported on this PMU
+      }
+      if (spec.kind == kHwCycles) leader = fd;
+      fds[spec.kind] = fd;
+      slot_kind[nr++] = spec.kind;
+    }
+    return 0;
+  }
+
+  /// Group read: {nr, time_enabled, time_running, value[nr]}.
+  bool Read(std::uint64_t* buf, int buf_len) const {
+    if (leader < 0) return false;
+    const ssize_t want =
+        static_cast<ssize_t>(sizeof(std::uint64_t) * (3 + nr));
+    if (want > static_cast<ssize_t>(sizeof(std::uint64_t)) * buf_len) {
+      return false;
+    }
+    return ::read(leader, buf, static_cast<size_t>(want)) == want &&
+           static_cast<int>(buf[0]) == nr;
+  }
+};
+
+thread_local ThreadGroup t_group;
+
+/// The calling thread's group for the current epoch, opening it lazily.
+/// Returns nullptr when disabled or the open failed (this thread then runs
+/// stub scopes until the next epoch).
+ThreadGroup* EnsureThreadGroup() {
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (t_group.epoch != epoch) {
+    t_group.Close();
+    t_group.epoch = epoch;
+    if (HwCounters::Enabled()) {
+      GlobalState& state = State();
+      std::string set;
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        set = state.counter_set;
+      }
+      t_group.Open(set);
+    }
+  }
+  return t_group.leader >= 0 ? &t_group : nullptr;
+}
+
+const char* OpenErrorReason(int err) {
+  switch (err) {
+    case EACCES:
+    case EPERM:
+      return "perf_event_open refused: kernel.perf_event_paranoid restricts "
+             "unprivileged hardware counters";
+    case ENOENT:
+    case ENODEV:
+    case EOPNOTSUPP:
+      return "perf_event_open unsupported: no hardware PMU exposed to this "
+             "host (common in VMs and containers)";
+    case ENOSYS:
+      return "perf_event_open not implemented by this kernel";
+    default:
+      return "perf_event_open failed";
+  }
+}
+
+// ---- calibration microbenchmarks ------------------------------------------
+
+/// Peak scalar FLOP/cycle: eight independent multiply-add chains, long
+/// enough (~16M flops) to swamp the two group reads. The result is whatever
+/// this build's codegen sustains — that is exactly the roof the profiled
+/// scalar ops should be judged against.
+double MeasureFlopPeak(double* out_cycles) {
+  constexpr int kIters = 1 << 20;
+  double acc[8] = {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7};
+  const double m = 1.0000001, c = 1e-9;
+  HwCounterScope scope(true);
+  for (int i = 0; i < kIters; ++i) {
+    for (int j = 0; j < 8; ++j) acc[j] = acc[j] * m + c;
+  }
+  HwCounterDelta delta;
+  const bool ok = scope.End(&delta);
+  volatile double sink = 0.0;
+  for (double a : acc) sink += a;
+  (void)sink;
+  if (!ok || !delta.measured[kHwCycles] || delta.cycles() <= 0.0) return 0.0;
+  *out_cycles += delta.cycles();
+  return 2.0 * 8.0 * kIters / delta.cycles();
+}
+
+/// Peak bytes/cycle: stream-sum a buffer larger than typical LLC slices so
+/// the reads mostly miss, twice (the first pass also pays page faults; both
+/// count — this is the sustainable streaming rate, not a best case).
+double MeasureBytesPeak(double* out_cycles) {
+  constexpr size_t kDoubles = (16u << 20) / sizeof(double);  // 16 MiB
+  std::vector<double> buf(kDoubles, 1.0);
+  double sum = 0.0;
+  HwCounterScope scope(true);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < kDoubles; ++i) sum += buf[i];
+  }
+  HwCounterDelta delta;
+  const bool ok = scope.End(&delta);
+  volatile double sink = sum;
+  (void)sink;
+  if (!ok || !delta.measured[kHwCycles] || delta.cycles() <= 0.0) return 0.0;
+  *out_cycles += delta.cycles();
+  return 2.0 * static_cast<double>(kDoubles * sizeof(double)) /
+         delta.cycles();
+}
+
+#endif  // TRMMA_HW_COUNTERS_IMPL
+
+std::string CounterSetFromEnv() {
+  const char* env = std::getenv("TRMMA_HW_COUNTER_SET");
+  if (env == nullptr || *env == '\0') return "full";
+  const std::string set = env;
+  if (set == "full" || set == "cache" || set == "ipc") return set;
+  TRMMA_LOG(Warning) << "TRMMA_HW_COUNTER_SET: unknown set '" << set
+                     << "', using 'full' (known: full, cache, ipc)";
+  return "full";
+}
+
+/// Miss rate per thousand instructions; negative = unmeasured (omitted from
+/// JSON).
+double PerKiloInstructions(double misses, double instructions) {
+  return instructions > 0.0 ? 1000.0 * misses / instructions : 0.0;
+}
+
+}  // namespace
+
+const char* HwCounterName(int kind) {
+  return kind >= 0 && kind < kHwCounterKinds ? kCounterNames[kind] : "?";
+}
+
+double ScaleMultiplexed(std::uint64_t raw_delta,
+                        std::uint64_t time_enabled_delta,
+                        std::uint64_t time_running_delta) {
+  if (time_running_delta == 0) return 0.0;
+  if (time_running_delta >= time_enabled_delta) {
+    return static_cast<double>(raw_delta);
+  }
+  return static_cast<double>(raw_delta) *
+         (static_cast<double>(time_enabled_delta) /
+          static_cast<double>(time_running_delta));
+}
+
+void HwCounterDelta::Accumulate(const HwCounterDelta& other) {
+  for (int i = 0; i < kHwCounterKinds; ++i) {
+    if (!other.measured[i]) continue;
+    value[i] += other.value[i];
+    measured[i] = true;
+  }
+  time_enabled_ns += other.time_enabled_ns;
+  time_running_ns += other.time_running_ns;
+}
+
+std::atomic<bool> HwCounters::enabled_{false};
+
+HwCounters& HwCounters::Global() {
+  static HwCounters* counters = new HwCounters();
+  return *counters;
+}
+
+Status HwCounters::Enable() {
+  if (Enabled()) return Status::OK();
+  GlobalState& state = State();
+  const auto refuse = [&state](const std::string& reason) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.available = false;
+      state.reason = reason;
+    }
+    TRMMA_LOG(Warning) << "hw counters unavailable: " << reason;
+    return Status::FailedPrecondition("hw counters: " + reason);
+  };
+
+  const char* env = std::getenv("TRMMA_HW_COUNTERS");
+  if (env != nullptr && (std::strcmp(env, "0") == 0 ||
+                         std::strcmp(env, "off") == 0)) {
+    return refuse("disabled by TRMMA_HW_COUNTERS=off");
+  }
+#if !defined(__linux__)
+  return refuse("perf_event_open requires Linux");
+#elif defined(TRMMA_HW_COUNTERS_SANITIZED)
+  return refuse(
+      "disabled under ASan/TSan: sanitizer runtimes do not model perf fd "
+      "groups");
+#else
+  // The interlock with the sampling CPU profiler: both subsystems schedule
+  // hardware-assisted measurement (ITIMER_PROF signals vs a multiplexed
+  // perf group), and running them concurrently skews both — SIGPROF
+  // delivery perturbs counter scheduling windows mid-scope. Refuse with a
+  // logged reason instead of silently measuring garbage.
+  if (CpuProfiler::Global().running() || CpuProfileArmedInEnv()) {
+    return refuse(
+        "cpu profiler armed (TRMMA_CPU_PROFILE): refusing to run counter "
+        "groups while ITIMER_PROF sampling is live");
+  }
+  const std::string set = CounterSetFromEnv();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.counter_set = set;
+  }
+  // Probe by opening this thread's group for the next epoch; the probe
+  // result doubles as the calling thread's live group.
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  enabled_.store(true, std::memory_order_relaxed);
+  ThreadGroup* group = EnsureThreadGroup();
+  if (group == nullptr) {
+    enabled_.store(false, std::memory_order_relaxed);
+    const int err = t_group.Open(set);  // reproduce the leader errno
+    t_group.Close();
+    return refuse(OpenErrorReason(err));
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.available = true;
+    state.reason.clear();
+    for (bool& open : state.counter_open) open = false;
+    for (int i = 0; i < group->nr; ++i) {
+      state.counter_open[group->slot_kind[i]] = true;
+    }
+  }
+  TRMMA_LOG(Info) << "hw counters enabled (set=" << set << ", "
+                  << group->nr << " counters in group)";
+  return Status::OK();
+#endif
+}
+
+void HwCounters::Disable() {
+  if (!Enabled()) return;
+  enabled_.store(false, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.available = false;
+  state.reason = "disabled";
+}
+
+bool HwCounters::EnableFromEnv() {
+  const char* env = std::getenv("TRMMA_HW_COUNTERS");
+  if (env == nullptr || *env == '\0') return Enabled();
+  // Refusal reasons land in reason()/SectionJson(); the Status adds nothing.
+  (void)Enable();
+  return Enabled();
+}
+
+bool HwCounters::available() const {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.available && Enabled();
+}
+
+std::string HwCounters::reason() const {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.available && Enabled() ? std::string() : state.reason;
+}
+
+std::string HwCounters::counter_set() const {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.counter_set;
+}
+
+bool HwCounters::counter_open(int kind) const {
+  if (kind < 0 || kind >= kHwCounterKinds) return false;
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.counter_open[kind];
+}
+
+HwCalibration HwCounters::Calibrate() {
+  GlobalState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.calibration.measured) return state.calibration;
+  }
+  HwCalibration result;
+#if defined(TRMMA_HW_COUNTERS_IMPL)
+  if (Enabled()) {
+    result.flop_per_cycle = MeasureFlopPeak(&result.calibration_cycles);
+    result.bytes_per_cycle = MeasureBytesPeak(&result.calibration_cycles);
+    result.measured =
+        result.flop_per_cycle > 0.0 && result.bytes_per_cycle > 0.0;
+  }
+#endif
+  if (result.measured) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.calibration = result;
+  }
+  return result;
+}
+
+HwCalibration HwCounters::calibration() const {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.calibration;
+}
+
+void HwCounters::RecordSweepPoint(const std::string& label, int n,
+                                  const HwCounterDelta& delta, double flops,
+                                  double bytes) {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.sweep.push_back(SweepPoint{label, n, delta, flops, bytes});
+}
+
+std::string HwCounters::SectionJson() const {
+  // Snapshots are taken before our lock where they have their own locking
+  // (the op profiler), and under it for our own state.
+  const std::vector<nn::OpProfileEntry> ops =
+      nn::OpProfiler::Global().SortedEntries();
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const bool available = state.available && Enabled();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("available").Bool(available);
+  if (!available) {
+    w.Key("reason").String(state.reason);
+  }
+  w.Key("counter_set").String(state.counter_set);
+  w.Key("counters").BeginArray();
+  for (int kind = 0; kind < kHwCounterKinds; ++kind) {
+    if (state.counter_open[kind]) w.String(kCounterNames[kind]);
+  }
+  w.EndArray();
+  w.Key("calibration").BeginObject();
+  w.Key("measured").Bool(state.calibration.measured);
+  if (state.calibration.measured) {
+    w.Key("flop_per_cycle").Number(state.calibration.flop_per_cycle);
+    w.Key("bytes_per_cycle").Number(state.calibration.bytes_per_cycle);
+    w.Key("calibration_cycles").Number(state.calibration.calibration_cycles);
+  }
+  w.EndObject();
+
+  // Roofline coordinates per profiled op: the op profiler's FLOP/bytes
+  // estimates divided by measured cycles. Ops keep the profiler's ordering
+  // (total time descending); entries without a single measured forward
+  // scope are skipped rather than emitted as zeros.
+  w.Key("ops").BeginArray();
+  for (const nn::OpProfileEntry& e : ops) {
+    if (e.hw_samples <= 0 || e.hw.cycles() <= 0.0) continue;
+    w.BeginObject();
+    w.Key("name").String(e.name);
+    w.Key("calls").Int(e.calls);
+    w.Key("hw_samples").Int(e.hw_samples);
+    w.Key("cycles").Number(e.hw.cycles());
+    w.Key("instructions").Number(e.hw.instructions());
+    w.Key("ipc").Number(e.hw.ipc());
+    w.Key("flop_per_cycle").Number(e.flops / e.hw.cycles());
+    w.Key("bytes_per_cycle")
+        .Number(static_cast<double>(e.bytes) / e.hw.cycles());
+    if (e.bytes > 0) {
+      w.Key("arithmetic_intensity")
+          .Number(e.flops / static_cast<double>(e.bytes));
+    }
+    if (e.hw.measured[kHwL1dMisses]) {
+      w.Key("l1d_miss_per_kinst")
+          .Number(PerKiloInstructions(e.hw.value[kHwL1dMisses],
+                                      e.hw.instructions()));
+    }
+    if (e.hw.measured[kHwLlcMisses]) {
+      w.Key("llc_miss_per_kinst")
+          .Number(PerKiloInstructions(e.hw.value[kHwLlcMisses],
+                                      e.hw.instructions()));
+    }
+    if (e.hw.measured[kHwBranchMisses]) {
+      w.Key("branch_miss_per_kinst")
+          .Number(PerKiloInstructions(e.hw.value[kHwBranchMisses],
+                                      e.hw.instructions()));
+    }
+    if (e.hw.measured[kHwStalledCycles]) {
+      w.Key("stalled_frac")
+          .Number(e.hw.value[kHwStalledCycles] / e.hw.cycles());
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("sweep").BeginArray();
+  for (const SweepPoint& p : state.sweep) {
+    w.BeginObject();
+    w.Key("label").String(p.label);
+    w.Key("n").Int(p.n);
+    w.Key("cycles").Number(p.delta.cycles());
+    w.Key("instructions").Number(p.delta.instructions());
+    w.Key("ipc").Number(p.delta.ipc());
+    w.Key("flops").Number(p.flops);
+    w.Key("bytes").Number(p.bytes);
+    if (p.delta.cycles() > 0.0) {
+      w.Key("flop_per_cycle").Number(p.flops / p.delta.cycles());
+      w.Key("bytes_per_cycle").Number(p.bytes / p.delta.cycles());
+    }
+    if (p.bytes > 0.0) {
+      w.Key("arithmetic_intensity").Number(p.flops / p.bytes);
+    }
+    if (p.delta.measured[kHwLlcMisses]) {
+      w.Key("llc_miss_per_kinst")
+          .Number(PerKiloInstructions(p.delta.value[kHwLlcMisses],
+                                      p.delta.instructions()));
+    }
+    if (p.delta.time_enabled_ns > 0.0) {
+      w.Key("running_frac")
+          .Number(p.delta.time_running_ns / p.delta.time_enabled_ns);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void HwCounters::ResetForTest() {
+  enabled_.store(false, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+#if defined(TRMMA_HW_COUNTERS_IMPL)
+  t_group.Close();
+#endif
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.available = false;
+  state.reason = "not requested";
+  state.counter_set = "full";
+  for (bool& open : state.counter_open) open = false;
+  state.calibration = HwCalibration();
+  state.sweep.clear();
+}
+
+void HwCounterScope::Start() {
+  if (!HwCounters::Enabled()) return;
+#if defined(TRMMA_HW_COUNTERS_IMPL)
+  ThreadGroup* group = EnsureThreadGroup();
+  if (group == nullptr) return;
+  std::uint64_t buf[3 + kHwCounterKinds];
+  if (!group->Read(buf, 3 + kHwCounterKinds)) return;
+  start_enabled_ = buf[1];
+  start_running_ = buf[2];
+  for (int i = 0; i < group->nr; ++i) {
+    start_raw_[group->slot_kind[i]] = buf[3 + i];
+  }
+  active_ = true;
+#endif
+}
+
+bool HwCounterScope::End(HwCounterDelta* out) {
+  if (!active_) return false;
+  active_ = false;
+#if defined(TRMMA_HW_COUNTERS_IMPL)
+  if (!HwCounters::Enabled()) return false;
+  // Same-thread, same-epoch contract: a scope must End on the thread that
+  // started it, with the group it snapshotted still open.
+  if (t_group.leader < 0 ||
+      t_group.epoch != g_epoch.load(std::memory_order_acquire)) {
+    return false;
+  }
+  std::uint64_t buf[3 + kHwCounterKinds];
+  if (!t_group.Read(buf, 3 + kHwCounterKinds)) return false;
+  if (out == nullptr) return true;
+  const std::uint64_t enabled_delta =
+      buf[1] >= start_enabled_ ? buf[1] - start_enabled_ : 0;
+  const std::uint64_t running_delta =
+      buf[2] >= start_running_ ? buf[2] - start_running_ : 0;
+  *out = HwCounterDelta();
+  out->time_enabled_ns = static_cast<double>(enabled_delta);
+  out->time_running_ns = static_cast<double>(running_delta);
+  for (int i = 0; i < t_group.nr; ++i) {
+    const int kind = t_group.slot_kind[i];
+    const std::uint64_t raw = buf[3 + i] >= start_raw_[kind]
+                                  ? buf[3 + i] - start_raw_[kind]
+                                  : 0;
+    out->value[kind] = ScaleMultiplexed(raw, enabled_delta, running_delta);
+    out->measured[kind] = true;
+  }
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace obs
+}  // namespace trmma

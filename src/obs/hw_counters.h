@@ -1,0 +1,200 @@
+#ifndef TRMMA_OBS_HW_COUNTERS_H_
+#define TRMMA_OBS_HW_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace trmma {
+namespace obs {
+
+/// Counters a hardware group can carry, in fixed slot order. The group
+/// leader is always kHwCycles; every other counter is optional (a PMU that
+/// cannot count stalled cycles simply leaves that slot unmeasured).
+enum HwCounterKind : int {
+  kHwCycles = 0,
+  kHwInstructions,
+  kHwL1dMisses,
+  kHwLlcMisses,
+  kHwBranchMisses,
+  kHwStalledCycles,
+  kHwCounterKinds,
+};
+
+/// Stable JSON/report name for one counter slot ("cycles", "instructions",
+/// "l1d_misses", "llc_misses", "branch_misses", "stalled_cycles").
+const char* HwCounterName(int kind);
+
+/// Multiplexing-aware scaling: the kernel time-shares PMU slots between
+/// groups, so a counter runs for time_running out of time_enabled and the
+/// raw value must be extrapolated by time_enabled / time_running. A counter
+/// that never ran (time_running == 0) scales to 0; a counter that ran the
+/// whole window (time_running >= time_enabled) is returned untouched.
+/// Pure function — the unit tests drive it with synthetic values.
+double ScaleMultiplexed(std::uint64_t raw_delta,
+                        std::uint64_t time_enabled_delta,
+                        std::uint64_t time_running_delta);
+
+/// One delimited read: multiplex-scaled counter deltas between the Start()
+/// and End() of an HwCounterScope. Slots whose counter was not opened (or
+/// whose group was unavailable) have measured[i] == false and value 0.
+struct HwCounterDelta {
+  double value[kHwCounterKinds] = {};
+  bool measured[kHwCounterKinds] = {};
+  /// Group scheduling window for the scope, nanoseconds. running <
+  /// enabled means the kernel multiplexed this group and values were
+  /// extrapolated.
+  double time_enabled_ns = 0.0;
+  double time_running_ns = 0.0;
+
+  double cycles() const { return value[kHwCycles]; }
+  double instructions() const { return value[kHwInstructions]; }
+  /// Instructions per cycle; 0 when either counter is unmeasured or zero.
+  double ipc() const {
+    return measured[kHwCycles] && measured[kHwInstructions] &&
+                   value[kHwCycles] > 0.0
+               ? value[kHwInstructions] / value[kHwCycles]
+               : 0.0;
+  }
+  void Accumulate(const HwCounterDelta& other);
+};
+
+/// Measured machine roofline from the calibration microbenchmark: peak
+/// scalar FLOP/cycle from a dependency-free multiply-add loop and peak
+/// bytes/cycle from a cache-spilling streaming read. These are the roof
+/// lines the per-op scatter in trmma_report is drawn against.
+struct HwCalibration {
+  bool measured = false;
+  double flop_per_cycle = 0.0;
+  double bytes_per_cycle = 0.0;
+  double calibration_cycles = 0.0;  ///< total cycles spent calibrating
+};
+
+/// Process-wide perf_event_open counter subsystem. Dependency-free: the
+/// syscall is invoked directly, and everything degrades to a disabled stub
+/// that still answers SectionJson() with {"available": false, "reason":...}
+/// when the kernel refuses (perf_event_paranoid), the build is sanitized,
+/// the platform is not Linux, TRMMA_HW_COUNTERS=off forces it, or the CPU
+/// profiler's ITIMER/SIGPROF sampling is armed (the two subsystems refuse
+/// to run concurrently rather than corrupt each other's measurements).
+///
+/// Counter groups are per-thread (opened lazily on first HwCounterScope on
+/// a thread, closed at thread exit) so scopes never cross-talk between
+/// worker threads. The group read format carries time_enabled/time_running
+/// and every reported value is multiplex-scaled. See DESIGN.md §14.
+class HwCounters {
+ public:
+  static HwCounters& Global();
+
+  /// The hot-path gate: one relaxed atomic load. When false, HwCounterScope
+  /// Start/End are a predicted branch each (≤ 2 ns — enforced by
+  /// bench_micro_obs).
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the subsystem: checks the refusal ladder (env force-off,
+  /// sanitizer build, non-Linux, CPU-profiler interlock), probes the kernel
+  /// by opening a cycles counter on the calling thread, and on success
+  /// flips Enabled(). Idempotent while enabled. On refusal the reason is
+  /// retained for SectionJson()/reason() and logged once.
+  Status Enable();
+
+  /// Disarms: new scopes become stubs immediately; per-thread groups close
+  /// lazily as their threads touch the subsystem again or exit.
+  void Disable();
+
+  /// Enable() when TRMMA_HW_COUNTERS is set truthy ("1"/"on"); records the
+  /// forced-off reason when "0"/"off"; leaves the subsystem alone when the
+  /// variable is unset. Returns Enabled() afterwards.
+  bool EnableFromEnv();
+
+  /// True when Enable() succeeded and the subsystem is currently armed.
+  bool available() const;
+  /// Why the subsystem is unavailable (empty while available). Defaults to
+  /// "not requested" before any Enable() attempt.
+  std::string reason() const;
+  /// Active counter set name ("full", "cache", "ipc") — from
+  /// TRMMA_HW_COUNTER_SET, defaulting to "full".
+  std::string counter_set() const;
+  /// Whether a counter slot is part of the active set and opened
+  /// successfully during the probe (a PMU may veto individual counters).
+  bool counter_open(int kind) const;
+
+  /// Runs the calibration microbenchmark (once; the result is cached) and
+  /// returns the measured peaks. Unmeasured (all-zero) when unavailable.
+  HwCalibration Calibrate();
+  /// Last calibration result without re-running (measured == false when
+  /// Calibrate() has not run).
+  HwCalibration calibration() const;
+
+  /// Adds one labelled sweep point (e.g. the bench_micro_nn matmul sweep)
+  /// carrying a measured delta plus the caller's FLOP/bytes estimates, for
+  /// the report section's "sweep" array.
+  void RecordSweepPoint(const std::string& label, int n,
+                        const HwCounterDelta& delta, double flops,
+                        double bytes);
+
+  /// The "hw_counters" report section (also served at /perf):
+  /// {"available","reason","counter_set","counters":[...],
+  ///  "calibration":{...},"ops":[roofline coordinates per profiled op],
+  ///  "sweep":[...]} — ops come from the op profiler's aggregated cells.
+  std::string SectionJson() const;
+
+  /// Drops availability state, calibration and sweep points, and closes the
+  /// calling thread's group (tests only; other threads' groups close on
+  /// their next touch).
+  void ResetForTest();
+
+ private:
+  HwCounters() = default;
+
+  static std::atomic<bool> enabled_;
+
+  friend class HwCounterScope;
+};
+
+/// RAII-style delimited read. Default-constructed scopes are inert; Start()
+/// snapshots the calling thread's group (opening it on first use) and
+/// End() fills `out` with the multiplex-scaled deltas. When the subsystem
+/// is disabled both calls are one relaxed load + predicted branch. Scopes
+/// nest freely: each keeps its own raw snapshot and the counters are
+/// free-running, so inner and outer scopes read independent deltas.
+class HwCounterScope {
+ public:
+  HwCounterScope() = default;
+  /// Convenience: `HwCounterScope scope(true)` starts immediately.
+  explicit HwCounterScope(bool start) {
+    if (start) Start();
+  }
+  ~HwCounterScope() = default;
+
+  HwCounterScope(const HwCounterScope&) = delete;
+  HwCounterScope& operator=(const HwCounterScope&) = delete;
+
+  /// Snapshots the thread's counter group. No-op (and active() stays
+  /// false) when the subsystem is disabled or the thread's group failed to
+  /// open.
+  void Start();
+
+  /// Reads the group again and writes scaled deltas into `out` (may be
+  /// null to just deactivate). Returns false — and leaves `out` untouched —
+  /// when the scope never activated or the end read failed. The scope
+  /// deactivates either way; a second End() returns false.
+  bool End(HwCounterDelta* out);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  std::uint64_t start_raw_[kHwCounterKinds] = {};
+  std::uint64_t start_enabled_ = 0;
+  std::uint64_t start_running_ = 0;
+};
+
+}  // namespace obs
+}  // namespace trmma
+
+#endif  // TRMMA_OBS_HW_COUNTERS_H_
